@@ -1,0 +1,91 @@
+//! Criterion microbenches for the sparse forward kernels (the paper's
+//! §III-E/F execution layer): dtype and sparse-vs-dense comparisons.
+
+use c2nn_tensor::{forward_dense, forward_sparse, Activation, Csr, Dense, Device};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn build_layer(rows: usize, cols: usize, nnz_per_row: usize) -> Csr<f32> {
+    let mut seed = 42u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut trips = Vec::new();
+    for r in 0..rows as u32 {
+        for _ in 0..nnz_per_row {
+            trips.push((r, (rng() % cols as u64) as u32, 1.0f32));
+        }
+    }
+    Csr::from_triplets(rows, cols, trips)
+}
+
+fn kernels(c: &mut Criterion) {
+    let rows = 2048;
+    let cols = 2048;
+    let batch = 64;
+    let w = build_layer(rows, cols, 4);
+    let bias = vec![-1.0f32; rows];
+    let x = Dense::<f32>::zeros(cols, batch);
+    let mut g = c.benchmark_group("forward");
+    g.sample_size(20);
+    g.bench_function("sparse_f32", |b| {
+        b.iter(|| {
+            std::hint::black_box(forward_sparse(
+                &w,
+                &bias,
+                &x,
+                Activation::Threshold,
+                Device::Serial,
+            ))
+        })
+    });
+    let wi: Csr<i32> = w.cast(|v| v as i32);
+    let biasi = vec![-1i32; rows];
+    let xi = Dense::<i32>::zeros(cols, batch);
+    g.bench_function("sparse_i32", |b| {
+        b.iter(|| {
+            std::hint::black_box(forward_sparse(
+                &wi,
+                &biasi,
+                &xi,
+                Activation::Threshold,
+                Device::Serial,
+            ))
+        })
+    });
+    // dense baseline on a smaller layer (full dense 2048² is slow)
+    let wd_small = build_layer(256, 256, 4);
+    let dvals = wd_small.to_dense();
+    let wd = Dense::from_vec(256, 256, dvals);
+    let bias_s = vec![-1.0f32; 256];
+    let xs = Dense::<f32>::zeros(256, batch);
+    g.bench_function("dense_f32_256", |b| {
+        b.iter(|| {
+            std::hint::black_box(forward_dense(
+                &wd,
+                &bias_s,
+                &xs,
+                Activation::Threshold,
+                Device::Serial,
+            ))
+        })
+    });
+    let ws_small = wd_small;
+    g.bench_function("sparse_f32_256", |b| {
+        b.iter(|| {
+            std::hint::black_box(forward_sparse(
+                &ws_small,
+                &bias_s,
+                &xs,
+                Activation::Threshold,
+                Device::Serial,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

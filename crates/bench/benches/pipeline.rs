@@ -1,0 +1,45 @@
+//! Criterion benches over the full pipeline: compile and simulate the UART
+//! benchmark circuit, against the reference simulator.
+
+use c2nn_core::{compile, CompileOptions, Simulator};
+use c2nn_refsim::{CycleSim, EventSim, WordSim};
+use c2nn_tensor::{Dense, Device};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn compile_uart(c: &mut Criterion) {
+    let nl = c2nn_circuits::uart();
+    let mut g = c.benchmark_group("compile_uart");
+    g.sample_size(10);
+    for l in [3usize, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| std::hint::black_box(compile(&nl, CompileOptions::with_l(l)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn simulate_uart(c: &mut Criterion) {
+    let nl = c2nn_circuits::uart();
+    let nn = compile(&nl, CompileOptions::with_l(5)).unwrap();
+    let mut g = c.benchmark_group("simulate_uart");
+    g.sample_size(20);
+    for batch in [1usize, 64] {
+        let mut sim = Simulator::new(&nn, batch, Device::Serial);
+        let x = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
+        g.bench_with_input(BenchmarkId::new("nn_step", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(sim.step(&x)))
+        });
+    }
+    let mut cy = CycleSim::new(&nl).unwrap();
+    let stim = vec![false; cy.num_inputs()];
+    g.bench_function("refsim_step", |b| b.iter(|| std::hint::black_box(cy.step(&stim))));
+    let mut ev = EventSim::new(&nl).unwrap();
+    g.bench_function("eventsim_step", |b| b.iter(|| std::hint::black_box(ev.step(&stim))));
+    let mut ws = WordSim::new(&nl).unwrap();
+    let wstim = vec![0u64; ws.num_inputs()];
+    g.bench_function("wordsim_step64", |b| b.iter(|| std::hint::black_box(ws.step(&wstim))));
+    g.finish();
+}
+
+criterion_group!(benches, compile_uart, simulate_uart);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenches for the truth-table → polynomial transforms
+//! (the machinery behind Figure 4).
+
+use c2nn_boolfn::{lut_to_poly, lut_to_poly_dnf, Lut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn transforms(c: &mut Criterion) {
+    let mut seed = 0x1234_5678_9abc_def0u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut g = c.benchmark_group("lut_to_poly");
+    g.sample_size(20);
+    for l in [4u8, 6, 8, 10, 12] {
+        let lut = Lut::random(l, &mut rng);
+        g.bench_with_input(BenchmarkId::new("alg1", l), &lut, |b, lut| {
+            b.iter(|| std::hint::black_box(lut_to_poly(lut)))
+        });
+        if l <= 10 {
+            g.bench_with_input(BenchmarkId::new("dnf", l), &lut, |b, lut| {
+                b.iter(|| std::hint::black_box(lut_to_poly_dnf(lut)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, transforms);
+criterion_main!(benches);

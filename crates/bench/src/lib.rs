@@ -1,0 +1,18 @@
+//! # c2nn-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper (see DESIGN.md §4 for the experiment index):
+//!
+//! * [`experiments`] — one function per artifact: Table I, Figure 4,
+//!   Figure 6, and the ablations (merging, sparse-vs-dense, batch sweep,
+//!   f32-vs-i32);
+//! * [`model`] — the analytic GPU device model standing in for the paper's
+//!   GTX TITAN X (this machine has one CPU core; DESIGN.md §2 documents the
+//!   substitution);
+//! * [`harness`] — adaptive timing and the gates·cycles/s metric.
+//!
+//! Entry point: `cargo run -p c2nn-bench --release --bin reproduce -- all`.
+
+pub mod experiments;
+pub mod harness;
+pub mod model;

@@ -1,0 +1,154 @@
+//! Analysis of Boolean functions (paper §II-B background).
+//!
+//! The paper motivates the multilinear representation through the *Analysis
+//! of Boolean Functions* toolkit (O'Donnell 2014): Fourier expansion over
+//! the ±1 domain, variable influence, and noise stability. This module
+//! implements those quantities exactly from a [`Lut`], both to document the
+//! sparsity/low-order hypothesis the paper leans on (§II-B, §III-F) and to
+//! cross-check the polynomial pipeline.
+
+use crate::lut::Lut;
+
+/// Fourier coefficients `f̂(S)` of `f: {−1,1}^n → {−1,1}` indexed by subset
+/// mask, computed with an in-place Walsh–Hadamard transform in `O(2^n · n)`.
+///
+/// Truth-table convention: table value `1` maps to `−1` and `0` to `+1`
+/// (i.e. `χ(b) = (−1)^b`), and row bit `j` gives the sign of variable `j`.
+pub fn fourier_coeffs(lut: &Lut) -> Vec<f64> {
+    let n = lut.inputs();
+    let rows = lut.num_rows();
+    let mut v: Vec<f64> = (0..rows as u64)
+        .map(|r| if lut.get(r) { -1.0 } else { 1.0 })
+        .collect();
+    for k in 0..n {
+        let bit = 1usize << k;
+        for i in 0..rows {
+            if i & bit == 0 {
+                let a = v[i];
+                let b = v[i | bit];
+                v[i] = a + b;
+                v[i | bit] = a - b;
+            }
+        }
+    }
+    let scale = 1.0 / rows as f64;
+    for x in &mut v {
+        *x *= scale;
+    }
+    v
+}
+
+/// Spectral influence of variable `j`: `Inf_j(f) = Σ_{S ∋ j} f̂(S)²`.
+/// Agrees with the combinatorial [`Lut::influence`] (O'Donnell Thm 2.20).
+pub fn spectral_influence(coeffs: &[f64], j: u8) -> f64 {
+    let bit = 1usize << j;
+    coeffs
+        .iter()
+        .enumerate()
+        .filter(|(mask, _)| mask & bit != 0)
+        .map(|(_, &c)| c * c)
+        .sum()
+}
+
+/// Total influence `I(f) = Σ_j Inf_j(f) = Σ_S |S| · f̂(S)²`.
+pub fn total_influence(coeffs: &[f64]) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(mask, &c)| mask.count_ones() as f64 * c * c)
+        .sum()
+}
+
+/// Noise stability `Stab_ρ(f) = Σ_S ρ^{|S|} f̂(S)²` — the probability-based
+/// robustness measure the paper cites when arguing real-life circuits yield
+/// sparse, low-order polynomials.
+pub fn noise_stability(coeffs: &[f64], rho: f64) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(mask, &c)| rho.powi(mask.count_ones() as i32) * c * c)
+        .sum()
+}
+
+/// Spectral weight at each degree: `W_k = Σ_{|S| = k} f̂(S)²`. Sums to 1 by
+/// Parseval; concentration on low `k` is the paper's "low-order" property.
+pub fn degree_weights(coeffs: &[f64], n: u8) -> Vec<f64> {
+    let mut w = vec![0.0; n as usize + 1];
+    for (mask, &c) in coeffs.iter().enumerate() {
+        w[mask.count_ones() as usize] += c * c;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parseval_holds() {
+        for lut in [Lut::and(4), Lut::or(4), Lut::xor(4), Lut::majority(5)] {
+            let c = fourier_coeffs(&lut);
+            let sum: f64 = c.iter().map(|x| x * x).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{lut:?}: {sum}");
+        }
+    }
+
+    #[test]
+    fn xor_spectrum_is_one_point() {
+        // parity has all weight on the full set
+        let c = fourier_coeffs(&Lut::xor(4));
+        for (mask, &v) in c.iter().enumerate() {
+            if mask == 0b1111 {
+                assert!((v.abs() - 1.0).abs() < 1e-12);
+            } else {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_influence_matches_combinatorial() {
+        for lut in [Lut::and(3), Lut::majority(5), Lut::mux()] {
+            let c = fourier_coeffs(&lut);
+            for j in 0..lut.inputs() {
+                let spec = spectral_influence(&c, j);
+                let comb = lut.influence(j);
+                assert!(
+                    (spec - comb).abs() < 1e-9,
+                    "{lut:?} var {j}: {spec} vs {comb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_influence_of_parity_is_n() {
+        let c = fourier_coeffs(&Lut::xor(6));
+        assert!((total_influence(&c) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_stability_limits() {
+        let c = fourier_coeffs(&Lut::majority(5));
+        // ρ=1: perfectly stable = 1 (Parseval)
+        assert!((noise_stability(&c, 1.0) - 1.0).abs() < 1e-9);
+        // ρ=0: only the constant term survives
+        let const_w = c[0] * c[0];
+        assert!((noise_stability(&c, 0.0) - const_w).abs() < 1e-12);
+        // monotone in ρ for nonneg ρ
+        assert!(noise_stability(&c, 0.3) <= noise_stability(&c, 0.8) + 1e-12);
+    }
+
+    #[test]
+    fn degree_weights_sum_to_one() {
+        let lut = Lut::majority(5);
+        let w = degree_weights(&fourier_coeffs(&lut), lut.inputs());
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // majority is odd: even-degree weights vanish (except none at 0? MAJ
+        // has zero even weight including degree 0)
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[2].abs() < 1e-12);
+        assert!(w[1] > 0.5, "majority concentrates on degree 1: {w:?}");
+    }
+}

@@ -1,0 +1,358 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! The paper's §II-B lists diagrams (BDD, AIG) among the standard Boolean
+//! function representations next to truth tables and polynomials; this
+//! module completes the trio. BDDs are canonical — two equal functions get
+//! the same node — which gives O(1) equivalence checking, the complement of
+//! the polynomial representation the compiler uses.
+
+use crate::lut::Lut;
+use std::collections::HashMap;
+
+/// Handle to a function inside a [`BddManager`]. Canonical: two handles in
+/// the same manager are equal iff the functions are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Bdd(u32);
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u8,
+    lo: u32,
+    hi: u32,
+}
+
+/// A shared store of ROBDD nodes with the fixed variable order 0 < 1 < ….
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u8, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+}
+
+const FALSE: u32 = 0;
+const TRUE: u32 = 1;
+/// Terminal marker variable (greater than any real variable).
+const TERM: u8 = u8::MAX;
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    pub fn new() -> Self {
+        BddManager {
+            nodes: vec![
+                Node { var: TERM, lo: 0, hi: 0 },
+                Node { var: TERM, lo: 1, hi: 1 },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// The constant function.
+    pub fn constant(&self, v: bool) -> Bdd {
+        Bdd(if v { TRUE } else { FALSE })
+    }
+
+    /// The projection function `x_i`.
+    pub fn var(&mut self, i: u8) -> Bdd {
+        assert!(i < TERM);
+        Bdd(self.mk(i, FALSE, TRUE))
+    }
+
+    fn mk(&mut self, var: u8, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo; // reduction rule
+        }
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// If-then-else: `f ? g : h` — the universal BDD operation.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        Bdd(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        // terminal cases
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        // split on the top variable
+        let top = self.nodes[f as usize]
+            .var
+            .min(self.nodes[g as usize].var)
+            .min(self.nodes[h as usize].var);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, n: u32, var: u8) -> (u32, u32) {
+        let node = self.nodes[n as usize];
+        if node.var == var {
+            (node.lo, node.hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        let (t, e) = (self.constant(false), self.constant(true));
+        self.ite(f, t, e)
+    }
+
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let e = self.constant(false);
+        self.ite(f, g, e)
+    }
+
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let t = self.constant(true);
+        self.ite(f, t, g)
+    }
+
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Evaluate on the assignment packed as a mask (bit `i` = `x_i`).
+    pub fn eval(&self, f: Bdd, assignment: u64) -> bool {
+        let mut n = f.0;
+        loop {
+            let node = self.nodes[n as usize];
+            if node.var == TERM {
+                return n == TRUE;
+            }
+            n = if assignment >> node.var & 1 == 1 {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+
+    /// Build the BDD of a truth table (variable order = table order).
+    pub fn from_lut(&mut self, lut: &Lut) -> Bdd {
+        let n = lut.inputs();
+        Bdd(self.from_lut_rec(lut, n, 0, 0))
+    }
+
+    fn from_lut_rec(&mut self, lut: &Lut, n: u8, var: u8, prefix: u64) -> u32 {
+        if var == n {
+            return if lut.get(prefix) { TRUE } else { FALSE };
+        }
+        // split on the HIGHEST variable first so the order matches 0 < 1 < …
+        // from the root; here we recurse from var 0 upward instead, building
+        // bottom var at the root — equivalent canonical form for order 0<1<…
+        let lo = self.from_lut_rec(lut, n, var + 1, prefix);
+        let hi = self.from_lut_rec(lut, n, var + 1, prefix | 1 << var);
+        self.mk(var, lo, hi)
+    }
+
+    /// Reconstruct the truth table over `n` variables.
+    pub fn to_lut(&self, f: Bdd, n: u8) -> Lut {
+        Lut::from_fn(n, |row| self.eval(f, row))
+    }
+
+    /// Number of internal nodes reachable from `f` (a complexity measure).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len()
+    }
+
+    /// Number of satisfying assignments over `n` variables.
+    pub fn sat_count(&self, f: Bdd, n: u8) -> u64 {
+        let mut memo: HashMap<u32, u64> = HashMap::new();
+        self.sat_rec(f.0, 0, n, &mut memo)
+    }
+
+    fn sat_rec(&self, node: u32, from_var: u8, n: u8, memo: &mut HashMap<u32, u64>) -> u64 {
+        let nd = self.nodes[node as usize];
+        let var = if nd.var == TERM { n } else { nd.var };
+        debug_assert!(var >= from_var);
+        let skipped = (var - from_var) as u32;
+        if node <= TRUE {
+            return if node == TRUE { 1u64 << skipped } else { 0 };
+        }
+        let below = if let Some(&v) = memo.get(&node) {
+            v
+        } else {
+            let lo = self.sat_rec(nd.lo, nd.var + 1, n, memo);
+            let hi = self.sat_rec(nd.hi, nd.var + 1, n, memo);
+            let v = lo + hi;
+            memo.insert(node, v);
+            v
+        };
+        below << skipped
+    }
+
+    /// Total nodes allocated in the manager (shared across functions).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut m = BddManager::new();
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_ne!(t, f);
+        let x0 = m.var(0);
+        assert!(m.eval(x0, 0b1));
+        assert!(!m.eval(x0, 0b0));
+    }
+
+    #[test]
+    fn canonicity() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        // (x & y) built two different ways is the same node
+        let a = m.and(x, y);
+        let ny = m.not(y);
+        let t1 = m.or(x, ny);
+        let nt1 = m.not(t1);
+        let b = {
+            // x & y = ~(~ (x & y)) via De Morgan: ~(~x | ~y)
+            let nx = m.not(x);
+            let or = m.or(nx, ny);
+            m.not(or)
+        };
+        assert_eq!(a, b, "canonical forms must coincide");
+        assert_ne!(a, nt1);
+    }
+
+    #[test]
+    fn lut_roundtrip_all_3var_functions() {
+        let mut m = BddManager::new();
+        for f in 0u64..256 {
+            let lut = Lut::from_bits(3, vec![f]);
+            let b = m.from_lut(&lut);
+            assert_eq!(m.to_lut(b, 3), lut, "f={f:08b}");
+        }
+        // all 256 functions share one manager; canonicity keeps it at
+        // exactly the distinct-subfunction count: 240 nodes testing x0
+        // (3-var functions that depend on x0) + 12 testing x1 + 2 testing
+        // x2 + 2 terminals = 256
+        assert_eq!(m.size(), 256, "manager has {} nodes", m.size());
+    }
+
+    #[test]
+    fn ops_match_tables() {
+        let mut m = BddManager::new();
+        let and8 = {
+            let mut acc = m.constant(true);
+            for i in 0..8 {
+                let v = m.var(i);
+                acc = m.and(acc, v);
+            }
+            acc
+        };
+        assert_eq!(m.to_lut(and8, 8), Lut::and(8));
+        let xor6 = {
+            let mut acc = m.constant(false);
+            for i in 0..6 {
+                let v = m.var(i);
+                acc = m.xor(acc, v);
+            }
+            acc
+        };
+        assert_eq!(m.to_lut(xor6, 6), Lut::xor(6));
+    }
+
+    #[test]
+    fn parity_bdd_is_linear_size() {
+        // the classic result: parity has a 2n−1-node BDD but a 2^n−1-term
+        // polynomial — the two representations have opposite strengths
+        let mut m = BddManager::new();
+        let lut = Lut::xor(10);
+        let b = m.from_lut(&lut);
+        assert_eq!(m.node_count(b), 2 * 10 - 1);
+        let poly = crate::transform::lut_to_poly(&lut);
+        assert_eq!(poly.num_terms(), (1 << 10) - 1);
+    }
+
+    #[test]
+    fn sat_count_matches_popcount() {
+        let mut m = BddManager::new();
+        let mut seed = 0x1d5au64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in 1..=8u8 {
+            for _ in 0..4 {
+                let lut = Lut::random(n, &mut rng);
+                let b = m.from_lut(&lut);
+                assert_eq!(
+                    m.sat_count(b, n),
+                    lut.count_ones() as u64,
+                    "{lut:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_check_is_pointer_compare() {
+        let mut m = BddManager::new();
+        // majority(3) expressed two ways
+        let (a, b, c) = {
+            let x = m.var(0);
+            let y = m.var(1);
+            let z = m.var(2);
+            (x, y, z)
+        };
+        let maj1 = {
+            let ab = m.and(a, b);
+            let ac = m.and(a, c);
+            let bc = m.and(b, c);
+            let t = m.or(ab, ac);
+            m.or(t, bc)
+        };
+        let maj2 = m.from_lut(&Lut::majority(3));
+        assert_eq!(maj1, maj2);
+    }
+}

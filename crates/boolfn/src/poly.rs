@@ -1,0 +1,364 @@
+//! Sparse multi-linear polynomial representation of Boolean functions
+//! (paper Eq. 1, the "Hamiltonian" representation).
+//!
+//! `f(x_1,…,x_n) = Σ_{S ⊆ [n]} w_S · ∏_{s∈S} x_s` over the reals. For a 0/1
+//! function the coefficients `w_S` are integers with |w_S| ≤ 2^n, so `i32` is
+//! exact for every LUT size this workspace produces (L ≤ 26).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One monomial: the variable set as a bitmask plus its integer coefficient.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Term {
+    /// Bit `j` set ⇔ variable `j` appears in the monomial. `0` = constant.
+    pub mask: u32,
+    pub coeff: i32,
+}
+
+/// A sparse multilinear polynomial over `vars ≤ 26` Boolean variables.
+///
+/// Invariants: terms sorted by mask, unique masks, no zero coefficients.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Polynomial {
+    vars: u8,
+    terms: Vec<Term>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero(vars: u8) -> Self {
+        Polynomial {
+            vars,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Build from raw `(mask, coeff)` pairs; merges duplicates, drops zeros.
+    pub fn from_terms(vars: u8, mut raw: Vec<Term>) -> Self {
+        assert!(vars <= 26);
+        for t in &raw {
+            assert!(
+                t.mask < (1u32 << vars),
+                "term mask {:#x} out of range for {} vars",
+                t.mask,
+                vars
+            );
+        }
+        raw.sort_by_key(|t| t.mask);
+        let mut terms: Vec<Term> = Vec::with_capacity(raw.len());
+        for t in raw {
+            match terms.last_mut() {
+                Some(last) if last.mask == t.mask => last.coeff += t.coeff,
+                _ => terms.push(t),
+            }
+        }
+        terms.retain(|t| t.coeff != 0);
+        Polynomial { vars, terms }
+    }
+
+    /// Build from a dense coefficient vector indexed by mask.
+    pub fn from_dense(vars: u8, dense: &[i32]) -> Self {
+        assert_eq!(dense.len(), 1usize << vars);
+        let terms = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(m, &c)| Term {
+                mask: m as u32,
+                coeff: c,
+            })
+            .collect();
+        Polynomial { vars, terms }
+    }
+
+    /// Dense coefficient vector indexed by mask.
+    pub fn to_dense(&self) -> Vec<i32> {
+        let mut d = vec![0i32; 1usize << self.vars];
+        for t in &self.terms {
+            d[t.mask as usize] = t.coeff;
+        }
+        d
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn vars(&self) -> u8 {
+        self.vars
+    }
+
+    /// The sorted, deduplicated, nonzero terms.
+    #[inline]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of nonzero monomials.
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Degree: size of the largest monomial (0 for constants / zero).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .iter()
+            .map(|t| t.mask.count_ones())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of the `2^vars` possible monomials that are *absent* —
+    /// the paper's sparsity notion applied to the polynomial.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.num_terms() as f64 / (1usize << self.vars) as f64
+    }
+
+    /// Largest |coefficient| (0 for the zero polynomial).
+    pub fn max_abs_coeff(&self) -> i32 {
+        self.terms.iter().map(|t| t.coeff.abs()).max().unwrap_or(0)
+    }
+
+    /// Coefficient of the monomial `mask` (0 if absent).
+    pub fn coeff(&self, mask: u32) -> i32 {
+        self.terms
+            .binary_search_by_key(&mask, |t| t.mask)
+            .map(|i| self.terms[i].coeff)
+            .unwrap_or(0)
+    }
+
+    /// Evaluate on a Boolean point given as a bitmask (bit `j` = variable `j`).
+    ///
+    /// For a polynomial produced from a truth table this returns exactly 0
+    /// or 1 — the exactness property the NN compiler relies on.
+    pub fn eval_mask(&self, x: u32) -> i64 {
+        let mut acc = 0i64;
+        for t in &self.terms {
+            if t.mask & x == t.mask {
+                acc += t.coeff as i64;
+            }
+        }
+        acc
+    }
+
+    /// Evaluate on a real-valued point (used by the analysis module for
+    /// probability/noise computations; multilinear extension).
+    pub fn eval_real(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars as usize);
+        let mut acc = 0.0;
+        for t in &self.terms {
+            let mut prod = t.coeff as f64;
+            let mut m = t.mask;
+            while m != 0 {
+                let j = m.trailing_zeros();
+                prod *= x[j as usize];
+                m &= m - 1;
+            }
+            acc += prod;
+        }
+        acc
+    }
+
+    /// Sum of two polynomials over the same variable count.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        assert_eq!(self.vars, other.vars);
+        let mut raw: Vec<Term> = self.terms.clone();
+        raw.extend_from_slice(&other.terms);
+        Polynomial::from_terms(self.vars, raw)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Polynomial {
+        Polynomial {
+            vars: self.vars,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    mask: t.mask,
+                    coeff: -t.coeff,
+                })
+                .collect(),
+        }
+    }
+
+    /// Product of two polynomials (multilinear reduction `x^2 = x` applied,
+    /// i.e. monomial masks are OR-ed). Used by the known-function polynomial
+    /// library (paper §V) to compose e.g. AND-of-wide-vectors directly.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        assert_eq!(self.vars, other.vars);
+        let mut raw = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for a in &self.terms {
+            for b in &other.terms {
+                raw.push(Term {
+                    mask: a.mask | b.mask,
+                    coeff: a.coeff * b.coeff,
+                });
+            }
+        }
+        Polynomial::from_terms(self.vars, raw)
+    }
+
+    /// The monomial `∏_{j ∈ mask} x_j` with coefficient 1.
+    pub fn monomial(vars: u8, mask: u32) -> Polynomial {
+        Polynomial::from_terms(vars, vec![Term { mask, coeff: 1 }])
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(vars: u8, c: i32) -> Polynomial {
+        Polynomial::from_terms(vars, vec![Term { mask: 0, coeff: c }])
+    }
+
+    /// Render as human-readable algebra, e.g. `1 - x0·x2 + 2·x1`.
+    pub fn to_algebra(&self) -> String {
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, t) in self.terms.iter().enumerate() {
+            let c = t.coeff;
+            if i == 0 {
+                if c < 0 {
+                    s.push('-');
+                }
+            } else if c < 0 {
+                s.push_str(" - ");
+            } else {
+                s.push_str(" + ");
+            }
+            let a = c.abs();
+            let vars: Vec<String> = (0..self.vars)
+                .filter(|&j| t.mask >> j & 1 == 1)
+                .map(|j| format!("x{j}"))
+                .collect();
+            if vars.is_empty() {
+                s.push_str(&a.to_string());
+            } else {
+                if a != 1 {
+                    s.push_str(&a.to_string());
+                    s.push('·');
+                }
+                s.push_str(&vars.join("·"));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_algebra())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_terms_merges_and_sorts() {
+        let p = Polynomial::from_terms(
+            3,
+            vec![
+                Term { mask: 0b10, coeff: 2 },
+                Term { mask: 0b01, coeff: 1 },
+                Term { mask: 0b10, coeff: -2 },
+            ],
+        );
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.coeff(0b01), 1);
+        assert_eq!(p.coeff(0b10), 0);
+    }
+
+    #[test]
+    fn and_polynomial_eval() {
+        // AND(x0,x1) = x0·x1
+        let p = Polynomial::monomial(2, 0b11);
+        assert_eq!(p.eval_mask(0b11), 1);
+        assert_eq!(p.eval_mask(0b01), 0);
+        assert_eq!(p.eval_mask(0b00), 0);
+    }
+
+    #[test]
+    fn or_polynomial_via_algebra() {
+        // OR(a,b) = a + b - ab
+        let a = Polynomial::monomial(2, 0b01);
+        let b = Polynomial::monomial(2, 0b10);
+        let ab = a.mul(&b);
+        let or = a.add(&b).add(&ab.neg());
+        for x in 0..4u32 {
+            assert_eq!(or.eval_mask(x), (x != 0) as i64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn xor_polynomial_via_algebra() {
+        // XOR(a,b) = a + b - 2ab
+        let a = Polynomial::monomial(2, 0b01);
+        let b = Polynomial::monomial(2, 0b10);
+        let m2ab = a.mul(&b).neg().add(&a.mul(&b).neg());
+        let xor = a.add(&b).add(&m2ab);
+        for x in 0..4u32 {
+            assert_eq!(xor.eval_mask(x), ((x.count_ones() % 2) == 1) as i64);
+        }
+        assert_eq!(xor.degree(), 2);
+        assert_eq!(xor.max_abs_coeff(), 2);
+    }
+
+    #[test]
+    fn multilinear_reduction_in_mul() {
+        // x0 · x0 = x0 (idempotence)
+        let x0 = Polynomial::monomial(1, 1);
+        assert_eq!(x0.mul(&x0), x0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let p = Polynomial::from_terms(
+            3,
+            vec![
+                Term { mask: 0, coeff: 1 },
+                Term { mask: 0b111, coeff: -4 },
+            ],
+        );
+        let d = p.to_dense();
+        assert_eq!(d.len(), 8);
+        assert_eq!(Polynomial::from_dense(3, &d), p);
+    }
+
+    #[test]
+    fn eval_real_extends_boolean() {
+        // multilinear extension of AND at (0.5, 0.5) = 0.25
+        let p = Polynomial::monomial(2, 0b11);
+        assert!((p.eval_real(&[0.5, 0.5]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_and_degree() {
+        let p = Polynomial::monomial(4, 0b1010);
+        assert_eq!(p.degree(), 2);
+        assert!((p.sparsity() - (1.0 - 1.0 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algebra_rendering() {
+        let p = Polynomial::from_terms(
+            3,
+            vec![
+                Term { mask: 0, coeff: 1 },
+                Term { mask: 0b101, coeff: -1 },
+                Term { mask: 0b010, coeff: 2 },
+            ],
+        );
+        assert_eq!(p.to_algebra(), "1 + 2·x1 - x0·x2");
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let z = Polynomial::zero(5);
+        assert_eq!(z.num_terms(), 0);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval_mask(0b10101), 0);
+        assert_eq!(z.to_algebra(), "0");
+    }
+}

@@ -1,0 +1,276 @@
+//! Truth-table ⇄ polynomial transforms.
+//!
+//! * [`lut_to_poly`] — the paper's **Algorithm 1**: a divide-and-conquer
+//!   (FFT-inspired) conversion from value representation to coefficient
+//!   representation in `O(2^L · L)` integer operations. Implemented
+//!   iteratively and in place (it is exactly a Möbius / finite-difference
+//!   transform over the subset lattice).
+//! * [`lut_to_poly_dnf`] — the baseline the paper compares against in
+//!   Figure 4: expand every 1-minterm's product of literals into its `2^z`
+//!   signed monomials, `O(2^{2L})` worst case.
+//! * [`poly_to_lut`] — the inverse (zeta transform), used for verification.
+
+use crate::lut::Lut;
+use crate::poly::{Polynomial, Term};
+
+/// Algorithm 1: truth table → multilinear polynomial coefficients.
+///
+/// The recursion `[w_left, w_right − w_left]` over table halves is unrolled
+/// into the standard in-place butterfly: for each variable `k`, subtract the
+/// `x_k = 0` half from the `x_k = 1` half.
+pub fn lut_to_poly(lut: &Lut) -> Polynomial {
+    let n = lut.inputs();
+    let rows = lut.num_rows();
+    let mut w: Vec<i32> = (0..rows as u64).map(|r| lut.get(r) as i32).collect();
+    for k in 0..n {
+        let bit = 1usize << k;
+        // Safe split-free iteration: for every index with bit k set,
+        // subtract the partner with bit k clear.
+        for i in 0..rows {
+            if i & bit != 0 {
+                w[i] -= w[i ^ bit];
+            }
+        }
+    }
+    Polynomial::from_dense(n, &w)
+}
+
+/// Inverse of [`lut_to_poly`]: evaluate the polynomial at every Boolean
+/// point (the zeta transform over the subset lattice). Returns `None` if any
+/// evaluation is not 0/1 — i.e. the polynomial is not the multilinear
+/// extension of a Boolean function.
+pub fn poly_to_lut(poly: &Polynomial) -> Option<Lut> {
+    let n = poly.vars();
+    let rows = 1usize << n;
+    let mut v = vec![0i64; rows];
+    for t in poly.terms() {
+        v[t.mask as usize] = t.coeff as i64;
+    }
+    for k in 0..n {
+        let bit = 1usize << k;
+        for i in 0..rows {
+            if i & bit != 0 {
+                v[i] += v[i ^ bit];
+            }
+        }
+    }
+    let mut lut = Lut::zeros(n);
+    for (i, &val) in v.iter().enumerate() {
+        match val {
+            0 => {}
+            1 => lut.set(i as u64, true),
+            _ => return None,
+        }
+    }
+    Some(lut)
+}
+
+/// The DNF-expansion baseline (paper §III-B2, Figure 4's blue curve).
+///
+/// For every minterm `m` with `f(m)=1`, the product of literals
+/// `∏_{j: m_j=1} x_j · ∏_{j: m_j=0} (1 − x_j)` is expanded: each subset `T`
+/// of the zero-positions contributes `(−1)^{|T|}` to the monomial
+/// `ones(m) ∪ T`. Worst case `Σ_m 2^{zeros(m)} = O(2^{2L})` additions.
+pub fn lut_to_poly_dnf(lut: &Lut) -> Polynomial {
+    let n = lut.inputs();
+    let rows = lut.num_rows() as u64;
+    let full: u64 = rows - 1;
+    let mut dense = vec![0i32; rows as usize];
+    for m in 0..rows {
+        if !lut.get(m) {
+            continue;
+        }
+        let zeros = full & !m;
+        // enumerate all subsets T of `zeros` (including empty)
+        let mut t = zeros;
+        loop {
+            let sign = if t.count_ones().is_multiple_of(2) { 1 } else { -1 };
+            dense[(m | t) as usize] += sign;
+            if t == 0 {
+                break;
+            }
+            t = (t - 1) & zeros;
+        }
+    }
+    Polynomial::from_dense(n, &dense)
+}
+
+/// Closed-form polynomials for common wide functions (paper §V future work:
+/// "polynomial libraries for known functions"). These avoid the `O(2^L)`
+/// table entirely, enabling arbitrarily wide ANDs/ORs/XOR parities.
+pub mod known {
+    use super::*;
+
+    /// `AND(x_0..x_{n-1}) = ∏ x_j` — a single monomial, any width.
+    pub fn and(n: u8) -> Polynomial {
+        assert!(n <= 26);
+        Polynomial::monomial(n, (1u32 << n) - 1)
+    }
+
+    /// `OR = 1 − ∏ (1 − x_j)`: inclusion–exclusion, `2^n − 1` terms of
+    /// alternating sign (dense, provided for completeness/testing).
+    pub fn or(n: u8) -> Polynomial {
+        assert!(n <= 20, "OR polynomial is dense; keep n small");
+        let mut terms = Vec::with_capacity((1usize << n) - 1);
+        for mask in 1u32..1 << n {
+            let sign = if mask.count_ones() % 2 == 1 { 1 } else { -1 };
+            terms.push(Term { mask, coeff: sign });
+        }
+        Polynomial::from_terms(n, terms)
+    }
+
+    /// `XOR`: coefficient `(−2)^{|S|−1}` on every nonempty `S`.
+    pub fn xor(n: u8) -> Polynomial {
+        assert!(n <= 20, "XOR polynomial is dense; keep n small");
+        let mut terms = Vec::with_capacity((1usize << n) - 1);
+        for mask in 1u32..1 << n {
+            let k = mask.count_ones();
+            let coeff = if k == 1 {
+                1
+            } else {
+                // (-2)^(k-1)
+                let mag = 1i32 << (k - 1);
+                if k % 2 == 1 {
+                    mag
+                } else {
+                    -mag
+                }
+            };
+            terms.push(Term { mask, coeff });
+        }
+        Polynomial::from_terms(n, terms)
+    }
+
+    /// `NOT(x) = 1 − x`.
+    pub fn not() -> Polynomial {
+        Polynomial::from_terms(
+            1,
+            vec![Term { mask: 0, coeff: 1 }, Term { mask: 1, coeff: -1 }],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_roundtrip(lut: &Lut) {
+        let p = lut_to_poly(lut);
+        // every Boolean point evaluates exactly to the table value
+        for x in 0..lut.num_rows() as u32 {
+            assert_eq!(
+                p.eval_mask(x),
+                lut.get(x as u64) as i64,
+                "{lut:?} at x={x:b}"
+            );
+        }
+        assert_eq!(poly_to_lut(&p).as_ref(), Some(lut));
+    }
+
+    #[test]
+    fn roundtrip_standard_functions() {
+        for n in 1..=6u8 {
+            check_roundtrip(&Lut::and(n));
+            check_roundtrip(&Lut::or(n));
+            check_roundtrip(&Lut::xor(n));
+        }
+        check_roundtrip(&Lut::majority(3));
+        check_roundtrip(&Lut::majority(5));
+        check_roundtrip(&Lut::mux());
+        check_roundtrip(&Lut::zeros(4));
+        check_roundtrip(&Lut::ones(4));
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_3vars() {
+        // all 256 functions of 3 variables
+        for f in 0u64..256 {
+            let lut = Lut::from_bits(3, vec![f]);
+            check_roundtrip(&lut);
+        }
+    }
+
+    #[test]
+    fn dnf_equals_divide_and_conquer() {
+        for f in 0u64..256 {
+            let lut = Lut::from_bits(3, vec![f]);
+            assert_eq!(lut_to_poly_dnf(&lut), lut_to_poly(&lut), "f={f:08b}");
+        }
+        // spot-check larger, pseudo-random tables
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 4..=8u8 {
+            for _ in 0..5 {
+                let lut = Lut::random(n, &mut rng);
+                assert_eq!(lut_to_poly_dnf(&lut), lut_to_poly(&lut));
+            }
+        }
+    }
+
+    #[test]
+    fn known_and_matches_table() {
+        for n in 1..=6u8 {
+            assert_eq!(known::and(n), lut_to_poly(&Lut::and(n)));
+        }
+        // and also works far beyond table range
+        let wide = known::and(26);
+        assert_eq!(wide.num_terms(), 1);
+        assert_eq!(wide.degree(), 26);
+    }
+
+    #[test]
+    fn known_or_and_xor_match_tables() {
+        for n in 1..=6u8 {
+            assert_eq!(known::or(n), lut_to_poly(&Lut::or(n)), "or {n}");
+            assert_eq!(known::xor(n), lut_to_poly(&Lut::xor(n)), "xor {n}");
+        }
+    }
+
+    #[test]
+    fn known_not_matches() {
+        let not_lut = Lut::from_fn(1, |r| r == 0);
+        assert_eq!(known::not(), lut_to_poly(&not_lut));
+    }
+
+    #[test]
+    fn coefficients_are_bounded() {
+        // |w_S| ≤ 2^n for 0/1 functions (finite differences double at most)
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for _ in 0..10 {
+            let lut = Lut::random(8, &mut rng);
+            let p = lut_to_poly(&lut);
+            assert!(p.max_abs_coeff() <= 1 << 8);
+        }
+    }
+
+    #[test]
+    fn poly_to_lut_rejects_non_boolean() {
+        // p = 2·x0 evaluates to 2 at x0=1
+        let p = Polynomial::from_terms(1, vec![Term { mask: 1, coeff: 2 }]);
+        assert!(poly_to_lut(&p).is_none());
+    }
+
+    #[test]
+    fn xor_poly_has_full_density() {
+        // XOR's polynomial touches every nonempty subset: 2^n − 1 terms
+        let p = lut_to_poly(&Lut::xor(5));
+        assert_eq!(p.num_terms(), 31);
+        assert_eq!(p.coeff(0b11111), 16); // (−2)^4
+    }
+
+    #[test]
+    fn and_poly_is_single_term() {
+        let p = lut_to_poly(&Lut::and(7));
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.coeff(0x7f), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the Boolean-function core: Algorithm 1 is exact and
+//! agrees with the DNF method; polynomial algebra is consistent; Fourier
+//! identities hold.
+
+use c2nn_boolfn::{analysis, lut_to_poly, lut_to_poly_dnf, poly_to_lut, Lut, Polynomial, Term};
+use proptest::prelude::*;
+
+fn lut_strategy(max_vars: u8) -> impl Strategy<Value = Lut> {
+    (1u8..=max_vars, proptest::collection::vec(any::<u64>(), 1..=(1usize << max_vars) / 64 + 1))
+        .prop_map(|(n, words)| {
+            let need = ((1usize << n) + 63) / 64;
+            let mut w = words;
+            w.resize(need, 0);
+            Lut::from_bits(n, w)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Algorithm 1 round-trips exactly: the polynomial evaluates to the
+    /// table at every Boolean point, and the inverse transform recovers it.
+    #[test]
+    fn alg1_roundtrip(lut in lut_strategy(8)) {
+        let p = lut_to_poly(&lut);
+        for x in 0..lut.num_rows() as u32 {
+            prop_assert_eq!(p.eval_mask(x), lut.get(x as u64) as i64);
+        }
+        prop_assert_eq!(poly_to_lut(&p), Some(lut));
+    }
+
+    /// The D&C transform and the DNF baseline produce identical polynomials.
+    #[test]
+    fn alg1_equals_dnf(lut in lut_strategy(8)) {
+        prop_assert_eq!(lut_to_poly(&lut), lut_to_poly_dnf(&lut));
+    }
+
+    /// Coefficients are bounded by 2^n (finite differences of a 0/1 table).
+    #[test]
+    fn coefficients_bounded(lut in lut_strategy(9)) {
+        let p = lut_to_poly(&lut);
+        prop_assert!(p.max_abs_coeff() as i64 <= 1i64 << lut.inputs());
+        prop_assert!(p.degree() <= lut.inputs() as u32);
+    }
+
+    /// Polynomial product = pointwise product of functions.
+    #[test]
+    fn product_is_pointwise_and(a in lut_strategy(6), b_bits in any::<u64>()) {
+        let n = a.inputs();
+        let rows = a.num_rows();
+        let need = (rows + 63) / 64;
+        let b = Lut::from_bits(n, vec![b_bits; need]);
+        let pa = lut_to_poly(&a);
+        let pb = lut_to_poly(&b);
+        let prod = pa.mul(&pb);
+        for x in 0..rows as u32 {
+            prop_assert_eq!(prod.eval_mask(x), (a.get(x as u64) && b.get(x as u64)) as i64);
+        }
+    }
+
+    /// Sum of polynomials = pointwise sum of functions.
+    #[test]
+    fn sum_is_pointwise(a in lut_strategy(6), b_bits in any::<u64>()) {
+        let n = a.inputs();
+        let need = (a.num_rows() + 63) / 64;
+        let b = Lut::from_bits(n, vec![b_bits; need]);
+        let s = lut_to_poly(&a).add(&lut_to_poly(&b));
+        for x in 0..a.num_rows() as u32 {
+            prop_assert_eq!(s.eval_mask(x), a.get(x as u64) as i64 + b.get(x as u64) as i64);
+        }
+    }
+
+    /// Parseval: Fourier weights sum to 1 for every Boolean function.
+    #[test]
+    fn parseval(lut in lut_strategy(8)) {
+        let c = analysis::fourier_coeffs(&lut);
+        let sum: f64 = c.iter().map(|x| x * x).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "Parseval sum = {}", sum);
+    }
+
+    /// Spectral influence equals combinatorial influence for every variable.
+    #[test]
+    fn influences_agree(lut in lut_strategy(7)) {
+        let c = analysis::fourier_coeffs(&lut);
+        for j in 0..lut.inputs() {
+            let spec = analysis::spectral_influence(&c, j);
+            let comb = lut.influence(j);
+            prop_assert!((spec - comb).abs() < 1e-9, "var {}: {} vs {}", j, spec, comb);
+        }
+    }
+
+    /// Multilinear extension: eval_real on 0/1 points equals eval_mask.
+    #[test]
+    fn real_extension_consistent(lut in lut_strategy(6)) {
+        let p = lut_to_poly(&lut);
+        for x in 0..lut.num_rows() as u32 {
+            let point: Vec<f64> = (0..lut.inputs())
+                .map(|j| (x >> j & 1) as f64)
+                .collect();
+            prop_assert!((p.eval_real(&point) - p.eval_mask(x) as f64).abs() < 1e-9);
+        }
+    }
+
+    /// from_terms normalization: sorted, unique, no zeros — and stable.
+    #[test]
+    fn term_normalization(terms in proptest::collection::vec((0u32..64, -8i32..8), 0..20)) {
+        let p = Polynomial::from_terms(
+            6,
+            terms.iter().map(|&(mask, coeff)| Term { mask, coeff }).collect(),
+        );
+        let ts = p.terms();
+        for w in ts.windows(2) {
+            prop_assert!(w[0].mask < w[1].mask, "sorted unique");
+        }
+        prop_assert!(ts.iter().all(|t| t.coeff != 0));
+        // rebuilding from its own terms is the identity
+        let q = Polynomial::from_terms(6, ts.to_vec());
+        prop_assert_eq!(p, q);
+    }
+}

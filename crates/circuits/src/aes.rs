@@ -1,0 +1,412 @@
+//! AES-128 encryption core (iterative, one round per cycle) — the "AES"
+//! row of the paper's Table I.
+//!
+//! Interface (all signals active high, one clock):
+//! * `start` — pulse with `key` and `pt` valid; loads and begins;
+//! * `key[127:0]`, `pt[127:0]` — byte `i` of the FIPS-197 byte sequence in
+//!   bits `8i..8i+8` (LSB-first within the byte);
+//! * `ct[127:0]` — ciphertext, valid when `done`;
+//! * `busy`, `done`.
+//!
+//! Latency: 1 load cycle + 10 round cycles. S-boxes are synthesized from
+//! the real FIPS-197 table via Shannon mux trees; the key schedule runs in
+//! hardware alongside the rounds.
+
+use c2nn_netlist::{Net, Netlist, NetlistBuilder, WordOps};
+
+/// The FIPS-197 S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+type Byte = Vec<Net>; // 8 nets, LSB first
+
+fn sbox_byte(b: &mut NetlistBuilder, x: &Byte) -> Byte {
+    (0..8)
+        .map(|k| {
+            let mut bits = [0u64; 4];
+            for (i, &s) in SBOX.iter().enumerate() {
+                if s >> k & 1 == 1 {
+                    bits[i / 64] |= 1 << (i % 64);
+                }
+            }
+            b.synth_truth_table(x, &bits)
+        })
+        .collect()
+}
+
+/// GF(2^8) multiply by 2 (xtime).
+fn xtime(b: &mut NetlistBuilder, x: &Byte) -> Byte {
+    // (x << 1) ^ (x[7] ? 0x1b : 0)
+    let msb = x[7];
+    let mut out: Byte = Vec::with_capacity(8);
+    let zero = b.zero();
+    for k in 0..8 {
+        let shifted = if k == 0 { zero } else { x[k - 1] };
+        let bit = if 0x1bu8 >> k & 1 == 1 {
+            // shifted ^ msb
+            b.xor2(shifted, msb)
+        } else {
+            shifted
+        };
+        out.push(bit);
+    }
+    out
+}
+
+fn xor_bytes(b: &mut NetlistBuilder, xs: &[&Byte]) -> Byte {
+    (0..8)
+        .map(|k| {
+            let bits: Vec<Net> = xs.iter().map(|x| x[k]).collect();
+            b.xor_many(&bits)
+        })
+        .collect()
+}
+
+/// MixColumns on one column `[a0, a1, a2, a3]`.
+fn mix_column(b: &mut NetlistBuilder, col: &[Byte; 4]) -> [Byte; 4] {
+    let d: Vec<Byte> = col.iter().map(|a| xtime(b, a)).collect(); // 2·a_i
+    let t: Vec<Byte> = (0..4).map(|i| xor_bytes(b, &[&d[i], &col[i]])).collect(); // 3·a_i
+    [
+        xor_bytes(b, &[&d[0], &t[1], &col[2], &col[3]]),
+        xor_bytes(b, &[&col[0], &d[1], &t[2], &col[3]]),
+        xor_bytes(b, &[&col[0], &col[1], &d[2], &t[3]]),
+        xor_bytes(b, &[&t[0], &col[1], &col[2], &d[3]]),
+    ]
+}
+
+/// Build the AES-128 core netlist.
+pub fn aes128() -> Netlist {
+    let mut b = NetlistBuilder::new("aes128");
+    let clk = b.clock("clk");
+    let start = b.input("start");
+    let key_in: Vec<Net> = b.input_word("key", 128);
+    let pt_in: Vec<Net> = b.input_word("pt", 128);
+
+    // state registers (pre-allocated for feedback)
+    let state_q = b.fresh_word("state", 128);
+    let rkey_q = b.fresh_word("rkey", 128);
+    let round_q = b.fresh_word("round", 4);
+    let busy_q = b.fresh(Some("busy"));
+    let done_q = b.fresh(Some("done"));
+
+    let bytes = |w: &[Net]| -> Vec<Byte> {
+        (0..16).map(|i| w[8 * i..8 * i + 8].to_vec()).collect()
+    };
+    let st = bytes(&state_q);
+    let rk = bytes(&rkey_q);
+
+    // ---- round datapath ----
+    // SubBytes
+    let sub: Vec<Byte> = st.iter().map(|byte| sbox_byte(&mut b, byte)).collect();
+    // ShiftRows: byte index r + 4c (column-major); row r rotates left by r
+    let mut shifted: Vec<Byte> = vec![Vec::new(); 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            shifted[r + 4 * c] = sub[r + 4 * ((c + r) % 4)].clone();
+        }
+    }
+    // MixColumns
+    let mut mixed: Vec<Byte> = vec![Vec::new(); 16];
+    for c in 0..4 {
+        let col = [
+            shifted[4 * c].clone(),
+            shifted[4 * c + 1].clone(),
+            shifted[4 * c + 2].clone(),
+            shifted[4 * c + 3].clone(),
+        ];
+        let m = mix_column(&mut b, &col);
+        for r in 0..4 {
+            mixed[4 * c + r] = m[r].clone();
+        }
+    }
+    // last round (round 10) skips MixColumns
+    let is_last = b.eq_const(&round_q, 10);
+    let after_rows: Vec<Byte> = (0..16)
+        .map(|i| {
+            (0..8)
+                .map(|k| b.mux(is_last, mixed[i][k], shifted[i][k]))
+                .collect()
+        })
+        .collect();
+
+    // ---- key schedule for this round ----
+    // words w0..w3, word i = bytes 4i..4i+3 (byte 0 of a word is first)
+    let rcon_tables: Vec<u64> = {
+        // rcon value per round 1..=10 indexed by 4-bit round
+        let rc = [0x01u8, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        (0..8)
+            .map(|k| {
+                let mut bits = 0u64;
+                for round in 1..=10usize {
+                    if rc[round - 1] >> k & 1 == 1 {
+                        bits |= 1 << round;
+                    }
+                }
+                bits
+            })
+            .collect()
+    };
+    let rcon: Byte = rcon_tables
+        .iter()
+        .map(|&bits| b.synth_truth_table(&round_q, &[bits]))
+        .collect();
+    // RotWord(SubWord(w3)): w3 bytes are rk[12..16]
+    let subw: Vec<Byte> = (12..16).map(|i| sbox_byte(&mut b, &rk[i])).collect();
+    let rot = [&subw[1], &subw[2], &subw[3], &subw[0]];
+    let mut nk: Vec<Byte> = Vec::with_capacity(16);
+    for i in 0..4 {
+        // w0' byte i = w0 byte i ^ rot[i] ^ (i == 0 ? rcon : 0)
+        let mut parts: Vec<&Byte> = vec![&rk[i], rot[i]];
+        if i == 0 {
+            parts.push(&rcon);
+        }
+        nk.push(xor_bytes(&mut b, &parts));
+    }
+    for w in 1..4 {
+        for i in 0..4 {
+            let prev = nk[4 * (w - 1) + i].clone();
+            let cur = rk[4 * w + i].clone();
+            nk.push(xor_bytes(&mut b, &[&prev, &cur]));
+        }
+    }
+    let next_key: Vec<Net> = nk.iter().flat_map(|by| by.iter().copied()).collect();
+
+    // AddRoundKey with the *next* round key
+    let round_out: Vec<Net> = {
+        let flat: Vec<Net> = after_rows.iter().flat_map(|by| by.iter().copied()).collect();
+        b.xor_word(&flat, &next_key)
+    };
+
+    // ---- control ----
+    let not_busy = b.not(busy_q);
+    let load = b.and2(start, not_busy);
+    // initial AddRoundKey at load
+    let initial = b.xor_word(&pt_in, &key_in);
+
+    // state_next = load ? initial : busy ? round_out : state
+    let hold_or_round = b.mux_word(busy_q, &state_q, &round_out);
+    let state_next = b.mux_word(load, &hold_or_round, &initial);
+    let rkey_hold = b.mux_word(busy_q, &rkey_q, &next_key);
+    let rkey_next = b.mux_word(load, &rkey_hold, &key_in);
+
+    let round_inc = b.inc_word(&round_q);
+    let round_hold = b.mux_word(busy_q, &round_q, &round_inc);
+    let one_word = b.const_word(1, 4);
+    let round_next = b.mux_word(load, &round_hold, &one_word);
+
+    // busy: set on load, cleared after round 10
+    let finishing = b.and2(busy_q, is_last);
+    let not_finishing = b.not(finishing);
+    let busy_keep = b.and2(busy_q, not_finishing);
+    let busy_next = b.or2(load, busy_keep);
+    // done: set when finishing, cleared on load
+    let not_load = b.not(load);
+    let done_keep = b.or2(done_q, finishing);
+    let done_next = b.and2(done_keep, not_load);
+
+    b.connect_ff_word(&state_next, &state_q, clk, None, None, 0, 0);
+    b.connect_ff_word(&rkey_next, &rkey_q, clk, None, None, 0, 0);
+    b.connect_ff_word(&round_next, &round_q, clk, None, None, 0, 0);
+    b.push_ff_raw(busy_next, busy_q, clk, None, None, false, false);
+    b.push_ff_raw(done_next, done_q, clk, None, None, false, false);
+
+    b.output_word(&state_q, "ct");
+    b.output(busy_q, "busy");
+    b.output(done_q, "done");
+    b.finish().unwrap()
+}
+
+/// Software AES-128 reference (FIPS-197), used by the tests.
+pub mod reference {
+    use super::SBOX;
+
+    fn xtime(a: u8) -> u8 {
+        (a << 1) ^ if a & 0x80 != 0 { 0x1b } else { 0 }
+    }
+
+    /// Encrypt one block.
+    pub fn encrypt(key: [u8; 16], pt: [u8; 16]) -> [u8; 16] {
+        let mut rk = key;
+        let mut s = pt;
+        for (i, b) in s.iter_mut().enumerate() {
+            *b ^= rk[i];
+        }
+        let rc = [0x01u8, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        for round in 1..=10 {
+            // SubBytes
+            for b in s.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            // ShiftRows (byte r + 4c)
+            let t = s;
+            for r in 0..4 {
+                for c in 0..4 {
+                    s[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+                }
+            }
+            // MixColumns except last round
+            if round < 10 {
+                for c in 0..4 {
+                    let a: [u8; 4] = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+                    s[4 * c] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
+                    s[4 * c + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
+                    s[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
+                    s[4 * c + 3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
+                }
+            }
+            // key schedule
+            let mut w: [[u8; 4]; 4] = [
+                [rk[0], rk[1], rk[2], rk[3]],
+                [rk[4], rk[5], rk[6], rk[7]],
+                [rk[8], rk[9], rk[10], rk[11]],
+                [rk[12], rk[13], rk[14], rk[15]],
+            ];
+            let rot = [w[3][1], w[3][2], w[3][3], w[3][0]];
+            for (i, &r) in rot.iter().enumerate() {
+                w[0][i] ^= SBOX[r as usize] ^ if i == 0 { rc[round - 1] } else { 0 };
+            }
+            for k in 1..4 {
+                let prev = w[k - 1];
+                for (i, p) in prev.iter().enumerate() {
+                    w[k][i] ^= p;
+                }
+            }
+            for k in 0..4 {
+                for i in 0..4 {
+                    rk[4 * k + i] = w[k][i];
+                }
+            }
+            // AddRoundKey
+            for (i, b) in s.iter_mut().enumerate() {
+                *b ^= rk[i];
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_refsim::CycleSim;
+
+    fn pack_bytes(bytes: &[u8]) -> Vec<bool> {
+        bytes
+            .iter()
+            .flat_map(|&by| (0..8).map(move |k| by >> k & 1 == 1))
+            .collect()
+    }
+
+    fn unpack_bytes(bits: &[bool]) -> Vec<u8> {
+        bits.chunks(8)
+            .map(|c| c.iter().enumerate().map(|(k, &b)| (b as u8) << k).sum())
+            .collect()
+    }
+
+    #[test]
+    fn reference_matches_fips_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let want: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(reference::encrypt(key, pt), want);
+    }
+
+    #[test]
+    fn hardware_encrypts_fips_vector() {
+        let nl = aes128();
+        assert!(nl.gate_count() > 8_000, "AES too small: {}", nl.gate_count());
+        let mut sim = CycleSim::new(&nl).unwrap();
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        // inputs: start ‖ key ‖ pt
+        let mut stim = vec![true];
+        stim.extend(pack_bytes(&key));
+        stim.extend(pack_bytes(&pt));
+        let idle: Vec<bool> = {
+            let mut v = vec![false];
+            v.extend(vec![false; 256]);
+            v
+        };
+        sim.step(&stim);
+        let mut out = Vec::new();
+        for _ in 0..12 {
+            out = sim.step(&idle);
+            if out[129] {
+                break; // done
+            }
+        }
+        assert!(out[129], "AES core never signalled done");
+        let ct = unpack_bytes(&out[..128]);
+        assert_eq!(
+            ct,
+            reference::encrypt(key, pt).to_vec(),
+            "hardware ciphertext mismatch"
+        );
+    }
+
+    #[test]
+    fn hardware_random_blocks_match_reference() {
+        let nl = aes128();
+        let mut sim = CycleSim::new(&nl).unwrap();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..3 {
+            let key: Vec<u8> = (0..16).map(|_| rng() as u8).collect();
+            let pt: Vec<u8> = (0..16).map(|_| rng() as u8).collect();
+            let mut stim = vec![true];
+            stim.extend(pack_bytes(&key));
+            stim.extend(pack_bytes(&pt));
+            let mut idle = vec![false];
+            idle.extend(vec![false; 256]);
+            sim.step(&stim);
+            let mut out = Vec::new();
+            for _ in 0..12 {
+                out = sim.step(&idle);
+                if out[129] {
+                    break;
+                }
+            }
+            let want =
+                reference::encrypt(key.clone().try_into().unwrap(), pt.clone().try_into().unwrap());
+            assert_eq!(unpack_bytes(&out[..128]), want.to_vec(), "trial {trial}");
+        }
+    }
+}

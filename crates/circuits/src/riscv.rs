@@ -1,0 +1,443 @@
+//! RV32I decode/execute interface unit — the "RISC-V interface" row of
+//! Table I (the paper uses "an ad-hoc processor designed to interface with
+//! RISC-V core").
+//!
+//! A single-cycle datapath around an internal 32×32 register file:
+//! instructions arrive on `instr[31:0]` with `ivalid`; the unit decodes,
+//! reads the register file, executes the ALU/branch/load-store address
+//! logic, and writes back. Supported: LUI, AUIPC, all OP-IMM and OP
+//! arithmetic (ADD/SUB/SLL/SLT/SLTU/XOR/SRL/SRA/OR/AND), branches
+//! (outputs `branch_taken` and `branch_target`), and load/store effective
+//! addresses (`mem_addr`, `mem_we`, `mem_wdata`; load data returns on
+//! `mem_rdata` the same cycle).
+//!
+//! `pc` is maintained internally (sequential, branch-redirected).
+
+use c2nn_netlist::{Net, Netlist, NetlistBuilder, WordOps};
+
+type Word = Vec<Net>;
+
+/// Arithmetic right shift by variable amount (sign fill).
+fn sra_var(b: &mut NetlistBuilder, a: &[Net], sh: &[Net]) -> Word {
+    let sign = a[31];
+    let mut cur = a.to_vec();
+    for (stage, &s) in sh.iter().enumerate() {
+        let k = 1usize << stage;
+        let mut shifted = vec![sign; cur.len()];
+        let n = cur.len().saturating_sub(k);
+        shifted[..n].copy_from_slice(&cur[k..k + n]);
+        cur = b.mux_word(s, &cur, &shifted);
+    }
+    cur
+}
+
+/// Build the RV32I interface unit.
+pub fn riscv_interface() -> Netlist {
+    let mut b = NetlistBuilder::new("rv32i_iface");
+    let clk = b.clock("clk");
+    let ivalid = b.input("ivalid");
+    let instr: Word = b.input_word("instr", 32);
+    let mem_rdata: Word = b.input_word("mem_rdata", 32);
+
+    // register file: x0..x31 (x0 reads as zero)
+    let regs: Vec<Word> = (0..32).map(|i| b.fresh_word(&format!("x{i}"), 32)).collect();
+    let pc_q = b.fresh_word("pc", 32);
+
+    // ---- decode ----
+    let opcode = instr[0..7].to_vec();
+    let rd = instr[7..12].to_vec();
+    let funct3 = instr[12..15].to_vec();
+    let rs1 = instr[15..20].to_vec();
+    let rs2 = instr[20..25].to_vec();
+    let funct7_5 = instr[30];
+
+    let op_lui = b.eq_const(&opcode, 0b0110111);
+    let op_auipc = b.eq_const(&opcode, 0b0010111);
+    let op_imm = b.eq_const(&opcode, 0b0010011);
+    let op_reg = b.eq_const(&opcode, 0b0110011);
+    let op_branch = b.eq_const(&opcode, 0b1100011);
+    let op_load = b.eq_const(&opcode, 0b0000011);
+    let op_store = b.eq_const(&opcode, 0b0100011);
+    let op_jal = b.eq_const(&opcode, 0b1101111);
+    let op_jalr = b.eq_const(&opcode, 0b1100111);
+
+    // ---- immediates ----
+    let zero = b.zero();
+    let sign = instr[31];
+    // I-type: instr[31:20] sign-extended
+    let imm_i: Word = {
+        let mut v: Word = instr[20..32].to_vec();
+        v.extend(std::iter::repeat_n(sign, 20));
+        v
+    };
+    // S-type: [31:25]+[11:7]
+    let imm_s: Word = {
+        let mut v: Word = instr[7..12].to_vec();
+        v.extend_from_slice(&instr[25..32]);
+        v.extend(std::iter::repeat_n(sign, 20));
+        v
+    };
+    // B-type
+    let imm_b: Word = {
+        let mut v: Word = vec![zero];
+        v.extend_from_slice(&instr[8..12]);
+        v.extend_from_slice(&instr[25..31]);
+        v.push(instr[7]);
+        v.extend(std::iter::repeat_n(sign, 20));
+        v
+    };
+    // U-type
+    let imm_u: Word = {
+        let mut v: Word = vec![zero; 12];
+        v.extend_from_slice(&instr[12..32]);
+        v
+    };
+    // J-type
+    let imm_j: Word = {
+        let mut v: Word = vec![zero];
+        v.extend_from_slice(&instr[21..31]);
+        v.push(instr[20]);
+        v.extend_from_slice(&instr[12..20]);
+        v.extend(std::iter::repeat_n(sign, 12));
+        v
+    };
+
+    // ---- register read (one-hot muxes over 32 registers) ----
+    let rs1_sel: Vec<Net> = (0..32).map(|i| b.eq_const(&rs1, i as u64)).collect();
+    let rs2_sel: Vec<Net> = (0..32).map(|i| b.eq_const(&rs2, i as u64)).collect();
+    let rs1_raw = b.onehot_mux_word(&rs1_sel, &regs);
+    let rs2_raw = b.onehot_mux_word(&rs2_sel, &regs);
+    // x0 is architecturally zero
+    let rs1_nz = {
+        let nz = b.reduce_or(&rs1);
+        let zeros = b.const_word(0, 32);
+        b.mux_word(nz, &zeros, &rs1_raw)
+    };
+    let rs2_nz = {
+        let nz = b.reduce_or(&rs2);
+        let zeros = b.const_word(0, 32);
+        b.mux_word(nz, &zeros, &rs2_raw)
+    };
+
+    // ---- ALU ----
+    let use_imm = {
+        let t = b.or2(op_imm, op_load);
+        let t2 = b.or2(t, op_jalr);
+        b.or2(t2, op_store)
+    };
+    let imm_or_s = {
+        // stores use S-immediate, everything else here uses I-immediate
+        b.mux_word(op_store, &imm_i, &imm_s)
+    };
+    let opb = b.mux_word(use_imm, &rs2_nz, &imm_or_s);
+    let opa = rs1_nz.clone();
+
+    let sum = b.add_word(&opa, &opb);
+    let diff = b.sub_word(&opa, &rs2_nz); // register compare path
+    let diff_imm = b.sub_word(&opa, &opb);
+    let _ = diff_imm;
+    let and_w = b.and_word(&opa, &opb);
+    let or_w = b.or_word(&opa, &opb);
+    let xor_w = b.xor_word(&opa, &opb);
+    let shamt = opb[0..5].to_vec();
+    let sll = b.shl_var(&opa, &shamt);
+    let srl = b.shr_var(&opa, &shamt);
+    let sra = sra_var(&mut b, &opa, &shamt);
+    // signed/unsigned less-than
+    let ltu = b.lt_word(&opa, &opb);
+    let lt_signed = {
+        // a <s b  =  (a.sign != b.sign) ? a.sign : a <u b
+        let sa = opa[31];
+        let sb = opb[31];
+        let diff_sign = b.xor2(sa, sb);
+        b.mux(diff_sign, ltu, sa)
+    };
+    let slt_w = {
+        let mut w = vec![lt_signed];
+        w.extend(vec![zero; 31]);
+        w
+    };
+    let sltu_w = {
+        let mut w = vec![ltu];
+        w.extend(vec![zero; 31]);
+        w
+    };
+    // sub only in OP with funct7[5]
+    let do_sub = b.and2(op_reg, funct7_5);
+    let diff_reg = diff.clone();
+    let addsub = b.mux_word(do_sub, &sum, &diff_reg);
+    let srl_or_sra = b.mux_word(funct7_5, &srl, &sra);
+
+    // funct3 select
+    let f3: Vec<Net> = (0..8).map(|k| b.eq_const(&funct3, k)).collect();
+    let alu_out = {
+        let mut acc = b.const_word(0, 32);
+        let choices: Vec<(Net, &Word)> = vec![
+            (f3[0], &addsub),
+            (f3[1], &sll),
+            (f3[2], &slt_w),
+            (f3[3], &sltu_w),
+            (f3[4], &xor_w),
+            (f3[5], &srl_or_sra),
+            (f3[6], &or_w),
+            (f3[7], &and_w),
+        ];
+        for (sel, w) in choices {
+            let gated: Word = w.iter().map(|&x| b.and2(sel, x)).collect();
+            acc = b.or_word(&acc, &gated);
+        }
+        acc
+    };
+
+    // ---- branches ----
+    let eq = b.eq_word(&rs1_nz, &rs2_nz);
+    let ne = b.not(eq);
+    let blt = {
+        let sa = rs1_nz[31];
+        let sb = rs2_nz[31];
+        let ds = b.xor2(sa, sb);
+        let ltu2 = b.lt_word(&rs1_nz, &rs2_nz);
+        b.mux(ds, ltu2, sa)
+    };
+    let bge = b.not(blt);
+    let bltu = b.lt_word(&rs1_nz, &rs2_nz);
+    let bgeu = b.not(bltu);
+    let br_cond = {
+        let mut acc = zero;
+        for (k, c) in [(0, eq), (1, ne), (4, blt), (5, bge), (6, bltu), (7, bgeu)] {
+            let sel = b.eq_const(&funct3, k);
+            let t = b.and2(sel, c);
+            acc = b.or2(acc, t);
+        }
+        acc
+    };
+    let branch_taken = {
+        let bt = b.and2(op_branch, br_cond);
+        let j = b.or2(op_jal, op_jalr);
+        let t = b.or2(bt, j);
+        b.and2(t, ivalid)
+    };
+    let branch_target = {
+        let pc_b = b.add_word(&pc_q, &imm_b);
+        let pc_j = b.add_word(&pc_q, &imm_j);
+        let jalr_t = {
+            let t = b.add_word(&rs1_nz, &imm_i);
+            // clear bit 0 per spec
+            let mut t2 = t;
+            t2[0] = zero;
+            t2
+        };
+        let bj = b.mux_word(op_jal, &pc_b, &pc_j);
+        b.mux_word(op_jalr, &bj, &jalr_t)
+    };
+
+    // ---- write-back value ----
+    let four = b.const_word(4, 32);
+    let pc4 = b.add_word(&pc_q, &four);
+    let auipc_v = b.add_word(&pc_q, &imm_u);
+    let wb = {
+        let mut v = alu_out.clone();
+        v = b.mux_word(op_lui, &v, &imm_u);
+        v = b.mux_word(op_auipc, &v, &auipc_v);
+        v = b.mux_word(op_load, &v, &mem_rdata);
+        let isj = b.or2(op_jal, op_jalr);
+        v = b.mux_word(isj, &v, &pc4);
+        v
+    };
+    let writes_rd = {
+        let t1 = b.or_many(&[op_lui, op_auipc, op_imm, op_reg, op_load, op_jal, op_jalr]);
+        let rd_nz = b.reduce_or(&rd);
+        let t2 = b.and2(t1, rd_nz);
+        b.and2(t2, ivalid)
+    };
+
+    // ---- register file write ----
+    for (i, reg) in regs.iter().enumerate() {
+        let here = b.eq_const(&rd, i as u64);
+        let we = b.and2(writes_rd, here);
+        let next = b.mux_word(we, reg, &wb);
+        b.connect_ff_word(&next, reg, clk, None, None, 0, 0);
+    }
+
+    // ---- pc update ----
+    let pc_next = {
+        let seq = b.mux_word(ivalid, &pc_q, &pc4);
+        b.mux_word(branch_taken, &seq, &branch_target)
+    };
+    b.connect_ff_word(&pc_next, &pc_q, clk, None, None, 0, 0);
+
+    // ---- memory port ----
+    let ea = sum.clone(); // rs1 + imm (I for loads, S for stores via opb mux)
+    let mem_we = b.and2(op_store, ivalid);
+    let mem_re = b.and2(op_load, ivalid);
+    b.output(mem_re, "mem_re");
+    b.output(mem_we, "mem_we");
+    b.output_word(&ea, "mem_addr");
+    b.output_word(&rs2_nz, "mem_wdata");
+    b.output(branch_taken, "branch_taken");
+    b.output_word(&branch_target, "branch_target");
+    b.output_word(&pc_q, "pc");
+    b.output_word(&wb, "wb_value");
+    b.finish().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_refsim::CycleSim;
+
+    struct Rv {
+        sim: CycleSim,
+        out: Vec<bool>,
+    }
+
+    // output layout offsets
+    const MEM_ADDR: usize = 2;
+    const BR_TAKEN: usize = 66;
+    const PC: usize = 99;
+    const WB: usize = 131;
+
+    impl Rv {
+        fn new() -> Self {
+            let nl = riscv_interface();
+            assert!(nl.gate_count() > 5_000, "rv32i gates: {}", nl.gate_count());
+            Rv {
+                sim: CycleSim::new(&nl).unwrap(),
+                out: Vec::new(),
+            }
+        }
+
+        fn exec(&mut self, instr: u32) {
+            self.exec_with_mem(instr, 0)
+        }
+
+        fn exec_with_mem(&mut self, instr: u32, rdata: u32) {
+            let mut inp = vec![true];
+            inp.extend((0..32).map(|i| instr >> i & 1 == 1));
+            inp.extend((0..32).map(|i| rdata >> i & 1 == 1));
+            self.out = self.sim.step(&inp);
+        }
+
+        fn word(&self, base: usize) -> u32 {
+            (0..32).map(|i| (self.out[base + i] as u32) << i).sum()
+        }
+    }
+
+    // instruction encoders
+    fn addi(rd: u32, rs1: u32, imm: i32) -> u32 {
+        (imm as u32) << 20 | rs1 << 15 | rd << 7 | 0b0010011
+    }
+    fn op(rd: u32, rs1: u32, rs2: u32, f3: u32, f7: u32) -> u32 {
+        f7 << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 | rd << 7 | 0b0110011
+    }
+    fn lui(rd: u32, imm20: u32) -> u32 {
+        imm20 << 12 | rd << 7 | 0b0110111
+    }
+    fn beq(rs1: u32, rs2: u32, off: i32) -> u32 {
+        let o = off as u32;
+        (o >> 12 & 1) << 31
+            | (o >> 5 & 0x3f) << 25
+            | rs2 << 20
+            | rs1 << 15
+            | (o >> 1 & 0xf) << 8
+            | (o >> 11 & 1) << 7
+            | 0b1100011
+    }
+    fn lw(rd: u32, rs1: u32, imm: i32) -> u32 {
+        (imm as u32 & 0xfff) << 20 | rs1 << 15 | 0b010 << 12 | rd << 7 | 0b0000011
+    }
+    fn sw(rs2: u32, rs1: u32, imm: i32) -> u32 {
+        let i = imm as u32 & 0xfff;
+        (i >> 5) << 25 | rs2 << 20 | rs1 << 15 | 0b010 << 12 | (i & 0x1f) << 7 | 0b0100011
+    }
+
+    #[test]
+    fn arithmetic_sequence() {
+        let mut rv = Rv::new();
+        rv.exec(addi(1, 0, 7)); // x1 = 7
+        assert_eq!(rv.word(WB), 7);
+        rv.exec(addi(2, 1, 5)); // x2 = x1 + 5 = 12
+        assert_eq!(rv.word(WB), 12);
+        rv.exec(op(3, 2, 1, 0b000, 0b0100000)); // x3 = x2 - x1 = 5
+        assert_eq!(rv.word(WB), 5);
+        rv.exec(op(4, 2, 1, 0b111, 0)); // x4 = x2 & x1 = 4
+        assert_eq!(rv.word(WB), 4);
+        rv.exec(op(5, 2, 1, 0b100, 0)); // x5 = x2 ^ x1 = 11
+        assert_eq!(rv.word(WB), 11);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let mut rv = Rv::new();
+        rv.exec(addi(1, 0, -3)); // x1 = -3
+        assert_eq!(rv.word(WB), (-3i32) as u32);
+        rv.exec(addi(2, 0, 4)); // x2 = 4
+        rv.exec(op(3, 1, 2, 0b101, 0b0100000)); // x3 = x1 >>> 4 (sra)
+        assert_eq!(rv.word(WB), ((-3i32) >> 4) as u32);
+        rv.exec(op(4, 2, 1, 0b010, 0)); // slt: 4 < -3 ? 0
+        assert_eq!(rv.word(WB), 0);
+        rv.exec(op(5, 1, 2, 0b010, 0)); // slt: -3 < 4 ? 1
+        assert_eq!(rv.word(WB), 1);
+        rv.exec(op(6, 1, 2, 0b011, 0)); // sltu: 0xfffffffd < 4 ? 0
+        assert_eq!(rv.word(WB), 0);
+        rv.exec(op(7, 2, 1, 0b001, 0)); // sll: 4 << (x1 & 31) = 4 << 29
+        assert_eq!(rv.word(WB), 4u32.wrapping_shl(29));
+    }
+
+    #[test]
+    fn lui_and_pc_advance() {
+        let mut rv = Rv::new();
+        assert_eq!(rv.sim.cycles(), 0);
+        rv.exec(lui(1, 0xabcde));
+        assert_eq!(rv.word(WB), 0xabcde000);
+        let pc0 = rv.word(PC);
+        rv.exec(addi(0, 0, 0)); // nop
+        assert_eq!(rv.word(PC), pc0 + 4);
+    }
+
+    #[test]
+    fn branch_redirects_pc() {
+        let mut rv = Rv::new();
+        rv.exec(addi(1, 0, 9));
+        rv.exec(addi(2, 0, 9));
+        let pc_before = rv.word(PC) + 4; // pc of the branch after this fetch
+        rv.exec(beq(1, 2, 16));
+        assert!(rv.out[BR_TAKEN], "beq of equal values must take");
+        // branch target = pc + 16
+        let target = rv.word(BR_TAKEN + 1);
+        assert_eq!(target, pc_before + 16);
+        // next pc reflects the redirect (the nop executes *at* the target)
+        rv.exec(addi(0, 0, 0));
+        assert_eq!(rv.word(PC), target);
+        // not-taken case
+        rv.exec(addi(2, 0, 1));
+        rv.exec(beq(1, 2, 16));
+        assert!(!rv.out[BR_TAKEN]);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let mut rv = Rv::new();
+        rv.exec(addi(1, 0, 0x40)); // base
+        rv.exec(sw(1, 1, 8)); // store x1 at x1+8
+        assert!(rv.out[1], "mem_we");
+        assert_eq!(rv.word(MEM_ADDR), 0x48);
+        let wdata = rv.word(MEM_ADDR + 32);
+        assert_eq!(wdata, 0x40);
+        rv.exec_with_mem(lw(3, 1, 8), 0xcafe_f00d);
+        assert!(rv.out[0], "mem_re");
+        assert_eq!(rv.word(MEM_ADDR), 0x48);
+        assert_eq!(rv.word(WB), 0xcafe_f00d);
+        // and x3 really holds it
+        rv.exec(op(4, 3, 0, 0b110, 0)); // or x4 = x3 | x0
+        assert_eq!(rv.word(WB), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut rv = Rv::new();
+        rv.exec(addi(0, 0, 123)); // write to x0 discarded
+        rv.exec(op(1, 0, 0, 0b110, 0)); // x1 = x0 | x0
+        assert_eq!(rv.word(WB), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The Table I benchmark registry: one entry per circuit the paper
+//! evaluates, with sizing knobs for the harness.
+
+use c2nn_netlist::Netlist;
+
+/// A named benchmark circuit.
+pub struct Benchmark {
+    /// Table I row name.
+    pub name: &'static str,
+    /// Short description for reports.
+    pub description: &'static str,
+    /// Build the netlist.
+    pub build: fn() -> Netlist,
+}
+
+/// The six circuits of the paper's Table I, in row order.
+pub fn table1_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "AES",
+            description: "AES-128 encryption core, 1 round/cycle, hardware key schedule",
+            build: crate::aes::aes128,
+        },
+        Benchmark {
+            name: "SHA",
+            description: "SHA-256 compression core, 1 round/cycle, 16-word schedule ring",
+            build: crate::sha::sha256,
+        },
+        Benchmark {
+            name: "SPI",
+            description: "SPI mode-0 master with transfer counter (Verilog frontend)",
+            build: crate::spi::spi,
+        },
+        Benchmark {
+            name: "UART",
+            description: "UART with TX/RX FIFOs, oversampled RX (Verilog frontend)",
+            build: crate::uart::uart,
+        },
+        Benchmark {
+            name: "DMA",
+            description: "64-channel round-robin memory-to-memory DMA engine",
+            build: || crate::dma::dma(64),
+        },
+        Benchmark {
+            name: "RISC-V interface",
+            description: "RV32I single-cycle decode/execute unit with register file",
+            build: crate::riscv::riscv_interface,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for bench in table1_suite() {
+            let nl = (bench.build)();
+            nl.validate().unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+            assert!(
+                nl.gate_count() > 100,
+                "{} suspiciously small: {}",
+                bench.name,
+                nl.gate_count()
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_are_ordered_like_the_paper() {
+        // Table I ordering: DMA largest; SPI/UART smallest group
+        let sizes: std::collections::HashMap<&str, usize> = table1_suite()
+            .iter()
+            .map(|b| (b.name, (b.build)().gate_count()))
+            .collect();
+        assert!(sizes["DMA"] > sizes["AES"], "DMA should be the largest");
+        assert!(sizes["AES"] > sizes["UART"]);
+        assert!(sizes["AES"] > sizes["SPI"]);
+        assert!(sizes["SHA"] > sizes["UART"]);
+    }
+}

@@ -1,0 +1,595 @@
+//! The circuit → neural-network compiler (the paper's contributions 1–3).
+//!
+//! Pipeline: sequential netlist → clock unification + flip-flop cut
+//! (`c2nn-netlist::seq`) → LUT mapping (`c2nn-lutmap`) → one multilinear
+//! polynomial per LUT (**Algorithm 1**, `c2nn-boolfn`) → two NN layers per
+//! computation-graph level (Fig. 2) → layer merging that halves the depth
+//! (Fig. 5) → [`CompiledNn`] of sparse integer layers.
+
+use crate::layer::{Activation2, NnLayer};
+use c2nn_boolfn::lut_to_poly;
+use c2nn_lutmap::{map_netlist, LutGraph, LutNode, MapConfig, MapError, NodeFunc};
+use c2nn_netlist::{prepare, Netlist, SeqError};
+use c2nn_tensor::{Csr, Scalar};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compiler options.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Maximum LUT inputs — the paper's `L` hyperparameter.
+    pub lut_size: usize,
+    /// Apply the Fig. 5 depth-halving merge (on by default; off only for
+    /// the ablation).
+    pub merge_layers: bool,
+    /// Cut candidates kept per net in the mapper.
+    pub cuts_per_net: usize,
+    /// Paper §V known-function shortcut: AND/OR/NAND/NOR gates wider than
+    /// `L` become single neurons instead of LUT trees.
+    pub wide_gates: bool,
+}
+
+impl CompileOptions {
+    pub fn with_l(l: usize) -> Self {
+        CompileOptions {
+            lut_size: l,
+            merge_layers: true,
+            cuts_per_net: 8,
+            wide_gates: false,
+        }
+    }
+
+    /// Enable the §V known-function shortcut.
+    pub fn with_wide_gates(mut self) -> Self {
+        self.wide_gates = true;
+        self
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self::with_l(7)
+    }
+}
+
+/// Compiler errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    Seq(String),
+    Map(String),
+    /// A merged coefficient exceeded what the target scalar represents
+    /// exactly (f32 is exact only to ±2^24).
+    CoefficientOverflow { value: i64, limit: i64 },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Seq(m) | CompileError::Map(m) => write!(f, "{m}"),
+            CompileError::CoefficientOverflow { value, limit } => write!(
+                f,
+                "merged weight {value} exceeds the exact range ±{limit} of the target dtype"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<SeqError> for CompileError {
+    fn from(e: SeqError) -> Self {
+        CompileError::Seq(e.to_string())
+    }
+}
+
+impl From<MapError> for CompileError {
+    fn from(e: MapError) -> Self {
+        CompileError::Map(e.to_string())
+    }
+}
+
+/// A compiled neural network, computationally equivalent to the source
+/// circuit. Layer `i` feeds layer `i+1`; the input vector is
+/// `[primary inputs ‖ state]` and the output vector `[primary outputs ‖
+/// next state]` (after the paper's flip-flop cut).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompiledNn<T> {
+    pub name: String,
+    pub layers: Vec<NnLayer<T>>,
+    pub num_primary_inputs: usize,
+    pub num_primary_outputs: usize,
+    /// Power-on flip-flop values (empty for combinational circuits).
+    pub state_init: Vec<bool>,
+    /// Gate count of the source circuit (throughput accounting).
+    pub gate_count: usize,
+    /// The `L` used for compilation.
+    pub lut_size: usize,
+}
+
+impl<T: Scalar> CompiledNn<T> {
+    /// Number of state bits.
+    pub fn state_bits(&self) -> usize {
+        self.state_init.len()
+    }
+
+    /// Total input width of the first layer (primary + state).
+    pub fn in_width(&self) -> usize {
+        self.layers
+            .first()
+            .map(|l| l.in_width())
+            .unwrap_or(self.num_primary_inputs + self.state_bits())
+    }
+
+    /// Total output width of the last layer (primary + state).
+    pub fn out_width(&self) -> usize {
+        self.layers
+            .last()
+            .map(|l| l.out_width())
+            .unwrap_or(self.num_primary_outputs + self.state_bits())
+    }
+
+    /// Total nonzero connections (the paper's "Neurons' connections").
+    pub fn connections(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.nnz()).sum()
+    }
+
+    /// Serialized-model byte estimate (the paper's "Memory (MB)").
+    pub fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.memory_bytes()).sum()
+    }
+
+    /// Mean sparsity across layers (the paper's "Mean Sparsity").
+    pub fn mean_sparsity(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 1.0;
+        }
+        self.layers.iter().map(|l| l.weights.sparsity()).sum::<f64>() / self.layers.len() as f64
+    }
+
+    /// Number of layers (the paper's "Layers" column).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Compile a netlist into a network with `f32` weights — the configuration
+/// the paper ships (PyTorch sparse kernels are float-only, §III-E).
+pub fn compile(nl: &Netlist, opts: CompileOptions) -> Result<CompiledNn<f32>, CompileError> {
+    compile_as::<f32>(nl, opts)
+}
+
+/// Compile with an explicit scalar type (`i32`/`i64` give the paper's
+/// proposed integer kernels, §V).
+pub fn compile_as<T: Scalar>(
+    nl: &Netlist,
+    opts: CompileOptions,
+) -> Result<CompiledNn<T>, CompileError> {
+    let cut = prepare(nl)?;
+    let graph = map_netlist(&cut.comb, MapConfig {
+        max_inputs: opts.lut_size,
+        cuts_per_net: opts.cuts_per_net,
+        wide_gates: opts.wide_gates,
+    })?;
+    compile_graph(
+        &graph,
+        nl.gate_count(),
+        cut.num_primary_inputs,
+        cut.num_primary_outputs,
+        cut.state_init.clone(),
+        opts,
+    )
+}
+
+/// Integer layer under construction (exact i64 until the final cast).
+struct RawLayer {
+    rows: usize,
+    cols: usize,
+    trips: Vec<(u32, u32, i64)>,
+    bias: Vec<i64>,
+}
+
+impl RawLayer {
+    fn new(rows: usize, cols: usize) -> Self {
+        RawLayer {
+            rows,
+            cols,
+            trips: Vec::new(),
+            bias: vec![0; rows],
+        }
+    }
+
+    fn to_csr(&self) -> Csr<i64> {
+        Csr::from_triplets(
+            self.rows,
+            self.cols,
+            self.trips
+                .iter()
+                .map(|&(r, c, v)| (r, c, v))
+                .collect(),
+        )
+    }
+}
+
+/// Compile a LUT graph directly (the netlist-independent core).
+pub fn compile_graph<T: Scalar>(
+    graph: &LutGraph,
+    gate_count: usize,
+    num_primary_inputs: usize,
+    num_primary_outputs: usize,
+    state_init: Vec<bool>,
+    opts: CompileOptions,
+) -> Result<CompiledNn<T>, CompileError> {
+    let levels = graph.levels();
+    let depth = graph.depth() as usize;
+    // last level at which each signal is read; outputs stay alive forever
+    let alive_until = compute_liveness(graph, &levels, depth);
+
+    // --- build the unmerged block sequence: per level t (1..=depth),
+    //     Hidden_t = Θ(W1_t · S_{t-1} + b1_t); S_t = W2_t · Hidden_t + c_t ---
+    let mut blocks: Vec<(RawLayer, RawLayer)> = Vec::new();
+    // columns of the current signal layer: signal id -> column
+    let mut sig_col: HashMap<u32, u32> = HashMap::new();
+    for (i, _) in (0..graph.num_inputs).enumerate() {
+        sig_col.insert(i as u32, i as u32);
+    }
+    let mut cur_width = graph.num_inputs;
+
+    // neuron blocks per node, computed once: Algorithm 1 for tables,
+    // closed-form single neurons for wide known-function nodes (§V)
+    let blocks_pre: Vec<NodeBlock> = graph.nodes.iter().map(node_block).collect();
+
+    for t in 1..=depth {
+        // signals of the next signal layer
+        let next_sigs: Vec<u32> = if t == depth {
+            graph.outputs.clone()
+        } else {
+            (0..graph.num_signals() as u32)
+                .filter(|&s| {
+                    let lv = levels[s as usize] as usize;
+                    lv == t || (lv < t && alive_until[s as usize] > t)
+                })
+                .collect()
+        };
+        // hidden neurons: terms of level-t nodes + pass-throughs
+        // pass-through set: signals in next layer with level < t (dedup)
+        let mut pass: Vec<u32> = next_sigs
+            .iter()
+            .copied()
+            .filter(|&s| (levels[s as usize] as usize) < t)
+            .collect();
+        pass.sort_unstable();
+        pass.dedup();
+
+        let mut hidden_count = 0usize;
+        // (node idx at level t) -> (first hidden idx of its terms)
+        let mut node_terms: HashMap<u32, (usize, usize)> = HashMap::new(); // sig -> (start, len)
+        let mut w1 = RawLayer::new(0, cur_width); // rows fixed later
+        for (ni, node) in graph.nodes.iter().enumerate() {
+            let sig = (graph.num_inputs + ni) as u32;
+            if levels[sig as usize] as usize != t {
+                continue;
+            }
+            // skip nodes that are not alive (defensive; mapper never emits them)
+            if alive_until[sig as usize] < t && !graph.outputs.contains(&sig) && t != depth {
+                continue;
+            }
+            let blk = &blocks_pre[ni];
+            let start = hidden_count;
+            for (weights, bias) in &blk.hidden {
+                let row = hidden_count as u32;
+                for &(j, w) in weights {
+                    let src = node.inputs[j];
+                    let col = sig_col[&src];
+                    w1.trips.push((row, col, w));
+                }
+                w1.bias.push(*bias);
+                hidden_count += 1;
+            }
+            node_terms.insert(sig, (start, blk.hidden.len()));
+        }
+        let mut pass_idx: HashMap<u32, u32> = HashMap::new();
+        for &s in &pass {
+            let row = hidden_count as u32;
+            w1.trips.push((row, sig_col[&s], 1));
+            w1.bias.push(0); // Θ(x) = x for binary x
+            pass_idx.insert(s, row);
+            hidden_count += 1;
+        }
+        w1.rows = hidden_count;
+
+        // linear output stage of the block
+        let mut w2 = RawLayer::new(next_sigs.len(), hidden_count);
+        for (row_i, &s) in next_sigs.iter().enumerate() {
+            let row = row_i as u32;
+            if (levels[s as usize] as usize) < t {
+                w2.trips.push((row, pass_idx[&s], 1));
+            } else {
+                let ni = s as usize - graph.num_inputs;
+                let blk = &blocks_pre[ni];
+                let (start, _) = node_terms[&s];
+                for &(h, coeff) in &blk.out {
+                    w2.trips.push((row, (start + h) as u32, coeff));
+                }
+                w2.bias[row_i] += blk.out_bias;
+            }
+        }
+        // fix bias length: RawLayer::new preallocated rows biases, w1 pushed
+        // per-row — normalize w1.bias which started with zero rows
+        blocks.push((w1, w2));
+        // new signal columns
+        sig_col.clear();
+        for (i, &s) in next_sigs.iter().enumerate() {
+            sig_col.insert(s, i as u32);
+        }
+        cur_width = next_sigs.len();
+    }
+
+    // depth == 0: outputs are inputs/constants only — single selection layer
+    if depth == 0 {
+        let mut w = RawLayer::new(graph.outputs.len(), graph.num_inputs);
+        for (row_i, &s) in graph.outputs.iter().enumerate() {
+            if (s as usize) < graph.num_inputs {
+                w.trips.push((row_i as u32, s, 1));
+            } else {
+                // constant node (0-input LUT) at level 0 cannot exist —
+                // 0-input LUTs are level 1; handled by the loop above
+                unreachable!("level-0 node output");
+            }
+        }
+        blocks.push((w, RawLayer::new(0, 0)));
+        let layers = vec![raw_to_layer::<T>(&blocks[0].0, Activation2::Linear)?];
+        return Ok(CompiledNn {
+            name: graph.name.clone(),
+            layers,
+            num_primary_inputs,
+            num_primary_outputs,
+            state_init,
+            gate_count,
+            lut_size: opts.lut_size,
+        });
+    }
+
+    // --- assemble layers, merging the exact-linear stage into the next
+    //     block's affine stage (Fig. 5) ---
+    let mut layers: Vec<NnLayer<T>> = Vec::new();
+    if opts.merge_layers {
+        // first layer: W1_1 as-is
+        let mut pending_linear: Option<(Csr<i64>, Vec<i64>)> = None;
+        for (bi, (w1, w2)) in blocks.iter().enumerate() {
+            let w1_csr = w1.to_csr();
+            let (weights, bias) = match pending_linear.take() {
+                None => (w1_csr, w1.bias.clone()),
+                Some((lin_w, lin_b)) => {
+                    // W' = W1 · lin_w ; b' = W1 · lin_b + b1
+                    let merged = w1_csr.matmul(&lin_w);
+                    let shift = w1_csr.matvec(&lin_b);
+                    let bias: Vec<i64> = w1
+                        .bias
+                        .iter()
+                        .zip(&shift)
+                        .map(|(&b, &s)| b + s)
+                        .collect();
+                    (merged, bias)
+                }
+            };
+            layers.push(raw_csr_to_layer::<T>(
+                &weights,
+                &bias,
+                Activation2::Threshold,
+            )?);
+            let w2_csr = w2.to_csr();
+            if bi + 1 == blocks.len() {
+                // last linear stage stays explicit (nothing follows it)
+                layers.push(raw_csr_to_layer::<T>(
+                    &w2_csr,
+                    &w2.bias,
+                    Activation2::Linear,
+                )?);
+            } else {
+                pending_linear = Some((w2_csr, w2.bias.clone()));
+            }
+        }
+    } else {
+        for (w1, w2) in &blocks {
+            layers.push(raw_to_layer::<T>(w1, Activation2::Threshold)?);
+            layers.push(raw_to_layer::<T>(w2, Activation2::Linear)?);
+        }
+    }
+
+    Ok(CompiledNn {
+        name: graph.name.clone(),
+        layers,
+        num_primary_inputs,
+        num_primary_outputs,
+        state_init,
+        gate_count,
+        lut_size: opts.lut_size,
+    })
+}
+
+/// The neurons implementing one node (paper Fig. 2, generalized to signed
+/// monomials so wide known-function nodes fit the same machinery):
+/// `hidden[k]` is a threshold neuron `Θ(Σ w·x + bias)` over node-local
+/// input indices, and the node's value is the exact linear combination
+/// `Σ out[k].1 · hidden[out[k].0] + out_bias`.
+struct NodeBlock {
+    hidden: Vec<(Vec<(usize, i64)>, i64)>,
+    out: Vec<(usize, i64)>,
+    out_bias: i64,
+}
+
+fn node_block(node: &LutNode) -> NodeBlock {
+    match &node.func {
+        NodeFunc::Table(lut) => {
+            let poly = lut_to_poly(lut);
+            let mut hidden = Vec::new();
+            let mut out = Vec::new();
+            let mut out_bias = 0i64;
+            for term in poly.terms() {
+                if term.mask == 0 {
+                    out_bias += term.coeff as i64;
+                    continue;
+                }
+                let mut weights = Vec::with_capacity(term.mask.count_ones() as usize);
+                let mut m = term.mask;
+                while m != 0 {
+                    let j = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    weights.push((j, 1i64));
+                }
+                let size = weights.len() as i64;
+                out.push((hidden.len(), term.coeff as i64));
+                hidden.push((weights, 1 - size)); // Θ(Σ x_s − |S| + 1)
+            }
+            NodeBlock {
+                hidden,
+                out,
+                out_bias,
+            }
+        }
+        NodeFunc::WideAnd { invert } => {
+            // h = Θ(Σ x − n + 1) = AND;  AND = h, NAND = 1 − h
+            let n = node.inputs.len() as i64;
+            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, 1)).collect();
+            NodeBlock {
+                hidden: vec![(weights, 1 - n)],
+                out: vec![(0, if *invert { -1 } else { 1 })],
+                out_bias: *invert as i64,
+            }
+        }
+        NodeFunc::WideOr { invert } => {
+            // h = Θ(−Σ x + 1) = 1 iff all inputs 0;  OR = 1 − h, NOR = h
+            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, -1)).collect();
+            NodeBlock {
+                hidden: vec![(weights, 1)],
+                out: vec![(0, if *invert { 1 } else { -1 })],
+                out_bias: if *invert { 0 } else { 1 },
+            }
+        }
+    }
+}
+
+fn compute_liveness(graph: &LutGraph, levels: &[u32], depth: usize) -> Vec<usize> {
+    let mut alive = vec![0usize; graph.num_signals()];
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        let node_level = levels[graph.num_inputs + ni] as usize;
+        for &s in &node.inputs {
+            alive[s as usize] = alive[s as usize].max(node_level);
+        }
+    }
+    for &o in &graph.outputs {
+        alive[o as usize] = depth + 1; // outputs live to the end
+    }
+    alive
+}
+
+/// The exact-representation limit of the scalar: f32 → 2^24, integers → large.
+fn exact_limit<T: 'static>() -> i64 {
+    use std::any::TypeId;
+    if TypeId::of::<T>() == TypeId::of::<f32>() {
+        1 << 24
+    } else {
+        // every target converts through `Scalar::from_i32`
+        i32::MAX as i64
+    }
+}
+
+fn raw_to_layer<T: Scalar>(raw: &RawLayer, act: Activation2) -> Result<NnLayer<T>, CompileError> {
+    raw_csr_to_layer(&raw.to_csr(), &raw.bias, act)
+}
+
+fn raw_csr_to_layer<T: Scalar>(
+    w: &Csr<i64>,
+    bias: &[i64],
+    act: Activation2,
+) -> Result<NnLayer<T>, CompileError> {
+    let limit = exact_limit::<T>();
+    let (_, _, vals) = w.raw();
+    for &v in vals {
+        if v.abs() > limit {
+            return Err(CompileError::CoefficientOverflow { value: v, limit });
+        }
+    }
+    for &b in bias {
+        if b.abs() > limit {
+            return Err(CompileError::CoefficientOverflow { value: b, limit });
+        }
+    }
+    Ok(NnLayer {
+        weights: w.cast::<T>(|v| {
+            debug_assert!(v.abs() <= i32::MAX as i64);
+            v as i32
+        }),
+        bias: bias.iter().map(|&b| T::from_i32(b as i32)).collect(),
+        activation: act,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_boolfn::Lut;
+    use c2nn_lutmap::LutNode;
+
+    fn eval_block(blk: &NodeBlock, inputs: &[bool]) -> i64 {
+        let hidden: Vec<i64> = blk
+            .hidden
+            .iter()
+            .map(|(weights, bias)| {
+                let pre: i64 = weights
+                    .iter()
+                    .map(|&(j, w)| w * inputs[j] as i64)
+                    .sum::<i64>()
+                    + bias;
+                (pre > 0) as i64
+            })
+            .collect();
+        blk.out.iter().map(|&(h, c)| c * hidden[h]).sum::<i64>() + blk.out_bias
+    }
+
+    #[test]
+    fn node_block_reproduces_tables() {
+        for lut in [Lut::and(3), Lut::or(3), Lut::xor(4), Lut::majority(5), Lut::mux()] {
+            let n = lut.inputs() as usize;
+            let node = LutNode::table((0..n as u32).collect(), lut.clone());
+            let blk = node_block(&node);
+            for x in 0..1u64 << n {
+                let bits: Vec<bool> = (0..n).map(|j| x >> j & 1 == 1).collect();
+                assert_eq!(eval_block(&blk, &bits), lut.get(x) as i64, "{lut:?} x={x:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_block_wide_functions_are_single_neurons() {
+        use c2nn_lutmap::NodeFunc;
+        let cases: Vec<(NodeFunc, fn(u32) -> bool)> = vec![
+            (NodeFunc::WideAnd { invert: false }, |x| x == 0x3ff),
+            (NodeFunc::WideAnd { invert: true }, |x| x != 0x3ff),
+            (NodeFunc::WideOr { invert: false }, |x| x != 0),
+            (NodeFunc::WideOr { invert: true }, |x| x == 0),
+        ];
+        for (func, f) in cases {
+            let node = LutNode {
+                inputs: (0..10).collect(),
+                func: func.clone(),
+            };
+            let blk = node_block(&node);
+            assert_eq!(blk.hidden.len(), 1, "{func:?} must be one neuron");
+            for x in [0u32, 1, 0x3ff, 0x3fe, 0x155] {
+                let bits: Vec<bool> = (0..10).map(|j| x >> j & 1 == 1).collect();
+                assert_eq!(eval_block(&blk, &bits), f(x) as i64, "{func:?} x={x:03x}");
+            }
+        }
+    }
+
+    #[test]
+    fn coefficient_overflow_is_reported() {
+        let w: Csr<i64> = Csr::from_triplets(1, 1, vec![(0, 0, 1i64 << 30)]);
+        let res = raw_csr_to_layer::<f32>(&w, &[0], Activation2::Linear);
+        assert!(matches!(res, Err(CompileError::CoefficientOverflow { .. })));
+        // but i64-safe values pass for i32 targets
+        let w2: Csr<i64> = Csr::from_triplets(1, 1, vec![(0, 0, 1i64 << 30)]);
+        assert!(raw_csr_to_layer::<i32>(&w2, &[0], Activation2::Linear).is_ok());
+    }
+}

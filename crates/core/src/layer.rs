@@ -1,0 +1,91 @@
+//! One layer of a compiled network.
+
+use c2nn_tensor::{forward_sparse, forward_sparse_into, Activation, Csr, Dense, Device, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// An affine layer `y = act(W x + b)` with a sparse integer-valued weight
+/// matrix. Hidden layers use the threshold activation (paper Eq. 2); the
+/// final layer is exactly linear (paper §III-B3: "the output neuron does not
+/// require any bias or threshold" — constants fold into `bias`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NnLayer<T> {
+    pub weights: Csr<T>,
+    pub bias: Vec<T>,
+    pub activation: Activation2,
+}
+
+/// Serializable activation selector (mirrors [`Activation`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation2 {
+    Linear,
+    Threshold,
+}
+
+impl From<Activation2> for Activation {
+    fn from(a: Activation2) -> Activation {
+        match a {
+            Activation2::Linear => Activation::Linear,
+            Activation2::Threshold => Activation::Threshold,
+        }
+    }
+}
+
+impl<T: Scalar> NnLayer<T> {
+    /// Width of the input this layer expects.
+    pub fn in_width(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Width of the output this layer produces.
+    pub fn out_width(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Apply the layer to a batch.
+    pub fn forward(&self, x: &Dense<T>, device: Device) -> Dense<T> {
+        forward_sparse(&self.weights, &self.bias, x, self.activation.into(), device)
+    }
+
+    /// Apply the layer into a reusable output buffer.
+    pub fn forward_into(&self, x: &Dense<T>, device: Device, y: &mut Dense<T>) {
+        forward_sparse_into(&self.weights, &self.bias, x, self.activation.into(), device, y)
+    }
+
+    /// Stored bytes (weights + bias), the paper's memory metric.
+    pub fn memory_bytes(&self) -> usize {
+        self.weights.memory_bytes() + self.bias.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_neuron_layer() {
+        // h = Θ(x0 + x1 − 1): the paper's 2-input AND neuron
+        let layer = NnLayer::<f32> {
+            weights: Csr::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]),
+            bias: vec![-1.0],
+            activation: Activation2::Threshold,
+        };
+        assert_eq!(layer.in_width(), 2);
+        assert_eq!(layer.out_width(), 1);
+        for (a, b, want) in [(0., 0., 0.), (1., 0., 0.), (0., 1., 0.), (1., 1., 1.)] {
+            // feature-major: 2 features × 1 lane
+            let x = Dense::from_vec(2, 1, vec![a, b]);
+            let y = layer.forward(&x, Device::Serial);
+            assert_eq!(y.data(), &[want]);
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let layer = NnLayer::<f32> {
+            weights: Csr::from_triplets(2, 2, vec![(0, 0, 1.0)]),
+            bias: vec![0.0, 0.0],
+            activation: Activation2::Linear,
+        };
+        assert!(layer.memory_bytes() >= 4 + 8);
+    }
+}

@@ -1,0 +1,52 @@
+//! # c2nn-core
+//!
+//! The paper's primary contribution: a compiler that converts any digital
+//! circuit into a **computationally equivalent** sparse neural network, and
+//! a batched simulator that exploits both *structural* parallelism (all
+//! neurons of a layer at once) and *stimulus* parallelism (many testbenches
+//! per forward pass).
+//!
+//! ## Pipeline (paper Fig. 1)
+//!
+//! 1. clock unification + flip-flop cut (`c2nn-netlist::seq`, §III-C);
+//! 2. LUT splitting with parameter `L` (`c2nn-lutmap`, §III-B1 / Fig. 3);
+//! 3. truth table → multilinear polynomial, Algorithm 1 (`c2nn-boolfn`);
+//! 4. polynomial → two-layer threshold block (Fig. 2, Eq. 3);
+//! 5. exact-linear/affine layer fusion halving the depth (Fig. 5);
+//! 6. sparse CSR layers executed by `c2nn-tensor` (§III-E/F).
+//!
+//! The result is *exact*: for every input sequence the network produces
+//! bit-identical outputs to the circuit (verified against `c2nn-refsim` in
+//! the integration suite — the paper's §IV-A check).
+//!
+//! ```
+//! use c2nn_netlist::{NetlistBuilder, WordOps};
+//! use c2nn_core::{compile, CompileOptions};
+//!
+//! // build a 4-bit adder and compile it at L = 4
+//! let mut b = NetlistBuilder::new("add4");
+//! let a = b.input_word("a", 4);
+//! let c = b.input_word("b", 4);
+//! let s = b.add_word(&a, &c);
+//! b.output_word(&s, "s");
+//! let nl = b.finish().unwrap();
+//!
+//! let nn = compile(&nl, CompileOptions::with_l(4)).unwrap();
+//! // 3 + 9 = 12
+//! let mut input = vec![false; 8];
+//! input[0] = true; input[1] = true;           // a = 3
+//! input[4] = true; input[7] = true;           // b = 9
+//! let out = nn.eval(&input);
+//! let sum: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+//! assert_eq!(sum, 12);
+//! ```
+
+pub mod compile;
+pub mod layer;
+pub mod sim;
+pub mod testbench;
+
+pub use compile::{compile, compile_as, compile_graph, CompileError, CompileOptions, CompiledNn};
+pub use layer::{Activation2, NnLayer};
+pub use sim::{batch_from_bits, Simulator};
+pub use testbench::{format_stim, parse_stim, run_batch, BenchResult, StimError, Stimulus};

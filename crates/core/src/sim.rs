@@ -1,0 +1,158 @@
+//! Batched simulation of compiled networks (stimulus parallelism).
+//!
+//! One forward pass evaluates `B` independent testbenches for one clock
+//! cycle — the paper's key throughput lever: throughput (gates·cycles/s)
+//! grows with `B` until the device saturates.
+//!
+//! All activation tensors are **feature-major** (`features × batch`, one
+//! testbench per column; see `c2nn-tensor`), so the sparse kernels stream
+//! contiguous batch vectors.
+
+use crate::compile::CompiledNn;
+use c2nn_tensor::{Dense, Device, Scalar};
+
+impl<T: Scalar> CompiledNn<T> {
+    /// Raw combinational forward pass: `x` is `(pi + state) × batch` of
+    /// exact 0/1 values; result is `(po + state) × batch`.
+    pub fn forward(&self, x: &Dense<T>, device: Device) -> Dense<T> {
+        let mut scratch = (Dense::zeros(0, 0), Dense::zeros(0, 0));
+        self.forward_with(x, device, &mut scratch).clone()
+    }
+
+    /// [`CompiledNn::forward`] with caller-owned ping-pong scratch buffers,
+    /// avoiding all per-layer allocation. Returns a reference into the
+    /// scratch pair (valid until the next call).
+    pub fn forward_with<'s>(
+        &self,
+        x: &Dense<T>,
+        device: Device,
+        scratch: &'s mut (Dense<T>, Dense<T>),
+    ) -> &'s Dense<T> {
+        assert_eq!(x.rows(), self.in_width(), "input width mismatch");
+        assert!(!self.layers.is_empty(), "compiled network has no layers");
+        let (a, b) = scratch;
+        self.layers[0].forward_into(x, device, a);
+        let mut flip = false; // result currently in `a`
+        for layer in &self.layers[1..] {
+            if flip {
+                layer.forward_into(b, device, a);
+            } else {
+                layer.forward_into(a, device, b);
+            }
+            flip = !flip;
+        }
+        if flip {
+            &scratch.1
+        } else {
+            &scratch.0
+        }
+    }
+
+    /// Evaluate one combinational input assignment (bools in, bools out).
+    /// For sequential circuits the input must include the state bits.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let x = Dense::from_lanes(&[inputs.to_vec()]);
+        let y = self.forward(&x, Device::Serial);
+        y.to_lanes().into_iter().next().unwrap()
+    }
+}
+
+/// A stateful batched simulator over a compiled network: `B` testbenches in
+/// lockstep, state fed back between cycles (the paper's recurrent
+/// connection over the flip-flop cut).
+pub struct Simulator<'a, T> {
+    nn: &'a CompiledNn<T>,
+    /// `state_bits × B` current state (feature-major).
+    state: Dense<T>,
+    device: Device,
+    batch: usize,
+    cycles: u64,
+    /// reusable input assembly and layer ping-pong buffers
+    xbuf: Dense<T>,
+    scratch: (Dense<T>, Dense<T>),
+}
+
+impl<'a, T: Scalar> Simulator<'a, T> {
+    /// Create a simulator for `batch` parallel testbenches.
+    pub fn new(nn: &'a CompiledNn<T>, batch: usize, device: Device) -> Self {
+        let mut sim = Simulator {
+            nn,
+            state: Dense::zeros(nn.state_bits(), batch),
+            device,
+            batch,
+            cycles: 0,
+            xbuf: Dense::zeros(0, 0),
+            scratch: (Dense::zeros(0, 0), Dense::zeros(0, 0)),
+        };
+        sim.reset();
+        sim
+    }
+
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Current state as per-lane bit vectors.
+    pub fn state_lanes(&self) -> Vec<Vec<bool>> {
+        self.state.to_lanes()
+    }
+
+    /// Reset all testbenches to the power-on state.
+    pub fn reset(&mut self) {
+        self.state = Dense::zeros(self.nn.state_bits(), self.batch);
+        for (i, &b) in self.nn.state_init.iter().enumerate() {
+            if b {
+                for l in 0..self.batch {
+                    self.state.set(i, l, T::ONE);
+                }
+            }
+        }
+        self.cycles = 0;
+    }
+
+    /// One clock cycle for the whole batch: `inputs` is
+    /// `num_primary_inputs × B` feature-major; returns
+    /// `num_primary_outputs × B`.
+    pub fn step(&mut self, inputs: &Dense<T>) -> Dense<T> {
+        let pi = self.nn.num_primary_inputs;
+        let po = self.nn.num_primary_outputs;
+        let s = self.nn.state_bits();
+        assert_eq!(inputs.cols(), self.batch, "batch mismatch");
+        assert_eq!(inputs.rows(), pi, "primary-input width mismatch");
+        // x = [inputs ; state] — contiguous block copies in feature-major
+        self.xbuf.resize_to(pi + s, self.batch);
+        self.xbuf.data_mut()[..pi * self.batch].copy_from_slice(inputs.data());
+        self.xbuf.data_mut()[pi * self.batch..].copy_from_slice(self.state.data());
+        let y = self.nn.forward_with(&self.xbuf, self.device, &mut self.scratch);
+        debug_assert_eq!(y.rows(), po + s);
+        // split [outputs ; next state]
+        let mut out = Dense::zeros(po, self.batch);
+        out.data_mut()
+            .copy_from_slice(&y.data()[..po * self.batch]);
+        self.state
+            .data_mut()
+            .copy_from_slice(&y.data()[po * self.batch..]);
+        self.cycles += 1;
+        out
+    }
+
+    /// Run a whole stimulus tensor: `stimuli[c]` is the batch input of
+    /// cycle `c`. Returns one output batch per cycle.
+    pub fn run(&mut self, stimuli: &[Dense<T>]) -> Vec<Dense<T>> {
+        stimuli.iter().map(|s| self.step(s)).collect()
+    }
+}
+
+/// Build a feature-major batched input tensor from per-testbench bit
+/// vectors (`rows[l]` = lane `l`'s inputs).
+pub fn batch_from_bits<T: Scalar>(rows: &[Vec<bool>]) -> Dense<T> {
+    Dense::from_lanes(rows)
+}

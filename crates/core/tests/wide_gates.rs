@@ -1,0 +1,137 @@
+//! Tests for the paper's §V known-function extension: wide AND/OR/NAND/NOR
+//! gates become single neurons instead of LUT trees, "the equivalent of
+//! increasing L", reducing both node count and network depth.
+
+use c2nn_core::{compile, CompileOptions};
+use c2nn_netlist::{Netlist, NetlistBuilder, WordOps};
+use c2nn_refsim::CycleSim;
+
+fn wide_and_circuit(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("wand");
+    let x = b.input_word("x", n);
+    let y = b.and_many(&x);
+    b.output(y, "y");
+    b.finish().unwrap()
+}
+
+#[test]
+fn wide_and_collapses_to_two_layers() {
+    // the paper's own example: an AND of a 9-bit vector at L=3
+    let nl = wide_and_circuit(9);
+    let base = compile(&nl, CompileOptions::with_l(3)).unwrap();
+    let wide = compile(&nl, CompileOptions::with_l(3).with_wide_gates()).unwrap();
+    assert!(
+        base.num_layers() > 2,
+        "L=3 tree must be deep: {}",
+        base.num_layers()
+    );
+    assert_eq!(
+        wide.num_layers(),
+        2,
+        "known-function AND is one threshold + one linear layer"
+    );
+    assert!(wide.connections() < base.connections());
+    // equivalence on all 512 points
+    for v in 0..512u64 {
+        let bits: Vec<bool> = (0..9).map(|j| v >> j & 1 == 1).collect();
+        assert_eq!(wide.eval(&bits), base.eval(&bits), "v={v:09b}");
+        assert_eq!(wide.eval(&bits), vec![v == 511]);
+    }
+}
+
+#[test]
+fn all_wide_kinds_are_exact() {
+    for kind in ["and", "or", "nand", "nor"] {
+        let mut b = NetlistBuilder::new(kind);
+        let x = b.input_word("x", 12);
+        let y = match kind {
+            "and" => b.and_many(&x),
+            "or" => b.or_many(&x),
+            "nand" => {
+                let t = b.gate(c2nn_netlist::GateKind::Nand, x.clone());
+                t
+            }
+            _ => {
+                let t = b.gate(c2nn_netlist::GateKind::Nor, x.clone());
+                t
+            }
+        };
+        b.output(y, "y");
+        let nl = b.finish().unwrap();
+        let nn = compile(&nl, CompileOptions::with_l(4).with_wide_gates()).unwrap();
+        let mut sim = CycleSim::new(&nl).unwrap();
+        for v in [0u64, 1, 0xfff, 0xffe, 0xa5a, 0x800] {
+            let bits: Vec<bool> = (0..12).map(|j| v >> j & 1 == 1).collect();
+            assert_eq!(nn.eval(&bits), sim.eval_comb(&bits), "{kind} v={v:03x}");
+        }
+    }
+}
+
+#[test]
+fn mixed_circuit_with_wide_gates_is_exact() {
+    // wide gates embedded in surrounding logic, plus state
+    let mut b = NetlistBuilder::new("mix");
+    let clk = b.clock("clk");
+    let x = b.input_word("x", 10);
+    let all = b.and_many(&x);
+    let any = b.or_many(&x);
+    let q = b.fresh(Some("q"));
+    let toggled = b.xor2(q, any);
+    let gated = b.mux(all, toggled, x[0]);
+    b.push_ff_raw(gated, q, clk, None, None, false, false);
+    b.output(q, "q");
+    let par = b.reduce_xor(&x);
+    b.output(par, "p");
+    let nl = b.finish().unwrap();
+
+    for opts in [
+        CompileOptions::with_l(3),
+        CompileOptions::with_l(3).with_wide_gates(),
+    ] {
+        let nn = compile(&nl, opts).unwrap();
+        let mut nn_sim = c2nn_core::Simulator::new(&nn, 1, c2nn_tensor::Device::Serial);
+        let mut r = CycleSim::new(&nl).unwrap();
+        let mut seed = 77u64;
+        for cyc in 0..40 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bits: Vec<bool> = (0..10).map(|j| seed >> (20 + j) & 1 == 1).collect();
+            let x = c2nn_tensor::Dense::<f32>::from_lanes(&[bits.clone()]);
+            let got = nn_sim.step(&x).to_lanes().remove(0);
+            assert_eq!(got, r.step(&bits), "wide={} cycle {cyc}", opts.wide_gates);
+        }
+    }
+}
+
+#[test]
+fn wide_pass_reduces_depth_on_reduction_trees() {
+    // 64-input AND-reduction: at L=3 the tree needs ~4 levels; wide = 1
+    let nl = wide_and_circuit(64);
+    let base = compile(&nl, CompileOptions::with_l(3)).unwrap();
+    let wide = compile(&nl, CompileOptions::with_l(3).with_wide_gates()).unwrap();
+    assert!(base.num_layers() >= 4);
+    assert_eq!(wide.num_layers(), 2);
+    // spot equivalence
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let mut seed = 5u64;
+    for _ in 0..20 {
+        seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let bits: Vec<bool> = (0..64).map(|j| seed >> (j % 48) & 1 == 1).collect();
+        assert_eq!(wide.eval(&bits), sim.eval_comb(&bits));
+    }
+    let ones = vec![true; 64];
+    assert_eq!(wide.eval(&ones), vec![true]);
+}
+
+#[test]
+fn narrow_gates_unaffected_by_flag() {
+    // gates at or below L are mapped normally even with the flag on
+    let mut b = NetlistBuilder::new("narrow");
+    let x = b.input_word("x", 3);
+    let y = b.and_many(&x);
+    b.output(y, "y");
+    let nl = b.finish().unwrap();
+    let a = compile(&nl, CompileOptions::with_l(4)).unwrap();
+    let w = compile(&nl, CompileOptions::with_l(4).with_wide_gates()).unwrap();
+    assert_eq!(a.num_layers(), w.num_layers());
+    assert_eq!(a.connections(), w.connections());
+}

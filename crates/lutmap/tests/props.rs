@@ -1,0 +1,123 @@
+//! Property tests for the technology mapper: for arbitrary circuits and
+//! parameters, the mapped LUT graph is a legal cover computing exactly the
+//! original function.
+
+use c2nn_lutmap::{map_netlist, MapConfig};
+use c2nn_netlist::{topo_order, GateKind, Net, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+fn random_netlist(seed: u64, gates: usize, wide: bool) -> Netlist {
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut b = NetlistBuilder::new("prop");
+    let mut pool: Vec<Net> = b.input_word("x", 9);
+    for _ in 0..gates {
+        let i = pool[rng() as usize % pool.len()];
+        let j = pool[rng() as usize % pool.len()];
+        let k = pool[rng() as usize % pool.len()];
+        let g = match rng() % 8 {
+            0 => b.and2(i, j),
+            1 => b.or2(i, j),
+            2 => b.xor2(i, j),
+            3 => b.nand2(i, j),
+            4 => b.mux(i, j, k),
+            5 => b.not(i),
+            6 if wide => {
+                // a wide gate over 5-9 distinct pool members
+                let n = 5 + (rng() % 5) as usize;
+                let ins: Vec<Net> = (0..n).map(|_| pool[rng() as usize % pool.len()]).collect();
+                let kind = if rng() % 2 == 0 { GateKind::And } else { GateKind::Or };
+                b.gate(kind, ins)
+            }
+            _ => b.xnor2(i, j),
+        };
+        pool.push(g);
+    }
+    for o in 0..4 {
+        let n = pool[pool.len() - 1 - (rng() as usize % (gates / 2 + 1))];
+        b.output(n, &format!("y{o}"));
+    }
+    b.finish().unwrap()
+}
+
+fn eval_netlist(nl: &Netlist, x: u64) -> Vec<bool> {
+    let mut vals = vec![false; nl.num_nets as usize];
+    for (j, &inp) in nl.inputs.iter().enumerate() {
+        vals[inp.index()] = x >> j & 1 == 1;
+    }
+    for gi in topo_order(nl).unwrap() {
+        let g = &nl.gates[gi];
+        let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+        vals[g.output.index()] = g.kind.eval(&ins);
+    }
+    nl.outputs.iter().map(|o| vals[o.index()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+
+    /// Mapping at any L is exact and respects the width bound.
+    #[test]
+    fn mapping_is_exact(seed in 1u64.., gates in 5usize..70, l in 2usize..9) {
+        let nl = random_netlist(seed, gates, false);
+        let g = map_netlist(&nl, MapConfig::with_l(l)).unwrap();
+        g.validate(l).unwrap();
+        for x in 0..512u64 {
+            let bits: Vec<bool> = (0..9).map(|j| x >> j & 1 == 1).collect();
+            prop_assert_eq!(g.eval(&bits), eval_netlist(&nl, x), "x={:09b}", x);
+        }
+    }
+
+    /// The wide-gate pass stays exact on circuits with wide AND/OR gates.
+    #[test]
+    fn wide_pass_is_exact(seed in 1u64.., gates in 5usize..50, l in 3usize..6) {
+        let nl = random_netlist(seed, gates, true);
+        let plain = map_netlist(&nl, MapConfig::with_l(l)).unwrap();
+        let wide = map_netlist(&nl, MapConfig::with_l(l).with_wide_gates()).unwrap();
+        wide.validate(l).unwrap();
+        for x in (0..512u64).step_by(7) {
+            let bits: Vec<bool> = (0..9).map(|j| x >> j & 1 == 1).collect();
+            let want = eval_netlist(&nl, x);
+            prop_assert_eq!(plain.eval(&bits), want.clone());
+            prop_assert_eq!(wide.eval(&bits), want);
+        }
+    }
+
+    /// Depth never increases when L grows (same cut budget).
+    #[test]
+    fn depth_monotone_in_l(seed in 1u64.., gates in 10usize..60) {
+        let nl = random_netlist(seed, gates, false);
+        let mut prev = u32::MAX;
+        for l in [2usize, 4, 8] {
+            let d = map_netlist(&nl, MapConfig::with_l(l)).unwrap().depth();
+            prop_assert!(d <= prev, "depth rose from {} to {} at L={}", prev, d, l);
+            prev = d;
+        }
+    }
+
+    /// Every mapped node is actually reachable from an output (no bloat).
+    #[test]
+    fn cover_has_no_dead_nodes(seed in 1u64.., gates in 5usize..50, l in 3usize..7) {
+        let nl = random_netlist(seed, gates, false);
+        let g = map_netlist(&nl, MapConfig::with_l(l)).unwrap();
+        let mut live = vec![false; g.num_signals()];
+        let mut stack: Vec<u32> = g.outputs.clone();
+        while let Some(s) = stack.pop() {
+            if live[s as usize] {
+                continue;
+            }
+            live[s as usize] = true;
+            if s as usize >= g.num_inputs {
+                stack.extend(&g.nodes[s as usize - g.num_inputs].inputs);
+            }
+        }
+        for (i, _) in g.nodes.iter().enumerate() {
+            prop_assert!(live[g.num_inputs + i], "node {} is dead", i);
+        }
+    }
+}

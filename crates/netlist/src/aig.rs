@@ -1,0 +1,387 @@
+//! And-inverter graphs (AIGs).
+//!
+//! The paper's §II-B lists AIGs among the standard circuit representations,
+//! and footnote 5 notes that the minimum LUT size `L = 2` corresponds to an
+//! AIG "if AND and NOT gates are used". This module makes that concrete:
+//! any netlist converts to a structurally hashed AIG (2-input ANDs with
+//! complemented edges) and back, giving the workspace the same
+//! normalization step ABC applies before mapping.
+
+use crate::build::NetlistBuilder;
+use crate::ir::{Driver, GateKind, Net, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// An AIG edge: a node index with an optional complement flag, packed as
+/// `node << 1 | complement`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (node 0 uncomplemented).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0 complemented).
+    pub const TRUE: Lit = Lit(1);
+
+    fn new(node: u32, complement: bool) -> Lit {
+        Lit(node << 1 | complement as u32)
+    }
+
+    /// The node this literal points to.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    pub fn complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The negation of this literal.
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// One AIG node: the AND of two literals (node 0 is the constant; nodes
+/// `1..=num_inputs` are the primary inputs).
+#[derive(Clone, Copy, Debug)]
+struct AigNode {
+    a: Lit,
+    b: Lit,
+}
+
+/// A combinational and-inverter graph.
+pub struct Aig {
+    num_inputs: usize,
+    /// AND nodes, indexed from `1 + num_inputs`.
+    ands: Vec<AigNode>,
+    /// Output literals, in port order.
+    pub outputs: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), Lit>,
+    pub name: String,
+}
+
+impl Aig {
+    /// An empty AIG with `num_inputs` primary inputs.
+    pub fn new(name: impl Into<String>, num_inputs: usize) -> Self {
+        Aig {
+            num_inputs,
+            ands: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The literal of primary input `i`.
+    pub fn input(&self, i: usize) -> Lit {
+        assert!(i < self.num_inputs);
+        Lit::new(1 + i as u32, false)
+    }
+
+    /// Number of AND nodes (the classic AIG size metric).
+    pub fn num_ands(&self) -> usize {
+        self.ands.len()
+    }
+
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn first_and(&self) -> u32 {
+        1 + self.num_inputs as u32
+    }
+
+    /// Structurally hashed AND with constant propagation.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // normalize operand order for hashing
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        if let Some(&l) = self.strash.get(&(a, b)) {
+            return l;
+        }
+        let node = self.first_and() + self.ands.len() as u32;
+        self.ands.push(AigNode { a, b });
+        let l = Lit::new(node, false);
+        self.strash.insert((a, b), l);
+        l
+    }
+
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t1 = self.and(a, b.not());
+        let t2 = self.and(a.not(), b);
+        self.or(t1, t2)
+    }
+
+    pub fn mux(&mut self, s: Lit, a: Lit, b: Lit) -> Lit {
+        // s ? b : a
+        let t1 = self.and(s, b);
+        let t2 = self.and(s.not(), a);
+        self.or(t1, t2)
+    }
+
+    /// Evaluate all outputs for a packed input assignment.
+    pub fn eval(&self, inputs: u64) -> Vec<bool> {
+        let mut vals = vec![false; 1 + self.num_inputs + self.ands.len()];
+        for i in 0..self.num_inputs {
+            vals[1 + i] = inputs >> i & 1 == 1;
+        }
+        let lit_val = |vals: &[bool], l: Lit| vals[l.node() as usize] ^ l.complemented();
+        for (k, n) in self.ands.iter().enumerate() {
+            vals[self.first_and() as usize + k] = lit_val(&vals, n.a) && lit_val(&vals, n.b);
+        }
+        self.outputs.iter().map(|&o| lit_val(&vals, o)).collect()
+    }
+
+    /// Longest path from any input to any output, in AND nodes.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; 1 + self.num_inputs + self.ands.len()];
+        for (k, n) in self.ands.iter().enumerate() {
+            let idx = self.first_and() as usize + k;
+            d[idx] = 1 + d[n.a.node() as usize].max(d[n.b.node() as usize]);
+        }
+        self.outputs
+            .iter()
+            .map(|o| d[o.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Convert back to a gate netlist (And/Not gates only — the paper's
+    /// footnote-5 `L = 2` form).
+    pub fn to_netlist(&self) -> Netlist {
+        let mut b = NetlistBuilder::new(self.name.clone());
+        let ins: Vec<Net> = (0..self.num_inputs)
+            .map(|i| b.input(&format!("i{i}")))
+            .collect();
+        let mut node_net: Vec<Net> = Vec::with_capacity(1 + self.num_inputs + self.ands.len());
+        node_net.push(b.zero());
+        node_net.extend(ins);
+        let lit_net = |b: &mut NetlistBuilder, node_net: &[Net], l: Lit| -> Net {
+            let n = node_net[l.node() as usize];
+            if l.complemented() {
+                b.not(n)
+            } else {
+                n
+            }
+        };
+        for n in &self.ands {
+            let a = lit_net(&mut b, &node_net, n.a);
+            let bb = lit_net(&mut b, &node_net, n.b);
+            let g = b.and2(a, bb);
+            node_net.push(g);
+        }
+        for (i, &o) in self.outputs.iter().enumerate() {
+            let n = lit_net(&mut b, &node_net, o);
+            b.output(n, &format!("o{i}"));
+        }
+        b.finish().expect("AIG netlist is valid by construction")
+    }
+}
+
+/// Convert a combinational netlist to a structurally hashed AIG.
+pub fn to_aig(nl: &Netlist) -> Result<Aig, NetlistError> {
+    assert!(
+        nl.is_combinational(),
+        "AIG conversion expects a combinational netlist; cut flip-flops first"
+    );
+    nl.validate()?;
+    let drivers = nl.drivers()?;
+    let order = crate::graph::topo_order(nl)?;
+    let mut aig = Aig::new(nl.name.clone(), nl.inputs.len());
+    let mut lit_of: HashMap<Net, Lit> = HashMap::new();
+    for (i, &n) in nl.inputs.iter().enumerate() {
+        lit_of.insert(n, aig.input(i));
+    }
+    for gi in order {
+        let g = &nl.gates[gi];
+        let ins: Vec<Lit> = g.inputs.iter().map(|n| lit_of[n]).collect();
+        let out = match g.kind {
+            GateKind::Const0 => Lit::FALSE,
+            GateKind::Const1 => Lit::TRUE,
+            GateKind::Buf => ins[0],
+            GateKind::Not => ins[0].not(),
+            GateKind::And | GateKind::Nand => {
+                let mut acc = Lit::TRUE;
+                for &l in &ins {
+                    acc = aig.and(acc, l);
+                }
+                if g.kind == GateKind::Nand {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let mut acc = Lit::FALSE;
+                for &l in &ins {
+                    acc = aig.or(acc, l);
+                }
+                if g.kind == GateKind::Nor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = Lit::FALSE;
+                for &l in &ins {
+                    acc = aig.xor(acc, l);
+                }
+                if g.kind == GateKind::Xnor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            GateKind::Mux => aig.mux(ins[0], ins[1], ins[2]),
+        };
+        lit_of.insert(g.output, out);
+    }
+    for &o in &nl.outputs {
+        let l = match drivers[o.index()] {
+            Driver::None => return Err(NetlistError::Undriven(o)),
+            _ => lit_of[&o],
+        };
+        aig.outputs.push(l);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::WordOps;
+
+    fn eval_netlist(nl: &Netlist, x: u64) -> Vec<bool> {
+        let mut vals = vec![false; nl.num_nets as usize];
+        for (j, &inp) in nl.inputs.iter().enumerate() {
+            vals[inp.index()] = x >> j & 1 == 1;
+        }
+        for gi in crate::graph::topo_order(nl).unwrap() {
+            let g = &nl.gates[gi];
+            let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+            vals[g.output.index()] = g.kind.eval(&ins);
+        }
+        nl.outputs.iter().map(|o| vals[o.index()]).collect()
+    }
+
+    #[test]
+    fn literal_packing() {
+        let l = Lit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.complemented());
+        assert_eq!(l.not().node(), 5);
+        assert!(!l.not().complemented());
+        assert_eq!(Lit::TRUE, Lit::FALSE.not());
+    }
+
+    #[test]
+    fn strashing_and_constants() {
+        let mut a = Aig::new("t", 2);
+        let (x, y) = (a.input(0), a.input(1));
+        let g1 = a.and(x, y);
+        let g2 = a.and(y, x);
+        assert_eq!(g1, g2, "commuted ANDs must hash together");
+        assert_eq!(a.num_ands(), 1);
+        assert_eq!(a.and(x, Lit::FALSE), Lit::FALSE);
+        assert_eq!(a.and(x, Lit::TRUE), x);
+        assert_eq!(a.and(x, x), x);
+        assert_eq!(a.and(x, x.not()), Lit::FALSE);
+    }
+
+    #[test]
+    fn adder_roundtrip() {
+        let mut b = NetlistBuilder::new("add");
+        let x = b.input_word("a", 4);
+        let y = b.input_word("b", 4);
+        let s = b.add_word(&x, &y);
+        b.output_word(&s, "s");
+        let nl = b.finish().unwrap();
+        let aig = to_aig(&nl).unwrap();
+        assert!(aig.num_ands() > 0);
+        let back = aig.to_netlist();
+        // only AND/NOT/const gates in the reconstruction
+        for g in &back.gates {
+            assert!(matches!(
+                g.kind,
+                GateKind::And | GateKind::Not | GateKind::Const0 | GateKind::Const1
+            ));
+        }
+        for v in 0..256u64 {
+            let want = eval_netlist(&nl, v);
+            assert_eq!(aig.eval(v), want, "aig at {v:08b}");
+            assert_eq!(eval_netlist(&back, v), want, "roundtrip at {v:08b}");
+        }
+    }
+
+    #[test]
+    fn all_gate_kinds_convert() {
+        let mut b = NetlistBuilder::new("kinds");
+        let x = b.input_word("x", 5);
+        let outs = [
+            b.gate(GateKind::And, x.clone()),
+            b.gate(GateKind::Or, x.clone()),
+            b.gate(GateKind::Xor, x.clone()),
+            b.gate(GateKind::Nand, x.clone()),
+            b.gate(GateKind::Nor, x.clone()),
+            b.gate(GateKind::Xnor, x.clone()),
+            b.mux(x[0], x[1], x[2]),
+            b.not(x[3]),
+        ];
+        for (i, &o) in outs.iter().enumerate() {
+            b.output(o, &format!("y{i}"));
+        }
+        let nl = b.finish().unwrap();
+        let aig = to_aig(&nl).unwrap();
+        for v in 0..32u64 {
+            assert_eq!(aig.eval(v), eval_netlist(&nl, v), "v={v:05b}");
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_balanced_trees() {
+        // and_many builds a balanced tree through binarize? — here the AIG
+        // itself folds linearly; check depth is at least sane
+        let mut b = NetlistBuilder::new("w");
+        let x = b.input_word("x", 16);
+        let y = b.and_many(&x);
+        b.output(y, "y");
+        let nl = b.finish().unwrap();
+        let aig = to_aig(&nl).unwrap();
+        assert_eq!(aig.num_ands(), 15);
+        assert!(aig.depth() >= 4 && aig.depth() <= 15);
+    }
+
+    #[test]
+    fn aig_netlist_is_l2_form() {
+        // the footnote-5 scenario: the AIG netlist is exactly the 2-bounded
+        // AND/NOT network the paper associates with L = 2
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input_word("x", 4);
+        let p = b.reduce_xor(&x);
+        let q = b.and_many(&x[..3]);
+        b.output(p, "p");
+        b.output(q, "q");
+        let nl = b.finish().unwrap();
+        let aig_nl = to_aig(&nl).unwrap().to_netlist();
+        for g in &aig_nl.gates {
+            assert!(g.inputs.len() <= 2);
+        }
+        for v in 0..16u64 {
+            assert_eq!(eval_netlist(&aig_nl, v), eval_netlist(&nl, v));
+        }
+    }
+}

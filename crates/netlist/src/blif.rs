@@ -1,0 +1,489 @@
+//! Berkeley Logic Interchange Format (BLIF) import/export.
+//!
+//! BLIF is the lingua franca of the open logic-synthesis ecosystem (ABC,
+//! Yosys `write_blif`, VTR): supporting it lets circuits flow between this
+//! workspace and the tools the paper builds on. The exporter binarizes
+//! first so every `.names` block is at most 2 inputs; the importer accepts
+//! general `.names` covers (both 1- and 0-terminated, `-` don't-cares) and
+//! `.latch` lines.
+
+use crate::build::NetlistBuilder;
+use crate::graph::binarize;
+use crate::ir::{GateKind, Net, Netlist};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Errors while parsing BLIF text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlifError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl std::fmt::Display for BlifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BLIF error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+/// Render a netlist as BLIF. Net names come from the netlist where
+/// available (sanitized), `n<id>` otherwise.
+pub fn to_blif(nl: &Netlist) -> String {
+    let nl = binarize(nl, false); // ≤2-input gates, muxes expanded
+    let name_of = |n: Net| -> String {
+        match nl.net_name(n) {
+            Some(s) => {
+                let clean: String = s
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                    .collect();
+                format!("{clean}_n{}", n.0)
+            }
+            None => format!("n{}", n.0),
+        }
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", if nl.name.is_empty() { "top" } else { &nl.name });
+    let _ = writeln!(
+        s,
+        ".inputs {}",
+        nl.inputs.iter().map(|&n| name_of(n)).collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(
+        s,
+        ".outputs {}",
+        nl.outputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| format!("out{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for ff in &nl.flipflops {
+        let _ = writeln!(
+            s,
+            ".latch {} {} re clk {}",
+            name_of(ff.d),
+            name_of(ff.q),
+            ff.init as u8
+        );
+    }
+    for g in &nl.gates {
+        let ins: Vec<String> = g.inputs.iter().map(|&n| name_of(n)).collect();
+        let out = name_of(g.output);
+        let _ = writeln!(s, ".names {} {}", ins.join(" "), out);
+        match (g.kind, g.inputs.len()) {
+            (GateKind::Const0, _) => { /* empty cover = constant 0 */ }
+            (GateKind::Const1, _) => {
+                let _ = writeln!(s, "1");
+            }
+            (GateKind::Buf, _) => {
+                let _ = writeln!(s, "1 1");
+            }
+            (GateKind::Not, _) => {
+                let _ = writeln!(s, "0 1");
+            }
+            (GateKind::And, 1) | (GateKind::Or, 1) | (GateKind::Xor, 1) => {
+                let _ = writeln!(s, "1 1");
+            }
+            (GateKind::And, 2) => {
+                let _ = writeln!(s, "11 1");
+            }
+            (GateKind::Or, 2) => {
+                let _ = writeln!(s, "1- 1\n-1 1");
+            }
+            (GateKind::Xor, 2) => {
+                let _ = writeln!(s, "10 1\n01 1");
+            }
+            (GateKind::Nand, 2) => {
+                let _ = writeln!(s, "0- 1\n-0 1");
+            }
+            (GateKind::Nor, 2) => {
+                let _ = writeln!(s, "00 1");
+            }
+            (GateKind::Xnor, 2) => {
+                let _ = writeln!(s, "11 1\n00 1");
+            }
+            (k, n) => unreachable!("binarized netlist left a {k:?}/{n}"),
+        }
+    }
+    // output aliases (outputs may point at inputs or shared nets)
+    for (i, &o) in nl.outputs.iter().enumerate() {
+        let _ = writeln!(s, ".names {} out{i}", name_of(o));
+        let _ = writeln!(s, "1 1");
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+/// Parse a BLIF model into a netlist.
+pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
+    // join continuation lines (trailing backslash)
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if pending.is_empty() {
+            pending_line = i + 1;
+        }
+        if let Some(stripped) = line.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(&line);
+        logical.push((pending_line, std::mem::take(&mut pending)));
+    }
+
+    let mut b = NetlistBuilder::new("blif");
+    let mut by_name: HashMap<String, Net> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let err = |line: usize, m: &str| BlifError {
+        message: m.to_string(),
+        line,
+    };
+    // first pass: declare inputs and collect every referenced name as a
+    // placeholder so covers can reference forward
+    let mut model_name = String::from("blif");
+    // pending gate covers: (line, input names, output name, cover rows)
+    struct NamesBlock {
+        line: usize,
+        inputs: Vec<String>,
+        output: String,
+        rows: Vec<(String, char)>,
+    }
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut latches: Vec<(usize, String, String, bool)> = Vec::new();
+    let mut current: Option<NamesBlock> = None;
+    for (line, text) in &logical {
+        let mut toks = text.split_whitespace();
+        let head = toks.next().unwrap();
+        if head.starts_with('.') {
+            if let Some(blk) = current.take() {
+                blocks.push(blk);
+            }
+        }
+        match head {
+            ".model" => {
+                model_name = toks.next().unwrap_or("blif").to_string();
+            }
+            ".inputs" => {
+                for t in toks {
+                    let n = b.input(t);
+                    by_name.insert(t.to_string(), n);
+                }
+            }
+            ".outputs" => {
+                outputs.extend(toks.map(|t| t.to_string()));
+            }
+            ".names" => {
+                let names: Vec<String> = toks.map(|t| t.to_string()).collect();
+                if names.is_empty() {
+                    return Err(err(*line, ".names needs at least an output"));
+                }
+                let output = names.last().unwrap().clone();
+                let inputs = names[..names.len() - 1].to_vec();
+                current = Some(NamesBlock {
+                    line: *line,
+                    inputs,
+                    output,
+                    rows: Vec::new(),
+                });
+            }
+            ".latch" => {
+                let d = toks.next().ok_or_else(|| err(*line, ".latch needs input"))?;
+                let q = toks.next().ok_or_else(|| err(*line, ".latch needs output"))?;
+                let rest: Vec<&str> = toks.collect();
+                let init = matches!(rest.last(), Some(&"1"));
+                latches.push((*line, d.to_string(), q.to_string(), init));
+            }
+            ".end" => {}
+            ".exdc" | ".subckt" | ".gate" => {
+                return Err(err(*line, &format!("unsupported construct {head}")));
+            }
+            _ if head.starts_with('.') => {
+                // ignore unknown directives (e.g. .default_input_arrival)
+            }
+            _ => {
+                // cover row inside a .names block
+                let blk = current
+                    .as_mut()
+                    .ok_or_else(|| err(*line, "cover row outside .names"))?;
+                if blk.inputs.is_empty() {
+                    // constant: single token "1" or "0"
+                    let v = head.chars().next().unwrap();
+                    blk.rows.push((String::new(), v));
+                } else {
+                    let pat = head.to_string();
+                    let out = toks
+                        .next()
+                        .and_then(|t| t.chars().next())
+                        .ok_or_else(|| err(*line, "cover row missing output value"))?;
+                    if pat.len() != blk.inputs.len() {
+                        return Err(err(*line, "cover width != input count"));
+                    }
+                    blk.rows.push((pat, out));
+                }
+            }
+        }
+    }
+    if let Some(blk) = current.take() {
+        blocks.push(blk);
+    }
+
+    // declare latch outputs as placeholders (they act as sources)
+    let clk = b.clock("clk");
+    let get_net = |b: &mut NetlistBuilder, by_name: &mut HashMap<String, Net>, name: &str| {
+        *by_name
+            .entry(name.to_string())
+            .or_insert_with(|| b.fresh(Some(name)))
+    };
+    for (_, _, q, _) in &latches {
+        get_net(&mut b, &mut by_name, q);
+    }
+    // elaborate .names blocks in order; inputs may be placeholders
+    for blk in &blocks {
+        let k = blk.inputs.len();
+        if k > 20 {
+            return Err(err(blk.line, "cover too wide (>20 inputs)"));
+        }
+        let in_nets: Vec<Net> = blk
+            .inputs
+            .iter()
+            .map(|n| get_net(&mut b, &mut by_name, n))
+            .collect();
+        // build the truth table from the cover
+        let rows = 1usize << k;
+        let words = rows.div_ceil(64);
+        let mut bits = vec![0u64; words];
+        let one_cover = blk.rows.iter().all(|(_, v)| *v == '1');
+        let zero_cover = blk.rows.iter().all(|(_, v)| *v == '0');
+        if !(one_cover || zero_cover) {
+            return Err(err(blk.line, "mixed 0/1 cover"));
+        }
+        for row in 0..rows {
+            let mut covered = false;
+            for (pat, _) in &blk.rows {
+                let hit = pat.chars().enumerate().all(|(i, c)| match c {
+                    '1' => row >> i & 1 == 1,
+                    '0' => row >> i & 1 == 0,
+                    '-' => true,
+                    _ => false,
+                });
+                if pat.is_empty() {
+                    covered = true;
+                    break;
+                }
+                if hit {
+                    covered = true;
+                    break;
+                }
+            }
+            let value = if one_cover { covered } else { !covered };
+            if value {
+                bits[row / 64] |= 1 << (row % 64);
+            }
+        }
+        // the constant-0 function is an empty 1-cover
+        if blk.rows.is_empty() {
+            bits.iter_mut().for_each(|w| *w = 0);
+        }
+        let f = if k == 0 {
+            b.constant(bits[0] & 1 == 1)
+        } else {
+            b.synth_truth_table(&in_nets, &bits)
+        };
+        let dst = get_net(&mut b, &mut by_name, &blk.output);
+        b.connect(f, dst);
+    }
+    for (line, d, q, init) in &latches {
+        let dn = *by_name
+            .get(d)
+            .ok_or_else(|| err(*line, &format!("latch input '{d}' undefined")))?;
+        let qn = by_name[q.as_str()];
+        b.push_ff_raw(dn, qn, clk, None, None, false, *init);
+    }
+    let mut nl = b.finish_unchecked();
+    nl.name = model_name;
+    for (i, out) in outputs.iter().enumerate() {
+        let n = by_name
+            .get(out)
+            .ok_or_else(|| err(0, &format!("output '{out}' never defined")))?;
+        nl.outputs.push(*n);
+        let _ = i;
+    }
+    let nl = crate::graph::collapse_buffers(&nl);
+    nl.validate().map_err(|e| BlifError {
+        message: e.to_string(),
+        line: 0,
+    })?;
+    Ok(nl)
+}
+
+/// Convenience: structural round-trip used by tests and tools.
+pub fn roundtrip(nl: &Netlist) -> Result<Netlist, BlifError> {
+    from_blif(&to_blif(nl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::NetlistBuilder;
+    use crate::graph::topo_order;
+
+    fn eval(nl: &Netlist, x: u64) -> u64 {
+        let mut vals = vec![false; nl.num_nets as usize];
+        for (j, &inp) in nl.inputs.iter().enumerate() {
+            vals[inp.index()] = x >> j & 1 == 1;
+        }
+        for gi in topo_order(nl).unwrap() {
+            let g = &nl.gates[gi];
+            let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+            vals[g.output.index()] = g.kind.eval(&ins);
+        }
+        nl.outputs
+            .iter()
+            .enumerate()
+            .map(|(j, &o)| (vals[o.index()] as u64) << j)
+            .sum()
+    }
+
+    #[test]
+    fn export_contains_structure() {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.xor2(a, c);
+        let g = b.and2(a, c);
+        b.output(s, "s");
+        b.output(g, "c");
+        let nl = b.finish().unwrap();
+        let blif = to_blif(&nl);
+        assert!(blif.starts_with(".model fa"));
+        assert!(blif.contains(".inputs"));
+        assert!(blif.contains(".outputs out0 out1"));
+        assert!(blif.contains(".names"));
+        assert!(blif.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn comb_roundtrip_is_equivalent() {
+        let mut b = NetlistBuilder::new("mix");
+        let x = b.input_word("x", 5);
+        let a = b.and_many(&x[..3]);
+        let o = b.or_many(&x[2..]);
+        let m = b.mux(x[0], a, o);
+        let p = b.xor_many(&x);
+        b.output(m, "m");
+        b.output(p, "p");
+        let nl = b.finish().unwrap();
+        let back = roundtrip(&nl).unwrap();
+        assert_eq!(back.inputs.len(), 5);
+        for v in 0..32u64 {
+            assert_eq!(eval(&back, v), eval(&nl, v), "x={v:05b}");
+        }
+    }
+
+    #[test]
+    fn sequential_roundtrip_preserves_behavior() {
+        use crate::word::WordOps;
+        let mut b = NetlistBuilder::new("ctr");
+        let clk = b.clock("clk");
+        let en = b.input("en");
+        let q = b.fresh_word("q", 4);
+        let inc = b.inc_word(&q);
+        let next = b.mux_word(en, &q, &inc);
+        b.connect_ff_word(&next, &q, clk, None, None, 0, 0b1010);
+        b.output_word(&q, "q");
+        let nl = b.finish().unwrap();
+        let back = roundtrip(&nl).unwrap();
+        assert_eq!(back.flipflops.len(), 4);
+        // inits preserved
+        let inits: Vec<bool> = back.flipflops.iter().map(|f| f.init).collect();
+        assert_eq!(inits.iter().filter(|&&x| x).count(), 2);
+        // behavior: step both for 10 cycles
+        let cut_a = crate::seq::prepare(&nl).unwrap();
+        let cut_b = crate::seq::prepare(&back).unwrap();
+        let mut sa = cut_a.state_init.clone();
+        let mut sb = cut_b.state_init.clone();
+        for cyc in 0..10 {
+            let en_v = cyc % 3 != 0;
+            let full_a: Vec<bool> = std::iter::once(en_v).chain(sa.iter().copied()).collect();
+            let full_b: Vec<bool> = std::iter::once(en_v).chain(sb.iter().copied()).collect();
+            let ra = eval_all(&cut_a.comb, &full_a);
+            let rb = eval_all(&cut_b.comb, &full_b);
+            assert_eq!(
+                &ra[..cut_a.num_primary_outputs],
+                &rb[..cut_b.num_primary_outputs],
+                "cycle {cyc}"
+            );
+            sa = ra[cut_a.num_primary_outputs..].to_vec();
+            sb = rb[cut_b.num_primary_outputs..].to_vec();
+        }
+    }
+
+    fn eval_all(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut vals = vec![false; nl.num_nets as usize];
+        for (j, &inp) in nl.inputs.iter().enumerate() {
+            vals[inp.index()] = inputs[j];
+        }
+        for gi in topo_order(nl).unwrap() {
+            let g = &nl.gates[gi];
+            let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+            vals[g.output.index()] = g.kind.eval(&ins);
+        }
+        nl.outputs.iter().map(|o| vals[o.index()]).collect()
+    }
+
+    #[test]
+    fn parses_external_style_blif() {
+        // hand-written BLIF with don't-cares and a 0-cover
+        let src = "
+          # a comment
+          .model ext
+          .inputs a b c
+          .outputs y z
+          .names a b c y
+          1-1 1
+          01- 1
+          .names a b z
+          00 0
+          .end";
+        let nl = from_blif(src).unwrap();
+        assert_eq!(nl.name, "ext");
+        for v in 0..8u64 {
+            let a = v & 1 == 1;
+            let bb = v >> 1 & 1 == 1;
+            let c = v >> 2 & 1 == 1;
+            let y = (a && c) || (!a && bb);
+            let z = !(!a && !bb); // 0-cover: function is 0 only on "00"
+            let got = eval(&nl, v);
+            assert_eq!(got & 1 == 1, y, "y at {v:03b}");
+            assert_eq!(got >> 1 & 1 == 1, z, "z at {v:03b}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1\n.end").is_err());
+        assert!(from_blif(".model m\n.outputs y\n.end").is_err()); // y undefined
+        assert!(from_blif(".model m\n.inputs a\n.outputs y\n.subckt foo x=a\n.end").is_err());
+    }
+
+    #[test]
+    fn constant_covers() {
+        let src = ".model k\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end";
+        let nl = from_blif(src).unwrap();
+        for v in 0..2u64 {
+            let got = eval(&nl, v);
+            assert_eq!(got & 1, 1, "constant 1");
+            assert_eq!(got >> 1 & 1, 0, "constant 0");
+        }
+    }
+}

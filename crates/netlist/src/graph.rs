@@ -1,0 +1,510 @@
+//! DAG utilities over the combinational part of a [`Netlist`]: topological
+//! ordering, levelization, fan-out computation, cone extraction, and
+//! statistics. Flip-flop boundaries (`q` outputs) are treated as sources and
+//! `d` inputs as sinks, so a sequential netlist's gate graph is still a DAG.
+
+use crate::ir::{Driver, GateKind, Net, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// Topological order of gate indices (inputs before users).
+///
+/// Fails with [`NetlistError::CombinationalCycle`] if the combinational part
+/// is cyclic.
+pub fn topo_order(nl: &Netlist) -> Result<Vec<usize>, NetlistError> {
+    // driver-gate lookup without full Driver vec (cheap, local)
+    let mut gate_of_net: Vec<u32> = vec![u32::MAX; nl.num_nets as usize];
+    for (gi, g) in nl.gates.iter().enumerate() {
+        if g.output.index() < gate_of_net.len() {
+            gate_of_net[g.output.index()] = gi as u32;
+        }
+    }
+    let mut indeg: Vec<u32> = vec![0; nl.gates.len()];
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); nl.gates.len()];
+    for (gi, g) in nl.gates.iter().enumerate() {
+        for &inp in &g.inputs {
+            let src = gate_of_net[inp.index()];
+            if src != u32::MAX {
+                indeg[gi] += 1;
+                fanout[src as usize].push(gi as u32);
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(nl.gates.len());
+    let mut queue: Vec<u32> = (0..nl.gates.len() as u32)
+        .filter(|&g| indeg[g as usize] == 0)
+        .collect();
+    while let Some(g) = queue.pop() {
+        order.push(g as usize);
+        for &succ in &fanout[g as usize] {
+            indeg[succ as usize] -= 1;
+            if indeg[succ as usize] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    if order.len() != nl.gates.len() {
+        // find a gate still in the cycle for the error message
+        let g = indeg.iter().position(|&d| d > 0).unwrap_or(0);
+        return Err(NetlistError::CombinationalCycle(nl.gates[g].output));
+    }
+    Ok(order)
+}
+
+/// Per-net logic level: primary inputs, constants and flip-flop outputs are
+/// level 0; a gate output is `1 + max(input levels)`.
+pub fn levelize(nl: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = topo_order(nl)?;
+    let mut level = vec![0u32; nl.num_nets as usize];
+    for gi in order {
+        let g = &nl.gates[gi];
+        let lvl = g
+            .inputs
+            .iter()
+            .map(|n| level[n.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level[g.output.index()] = lvl;
+    }
+    Ok(level)
+}
+
+/// Maximum logic level over all nets (circuit depth in gates).
+pub fn depth(nl: &Netlist) -> Result<u32, NetlistError> {
+    Ok(levelize(nl)?.into_iter().max().unwrap_or(0))
+}
+
+/// Number of combinational readers of each net (gate inputs only).
+pub fn fanout_counts(nl: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; nl.num_nets as usize];
+    for g in &nl.gates {
+        for &inp in &g.inputs {
+            counts[inp.index()] += 1;
+        }
+    }
+    for ff in &nl.flipflops {
+        counts[ff.d.index()] += 1;
+        if let Some(e) = ff.enable {
+            counts[e.index()] += 1;
+        }
+        if let Some(r) = ff.reset {
+            counts[r.index()] += 1;
+        }
+    }
+    for &o in &nl.outputs {
+        counts[o.index()] += 1;
+    }
+    counts
+}
+
+/// Remove gates whose outputs reach no primary output, flip-flop, or other
+/// live gate (dead-code elimination), compacting net ids. Returns the new
+/// netlist and the old-net → new-net mapping.
+pub fn sweep_dead(nl: &Netlist) -> (Netlist, HashMap<Net, Net>) {
+    let drivers = nl.drivers().expect("netlist must be valid before sweep");
+    // Mark live nets backwards from outputs and flip-flop inputs.
+    let mut live = vec![false; nl.num_nets as usize];
+    let mut stack: Vec<Net> = Vec::new();
+    let push = |stack: &mut Vec<Net>, live: &mut Vec<bool>, n: Net| {
+        if !live[n.index()] {
+            live[n.index()] = true;
+            stack.push(n);
+        }
+    };
+    for &o in &nl.outputs {
+        push(&mut stack, &mut live, o);
+    }
+    for ff in &nl.flipflops {
+        push(&mut stack, &mut live, ff.d);
+        push(&mut stack, &mut live, ff.q);
+        if let Some(e) = ff.enable {
+            push(&mut stack, &mut live, e);
+        }
+        if let Some(r) = ff.reset {
+            push(&mut stack, &mut live, r);
+        }
+    }
+    // keep all primary inputs (port shape must be preserved)
+    for &i in &nl.inputs {
+        push(&mut stack, &mut live, i);
+    }
+    while let Some(n) = stack.pop() {
+        if let Driver::Gate(gi) = drivers[n.index()] {
+            for &inp in &nl.gates[gi].inputs {
+                push(&mut stack, &mut live, inp);
+            }
+        }
+    }
+    // Renumber live nets densely.
+    let mut map: HashMap<Net, Net> = HashMap::new();
+    let mut next = 0u32;
+    for idx in 0..nl.num_nets {
+        if live[idx as usize] {
+            map.insert(Net(idx), Net(next));
+            next += 1;
+        }
+    }
+    let remap = |n: Net| map[&n];
+    let mut out = Netlist::new(nl.name.clone());
+    out.num_nets = next;
+    out.inputs = nl.inputs.iter().map(|&n| remap(n)).collect();
+    out.outputs = nl.outputs.iter().map(|&n| remap(n)).collect();
+    out.clocks = nl.clocks.clone();
+    out.net_names = vec![None; next as usize];
+    for idx in 0..nl.num_nets as usize {
+        if live[idx] {
+            out.net_names[map[&Net(idx as u32)].index()] = nl.net_names[idx].clone();
+        }
+    }
+    for g in &nl.gates {
+        if live[g.output.index()] {
+            out.gates.push(crate::ir::Gate {
+                kind: g.kind,
+                inputs: g.inputs.iter().map(|&n| remap(n)).collect(),
+                output: remap(g.output),
+            });
+        }
+    }
+    for ff in &nl.flipflops {
+        let mut ff = ff.clone();
+        ff.d = remap(ff.d);
+        ff.q = remap(ff.q);
+        ff.enable = ff.enable.map(remap);
+        ff.reset = ff.reset.map(remap);
+        out.flipflops.push(ff);
+    }
+    (out, map)
+}
+
+/// Decompose gates into a 2-bounded form: variadic AND/OR/XOR/NAND/NOR/XNOR
+/// become balanced trees of 2-input gates; `Mux` is kept when `keep_mux`
+/// (it is 3-bounded) or expanded into AND/OR/NOT otherwise. Net ids of
+/// existing nets (in particular gate outputs) are preserved, so ports and
+/// flip-flops are untouched. Technology mappers require a k-bounded network;
+/// this provides the strongest (2-bounded) guarantee.
+pub fn binarize(nl: &Netlist, keep_mux: bool) -> Netlist {
+    binarize_with(nl, keep_mux, |_| false)
+}
+
+/// [`binarize`] with an exemption predicate: gates for which `skip` returns
+/// true are copied unchanged (used by the wide-gate known-function pass,
+/// which must keep wide ANDs/ORs intact through mapping).
+pub fn binarize_with(
+    nl: &Netlist,
+    keep_mux: bool,
+    skip: impl Fn(&crate::ir::Gate) -> bool,
+) -> Netlist {
+    let mut out = nl.clone();
+    let mut gates = Vec::with_capacity(out.gates.len());
+    let mut next_net = out.num_nets;
+    let mut fresh = |names: &mut Vec<Option<String>>| {
+        let n = Net(next_net);
+        next_net += 1;
+        names.push(None);
+        n
+    };
+    for g in &out.gates {
+        use GateKind::*;
+        if skip(g) {
+            gates.push(g.clone());
+            continue;
+        }
+        let (tree_kind, invert) = match g.kind {
+            And => (And, false),
+            Or => (Or, false),
+            Xor => (Xor, false),
+            Nand => (And, true),
+            Nor => (Or, true),
+            Xnor => (Xor, true),
+            Mux if !keep_mux => {
+                // s ? b : a  =  (s AND b) OR (NOT s AND a)
+                let (s, a, b) = (g.inputs[0], g.inputs[1], g.inputs[2]);
+                let ns = fresh(&mut out.net_names);
+                let t1 = fresh(&mut out.net_names);
+                let t2 = fresh(&mut out.net_names);
+                gates.push(crate::ir::Gate {
+                    kind: Not,
+                    inputs: vec![s],
+                    output: ns,
+                });
+                gates.push(crate::ir::Gate {
+                    kind: And,
+                    inputs: vec![s, b],
+                    output: t1,
+                });
+                gates.push(crate::ir::Gate {
+                    kind: And,
+                    inputs: vec![ns, a],
+                    output: t2,
+                });
+                gates.push(crate::ir::Gate {
+                    kind: Or,
+                    inputs: vec![t1, t2],
+                    output: g.output,
+                });
+                continue;
+            }
+            _ => {
+                gates.push(g.clone());
+                continue;
+            }
+        };
+        if g.inputs.len() <= 2 && !invert {
+            gates.push(g.clone());
+            continue;
+        }
+        // balanced reduction tree over the inputs
+        let mut layer: Vec<Net> = g.inputs.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let last_pair = layer.len() == 2;
+                let dst = if last_pair && !invert {
+                    g.output
+                } else {
+                    fresh(&mut out.net_names)
+                };
+                gates.push(crate::ir::Gate {
+                    kind: tree_kind,
+                    inputs: vec![pair[0], pair[1]],
+                    output: dst,
+                });
+                next.push(dst);
+            }
+            layer = next;
+        }
+        if invert {
+            // single-input NAND/NOR/XNOR degenerate to NOT of the input
+            gates.push(crate::ir::Gate {
+                kind: Not,
+                inputs: vec![layer[0]],
+                output: g.output,
+            });
+        }
+    }
+    out.gates = gates;
+    out.num_nets = next_net;
+    out
+}
+
+/// Rewire every reader of a `Buf` gate's output to read the buffer's input
+/// instead (following chains), leaving the buffers dead; then sweep them.
+/// Primary inputs are never collapsed away. Debug names migrate to the
+/// surviving net when it has none.
+pub fn collapse_buffers(nl: &Netlist) -> Netlist {
+    let drivers = nl.drivers().expect("netlist must be valid");
+    // root[n] = the non-buffer source net feeding n through a buf chain
+    let mut root: Vec<Net> = (0..nl.num_nets).map(Net).collect();
+    fn find(root: &mut [Net], drivers: &[Driver], gates: &[crate::ir::Gate], n: Net) -> Net {
+        if root[n.index()] != n {
+            return root[n.index()];
+        }
+        if let Driver::Gate(gi) = drivers[n.index()] {
+            if gates[gi].kind == GateKind::Buf {
+                let r = find(root, drivers, gates, gates[gi].inputs[0]);
+                root[n.index()] = r;
+                return r;
+            }
+        }
+        n
+    }
+    for i in 0..nl.num_nets {
+        find(&mut root, &drivers, &nl.gates, Net(i));
+    }
+    let mut out = nl.clone();
+    let remap = |n: Net| root[n.index()];
+    for g in &mut out.gates {
+        for inp in &mut g.inputs {
+            *inp = remap(*inp);
+        }
+    }
+    for ff in &mut out.flipflops {
+        ff.d = remap(ff.d);
+        ff.enable = ff.enable.map(remap);
+        ff.reset = ff.reset.map(remap);
+    }
+    for o in &mut out.outputs {
+        *o = remap(*o);
+    }
+    // migrate names from collapsed nets to their roots
+    for (i, &r) in root.iter().enumerate() {
+        if r.index() != i && out.net_names[r.index()].is_none() {
+            out.net_names[r.index()] = nl.net_names[i].clone();
+        }
+    }
+    sweep_dead(&out).0
+}
+
+/// Summary statistics of a netlist, used in reports and tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetlistStats {
+    pub nets: usize,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub gates: usize,
+    pub flipflops: usize,
+    pub depth: u32,
+    pub by_kind: Vec<(GateKind, usize)>,
+}
+
+/// Compute [`NetlistStats`].
+pub fn stats(nl: &Netlist) -> NetlistStats {
+    let mut by: HashMap<GateKind, usize> = HashMap::new();
+    for g in &nl.gates {
+        *by.entry(g.kind).or_insert(0) += 1;
+    }
+    let mut by_kind: Vec<(GateKind, usize)> = by.into_iter().collect();
+    by_kind.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    NetlistStats {
+        nets: nl.num_nets as usize,
+        inputs: nl.inputs.len(),
+        outputs: nl.outputs.len(),
+        gates: nl.gates.len(),
+        flipflops: nl.flipflops.len(),
+        depth: depth(nl).unwrap_or(0),
+        by_kind,
+    }
+}
+
+/// Render the gate graph in Graphviz DOT format (debugging aid).
+pub fn to_dot(nl: &Netlist) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", nl.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (i, &n) in nl.inputs.iter().enumerate() {
+        let name = nl.net_name(n).unwrap_or("in");
+        let _ = writeln!(s, "  i{i} [shape=triangle,label=\"{name}\"];");
+    }
+    for (gi, g) in nl.gates.iter().enumerate() {
+        let _ = writeln!(s, "  g{gi} [shape=box,label=\"{:?}\"];", g.kind);
+    }
+    for (fi, _) in nl.flipflops.iter().enumerate() {
+        let _ = writeln!(s, "  f{fi} [shape=box,style=filled,label=\"DFF\"];");
+    }
+    let drivers = match nl.drivers() {
+        Ok(d) => d,
+        Err(_) => return s + "}\n",
+    };
+    let src_name = |n: Net| -> String {
+        match drivers[n.index()] {
+            Driver::Input(i) => format!("i{i}"),
+            Driver::Gate(g) => format!("g{g}"),
+            Driver::FlipFlop(f) => format!("f{f}"),
+            Driver::None => "undriven".into(),
+        }
+    };
+    for (gi, g) in nl.gates.iter().enumerate() {
+        for &inp in &g.inputs {
+            let _ = writeln!(s, "  {} -> g{gi};", src_name(inp));
+        }
+    }
+    for (fi, ff) in nl.flipflops.iter().enumerate() {
+        let _ = writeln!(s, "  {} -> f{fi};", src_name(ff.d));
+    }
+    for (oi, &o) in nl.outputs.iter().enumerate() {
+        let name = nl.net_name(o).unwrap_or("out");
+        let _ = writeln!(s, "  o{oi} [shape=invtriangle,label=\"{name}\"];");
+        let _ = writeln!(s, "  {} -> o{oi};", src_name(o));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::NetlistBuilder;
+
+    fn chain(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut x = b.input("x");
+        let y = b.input("y");
+        for _ in 0..n {
+            x = b.xor2(x, y);
+        }
+        b.output(x, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let nl = chain(10);
+        let order = topo_order(&nl).unwrap();
+        let mut pos = vec![0; nl.gates.len()];
+        for (p, &g) in order.iter().enumerate() {
+            pos[g] = p;
+        }
+        for (gi, g) in nl.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                for (gj, h) in nl.gates.iter().enumerate() {
+                    if h.output == inp {
+                        assert!(pos[gj] < pos[gi]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        assert_eq!(depth(&chain(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn levelize_inputs_are_zero() {
+        let nl = chain(3);
+        let lv = levelize(&nl).unwrap();
+        for &i in &nl.inputs {
+            assert_eq!(lv[i.index()], 0);
+        }
+    }
+
+    #[test]
+    fn fanout_counts_shared_input() {
+        let nl = chain(5);
+        let counts = fanout_counts(&nl);
+        // `y` feeds all 5 xors
+        assert_eq!(counts[nl.inputs[1].index()], 5);
+        // output net is read once (primary output)
+        assert_eq!(counts[nl.outputs[0].index()], 1);
+    }
+
+    #[test]
+    fn sweep_removes_dead_gates() {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let live = b.and2(a, bb);
+        let _dead = b.or2(a, bb);
+        b.output(live, "o");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.gates.len(), 2);
+        let (swept, _) = sweep_dead(&nl);
+        assert_eq!(swept.gates.len(), 1);
+        swept.validate().unwrap();
+        assert_eq!(swept.inputs.len(), 2);
+    }
+
+    #[test]
+    fn stats_counts_kinds() {
+        let nl = chain(4);
+        let st = stats(&nl);
+        assert_eq!(st.gates, 4);
+        assert_eq!(st.depth, 4);
+        assert_eq!(st.by_kind, vec![(GateKind::Xor, 4)]);
+    }
+
+    #[test]
+    fn dot_output_mentions_all_gates() {
+        let nl = chain(3);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("g0"));
+        assert!(dot.contains("g2"));
+        assert!(dot.starts_with("digraph"));
+    }
+}

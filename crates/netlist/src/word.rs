@@ -1,0 +1,437 @@
+//! Word-level construction helpers layered on [`NetlistBuilder`].
+//!
+//! A *word* is simply a `Vec<Net>` with the least significant bit first.
+//! These helpers synthesize the multi-bit operators (adders, comparators,
+//! shifters, muxes) that both the Verilog elaborator and the hand-built
+//! benchmark circuits need, keeping all bit-blasting logic in one place.
+
+use crate::build::NetlistBuilder;
+use crate::ir::Net;
+
+/// Word-level operations. All functions treat words as unsigned, LSB-first.
+pub trait WordOps {
+    /// A constant word of the given width.
+    fn const_word(&mut self, value: u64, width: usize) -> Vec<Net>;
+    /// Bitwise NOT.
+    fn not_word(&mut self, a: &[Net]) -> Vec<Net>;
+    /// Bitwise AND (widths must match).
+    fn and_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Bitwise OR (widths must match).
+    fn or_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Bitwise XOR (widths must match).
+    fn xor_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Ripple-carry addition with carry-in; returns (sum, carry-out).
+    fn adc(&mut self, a: &[Net], b: &[Net], cin: Net) -> (Vec<Net>, Net);
+    /// Addition modulo 2^width.
+    fn add_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Subtraction modulo 2^width (a - b).
+    fn sub_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Increment by one modulo 2^width.
+    fn inc_word(&mut self, a: &[Net]) -> Vec<Net>;
+    /// Equality comparison, single-bit result.
+    fn eq_word(&mut self, a: &[Net], b: &[Net]) -> Net;
+    /// Equality against a constant.
+    fn eq_const(&mut self, a: &[Net], value: u64) -> Net;
+    /// Unsigned less-than `a < b`.
+    fn lt_word(&mut self, a: &[Net], b: &[Net]) -> Net;
+    /// Per-bit 2:1 mux: `s ? b : a`.
+    fn mux_word(&mut self, s: Net, a: &[Net], b: &[Net]) -> Vec<Net>;
+    /// Select one of `words` by one-hot select lines (ORs of ANDs).
+    fn onehot_mux_word(&mut self, selects: &[Net], words: &[Vec<Net>]) -> Vec<Net>;
+    /// Logical left shift by a constant, zero fill.
+    fn shl_const(&mut self, a: &[Net], k: usize) -> Vec<Net>;
+    /// Logical right shift by a constant, zero fill.
+    fn shr_const(&mut self, a: &[Net], k: usize) -> Vec<Net>;
+    /// Rotate right by a constant.
+    fn rotr_const(&mut self, a: &[Net], k: usize) -> Vec<Net>;
+    /// Barrel shifter: shift `a` right logically by variable amount `sh`.
+    fn shr_var(&mut self, a: &[Net], sh: &[Net]) -> Vec<Net>;
+    /// Barrel shifter: shift `a` left logically by variable amount `sh`.
+    fn shl_var(&mut self, a: &[Net], sh: &[Net]) -> Vec<Net>;
+    /// OR-reduce a word to one bit.
+    fn reduce_or(&mut self, a: &[Net]) -> Net;
+    /// AND-reduce a word to one bit.
+    fn reduce_and(&mut self, a: &[Net]) -> Net;
+    /// XOR-reduce a word to one bit (parity).
+    fn reduce_xor(&mut self, a: &[Net]) -> Net;
+    /// Register a whole word through D flip-flops; returns the q word.
+    fn dff_word(&mut self, d: &[Net], clock: u32, init: u64) -> Vec<Net>;
+    /// Register a word with enable and synchronous reset to `reset_value`.
+    fn dff_word_full(
+        &mut self,
+        d: &[Net],
+        clock: u32,
+        enable: Option<Net>,
+        reset: Option<Net>,
+        reset_value: u64,
+        init: u64,
+    ) -> Vec<Net>;
+    /// Zero-extend or truncate to `width`.
+    fn resize_word(&mut self, a: &[Net], width: usize) -> Vec<Net>;
+}
+
+impl WordOps for NetlistBuilder {
+    fn const_word(&mut self, value: u64, width: usize) -> Vec<Net> {
+        (0..width)
+            .map(|i| self.constant(i < 64 && value >> i & 1 == 1))
+            .collect()
+    }
+
+    fn not_word(&mut self, a: &[Net]) -> Vec<Net> {
+        a.iter().map(|&x| self.not(x)).collect()
+    }
+
+    fn and_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.and2(x, y)).collect()
+    }
+
+    fn or_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.or2(x, y)).collect()
+    }
+
+    fn xor_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.xor2(x, y)).collect()
+    }
+
+    fn adc(&mut self, a: &[Net], b: &[Net], cin: Net) -> (Vec<Net>, Net) {
+        assert_eq!(a.len(), b.len());
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let p = self.xor2(x, y);
+            sum.push(self.xor2(p, carry));
+            // carry = (x & y) | (p & carry)  — full-adder majority
+            let g = self.and2(x, y);
+            let t = self.and2(p, carry);
+            carry = self.or2(g, t);
+        }
+        (sum, carry)
+    }
+
+    fn add_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net> {
+        let cin = self.zero();
+        self.adc(a, b, cin).0
+    }
+
+    fn sub_word(&mut self, a: &[Net], b: &[Net]) -> Vec<Net> {
+        let nb = self.not_word(b);
+        let cin = self.one();
+        self.adc(a, &nb, cin).0
+    }
+
+    fn inc_word(&mut self, a: &[Net]) -> Vec<Net> {
+        let one = self.const_word(1, a.len());
+        self.add_word(a, &one)
+    }
+
+    fn eq_word(&mut self, a: &[Net], b: &[Net]) -> Net {
+        assert_eq!(a.len(), b.len());
+        let bits: Vec<Net> = a.iter().zip(b).map(|(&x, &y)| self.xnor2(x, y)).collect();
+        self.and_many(&bits)
+    }
+
+    fn eq_const(&mut self, a: &[Net], value: u64) -> Net {
+        // a value wider than the word can never match
+        if a.len() < 64 && value >> a.len() != 0 {
+            return self.zero();
+        }
+        let bits: Vec<Net> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if value >> i & 1 == 1 {
+                    x
+                } else {
+                    self.not(x)
+                }
+            })
+            .collect();
+        self.and_many(&bits)
+    }
+
+    fn lt_word(&mut self, a: &[Net], b: &[Net]) -> Net {
+        // a < b  ⇔  borrow out of (a - b)
+        let nb = self.not_word(b);
+        let cin = self.one();
+        let (_, carry) = self.adc(a, &nb, cin);
+        self.not(carry)
+    }
+
+    fn mux_word(&mut self, s: Net, a: &[Net], b: &[Net]) -> Vec<Net> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.mux(s, x, y)).collect()
+    }
+
+    fn onehot_mux_word(&mut self, selects: &[Net], words: &[Vec<Net>]) -> Vec<Net> {
+        assert_eq!(selects.len(), words.len());
+        assert!(!words.is_empty());
+        let width = words[0].len();
+        (0..width)
+            .map(|bit| {
+                let terms: Vec<Net> = selects
+                    .iter()
+                    .zip(words)
+                    .map(|(&s, w)| self.and2(s, w[bit]))
+                    .collect();
+                self.or_many(&terms)
+            })
+            .collect()
+    }
+
+    fn shl_const(&mut self, a: &[Net], k: usize) -> Vec<Net> {
+        let zero = self.zero();
+        let mut out = vec![zero; a.len()];
+        if k < a.len() {
+            out[k..].copy_from_slice(&a[..a.len() - k]);
+        }
+        out
+    }
+
+    fn shr_const(&mut self, a: &[Net], k: usize) -> Vec<Net> {
+        let zero = self.zero();
+        let mut out = vec![zero; a.len()];
+        let n = a.len().saturating_sub(k);
+        out[..n].copy_from_slice(&a[k..k + n]);
+        out
+    }
+
+    fn rotr_const(&mut self, a: &[Net], k: usize) -> Vec<Net> {
+        let n = a.len();
+        let k = k % n;
+        (0..n).map(|i| a[(i + k) % n]).collect()
+    }
+
+    fn shr_var(&mut self, a: &[Net], sh: &[Net]) -> Vec<Net> {
+        let mut cur = a.to_vec();
+        for (stage, &s) in sh.iter().enumerate() {
+            let shifted = self.shr_const(&cur, 1 << stage);
+            cur = self.mux_word(s, &cur, &shifted);
+        }
+        cur
+    }
+
+    fn shl_var(&mut self, a: &[Net], sh: &[Net]) -> Vec<Net> {
+        let mut cur = a.to_vec();
+        for (stage, &s) in sh.iter().enumerate() {
+            let shifted = self.shl_const(&cur, 1 << stage);
+            cur = self.mux_word(s, &cur, &shifted);
+        }
+        cur
+    }
+
+    fn reduce_or(&mut self, a: &[Net]) -> Net {
+        self.or_many(a)
+    }
+
+    fn reduce_and(&mut self, a: &[Net]) -> Net {
+        self.and_many(a)
+    }
+
+    fn reduce_xor(&mut self, a: &[Net]) -> Net {
+        self.xor_many(a)
+    }
+
+    fn dff_word(&mut self, d: &[Net], clock: u32, init: u64) -> Vec<Net> {
+        d.iter()
+            .enumerate()
+            .map(|(i, &bit)| self.dff(bit, clock, i < 64 && init >> i & 1 == 1))
+            .collect()
+    }
+
+    fn dff_word_full(
+        &mut self,
+        d: &[Net],
+        clock: u32,
+        enable: Option<Net>,
+        reset: Option<Net>,
+        reset_value: u64,
+        init: u64,
+    ) -> Vec<Net> {
+        d.iter()
+            .enumerate()
+            .map(|(i, &bit)| {
+                self.dff_full(
+                    bit,
+                    clock,
+                    enable,
+                    reset,
+                    i < 64 && reset_value >> i & 1 == 1,
+                    i < 64 && init >> i & 1 == 1,
+                )
+            })
+            .collect()
+    }
+
+    fn resize_word(&mut self, a: &[Net], width: usize) -> Vec<Net> {
+        let mut out: Vec<Net> = a.iter().copied().take(width).collect();
+        while out.len() < width {
+            out.push(self.zero());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::topo_order;
+    use crate::ir::Netlist;
+
+    /// Evaluate a combinational netlist for one input assignment.
+    fn eval(nl: &Netlist, inputs: u64) -> u64 {
+        let mut vals = vec![false; nl.num_nets as usize];
+        for (j, &inp) in nl.inputs.iter().enumerate() {
+            vals[inp.index()] = inputs >> j & 1 == 1;
+        }
+        for gi in topo_order(nl).unwrap() {
+            let g = &nl.gates[gi];
+            let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+            vals[g.output.index()] = g.kind.eval(&ins);
+        }
+        nl.outputs
+            .iter()
+            .enumerate()
+            .map(|(j, &o)| (vals[o.index()] as u64) << j)
+            .sum()
+    }
+
+    fn binop_circuit(
+        width: usize,
+        f: impl FnOnce(&mut NetlistBuilder, &[Net], &[Net]) -> Vec<Net>,
+    ) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_word("a", width);
+        let bb = b.input_word("b", width);
+        let out = f(&mut b, &a, &bb);
+        b.output_word(&out, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let nl = binop_circuit(4, |b, a, bb| b.add_word(a, bb));
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval(&nl, a | c << 4), (a + c) & 0xf, "{a}+{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_exhaustive_4bit() {
+        let nl = binop_circuit(4, |b, a, bb| b.sub_word(a, bb));
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval(&nl, a | c << 4), a.wrapping_sub(c) & 0xf, "{a}-{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn less_than_exhaustive_4bit() {
+        let nl = binop_circuit(4, |b, a, bb| vec![b.lt_word(a, bb)]);
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                assert_eq!(eval(&nl, a | c << 4), (a < c) as u64, "{a}<{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_word_and_eq_const() {
+        let nl = binop_circuit(4, |b, a, bb| {
+            let e = b.eq_word(a, bb);
+            let k = b.eq_const(a, 9);
+            vec![e, k]
+        });
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                let got = eval(&nl, a | c << 4);
+                assert_eq!(got & 1, (a == c) as u64);
+                assert_eq!(got >> 1 & 1, (a == 9) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifters() {
+        // 8-bit value, 3-bit shift amount
+        let mut b = NetlistBuilder::new("sh");
+        let a = b.input_word("a", 8);
+        let sh = b.input_word("sh", 3);
+        let r = b.shr_var(&a, &sh);
+        let l = b.shl_var(&a, &sh);
+        b.output_word(&r, "r");
+        b.output_word(&l, "l");
+        let nl = b.finish().unwrap();
+        for v in [0u64, 1, 0x80, 0xa5, 0xff, 0x3c] {
+            for s in 0..8u64 {
+                let got = eval(&nl, v | s << 8);
+                assert_eq!(got & 0xff, v >> s, "shr {v} by {s}");
+                assert_eq!(got >> 8 & 0xff, (v << s) & 0xff, "shl {v} by {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_right() {
+        let mut b = NetlistBuilder::new("rot");
+        let a = b.input_word("a", 8);
+        let r = b.rotr_const(&a, 3);
+        b.output_word(&r, "r");
+        let nl = b.finish().unwrap();
+        for v in [1u64, 0x81, 0xf0] {
+            assert_eq!(eval(&nl, v), (v >> 3 | v << 5) & 0xff);
+        }
+    }
+
+    #[test]
+    fn onehot_mux_selects() {
+        let mut b = NetlistBuilder::new("oh");
+        let s = b.input_word("s", 2);
+        let w0 = b.const_word(0x3, 4);
+        let w1 = b.const_word(0xc, 4);
+        let out = b.onehot_mux_word(&s.clone(), &[w0, w1]);
+        b.output_word(&out, "o");
+        let nl = b.finish().unwrap();
+        assert_eq!(eval(&nl, 0b01), 0x3);
+        assert_eq!(eval(&nl, 0b10), 0xc);
+        assert_eq!(eval(&nl, 0b00), 0);
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let mut b = NetlistBuilder::new("rz");
+        let a = b.input_word("a", 4);
+        let wide = b.resize_word(&a, 6);
+        let narrow = b.resize_word(&a, 2);
+        b.output_word(&wide, "w");
+        b.output_word(&narrow, "n");
+        let nl = b.finish().unwrap();
+        let got = eval(&nl, 0b1011);
+        assert_eq!(got & 0x3f, 0b1011);
+        assert_eq!(got >> 6 & 0x3, 0b11);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input_word("a", 4);
+        let o = b.reduce_or(&a);
+        let an = b.reduce_and(&a);
+        let x = b.reduce_xor(&a);
+        b.output(o, "or");
+        b.output(an, "and");
+        b.output(x, "xor");
+        let nl = b.finish().unwrap();
+        for v in 0..16u64 {
+            let got = eval(&nl, v);
+            assert_eq!(got & 1, (v != 0) as u64);
+            assert_eq!(got >> 1 & 1, (v == 15) as u64);
+            assert_eq!(got >> 2 & 1, (v.count_ones() % 2) as u64);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the netlist transforms: every rewrite
+//! (binarization, buffer collapse, dead sweep, BLIF round-trip) must
+//! preserve the circuit's function exactly.
+
+use c2nn_netlist::{
+    binarize, collapse_buffers, sweep_dead, topo_order, GateKind, Net, Netlist, NetlistBuilder,
+};
+use proptest::prelude::*;
+
+/// Build a random combinational netlist from a seed (deterministic).
+fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut b = NetlistBuilder::new("prop");
+    let mut pool: Vec<Net> = b.input_word("x", 8);
+    for _ in 0..gates {
+        let pick = |rng: &mut dyn FnMut() -> u64, pool: &[Net]| pool[rng() as usize % pool.len()];
+        let i = pick(&mut rng, &pool);
+        let j = pick(&mut rng, &pool);
+        let k = pick(&mut rng, &pool);
+        let l = pick(&mut rng, &pool);
+        let g = match rng() % 9 {
+            0 => b.and2(i, j),
+            1 => b.or2(i, j),
+            2 => b.xor2(i, j),
+            3 => b.nand2(i, j),
+            4 => b.nor2(i, j),
+            5 => b.xnor2(i, j),
+            6 => b.mux(i, j, k),
+            7 => b.gate(GateKind::And, vec![i, j, k, l]), // variadic
+            _ => b.gate(GateKind::Xor, vec![i, j, k]),
+        };
+        pool.push(g);
+    }
+    for o in 0..4 {
+        let n = pool[pool.len() - 1 - (rng() as usize % (gates / 2 + 1))];
+        b.output(n, &format!("y{o}"));
+    }
+    b.finish().unwrap()
+}
+
+fn eval(nl: &Netlist, x: u64) -> u64 {
+    let mut vals = vec![false; nl.num_nets as usize];
+    for (j, &inp) in nl.inputs.iter().enumerate() {
+        vals[inp.index()] = x >> j & 1 == 1;
+    }
+    for gi in topo_order(nl).unwrap() {
+        let g = &nl.gates[gi];
+        let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+        vals[g.output.index()] = g.kind.eval(&ins);
+    }
+    nl.outputs
+        .iter()
+        .enumerate()
+        .map(|(j, &o)| (vals[o.index()] as u64) << j)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn binarize_preserves_function(seed in 1u64.., gates in 5usize..60, keep_mux in any::<bool>()) {
+        let nl = random_netlist(seed, gates);
+        let bin = binarize(&nl, keep_mux);
+        bin.validate().unwrap();
+        // every gate ≤ 2 inputs (3 for kept muxes)
+        let bound = if keep_mux { 3 } else { 2 };
+        for g in &bin.gates {
+            prop_assert!(g.inputs.len() <= bound, "{:?} has {} inputs", g.kind, g.inputs.len());
+            if !keep_mux {
+                prop_assert!(g.kind != GateKind::Mux);
+            }
+        }
+        for x in 0..256u64 {
+            prop_assert_eq!(eval(&bin, x), eval(&nl, x), "x={:08b}", x);
+        }
+    }
+
+    #[test]
+    fn collapse_and_sweep_preserve_function(seed in 1u64.., gates in 5usize..60) {
+        let nl = random_netlist(seed, gates);
+        let collapsed = collapse_buffers(&nl);
+        collapsed.validate().unwrap();
+        let (swept, _) = sweep_dead(&nl);
+        swept.validate().unwrap();
+        for x in 0..256u64 {
+            let want = eval(&nl, x);
+            prop_assert_eq!(eval(&collapsed, x), want);
+            prop_assert_eq!(eval(&swept, x), want);
+        }
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_function(seed in 1u64.., gates in 5usize..40) {
+        let nl = random_netlist(seed, gates);
+        let back = c2nn_netlist::from_blif(&c2nn_netlist::to_blif(&nl)).unwrap();
+        prop_assert_eq!(back.inputs.len(), nl.inputs.len());
+        prop_assert_eq!(back.outputs.len(), nl.outputs.len());
+        for x in 0..256u64 {
+            prop_assert_eq!(eval(&back, x), eval(&nl, x), "x={:08b}", x);
+        }
+    }
+
+    #[test]
+    fn sweep_never_grows(seed in 1u64.., gates in 5usize..60) {
+        let nl = random_netlist(seed, gates);
+        let (swept, _) = sweep_dead(&nl);
+        prop_assert!(swept.gates.len() <= nl.gates.len());
+        prop_assert!(swept.num_nets <= nl.num_nets);
+    }
+}

@@ -1,0 +1,29 @@
+//! # c2nn-refsim
+//!
+//! Reference cycle-accurate gate-level simulators — the workspace's stand-in
+//! for Verilator (golden model *and* baseline in every benchmark):
+//!
+//! * [`CycleSim`] — levelized full-evaluation interpreter: 2-state,
+//!   cycle-based, one stimulus at a time, single thread. Its near-constant
+//!   gates·cycles/s across circuit sizes reproduces the Verilator plateau
+//!   in the paper's Table I.
+//! * [`EventSim`] — event-driven variant (ESSENT-style) that skips gates
+//!   whose inputs did not change, with activity accounting.
+//! * [`WordSim`] — 64-lane bit-parallel variant (64 stimuli per step), the
+//!   strongest single-thread CPU baseline for the ablations.
+//!
+//! All three share step semantics: outputs reflect the state before the
+//! clock edge, flip-flops update after outputs are sampled. Equivalence
+//! between them is enforced by tests; equivalence between them and the
+//! compiled neural networks is the paper's §IV-A verification, enforced in
+//! the workspace integration suite.
+
+pub mod cycle;
+pub mod event;
+pub mod vcd;
+pub mod word;
+
+pub use cycle::{is_simulable, CycleSim};
+pub use event::EventSim;
+pub use vcd::{trace_run, VcdRecorder};
+pub use word::WordSim;

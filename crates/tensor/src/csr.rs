@@ -1,0 +1,298 @@
+//! Compressed-sparse-row matrices — the storage format behind every NN
+//! layer (paper §III-F: weight matrices of compiled circuits are ≳99.9%
+//! sparse, which is both the memory win and the compute win).
+
+use crate::scalar::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix in CSR form.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Csr<T> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from `(row, col, value)` triplets. Duplicates are summed;
+    /// resulting zeros are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(u32, u32, T)>) -> Self {
+        for &(r, c, _) in &t {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "({r},{c}) out of {rows}x{cols}"
+            );
+        }
+        t.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicate (r,c) runs in place, dropping zero sums.
+        let mut merged: Vec<(u32, u32, T)> = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != T::ZERO);
+        let mut row_ptr = vec![0u32; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            row_ptr[r as usize + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are zero (the paper's "Mean Sparsity").
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows as f64 * self.cols as f64;
+        if total == 0.0 {
+            1.0
+        } else {
+            1.0 - self.nnz() as f64 / total
+        }
+    }
+
+    /// Bytes used by the CSR arrays (the paper's "Memory (MB)" column).
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * 4 + self.col_idx.len() * 4 + self.values.len() * std::mem::size_of::<T>()
+    }
+
+    /// The `(column, value)` entries of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Raw CSR slices `(row_ptr, col_idx, values)`.
+    pub fn raw(&self) -> (&[u32], &[u32], &[T]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
+    /// Dense row-major copy (test/debug sizes only).
+    pub fn to_dense(&self) -> Vec<T> {
+        let mut d = vec![T::ZERO; self.rows * self.cols];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                d[r * self.cols + c as usize] = v;
+            }
+        }
+        d
+    }
+
+    /// Entry lookup (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> T {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        match self.col_idx[lo..hi].binary_search(&(c as u32)) {
+            Ok(i) => self.values[lo + i],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Sparse–sparse product `self · other` (row-wise SpGEMM with a dense
+    /// accumulator). This is the engine of the paper's Figure 5 layer
+    /// merging: fusing an exact linear layer into the following layer is a
+    /// matrix product of their weight matrices.
+    pub fn matmul(&self, other: &Csr<T>) -> Csr<T> {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in SpGEMM");
+        let mut acc: Vec<T> = vec![T::ZERO; other.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..self.rows {
+            touched.clear();
+            for (k, a) in self.row(r) {
+                for (j, b) in other.row(k as usize) {
+                    if acc[j as usize] == T::ZERO {
+                        touched.push(j);
+                    }
+                    acc[j as usize] += a * b;
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                let v = acc[j as usize];
+                acc[j as usize] = T::ZERO;
+                if v != T::ZERO {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr {
+            rows: self.rows,
+            cols: other.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Sparse matrix × dense vector: `y = self · x`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = T::ZERO;
+                for (c, v) in self.row(r) {
+                    acc += v * x[c as usize];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Convert element type exactly via `i32` (panics if a value is not an
+    /// i32-representable integer — compiled-NN weights always are).
+    pub fn cast<U: Scalar>(&self, to_i32: impl Fn(T) -> i32) -> Csr<U> {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|&v| U::from_i32(to_i32(v))).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr<f32> {
+        // [1 0 2]
+        // [0 0 0]
+        // [0 3 0]
+        Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip() {
+        let m = small();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(
+            m.to_dense(),
+            vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m: Csr<i32> =
+            Csr::from_triplets(2, 2, vec![(0, 0, 1), (0, 0, 2), (1, 1, 5), (1, 1, -5)]);
+        assert_eq!(m.get(0, 0), 3);
+        assert_eq!(m.nnz(), 1, "zero-summed duplicate must be dropped");
+    }
+
+    #[test]
+    fn sparsity_and_memory() {
+        let m = small();
+        assert!((m.sparsity() - (1.0 - 3.0 / 9.0)).abs() < 1e-12);
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let m = small();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a: Csr<i32> = Csr::from_triplets(2, 3, vec![(0, 0, 1), (0, 2, 2), (1, 1, 3)]);
+        let b: Csr<i32> = Csr::from_triplets(3, 2, vec![(0, 1, 4), (1, 0, 5), (2, 1, -1)]);
+        let c = a.matmul(&b);
+        // dense check
+        let ad = a.to_dense();
+        let bd = b.to_dense();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut want = 0;
+                for k in 0..3 {
+                    want += ad[i * 3 + k] * bd[k * 2 + j];
+                }
+                assert_eq!(c.get(i, j), want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_cancellation_drops_entry() {
+        // a row producing +1 and -1 into the same output must store nothing
+        let a: Csr<i32> = Csr::from_triplets(1, 2, vec![(0, 0, 1), (0, 1, 1)]);
+        let b: Csr<i32> = Csr::from_triplets(2, 1, vec![(0, 0, 1), (1, 0, -1)]);
+        let c = a.matmul(&b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.get(0, 0), 0);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let z: Csr<f32> = Csr::zeros(4, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.sparsity(), 1.0);
+        assert_eq!(z.matvec(&[1.0; 5]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn cast_f32_to_i32() {
+        let m = small();
+        let i: Csr<i32> = m.cast(|v| v as i32);
+        assert_eq!(i.get(0, 2), 2);
+        assert_eq!(i.nnz(), m.nnz());
+    }
+}

@@ -1,0 +1,26 @@
+//! # c2nn-tensor
+//!
+//! The linear-algebra substrate of the C2NN workspace — the role PyTorch +
+//! cuSPARSE play in the paper. Compiled neural networks are sequences of
+//! highly sparse affine layers followed by threshold activations; this crate
+//! provides the storage ([`Csr`], [`Dense`]) and the forward kernels
+//! ([`forward_sparse`], [`forward_dense`]) they execute on.
+//!
+//! The paper's GPU is modelled by [`Device::Parallel`] (a Rayon pool that
+//! spreads each layer's batch across cores) and its CPU reference point by
+//! [`Device::Serial`]; both produce bit-identical results, so correctness
+//! tests run on either.
+//!
+//! Kernels are generic over [`Scalar`]: `f32` reproduces the paper's shipped
+//! configuration (PyTorch sparse layers only support floats, §III-E), `i32`
+//! implements the paper's proposed integer kernels (§V).
+
+pub mod csr;
+pub mod dense;
+pub mod ops;
+pub mod scalar;
+
+pub use csr::Csr;
+pub use dense::Dense;
+pub use ops::{forward_dense, forward_sparse, forward_sparse_into, Activation, Device};
+pub use scalar::Scalar;

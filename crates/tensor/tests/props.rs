@@ -1,0 +1,109 @@
+//! Property tests for the tensor substrate: the sparse kernels agree with
+//! naive dense reference implementations on random matrices.
+
+use c2nn_tensor::{forward_dense, forward_sparse, Activation, Csr, Dense, Device};
+use proptest::prelude::*;
+
+type Trip = (u32, u32, i32);
+
+fn trips_strategy(rows: u32, cols: u32, max: usize) -> impl Strategy<Value = Vec<Trip>> {
+    proptest::collection::vec((0..rows, 0..cols, -4i32..5), 0..max)
+}
+
+fn dense_of(rows: usize, cols: usize, trips: &[Trip]) -> Vec<i64> {
+    let mut d = vec![0i64; rows * cols];
+    for &(r, c, v) in trips {
+        d[r as usize * cols + c as usize] += v as i64;
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// from_triplets sums duplicates and agrees with the dense accumulation.
+    #[test]
+    fn triplets_accumulate(trips in trips_strategy(9, 7, 40)) {
+        let m: Csr<i32> = Csr::from_triplets(9, 7, trips.clone());
+        let d = dense_of(9, 7, &trips);
+        for r in 0..9 {
+            for c in 0..7 {
+                prop_assert_eq!(m.get(r, c) as i64, d[r * 7 + c]);
+            }
+        }
+        // nnz counts only true nonzeros
+        prop_assert_eq!(m.nnz(), d.iter().filter(|&&v| v != 0).count());
+    }
+
+    /// SpGEMM equals the straightforward dense product.
+    #[test]
+    fn spgemm_equals_dense(
+        a_trips in trips_strategy(6, 8, 30),
+        b_trips in trips_strategy(8, 5, 30),
+    ) {
+        let a: Csr<i32> = Csr::from_triplets(6, 8, a_trips.clone());
+        let b: Csr<i32> = Csr::from_triplets(8, 5, b_trips.clone());
+        let c = a.matmul(&b);
+        let da = dense_of(6, 8, &a_trips);
+        let db = dense_of(8, 5, &b_trips);
+        for i in 0..6 {
+            for j in 0..5 {
+                let want: i64 = (0..8).map(|k| da[i * 8 + k] * db[k * 5 + j]).sum();
+                prop_assert_eq!(c.get(i, j) as i64, want, "({},{})", i, j);
+            }
+        }
+    }
+
+    /// Sparse forward = dense forward, serial = parallel, on random layers.
+    #[test]
+    fn forwards_agree(
+        trips in trips_strategy(10, 12, 50),
+        bias in proptest::collection::vec(-3i32..4, 10),
+        xbits in proptest::collection::vec(any::<bool>(), 12 * 5),
+        threshold in any::<bool>(),
+    ) {
+        let w: Csr<i32> = Csr::from_triplets(10, 12, trips.clone());
+        let dvals: Vec<i32> = w.to_dense();
+        let wd = Dense::from_vec(10, 12, dvals);
+        let xvals: Vec<i32> = xbits.iter().map(|&b| b as i32).collect();
+        let x = Dense::from_vec(12, 5, xvals);
+        let act = if threshold { Activation::Threshold } else { Activation::Linear };
+        let ys = forward_sparse(&w, &bias, &x, act, Device::Serial);
+        let yp = forward_sparse(&w, &bias, &x, act, Device::Parallel);
+        let yd = forward_dense(&wd, &bias, &x, act, Device::Serial);
+        prop_assert_eq!(&ys, &yp);
+        prop_assert_eq!(&ys, &yd);
+        // manual reference for one lane
+        for j in 0..10 {
+            for lane in 0..5 {
+                let mut acc = bias[j] as i64;
+                for k in 0..12 {
+                    acc += w.get(j, k) as i64 * x.get(k, lane) as i64;
+                }
+                let want = if threshold { (acc > 0) as i64 } else { acc };
+                prop_assert_eq!(ys.get(j, lane) as i64, want);
+            }
+        }
+    }
+
+    /// matvec equals a row of SpMM.
+    #[test]
+    fn matvec_consistent(trips in trips_strategy(8, 8, 30), v in proptest::collection::vec(-3i32..4, 8)) {
+        let m: Csr<i32> = Csr::from_triplets(8, 8, trips);
+        let y = m.matvec(&v);
+        let x = Dense::from_vec(8, 1, v.clone());
+        let y2 = forward_sparse(&m, &vec![0; 8], &x, Activation::Linear, Device::Serial);
+        for j in 0..8 {
+            prop_assert_eq!(y[j], y2.get(j, 0));
+        }
+    }
+
+    /// Lane encode/decode round-trips.
+    #[test]
+    fn lanes_roundtrip(lanes in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 9), 1..6)) {
+        let m: Dense<f32> = Dense::from_lanes(&lanes);
+        prop_assert_eq!(m.rows(), 9);
+        prop_assert_eq!(m.cols(), lanes.len());
+        prop_assert_eq!(m.to_lanes(), lanes);
+    }
+}

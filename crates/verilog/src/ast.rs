@@ -1,0 +1,179 @@
+//! Abstract syntax tree for the Verilog subset.
+
+/// A parsed source file: one or more module definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceFile {
+    pub modules: Vec<Module>,
+}
+
+/// A `module … endmodule` definition with ANSI-style ports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub params: Vec<ParamDecl>,
+    pub ports: Vec<PortDecl>,
+    pub items: Vec<Item>,
+}
+
+/// `parameter NAME = const_expr` (header or body) / `localparam`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    pub name: String,
+    pub value: Expr,
+    pub local: bool,
+}
+
+/// Direction of a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Input,
+    Output,
+}
+
+/// `input|output [reg] [msb:lsb] name`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortDecl {
+    pub direction: Direction,
+    pub is_reg: bool,
+    /// `Some((msb, lsb))` for vectors, both inclusive constant expressions.
+    pub range: Option<(Expr, Expr)>,
+    pub name: String,
+    /// Power-on value for `output reg q = <const>` declarations.
+    pub init: Option<Expr>,
+}
+
+/// Body items.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `wire [r] a, b;` or `reg [r] a = init, b;`
+    NetDecl {
+        is_reg: bool,
+        range: Option<(Expr, Expr)>,
+        names: Vec<(String, Option<Expr>)>,
+    },
+    Param(ParamDecl),
+    /// `reg [msb:lsb] name [first:last];` — a memory array, elaborated as a
+    /// register per word with decoded (async) reads and decoded writes.
+    MemDecl {
+        range: Option<(Expr, Expr)>,
+        name: String,
+        depth: (Expr, Expr),
+    },
+    /// `assign lhs = rhs;`
+    Assign { lhs: LValue, rhs: Expr },
+    /// `always @(posedge clk) stmt` — sequential process.
+    AlwaysFf { clock: String, body: Stmt },
+    /// `always @(*) stmt` / `always @*` — combinational process.
+    AlwaysComb { body: Stmt },
+    /// `name #(params) inst (.port(expr), …);`
+    Instance {
+        module: String,
+        name: String,
+        param_overrides: Vec<(String, Expr)>,
+        /// Connections: named `(Some(port), expr)` or positional `(None, expr)`.
+        connections: Vec<(Option<String>, Option<Expr>)>,
+    },
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single bit `a[i]` (constant or variable index; variable index is a
+    /// decoded write, supported in processes only).
+    Bit(String, Expr),
+    /// Part select `a[msb:lsb]` with constant bounds.
+    Part(String, Expr, Expr),
+    /// `{a, b[3:0], …}` — concatenation of lvalues, MSB first.
+    Concat(Vec<LValue>),
+}
+
+/// Procedural statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `begin … end`
+    Block(Vec<Stmt>),
+    /// Blocking `=` (combinational) or nonblocking `<=` (sequential);
+    /// the elaborator checks the flavor matches the process kind.
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+        nonblocking: bool,
+    },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    Case {
+        subject: Expr,
+        /// Each arm: one or more match values, then the statement.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        default: Option<Box<Stmt>>,
+    },
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,       // ~
+    LogicNot,  // !
+    Neg,       // -
+    ReduceAnd, // &
+    ReduceOr,  // |
+    ReduceXor, // ^
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Xor,
+    Xnor,
+    LogicAnd,
+    LogicOr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal with optional declared size.
+    Number { size: Option<u32>, value: u64 },
+    Ident(String),
+    /// `a[i]`.
+    Bit(Box<Expr>, Box<Expr>),
+    /// `a[msb:lsb]` (constant bounds).
+    Part(Box<Expr>, Box<Expr>, Box<Expr>),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `{a, b, …}` MSB first.
+    Concat(Vec<Expr>),
+    /// `{n{a}}`.
+    Repeat(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for plain numbers in tests.
+    pub fn num(value: u64) -> Expr {
+        Expr::Number { size: None, value }
+    }
+}

@@ -1,0 +1,169 @@
+//! Constant-expression evaluation for parameters, ranges, literal widths and
+//! case labels.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use std::collections::HashMap;
+
+/// Evaluate `e` to an integer if every leaf is a literal or a parameter in
+/// `params`. Returns `None` for anything referencing signals.
+pub fn eval_const(e: &Expr, params: &HashMap<String, i64>) -> Option<i64> {
+    // Sized (< 32-bit) expressions wrap at their self-determined width, as
+    // in Verilog constant arithmetic; 32-bit-and-up values stay as signed
+    // integers so parameter arithmetic (ranges, counts) keeps its sign.
+    let mask = |v: i64| -> i64 {
+        let w = const_width(e);
+        if w < 32 {
+            v & ((1i64 << w) - 1)
+        } else {
+            v
+        }
+    };
+    Some(mask(match e {
+        Expr::Number { value, .. } => *value as i64,
+        Expr::Ident(name) => *params.get(name)?,
+        Expr::Unary(op, a) => {
+            let a = eval_const(a, params)?;
+            match op {
+                UnaryOp::Neg => -a,
+                UnaryOp::Not => !a,
+                UnaryOp::LogicNot => (a == 0) as i64,
+                UnaryOp::ReduceOr => (a != 0) as i64,
+                UnaryOp::ReduceXor => (a.count_ones() % 2) as i64,
+                UnaryOp::ReduceAnd => return None, // width-dependent
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let a = eval_const(a, params)?;
+            let b = eval_const(b, params)?;
+            match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a % b
+                }
+                BinaryOp::Shl => a.checked_shl(b as u32)?,
+                BinaryOp::Shr => ((a as u64) >> (b as u32).min(63)) as i64,
+                BinaryOp::And => a & b,
+                BinaryOp::Or => a | b,
+                BinaryOp::Xor => a ^ b,
+                BinaryOp::Xnor => !(a ^ b),
+                BinaryOp::LogicAnd => (a != 0 && b != 0) as i64,
+                BinaryOp::LogicOr => (a != 0 || b != 0) as i64,
+                BinaryOp::Eq => (a == b) as i64,
+                BinaryOp::Ne => (a != b) as i64,
+                BinaryOp::Lt => (a < b) as i64,
+                BinaryOp::Le => (a <= b) as i64,
+                BinaryOp::Gt => (a > b) as i64,
+                BinaryOp::Ge => (a >= b) as i64,
+            }
+        }
+        Expr::Ternary(c, t, f) => {
+            if eval_const(c, params)? != 0 {
+                eval_const(t, params)?
+            } else {
+                eval_const(f, params)?
+            }
+        }
+        Expr::Bit(..) | Expr::Part(..) | Expr::Concat(..) | Expr::Repeat(..) => return None,
+    }))
+}
+
+/// The self-determined bit width of a constant expression, following the
+/// Verilog sizing rules: sized literals keep their size, unsized literals
+/// and parameters are 32 bits, arithmetic/bitwise operators take the max of
+/// their operand widths, shifts take the left operand, comparisons and
+/// logic/reduction operators are 1 bit.
+pub fn const_width(e: &Expr) -> u32 {
+    match e {
+        Expr::Number { size: Some(s), .. } => *s,
+        Expr::Number { size: None, .. } | Expr::Ident(_) => 32,
+        Expr::Unary(op, a) => match op {
+            UnaryOp::Not | UnaryOp::Neg => const_width(a),
+            UnaryOp::LogicNot | UnaryOp::ReduceAnd | UnaryOp::ReduceOr | UnaryOp::ReduceXor => 1,
+        },
+        Expr::Binary(op, a, b) => match op {
+            BinaryOp::Add
+            | BinaryOp::Sub
+            | BinaryOp::Mul
+            | BinaryOp::Div
+            | BinaryOp::Mod
+            | BinaryOp::And
+            | BinaryOp::Or
+            | BinaryOp::Xor
+            | BinaryOp::Xnor => const_width(a).max(const_width(b)),
+            BinaryOp::Shl | BinaryOp::Shr => const_width(a),
+            BinaryOp::LogicAnd
+            | BinaryOp::LogicOr
+            | BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 1,
+        },
+        Expr::Ternary(_, t, f) => const_width(t).max(const_width(f)),
+        // these are never constant-foldable (eval_const returns None), so
+        // the width is immaterial; keep the conservative default
+        Expr::Bit(..) | Expr::Part(..) | Expr::Concat(..) | Expr::Repeat(..) => 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_params() {
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::Ident("W".into())),
+            Box::new(Expr::num(1)),
+        );
+        assert_eq!(eval_const(&e, &p(&[("W", 7)])), Some(8));
+        assert_eq!(eval_const(&e, &p(&[])), None);
+    }
+
+    #[test]
+    fn shifts_and_comparisons() {
+        let e = Expr::Binary(BinaryOp::Shl, Box::new(Expr::num(1)), Box::new(Expr::num(4)));
+        assert_eq!(eval_const(&e, &p(&[])), Some(16));
+        let c = Expr::Binary(BinaryOp::Lt, Box::new(Expr::num(3)), Box::new(Expr::num(5)));
+        assert_eq!(eval_const(&c, &p(&[])), Some(1));
+    }
+
+    #[test]
+    fn ternary_selects() {
+        let e = Expr::Ternary(
+            Box::new(Expr::num(0)),
+            Box::new(Expr::num(10)),
+            Box::new(Expr::num(20)),
+        );
+        assert_eq!(eval_const(&e, &p(&[])), Some(20));
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        let e = Expr::Binary(BinaryOp::Div, Box::new(Expr::num(4)), Box::new(Expr::num(0)));
+        assert_eq!(eval_const(&e, &p(&[])), None);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(const_width(&Expr::Number { size: Some(4), value: 9 }), 4);
+        assert_eq!(const_width(&Expr::num(9)), 32);
+    }
+}

@@ -1,0 +1,77 @@
+//! # c2nn-verilog
+//!
+//! The HDL frontend of the C2NN workspace: a lexer, parser, and elaborator
+//! for a synthesizable Verilog-2005 subset, producing the flat gate-level
+//! [`c2nn_netlist::Netlist`] the rest of the pipeline consumes. It plays the
+//! role Yosys plays in the paper (§III-B1), including *module unpacking* —
+//! hierarchy is flattened during elaboration so the LUT mapper can optimize
+//! across module boundaries (§III-C).
+//!
+//! ## Supported subset
+//!
+//! * `module`/`endmodule` with ANSI ports, vectors `[msb:lsb]`, parameters
+//!   (header and body, instance overrides with `#(.P(..))`).
+//! * `wire`/`reg` declarations (with `reg x = <const>` power-on values).
+//! * `assign` with the full expression grammar: bitwise/logic/arith
+//!   (`+ - * << >>` — shift-add multiplier, barrel shifters), comparisons,
+//!   reductions, ternary, concatenation `{}`, replication `{n{}}`, bit and
+//!   part selects (dynamic bit reads and decoded dynamic bit writes too).
+//! * `always @(posedge clk)` with nonblocking `<=`, `if`/`else`,
+//!   `case`/`endcase` — becomes D flip-flops.
+//! * Memory arrays `reg [7:0] mem [0:15];` with decoded reads (`mem[addr]`
+//!   in any expression) and decoded writes (`mem[addr] <= data` in
+//!   sequential blocks) — register files, FIFOs, and small RAMs infer to
+//!   one register per word with correct read-before-write semantics.
+//! * `always @(*)` / `always @*` / level-sensitive lists with blocking `=` —
+//!   becomes combinational logic; incomplete assignment surfaces as a
+//!   combinational-cycle error (no latch inference).
+//! * Module instantiation, named or positional, inlined (flattened).
+//!
+//! Not supported (rejected with clear errors): `inout`, `negedge`/gated
+//! clocks, asynchronous resets, `generate`, `function`, `initial`,
+//! 4-state values (`x`/`z`), memories deeper than 1024 words.
+//!
+//! ```
+//! let src = "
+//!   module add8(input [7:0] a, input [7:0] b, output [7:0] s);
+//!     assign s = a + b;
+//!   endmodule";
+//! let netlist = c2nn_verilog::compile(src, "add8").unwrap();
+//! assert_eq!(netlist.inputs.len(), 16);
+//! assert_eq!(netlist.outputs.len(), 8);
+//! ```
+
+pub mod ast;
+pub mod constexpr;
+pub mod elaborate;
+pub mod emit;
+pub mod parser;
+pub mod token;
+
+pub use elaborate::{elaborate, ElabError};
+pub use emit::to_verilog;
+pub use parser::{parse, ParseError};
+
+/// Any frontend error (lex/parse or elaboration).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    Parse(ParseError),
+    Elab(ElabError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Elab(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One-call convenience: parse `src` and elaborate module `top`.
+pub fn compile(src: &str, top: &str) -> Result<c2nn_netlist::Netlist, CompileError> {
+    let file = parse(src).map_err(CompileError::Parse)?;
+    elaborate(&file, top).map_err(CompileError::Elab)
+}

@@ -1,0 +1,879 @@
+//! Recursive-descent parser for the Verilog subset.
+
+use crate::ast::*;
+use crate::token::{lex, Keyword, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete source file.
+pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    Parser { toks, pos: 0 }.source_file()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let t = &self.toks[self.pos];
+        Err(ParseError {
+            message: format!("{} (found {:?})", msg.into(), t.kind),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect(&mut self, k: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {k:?}"))
+        }
+    }
+
+    fn eat(&mut self, k: TokenKind) -> bool {
+        if *self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(TokenKind::Kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        self.expect(TokenKind::Kw(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn source_file(&mut self) -> Result<SourceFile, ParseError> {
+        let mut modules = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            modules.push(self.module()?);
+        }
+        Ok(SourceFile { modules })
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.expect_kw(Keyword::Module)?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        // optional #(parameter P = 1, ...)
+        if self.eat(TokenKind::Hash) {
+            self.expect(TokenKind::LParen)?;
+            loop {
+                self.eat_kw(Keyword::Parameter);
+                let pname = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                params.push(ParamDecl {
+                    name: pname,
+                    value,
+                    local: false,
+                });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        // ANSI port list
+        let mut ports = Vec::new();
+        if self.eat(TokenKind::LParen)
+            && !self.eat(TokenKind::RParen) {
+                let mut dir = None;
+                let mut is_reg = false;
+                let mut range = None;
+                loop {
+                    // each entry may restate direction/range or inherit them
+                    if self.eat_kw(Keyword::Input) {
+                        dir = Some(Direction::Input);
+                        is_reg = false;
+                        range = None;
+                    } else if self.eat_kw(Keyword::Output) {
+                        dir = Some(Direction::Output);
+                        is_reg = false;
+                        range = None;
+                    } else if self.eat_kw(Keyword::Inout) {
+                        return self.err("inout ports are not supported");
+                    }
+                    if self.eat_kw(Keyword::Reg) {
+                        is_reg = true;
+                    }
+                    self.eat_kw(Keyword::Wire);
+                    if matches!(self.peek(), TokenKind::LBracket) {
+                        range = Some(self.range()?);
+                    }
+                    let pname = self.ident()?;
+                    let init = if self.eat(TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    let direction = match dir {
+                        Some(d) => d,
+                        None => return self.err("port without direction"),
+                    };
+                    ports.push(PortDecl {
+                        direction,
+                        is_reg,
+                        range: range.clone(),
+                        name: pname,
+                        init,
+                    });
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        self.expect(TokenKind::Semi)?;
+        let mut items = Vec::new();
+        while !self.eat_kw(Keyword::Endmodule) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err("unexpected EOF inside module");
+            }
+            items.push(self.item()?);
+        }
+        Ok(Module {
+            name,
+            params,
+            ports,
+            items,
+        })
+    }
+
+    /// `[msb:lsb]`
+    fn range(&mut self) -> Result<(Expr, Expr), ParseError> {
+        self.expect(TokenKind::LBracket)?;
+        let msb = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let lsb = self.expr()?;
+        self.expect(TokenKind::RBracket)?;
+        Ok((msb, lsb))
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Wire) | TokenKind::Kw(Keyword::Reg)
+            | TokenKind::Kw(Keyword::Integer) => {
+                let is_reg = !matches!(self.peek(), TokenKind::Kw(Keyword::Wire));
+                self.bump();
+                let range = if matches!(self.peek(), TokenKind::LBracket) {
+                    Some(self.range()?)
+                } else if is_reg && matches!(self.toks[self.pos - 1].kind, TokenKind::Kw(Keyword::Integer)) {
+                    // `integer` = 32-bit reg
+                    Some((Expr::num(31), Expr::num(0)))
+                } else {
+                    None
+                };
+                let mut names = Vec::new();
+                loop {
+                    let n = self.ident()?;
+                    // `reg [7:0] mem [0:15];` — memory array
+                    if is_reg && names.is_empty() && matches!(self.peek(), TokenKind::LBracket) {
+                        let depth = self.range()?;
+                        self.expect(TokenKind::Semi)?;
+                        return Ok(Item::MemDecl {
+                            range,
+                            name: n,
+                            depth,
+                        });
+                    }
+                    let init = if self.eat(TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    names.push((n, init));
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::NetDecl {
+                    is_reg,
+                    range,
+                    names,
+                })
+            }
+            TokenKind::Kw(Keyword::Parameter) | TokenKind::Kw(Keyword::Localparam) => {
+                let local = matches!(self.peek(), TokenKind::Kw(Keyword::Localparam));
+                self.bump();
+                // optional range on parameters is ignored
+                if matches!(self.peek(), TokenKind::LBracket) {
+                    let _ = self.range()?;
+                }
+                let name = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Param(ParamDecl { name, value, local }))
+            }
+            TokenKind::Kw(Keyword::Assign) => {
+                self.bump();
+                let lhs = self.lvalue()?;
+                self.expect(TokenKind::Assign)?;
+                let rhs = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Assign { lhs, rhs })
+            }
+            TokenKind::Kw(Keyword::Always) => {
+                self.bump();
+                self.expect(TokenKind::At)?;
+                if self.eat(TokenKind::Star) {
+                    // always @*
+                    let body = self.stmt()?;
+                    return Ok(Item::AlwaysComb { body });
+                }
+                self.expect(TokenKind::LParen)?;
+                if self.eat(TokenKind::Star) {
+                    self.expect(TokenKind::RParen)?;
+                    let body = self.stmt()?;
+                    return Ok(Item::AlwaysComb { body });
+                }
+                if self.eat_kw(Keyword::Posedge) {
+                    let clock = self.ident()?;
+                    if self.eat_kw(Keyword::Negedge) || !matches!(self.peek(), TokenKind::RParen)
+                    {
+                        // `or posedge rst` style async resets unsupported
+                        if let TokenKind::Ident(w) = self.peek() {
+                            if w == "or" {
+                                return self.err(
+                                    "asynchronous reset sensitivity lists are not supported; \
+                                     use synchronous resets",
+                                );
+                            }
+                        }
+                        return self.err("unsupported sensitivity list");
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    let body = self.stmt()?;
+                    return Ok(Item::AlwaysFf { clock, body });
+                }
+                if self.eat_kw(Keyword::Negedge) {
+                    return self.err("negedge clocking is not supported");
+                }
+                // level-sensitive list `(a or b)` → combinational
+                loop {
+                    let _ = self.ident()?;
+                    if let TokenKind::Ident(w) = self.peek() {
+                        if w == "or" {
+                            self.bump();
+                            continue;
+                        }
+                    }
+                    if self.eat(TokenKind::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect(TokenKind::RParen)?;
+                let body = self.stmt()?;
+                Ok(Item::AlwaysComb { body })
+            }
+            TokenKind::Kw(Keyword::Initial)
+            | TokenKind::Kw(Keyword::Generate)
+            | TokenKind::Kw(Keyword::Genvar)
+            | TokenKind::Kw(Keyword::For)
+            | TokenKind::Kw(Keyword::Function) => {
+                self.err("construct not supported by this subset")
+            }
+            TokenKind::Ident(_) => {
+                // module instantiation: Mod [#(…)] inst ( … );
+                let module = self.ident()?;
+                let mut param_overrides = Vec::new();
+                if self.eat(TokenKind::Hash) {
+                    self.expect(TokenKind::LParen)?;
+                    loop {
+                        self.expect(TokenKind::Dot)?;
+                        let p = self.ident()?;
+                        self.expect(TokenKind::LParen)?;
+                        let v = self.expr()?;
+                        self.expect(TokenKind::RParen)?;
+                        param_overrides.push((p, v));
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                let name = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let mut connections = Vec::new();
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    loop {
+                        if self.eat(TokenKind::Dot) {
+                            let port = self.ident()?;
+                            self.expect(TokenKind::LParen)?;
+                            let e = if matches!(self.peek(), TokenKind::RParen) {
+                                None
+                            } else {
+                                Some(self.expr()?)
+                            };
+                            self.expect(TokenKind::RParen)?;
+                            connections.push((Some(port), e));
+                        } else {
+                            connections.push((None, Some(self.expr()?)));
+                        }
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Instance {
+                    module,
+                    name,
+                    param_overrides,
+                    connections,
+                })
+            }
+            _ => self.err("expected module item"),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        if self.eat(TokenKind::LBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.ident()?;
+        if self.eat(TokenKind::LBracket) {
+            let a = self.expr()?;
+            if self.eat(TokenKind::Colon) {
+                let b = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                return Ok(LValue::Part(name, a, b));
+            }
+            self.expect(TokenKind::RBracket)?;
+            return Ok(LValue::Bit(name, a));
+        }
+        Ok(LValue::Ident(name))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Begin) => {
+                self.bump();
+                // optional block label `: name`
+                if self.eat(TokenKind::Colon) {
+                    let _ = self.ident()?;
+                }
+                let mut stmts = Vec::new();
+                while !self.eat_kw(Keyword::End) {
+                    if matches!(self.peek(), TokenKind::Eof) {
+                        return self.err("unexpected EOF in begin/end");
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Kw(Keyword::Case) | TokenKind::Kw(Keyword::Casez) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let subject = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.eat_kw(Keyword::Endcase) {
+                    if self.eat_kw(Keyword::Default) {
+                        self.eat(TokenKind::Colon);
+                        default = Some(Box::new(self.stmt()?));
+                        continue;
+                    }
+                    let mut vals = vec![self.expr()?];
+                    while self.eat(TokenKind::Comma) {
+                        vals.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::Colon)?;
+                    let s = self.stmt()?;
+                    arms.push((vals, s));
+                }
+                Ok(Stmt::Case {
+                    subject,
+                    arms,
+                    default,
+                })
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let lhs = self.lvalue()?;
+                let nonblocking = match self.bump() {
+                    TokenKind::Assign => false,
+                    TokenKind::NonBlocking => true,
+                    _ => return self.err("expected = or <= in assignment"),
+                };
+                let rhs = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign {
+                    lhs,
+                    rhs,
+                    nonblocking,
+                })
+            }
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let c = self.logic_or()?;
+        if self.eat(TokenKind::Question) {
+            let t = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let f = self.expr()?;
+            return Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(f)));
+        }
+        Ok(c)
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logic_and()?;
+        while self.eat(TokenKind::PipePipe) {
+            let r = self.logic_and()?;
+            e = Expr::Binary(BinaryOp::LogicOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat(TokenKind::AmpAmp) {
+            let r = self.bit_or()?;
+            e = Expr::Binary(BinaryOp::LogicAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat(TokenKind::Pipe) {
+            let r = self.bit_xor()?;
+            e = Expr::Binary(BinaryOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        loop {
+            if self.eat(TokenKind::Caret) {
+                let r = self.bit_and()?;
+                e = Expr::Binary(BinaryOp::Xor, Box::new(e), Box::new(r));
+            } else if self.eat(TokenKind::TildeCaret) {
+                let r = self.bit_and()?;
+                e = Expr::Binary(BinaryOp::Xnor, Box::new(e), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(TokenKind::Amp) {
+            let r = self.equality()?;
+            e = Expr::Binary(BinaryOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            if self.eat(TokenKind::EqEq) {
+                let r = self.relational()?;
+                e = Expr::Binary(BinaryOp::Eq, Box::new(e), Box::new(r));
+            } else if self.eat(TokenKind::BangEq) {
+                let r = self.relational()?;
+                e = Expr::Binary(BinaryOp::Ne, Box::new(e), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinaryOp::Lt,
+                // `<=` lexes as NonBlocking; in expression position it is ≤
+                TokenKind::NonBlocking => BinaryOp::Le,
+                TokenKind::Gt => BinaryOp::Gt,
+                TokenKind::GtEq => BinaryOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinaryOp::Shl,
+                TokenKind::Shr => BinaryOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Tilde => Some(UnaryOp::Not),
+            TokenKind::Bang => Some(UnaryOp::LogicNot),
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Amp => Some(UnaryOp::ReduceAnd),
+            TokenKind::Pipe => Some(UnaryOp::ReduceOr),
+            TokenKind::Caret => Some(UnaryOp::ReduceXor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat(TokenKind::LBracket) {
+            let a = self.expr()?;
+            if self.eat(TokenKind::Colon) {
+                let b = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::Part(Box::new(e), Box::new(a), Box::new(b));
+            } else {
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::Bit(Box::new(e), Box::new(a));
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number { size, value } => {
+                self.bump();
+                Ok(Expr::Number { size, value })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                // {n{a}} replication or {a, b, …} concat
+                let first = self.expr()?;
+                if matches!(self.peek(), TokenKind::LBrace) {
+                    // replication: first is the count
+                    self.bump();
+                    let inner = self.expr()?;
+                    self.expect(TokenKind::RBrace)?;
+                    self.expect(TokenKind::RBrace)?;
+                    return Ok(Expr::Repeat(Box::new(first), Box::new(inner)));
+                }
+                let mut parts = vec![first];
+                while self.eat(TokenKind::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_module() {
+        let f = parse(
+            "module half_adder(input a, input b, output s, output c);
+               assign s = a ^ b;
+               assign c = a & b;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(f.modules.len(), 1);
+        let m = &f.modules[0];
+        assert_eq!(m.name, "half_adder");
+        assert_eq!(m.ports.len(), 4);
+        assert_eq!(m.items.len(), 2);
+    }
+
+    #[test]
+    fn parse_vector_ports_and_ranges() {
+        let f = parse(
+            "module m(input [7:0] a, output reg [7:0] q);
+               always @(posedge clk) q <= a;
+             endmodule",
+        )
+        .unwrap();
+        let m = &f.modules[0];
+        assert!(m.ports[0].range.is_some());
+        assert!(m.ports[1].is_reg);
+        assert!(matches!(m.items[0], Item::AlwaysFf { .. }));
+    }
+
+    #[test]
+    fn parse_always_comb_and_case() {
+        let f = parse(
+            "module m(input [1:0] s, input a, input b, output reg y);
+               always @(*) begin
+                 case (s)
+                   2'd0: y = a;
+                   2'd1, 2'd2: y = b;
+                   default: y = 1'b0;
+                 endcase
+               end
+             endmodule",
+        )
+        .unwrap();
+        match &f.modules[0].items[0] {
+            Item::AlwaysComb { body: Stmt::Block(stmts) } => match &stmts[0] {
+                Stmt::Case { arms, default, .. } => {
+                    assert_eq!(arms.len(), 2);
+                    assert_eq!(arms[1].0.len(), 2);
+                    assert!(default.is_some());
+                }
+                other => panic!("expected case, got {other:?}"),
+            },
+            other => panic!("expected comb block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_instance_with_params() {
+        let f = parse(
+            "module top(input clk, input [3:0] a, output [3:0] q);
+               counter #(.W(4)) c0 (.clk(clk), .load(a), .q(q));
+             endmodule",
+        )
+        .unwrap();
+        match &f.modules[0].items[0] {
+            Item::Instance {
+                module,
+                name,
+                param_overrides,
+                connections,
+            } => {
+                assert_eq!(module, "counter");
+                assert_eq!(name, "c0");
+                assert_eq!(param_overrides.len(), 1);
+                assert_eq!(connections.len(), 3);
+            }
+            other => panic!("expected instance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_expression_precedence() {
+        let f = parse("module m(input a, input b, input c, output y); assign y = a | b & c; endmodule").unwrap();
+        match &f.modules[0].items[0] {
+            Item::Assign { rhs, .. } => match rhs {
+                // & binds tighter than |
+                Expr::Binary(BinaryOp::Or, l, r) => {
+                    assert_eq!(**l, Expr::Ident("a".into()));
+                    assert!(matches!(**r, Expr::Binary(BinaryOp::And, _, _)));
+                }
+                other => panic!("got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn le_in_expression_position() {
+        let f = parse("module m(input [3:0] a, output y); assign y = a <= 4'd9; endmodule")
+            .unwrap();
+        match &f.modules[0].items[0] {
+            Item::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Binary(BinaryOp::Le, _, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn concat_replication_partselect() {
+        let f = parse(
+            "module m(input [7:0] a, output [15:0] y);
+               assign y = {a[7:4], {3{a[0]}}, a[3:0], 1'b1, a[7], a[6], a[5], a[4]};
+             endmodule",
+        )
+        .unwrap();
+        match &f.modules[0].items[0] {
+            Item::Assign { rhs: Expr::Concat(parts), .. } => assert_eq!(parts.len(), 8),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(parse("module m(inout a); endmodule").is_err());
+        assert!(parse("module m(input clk); always @(negedge clk) ; endmodule").is_err());
+        assert!(parse("module m(); initial begin end endmodule").is_err());
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let f = parse(
+            "module a(input x, output y); assign y = x; endmodule
+             module b(input x, output y); a a0 (.x(x), .y(y)); endmodule",
+        )
+        .unwrap();
+        assert_eq!(f.modules.len(), 2);
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let f = parse(
+            "module m(input [1:0] s, output reg y);
+               always @* if (s == 2'd0) y = 1'b0; else if (s == 2'd1) y = 1'b1; else y = 1'b0;
+             endmodule",
+        )
+        .unwrap();
+        match &f.modules[0].items[0] {
+            Item::AlwaysComb { body: Stmt::If { else_branch, .. } } => {
+                assert!(matches!(**else_branch.as_ref().unwrap(), Stmt::If { .. }));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Lexer for the synthesizable Verilog subset.
+
+use std::fmt;
+
+/// A lexical token with its source position (for error messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds. Keywords are folded into `Kw`; multi-character operators get
+/// their own variants.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    Ident(String),
+    /// An integer literal, possibly sized/based: `42`, `8'hFF`, `4'b1010`.
+    /// Stored as (optional size in bits, value).
+    Number { size: Option<u32>, value: u64 },
+    Kw(Keyword),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,      // =
+    NonBlocking, // <=  (also less-equal; parser disambiguates by context)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    TildeCaret, // ~^ or ^~
+    Tilde,
+    Bang,
+    EqEq,
+    BangEq,
+    Lt,
+    Gt,
+    GtEq,
+    Shl, // <<
+    Shr, // >>
+    Eof,
+}
+
+/// Reserved words the subset understands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Posedge,
+    Negedge,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Parameter,
+    Localparam,
+    Integer,
+    Genvar,
+    Generate,
+    Endgenerate,
+    For,
+    Initial,
+    Function,
+    Endfunction,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "module" => Module,
+            "endmodule" => Endmodule,
+            "input" => Input,
+            "output" => Output,
+            "inout" => Inout,
+            "wire" => Wire,
+            "reg" => Reg,
+            "assign" => Assign,
+            "always" => Always,
+            "posedge" => Posedge,
+            "negedge" => Negedge,
+            "begin" => Begin,
+            "end" => End,
+            "if" => If,
+            "else" => Else,
+            "case" => Case,
+            "casez" => Casez,
+            "endcase" => Endcase,
+            "default" => Default,
+            "parameter" => Parameter,
+            "localparam" => Localparam,
+            "integer" => Integer,
+            "genvar" => Genvar,
+            "generate" => Generate,
+            "endgenerate" => Endgenerate,
+            "for" => For,
+            "initial" => Initial,
+            "function" => Function,
+            "endfunction" => Endfunction,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexer error with position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize Verilog source. Comments (`//`, `/* */`) and compiler directives
+/// (lines starting with `` ` ``) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! err {
+        ($($a:tt)*) => {
+            return Err(LexError { message: format!($($a)*), line, col })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        let mut push = |kind: TokenKind| {
+            toks.push(Token {
+                kind,
+                line: tl,
+                col: tc,
+            })
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '`' => {
+                // compiler directive: skip to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                col += (i - start) as u32;
+                match Keyword::from_str(word) {
+                    Some(kw) => push(TokenKind::Kw(kw)),
+                    None => push(TokenKind::Ident(word.to_string())),
+                }
+            }
+            c if c.is_ascii_digit() || c == '\'' => {
+                // number: [size] ['base] digits  — also bare '<base> form
+                let start = i;
+                let mut size: Option<u32> = None;
+                if c.is_ascii_digit() {
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let digits: String =
+                        src[start..i].chars().filter(|&c| c != '_').collect();
+                    let val: u64 = match digits.parse() {
+                        Ok(v) => v,
+                        Err(_) => err!("bad decimal literal '{digits}'"),
+                    };
+                    if i < bytes.len() && bytes[i] == b'\'' {
+                        size = Some(val as u32);
+                    } else {
+                        col += (i - start) as u32;
+                        push(TokenKind::Number { size: None, value: val });
+                        continue;
+                    }
+                }
+                // based literal
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    err!("expected based literal");
+                }
+                i += 1; // consume '
+                if i >= bytes.len() {
+                    err!("truncated based literal");
+                }
+                let base_c = (bytes[i] as char).to_ascii_lowercase();
+                let radix = match base_c {
+                    'b' => 2,
+                    'o' => 8,
+                    'd' => 10,
+                    'h' => 16,
+                    _ => err!("unknown base '{base_c}'"),
+                };
+                i += 1;
+                let dstart = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let digits: String = src[dstart..i].chars().filter(|&c| c != '_').collect();
+                if digits.is_empty() {
+                    err!("based literal has no digits");
+                }
+                let value = match u64::from_str_radix(&digits, radix) {
+                    Ok(v) => v,
+                    Err(_) => err!("bad base-{radix} literal '{digits}'"),
+                };
+                col += (i - start) as u32;
+                push(TokenKind::Number { size, value });
+            }
+            _ => {
+                // operators / punctuation
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (kind, len) = match two {
+                    "&&" => (TokenKind::AmpAmp, 2),
+                    "||" => (TokenKind::PipePipe, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::BangEq, 2),
+                    "<=" => (TokenKind::NonBlocking, 2),
+                    ">=" => (TokenKind::GtEq, 2),
+                    "<<" => (TokenKind::Shl, 2),
+                    ">>" => (TokenKind::Shr, 2),
+                    "~^" | "^~" => (TokenKind::TildeCaret, 2),
+                    _ => {
+                        let k = match c {
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '[' => TokenKind::LBracket,
+                            ']' => TokenKind::RBracket,
+                            '{' => TokenKind::LBrace,
+                            '}' => TokenKind::RBrace,
+                            ';' => TokenKind::Semi,
+                            ',' => TokenKind::Comma,
+                            ':' => TokenKind::Colon,
+                            '.' => TokenKind::Dot,
+                            '#' => TokenKind::Hash,
+                            '@' => TokenKind::At,
+                            '?' => TokenKind::Question,
+                            '=' => TokenKind::Assign,
+                            '+' => TokenKind::Plus,
+                            '-' => TokenKind::Minus,
+                            '*' => TokenKind::Star,
+                            '/' => TokenKind::Slash,
+                            '%' => TokenKind::Percent,
+                            '&' => TokenKind::Amp,
+                            '|' => TokenKind::Pipe,
+                            '^' => TokenKind::Caret,
+                            '~' => TokenKind::Tilde,
+                            '!' => TokenKind::Bang,
+                            '<' => TokenKind::Lt,
+                            '>' => TokenKind::Gt,
+                            _ => err!("unexpected character '{c}'"),
+                        };
+                        (k, 1)
+                    }
+                };
+                push(kind);
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_module_header() {
+        let k = kinds("module m(input a);");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Kw(Keyword::Module),
+                TokenKind::Ident("m".into()),
+                TokenKind::LParen,
+                TokenKind::Kw(Keyword::Input),
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 8'hFF 4'b1010 'd7 16'd65535 3'o7 1_000"),
+            vec![
+                TokenKind::Number { size: None, value: 42 },
+                TokenKind::Number { size: Some(8), value: 255 },
+                TokenKind::Number { size: Some(4), value: 10 },
+                TokenKind::Number { size: None, value: 7 },
+                TokenKind::Number { size: Some(16), value: 65535 },
+                TokenKind::Number { size: Some(3), value: 7 },
+                TokenKind::Number { size: None, value: 1000 },
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("a <= b == c && d ~^ e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::NonBlocking,
+                TokenKind::Ident("b".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AmpAmp,
+                TokenKind::Ident("d".into()),
+                TokenKind::TildeCaret,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let k = kinds("a // line\n/* block\nmulti */ b\n`timescale 1ns/1ps\nc");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_reported() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_literal_errors() {
+        assert!(lex("8'hZZ").is_err());
+        assert!(lex("4'q0").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end frontend tests: Verilog source → netlist → behavioral check
+//! with a tiny interpreter (the real reference simulator lives in
+//! `c2nn-refsim`; this one keeps the frontend tests self-contained).
+
+use c2nn_netlist::{topo_order, Netlist};
+use c2nn_verilog::compile;
+
+/// Evaluate a combinational netlist; `inputs` packed LSB-first in port order.
+fn eval_comb(nl: &Netlist, inputs: u64) -> u64 {
+    let mut vals = vec![false; nl.num_nets as usize];
+    for (j, &inp) in nl.inputs.iter().enumerate() {
+        vals[inp.index()] = inputs >> j & 1 == 1;
+    }
+    for gi in topo_order(nl).unwrap() {
+        let g = &nl.gates[gi];
+        let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+        vals[g.output.index()] = g.kind.eval(&ins);
+    }
+    nl.outputs
+        .iter()
+        .enumerate()
+        .map(|(j, &o)| (vals[o.index()] as u64) << j)
+        .sum()
+}
+
+/// Step a sequential netlist: state per flip-flop, returns outputs per cycle.
+fn run_seq(nl: &Netlist, stimuli: &[u64]) -> Vec<u64> {
+    let cut = c2nn_netlist::prepare(nl).unwrap();
+    let mut state = cut.state_init.clone();
+    let mut outs = Vec::new();
+    for &stim in stimuli {
+        let mut packed = stim & ((1u64 << cut.num_primary_inputs) - 1).max(u64::MAX >> (64 - cut.num_primary_inputs.max(1)));
+        // append state bits above the primary inputs
+        for (i, &s) in state.iter().enumerate() {
+            packed |= (s as u64) << (cut.num_primary_inputs + i);
+        }
+        let all = eval_comb(&cut.comb, packed);
+        outs.push(all & ((1u64 << cut.num_primary_outputs) - 1));
+        state = (0..cut.state_bits())
+            .map(|i| all >> (cut.num_primary_outputs + i) & 1 == 1)
+            .collect();
+    }
+    outs
+}
+
+#[test]
+fn full_adder_from_verilog() {
+    let nl = compile(
+        "module fa(input a, input b, input cin, output s, output cout);
+           assign s = a ^ b ^ cin;
+           assign cout = (a & b) | (a & cin) | (b & cin);
+         endmodule",
+        "fa",
+    )
+    .unwrap();
+    for x in 0..8u64 {
+        let a = x & 1;
+        let b = x >> 1 & 1;
+        let c = x >> 2 & 1;
+        let want = (a + b + c) & 1 | ((a + b + c) >> 1) << 1;
+        assert_eq!(eval_comb(&nl, x), want, "x={x:b}");
+    }
+}
+
+#[test]
+fn adder_with_arithmetic_operator() {
+    let nl = compile(
+        "module add(input [3:0] a, input [3:0] b, output [4:0] s);
+           assign s = a + b;
+         endmodule",
+        "add",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            assert_eq!(eval_comb(&nl, a | b << 4), a + b, "{a}+{b}");
+        }
+    }
+}
+
+#[test]
+fn subtraction_and_comparison() {
+    let nl = compile(
+        "module m(input [3:0] a, input [3:0] b, output [3:0] d, output lt, output eq);
+           assign d = a - b;
+           assign lt = a < b;
+           assign eq = a == b;
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            let got = eval_comb(&nl, a | b << 4);
+            assert_eq!(got & 0xf, a.wrapping_sub(b) & 0xf);
+            assert_eq!(got >> 4 & 1, (a < b) as u64);
+            assert_eq!(got >> 5 & 1, (a == b) as u64);
+        }
+    }
+}
+
+#[test]
+fn multiplier() {
+    let nl = compile(
+        "module mul(input [3:0] a, input [3:0] b, output [3:0] p);
+           assign p = a * b;
+         endmodule",
+        "mul",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            assert_eq!(eval_comb(&nl, a | b << 4), (a * b) & 0xf, "{a}*{b}");
+        }
+    }
+}
+
+#[test]
+fn ternary_and_reductions() {
+    let nl = compile(
+        "module m(input [3:0] a, input s, output [3:0] y, output p);
+           assign y = s ? ~a : a;
+           assign p = ^a;
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        for s in 0..2u64 {
+            let got = eval_comb(&nl, a | s << 4);
+            let want_y = if s == 1 { !a & 0xf } else { a };
+            assert_eq!(got & 0xf, want_y);
+            assert_eq!(got >> 4 & 1, (a.count_ones() % 2) as u64);
+        }
+    }
+}
+
+#[test]
+fn concat_replication_shifts() {
+    let nl = compile(
+        "module m(input [3:0] a, input [1:0] k, output [7:0] y, output [7:0] z);
+           assign y = {a, a[3:2], {2{a[0]}}};
+           assign z = {4'b0, a} << k;
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        for k in 0..4u64 {
+            let got = eval_comb(&nl, a | k << 4);
+            let want_y = (a << 4) | ((a >> 2) << 2) | if a & 1 == 1 { 0b11 } else { 0 };
+            assert_eq!(got & 0xff, want_y, "a={a:04b}");
+            assert_eq!(got >> 8 & 0xff, (a << k) & 0xff, "a={a} k={k}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_bit_select() {
+    let nl = compile(
+        "module m(input [7:0] a, input [2:0] i, output y);
+           assign y = a[i];
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    for a in [0x5au64, 0xff, 0x01, 0x80] {
+        for i in 0..8u64 {
+            assert_eq!(eval_comb(&nl, a | i << 8), a >> i & 1, "a={a:x} i={i}");
+        }
+    }
+}
+
+#[test]
+fn combinational_always_with_case() {
+    let nl = compile(
+        "module alu(input [1:0] op, input [3:0] a, input [3:0] b, output reg [3:0] y);
+           always @(*) begin
+             case (op)
+               2'd0: y = a + b;
+               2'd1: y = a - b;
+               2'd2: y = a & b;
+               default: y = a ^ b;
+             endcase
+           end
+         endmodule",
+        "alu",
+    )
+    .unwrap();
+    for op in 0..4u64 {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let want = match op {
+                    0 => (a + b) & 0xf,
+                    1 => a.wrapping_sub(b) & 0xf,
+                    2 => a & b,
+                    _ => a ^ b,
+                };
+                assert_eq!(eval_comb(&nl, op | a << 2 | b << 6), want, "op={op} {a},{b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn comb_default_then_override() {
+    let nl = compile(
+        "module m(input [3:0] a, output reg y);
+           always @(*) begin
+             y = 1'b0;
+             if (a == 4'd7) y = 1'b1;
+           end
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    for a in 0..16u64 {
+        assert_eq!(eval_comb(&nl, a), (a == 7) as u64);
+    }
+}
+
+#[test]
+fn counter_with_reset_and_enable() {
+    let nl = compile(
+        "module ctr(input clk, input rst, input en, output reg [3:0] q);
+           always @(posedge clk) begin
+             if (rst) q <= 4'd0;
+             else if (en) q <= q + 4'd1;
+           end
+         endmodule",
+        "ctr",
+    )
+    .unwrap();
+    // clock input must be stripped: remaining inputs are rst, en
+    assert_eq!(nl.inputs.len(), 2);
+    assert_eq!(nl.flipflops.len(), 4);
+    // rst at bit0, en at bit1
+    let stim = [
+        0b01u64, // rst
+        0b10,    // count -> 1
+        0b10,    // count -> 2
+        0b00,    // hold
+        0b10,    // count -> 3
+        0b01,    // rst -> 0
+        0b10,    // count -> 1
+    ];
+    let outs = run_seq(&nl, &stim);
+    assert_eq!(outs, vec![0, 0, 1, 2, 2, 3, 0]);
+}
+
+#[test]
+fn hierarchy_is_flattened() {
+    let nl = compile(
+        "module ha(input a, input b, output s, output c);
+           assign s = a ^ b;
+           assign c = a & b;
+         endmodule
+         module fa(input a, input b, input cin, output s, output cout);
+           wire s1, c1, c2;
+           ha h0 (.a(a), .b(b), .s(s1), .c(c1));
+           ha h1 (.a(s1), .b(cin), .s(s), .c(c2));
+           assign cout = c1 | c2;
+         endmodule",
+        "fa",
+    )
+    .unwrap();
+    for x in 0..8u64 {
+        let total = (x & 1) + (x >> 1 & 1) + (x >> 2 & 1);
+        assert_eq!(eval_comb(&nl, x), total & 1 | (total >> 1) << 1);
+    }
+}
+
+#[test]
+fn parameterized_instance() {
+    let nl = compile(
+        "module addw #(parameter W = 2) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] s);
+           assign s = a + b;
+         endmodule
+         module top(input [5:0] a, input [5:0] b, output [5:0] s);
+           addw #(.W(6)) u (.a(a), .b(b), .s(s));
+         endmodule",
+        "top",
+    )
+    .unwrap();
+    assert_eq!(nl.inputs.len(), 12);
+    for (a, b) in [(0u64, 0u64), (31, 1), (63, 63), (17, 46)] {
+        assert_eq!(eval_comb(&nl, a | b << 6), (a + b) & 0x3f);
+    }
+}
+
+#[test]
+fn shift_register_with_concat_lvalue() {
+    let nl = compile(
+        "module sr(input clk, input d, output reg [3:0] q);
+           always @(posedge clk) q <= {q[2:0], d};
+         endmodule",
+        "sr",
+    )
+    .unwrap();
+    let outs = run_seq(&nl, &[1, 0, 1, 1, 0]);
+    // q shows the value *before* the edge of each cycle
+    assert_eq!(outs, vec![0b0000, 0b0001, 0b0010, 0b0101, 0b1011]);
+}
+
+#[test]
+fn sequential_case_fsm() {
+    // 2-bit Gray counter as an FSM through case
+    let nl = compile(
+        "module fsm(input clk, output reg [1:0] s);
+           always @(posedge clk) begin
+             case (s)
+               2'b00: s <= 2'b01;
+               2'b01: s <= 2'b11;
+               2'b11: s <= 2'b10;
+               2'b10: s <= 2'b00;
+             endcase
+           end
+         endmodule",
+        "fsm",
+    )
+    .unwrap();
+    let outs = run_seq(&nl, &[0, 0, 0, 0, 0]);
+    assert_eq!(outs, vec![0b00, 0b01, 0b11, 0b10, 0b00]);
+}
+
+#[test]
+fn reg_initial_value() {
+    let nl = compile(
+        "module m(input clk, output reg q = 1'b1);
+           always @(posedge clk) q <= 1'b0;
+         endmodule
+         ",
+        "m",
+    )
+    .unwrap();
+    assert!(nl.flipflops[0].init);
+    let outs = run_seq(&nl, &[0, 0]);
+    assert_eq!(outs, vec![1, 0]);
+}
+
+#[test]
+fn part_select_with_nonzero_lsb() {
+    let nl = compile(
+        "module m(input [11:4] a, output [3:0] y);
+           assign y = a[9:6];
+         endmodule",
+        "m",
+    )
+    .unwrap();
+    // a has 8 bits (ports), y picks bits 6..=9 → positions 2..=5
+    for a in [0u64, 0xff, 0xa5, 0x3c] {
+        assert_eq!(eval_comb(&nl, a), a >> 2 & 0xf);
+    }
+}
+
+#[test]
+fn errors_are_reported() {
+    // unknown signal
+    assert!(compile("module m(output y); assign y = nope; endmodule", "m").is_err());
+    // multiple drivers
+    assert!(compile(
+        "module m(input a, output y); assign y = a; assign y = ~a; endmodule",
+        "m"
+    )
+    .is_err());
+    // blocking assign in sequential block
+    assert!(compile(
+        "module m(input clk, input d, output reg q); always @(posedge clk) q = d; endmodule",
+        "m"
+    )
+    .is_err());
+    // unknown module
+    assert!(compile("module m(input a, output y); foo f(.a(a), .y(y)); endmodule", "m").is_err());
+    // latch: comb always reading its own unassigned value
+    assert!(compile(
+        "module m(input c, input d, output reg q); always @(*) if (c) q = d; endmodule",
+        "m"
+    )
+    .is_err());
+}
+
+#[test]
+fn gate_counts_are_reasonable() {
+    // an 8-bit adder should be tens of gates, not thousands
+    let nl = compile(
+        "module add(input [7:0] a, input [7:0] b, output [7:0] s);
+           assign s = a + b;
+         endmodule",
+        "add",
+    )
+    .unwrap();
+    let n = nl.gate_count();
+    assert!(n >= 30 && n <= 120, "adder gate count {n}");
+}

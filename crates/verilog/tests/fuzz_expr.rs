@@ -1,0 +1,177 @@
+//! Differential fuzzing of the frontend: generate random 8-bit expression
+//! trees, print them as Verilog, run them through the full
+//! lexer/parser/elaborator/netlist pipeline, and compare against a direct
+//! software interpreter on random inputs. Any disagreement is a frontend
+//! miscompilation.
+
+use c2nn_netlist::{topo_order, Netlist};
+use proptest::prelude::*;
+
+/// An 8-bit expression over inputs a, b, c.
+#[derive(Clone, Debug)]
+enum E {
+    Input(u8),
+    Const(u8),
+    Not(Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    ShlC(Box<E>, u8),
+    ShrC(Box<E>, u8),
+    Ternary(Box<C>, Box<E>, Box<E>),
+}
+
+/// A 1-bit comparison used as a ternary condition.
+#[derive(Clone, Debug)]
+enum C {
+    Eq(Box<E>, Box<E>),
+    Ne(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Ge(Box<E>, Box<E>),
+}
+
+impl E {
+    fn eval(&self, inp: [u8; 3]) -> u8 {
+        match self {
+            E::Input(i) => inp[*i as usize],
+            E::Const(v) => *v,
+            E::Not(a) => !a.eval(inp),
+            E::And(a, b) => a.eval(inp) & b.eval(inp),
+            E::Or(a, b) => a.eval(inp) | b.eval(inp),
+            E::Xor(a, b) => a.eval(inp) ^ b.eval(inp),
+            E::Add(a, b) => a.eval(inp).wrapping_add(b.eval(inp)),
+            E::Sub(a, b) => a.eval(inp).wrapping_sub(b.eval(inp)),
+            E::Mul(a, b) => a.eval(inp).wrapping_mul(b.eval(inp)),
+            E::ShlC(a, k) => a.eval(inp) << k,
+            E::ShrC(a, k) => a.eval(inp) >> k,
+            E::Ternary(c, a, b) => {
+                if c.eval(inp) {
+                    a.eval(inp)
+                } else {
+                    b.eval(inp)
+                }
+            }
+        }
+    }
+
+    fn to_verilog(&self) -> String {
+        match self {
+            E::Input(0) => "a".into(),
+            E::Input(1) => "b".into(),
+            E::Input(_) => "c".into(),
+            E::Const(v) => format!("8'd{v}"),
+            E::Not(a) => format!("(~{})", a.to_verilog()),
+            E::And(a, b) => format!("({} & {})", a.to_verilog(), b.to_verilog()),
+            E::Or(a, b) => format!("({} | {})", a.to_verilog(), b.to_verilog()),
+            E::Xor(a, b) => format!("({} ^ {})", a.to_verilog(), b.to_verilog()),
+            E::Add(a, b) => format!("({} + {})", a.to_verilog(), b.to_verilog()),
+            E::Sub(a, b) => format!("({} - {})", a.to_verilog(), b.to_verilog()),
+            E::Mul(a, b) => format!("({} * {})", a.to_verilog(), b.to_verilog()),
+            E::ShlC(a, k) => format!("({} << {k})", a.to_verilog()),
+            E::ShrC(a, k) => format!("({} >> {k})", a.to_verilog()),
+            E::Ternary(c, a, b) => format!(
+                "({} ? {} : {})",
+                c.to_verilog(),
+                a.to_verilog(),
+                b.to_verilog()
+            ),
+        }
+    }
+}
+
+impl C {
+    fn eval(&self, inp: [u8; 3]) -> bool {
+        match self {
+            C::Eq(a, b) => a.eval(inp) == b.eval(inp),
+            C::Ne(a, b) => a.eval(inp) != b.eval(inp),
+            C::Lt(a, b) => a.eval(inp) < b.eval(inp),
+            C::Ge(a, b) => a.eval(inp) >= b.eval(inp),
+        }
+    }
+
+    fn to_verilog(&self) -> String {
+        match self {
+            C::Eq(a, b) => format!("({} == {})", a.to_verilog(), b.to_verilog()),
+            C::Ne(a, b) => format!("({} != {})", a.to_verilog(), b.to_verilog()),
+            C::Lt(a, b) => format!("({} < {})", a.to_verilog(), b.to_verilog()),
+            C::Ge(a, b) => format!("({} >= {})", a.to_verilog(), b.to_verilog()),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(E::Input),
+        any::<u8>().prop_map(E::Const),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..8).prop_map(|(a, k)| E::ShlC(Box::new(a), k)),
+            (inner.clone(), 0u8..8).prop_map(|(a, k)| E::ShrC(Box::new(a), k)),
+            (
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| C::Eq(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| C::Ne(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| C::Lt(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| C::Ge(Box::new(a), Box::new(b))),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(c, a, b)| E::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_netlist(nl: &Netlist, inp: [u8; 3]) -> u8 {
+    let mut vals = vec![false; nl.num_nets as usize];
+    for (j, &net) in nl.inputs.iter().enumerate() {
+        let byte = inp[j / 8];
+        vals[net.index()] = byte >> (j % 8) & 1 == 1;
+    }
+    for gi in topo_order(nl).unwrap() {
+        let g = &nl.gates[gi];
+        let ins: Vec<bool> = g.inputs.iter().map(|n| vals[n.index()]).collect();
+        vals[g.output.index()] = g.kind.eval(&ins);
+    }
+    nl.outputs
+        .iter()
+        .enumerate()
+        .map(|(j, &o)| (vals[o.index()] as u8) << j)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn frontend_matches_interpreter(e in expr_strategy(), seeds in proptest::collection::vec(any::<[u8;3]>(), 8)) {
+        let src = format!(
+            "module fuzz(input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);\n\
+               assign y = {};\n\
+             endmodule",
+            e.to_verilog()
+        );
+        let nl = c2nn_verilog::compile(&src, "fuzz")
+            .unwrap_or_else(|err| panic!("frontend rejected generated source: {err}\n{src}"));
+        for inp in seeds {
+            let want = e.eval(inp);
+            let got = eval_netlist(&nl, inp);
+            prop_assert_eq!(got, want, "inputs {:?} on\n{}", inp, src);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Memory-array inference tests: `reg [W:0] mem [0:D];` elaborates to a
+//! register file with decoded reads and writes, the idiom behind FIFOs,
+//! register files, and small RAMs.
+
+use c2nn_netlist::Netlist;
+use c2nn_refsim::CycleSim;
+use c2nn_verilog::compile;
+
+fn word(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+}
+
+#[test]
+fn register_file_two_read_ports() {
+    let nl: Netlist = compile(
+        "module regfile(input clk, input we, input [2:0] waddr, input [7:0] wdata,
+                        input [2:0] ra, input [2:0] rb,
+                        output [7:0] qa, output [7:0] qb);
+           reg [7:0] mem [0:7];
+           always @(posedge clk) begin
+             if (we) mem[waddr] <= wdata;
+           end
+           assign qa = mem[ra];
+           assign qb = mem[rb];
+         endmodule",
+        "regfile",
+    )
+    .unwrap();
+    assert_eq!(nl.flipflops.len(), 64, "8 words × 8 bits");
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = |we: bool, waddr: u64, wdata: u64, ra: u64, rb: u64| -> Vec<bool> {
+        let mut v = vec![we];
+        v.extend((0..3).map(|i| waddr >> i & 1 == 1));
+        v.extend((0..8).map(|i| wdata >> i & 1 == 1));
+        v.extend((0..3).map(|i| ra >> i & 1 == 1));
+        v.extend((0..3).map(|i| rb >> i & 1 == 1));
+        v
+    };
+    // write 0x11*w to each word w
+    for w in 0..8u64 {
+        sim.step(&stim(true, w, w * 0x11, 0, 0));
+    }
+    // read back through both ports
+    for w in 0..8u64 {
+        let out = sim.step(&stim(false, 0, 0, w, 7 - w));
+        assert_eq!(word(&out[..8]), (w * 0x11) & 0xff, "port a word {w}");
+        assert_eq!(word(&out[8..16]), ((7 - w) * 0x11) & 0xff, "port b word {w}");
+    }
+}
+
+#[test]
+fn sync_read_ram_idiom() {
+    let nl = compile(
+        "module ram(input clk, input we, input [1:0] addr, input [3:0] din,
+                    output reg [3:0] dout);
+           reg [3:0] mem [0:3];
+           always @(posedge clk) begin
+             if (we) mem[addr] <= din;
+             dout <= mem[addr];
+           end
+         endmodule",
+        "ram",
+    )
+    .unwrap();
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = |we: bool, addr: u64, din: u64| -> Vec<bool> {
+        let mut v = vec![we];
+        v.extend((0..2).map(|i| addr >> i & 1 == 1));
+        v.extend((0..4).map(|i| din >> i & 1 == 1));
+        v
+    };
+    sim.step(&stim(true, 2, 0xA));
+    sim.step(&stim(true, 3, 0x5));
+    // sync read: dout shows mem[addr] sampled at the edge, one cycle later.
+    // Verilog nonblocking semantics: `dout <= mem[addr]` reads the OLD word
+    // even on a same-cycle write to the same address (read-before-write).
+    sim.step(&stim(false, 2, 0));
+    let out = sim.step(&stim(false, 3, 0));
+    assert_eq!(word(&out[..4]), 0xA, "read of word 2");
+    let out = sim.step(&stim(false, 0, 0));
+    assert_eq!(word(&out[..4]), 0x5, "read of word 3");
+}
+
+#[test]
+fn read_before_write_semantics() {
+    // same-address read+write in one cycle must return the old value
+    let nl = compile(
+        "module rbw(input clk, input [3:0] din, output reg [3:0] dout);
+           reg [3:0] mem [0:1];
+           always @(posedge clk) begin
+             mem[0] <= din;
+             dout <= mem[0];
+           end
+         endmodule",
+        "rbw",
+    )
+    .unwrap();
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = |d: u64| -> Vec<bool> { (0..4).map(|i| d >> i & 1 == 1).collect() };
+    sim.step(&stim(7)); // mem[0] <- 7, dout <- old (0)
+    let out = sim.step(&stim(3)); // mem[0] <- 3, dout <- 7
+    assert_eq!(word(&out[..4]), 0);
+    let out = sim.step(&stim(0));
+    assert_eq!(word(&out[..4]), 7, "read-before-write");
+}
+
+#[test]
+fn memory_fifo_through_nn_compiler() {
+    // a 4-deep circular FIFO built on a memory array, compiled to a NN and
+    // checked against the reference simulator
+    let src = "
+      module mfifo(input clk, input push, input pop, input [3:0] din,
+                   output [3:0] dout, output [2:0] count);
+        reg [3:0] mem [0:3];
+        reg [1:0] rp, wp;
+        reg [2:0] cnt;
+        wire do_push = push & (cnt != 3'd4);
+        wire do_pop = pop & (cnt != 3'd0);
+        always @(posedge clk) begin
+          if (do_push) begin
+            mem[wp] <= din;
+            wp <= wp + 2'd1;
+          end
+          if (do_pop) rp <= rp + 2'd1;
+          cnt <= cnt + {2'b00, do_push} - {2'b00, do_pop};
+        end
+        assign dout = mem[rp];
+        assign count = cnt;
+      endmodule";
+    let nl = compile(src, "mfifo").unwrap();
+    let nn = c2nn_core::compile(&nl, c2nn_core::CompileOptions::with_l(4)).unwrap();
+    let mut nn_sim = c2nn_core::Simulator::new(&nn, 1, c2nn_tensor::Device::Serial);
+    let mut r = CycleSim::new(&nl).unwrap();
+    let mut seed = 0xf1f0u64;
+    for cyc in 0..120 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let push = seed >> 20 & 1 == 1;
+        let pop = seed >> 21 & 1 == 1;
+        let din = seed >> 30 & 0xf;
+        let mut stim = vec![push, pop];
+        stim.extend((0..4).map(|i| din >> i & 1 == 1));
+        let want = r.step(&stim);
+        let got = nn_sim
+            .step(&c2nn_tensor::Dense::<f32>::from_lanes(&[stim]))
+            .to_lanes()
+            .remove(0);
+        assert_eq!(got, want, "cycle {cyc}");
+    }
+}
+
+#[test]
+fn memory_errors_are_reported() {
+    // out-of-range constant index
+    assert!(compile(
+        "module m(input clk, input [3:0] d, output [3:0] q);
+           reg [3:0] mem [0:3];
+           always @(posedge clk) mem[7] <= d;
+           assign q = mem[0];
+         endmodule",
+        "m"
+    )
+    .is_err());
+    // nonzero base unsupported
+    assert!(compile(
+        "module m(input clk, output [3:0] q);
+           reg [3:0] mem [2:5];
+           assign q = mem[2];
+         endmodule",
+        "m"
+    )
+    .is_err());
+    // redeclaration
+    assert!(compile(
+        "module m(input clk, output q);
+           reg [3:0] mem [0:3];
+           wire mem;
+           assign q = mem;
+         endmodule",
+        "m"
+    )
+    .is_err());
+}

@@ -1,0 +1,97 @@
+//! Noise stability, measured two ways (paper §II-B: the multilinear
+//! "Hamiltonian" representation underlies "the stability of the circuit in
+//! the presence of noise").
+//!
+//! For a Boolean function `f` and correlation `ρ`, `Stab_ρ(f)` is the
+//! expected product `f(x)·f(y)` over ±1 values when `y` is an ρ-correlated
+//! copy of `x`. This demo computes it **analytically** from the Fourier
+//! spectrum and **empirically** by driving the compiled neural network of
+//! the same circuit with noisy input pairs — the two must agree, because
+//! the network *is* the function.
+//!
+//! ```sh
+//! cargo run --release --example noise_stability
+//! ```
+
+use c2nn::boolfn::{analysis, Lut};
+use c2nn::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+/// Build a netlist computing the given truth table.
+fn circuit_of(lut: &Lut) -> Netlist {
+    let mut b = NetlistBuilder::new("f");
+    let ins = b.input_word("x", lut.inputs() as usize);
+    let out = b.synth_truth_table(&ins, lut.bits());
+    b.output(out, "y");
+    b.finish().unwrap()
+}
+
+fn main() {
+    let rho = 0.9;
+    let flip_p = (1.0 - rho) / 2.0; // per-bit flip probability
+    let trials = 40_000usize;
+    println!("noise stability at ρ = {rho} (per-bit flip probability {flip_p:.3})\n");
+    println!("{:<6} {:>12} {:>12} {:>8}", "f", "analytic", "empirical(NN)", "|Δ|");
+
+    let mut rng = Rng(0x5eed);
+    for (name, lut) in [
+        ("MAJ5", Lut::majority(5)),
+        ("XOR5", Lut::xor(5)),
+        ("AND5", Lut::and(5)),
+        ("MUX", Lut::mux()),
+    ] {
+        let n = lut.inputs() as usize;
+        // analytic: Σ ρ^{|S|} f̂(S)²
+        let analytic = analysis::noise_stability(&analysis::fourier_coeffs(&lut), rho);
+
+        // empirical, through the compiled network: batched pairs (x, y)
+        let nn = compile(&circuit_of(&lut), CompileOptions::with_l(3)).unwrap();
+        let batch = 512;
+        let mut agree_sum = 0f64;
+        let mut done = 0usize;
+        while done < trials {
+            let mut lanes = Vec::with_capacity(batch * 2);
+            for _ in 0..batch {
+                let x: Vec<bool> = (0..n).map(|_| rng.next() & 1 == 1).collect();
+                let y: Vec<bool> = x.iter().map(|&b| b ^ rng.chance(flip_p)).collect();
+                lanes.push(x);
+                lanes.push(y);
+            }
+            let out = nn.forward(&Dense::<f32>::from_lanes(&lanes), Device::Serial);
+            let bits = out.to_lanes();
+            for pair in bits.chunks(2) {
+                // ±1 product: +1 when equal, −1 when different
+                agree_sum += if pair[0][0] == pair[1][0] { 1.0 } else { -1.0 };
+            }
+            done += batch;
+        }
+        let empirical = agree_sum / done as f64;
+        println!(
+            "{name:<6} {analytic:>12.4} {empirical:>12.4} {:>8.4}",
+            (analytic - empirical).abs()
+        );
+        assert!(
+            (analytic - empirical).abs() < 0.03,
+            "{name}: empirical diverged from Fourier prediction"
+        );
+    }
+    println!(
+        "\nAND is the most noise-stable (low-degree spectrum), parity the least\n\
+         (all weight at degree 5: Stab = ρ⁵) — the spectral story behind the\n\
+         paper's sparse-polynomial hypothesis, measured on the compiled NNs."
+    );
+}

@@ -1,0 +1,204 @@
+//! `c2nn` — command-line front door to the compiler.
+//!
+//! ```text
+//! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]
+//! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]
+//! c2nn sim     <model.json> --cycles <n> [--batch <n>]
+//! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
+//! c2nn dot     <file.v|.blif> --top <module>
+//! ```
+//!
+//! `.blif` inputs skip the Verilog frontend (`--top` then optional).
+
+use c2nn::prelude::*;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]\n  \
+         c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]\n  \
+         c2nn sim     <model.json> --cycles <n> [--batch <n>]\n  \
+         c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
+         c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
+         c2nn dot     <file.v|.blif> --top <module>"
+    );
+    exit(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_netlist(path: &str, top: Option<&str>) -> Netlist {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    if path.ends_with(".blif") {
+        return c2nn::netlist::from_blif(&src).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+    }
+    let top = top.unwrap_or_else(|| {
+        eprintln!("--top <module> is required for Verilog input");
+        exit(2)
+    });
+    c2nn::verilog::compile(&src, top).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "compile" | "stats" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let top = flag(&args, "--top");
+            let l: usize = flag(&args, "--l")
+                .map(|s| s.parse().expect("--l must be an integer"))
+                .unwrap_or(7);
+            let nl = load_netlist(file, top.as_deref());
+            let mut opts = CompileOptions::with_l(l);
+            if args.iter().any(|a| a == "--wide") {
+                opts = opts.with_wide_gates();
+            }
+            let t0 = std::time::Instant::now();
+            let nn = compile(&nl, opts).unwrap_or_else(|e| {
+                eprintln!("compile error: {e}");
+                exit(1)
+            });
+            let gen = t0.elapsed().as_secs_f64();
+            println!("circuit   : {} ({file})", nl.name);
+            println!("gates     : {} (+{} flip-flops)", nl.gates.len(), nl.flipflops.len());
+            println!("L         : {l}");
+            println!("gen time  : {gen:.3} s");
+            println!("layers    : {}", nn.num_layers());
+            println!("connections: {}", nn.connections());
+            println!("memory    : {:.2} MB", nn.memory_bytes() as f64 / 1e6);
+            println!("sparsity  : {:.5}", nn.mean_sparsity());
+            if cmd == "compile" {
+                let out = flag(&args, "--out").unwrap_or_else(|| "model.json".into());
+                let json = serde_json::to_string(&nn).expect("serialize");
+                std::fs::write(&out, json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1)
+                });
+                println!("model written to {out}");
+            }
+        }
+        "bench" => {
+            // c2nn bench <model.json> <tb1.stim> [<tb2.stim> ...]
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let json = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("cannot read {file}: {e}");
+                exit(1)
+            });
+            let nn: CompiledNn<f32> = serde_json::from_str(&json).unwrap_or_else(|e| {
+                eprintln!("not a c2nn model: {e}");
+                exit(1)
+            });
+            let tb_files: Vec<&String> = args[2..].iter().filter(|a| !a.starts_with("--")).collect();
+            if tb_files.is_empty() {
+                eprintln!("no .stim testbenches given");
+                exit(2)
+            }
+            let benches: Vec<c2nn::core::Stimulus> = tb_files
+                .iter()
+                .map(|f| {
+                    let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                        eprintln!("cannot read {f}: {e}");
+                        exit(1)
+                    });
+                    c2nn::core::parse_stim(&text, nn.num_primary_inputs).unwrap_or_else(|e| {
+                        eprintln!("{f}: {e}");
+                        exit(1)
+                    })
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            let results = c2nn::core::run_batch(&nn, &benches, Device::Serial);
+            let dt = t0.elapsed().as_secs_f64();
+            let total_cycles: usize = benches.iter().map(|b| b.cycles.len()).sum();
+            println!(
+                "{} testbenches, {total_cycles} total cycles, one batched simulation in {dt:.3}s",
+                benches.len()
+            );
+            for (f, r) in tb_files.iter().zip(&results) {
+                let last = r.cycles.last().map(|c| {
+                    c.iter().rev().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+                });
+                println!("  {f}: {} cycles, final outputs {}", r.cycles.len(), last.unwrap_or_default());
+            }
+        }
+        "sim" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let cycles: u64 = flag(&args, "--cycles")
+                .map(|s| s.parse().expect("--cycles must be an integer"))
+                .unwrap_or(16);
+            let batch: usize = flag(&args, "--batch")
+                .map(|s| s.parse().expect("--batch must be an integer"))
+                .unwrap_or(1);
+            let json = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("cannot read {file}: {e}");
+                exit(1)
+            });
+            let nn: CompiledNn<f32> = serde_json::from_str(&json).unwrap_or_else(|e| {
+                eprintln!("not a c2nn model: {e}");
+                exit(1)
+            });
+            let mut sim = Simulator::new(&nn, batch, Device::Serial);
+            let zeros = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
+            let t0 = std::time::Instant::now();
+            let mut last = None;
+            for _ in 0..cycles {
+                last = Some(sim.step(&zeros));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            println!(
+                "{cycles} cycles × {batch} lanes in {dt:.3}s — {:.3e} gates·cycles/s",
+                nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
+            );
+            if let Some(out) = last {
+                let lane0 = &out.to_lanes()[0];
+                let word: String = lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("lane 0 outputs after final cycle: {word}");
+            }
+        }
+        "trace" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let top = flag(&args, "--top");
+            let cycles: usize = flag(&args, "--cycles")
+                .map(|s| s.parse().expect("--cycles must be an integer"))
+                .unwrap_or(32);
+            let out = flag(&args, "--out").unwrap_or_else(|| "wave.vcd".into());
+            let nl = load_netlist(file, top.as_deref());
+            // free-running trace with a simple walking-ones stimulus
+            let n_in = nl.inputs.len();
+            let stimuli: Vec<Vec<bool>> = (0..cycles)
+                .map(|c| (0..n_in).map(|j| n_in != 0 && c % (n_in + 1) == j).collect())
+                .collect();
+            let rec = c2nn::refsim::trace_run(&nl, &stimuli).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1)
+            });
+            rec.write_to(&out).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            println!("{cycles} cycles traced to {out} (view with GTKWave)");
+        }
+        "dot" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let top = flag(&args, "--top");
+            let nl = load_netlist(file, top.as_deref());
+            print!("{}", c2nn::netlist::to_dot(&nl));
+        }
+        _ => usage(),
+    }
+}

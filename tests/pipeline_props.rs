@@ -1,0 +1,97 @@
+//! Property-based tests over the whole pipeline: for arbitrary generated
+//! circuits and parameters, the compiled network is exactly the circuit.
+
+use c2nn::circuits::generators::{random_dag, random_fsm};
+use c2nn::prelude::*;
+use c2nn::tensor::Dense;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random combinational DAGs: NN ≡ reference on random points, for
+    /// random LUT sizes, merged or not, f32 or i32.
+    #[test]
+    fn random_comb_circuits_equivalent(
+        seed in 1u64..u64::MAX,
+        num_gates in 10usize..120,
+        l in 2usize..9,
+        merge in any::<bool>(),
+    ) {
+        let nl = random_dag(8, num_gates, 4, seed);
+        let mut opts = CompileOptions::with_l(l);
+        opts.merge_layers = merge;
+        let nn = compile(&nl, opts).unwrap();
+        let mut sim = CycleSim::new(&nl).unwrap();
+        let mut s = seed;
+        for _ in 0..24 {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let bits: Vec<bool> = (0..8).map(|j| s >> (j + 8) & 1 == 1).collect();
+            prop_assert_eq!(nn.eval(&bits), sim.eval_comb(&bits));
+        }
+    }
+
+    /// Random sequential circuits: lockstep batched NN simulation matches
+    /// per-lane reference simulation over many cycles.
+    #[test]
+    fn random_seq_circuits_equivalent(
+        seed in 1u64..u64::MAX,
+        state_bits in 2usize..10,
+        num_gates in 10usize..80,
+        l in 3usize..8,
+    ) {
+        let nl = random_fsm(4, state_bits, num_gates, 3, seed);
+        let nn = compile(&nl, CompileOptions::with_l(l)).unwrap();
+        let batch = 3;
+        let mut nn_sim = Simulator::new(&nn, batch, Device::Serial);
+        let mut refs: Vec<CycleSim> = (0..batch).map(|_| CycleSim::new(&nl).unwrap()).collect();
+        let mut s = seed.wrapping_mul(3);
+        for _ in 0..16 {
+            let lanes: Vec<Vec<bool>> = (0..batch).map(|lane| {
+                (0..4).map(|j| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(lane as u64 + j);
+                    s >> 33 & 1 == 1
+                }).collect()
+            }).collect();
+            let got = nn_sim.step(&Dense::<f32>::from_lanes(&lanes)).to_lanes();
+            for (lane, r) in refs.iter_mut().enumerate() {
+                prop_assert_eq!(&got[lane], &r.step(&lanes[lane]));
+            }
+        }
+    }
+
+    /// The i32 network is bit-identical to the f32 network.
+    #[test]
+    fn integer_network_equals_float(
+        seed in 1u64..u64::MAX,
+        num_gates in 10usize..60,
+        l in 2usize..8,
+    ) {
+        let nl = random_dag(6, num_gates, 3, seed);
+        let nf = compile(&nl, CompileOptions::with_l(l)).unwrap();
+        let ni = compile_as::<i32>(&nl, CompileOptions::with_l(l)).unwrap();
+        for x in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|j| x >> j & 1 == 1).collect();
+            prop_assert_eq!(nf.eval(&bits), ni.eval(&bits));
+        }
+    }
+
+    /// Serialization round-trips the network exactly.
+    #[test]
+    fn serde_roundtrip_preserves_function(
+        seed in 1u64..u64::MAX,
+        num_gates in 10usize..40,
+    ) {
+        let nl = random_dag(5, num_gates, 3, seed);
+        let nn = compile(&nl, CompileOptions::with_l(4)).unwrap();
+        let json = serde_json::to_string(&nn).unwrap();
+        let back: CompiledNn<f32> = serde_json::from_str(&json).unwrap();
+        for x in 0..32u64 {
+            let bits: Vec<bool> = (0..5).map(|j| x >> j & 1 == 1).collect();
+            prop_assert_eq!(nn.eval(&bits), back.eval(&bits));
+        }
+    }
+}
