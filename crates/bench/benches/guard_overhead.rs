@@ -1,0 +1,36 @@
+//! Guarded vs unguarded simulation: what does opt-in self-checking cost?
+//!
+//! `Simulator::step` is the unguarded hot path — shape asserts only.
+//! `Simulator::try_step` with the guard enabled adds per-cycle work: an
+//! FNV-1a checksum over every weight and bias, plus binary-domain checks
+//! on the inputs, the pre-step state, the outputs and the next state.
+//! This bench quantifies that overhead so the results note can report it.
+
+use c2nn_core::{compile, CompileOptions, Simulator};
+use c2nn_tensor::{Dense, Device};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn guard_overhead(c: &mut Criterion) {
+    let nl = c2nn_circuits::uart();
+    let nn = compile(&nl, CompileOptions::with_l(5)).unwrap();
+    let mut g = c.benchmark_group("guard_overhead");
+    g.sample_size(20);
+    for batch in [1usize, 64, 256] {
+        let x = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
+
+        let mut plain = Simulator::new(&nn, batch, Device::Serial);
+        g.bench_with_input(BenchmarkId::new("unguarded_step", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(plain.step(&x)))
+        });
+
+        let mut guarded = Simulator::new(&nn, batch, Device::Serial);
+        guarded.enable_guard();
+        g.bench_with_input(BenchmarkId::new("guarded_try_step", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(guarded.try_step(&x).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, guard_overhead);
+criterion_main!(benches);

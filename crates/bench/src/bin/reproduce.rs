@@ -12,18 +12,13 @@ use c2nn_bench::experiments::*;
 use c2nn_bench::harness::sci;
 use std::time::Duration;
 
-fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+fn save_json<T: c2nn_json::ToJson>(name: &str, value: &T) {
     std::fs::create_dir_all("results").ok();
     let path = format!("results/{name}.json");
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {path}: {e}");
-            } else {
-                eprintln!("wrote {path}");
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, c2nn_json::to_string_pretty(value)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
     }
 }
 

@@ -8,11 +8,11 @@ use c2nn_circuits::table1_suite;
 use c2nn_core::{compile, compile_as, CompileOptions, CompiledNn, Simulator};
 use c2nn_refsim::CycleSim;
 use c2nn_tensor::{Dense, Device};
-use serde::Serialize;
+use c2nn_json::json_obj;
 use std::time::Duration;
 
 /// One Table I row (per circuit × L).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     pub circuit: String,
     pub gates: usize,
@@ -30,6 +30,7 @@ pub struct Table1Row {
     pub nn_modeled_gcs: f64,
     pub nn_modeled_speedup: f64,
 }
+json_obj!(Table1Row { circuit, gates, refsim_gcs, l, generation_s, memory_mb, connections_m, layers, mean_sparsity, nn_measured_gcs, nn_measured_speedup, nn_modeled_gcs, nn_modeled_speedup });
 
 /// Measure the reference (Verilator-substitute) throughput of a netlist.
 pub fn refsim_throughput(nl: &c2nn_netlist::Netlist, budget: Duration) -> Throughput {
@@ -155,12 +156,13 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
 }
 
 /// One Figure 4 point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Point {
     pub l: usize,
     pub dnf_s: Option<f64>,
     pub dc_s: f64,
 }
+json_obj!(Fig4Point { l, dnf_s, dc_s });
 
 /// Reproduce Figure 4: polynomial generation time, DNF vs Algorithm 1.
 pub fn fig4(max_l_dc: usize, max_l_dnf: usize, budget: Duration) -> Vec<Fig4Point> {
@@ -208,7 +210,7 @@ pub fn format_fig4(pts: &[Fig4Point]) -> String {
 }
 
 /// One Figure 6 point: UART compiled at a given L.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig6Point {
     pub l: usize,
     pub layers: usize,
@@ -218,6 +220,7 @@ pub struct Fig6Point {
     /// modeled parallel single-stimulus forward time (the paper's GPU curve)
     pub gpu_modeled_s: f64,
 }
+json_obj!(Fig6Point { l, layers, connections, cpu_s, gpu_modeled_s });
 
 /// Reproduce Figure 6 on the UART circuit.
 pub fn fig6(ls: &[usize], budget: Duration) -> Vec<Fig6Point> {
@@ -279,7 +282,7 @@ pub fn format_fig6(pts: &[Fig6Point]) -> String {
 }
 
 /// Ablation A1: layer merging on/off (Fig. 5 claim).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MergeAblationRow {
     pub l: usize,
     pub layers_merged: usize,
@@ -289,6 +292,7 @@ pub struct MergeAblationRow {
     pub gpu_modeled_merged_s: f64,
     pub gpu_modeled_unmerged_s: f64,
 }
+json_obj!(MergeAblationRow { l, layers_merged, layers_unmerged, cpu_merged_s, cpu_unmerged_s, gpu_modeled_merged_s, gpu_modeled_unmerged_s });
 
 pub fn ablate_merge(ls: &[usize], budget: Duration) -> Vec<MergeAblationRow> {
     let nl = c2nn_circuits::uart();
@@ -320,12 +324,13 @@ pub fn ablate_merge(ls: &[usize], budget: Duration) -> Vec<MergeAblationRow> {
 }
 
 /// Ablation A3: throughput vs batch size (stimulus parallelism).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BatchSweepPoint {
     pub batch: usize,
     pub measured_gcs: f64,
     pub modeled_gcs: f64,
 }
+json_obj!(BatchSweepPoint { batch, measured_gcs, modeled_gcs });
 
 pub fn batch_sweep(l: usize, batches: &[usize], budget: Duration) -> Vec<BatchSweepPoint> {
     let nl = c2nn_circuits::aes128();
@@ -351,12 +356,13 @@ pub fn batch_sweep(l: usize, batches: &[usize], budget: Duration) -> Vec<BatchSw
 }
 
 /// Ablation A4: f32 vs i32 kernels (paper §V future work).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DtypeRow {
     pub l: usize,
     pub f32_s: f64,
     pub i32_s: f64,
 }
+json_obj!(DtypeRow { l, f32_s, i32_s });
 
 pub fn ablate_dtype(ls: &[usize], batch: usize, budget: Duration) -> Vec<DtypeRow> {
     let nl = c2nn_circuits::uart();
@@ -381,13 +387,14 @@ pub fn ablate_dtype(ls: &[usize], batch: usize, budget: Duration) -> Vec<DtypeRo
 }
 
 /// Ablation A2: sparse vs dense execution of one compiled layer set.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SparseAblationRow {
     pub l: usize,
     pub sparsity: f64,
     pub sparse_s: f64,
     pub dense_s: f64,
 }
+json_obj!(SparseAblationRow { l, sparsity, sparse_s, dense_s });
 
 pub fn ablate_sparse(ls: &[usize], batch: usize, budget: Duration) -> Vec<SparseAblationRow> {
     use c2nn_tensor::{forward_dense, forward_sparse, Activation};
@@ -441,7 +448,7 @@ pub fn ablate_sparse(ls: &[usize], batch: usize, budget: Duration) -> Vec<Sparse
 
 /// Ablation A5 (paper §V future work): the known-function shortcut for
 /// wide gates, measured on reduction-tree circuits.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct WideGateRow {
     pub width: usize,
     pub layers_tree: usize,
@@ -451,6 +458,7 @@ pub struct WideGateRow {
     pub gpu_modeled_tree_s: f64,
     pub gpu_modeled_wide_s: f64,
 }
+json_obj!(WideGateRow { width, layers_tree, layers_wide, conns_tree, conns_wide, gpu_modeled_tree_s, gpu_modeled_wide_s });
 
 pub fn ablate_wide(widths: &[usize]) -> Vec<WideGateRow> {
     use c2nn_netlist::NetlistBuilder;

@@ -25,10 +25,10 @@
 
 use c2nn_core::CompiledNn;
 use c2nn_tensor::Scalar;
-use serde::Serialize;
+use c2nn_json::json_obj;
 
 /// A simple launch-latency + throughput device model.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DeviceModel {
     /// Human-readable name for reports.
     pub name: &'static str,
@@ -37,6 +37,7 @@ pub struct DeviceModel {
     /// Fixed cost per layer (kernel launch + sync), seconds.
     pub launch_s: f64,
 }
+json_obj!(DeviceModel { name, mac_per_s, launch_s });
 
 impl DeviceModel {
     /// GTX TITAN X (Maxwell) analogue: 6.1 TFLOP/s ≈ 3.05e12 MAC/s peak,

@@ -158,11 +158,13 @@ impl BddManager {
     }
 
     /// Build the BDD of a truth table (variable order = table order).
+    #[allow(clippy::wrong_self_convention)] // `self` is the node manager, not the source
     pub fn from_lut(&mut self, lut: &Lut) -> Bdd {
         let n = lut.inputs();
         Bdd(self.from_lut_rec(lut, n, 0, 0))
     }
 
+    #[allow(clippy::wrong_self_convention)] // `self` is the node manager, not the source
     fn from_lut_rec(&mut self, lut: &Lut, n: u8, var: u8, prefix: u64) -> u32 {
         if var == n {
             return if lut.get(prefix) { TRUE } else { FALSE };

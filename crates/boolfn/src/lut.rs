@@ -6,11 +6,10 @@
 //! row index (input 0 = least significant). This matches the convention used
 //! across the workspace (cone evaluation, polynomial transforms, NN layers).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A complete truth table over `inputs ≤ 26` variables.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Lut {
     inputs: u8,
     bits: Vec<u64>,

@@ -5,11 +5,10 @@
 //! function the coefficients `w_S` are integers with |w_S| ≤ 2^n, so `i32` is
 //! exact for every LUT size this workspace produces (L ≤ 26).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One monomial: the variable set as a bitmask plus its integer coefficient.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Term {
     /// Bit `j` set ⇔ variable `j` appears in the monomial. `0` = constant.
     pub mask: u32,
@@ -19,7 +18,7 @@ pub struct Term {
 /// A sparse multilinear polynomial over `vars ≤ 26` Boolean variables.
 ///
 /// Invariants: terms sorted by mask, unique masks, no zero coefficients.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Polynomial {
     vars: u8,
     terms: Vec<Term>,

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 fn lut_strategy(max_vars: u8) -> impl Strategy<Value = Lut> {
     (1u8..=max_vars, proptest::collection::vec(any::<u64>(), 1..=(1usize << max_vars) / 64 + 1))
         .prop_map(|(n, words)| {
-            let need = ((1usize << n) + 63) / 64;
+            let need = (1usize << n).div_ceil(64);
             let mut w = words;
             w.resize(need, 0);
             Lut::from_bits(n, w)
@@ -48,7 +48,7 @@ proptest! {
     fn product_is_pointwise_and(a in lut_strategy(6), b_bits in any::<u64>()) {
         let n = a.inputs();
         let rows = a.num_rows();
-        let need = (rows + 63) / 64;
+        let need = rows.div_ceil(64);
         let b = Lut::from_bits(n, vec![b_bits; need]);
         let pa = lut_to_poly(&a);
         let pb = lut_to_poly(&b);
@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn sum_is_pointwise(a in lut_strategy(6), b_bits in any::<u64>()) {
         let n = a.inputs();
-        let need = (a.num_rows() + 63) / 64;
+        let need = a.num_rows().div_ceil(64);
         let b = Lut::from_bits(n, vec![b_bits; need]);
         let s = lut_to_poly(&a).add(&lut_to_poly(&b));
         for x in 0..a.num_rows() as u32 {

@@ -11,7 +11,6 @@ use c2nn_boolfn::lut_to_poly;
 use c2nn_lutmap::{map_netlist, LutGraph, LutNode, MapConfig, MapError, NodeFunc};
 use c2nn_netlist::{prepare, Netlist, SeqError};
 use c2nn_tensor::{Csr, Scalar};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Compiler options.
@@ -92,7 +91,7 @@ impl From<MapError> for CompileError {
 /// circuit. Layer `i` feeds layer `i+1`; the input vector is
 /// `[primary inputs ‖ state]` and the output vector `[primary outputs ‖
 /// next state]` (after the paper's flip-flop cut).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CompiledNn<T> {
     pub name: String,
     pub layers: Vec<NnLayer<T>>,
@@ -483,17 +482,6 @@ fn compute_liveness(graph: &LutGraph, levels: &[u32], depth: usize) -> Vec<usize
     alive
 }
 
-/// The exact-representation limit of the scalar: f32 → 2^24, integers → large.
-fn exact_limit<T: 'static>() -> i64 {
-    use std::any::TypeId;
-    if TypeId::of::<T>() == TypeId::of::<f32>() {
-        1 << 24
-    } else {
-        // every target converts through `Scalar::from_i32`
-        i32::MAX as i64
-    }
-}
-
 fn raw_to_layer<T: Scalar>(raw: &RawLayer, act: Activation2) -> Result<NnLayer<T>, CompileError> {
     raw_csr_to_layer(&raw.to_csr(), &raw.bias, act)
 }
@@ -503,7 +491,9 @@ fn raw_csr_to_layer<T: Scalar>(
     bias: &[i64],
     act: Activation2,
 ) -> Result<NnLayer<T>, CompileError> {
-    let limit = exact_limit::<T>();
+    // Every coefficient must sit inside the scalar's exact-integer range
+    // (f32 → ±2^24) AND inside i32, because values convert via `from_i32`.
+    let limit = T::EXACT_LIMIT.min(i32::MAX as i64);
     let (_, _, vals) = w.raw();
     for &v in vals {
         if v.abs() > limit {
@@ -563,7 +553,8 @@ mod tests {
     #[test]
     fn node_block_wide_functions_are_single_neurons() {
         use c2nn_lutmap::NodeFunc;
-        let cases: Vec<(NodeFunc, fn(u32) -> bool)> = vec![
+        type Case = (NodeFunc, fn(u32) -> bool);
+        let cases: Vec<Case> = vec![
             (NodeFunc::WideAnd { invert: false }, |x| x == 0x3ff),
             (NodeFunc::WideAnd { invert: true }, |x| x != 0x3ff),
             (NodeFunc::WideOr { invert: false }, |x| x != 0),

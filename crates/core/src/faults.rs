@@ -1,0 +1,158 @@
+//! Fault injection for exercising the runtime guard.
+//!
+//! The guard's claim ("any corruption of weights or state is detected") is
+//! only credible if it is measured. This module provides the corruption
+//! primitives — single-bit flips in weight/bias memory and in live simulator
+//! state — that the fault-injection integration test uses to compute an
+//! actual detection rate. Flips operate on the scalar's bit pattern
+//! ([`Scalar::to_bits64`]/[`Scalar::from_bits64`]), so one injected fault is
+//! exactly one flipped hardware bit.
+
+use crate::compile::CompiledNn;
+use crate::sim::Simulator;
+use c2nn_tensor::Scalar;
+
+/// Addressable single-bit fault sites in a model's parameter memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Bit `bit` of the `nnz`-th stored weight of layer `layer`.
+    Weight {
+        /// layer index
+        layer: usize,
+        /// index into the layer's CSR value array
+        nnz: usize,
+        /// bit position within the scalar (0 = LSB)
+        bit: u32,
+    },
+    /// Bit `bit` of bias `idx` of layer `layer`.
+    Bias {
+        /// layer index
+        layer: usize,
+        /// index into the layer's bias vector
+        idx: usize,
+        /// bit position within the scalar (0 = LSB)
+        bit: u32,
+    },
+}
+
+/// Number of meaningful bits per scalar of this model (32 for f32/i32,
+/// 64 for f64/i64), inferred from the bit pattern width actually used.
+pub fn scalar_bits<T: Scalar>() -> u32 {
+    (std::mem::size_of::<T>() * 8) as u32
+}
+
+/// Every parameter-memory fault site of `nn`, in deterministic order.
+pub fn enumerate_sites<T: Scalar>(nn: &CompiledNn<T>) -> Vec<FaultSite> {
+    let bits = scalar_bits::<T>();
+    let mut sites = Vec::new();
+    for (layer, l) in nn.layers.iter().enumerate() {
+        let (_, _, values) = l.weights.raw();
+        for nnz in 0..values.len() {
+            for bit in 0..bits {
+                sites.push(FaultSite::Weight { layer, nnz, bit });
+            }
+        }
+        for idx in 0..l.bias.len() {
+            for bit in 0..bits {
+                sites.push(FaultSite::Bias { layer, idx, bit });
+            }
+        }
+    }
+    sites
+}
+
+/// Flip one bit of parameter memory in place. Returns `true` if the stored
+/// bit pattern changed (always, unless the site is out of range, in which
+/// case `false` is returned and nothing is touched).
+pub fn inject<T: Scalar>(nn: &mut CompiledNn<T>, site: FaultSite) -> bool {
+    let bits = scalar_bits::<T>();
+    match site {
+        FaultSite::Weight { layer, nnz, bit } => {
+            if bit >= bits {
+                return false;
+            }
+            let Some(l) = nn.layers.get_mut(layer) else { return false };
+            let values = l.weights.values_mut();
+            let Some(v) = values.get_mut(nnz) else { return false };
+            *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
+            true
+        }
+        FaultSite::Bias { layer, idx, bit } => {
+            if bit >= bits {
+                return false;
+            }
+            let Some(l) = nn.layers.get_mut(layer) else { return false };
+            let Some(v) = l.bias.get_mut(idx) else { return false };
+            *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
+            true
+        }
+    }
+}
+
+impl<T: Scalar> Simulator<'_, T> {
+    /// Flip one bit of one live state scalar (`feature`, `lane`) — a model
+    /// of a transient upset in flip-flop state memory between cycles.
+    /// Returns `false` (untouched) if the coordinates are out of range.
+    pub fn inject_state_bitflip(&mut self, feature: usize, lane: usize, bit: u32) -> bool {
+        if bit >= scalar_bits::<T>() {
+            return false;
+        }
+        let batch = self.batch();
+        let idx = feature * batch + lane;
+        let data = self.state_data_mut();
+        let Some(v) = data.get_mut(idx) else { return false };
+        *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation2, NnLayer};
+    use c2nn_tensor::Csr;
+
+    fn tiny() -> CompiledNn<f32> {
+        CompiledNn {
+            name: "tiny".into(),
+            layers: vec![NnLayer {
+                weights: Csr::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]),
+                bias: vec![-1.0],
+                activation: Activation2::Threshold,
+            }],
+            num_primary_inputs: 2,
+            num_primary_outputs: 1,
+            state_init: vec![],
+            gate_count: 1,
+            lut_size: 2,
+        }
+    }
+
+    #[test]
+    fn site_enumeration_covers_all_bits() {
+        let nn = tiny();
+        // 2 weights + 1 bias, 32 bits each
+        assert_eq!(enumerate_sites(&nn).len(), 3 * 32);
+    }
+
+    #[test]
+    fn inject_flips_exactly_one_bit_and_checksum_changes() {
+        let mut nn = tiny();
+        let before = nn.weight_checksum();
+        assert!(inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 31 }));
+        assert_eq!(nn.layers[0].weights.raw().2[0], -1.0); // sign flip of 1.0
+        assert_ne!(nn.weight_checksum(), before);
+        // flipping again restores the original value and checksum
+        assert!(inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 31 }));
+        assert_eq!(nn.weight_checksum(), before);
+    }
+
+    #[test]
+    fn out_of_range_sites_are_rejected() {
+        let mut nn = tiny();
+        assert!(!inject(&mut nn, FaultSite::Weight { layer: 9, nnz: 0, bit: 0 }));
+        assert!(!inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 99, bit: 0 }));
+        assert!(!inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 64 }));
+        assert!(!inject(&mut nn, FaultSite::Bias { layer: 0, idx: 5, bit: 0 }));
+    }
+}

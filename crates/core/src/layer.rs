@@ -1,13 +1,12 @@
 //! One layer of a compiled network.
 
 use c2nn_tensor::{forward_sparse, forward_sparse_into, Activation, Csr, Dense, Device, Scalar};
-use serde::{Deserialize, Serialize};
 
 /// An affine layer `y = act(W x + b)` with a sparse integer-valued weight
 /// matrix. Hidden layers use the threshold activation (paper Eq. 2); the
 /// final layer is exactly linear (paper §III-B3: "the output neuron does not
 /// require any bias or threshold" — constants fold into `bias`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NnLayer<T> {
     pub weights: Csr<T>,
     pub bias: Vec<T>,
@@ -15,7 +14,7 @@ pub struct NnLayer<T> {
 }
 
 /// Serializable activation selector (mirrors [`Activation`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Activation2 {
     Linear,
     Threshold,

@@ -42,11 +42,17 @@
 //! ```
 
 pub mod compile;
+pub mod faults;
 pub mod layer;
+pub mod model;
 pub mod sim;
 pub mod testbench;
+pub mod validate;
 
 pub use compile::{compile, compile_as, compile_graph, CompileError, CompileOptions, CompiledNn};
+pub use faults::FaultSite;
 pub use layer::{Activation2, NnLayer};
-pub use sim::{batch_from_bits, Simulator};
+pub use model::ModelError;
+pub use sim::{batch_from_bits, SimError, Simulator};
 pub use testbench::{format_stim, parse_stim, run_batch, BenchResult, StimError, Stimulus};
+pub use validate::{ValidateError, ValidationReport};

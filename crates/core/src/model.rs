@@ -1,0 +1,419 @@
+//! Model (de)serialization with validation at the trust boundary.
+//!
+//! A compiled network is persisted as a small self-describing JSON document
+//! (`"format": "c2nn-model"`, version 1) carrying the header, per-layer CSR
+//! weights, and biases. Deserialization is *guarded*: every structural error
+//! is a typed [`ModelError`] (never a panic), CSR buffers are rebuilt through
+//! [`Csr::try_from_raw_parts`], numeric values must be exactly representable
+//! in the target scalar, and the decoded model must pass
+//! [`CompiledNn::validate`] before it is handed to the caller. A corrupt or
+//! hand-edited `model.json` therefore cannot reach the simulator.
+
+use crate::compile::CompiledNn;
+use crate::layer::{Activation2, NnLayer};
+use crate::validate::ValidateError;
+use c2nn_json::{DecodeError, FromStrError, Json, ToJson};
+use c2nn_tensor::{Csr, CsrError, Scalar};
+use std::fmt;
+
+/// Current schema version written by [`CompiledNn::to_json_string`].
+pub const MODEL_FORMAT: &str = "c2nn-model";
+/// Current schema version number.
+pub const MODEL_VERSION: u32 = 1;
+
+/// Why a model document was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// The text is not JSON or does not have the expected shape (the payload
+    /// carries line/column or field-path information).
+    Json(FromStrError),
+    /// The `format` tag is not [`MODEL_FORMAT`].
+    BadFormat {
+        /// what the document claimed to be
+        found: String,
+    },
+    /// The `version` field is not one this reader understands.
+    BadVersion {
+        /// the version found
+        found: u32,
+    },
+    /// The document was serialized for a different scalar type.
+    DtypeMismatch {
+        /// dtype this reader was asked to produce
+        expected: &'static str,
+        /// dtype recorded in the document
+        found: String,
+    },
+    /// A serialized number cannot be represented exactly in the target
+    /// scalar (e.g. 2^40 into an `i32` model, or 0.1 into any model).
+    NonRepresentable {
+        /// layer the value belongs to
+        layer: usize,
+        /// description of the location, e.g. `values[3]`
+        what: String,
+        /// the offending number
+        value: f64,
+    },
+    /// The CSR buffers do not form a well-formed matrix.
+    Csr {
+        /// offending layer
+        layer: usize,
+        /// the structural defect
+        error: CsrError,
+    },
+    /// The decoded model failed semantic validation.
+    Validate(ValidateError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Json(e) => write!(f, "invalid model document: {e}"),
+            ModelError::BadFormat { found } => {
+                write!(f, "not a c2nn model (format tag `{found}`)")
+            }
+            ModelError::BadVersion { found } => {
+                write!(f, "unsupported model version {found} (this build reads {MODEL_VERSION})")
+            }
+            ModelError::DtypeMismatch { expected, found } => {
+                write!(f, "model was saved with dtype `{found}`, expected `{expected}`")
+            }
+            ModelError::NonRepresentable { layer, what, value } => write!(
+                f,
+                "layer {layer}: {what} = {value} is not exactly representable in the target dtype"
+            ),
+            ModelError::Csr { layer, error } => {
+                write!(f, "layer {layer}: malformed weight matrix: {error}")
+            }
+            ModelError::Validate(e) => write!(f, "model failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<FromStrError> for ModelError {
+    fn from(e: FromStrError) -> Self {
+        ModelError::Json(e)
+    }
+}
+
+impl From<ValidateError> for ModelError {
+    fn from(e: ValidateError) -> Self {
+        ModelError::Validate(e)
+    }
+}
+
+fn decode_err(e: DecodeError) -> ModelError {
+    ModelError::Json(FromStrError::Decode(e))
+}
+
+impl<T: Scalar> CompiledNn<T> {
+    /// Serialize to a compact JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Serialize to an indented JSON document (for humans and diffs).
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    fn to_json(&self) -> Json {
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let (row_ptr, col_idx, values) = layer.weights.raw();
+                Json::Obj(vec![
+                    (
+                        "activation".into(),
+                        Json::Str(
+                            match layer.activation {
+                                Activation2::Threshold => "threshold",
+                                Activation2::Linear => "linear",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("rows".into(), (layer.weights.rows() as u64).to_json()),
+                    ("cols".into(), (layer.weights.cols() as u64).to_json()),
+                    ("row_ptr".into(), row_ptr.to_vec().to_json()),
+                    ("col_idx".into(), col_idx.to_vec().to_json()),
+                    (
+                        "values".into(),
+                        Json::Arr(values.iter().map(|v| Json::Num(v.to_f64())).collect()),
+                    ),
+                    (
+                        "bias".into(),
+                        Json::Arr(layer.bias.iter().map(|v| Json::Num(v.to_f64())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("format".into(), Json::Str(MODEL_FORMAT.into())),
+            ("version".into(), MODEL_VERSION.to_json()),
+            ("dtype".into(), Json::Str(T::NAME.into())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("lut_size".into(), self.lut_size.to_json()),
+            ("num_primary_inputs".into(), self.num_primary_inputs.to_json()),
+            ("num_primary_outputs".into(), self.num_primary_outputs.to_json()),
+            ("state_init".into(), self.state_init.to_json()),
+            ("gate_count".into(), self.gate_count.to_json()),
+            ("layers".into(), Json::Arr(layers)),
+        ])
+    }
+
+    /// Parse, decode, and **validate** a model document. Any defect —
+    /// syntax, shape, dtype, CSR structure, numeric representability, or a
+    /// semantic invariant — comes back as a typed [`ModelError`].
+    pub fn from_json_str(src: &str) -> Result<Self, ModelError> {
+        let doc = c2nn_json::parse(src).map_err(|e| ModelError::Json(FromStrError::Syntax(e)))?;
+        let format: String = c2nn_json::field(&doc, "format").map_err(decode_err)?;
+        if format != MODEL_FORMAT {
+            return Err(ModelError::BadFormat { found: format });
+        }
+        let version: u32 = c2nn_json::field(&doc, "version").map_err(decode_err)?;
+        if version != MODEL_VERSION {
+            return Err(ModelError::BadVersion { found: version });
+        }
+        let dtype: String = c2nn_json::field(&doc, "dtype").map_err(decode_err)?;
+        if dtype != T::NAME {
+            return Err(ModelError::DtypeMismatch { expected: T::NAME, found: dtype });
+        }
+
+        let layers_json = doc
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| decode_err(DecodeError::new("missing or non-array field `layers`")))?;
+        let mut layers = Vec::with_capacity(layers_json.len());
+        for (i, lj) in layers_json.iter().enumerate() {
+            layers.push(decode_layer::<T>(i, lj)?);
+        }
+
+        let nn = CompiledNn {
+            name: c2nn_json::field(&doc, "name").map_err(decode_err)?,
+            layers,
+            num_primary_inputs: c2nn_json::field(&doc, "num_primary_inputs")
+                .map_err(decode_err)?,
+            num_primary_outputs: c2nn_json::field(&doc, "num_primary_outputs")
+                .map_err(decode_err)?,
+            state_init: c2nn_json::field(&doc, "state_init").map_err(decode_err)?,
+            gate_count: c2nn_json::field(&doc, "gate_count").map_err(decode_err)?,
+            lut_size: c2nn_json::field(&doc, "lut_size").map_err(decode_err)?,
+        };
+        nn.validate()?;
+        Ok(nn)
+    }
+}
+
+fn decode_layer<T: Scalar>(i: usize, lj: &Json) -> Result<NnLayer<T>, ModelError> {
+    let activation: String = c2nn_json::field(lj, "activation")
+        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let activation = match activation.as_str() {
+        "threshold" => Activation2::Threshold,
+        "linear" => Activation2::Linear,
+        other => {
+            return Err(decode_err(
+                DecodeError::new(format!("unknown activation `{other}`"))
+                    .in_field("activation")
+                    .in_index(i)
+                    .in_field("layers"),
+            ))
+        }
+    };
+    let rows: usize = c2nn_json::field(lj, "rows")
+        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let cols: usize = c2nn_json::field(lj, "cols")
+        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let row_ptr: Vec<u32> = c2nn_json::field(lj, "row_ptr")
+        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let col_idx: Vec<u32> = c2nn_json::field(lj, "col_idx")
+        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let values = decode_scalars::<T>(i, lj, "values")?;
+    let bias = decode_scalars::<T>(i, lj, "bias")?;
+    let weights = Csr::try_from_raw_parts(rows, cols, row_ptr, col_idx, values)
+        .map_err(|error| ModelError::Csr { layer: i, error })?;
+    Ok(NnLayer { weights, bias, activation })
+}
+
+/// Decode an array of numbers into `T`, insisting on exact representability.
+/// `null` entries (how non-finite floats serialize) decode to NaN for float
+/// scalars — the validator then rejects them by name — and are errors for
+/// integer scalars.
+fn decode_scalars<T: Scalar>(layer: usize, lj: &Json, name: &str) -> Result<Vec<T>, ModelError> {
+    let arr = lj
+        .get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            decode_err(
+                DecodeError::new(format!("missing or non-array field `{name}`"))
+                    .in_index(layer)
+                    .in_field("layers"),
+            )
+        })?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (k, item) in arr.iter().enumerate() {
+        let f = match item {
+            Json::Null => f64::NAN,
+            Json::Num(n) => *n,
+            _ => {
+                return Err(decode_err(
+                    DecodeError::new("expected number")
+                        .in_index(k)
+                        .in_field(name)
+                        .in_index(layer)
+                        .in_field("layers"),
+                ))
+            }
+        };
+        let v = T::from_f64_exact(f).ok_or(ModelError::NonRepresentable {
+            layer,
+            what: format!("{name}[{k}]"),
+            value: f,
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CompiledNn<f32> {
+        CompiledNn {
+            name: "tiny".into(),
+            layers: vec![
+                NnLayer {
+                    weights: Csr::from_triplets(
+                        2,
+                        3,
+                        vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (1, 2, -2.0)],
+                    ),
+                    bias: vec![-1.0, 1.0],
+                    activation: Activation2::Threshold,
+                },
+                NnLayer {
+                    weights: Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]),
+                    bias: vec![0.0, 0.0],
+                    activation: Activation2::Linear,
+                },
+            ],
+            num_primary_inputs: 2,
+            num_primary_outputs: 1,
+            state_init: vec![true],
+            gate_count: 2,
+            lut_size: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let nn = tiny();
+        let text = nn.to_json_string_pretty();
+        let back = CompiledNn::<f32>::from_json_str(&text).unwrap();
+        assert_eq!(back.name, nn.name);
+        assert_eq!(back.num_primary_inputs, 2);
+        assert_eq!(back.num_primary_outputs, 1);
+        assert_eq!(back.state_init, vec![true]);
+        assert_eq!(back.gate_count, 2);
+        assert_eq!(back.lut_size, 2);
+        assert_eq!(back.layers.len(), 2);
+        for (a, b) in back.layers.iter().zip(nn.layers.iter()) {
+            assert_eq!(a.activation, b.activation);
+            assert_eq!(a.bias, b.bias);
+            assert_eq!(a.weights.raw(), b.weights.raw());
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_syntax_error_not_a_panic() {
+        let err = CompiledNn::<f32>::from_json_str("{{{not json").unwrap_err();
+        assert!(matches!(err, ModelError::Json(FromStrError::Syntax(_))), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_format_tag_rejected() {
+        let err = CompiledNn::<f32>::from_json_str(r#"{"format":"pickle","version":1}"#)
+            .unwrap_err();
+        assert_eq!(err, ModelError::BadFormat { found: "pickle".into() });
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let text = tiny().to_json_string().replace("\"version\":1", "\"version\":9");
+        let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
+        assert_eq!(err, ModelError::BadVersion { found: 9 });
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let text = tiny().to_json_string();
+        let err = CompiledNn::<i32>::from_json_str(&text).unwrap_err();
+        assert_eq!(err, ModelError::DtypeMismatch { expected: "i32", found: "f32".into() });
+    }
+
+    #[test]
+    fn truncated_csr_rejected() {
+        // drop one col_idx entry: nnz bookkeeping no longer adds up
+        let text = tiny().to_json_string().replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[0,1,1]", 1);
+        let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
+        assert!(matches!(err, ModelError::Csr { layer: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn permuted_col_idx_rejected() {
+        let text = tiny().to_json_string().replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[1,0,2,1]", 1);
+        let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
+        assert!(matches!(err, ModelError::Csr { layer: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_weight_rejected_by_validator() {
+        // Non-finite floats serialize as null, decode to NaN, and the
+        // validator rejects them by name.
+        let mut nn = tiny();
+        nn.layers[0].weights.values_mut()[0] = f32::NAN;
+        let text = nn.to_json_string();
+        assert!(text.contains("null"));
+        let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Validate(ValidateError::NonFinite { layer: 0, .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_widths_rejected_by_validator() {
+        let text = tiny()
+            .to_json_string()
+            .replace("\"num_primary_inputs\":2", "\"num_primary_inputs\":7");
+        let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
+        assert!(matches!(err, ModelError::Validate(ValidateError::WidthMismatch { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn fractional_weight_not_representable_in_i32() {
+        let json = r#"{"format":"c2nn-model","version":1,"dtype":"i32","name":"x",
+            "lut_size":2,"num_primary_inputs":1,"num_primary_outputs":1,
+            "state_init":[],"gate_count":1,
+            "layers":[{"activation":"threshold","rows":1,"cols":1,
+                       "row_ptr":[0,1],"col_idx":[0],"values":[0.5],"bias":[0]}]}"#;
+        let err = CompiledNn::<i32>::from_json_str(json).unwrap_err();
+        assert!(matches!(err, ModelError::NonRepresentable { layer: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let json = r#"{"format":"c2nn-model","version":1,"dtype":"i32","name":"x",
+            "lut_size":2,"num_primary_inputs":1,"num_primary_outputs":1,
+            "state_init":[],"gate_count":1,
+            "layers":[{"activation":"threshold","rows":1,"cols":1,
+                       "row_ptr":[0,1],"col_idx":[0],"values":[1],"bias":[0]}]}"#;
+        let nn = CompiledNn::<i32>::from_json_str(json).unwrap();
+        let back = CompiledNn::<i32>::from_json_str(&nn.to_json_string()).unwrap();
+        assert_eq!(back.layers[0].weights.raw(), nn.layers[0].weights.raw());
+    }
+}

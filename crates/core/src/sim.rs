@@ -7,11 +7,119 @@
 //! All activation tensors are **feature-major** (`features × batch`, one
 //! testbench per column; see `c2nn-tensor`), so the sparse kernels stream
 //! contiguous batch vectors.
+//!
+//! ## Guarded vs. unguarded stepping
+//!
+//! [`Simulator::step`] is the unguarded hot path: it trusts that the model
+//! passed [`CompiledNn::validate`] and that nothing corrupted memory since.
+//! [`Simulator::try_step`] adds an **opt-in runtime guard**
+//! ([`Simulator::enable_guard`]) exploiting the compiler's exactness
+//! invariant: every activation of a valid run is exactly 0 or 1, so any
+//! non-binary value is proof of corruption, and the weights are immutable
+//! after compilation, so any change to their FNV-1a checksum is too. Each
+//! guarded cycle re-verifies the weight checksum and checks inputs, outputs,
+//! and next-state for binary-ness, turning silent exactness violations (a
+//! flipped weight bit, a cosmic-ray state upset, an out-of-range stimulus)
+//! into typed [`SimError`]s.
 
 use crate::compile::CompiledNn;
 use c2nn_tensor::{Dense, Device, Scalar};
+use std::fmt;
+
+/// A runtime simulation failure — every variant is evidence that either the
+/// caller's tensors are malformed or the model/state memory was corrupted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The network has no layers (rejected by `validate`, guarded here too).
+    NoLayers,
+    /// The input tensor's feature count does not match the network.
+    InputWidth {
+        /// width the network expects
+        expected: usize,
+        /// width the caller provided
+        got: usize,
+    },
+    /// The input tensor's lane count does not match the simulator's batch.
+    BatchMismatch {
+        /// the simulator's batch size
+        expected: usize,
+        /// lanes the caller provided
+        got: usize,
+    },
+    /// A guarded check found a value outside {0, 1} — exactness is broken.
+    NonBinary {
+        /// which tensor the value was found in: `"input"`, `"output"`, or
+        /// `"state"`
+        stage: &'static str,
+        /// feature (row) index
+        feature: usize,
+        /// testbench (lane) index
+        lane: usize,
+        /// the offending value
+        value: f64,
+    },
+    /// The per-cycle weight checksum no longer matches the reference taken
+    /// when the guard was enabled: model memory was modified.
+    WeightsCorrupted {
+        /// checksum recorded at guard-enable time
+        expected: u64,
+        /// checksum of the weights as they are now
+        got: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoLayers => write!(f, "network has no layers"),
+            SimError::InputWidth { expected, got } => {
+                write!(f, "input width mismatch: network expects {expected}, got {got}")
+            }
+            SimError::BatchMismatch { expected, got } => {
+                write!(f, "batch mismatch: simulator runs {expected} lanes, input has {got}")
+            }
+            SimError::NonBinary { stage, feature, lane, value } => write!(
+                f,
+                "exactness violation: {stage}[feature {feature}, lane {lane}] = {value} \
+                 is not 0 or 1"
+            ),
+            SimError::WeightsCorrupted { expected, got } => write!(
+                f,
+                "weight memory corrupted: checksum {got:#018x}, expected {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// FNV-1a over a stream of 64-bit words (weights and biases, bit-exact).
+fn fnv1a_words(seed: u64, words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = seed;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 impl<T: Scalar> CompiledNn<T> {
+    /// Bit-exact FNV-1a checksum over every weight and bias, in layer order.
+    /// Any single-bit change to model memory changes this value.
+    pub fn weight_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for layer in &self.layers {
+            let (_, _, values) = layer.weights.raw();
+            h = fnv1a_words(h, values.iter().map(|v| v.to_bits64()));
+            h = fnv1a_words(h, layer.bias.iter().map(|v| v.to_bits64()));
+        }
+        h
+    }
+
     /// Raw combinational forward pass: `x` is `(pi + state) × batch` of
     /// exact 0/1 values; result is `(po + state) × batch`.
     pub fn forward(&self, x: &Dense<T>, device: Device) -> Dense<T> {
@@ -22,6 +130,10 @@ impl<T: Scalar> CompiledNn<T> {
     /// [`CompiledNn::forward`] with caller-owned ping-pong scratch buffers,
     /// avoiding all per-layer allocation. Returns a reference into the
     /// scratch pair (valid until the next call).
+    ///
+    /// A zero-layer network acts as the identity (the input is copied
+    /// through unchanged) rather than panicking; [`CompiledNn::validate`]
+    /// rejects such models before they reach simulation.
     pub fn forward_with<'s>(
         &self,
         x: &Dense<T>,
@@ -29,8 +141,12 @@ impl<T: Scalar> CompiledNn<T> {
         scratch: &'s mut (Dense<T>, Dense<T>),
     ) -> &'s Dense<T> {
         assert_eq!(x.rows(), self.in_width(), "input width mismatch");
-        assert!(!self.layers.is_empty(), "compiled network has no layers");
         let (a, b) = scratch;
+        if self.layers.is_empty() {
+            a.resize_to(x.rows(), x.cols());
+            a.data_mut().copy_from_slice(x.data());
+            return &scratch.0;
+        }
         self.layers[0].forward_into(x, device, a);
         let mut flip = false; // result currently in `a`
         for layer in &self.layers[1..] {
@@ -48,12 +164,42 @@ impl<T: Scalar> CompiledNn<T> {
         }
     }
 
+    /// [`CompiledNn::forward_with`] with the panics replaced by typed
+    /// errors: width mismatches and zero-layer networks come back as
+    /// [`SimError`]s instead of aborting the process.
+    pub fn try_forward_with<'s>(
+        &self,
+        x: &Dense<T>,
+        device: Device,
+        scratch: &'s mut (Dense<T>, Dense<T>),
+    ) -> Result<&'s Dense<T>, SimError> {
+        if self.layers.is_empty() {
+            return Err(SimError::NoLayers);
+        }
+        if x.rows() != self.in_width() {
+            return Err(SimError::InputWidth { expected: self.in_width(), got: x.rows() });
+        }
+        Ok(self.forward_with(x, device, scratch))
+    }
+
     /// Evaluate one combinational input assignment (bools in, bools out).
     /// For sequential circuits the input must include the state bits.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
         let x = Dense::from_lanes(&[inputs.to_vec()]);
         let y = self.forward(&x, Device::Serial);
-        y.to_lanes().into_iter().next().unwrap()
+        y.to_lanes().into_iter().next().unwrap_or_default()
+    }
+
+    /// [`CompiledNn::eval`] with typed errors instead of panics: a
+    /// zero-layer network or a wrong-length input is reported, not fatal.
+    pub fn try_eval(&self, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        if self.layers.is_empty() {
+            return Err(SimError::NoLayers);
+        }
+        if inputs.len() != self.in_width() {
+            return Err(SimError::InputWidth { expected: self.in_width(), got: inputs.len() });
+        }
+        Ok(self.eval(inputs))
     }
 }
 
@@ -70,6 +216,8 @@ pub struct Simulator<'a, T> {
     /// reusable input assembly and layer ping-pong buffers
     xbuf: Dense<T>,
     scratch: (Dense<T>, Dense<T>),
+    /// reference weight checksum while the guard is armed
+    guard: Option<u64>,
 }
 
 impl<'a, T: Scalar> Simulator<'a, T> {
@@ -83,6 +231,7 @@ impl<'a, T: Scalar> Simulator<'a, T> {
             cycles: 0,
             xbuf: Dense::zeros(0, 0),
             scratch: (Dense::zeros(0, 0), Dense::zeros(0, 0)),
+            guard: None,
         };
         sim.reset();
         sim
@@ -98,6 +247,31 @@ impl<'a, T: Scalar> Simulator<'a, T> {
 
     pub fn device(&self) -> Device {
         self.device
+    }
+
+    /// Arm the runtime guard, taking the current weights as the trusted
+    /// reference. Subsequent [`Simulator::try_step`] calls re-verify the
+    /// checksum and check all activations for binary-ness each cycle.
+    pub fn enable_guard(&mut self) {
+        self.guard = Some(self.nn.weight_checksum());
+    }
+
+    /// Arm the runtime guard against an externally supplied reference
+    /// checksum (e.g. recorded at compile time and stored with the model),
+    /// so corruption that happened *before* simulator construction is
+    /// caught too.
+    pub fn enable_guard_with(&mut self, reference_checksum: u64) {
+        self.guard = Some(reference_checksum);
+    }
+
+    /// Disarm the runtime guard; `try_step` reverts to shape checks only.
+    pub fn disable_guard(&mut self) {
+        self.guard = None;
+    }
+
+    /// Whether the runtime guard is armed.
+    pub fn guard_enabled(&self) -> bool {
+        self.guard.is_some()
     }
 
     /// Current state as per-lane bit vectors.
@@ -121,6 +295,10 @@ impl<'a, T: Scalar> Simulator<'a, T> {
     /// One clock cycle for the whole batch: `inputs` is
     /// `num_primary_inputs × B` feature-major; returns
     /// `num_primary_outputs × B`.
+    ///
+    /// This is the unguarded hot path (shape asserts only). Use
+    /// [`Simulator::try_step`] for typed errors and the opt-in corruption
+    /// guard.
     pub fn step(&mut self, inputs: &Dense<T>) -> Dense<T> {
         let pi = self.nn.num_primary_inputs;
         let po = self.nn.num_primary_outputs;
@@ -144,11 +322,84 @@ impl<'a, T: Scalar> Simulator<'a, T> {
         out
     }
 
+    /// [`Simulator::step`] with typed errors, plus — when
+    /// [`Simulator::enable_guard`] is armed — per-cycle self-checking:
+    ///
+    /// 1. the weight checksum must still match the reference,
+    /// 2. every input value must be exactly 0 or 1,
+    /// 3. every output and next-state value must be exactly 0 or 1.
+    ///
+    /// Any violation aborts the cycle *before* state is committed (for
+    /// checks 1–2) or after computing it (check 3), so a detected fault
+    /// never silently propagates into subsequent cycles' results being
+    /// reported as trustworthy.
+    pub fn try_step(&mut self, inputs: &Dense<T>) -> Result<Dense<T>, SimError> {
+        let pi = self.nn.num_primary_inputs;
+        if self.nn.layers.is_empty() {
+            return Err(SimError::NoLayers);
+        }
+        if inputs.cols() != self.batch {
+            return Err(SimError::BatchMismatch { expected: self.batch, got: inputs.cols() });
+        }
+        if inputs.rows() != pi {
+            return Err(SimError::InputWidth { expected: pi, got: inputs.rows() });
+        }
+        if let Some(reference) = self.guard {
+            let now = self.nn.weight_checksum();
+            if now != reference {
+                return Err(SimError::WeightsCorrupted { expected: reference, got: now });
+            }
+            check_binary(inputs, "input")?;
+            // the *current* state is consumed by this cycle, so an upset that
+            // happened since the last step must be caught before the forward
+            // pass launders it back into binary values
+            check_binary(&self.state, "state")?;
+        }
+        let out = self.step(inputs);
+        if self.guard.is_some() {
+            check_binary(&out, "output")?;
+            check_binary(&self.state, "state")?;
+        }
+        Ok(out)
+    }
+
     /// Run a whole stimulus tensor: `stimuli[c]` is the batch input of
     /// cycle `c`. Returns one output batch per cycle.
     pub fn run(&mut self, stimuli: &[Dense<T>]) -> Vec<Dense<T>> {
         stimuli.iter().map(|s| self.step(s)).collect()
     }
+
+    /// [`Simulator::run`] through [`Simulator::try_step`]: stops at the
+    /// first fault, returning the cycle index alongside the error.
+    pub fn try_run(&mut self, stimuli: &[Dense<T>]) -> Result<Vec<Dense<T>>, (usize, SimError)> {
+        stimuli
+            .iter()
+            .enumerate()
+            .map(|(c, s)| self.try_step(s).map_err(|e| (c, e)))
+            .collect()
+    }
+
+    /// Mutable access to the raw state tensor — exists for fault-injection
+    /// experiments (see [`crate::faults`]); normal users never need it.
+    pub fn state_data_mut(&mut self) -> &mut [T] {
+        self.state.data_mut()
+    }
+}
+
+/// Check every element of a feature-major tensor is exactly 0 or 1.
+fn check_binary<T: Scalar>(t: &Dense<T>, stage: &'static str) -> Result<(), SimError> {
+    let cols = t.cols().max(1);
+    for (i, &v) in t.data().iter().enumerate() {
+        if v != T::ZERO && v != T::ONE {
+            return Err(SimError::NonBinary {
+                stage,
+                feature: i / cols,
+                lane: i % cols,
+                value: v.to_f64(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Build a feature-major batched input tensor from per-testbench bit

@@ -52,7 +52,7 @@ pub fn parse_stim(text: &str, num_inputs: usize) -> Result<Stimulus, StimError> 
             continue;
         }
         let mut parts = line.split_whitespace();
-        let bits_str = parts.next().unwrap();
+        let Some(bits_str) = parts.next() else { continue };
         let repeat = match parts.next() {
             None => 1usize,
             Some(r) => {
@@ -60,10 +60,19 @@ pub fn parse_stim(text: &str, num_inputs: usize) -> Result<Stimulus, StimError> 
                     message: format!("expected xN repeat, got '{r}'"),
                     line: lineno + 1,
                 })?;
-                r.parse().map_err(|_| StimError {
+                let n: usize = r.parse().map_err(|_| StimError {
                     message: format!("bad repeat count '{r}'"),
                     line: lineno + 1,
-                })?
+                })?;
+                // bound the expansion: a hostile `x99999999999` repeat must
+                // not allocate the testbench into oblivion
+                if n == 0 || n > 1_000_000 {
+                    return Err(StimError {
+                        message: format!("repeat count {n} out of range (1..=1000000)"),
+                        line: lineno + 1,
+                    });
+                }
+                n
             }
         };
         if parts.next().is_some() {
@@ -222,7 +231,7 @@ mod tests {
         assert_eq!(batch[2].cycles.len(), 3);
         // batched == run alone
         for (i, tb) in [tb1, tb2, tb3].iter().enumerate() {
-            let solo = run_batch(&nn, &[tb.clone()], Device::Serial);
+            let solo = run_batch(&nn, std::slice::from_ref(tb), Device::Serial);
             assert_eq!(batch[i], solo[0], "testbench {i}");
         }
         // and the counting is right: tb1 counts 0..6

@@ -1,0 +1,387 @@
+//! Structural and numerical validation of compiled networks.
+//!
+//! The paper's equivalence claim (§IV-A: bit-identical outputs for every
+//! stimulus) is only as strong as the invariants the simulator can assume.
+//! [`CompiledNn::validate`] makes those invariants explicit and checks every
+//! one of them, so a model — whether freshly compiled or deserialized from an
+//! untrusted `model.json` — is proven well-formed *before* it reaches the
+//! kernels:
+//!
+//! 1. **Shape chaining** — at least one layer; each layer's input width
+//!    equals the previous layer's output width; the first/last layers match
+//!    the declared primary-input/output + state widths.
+//! 2. **CSR well-formedness** — row pointers monotone and consistent, column
+//!    indices sorted, unique, and in bounds (delegated to [`Csr::check`]).
+//! 3. **Weight integrity** — every weight and bias is finite and integral.
+//!    Compiled networks carry integer coefficients by construction; a 0.5 or
+//!    NaN weight can only come from corruption and would break exactness
+//!    silently.
+//! 4. **Exactness margin** — a per-layer worst-case bound on accumulation
+//!    magnitude, propagated through the network assuming binary activations,
+//!    compared against the scalar's exact-integer range
+//!    ([`Scalar::EXACT_LIMIT`]: 2^24 for f32, 2^53 for f64, type max for
+//!    integers). A model whose worst-case preactivation could leave that
+//!    range may round (floats) or wrap (integers) and is rejected — this is
+//!    the static analysis behind the paper's §III-E observation that f32
+//!    weights are safe only while coefficients stay within the mantissa.
+
+use crate::compile::CompiledNn;
+use crate::layer::Activation2;
+use c2nn_tensor::{CsrError, Scalar};
+use std::fmt;
+
+/// Why a model failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidateError {
+    /// A network must have at least one layer.
+    NoLayers,
+    /// Layer `layer` expects a different input width than the previous layer
+    /// (or the declared model header, for the first/last layer) provides.
+    WidthMismatch {
+        /// index of the offending layer (`layers.len()` means the declared
+        /// output width did not match the last layer)
+        layer: usize,
+        /// width provided upstream
+        expected: usize,
+        /// width the layer actually has
+        got: usize,
+    },
+    /// The bias vector length must equal the layer's output width.
+    BiasLength {
+        /// offending layer
+        layer: usize,
+        /// the layer's output width
+        rows: usize,
+        /// the bias length found
+        bias: usize,
+    },
+    /// A weight matrix is structurally broken.
+    Csr {
+        /// offending layer
+        layer: usize,
+        /// the structural defect
+        error: CsrError,
+    },
+    /// A weight or bias is NaN or infinite.
+    NonFinite {
+        /// offending layer
+        layer: usize,
+        /// description of the location, e.g. `weight nnz #17`
+        what: String,
+    },
+    /// A weight or bias is not an integer — compiled coefficients always are.
+    NonInteger {
+        /// offending layer
+        layer: usize,
+        /// description of the location
+        what: String,
+        /// the offending value
+        value: f64,
+    },
+    /// Worst-case accumulation magnitude can exceed the scalar's
+    /// exact-integer range, so simulation could silently drift.
+    ExactnessMargin {
+        /// offending layer
+        layer: usize,
+        /// worst-case preactivation magnitude bound
+        worst_case: f64,
+        /// the scalar's exact range (±limit)
+        limit: i64,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoLayers => write!(f, "model has no layers"),
+            ValidateError::WidthMismatch { layer, expected, got } => write!(
+                f,
+                "layer {layer}: input width {got} does not chain (upstream provides {expected})"
+            ),
+            ValidateError::BiasLength { layer, rows, bias } => {
+                write!(f, "layer {layer}: bias has {bias} entries for {rows} output rows")
+            }
+            ValidateError::Csr { layer, error } => {
+                write!(f, "layer {layer}: malformed weight matrix: {error}")
+            }
+            ValidateError::NonFinite { layer, what } => {
+                write!(f, "layer {layer}: non-finite {what}")
+            }
+            ValidateError::NonInteger { layer, what, value } => {
+                write!(f, "layer {layer}: non-integer {what} = {value}")
+            }
+            ValidateError::ExactnessMargin { layer, worst_case, limit } => write!(
+                f,
+                "layer {layer}: worst-case accumulation {worst_case} exceeds the exact \
+                 integer range ±{limit} of the scalar type"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Per-layer result of the exactness-margin analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerMargin {
+    /// Worst-case preactivation magnitude over all neurons of this layer,
+    /// assuming every upstream activation takes its worst admissible value.
+    pub worst_case: f64,
+    /// `limit / worst_case` — how much headroom remains (≥ 1 is safe).
+    pub headroom: f64,
+}
+
+/// Successful validation summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationReport {
+    /// One entry per layer, in order.
+    pub margins: Vec<LayerMargin>,
+    /// The scalar exact limit the margins were checked against.
+    pub limit: i64,
+}
+
+impl ValidationReport {
+    /// The tightest headroom across all layers.
+    pub fn min_headroom(&self) -> f64 {
+        self.margins.iter().map(|m| m.headroom).fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl<T: Scalar> CompiledNn<T> {
+    /// Check every structural and numerical invariant of this model (see the
+    /// module docs). Returns the per-layer exactness-margin report on
+    /// success, the first violation found otherwise. All deserialization
+    /// paths call this, so a model that reaches the simulator is well-formed.
+    pub fn validate(&self) -> Result<ValidationReport, ValidateError> {
+        if self.layers.is_empty() {
+            return Err(ValidateError::NoLayers);
+        }
+        // 1. shape chaining: header → L0 → L1 → … → header
+        let mut width = self.num_primary_inputs + self.state_bits();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.in_width() != width {
+                return Err(ValidateError::WidthMismatch {
+                    layer: i,
+                    expected: width,
+                    got: layer.in_width(),
+                });
+            }
+            if layer.bias.len() != layer.out_width() {
+                return Err(ValidateError::BiasLength {
+                    layer: i,
+                    rows: layer.out_width(),
+                    bias: layer.bias.len(),
+                });
+            }
+            width = layer.out_width();
+        }
+        let declared_out = self.num_primary_outputs + self.state_bits();
+        if width != declared_out {
+            return Err(ValidateError::WidthMismatch {
+                layer: self.layers.len(),
+                expected: declared_out,
+                got: width,
+            });
+        }
+
+        // 2–3. CSR structure and weight integrity
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer
+                .weights
+                .check()
+                .map_err(|error| ValidateError::Csr { layer: i, error })?;
+            let (_, _, values) = layer.weights.raw();
+            for (k, &v) in values.iter().enumerate() {
+                check_value(i, v, || format!("weight nnz #{k}"))?;
+            }
+            for (k, &b) in layer.bias.iter().enumerate() {
+                check_value(i, b, || format!("bias #{k}"))?;
+            }
+        }
+
+        // 4. exactness margin, propagated forward
+        let limit = T::EXACT_LIMIT;
+        let mut margins = Vec::with_capacity(self.layers.len());
+        // per-feature magnitude bound of the current activations; primary
+        // inputs and state are binary
+        let mut in_bound = vec![1.0f64; self.num_primary_inputs + self.state_bits()];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out_bound = Vec::with_capacity(layer.out_width());
+            let mut worst = 0.0f64;
+            for r in 0..layer.out_width() {
+                let mut acc = layer.bias[r].to_f64().abs();
+                for (c, v) in layer.weights.row(r) {
+                    acc += v.to_f64().abs() * in_bound[c as usize];
+                }
+                worst = worst.max(acc);
+                out_bound.push(match layer.activation {
+                    Activation2::Threshold => 1.0,
+                    Activation2::Linear => acc,
+                });
+            }
+            if worst > limit as f64 {
+                return Err(ValidateError::ExactnessMargin { layer: i, worst_case: worst, limit });
+            }
+            margins.push(LayerMargin {
+                worst_case: worst,
+                headroom: if worst == 0.0 { f64::INFINITY } else { limit as f64 / worst },
+            });
+            in_bound = out_bound;
+        }
+        Ok(ValidationReport { margins, limit })
+    }
+}
+
+fn check_value<T: Scalar>(
+    layer: usize,
+    v: T,
+    what: impl Fn() -> String,
+) -> Result<(), ValidateError> {
+    if !v.is_finite() {
+        return Err(ValidateError::NonFinite { layer, what: what() });
+    }
+    let f = v.to_f64();
+    if f.trunc() != f {
+        return Err(ValidateError::NonInteger { layer, what: what(), value: f });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::NnLayer;
+    use c2nn_tensor::Csr;
+
+    fn tiny() -> CompiledNn<f32> {
+        // 2 inputs -> Θ layer (AND, OR) -> linear selection of both
+        CompiledNn {
+            name: "tiny".into(),
+            layers: vec![
+                NnLayer {
+                    weights: Csr::from_triplets(
+                        2,
+                        2,
+                        vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+                    ),
+                    bias: vec![-1.0, 0.0],
+                    activation: Activation2::Threshold,
+                },
+                NnLayer {
+                    weights: Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]),
+                    bias: vec![0.0, 0.0],
+                    activation: Activation2::Linear,
+                },
+            ],
+            num_primary_inputs: 2,
+            num_primary_outputs: 2,
+            state_init: vec![],
+            gate_count: 2,
+            lut_size: 2,
+        }
+    }
+
+    #[test]
+    fn valid_model_reports_margins() {
+        let report = tiny().validate().unwrap();
+        assert_eq!(report.margins.len(), 2);
+        // worst preactivation of layer 0 is |−1| + 1 + 1 = 3
+        assert_eq!(report.margins[0].worst_case, 3.0);
+        assert!(report.min_headroom() > 1.0);
+        assert_eq!(report.limit, 1 << 24);
+    }
+
+    #[test]
+    fn zero_layers_rejected() {
+        let mut nn = tiny();
+        nn.layers.clear();
+        assert_eq!(nn.validate().unwrap_err(), ValidateError::NoLayers);
+    }
+
+    #[test]
+    fn width_chain_break_rejected() {
+        let mut nn = tiny();
+        nn.num_primary_inputs = 3;
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::WidthMismatch { layer: 0, expected: 3, got: 2 }
+        ));
+        let mut nn = tiny();
+        nn.num_primary_outputs = 1;
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::WidthMismatch { layer: 2, expected: 1, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn bias_length_rejected() {
+        let mut nn = tiny();
+        nn.layers[1].bias.pop();
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::BiasLength { layer: 1, rows: 2, bias: 1 }
+        ));
+    }
+
+    #[test]
+    fn non_finite_weight_rejected() {
+        let mut nn = tiny();
+        nn.layers[0].weights.values_mut()[0] = f32::NAN;
+        assert!(matches!(nn.validate().unwrap_err(), ValidateError::NonFinite { layer: 0, .. }));
+        let mut nn = tiny();
+        nn.layers[1].bias[0] = f32::INFINITY;
+        assert!(matches!(nn.validate().unwrap_err(), ValidateError::NonFinite { layer: 1, .. }));
+    }
+
+    #[test]
+    fn non_integer_weight_rejected() {
+        let mut nn = tiny();
+        nn.layers[0].weights.values_mut()[0] = 0.5;
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::NonInteger { layer: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn exactness_margin_rejects_overflow_risk() {
+        // An f32 model whose single linear layer accumulates beyond 2^24.
+        let mut nn = tiny();
+        nn.layers[1].weights.values_mut()[0] = (1u32 << 24) as f32;
+        // 2^24 * 1 + 0 > limit? equal is fine; push over with the bias
+        nn.layers[1].bias[0] = (1u32 << 24) as f32;
+        let err = nn.validate().unwrap_err();
+        assert!(matches!(err, ValidateError::ExactnessMargin { layer: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn margin_propagates_through_linear_layers() {
+        // Linear layer bounds feed the next layer: y = 8·(x0+x1), z = Θ(4096·y…)
+        // worst case 2·8 = 16 into a 4096 weight → 65536, fine for f32; but
+        // for a hypothetical chain the bound must multiply, not reset to 1.
+        let nn = CompiledNn::<f32> {
+            name: "chain".into(),
+            layers: vec![
+                NnLayer {
+                    weights: Csr::from_triplets(1, 2, vec![(0, 0, 8.0), (0, 1, 8.0)]),
+                    bias: vec![0.0],
+                    activation: Activation2::Linear,
+                },
+                NnLayer {
+                    weights: Csr::from_triplets(1, 1, vec![(0, 0, 4096.0)]),
+                    bias: vec![0.0],
+                    activation: Activation2::Linear,
+                },
+            ],
+            num_primary_inputs: 2,
+            num_primary_outputs: 1,
+            state_init: vec![],
+            gate_count: 1,
+            lut_size: 2,
+        };
+        let report = nn.validate().unwrap();
+        assert_eq!(report.margins[0].worst_case, 16.0);
+        assert_eq!(report.margins[1].worst_case, 16.0 * 4096.0);
+    }
+}

@@ -192,8 +192,8 @@ fn connections_grow_with_l() {
 fn serde_roundtrip() {
     let nl = adder(3);
     let nn = compile(&nl, CompileOptions::with_l(3)).unwrap();
-    let json = serde_json::to_string(&nn).unwrap();
-    let back: CompiledNn<f32> = serde_json::from_str(&json).unwrap();
+    let json = nn.to_json_string();
+    let back = CompiledNn::<f32>::from_json_str(&json).unwrap();
     for x in 0..64u64 {
         let bits: Vec<bool> = (0..6).map(|j| x >> j & 1 == 1).collect();
         assert_eq!(nn.eval(&bits), back.eval(&bits));
@@ -268,7 +268,7 @@ fn random_sequential_circuits_equivalent() {
             let mut r = CycleSim::new(&nl).unwrap();
             for cyc in 0..40 {
                 let stim: Vec<bool> = (0..4).map(|_| rng() & 1 == 1).collect();
-                let x = Dense::<f32>::from_lanes(&[stim.clone()]);
+                let x = Dense::<f32>::from_lanes(std::slice::from_ref(&stim));
                 let y = nn_sim.step(&x);
                 assert_eq!(y.to_lanes()[0], r.step(&stim), "trial {trial} L={l} cyc {cyc}");
             }

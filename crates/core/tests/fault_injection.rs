@@ -1,0 +1,207 @@
+//! Measured fault-injection campaign against the runtime guard.
+//!
+//! A compiled network's exactness claim is protected at runtime by the
+//! opt-in guard in `Simulator::try_step` (weight checksum + binary-activation
+//! checks). This suite does not merely assert the mechanism exists — it
+//! *measures* the detection rate over an exhaustive single-bit weight-flip
+//! campaign and over random state upsets, and requires ≥ 99 % of
+//! output-changing weight faults to be caught.
+
+use c2nn_core::{compile_as, faults, CompileOptions, SimError, Simulator};
+use c2nn_netlist::{Netlist, NetlistBuilder, WordOps};
+use c2nn_tensor::{Dense, Device};
+
+/// Deterministic RNG for campaign sampling (no external crates).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 4-bit accumulator: `q += a` each cycle; outputs the register word.
+/// Sequential, so the campaign exercises state feedback as well as logic.
+fn acc4() -> Netlist {
+    let mut b = NetlistBuilder::new("acc4");
+    let clk = b.clock("clk");
+    let a = b.input_word("a", 4);
+    let q = b.fresh_word("q", 4);
+    let next = b.add_word(&a, &q);
+    b.connect_ff_word(&next, &q, clk, None, None, 0, 0);
+    b.output_word(&q, "q");
+    b.finish().unwrap()
+}
+
+/// Deterministic stimulus: `cycles` batches of `batch` lanes of 4-bit inputs.
+fn stimuli(cycles: usize, batch: usize, seed: u64) -> Vec<Dense<f32>> {
+    let mut s = seed;
+    (0..cycles)
+        .map(|_| {
+            let lanes: Vec<Vec<bool>> = (0..batch)
+                .map(|_| {
+                    let r = splitmix64(&mut s);
+                    (0..4).map(|i| r >> i & 1 == 1).collect()
+                })
+                .collect();
+            Dense::from_lanes(&lanes)
+        })
+        .collect()
+}
+
+fn run_unguarded(nn: &c2nn_core::CompiledNn<f32>, stim: &[Dense<f32>]) -> Vec<Vec<Vec<bool>>> {
+    let mut sim = Simulator::new(nn, stim[0].cols(), Device::Serial);
+    stim.iter().map(|s| sim.step(s).to_lanes()).collect()
+}
+
+#[test]
+fn guard_detects_all_output_changing_weight_flips() {
+    let nn = compile_as::<f32>(&acc4(), CompileOptions::with_l(4)).unwrap();
+    nn.validate().unwrap();
+    let reference = nn.weight_checksum();
+    let stim = stimuli(16, 4, 0xc2d1);
+    let baseline = run_unguarded(&nn, &stim);
+
+    let sites = faults::enumerate_sites(&nn);
+    assert!(sites.len() > 100, "campaign too small: {} sites", sites.len());
+    // Exhaustive over all single-bit parameter faults.
+    let mut output_changing = 0usize;
+    let mut detected_changing = 0usize;
+    let mut detected_total = 0usize;
+    for &site in &sites {
+        let mut bad = nn.clone();
+        assert!(faults::inject(&mut bad, site));
+        let changes_output = run_unguarded(&bad, &stim) != baseline;
+        output_changing += changes_output as usize;
+
+        let mut sim = Simulator::new(&bad, 4, Device::Serial);
+        sim.enable_guard_with(reference);
+        let caught = stim.iter().any(|s| sim.try_step(s).is_err());
+        detected_total += caught as usize;
+        if changes_output && caught {
+            detected_changing += 1;
+        }
+    }
+    assert!(
+        output_changing > 0,
+        "campaign never changed an output — stimulus too weak to measure anything"
+    );
+    let rate = detected_changing as f64 / output_changing as f64;
+    println!(
+        "weight-flip campaign: {} sites, {} output-changing, {} detected ({} overall) — rate {:.4}",
+        sites.len(),
+        output_changing,
+        detected_changing,
+        detected_total,
+        rate
+    );
+    assert!(rate >= 0.99, "detection rate {rate:.4} below 99% floor");
+    // The checksum makes detection exhaustive, not just ≥99%: every flip
+    // alters the bit stream it hashes.
+    assert_eq!(detected_total, sites.len());
+}
+
+#[test]
+fn guard_detects_state_upsets_that_change_outputs() {
+    let nn = compile_as::<f32>(&acc4(), CompileOptions::with_l(4)).unwrap();
+    let stim = stimuli(8, 2, 0xfeed);
+    let baseline = run_unguarded(&nn, &stim);
+
+    let mut rng = 0x5eed_u64;
+    let mut changing = 0usize;
+    let mut caught_changing = 0usize;
+    for _ in 0..200 {
+        let feature = (splitmix64(&mut rng) % nn.state_bits() as u64) as usize;
+        let lane = (splitmix64(&mut rng) % 2) as usize;
+        let bit = (splitmix64(&mut rng) % 32) as u32;
+        let upset_cycle = (splitmix64(&mut rng) % stim.len() as u64) as usize;
+
+        // unguarded replay with the upset, to see whether outputs change
+        let mut sim = Simulator::new(&nn, 2, Device::Serial);
+        let mut outs = Vec::new();
+        for (c, s) in stim.iter().enumerate() {
+            if c == upset_cycle {
+                assert!(sim.inject_state_bitflip(feature, lane, bit));
+            }
+            outs.push(sim.step(s).to_lanes());
+        }
+        let changes = outs != baseline;
+
+        // guarded replay with the same upset
+        let mut sim = Simulator::new(&nn, 2, Device::Serial);
+        sim.enable_guard();
+        let mut caught = false;
+        for (c, s) in stim.iter().enumerate() {
+            if c == upset_cycle {
+                assert!(sim.inject_state_bitflip(feature, lane, bit));
+            }
+            if sim.try_step(s).is_err() {
+                caught = true;
+                break;
+            }
+        }
+        changing += changes as usize;
+        if changes && caught {
+            caught_changing += 1;
+        }
+    }
+    assert!(changing > 0, "no state upset changed an output");
+    let rate = caught_changing as f64 / changing as f64;
+    println!("state-upset campaign: {changing} output-changing, rate {rate:.4}");
+    assert!(rate >= 0.99, "state upset detection rate {rate:.4} below 99% floor");
+}
+
+#[test]
+fn guard_reports_typed_errors() {
+    let nn = compile_as::<f32>(&acc4(), CompileOptions::with_l(4)).unwrap();
+    let reference = nn.weight_checksum();
+
+    // corrupted weights → WeightsCorrupted before any state is committed
+    let mut bad = nn.clone();
+    faults::inject(&mut bad, faults::FaultSite::Weight { layer: 0, nnz: 0, bit: 0 });
+    let mut sim = Simulator::new(&bad, 1, Device::Serial);
+    sim.enable_guard_with(reference);
+    let x = Dense::from_lanes(&[vec![false; 4]]);
+    match sim.try_step(&x) {
+        Err(SimError::WeightsCorrupted { expected, got }) => {
+            assert_eq!(expected, reference);
+            assert_ne!(got, reference);
+        }
+        other => panic!("expected WeightsCorrupted, got {other:?}"),
+    }
+    assert_eq!(sim.cycles(), 0, "detected fault must not commit a cycle");
+
+    // non-binary stimulus → NonBinary{stage: "input"}
+    let mut sim = Simulator::new(&nn, 1, Device::Serial);
+    sim.enable_guard();
+    let mut x = Dense::from_lanes(&[vec![false; 4]]);
+    x.set(2, 0, 0.5);
+    match sim.try_step(&x) {
+        Err(SimError::NonBinary { stage: "input", feature: 2, lane: 0, .. }) => {}
+        other => panic!("expected NonBinary input, got {other:?}"),
+    }
+
+    // shape errors are typed, not panics
+    let mut sim = Simulator::new(&nn, 2, Device::Serial);
+    let narrow = Dense::from_lanes(&[vec![false; 3], vec![false; 3]]);
+    assert_eq!(
+        sim.try_step(&narrow),
+        Err(SimError::InputWidth { expected: 4, got: 3 })
+    );
+    let wrong_batch = Dense::from_lanes(&[vec![false; 4]]);
+    assert_eq!(
+        sim.try_step(&wrong_batch),
+        Err(SimError::BatchMismatch { expected: 2, got: 1 })
+    );
+}
+
+#[test]
+fn unguarded_and_guarded_agree_on_clean_runs() {
+    let nn = compile_as::<f32>(&acc4(), CompileOptions::with_l(4)).unwrap();
+    let stim = stimuli(32, 8, 7);
+    let baseline = run_unguarded(&nn, &stim);
+    let mut sim = Simulator::new(&nn, 8, Device::Serial);
+    sim.enable_guard();
+    let guarded: Vec<_> = stim.iter().map(|s| sim.try_step(s).unwrap().to_lanes()).collect();
+    assert_eq!(guarded, baseline);
+}

@@ -1,0 +1,110 @@
+//! Property tests for the `.stim` testbench format: `format_stim` and
+//! `parse_stim` must be exact inverses, and the parser must reject — never
+//! panic on — malformed testbench files.
+
+use c2nn_core::testbench::{format_stim, parse_stim, Stimulus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
+
+    /// format → parse is the identity on every stimulus, including ones
+    /// with long repeated runs (which the formatter run-length encodes).
+    #[test]
+    fn format_parse_roundtrip(
+        width in 1usize..9,
+        pattern in proptest::collection::vec(any::<u16>(), 0..40),
+        runs in proptest::collection::vec(1usize..6, 0..40),
+    ) {
+        let mut cycles = Vec::new();
+        for (i, bits) in pattern.iter().enumerate() {
+            let row: Vec<bool> = (0..width).map(|j| bits >> j & 1 == 1).collect();
+            // repeat some rows so the RLE path (`bits xN`) is exercised
+            let n = runs.get(i).copied().unwrap_or(1);
+            for _ in 0..n {
+                cycles.push(row.clone());
+            }
+        }
+        let stim = Stimulus { cycles };
+        let text = format_stim(&stim);
+        let back = parse_stim(&text, width).expect("formatter output must parse");
+        prop_assert_eq!(back, stim);
+    }
+
+    /// Arbitrary text thrown at the parser: a `Stimulus` or a `StimError`
+    /// with a line number, never a panic.
+    #[test]
+    fn parse_stim_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256), width in 0usize..6) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_stim(&text, width) {
+            prop_assert!(e.line >= 1, "error lost its line: {:?}", e);
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+
+    /// Structured soup over the stim vocabulary (bits, repeats, comments).
+    #[test]
+    fn stim_token_soup_never_panics(idx in proptest::collection::vec(0usize..14, 0..60)) {
+        const VOCAB: &[&str] = &[
+            "0", "1", "01", "10", "x", "x3", "x0", "x99999999999999999999",
+            "#", "# comment", "\n", " ", "2", "é",
+        ];
+        let mut text = String::new();
+        for i in idx {
+            text.push_str(VOCAB[i]);
+            text.push(' ');
+        }
+        for width in [1, 2] {
+            if let Err(e) = parse_stim(&text, width) {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_stim_errors() {
+    // each entry: (text, width, substring expected in the message)
+    let corpus: &[(&str, usize, &str)] = &[
+        ("101\n", 2, "expected 2 input bits"),
+        ("1x\n", 2, "bad bit character"),
+        ("12\n", 2, "bad bit character"),
+        ("10 y3\n", 2, "expected xN repeat"),
+        ("10 xx\n", 2, "bad repeat count"),
+        ("10 x\n", 2, "bad repeat count"),
+        ("10 x0\n", 2, "out of range"),
+        ("10 x1000001\n", 2, "out of range"),
+        ("10 x99999999999999999999\n", 2, "bad repeat count"),
+        ("10 x3 junk\n", 2, "trailing tokens"),
+        ("ok\n", 2, "bad bit character"),
+    ];
+    for (text, width, needle) in corpus {
+        match parse_stim(text, *width) {
+            Err(e) => {
+                assert!(e.line >= 1, "no line for {text:?}");
+                assert!(
+                    e.message.contains(needle),
+                    "error {:?} for {text:?} does not mention {needle:?}",
+                    e.message
+                );
+            }
+            Ok(s) => panic!("malformed stimulus accepted: {text:?} -> {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn error_lines_point_at_the_offending_line() {
+    let text = "10\n01\n# fine so far\n10 x0\n";
+    let err = parse_stim(text, 2).unwrap_err();
+    assert_eq!(err.line, 4);
+}
+
+#[test]
+fn empty_and_comment_only_files_parse_to_empty() {
+    for text in ["", "\n\n", "# nothing\n  # here\n"] {
+        let s = parse_stim(text, 3).unwrap();
+        assert!(s.cycles.is_empty());
+    }
+}

@@ -47,14 +47,8 @@ fn all_wide_kinds_are_exact() {
         let y = match kind {
             "and" => b.and_many(&x),
             "or" => b.or_many(&x),
-            "nand" => {
-                let t = b.gate(c2nn_netlist::GateKind::Nand, x.clone());
-                t
-            }
-            _ => {
-                let t = b.gate(c2nn_netlist::GateKind::Nor, x.clone());
-                t
-            }
+            "nand" => b.gate(c2nn_netlist::GateKind::Nand, x.clone()),
+            _ => b.gate(c2nn_netlist::GateKind::Nor, x.clone()),
         };
         b.output(y, "y");
         let nl = b.finish().unwrap();
@@ -95,7 +89,7 @@ fn mixed_circuit_with_wide_gates_is_exact() {
         for cyc in 0..40 {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let bits: Vec<bool> = (0..10).map(|j| seed >> (20 + j) & 1 == 1).collect();
-            let x = c2nn_tensor::Dense::<f32>::from_lanes(&[bits.clone()]);
+            let x = c2nn_tensor::Dense::<f32>::from_lanes(std::slice::from_ref(&bits));
             let got = nn_sim.step(&x).to_lanes().remove(0);
             assert_eq!(got, r.step(&bits), "wide={} cycle {cyc}", opts.wide_gates);
         }

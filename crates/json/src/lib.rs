@@ -1,0 +1,911 @@
+//! # c2nn-json — panic-free JSON for model files and reports
+//!
+//! The compiled-model file format (`c2nn compile --out model.json`) is an
+//! untrusted input: the simulator must never crash or corrupt state because a
+//! model file was truncated, hand-edited, or bit-rotted. This crate provides
+//! the JSON layer of that guarantee:
+//!
+//! - [`parse`] never panics on any input (arbitrary byte soup included) and
+//!   reports errors with 1-based line/column positions ([`JsonError`]);
+//! - nesting depth is bounded ([`MAX_DEPTH`]) so deeply nested input cannot
+//!   overflow the stack;
+//! - [`ToJson`] / [`FromJson`] map Rust values to and from [`Json`] trees with
+//!   typed, path-carrying decode errors ([`DecodeError`]) instead of panics;
+//! - [`json_struct!`] derives both traits for plain structs, replacing the
+//!   serde derives this workspace previously used.
+//!
+//! Numbers are stored as `f64`. Integers decode with an exactness check —
+//! `3.5` or `1e300` fails to decode as `u32` with a typed error rather than
+//! silently truncating. Non-finite floats serialize as `null` (JSON has no
+//! NaN literal) and decode back to `NaN`, which the model validator then
+//! rejects with a proper diagnostic.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`parse`]. Bounds recursion so that
+/// adversarial input (e.g. `[[[[...`) cannot overflow the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON value tree. Object key order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+}
+
+/// A syntax error produced by [`parse`], with 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column (in bytes) of the error.
+    pub col: u32,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A typed decode failure from [`FromJson`], carrying the JSON path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Path from the root to the offending value, e.g. `layers[2].bias`.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// New error at the current (root) position.
+    pub fn new(message: impl Into<String>) -> Self {
+        DecodeError { path: String::new(), message: message.into() }
+    }
+
+    /// Prefix the path with an object field name.
+    pub fn in_field(mut self, name: &str) -> Self {
+        if self.path.is_empty() {
+            self.path = name.to_string();
+        } else if self.path.starts_with('[') {
+            self.path = format!("{name}{}", self.path);
+        } else {
+            self.path = format!("{name}.{}", self.path);
+        }
+        self
+    }
+
+    /// Prefix the path with an array index.
+    pub fn in_index(mut self, idx: usize) -> Self {
+        if self.path.is_empty() || self.path.starts_with('[') {
+            self.path = format!("[{idx}]{}", self.path);
+        } else {
+            self.path = format!("[{idx}].{}", self.path);
+        }
+        self
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "decode error: {}", self.message)
+        } else {
+            write!(f, "decode error at `{}`: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse a complete JSON document. Never panics; trailing non-whitespace is an
+/// error.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after top-level value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                b as char,
+                printable(got)
+            ))),
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        for &b in word.as_bytes() {
+            if self.peek() != Some(b) {
+                return Err(self.err(format!("invalid literal (expected `{word}`)")));
+            }
+            self.bump();
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character `{}`", printable(b)))),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                Some(b) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in object, found `{}`",
+                        printable(b)
+                    )))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                Some(b) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found `{}`",
+                        printable(b)
+                    )))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    None => return Err(self.err("unterminated escape sequence")),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let ch = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: require \uXXXX low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate escape"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                        } else {
+                            char::from_u32(hi)
+                                .ok_or_else(|| self.err("unpaired surrogate escape"))?
+                        };
+                        out.push(ch);
+                    }
+                    Some(b) => {
+                        return Err(self.err(format!("invalid escape `\\{}`", printable(b))))
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(first) => {
+                    // Multi-byte UTF-8: the source is a &str, so the sequence
+                    // is valid; collect continuation bytes.
+                    let len = utf8_len(first);
+                    let mut buf = [first, 0, 0, 0];
+                    for slot in buf.iter_mut().take(len).skip(1) {
+                        *slot = self
+                            .bump()
+                            .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    }
+                    match std::str::from_utf8(&buf[..len]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.err("invalid number (expected digit)")),
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number (expected digit after `.`)"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number (expected exponent digit)"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        // The matched span is pure ASCII, so the slice and parse cannot fail.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        Ok(Json::Num(n))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first >= 0xf0 {
+        4
+    } else if first >= 0xe0 {
+        3
+    } else {
+        2
+    }
+}
+
+fn printable(b: u8) -> String {
+    if (0x20..0x7f).contains(&b) {
+        (b as char).to_string()
+    } else {
+        format!("\\x{b:02x}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Json, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity literal; decode maps null back to NaN so
+        // the model validator can reject it with a typed diagnostic.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// ToJson / FromJson
+// ---------------------------------------------------------------------------
+
+/// Serialize a value to a [`Json`] tree.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialize a value from a [`Json`] tree with typed errors.
+pub trait FromJson: Sized {
+    /// Decode from JSON, reporting the failing path on error.
+    fn from_json(v: &Json) -> Result<Self, DecodeError>;
+}
+
+/// Serialize a value straight to a compact JSON string.
+pub fn to_string<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_compact()
+}
+
+/// Serialize a value straight to a pretty JSON string.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Errors from [`from_str`]: either bad syntax or a shape mismatch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromStrError {
+    /// The text is not valid JSON.
+    Syntax(JsonError),
+    /// The JSON does not match the target type.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FromStrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromStrError::Syntax(e) => e.fmt(f),
+            FromStrError::Decode(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FromStrError {}
+
+/// Parse and decode in one step.
+pub fn from_str<T: FromJson>(src: &str) -> Result<T, FromStrError> {
+    let v = parse(src).map_err(FromStrError::Syntax)?;
+    T::from_json(&v).map_err(FromStrError::Decode)
+}
+
+/// Decode an object field; missing keys and wrong shapes become typed errors.
+pub fn field<T: FromJson>(v: &Json, name: &str) -> Result<T, DecodeError> {
+    match v {
+        Json::Obj(_) => match v.get(name) {
+            Some(val) => T::from_json(val).map_err(|e| e.in_field(name)),
+            None => Err(DecodeError::new(format!("missing field `{name}`"))),
+        },
+        other => Err(DecodeError::new(format!(
+            "expected object with field `{name}`, found {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// Decode an optional object field (missing key → `None`).
+pub fn opt_field<T: FromJson>(v: &Json, name: &str) -> Result<Option<T>, DecodeError> {
+    match v.get(name) {
+        Some(Json::Null) | None => Ok(None),
+        Some(val) => T::from_json(val).map(Some).map_err(|e| e.in_field(name)),
+    }
+}
+
+fn kind_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        v.as_bool()
+            .ok_or_else(|| DecodeError::new(format!("expected bool, found {}", kind_name(v))))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DecodeError::new(format!("expected string, found {}", kind_name(v))))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Num(n) => Ok(*n),
+            // Non-finite values serialize as null; round them back to NaN so
+            // downstream validation can reject them by name.
+            Json::Null => Ok(f64::NAN),
+            other => Err(DecodeError::new(format!("expected number, found {}", kind_name(other)))),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        f64::from_json(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! json_ints {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, DecodeError> {
+                let n = v.as_f64().ok_or_else(|| {
+                    DecodeError::new(format!(
+                        "expected integer, found {}",
+                        kind_name(v)
+                    ))
+                })?;
+                if n.trunc() != n || !n.is_finite() {
+                    return Err(DecodeError::new(format!(
+                        "expected integer, found non-integral number {n}"
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DecodeError::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+json_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.in_index(i)))
+                .collect(),
+            other => Err(DecodeError::new(format!("expected array, found {}", kind_name(other)))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a plain struct by listing its
+/// fields:
+///
+/// ```
+/// use c2nn_json::json_struct;
+///
+/// struct Row { name: String, cycles: u64, ns_per_cycle: f64 }
+/// json_struct!(Row { name, cycles, ns_per_cycle });
+///
+/// let row = Row { name: "uart".into(), cycles: 1000, ns_per_cycle: 12.5 };
+/// let text = c2nn_json::to_string(&row);
+/// let back: Row = c2nn_json::from_str(&text).unwrap();
+/// assert_eq!(back.cycles, 1000);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::DecodeError> {
+                Ok(Self {
+                    $($field: $crate::field(v, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement only [`ToJson`] for a struct (for report types that are written
+/// but never read back, or whose fields — e.g. `&'static str` — cannot be
+/// deserialized).
+#[macro_export]
+macro_rules! json_obj {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Null])),
+            ("b".into(), Json::Str("hi \"there\"\n".into())),
+            ("c".into(), Json::Bool(true)),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("{\n  \"a\": ]\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8));
+        assert!(parse("").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("[1] x").is_err());
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(MAX_DEPTH * 2);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"));
+    }
+
+    #[test]
+    fn never_panics_on_byte_soup() {
+        let mut state = 0x12345678u64;
+        for _ in 0..2000 {
+            let len = (state % 64) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    char::from_u32((state >> 33) as u32 % 0x250).unwrap_or('x')
+                })
+                .collect();
+            let _ = parse(&s);
+        }
+    }
+
+    #[test]
+    fn integer_exactness() {
+        assert!(from_str::<u32>("3.5").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert!(from_str::<i32>("2147483648").is_err());
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert!(parse("\"\\ud83d\"").is_err());
+    }
+
+    #[derive(Debug)]
+    struct Demo {
+        x: u32,
+        y: Vec<f32>,
+    }
+    json_struct!(Demo { x, y });
+
+    #[test]
+    fn struct_mapping() {
+        let d = Demo { x: 7, y: vec![1.5, -2.0] };
+        let text = to_string(&d);
+        let back: Demo = from_str(&text).unwrap();
+        assert_eq!(back.x, 7);
+        assert_eq!(back.y, vec![1.5, -2.0]);
+        let err = from_str::<Demo>("{\"x\": 7}").unwrap_err();
+        match err {
+            FromStrError::Decode(e) => assert!(e.message.contains("missing field `y`")),
+            _ => panic!("wrong error kind"),
+        }
+    }
+}

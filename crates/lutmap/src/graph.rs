@@ -2,7 +2,6 @@
 //! NN compiler's input.
 
 use c2nn_boolfn::Lut;
-use serde::{Deserialize, Serialize};
 
 /// The Boolean function a node computes.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// paper's §V *known-function polynomial library*: gates whose polynomial is
 /// trivially sparse (AND = one monomial; OR = one complemented monomial) can
 /// bypass the `L` limit entirely — "the equivalent of increasing L".
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum NodeFunc {
     /// Arbitrary truth table; variable `j` is `inputs[j]`.
     Table(Lut),
@@ -26,7 +25,7 @@ pub enum NodeFunc {
 /// of the mapped circuit (in port order), id `num_inputs + i` is the output
 /// of `nodes[i]`. Nodes are stored in topological order (a node only
 /// references earlier signals).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LutNode {
     /// Input signal ids.
     pub inputs: Vec<u32>,
@@ -61,7 +60,7 @@ impl LutNode {
 }
 
 /// A mapped circuit: DAG of nodes over primary-input signals.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LutGraph {
     pub name: String,
     pub num_inputs: usize,
@@ -285,7 +284,8 @@ mod tests {
 
     #[test]
     fn wide_or_and_inversions() {
-        let cases: Vec<(NodeFunc, fn(u32) -> bool)> = vec![
+        type Case = (NodeFunc, fn(u32) -> bool);
+        let cases: Vec<Case> = vec![
             (NodeFunc::WideOr { invert: false }, |x| x != 0),
             (NodeFunc::WideOr { invert: true }, |x| x == 0),
             (NodeFunc::WideAnd { invert: true }, |x| x != 0b1111),
@@ -312,7 +312,7 @@ mod tests {
         let mut g = xor_chain();
         g.outputs.push(1); // input 1 directly
         let out = g.eval(&[false, true, false]);
-        assert_eq!(out[1], true);
+        assert!(out[1]);
     }
 
     #[test]

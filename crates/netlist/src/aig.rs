@@ -37,6 +37,7 @@ impl Lit {
     }
 
     /// The negation of this literal.
+    #[allow(clippy::should_implement_trait)] // AIG convention; `!lit` reads worse
     pub fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }

@@ -140,10 +140,19 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
         pending.push_str(&line);
         logical.push((pending_line, std::mem::take(&mut pending)));
     }
+    // a file ending in a continuation backslash still has a pending line
+    if !pending.trim().is_empty() {
+        logical.push((pending_line, pending));
+    }
+
+    // semantic errors discovered after the scan (undefined outputs,
+    // validation) point at the last line of the file rather than line 0
+    let last_line = logical.last().map(|(l, _)| *l).unwrap_or(1);
 
     let mut b = NetlistBuilder::new("blif");
     let mut by_name: HashMap<String, Net> = HashMap::new();
-    let mut outputs: Vec<String> = Vec::new();
+    // each output name keeps the line of its `.outputs` declaration
+    let mut outputs: Vec<(usize, String)> = Vec::new();
     let err = |line: usize, m: &str| BlifError {
         message: m.to_string(),
         line,
@@ -151,6 +160,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
     // first pass: declare inputs and collect every referenced name as a
     // placeholder so covers can reference forward
     let mut model_name = String::from("blif");
+    let mut seen_model = false;
     // pending gate covers: (line, input names, output name, cover rows)
     struct NamesBlock {
         line: usize,
@@ -163,15 +173,19 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
     let mut current: Option<NamesBlock> = None;
     for (line, text) in &logical {
         let mut toks = text.split_whitespace();
-        let head = toks.next().unwrap();
+        let Some(head) = toks.next() else { continue };
         if head.starts_with('.') {
             if let Some(blk) = current.take() {
                 blocks.push(blk);
             }
         }
+        if !seen_model && head != ".model" {
+            return Err(err(*line, &format!("expected .model before '{head}'")));
+        }
         match head {
             ".model" => {
                 model_name = toks.next().unwrap_or("blif").to_string();
+                seen_model = true;
             }
             ".inputs" => {
                 for t in toks {
@@ -180,7 +194,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 }
             }
             ".outputs" => {
-                outputs.extend(toks.map(|t| t.to_string()));
+                outputs.extend(toks.map(|t| (*line, t.to_string())));
             }
             ".names" => {
                 let names: Vec<String> = toks.map(|t| t.to_string()).collect();
@@ -217,14 +231,23 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                     .ok_or_else(|| err(*line, "cover row outside .names"))?;
                 if blk.inputs.is_empty() {
                     // constant: single token "1" or "0"
-                    let v = head.chars().next().unwrap();
+                    let v = head.chars().next().unwrap_or('0');
+                    if !matches!(v, '0' | '1') {
+                        return Err(err(*line, &format!("constant cover must be 0 or 1, got '{v}'")));
+                    }
                     blk.rows.push((String::new(), v));
                 } else {
                     let pat = head.to_string();
+                    if let Some(c) = pat.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                        return Err(err(*line, &format!("invalid cover character '{c}'")));
+                    }
                     let out = toks
                         .next()
                         .and_then(|t| t.chars().next())
                         .ok_or_else(|| err(*line, "cover row missing output value"))?;
+                    if !matches!(out, '0' | '1') {
+                        return Err(err(*line, &format!("cover output must be 0 or 1, got '{out}'")));
+                    }
                     if pat.len() != blk.inputs.len() {
                         return Err(err(*line, "cover width != input count"));
                     }
@@ -311,17 +334,16 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
     }
     let mut nl = b.finish_unchecked();
     nl.name = model_name;
-    for (i, out) in outputs.iter().enumerate() {
+    for (decl_line, out) in &outputs {
         let n = by_name
             .get(out)
-            .ok_or_else(|| err(0, &format!("output '{out}' never defined")))?;
+            .ok_or_else(|| err(*decl_line, &format!("output '{out}' never defined")))?;
         nl.outputs.push(*n);
-        let _ = i;
     }
     let nl = crate::graph::collapse_buffers(&nl);
     nl.validate().map_err(|e| BlifError {
         message: e.to_string(),
-        line: 0,
+        line: last_line,
     })?;
     Ok(nl)
 }

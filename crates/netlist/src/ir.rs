@@ -7,11 +7,10 @@
 //! elaborator produces it, the LUT mapper consumes it, and the reference
 //! simulator executes it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single-bit signal in a [`Netlist`], identified by a dense index.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Net(pub u32);
 
 impl Net {
@@ -33,7 +32,7 @@ impl fmt::Debug for Net {
 /// `And`/`Or`/`Xor`/`Nand`/`Nor`/`Xnor` are variadic (≥1 input); `Not` and
 /// `Buf` take exactly one input; `Mux` takes `[s, a, b]` and computes
 /// `if s { b } else { a }`; `Const0`/`Const1` take no inputs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     Const0,
     Const1,
@@ -104,7 +103,7 @@ impl GateKind {
 }
 
 /// A combinational logic gate: one output net, an ordered list of input nets.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Gate {
     pub kind: GateKind,
     pub inputs: Vec<Net>,
@@ -115,7 +114,7 @@ pub struct Gate {
 /// synchronous reset. [`crate::seq::unify_clocks`] lowers enables and resets
 /// into plain D flip-flops by inserting gates (the paper's *clock
 /// unification* step).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FlipFlop {
     /// Data input, sampled on the rising clock edge.
     pub d: Net,
@@ -190,7 +189,7 @@ impl std::error::Error for NetlistError {}
 /// * every net has at most one driver;
 /// * every net read by a gate, flip-flop, or primary output has a driver;
 /// * the gate-to-gate dependency graph is acyclic (flip-flops break cycles).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Netlist {
     /// Human-readable circuit name.
     pub name: String,
@@ -356,10 +355,10 @@ mod tests {
             (Nor, [true, false, false, false]),
             (Xnor, [true, false, false, true]),
         ] {
-            for i in 0..4usize {
+            for (i, &want) in table.iter().enumerate() {
                 let a = i & 1 != 0;
                 let b = i & 2 != 0;
-                assert_eq!(kind.eval(&[a, b]), table[i], "{kind:?} on {a},{b}");
+                assert_eq!(kind.eval(&[a, b]), want, "{kind:?} on {a},{b}");
             }
         }
         assert!(!Not.eval(&[true]));

@@ -1,0 +1,111 @@
+//! Panic-freedom fuzzing of the BLIF reader.
+//!
+//! Like the Verilog frontend, `from_blif` consumes untrusted files. The
+//! only acceptable outcomes are a validated netlist or a `BlifError` with
+//! a line number — never a panic.
+
+use c2nn_netlist::from_blif;
+use proptest::prelude::*;
+
+/// Calling from_blif is the assertion: a panic fails the test. On error,
+/// the diagnostic must carry a line number and a message.
+fn assert_total(src: &str) {
+    if let Err(e) = from_blif(src) {
+        assert!(e.line >= 1, "BLIF error lost its line: {e:?}");
+        assert!(!e.message.is_empty(), "empty BLIF diagnostic");
+    }
+}
+
+/// Tokens steering random soup into the BLIF grammar.
+const VOCAB: &[&str] = &[
+    ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".subckt",
+    "top", "a", "b", "y", "clk", "q", "re", "0", "1", "-", "2", "01", "10",
+    "--", "0-1", "\\", "#", "comment", "\n", "\t", " ", "é", "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 400, .. ProptestConfig::default() })]
+
+    /// Arbitrary byte soup, interpreted as (lossy) UTF-8.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_total(&src);
+    }
+
+    /// Token soup from the BLIF vocabulary reaches much deeper reader
+    /// states than raw bytes (covers, latches, continuation lines).
+    #[test]
+    fn token_soup_never_panics(idx in proptest::collection::vec(0usize..VOCAB.len(), 0..200)) {
+        let mut src = String::new();
+        for i in idx {
+            src.push_str(VOCAB[i]);
+            src.push(' ');
+        }
+        assert_total(&src);
+    }
+
+    /// Same soup inside a well-formed model skeleton, so the reader gets
+    /// past the header and exercises body parsing.
+    #[test]
+    fn wrapped_token_soup_never_panics(idx in proptest::collection::vec(0usize..VOCAB.len(), 0..120)) {
+        let mut body = String::new();
+        for i in idx {
+            body.push_str(VOCAB[i]);
+            body.push(' ');
+        }
+        let src = format!(".model top\n.inputs a b\n.outputs y\n{body}\n.end\n");
+        assert_total(&src);
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_typed_errors() {
+    // each entry: (source, substring expected in the error message)
+    let corpus: &[(&str, &str)] = &[
+        // cover row width disagrees with the .names arity
+        (".model m\n.inputs a b\n.outputs y\n.names a b y\n0 1\n.end\n", ""),
+        // invalid cover character
+        (".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n", "invalid cover character"),
+        // invalid output character in a cover row
+        (".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n", ""),
+        // constant cover with a bad value
+        (".model m\n.outputs y\n.names y\n7\n.end\n", ""),
+        // .latch with too few tokens
+        (".model m\n.inputs a\n.outputs q\n.latch a\n.end\n", ""),
+        // body before .model
+        (".inputs a\n.model m\n.end\n", ""),
+        // truncated: no .end, dangling continuation backslash
+        (".model m\n.inputs a\n.outputs y\n.names a \\\n", ""),
+    ];
+    for (src, needle) in corpus {
+        match from_blif(src) {
+            Err(e) => {
+                assert!(e.line >= 1, "no line number for {src:?}");
+                assert!(
+                    e.message.contains(needle),
+                    "error {:?} for {src:?} does not mention {needle:?}",
+                    e.message
+                );
+            }
+            Ok(_) => panic!("malformed BLIF accepted: {src:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_directives_are_tolerated() {
+    // SIS emits decorations like .default_input_arrival; the reader skips
+    // unrecognized dot-directives rather than failing the whole file
+    let src = ".model m\n.inputs a\n.outputs y\n.default_input_arrival 0 0\n.names a y\n1 1\n.end\n";
+    assert!(from_blif(src).is_ok());
+}
+
+#[test]
+fn trailing_continuation_line_is_not_dropped() {
+    // a cover row continued with `\` onto the final line used to be
+    // silently discarded if the file ended without a newline after it
+    let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 \\\n1\n.end\n";
+    let nl = from_blif(src).expect("continued cover row should parse");
+    assert_eq!(nl.name, "m");
+}

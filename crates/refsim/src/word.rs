@@ -119,11 +119,11 @@ mod tests {
             // random per-lane stimuli
             let mut lane_inputs = vec![0u64; 4];
             let mut per_lane: Vec<Vec<bool>> = vec![vec![false; 4]; 64];
-            for lane in 0..64 {
+            for (lane, row) in per_lane.iter_mut().enumerate() {
                 seed = seed.wrapping_mul(6364136223846793005).wrapping_add(lane as u64);
                 for j in 0..4 {
                     let bit = seed >> (17 + j) & 1 == 1;
-                    per_lane[lane][j] = bit;
+                    row[j] = bit;
                     if bit {
                         lane_inputs[j] |= 1 << lane;
                     }

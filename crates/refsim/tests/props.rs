@@ -79,11 +79,11 @@ proptest! {
         for cycle in 0..25 {
             let mut words = vec![0u64; 4];
             let mut per_lane = vec![[false; 4]; 64];
-            for lane in 0..64 {
+            for (lane, row) in per_lane.iter_mut().enumerate() {
                 s = s.wrapping_mul(2862933555777941757).wrapping_add(lane as u64);
                 for (j, w) in words.iter_mut().enumerate() {
                     let bit = s >> (11 + j) & 1 == 1;
-                    per_lane[lane][j] = bit;
+                    row[j] = bit;
                     if bit {
                         *w |= 1 << lane;
                     }

@@ -3,10 +3,76 @@
 //! sparse, which is both the memory win and the compute win).
 
 use crate::scalar::Scalar;
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Structural defect found while building a [`Csr`] from untrusted parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr` must have exactly `rows + 1` entries starting at 0.
+    BadRowPtrLen {
+        /// `rows + 1`
+        expected: usize,
+        /// actual length
+        got: usize,
+    },
+    /// `row_ptr` must be non-decreasing.
+    RowPtrNotMonotonic {
+        /// first row whose pointer decreases
+        row: usize,
+    },
+    /// `row_ptr[rows]` must equal both `col_idx.len()` and `values.len()`.
+    NnzMismatch {
+        /// `row_ptr[rows]`
+        row_ptr_last: usize,
+        /// `col_idx.len()`
+        col_idx_len: usize,
+        /// `values.len()`
+        values_len: usize,
+    },
+    /// A column index references a column ≥ `cols`.
+    ColOutOfBounds {
+        /// row containing the bad index
+        row: usize,
+        /// the offending column index
+        col: u32,
+        /// the matrix width
+        cols: usize,
+    },
+    /// Column indices within a row must be strictly increasing (sorted, no
+    /// duplicates) — row lookups binary-search on this invariant.
+    ColNotSorted {
+        /// row whose indices are unsorted or duplicated
+        row: usize,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::BadRowPtrLen { expected, got } => {
+                write!(f, "row_ptr has {got} entries, expected {expected}")
+            }
+            CsrError::RowPtrNotMonotonic { row } => {
+                write!(f, "row_ptr decreases at row {row}")
+            }
+            CsrError::NnzMismatch { row_ptr_last, col_idx_len, values_len } => write!(
+                f,
+                "nnz mismatch: row_ptr ends at {row_ptr_last} but col_idx has {col_idx_len} and values {values_len} entries"
+            ),
+            CsrError::ColOutOfBounds { row, col, cols } => {
+                write!(f, "row {row} references column {col} of a {cols}-column matrix")
+            }
+            CsrError::ColNotSorted { row } => {
+                write!(f, "row {row} has unsorted or duplicate column indices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
 
 /// A sparse `rows × cols` matrix in CSR form.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Csr<T> {
     rows: usize,
     cols: usize,
@@ -115,6 +181,38 @@ impl<T: Scalar> Csr<T> {
         (&self.row_ptr, &self.col_idx, &self.values)
     }
 
+    /// Mutable view of the stored values. The sparsity *pattern* stays fixed;
+    /// only magnitudes change. Used by the fault-injection harness to corrupt
+    /// weights in place.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Build a CSR matrix from untrusted raw arrays, verifying every
+    /// structural invariant ([`CsrError`] on violation): `row_ptr` length and
+    /// monotonicity, nnz consistency, and per-row strictly increasing
+    /// in-bounds column indices. This is the only way model deserialization
+    /// constructs matrices, so malformed `model.json` files are rejected
+    /// before any kernel can index out of bounds.
+    pub fn try_from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, CsrError> {
+        check_parts(rows, cols, &row_ptr, &col_idx, values.len())?;
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Re-verify the structural invariants of this matrix (see
+    /// [`Csr::try_from_raw_parts`]). Matrices built through the safe
+    /// constructors always pass; the model validator calls this as a
+    /// defense-in-depth check on programmatically assembled networks.
+    pub fn check(&self) -> Result<(), CsrError> {
+        check_parts(self.rows, self.cols, &self.row_ptr, &self.col_idx, self.values.len())
+    }
+
     /// Dense row-major copy (test/debug sizes only).
     pub fn to_dense(&self) -> Vec<T> {
         let mut d = vec![T::ZERO; self.rows * self.cols];
@@ -205,6 +303,46 @@ impl<T: Scalar> Csr<T> {
     }
 }
 
+fn check_parts(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[u32],
+    col_idx: &[u32],
+    values_len: usize,
+) -> Result<(), CsrError> {
+    if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
+        return Err(CsrError::BadRowPtrLen { expected: rows + 1, got: row_ptr.len() });
+    }
+    for r in 0..rows {
+        if row_ptr[r + 1] < row_ptr[r] {
+            return Err(CsrError::RowPtrNotMonotonic { row: r });
+        }
+    }
+    let nnz = row_ptr[rows] as usize;
+    if col_idx.len() != nnz || values_len != nnz {
+        return Err(CsrError::NnzMismatch {
+            row_ptr_last: nnz,
+            col_idx_len: col_idx.len(),
+            values_len,
+        });
+    }
+    for r in 0..rows {
+        let lo = row_ptr[r] as usize;
+        let hi = row_ptr[r + 1] as usize;
+        let mut prev: Option<u32> = None;
+        for &c in &col_idx[lo..hi] {
+            if (c as usize) >= cols {
+                return Err(CsrError::ColOutOfBounds { row: r, col: c, cols });
+            }
+            if prev.is_some_and(|p| p >= c) {
+                return Err(CsrError::ColNotSorted { row: r });
+            }
+            prev = Some(c);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +424,55 @@ mod tests {
         assert_eq!(z.nnz(), 0);
         assert_eq!(z.sparsity(), 1.0);
         assert_eq!(z.matvec(&[1.0; 5]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn try_from_raw_parts_accepts_well_formed() {
+        let m = small();
+        let (rp, ci, vs) = m.raw();
+        let rebuilt =
+            Csr::<f32>::try_from_raw_parts(3, 3, rp.to_vec(), ci.to_vec(), vs.to_vec()).unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn try_from_raw_parts_rejects_malformed() {
+        use CsrError::*;
+        // truncated row_ptr
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(3, 3, vec![0, 1], vec![0], vec![1.0]),
+            Err(BadRowPtrLen { .. })
+        ));
+        // row_ptr not starting at 0
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(1, 1, vec![1, 1], vec![], vec![]),
+            Err(BadRowPtrLen { .. })
+        ));
+        // decreasing row_ptr
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]),
+            Err(RowPtrNotMonotonic { row: 1 })
+        ));
+        // nnz mismatch (truncated values)
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(1, 3, vec![0, 2], vec![0, 1], vec![1.0]),
+            Err(NnzMismatch { .. })
+        ));
+        // out-of-bounds column
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(1, 3, vec![0, 1], vec![7], vec![1.0]),
+            Err(ColOutOfBounds { row: 0, col: 7, cols: 3 })
+        ));
+        // permuted (unsorted) columns
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]),
+            Err(ColNotSorted { row: 0 })
+        ));
+        // duplicate columns
+        assert!(matches!(
+            Csr::<f32>::try_from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]),
+            Err(ColNotSorted { row: 0 })
+        ));
     }
 
     #[test]

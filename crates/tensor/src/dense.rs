@@ -3,10 +3,9 @@
 //! ablation (DESIGN.md A2).
 
 use crate::scalar::Scalar;
-use serde::{Deserialize, Serialize};
 
 /// A dense `rows × cols` matrix, row-major.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Dense<T> {
     rows: usize,
     cols: usize,

@@ -6,10 +6,10 @@
 //! provides the storage ([`Csr`], [`Dense`]) and the forward kernels
 //! ([`forward_sparse`], [`forward_dense`]) they execute on.
 //!
-//! The paper's GPU is modelled by [`Device::Parallel`] (a Rayon pool that
-//! spreads each layer's batch across cores) and its CPU reference point by
-//! [`Device::Serial`]; both produce bit-identical results, so correctness
-//! tests run on either.
+//! The paper's GPU is modelled by [`Device::Parallel`] (scoped worker threads
+//! spreading each layer's rows across cores, see [`par`]) and its CPU
+//! reference point by [`Device::Serial`]; both produce bit-identical results,
+//! so correctness tests run on either.
 //!
 //! Kernels are generic over [`Scalar`]: `f32` reproduces the paper's shipped
 //! configuration (PyTorch sparse layers only support floats, §III-E), `i32`
@@ -18,9 +18,10 @@
 pub mod csr;
 pub mod dense;
 pub mod ops;
+pub mod par;
 pub mod scalar;
 
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};
 pub use dense::Dense;
 pub use ops::{forward_dense, forward_sparse, forward_sparse_into, Activation, Device};
 pub use scalar::Scalar;

@@ -14,26 +14,26 @@
 //! Two devices are provided:
 //! * [`Device::Serial`] — one thread, models the paper's *CPU* curves
 //!   (time ∝ number of connections, Figure 6 bottom);
-//! * [`Device::Parallel`] — a Rayon work-stealing pool standing in for the
+//! * [`Device::Parallel`] — scoped worker threads standing in for the
 //!   paper's *GPU* (per-layer work spread over cores; with enough cores the
-//!   time per layer flattens, Figure 6 top).
+//!   time per layer flattens, Figure 6 top). See [`crate::par`].
 
 use crate::csr::Csr;
 use crate::dense::Dense;
+use crate::par::par_chunks_mut;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
 
 /// Execution target for the kernels.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Device {
     /// Single-threaded execution (the paper's CPU reference point).
     Serial,
-    /// Rayon-parallel execution (the paper's GPU analogue).
+    /// Multi-threaded execution (the paper's GPU analogue).
     Parallel,
 }
 
 /// Elementwise activation applied after the affine transform.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Activation {
     /// Identity — used by the final exact-linear layer.
     Linear,
@@ -112,11 +112,9 @@ pub fn forward_sparse_into<T: Scalar>(
             }
         }
         Device::Parallel => {
-            y.data_mut()
-                .par_chunks_mut(batch)
-                .enumerate()
-                .with_min_len(min_rows)
-                .for_each(|(j, row)| forward_neuron(w, bias[j], j, x, act, row));
+            par_chunks_mut(y.data_mut(), batch, min_rows, |j, row| {
+                forward_neuron(w, bias[j], j, x, act, row)
+            });
         }
     }
 }
@@ -166,10 +164,7 @@ pub fn forward_dense<T: Scalar>(
             }
         }
         Device::Parallel => {
-            y.data_mut()
-                .par_chunks_mut(batch)
-                .enumerate()
-                .for_each(|(j, row)| body(j, row));
+            par_chunks_mut(y.data_mut(), batch, 1, |j, row| body(j, row));
         }
     }
     y

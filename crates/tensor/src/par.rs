@@ -1,0 +1,101 @@
+//! Minimal data-parallel runtime for [`Device::Parallel`](crate::Device).
+//!
+//! The offline build cannot fetch Rayon, so the parallel device is built on
+//! `std::thread::scope` instead: the output matrix is pre-split into
+//! contiguous tasks of `grain` rows, and scoped workers claim tasks through an
+//! atomic cursor (dynamic assignment, so a few expensive rows cannot strand
+//! one thread with all the work). Each task's sub-slice is handed to exactly
+//! one worker, so the whole scheme is safe Rust — no aliasing, no `unsafe`.
+//!
+//! Threads are spawned per call rather than kept in a pool; for the batched
+//! kernels this is amortized over `rows × batch` AXPY work per call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f(chunk_index, chunk)` to every `chunk_len`-sized chunk of `data`,
+/// spreading chunks across available cores. `grain` is the minimum number of
+/// chunks per task (amortizes task-claim overhead for cheap rows).
+///
+/// Chunks are `data.chunks_exact_mut(chunk_len)` — a trailing remainder
+/// shorter than `chunk_len` is not visited, matching the exact-tiling layout
+/// of feature-major matrices (`rows * batch` elements).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_chunks = data.len().checked_div(chunk_len).unwrap_or(0);
+    if n_chunks == 0 {
+        return;
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let grain = grain.max(1);
+    let n_tasks = n_chunks.div_ceil(grain);
+    if threads <= 1 || n_tasks <= 1 {
+        for (j, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {
+            f(j, chunk);
+        }
+        return;
+    }
+
+    // Pre-split into contiguous tasks; each Mutex cell is taken exactly once.
+    type Task<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let mut tasks: Vec<Task<'_, T>> = Vec::with_capacity(n_tasks);
+    let mut rest = &mut data[..n_chunks * chunk_len];
+    let mut first_chunk = 0;
+    while !rest.is_empty() {
+        let take = (grain * chunk_len).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        tasks.push(Mutex::new(Some((first_chunk, head))));
+        first_chunk += take / chunk_len;
+        rest = tail;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(tasks.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let taken = tasks[t].lock().map(|mut cell| cell.take()).unwrap_or(None);
+                if let Some((start, slice)) = taken {
+                    for (k, chunk) in slice.chunks_exact_mut(chunk_len).enumerate() {
+                        f(start + k, chunk);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_chunk_exactly_once() {
+        let mut data = vec![0u32; 97 * 8];
+        par_chunks_mut(&mut data, 8, 3, |j, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + j as u32;
+            }
+        });
+        for (j, chunk) in data.chunks_exact(8).enumerate() {
+            assert!(chunk.iter().all(|&v| v == 1 + j as u32), "chunk {j}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 4, 1, |_, _| panic!("no chunks expected"));
+        let mut data = vec![0u8; 4];
+        par_chunks_mut(&mut data, 0, 1, |_, _| panic!("chunk_len 0"));
+        par_chunks_mut(&mut data, 4, 1, |_, c| c.fill(7));
+        assert_eq!(data, vec![7; 4]);
+    }
+}

@@ -26,16 +26,50 @@ pub trait Scalar:
     const ZERO: Self;
     const ONE: Self;
 
+    /// Canonical dtype name used in model files (`"f32"`, `"i32"`, …).
+    const NAME: &'static str;
+
+    /// Largest magnitude `M` such that every integer in `[-M, M]` is exactly
+    /// representable **and** integer addition staying within `[-M, M]` is
+    /// exact. For floats this is the contiguous-integer bound (2^24 for f32,
+    /// 2^53 for f64); for integers the type's own max. The validator's
+    /// exactness-margin analysis bounds worst-case layer accumulation against
+    /// this limit.
+    const EXACT_LIMIT: i64;
+
     /// Exact conversion from the integer coefficients the compiler produces.
     fn from_i32(v: i32) -> Self;
 
     /// `Θ(x) > 0` test for the threshold activation.
     fn is_positive(self) -> bool;
+
+    /// `false` for NaN/±∞ (always `true` for integer scalars).
+    fn is_finite(self) -> bool;
+
+    /// Widening conversion for serialization and magnitude analysis. Exact
+    /// for every value the compiler produces (|v| ≤ [`Self::EXACT_LIMIT`],
+    /// which is ≤ 2^53 for all supported types except i64, whose compiled
+    /// coefficients are i32-ranged anyway).
+    fn to_f64(self) -> f64;
+
+    /// Inverse of [`Self::to_f64`]: `None` when `v` does not round-trip
+    /// exactly (e.g. `3.5` as i32, or 2^60 as f32). Float NaN is accepted and
+    /// preserved so the model validator can reject it by name.
+    fn from_f64_exact(v: f64) -> Option<Self>;
+
+    /// Raw bit pattern, zero-extended to 64 bits — input to weight checksums
+    /// and the fault-injection harness.
+    fn to_bits64(self) -> u64;
+
+    /// Reinterpret (truncated) bits as a value; inverse of [`Self::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
 }
 
 impl Scalar for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+    const EXACT_LIMIT: i64 = 1 << 24;
 
     #[inline]
     fn from_i32(v: i32) -> Self {
@@ -46,11 +80,42 @@ impl Scalar for f32 {
     fn is_positive(self) -> bool {
         self > 0.0
     }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64_exact(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            return Some(f32::NAN);
+        }
+        let narrowed = v as f32;
+        (narrowed as f64 == v).then_some(narrowed)
+    }
+
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
 }
 
 impl Scalar for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+    const EXACT_LIMIT: i64 = 1 << 53;
 
     #[inline]
     fn from_i32(v: i32) -> Self {
@@ -61,11 +126,38 @@ impl Scalar for f64 {
     fn is_positive(self) -> bool {
         self > 0.0
     }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_f64_exact(v: f64) -> Option<Self> {
+        Some(v)
+    }
+
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
 }
 
 impl Scalar for i32 {
     const ZERO: Self = 0;
     const ONE: Self = 1;
+    const NAME: &'static str = "i32";
+    const EXACT_LIMIT: i64 = i32::MAX as i64;
 
     #[inline]
     fn from_i32(v: i32) -> Self {
@@ -76,11 +168,42 @@ impl Scalar for i32 {
     fn is_positive(self) -> bool {
         self > 0
     }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64_exact(v: f64) -> Option<Self> {
+        if v.is_finite() && v.trunc() == v && (i32::MIN as f64..=i32::MAX as f64).contains(&v) {
+            Some(v as i32)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self as u32 as u64
+    }
+
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits as u32 as i32
+    }
 }
 
 impl Scalar for i64 {
     const ZERO: Self = 0;
     const ONE: Self = 1;
+    const NAME: &'static str = "i64";
+    const EXACT_LIMIT: i64 = i64::MAX;
 
     #[inline]
     fn from_i32(v: i32) -> Self {
@@ -90,6 +213,37 @@ impl Scalar for i64 {
     #[inline]
     fn is_positive(self) -> bool {
         self > 0
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64_exact(v: f64) -> Option<Self> {
+        // f64 holds integers exactly up to 2^53; beyond that the JSON layer
+        // could not have represented the value exactly in the first place.
+        if v.is_finite() && v.trunc() == v && v.abs() <= (1i64 << 53) as f64 {
+            Some(v as i64)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
     }
 }
 
@@ -113,6 +267,29 @@ mod tests {
         generic_checks::<f64>();
         generic_checks::<i32>();
         generic_checks::<i64>();
+    }
+
+    #[test]
+    fn exact_roundtrip_and_bits() {
+        fn roundtrip<T: Scalar>() {
+            for v in [-3, 0, 1, 127, -128] {
+                let s = T::from_i32(v);
+                assert_eq!(T::from_f64_exact(s.to_f64()), Some(s));
+                assert_eq!(T::from_bits64(s.to_bits64()), s);
+                assert!(s.is_finite());
+            }
+        }
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+        roundtrip::<i32>();
+        roundtrip::<i64>();
+        assert_eq!(f32::from_f64_exact(0.1f64), None, "0.1 is not an f32");
+        assert_eq!(i32::from_f64_exact(3.5), None);
+        assert_eq!(i32::from_f64_exact(f64::INFINITY), None);
+        assert!(f32::from_f64_exact(f64::NAN).unwrap().is_nan());
+        assert!(!f32::NAN.is_finite() && !Scalar::is_finite(f32::INFINITY));
+        assert_eq!(f32::EXACT_LIMIT, 1 << 24);
+        assert_eq!(f64::EXACT_LIMIT, 1 << 53);
     }
 
     #[test]

@@ -74,9 +74,9 @@ proptest! {
         prop_assert_eq!(&ys, &yp);
         prop_assert_eq!(&ys, &yd);
         // manual reference for one lane
-        for j in 0..10 {
+        for (j, &bj) in bias.iter().enumerate() {
             for lane in 0..5 {
-                let mut acc = bias[j] as i64;
+                let mut acc = bj as i64;
                 for k in 0..12 {
                     acc += w.get(j, k) as i64 * x.get(k, lane) as i64;
                 }
@@ -92,9 +92,9 @@ proptest! {
         let m: Csr<i32> = Csr::from_triplets(8, 8, trips);
         let y = m.matvec(&v);
         let x = Dense::from_vec(8, 1, v.clone());
-        let y2 = forward_sparse(&m, &vec![0; 8], &x, Activation::Linear, Device::Serial);
-        for j in 0..8 {
-            prop_assert_eq!(y[j], y2.get(j, 0));
+        let y2 = forward_sparse(&m, &[0; 8], &x, Activation::Linear, Device::Serial);
+        for (j, &yj) in y.iter().enumerate() {
+            prop_assert_eq!(yj, y2.get(j, 0));
         }
     }
 

@@ -24,7 +24,8 @@ pub fn eval_const(e: &Expr, params: &HashMap<String, i64>) -> Option<i64> {
         Expr::Unary(op, a) => {
             let a = eval_const(a, params)?;
             match op {
-                UnaryOp::Neg => -a,
+                // wrapping: `-(i64::MIN)` must not abort the compiler
+                UnaryOp::Neg => a.wrapping_neg(),
                 UnaryOp::Not => !a,
                 UnaryOp::LogicNot => (a == 0) as i64,
                 UnaryOp::ReduceOr => (a != 0) as i64,
@@ -39,17 +40,18 @@ pub fn eval_const(e: &Expr, params: &HashMap<String, i64>) -> Option<i64> {
                 BinaryOp::Add => a.wrapping_add(b),
                 BinaryOp::Sub => a.wrapping_sub(b),
                 BinaryOp::Mul => a.wrapping_mul(b),
+                // wrapping: `i64::MIN / -1` must not abort the compiler
                 BinaryOp::Div => {
                     if b == 0 {
                         return None;
                     }
-                    a / b
+                    a.wrapping_div(b)
                 }
                 BinaryOp::Mod => {
                     if b == 0 {
                         return None;
                     }
-                    a % b
+                    a.wrapping_rem(b)
                 }
                 BinaryOp::Shl => a.checked_shl(b as u32)?,
                 BinaryOp::Shr => ((a as u64) >> (b as u32).min(63)) as i64,

@@ -31,12 +31,22 @@ pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
         line: e.line,
         col: e.col,
     })?;
-    Parser { toks, pos: 0 }.source_file()
+    Parser { toks, pos: 0, depth: 0 }.source_file()
 }
+
+/// Maximum nesting depth of expressions/statements before the parser bails
+/// out with an error. Recursive descent uses the call stack, so unbounded
+/// input nesting (`((((((…`) would otherwise crash with a stack overflow
+/// instead of returning a diagnostic. Each paren level walks the whole
+/// precedence chain (~13 frames), so this must stay small enough for the
+/// 2 MiB default test-thread stack even in unoptimized builds.
+const MAX_NEST: u32 = 64;
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// current recursion depth across `expr`/`stmt`/`unary` (see [`MAX_NEST`])
+    depth: u32,
 }
 
 impl Parser {
@@ -387,13 +397,21 @@ impl Parser {
 
     fn lvalue(&mut self) -> Result<LValue, ParseError> {
         if self.eat(TokenKind::LBrace) {
-            let mut parts = Vec::new();
-            loop {
-                parts.push(self.lvalue()?);
-                if !self.eat(TokenKind::Comma) {
-                    break;
+            self.depth += 1;
+            let parts = if self.depth > MAX_NEST {
+                self.err("lvalue nesting too deep")
+            } else {
+                let mut parts = Vec::new();
+                loop {
+                    parts.push(self.lvalue()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
                 }
-            }
+                Ok(parts)
+            };
+            self.depth -= 1;
+            let parts = parts?;
             self.expect(TokenKind::RBrace)?;
             return Ok(LValue::Concat(parts));
         }
@@ -412,6 +430,17 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.depth += 1;
+        let r = if self.depth > MAX_NEST {
+            self.err("statement nesting too deep")
+        } else {
+            self.stmt_inner()
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             TokenKind::Kw(Keyword::Begin) => {
                 self.bump();
@@ -497,7 +526,14 @@ impl Parser {
     // ---- expressions (precedence climbing) ----
 
     pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.ternary()
+        self.depth += 1;
+        let r = if self.depth > MAX_NEST {
+            self.err("expression nesting too deep")
+        } else {
+            self.ternary()
+        };
+        self.depth -= 1;
+        r
     }
 
     fn ternary(&mut self) -> Result<Expr, ParseError> {
@@ -654,9 +690,15 @@ impl Parser {
             _ => None,
         };
         if let Some(op) = op {
-            self.bump();
-            let e = self.unary()?;
-            return Ok(Expr::Unary(op, Box::new(e)));
+            self.depth += 1;
+            let e = if self.depth > MAX_NEST {
+                self.err("expression nesting too deep")
+            } else {
+                self.bump();
+                self.unary()
+            };
+            self.depth -= 1;
+            return Ok(Expr::Unary(op, Box::new(e?)));
         }
         self.postfix()
     }

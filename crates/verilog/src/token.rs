@@ -245,6 +245,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         Err(_) => err!("bad decimal literal '{digits}'"),
                     };
                     if i < bytes.len() && bytes[i] == b'\'' {
+                        // bound the declared width: a fuzzer-supplied
+                        // `4000000000'h0` must not drive later width math
+                        if val > (1 << 20) {
+                            err!("literal size {val} is unreasonably large");
+                        }
                         size = Some(val as u32);
                     } else {
                         col += (i - start) as u32;
@@ -287,22 +292,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 push(TokenKind::Number { size, value });
             }
             _ => {
-                // operators / punctuation
-                let two = if i + 1 < bytes.len() {
-                    &src[i..i + 2]
+                // operators / punctuation — compare raw bytes, never slice
+                // `src` here: `i` may not sit on a UTF-8 char boundary
+                let two: &[u8] = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
                 } else {
-                    ""
+                    b""
                 };
                 let (kind, len) = match two {
-                    "&&" => (TokenKind::AmpAmp, 2),
-                    "||" => (TokenKind::PipePipe, 2),
-                    "==" => (TokenKind::EqEq, 2),
-                    "!=" => (TokenKind::BangEq, 2),
-                    "<=" => (TokenKind::NonBlocking, 2),
-                    ">=" => (TokenKind::GtEq, 2),
-                    "<<" => (TokenKind::Shl, 2),
-                    ">>" => (TokenKind::Shr, 2),
-                    "~^" | "^~" => (TokenKind::TildeCaret, 2),
+                    b"&&" => (TokenKind::AmpAmp, 2),
+                    b"||" => (TokenKind::PipePipe, 2),
+                    b"==" => (TokenKind::EqEq, 2),
+                    b"!=" => (TokenKind::BangEq, 2),
+                    b"<=" => (TokenKind::NonBlocking, 2),
+                    b">=" => (TokenKind::GtEq, 2),
+                    b"<<" => (TokenKind::Shl, 2),
+                    b">>" => (TokenKind::Shr, 2),
+                    b"~^" | b"^~" => (TokenKind::TildeCaret, 2),
                     _ => {
                         let k = match c {
                             '(' => TokenKind::LParen,
@@ -331,7 +337,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             '!' => TokenKind::Bang,
                             '<' => TokenKind::Lt,
                             '>' => TokenKind::Gt,
-                            _ => err!("unexpected character '{c}'"),
+                            _ => {
+                                // `c` is just the lead byte; show the real
+                                // (possibly multi-byte) character in the error
+                                let full = src.get(i..).and_then(|s| s.chars().next()).unwrap_or(c);
+                                err!("unexpected character '{full}'");
+                            }
                         };
                         (k, 1)
                     }

@@ -390,5 +390,5 @@ fn gate_counts_are_reasonable() {
     )
     .unwrap();
     let n = nl.gate_count();
-    assert!(n >= 30 && n <= 120, "adder gate count {n}");
+    assert!((30..=120).contains(&n), "adder gate count {n}");
 }

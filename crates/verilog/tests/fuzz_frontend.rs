@@ -1,0 +1,147 @@
+//! Panic-freedom fuzzing of the whole Verilog frontend.
+//!
+//! The frontend is a trust boundary: it consumes files the user hands us.
+//! Whatever the bytes, the only acceptable outcomes are a parsed netlist or
+//! a typed error carrying a source location — never a panic, never a stack
+//! overflow, never unbounded allocation. These suites push well over 1000
+//! generated inputs per run through `c2nn_verilog::compile`.
+
+use c2nn_verilog::CompileError;
+use proptest::prelude::*;
+
+/// Calling compile is the assertion: a panic fails the test. On error,
+/// check the diagnostic carries a plausible source location.
+fn assert_total(src: &str) {
+    match c2nn_verilog::compile(src, "top") {
+        Ok(_) => {}
+        Err(CompileError::Parse(e)) => {
+            assert!(e.line >= 1, "parse error lost its line: {e:?}");
+            assert!(e.col >= 1, "parse error lost its column: {e:?}");
+            assert!(!e.message.is_empty());
+        }
+        Err(CompileError::Elab(e)) => {
+            assert!(!e.message.is_empty(), "empty elab diagnostic");
+        }
+    }
+}
+
+/// Tokens that steer random soup toward interesting parser states.
+const VOCAB: &[&str] = &[
+    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always",
+    "posedge", "begin", "end", "if", "else", "case", "endcase", "default",
+    "parameter", "localparam", "top", "a", "b", "clk", "y", "(", ")", "[", "]",
+    "{", "}", ";", ",", ":", "?", "=", "<=", "+", "-", "*", "/", "%", "&", "|",
+    "^", "~", "!", "<<", ">>", "==", "!=", "<", ">", "'", "8'hFF", "4'b1010",
+    "0", "1", "7", "31", "@", "#", ".", "//", "/*", "*/", "`define", "$x", "\n",
+    "é", "€", "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 400, .. ProptestConfig::default() })]
+
+    /// Arbitrary byte soup, interpreted as (lossy) UTF-8.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_total(&src);
+    }
+
+    /// Arbitrary valid UTF-8, including multi-byte codepoints — the lexer
+    /// must never slice mid-character.
+    #[test]
+    fn unicode_soup_never_panics(chars in proptest::collection::vec(any::<char>(), 0..256)) {
+        let src: String = chars.into_iter().collect();
+        assert_total(&src);
+    }
+
+    /// Token soup: random sequences from the Verilog vocabulary reach much
+    /// deeper parser/elaborator states than raw bytes.
+    #[test]
+    fn token_soup_never_panics(idx in proptest::collection::vec(0usize..VOCAB.len(), 0..200)) {
+        let mut src = String::new();
+        for i in idx {
+            src.push_str(VOCAB[i]);
+            src.push(' ');
+        }
+        assert_total(&src);
+    }
+
+    /// Same soup, but wrapped in a well-formed module header so the parser
+    /// exercises item/statement grammar instead of dying at `module`.
+    #[test]
+    fn wrapped_token_soup_never_panics(idx in proptest::collection::vec(0usize..VOCAB.len(), 0..120)) {
+        let mut body = String::new();
+        for i in idx {
+            body.push_str(VOCAB[i]);
+            body.push(' ');
+        }
+        let src = format!("module top(input a, input clk, output y);\n{body}\nendmodule\n");
+        assert_total(&src);
+    }
+}
+
+#[test]
+fn deep_expression_nesting_is_an_error_not_a_crash() {
+    // 100k parens would blow the call stack without the parser depth limit
+    let deep = format!(
+        "module top(input a, output y); assign y = {}a{}; endmodule",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    );
+    let err = c2nn_verilog::compile(&deep, "top").unwrap_err();
+    match err {
+        CompileError::Parse(e) => assert!(e.message.contains("nesting too deep"), "{e}"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_unary_and_statement_nesting_rejected() {
+    let tildes = format!(
+        "module top(input a, output y); assign y = {}a; endmodule",
+        "~".repeat(100_000)
+    );
+    assert!(c2nn_verilog::compile(&tildes, "top").is_err());
+
+    let begins = format!(
+        "module top(input clk); always @(posedge clk) {} endmodule",
+        "begin ".repeat(100_000)
+    );
+    assert!(c2nn_verilog::compile(&begins, "top").is_err());
+
+    let braces = format!(
+        "module top(input a, output y); assign {}y = a; endmodule",
+        "{".repeat(100_000)
+    );
+    assert!(c2nn_verilog::compile(&braces, "top").is_err());
+}
+
+#[test]
+fn multibyte_utf8_at_operator_position() {
+    // regression: the lexer used to slice `&src[i..i+2]` here, which panics
+    // when byte i+2 is inside a multi-byte character
+    for src in ["€", "a€b", "module €", "é€ŧ", "\u{10FFFF}"] {
+        assert!(c2nn_verilog::compile(src, "top").is_err());
+    }
+}
+
+#[test]
+fn hostile_literals_rejected_with_location() {
+    for src in ["module m; wire [4000000000'h0:0] w; endmodule", "9999999999999999999999", "4'q0"] {
+        match c2nn_verilog::compile(src, "top") {
+            Err(CompileError::Parse(e)) => assert!(e.line >= 1 && e.col >= 1),
+            other => panic!("expected parse error for {src:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn constexpr_edge_cases_do_not_abort() {
+    // i64::MIN / -1 and i64::MIN % -1 inside parameter arithmetic
+    let src = "module top(input a, output y);
+        localparam N = ((0 - 1) - 9223372036854775807) / (0 - 1);
+        assign y = a;
+    endmodule";
+    // may elaborate or error — must not panic
+    let _ = c2nn_verilog::compile(src, "top");
+}

@@ -49,7 +49,7 @@ fn main() {
         let a = sim_orig.step(&stim);
         let b = sim_back.step(&stim);
         let c = sim_nn
-            .step(&Dense::<f32>::from_lanes(&[stim.clone()]))
+            .step(&Dense::<f32>::from_lanes(std::slice::from_ref(&stim)))
             .to_lanes()
             .remove(0);
         assert_eq!(a, b, "BLIF round-trip diverged at cycle {cycle}");

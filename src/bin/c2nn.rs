@@ -3,7 +3,7 @@
 //! ```text
 //! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]
 //! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]
-//! c2nn sim     <model.json> --cycles <n> [--batch <n>]
+//! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]
 //! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
 //! c2nn dot     <file.v|.blif> --top <module>
 //! ```
@@ -17,7 +17,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]\n  \
          c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]\n  \
-         c2nn sim     <model.json> --cycles <n> [--batch <n>]\n  \
+         c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
          c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
          c2nn dot     <file.v|.blif> --top <module>"
@@ -30,6 +30,38 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parse an integer flag, exiting with a friendly usage error (status 2, the
+/// same convention as [`usage`]) instead of panicking on garbage. `min`
+/// rejects nonsensical values like `--batch 0`.
+fn int_flag<T>(args: &[String], name: &str, default: T, min: T) -> T
+where
+    T: std::str::FromStr + PartialOrd + std::fmt::Display + Copy,
+{
+    let Some(s) = flag(args, name) else { return default };
+    let v = s.parse::<T>().unwrap_or_else(|_| {
+        eprintln!("error: {name} expects an integer, got `{s}`");
+        exit(2)
+    });
+    if v < min {
+        eprintln!("error: {name} must be at least {min}, got {v}");
+        exit(2)
+    }
+    v
+}
+
+/// Load and validate a model file, turning every defect — unreadable file,
+/// bad JSON, corrupt CSR, failed validation — into a friendly diagnostic.
+fn load_model(path: &str) -> CompiledNn<f32> {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    CompiledNn::<f32>::from_json_str(&json).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1)
+    })
 }
 
 fn load_netlist(path: &str, top: Option<&str>) -> Netlist {
@@ -60,9 +92,7 @@ fn main() {
         "compile" | "stats" => {
             let file = args.get(1).unwrap_or_else(|| usage());
             let top = flag(&args, "--top");
-            let l: usize = flag(&args, "--l")
-                .map(|s| s.parse().expect("--l must be an integer"))
-                .unwrap_or(7);
+            let l: usize = int_flag(&args, "--l", 7, 1);
             let nl = load_netlist(file, top.as_deref());
             let mut opts = CompileOptions::with_l(l);
             if args.iter().any(|a| a == "--wide") {
@@ -83,9 +113,12 @@ fn main() {
             println!("memory    : {:.2} MB", nn.memory_bytes() as f64 / 1e6);
             println!("sparsity  : {:.5}", nn.mean_sparsity());
             if cmd == "compile" {
+                if let Err(e) = nn.validate() {
+                    eprintln!("compiled model failed validation (compiler bug?): {e}");
+                    exit(1)
+                }
                 let out = flag(&args, "--out").unwrap_or_else(|| "model.json".into());
-                let json = serde_json::to_string(&nn).expect("serialize");
-                std::fs::write(&out, json).unwrap_or_else(|e| {
+                std::fs::write(&out, nn.to_json_string()).unwrap_or_else(|e| {
                     eprintln!("cannot write {out}: {e}");
                     exit(1)
                 });
@@ -95,14 +128,7 @@ fn main() {
         "bench" => {
             // c2nn bench <model.json> <tb1.stim> [<tb2.stim> ...]
             let file = args.get(1).unwrap_or_else(|| usage());
-            let json = std::fs::read_to_string(file).unwrap_or_else(|e| {
-                eprintln!("cannot read {file}: {e}");
-                exit(1)
-            });
-            let nn: CompiledNn<f32> = serde_json::from_str(&json).unwrap_or_else(|e| {
-                eprintln!("not a c2nn model: {e}");
-                exit(1)
-            });
+            let nn = load_model(file);
             let tb_files: Vec<&String> = args[2..].iter().filter(|a| !a.starts_with("--")).collect();
             if tb_files.is_empty() {
                 eprintln!("no .stim testbenches given");
@@ -138,26 +164,26 @@ fn main() {
         }
         "sim" => {
             let file = args.get(1).unwrap_or_else(|| usage());
-            let cycles: u64 = flag(&args, "--cycles")
-                .map(|s| s.parse().expect("--cycles must be an integer"))
-                .unwrap_or(16);
-            let batch: usize = flag(&args, "--batch")
-                .map(|s| s.parse().expect("--batch must be an integer"))
-                .unwrap_or(1);
-            let json = std::fs::read_to_string(file).unwrap_or_else(|e| {
-                eprintln!("cannot read {file}: {e}");
-                exit(1)
-            });
-            let nn: CompiledNn<f32> = serde_json::from_str(&json).unwrap_or_else(|e| {
-                eprintln!("not a c2nn model: {e}");
-                exit(1)
-            });
+            let cycles: u64 = int_flag(&args, "--cycles", 16, 1);
+            let batch: usize = int_flag(&args, "--batch", 1, 1);
+            let guard = args.iter().any(|a| a == "--guard");
+            let nn = load_model(file);
             let mut sim = Simulator::new(&nn, batch, Device::Serial);
+            if guard {
+                sim.enable_guard();
+            }
             let zeros = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
             let t0 = std::time::Instant::now();
             let mut last = None;
             for _ in 0..cycles {
-                last = Some(sim.step(&zeros));
+                if guard {
+                    last = Some(sim.try_step(&zeros).unwrap_or_else(|e| {
+                        eprintln!("guard tripped at cycle {}: {e}", sim.cycles());
+                        exit(1)
+                    }));
+                } else {
+                    last = Some(sim.step(&zeros));
+                }
             }
             let dt = t0.elapsed().as_secs_f64();
             println!(
@@ -173,9 +199,7 @@ fn main() {
         "trace" => {
             let file = args.get(1).unwrap_or_else(|| usage());
             let top = flag(&args, "--top");
-            let cycles: usize = flag(&args, "--cycles")
-                .map(|s| s.parse().expect("--cycles must be an integer"))
-                .unwrap_or(32);
+            let cycles: usize = int_flag(&args, "--cycles", 32, 1);
             let out = flag(&args, "--out").unwrap_or_else(|| "wave.vcd".into());
             let nl = load_netlist(file, top.as_deref());
             // free-running trace with a simple walking-ones stimulus

@@ -119,7 +119,7 @@ fn aes_network_encrypts_correctly_end_to_end() {
     let idle = vec![false; 257];
     let mut out = Vec::new();
     for _ in 0..12 {
-        out = sim.step(&Dense::<f32>::from_lanes(&[idle.clone()])).to_lanes().remove(0);
+        out = sim.step(&Dense::<f32>::from_lanes(std::slice::from_ref(&idle))).to_lanes().remove(0);
         if out[129] {
             break;
         }

@@ -87,8 +87,8 @@ proptest! {
     ) {
         let nl = random_dag(5, num_gates, 3, seed);
         let nn = compile(&nl, CompileOptions::with_l(4)).unwrap();
-        let json = serde_json::to_string(&nn).unwrap();
-        let back: CompiledNn<f32> = serde_json::from_str(&json).unwrap();
+        let json = nn.to_json_string();
+        let back = CompiledNn::<f32>::from_json_str(&json).unwrap();
         for x in 0..32u64 {
             let bits: Vec<bool> = (0..5).map(|j| x >> j & 1 == 1).collect();
             prop_assert_eq!(nn.eval(&bits), back.eval(&bits));
