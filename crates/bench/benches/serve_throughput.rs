@@ -1,0 +1,149 @@
+//! Serving-path throughput: requests/s and mean batch occupancy as the
+//! number of concurrent clients grows.
+//!
+//! This is the serving analogue of the paper's batch-size sweep: with
+//! micro-batch coalescing, N concurrent clients should approach the
+//! throughput of one N-lane batched simulation, not N× the single-lane
+//! cost. Results are written to `results/BENCH_serve.json`.
+//!
+//! Plain `fn main` (harness = false): the measurement loop manages its own
+//! server and client threads, which criterion's iteration model doesn't
+//! fit.
+
+use c2nn_core::{compile, CompileOptions};
+use c2nn_json::{Json, ToJson};
+use c2nn_serve::scheduler::BatchConfig;
+use c2nn_serve::server::{spawn_server, ServerConfig};
+use c2nn_serve::{Client, RegistryConfig};
+use c2nn_tensor::Device;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Point {
+    clients: usize,
+    requests: u64,
+    elapsed_s: f64,
+    req_per_s: f64,
+    mean_occupancy: f64,
+}
+
+fn measure(addr: &str, clients: usize, repeat: usize) -> Point {
+    let stim = "1 x32\n0 x16\n1 x16\n".to_string();
+    let (l0, b0) = lanes_batches(addr);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let stim = stim.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                for _ in 0..repeat {
+                    c.sim("ctr", &stim).expect("sim");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let (l1, b1) = lanes_batches(addr);
+    let requests = (clients * repeat) as u64;
+    Point {
+        clients,
+        requests,
+        elapsed_s,
+        req_per_s: requests as f64 / elapsed_s,
+        mean_occupancy: if b1 > b0 {
+            (l1 - l0) as f64 / (b1 - b0) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn lanes_batches(addr: &str) -> (u64, u64) {
+    let mut c = Client::connect(addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    stats
+        .iter()
+        .find(|m| m.name == "ctr")
+        .map(|m| (m.lanes, m.batches))
+        .unwrap_or((0, 0))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeat = if quick { 8 } else { 40 };
+
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+                device: Device::Parallel,
+            },
+        },
+    })
+    .expect("start server");
+    let nn = compile(&c2nn_circuits::generators::counter(8), CompileOptions::with_l(4))
+        .expect("compile");
+    server.registry().install("ctr", nn).expect("install");
+    let addr = server.local_addr().to_string();
+
+    // warm up connections, pool threads, and the batcher
+    measure(&addr, 2, 4);
+
+    println!("serve_throughput: 64-cycle counter testbench, max_wait 1ms");
+    println!("{:>8} {:>10} {:>12} {:>12}", "clients", "requests", "req/s", "occupancy");
+    let mut points = Vec::new();
+    let single_client_baseline = measure(&addr, 1, repeat);
+    for clients in [1usize, 2, 4, 8, 16] {
+        let p = if clients == 1 {
+            // reuse the baseline run rather than measuring twice
+            single_client_baseline.clone()
+        } else {
+            measure(&addr, clients, repeat)
+        };
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>12.2}",
+            p.clients, p.requests, p.req_per_s, p.mean_occupancy
+        );
+        points.push(p);
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".into(), "serve_throughput".to_json()),
+        ("stim_cycles".into(), 64u64.to_json()),
+        ("max_wait_ms".into(), 1u64.to_json()),
+        (
+            "points".into(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("clients".into(), (p.clients as u64).to_json()),
+                            ("requests".into(), p.requests.to_json()),
+                            ("elapsed_s".into(), p.elapsed_s.to_json()),
+                            ("req_per_s".into(), p.req_per_s.to_json()),
+                            ("mean_occupancy".into(), p.mean_occupancy.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    let path = "results/BENCH_serve.json";
+    match std::fs::write(path, c2nn_json::to_string_pretty(&json)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    let mut c = Client::connect(&addr).expect("connect");
+    c.shutdown().expect("shutdown");
+    server.join();
+}

@@ -45,6 +45,7 @@ pub mod compile;
 pub mod faults;
 pub mod layer;
 pub mod model;
+pub mod session;
 pub mod sim;
 pub mod testbench;
 pub mod validate;
@@ -53,6 +54,7 @@ pub use compile::{compile, compile_as, compile_graph, CompileError, CompileOptio
 pub use faults::FaultSite;
 pub use layer::{Activation2, NnLayer};
 pub use model::ModelError;
+pub use session::{Session, SessionRunner};
 pub use sim::{batch_from_bits, SimError, Simulator};
 pub use testbench::{format_stim, parse_stim, run_batch, BenchResult, StimError, Stimulus};
 pub use validate::{ValidateError, ValidationReport};

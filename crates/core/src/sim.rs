@@ -46,6 +46,14 @@ pub enum SimError {
         /// lanes the caller provided
         got: usize,
     },
+    /// A resumable session carries a state vector of the wrong width for
+    /// this network (it was created for a different model).
+    StateWidth {
+        /// state bits the network has
+        expected: usize,
+        /// state bits the session carries
+        got: usize,
+    },
     /// A guarded check found a value outside {0, 1} — exactness is broken.
     NonBinary {
         /// which tensor the value was found in: `"input"`, `"output"`, or
@@ -78,6 +86,11 @@ impl fmt::Display for SimError {
             SimError::BatchMismatch { expected, got } => {
                 write!(f, "batch mismatch: simulator runs {expected} lanes, input has {got}")
             }
+            SimError::StateWidth { expected, got } => write!(
+                f,
+                "session state width mismatch: network has {expected} state bits, session \
+                 carries {got} (created for a different model?)"
+            ),
             SimError::NonBinary { stage, feature, lane, value } => write!(
                 f,
                 "exactness violation: {stage}[feature {feature}, lane {lane}] = {value} \
@@ -277,6 +290,29 @@ impl<'a, T: Scalar> Simulator<'a, T> {
     /// Current state as per-lane bit vectors.
     pub fn state_lanes(&self) -> Vec<Vec<bool>> {
         self.state.to_lanes()
+    }
+
+    /// Width of the state vector (flip-flop cut bits).
+    pub fn state_width(&self) -> usize {
+        self.nn.state_bits()
+    }
+
+    /// Current state as per-lane raw scalar vectors (column extraction from
+    /// the feature-major state tensor). Exists for the session layer.
+    pub(crate) fn state_lanes_raw(&self) -> Vec<Vec<T>> {
+        (0..self.batch)
+            .map(|l| (0..self.state.rows()).map(|f| self.state.get(f, l)).collect())
+            .collect()
+    }
+
+    /// Overwrite per-lane state columns from an iterator of state slices
+    /// (one per lane, lane order; widths pre-validated by the caller).
+    pub(crate) fn load_lane_states<'s>(&mut self, lanes: impl Iterator<Item = &'s [T]>) {
+        for (l, lane) in lanes.enumerate() {
+            for (f, &v) in lane.iter().enumerate() {
+                self.state.set(f, l, v);
+            }
+        }
     }
 
     /// Reset all testbenches to the power-on state.

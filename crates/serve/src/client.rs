@@ -1,0 +1,153 @@
+//! Blocking client for the serving protocol — used by the `c2nn client`
+//! CLI, the load generator, and the integration tests.
+
+use crate::protocol::{
+    write_frame, FrameReader, ModelStatsReport, Request, Response, ProtocolError,
+};
+use std::io::{self, Write};
+use std::net::TcpStream;
+
+/// One connection to a c2nn server. Strictly request/response: each helper
+/// sends one frame and blocks for one reply.
+pub struct Client {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+/// Client-side failures: transport errors, protocol violations, or an
+/// `Error` response from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent something undecodable.
+    Protocol(ProtocolError),
+    /// The server replied with an error message.
+    Server(String),
+    /// The server replied with a well-formed but unexpected response kind.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unexpected(what) => {
+                write!(f, "unexpected response (wanted {what})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: FrameReader::new(stream) })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let frame = loop {
+            match self.reader.read_frame() {
+                Ok(Some(f)) => break f,
+                Ok(None) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before replying",
+                    )))
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        };
+        let text = String::from_utf8(frame).map_err(|_| {
+            ClientError::Protocol(ProtocolError { message: "response is not UTF-8".into() })
+        })?;
+        let resp = Response::decode(&text)?;
+        if let Response::Error { message } = resp {
+            return Err(ClientError::Server(message));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            _ => Err(ClientError::Unexpected("pong")),
+        }
+    }
+
+    /// Load a compiled-model JSON document under `name`; returns its size
+    /// in bytes as accounted by the registry.
+    pub fn load(&mut self, name: &str, model_json: &str) -> Result<u64, ClientError> {
+        let req = Request::Load {
+            name: name.to_string(),
+            model_json: model_json.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Loaded { bytes, .. } => Ok(bytes),
+            _ => Err(ClientError::Unexpected("loaded")),
+        }
+    }
+
+    /// Run one `.stim` testbench; returns per-cycle MSB-first output
+    /// strings. Convenience wrapper that discards the cycle count (it
+    /// equals `outputs.len()`).
+    pub fn sim(&mut self, model: &str, stim: &str) -> Result<Vec<String>, String> {
+        let req = Request::Sim { model: model.to_string(), stim: stim.to_string() };
+        match self.request(&req) {
+            Ok(Response::SimResult { outputs, .. }) => Ok(outputs),
+            Ok(_) => Err("unexpected response (wanted sim result)".to_string()),
+            Err(ClientError::Server(msg)) => Err(msg),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Fetch per-model serving counters.
+    pub fn stats(&mut self) -> Result<Vec<ModelStatsReport>, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { models } => Ok(models),
+            _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown ack")),
+        }
+    }
+
+    /// Flush any buffered writes (frames flush eagerly; this is a no-op
+    /// safety valve for symmetry).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}

@@ -1,0 +1,49 @@
+//! # c2nn-serve — a batching simulation service
+//!
+//! The paper's core observation is that a compiled circuit-as-network
+//! evaluates *B independent testbenches* in one forward pass: testbenches
+//! are just batch lanes. This crate turns that observation into a serving
+//! architecture:
+//!
+//! ```text
+//!  clients ──TCP──▶ server ──▶ registry ──▶ per-model scheduler ──▶ pool
+//!  (N conns)       (frames)   (LRU cache)   (micro-batching)     (threads)
+//! ```
+//!
+//! * [`protocol`] — newline-delimited JSON frames over TCP; every frame is
+//!   untrusted input and decodes without panicking.
+//! * [`registry`] — loads models through full structural validation, caches
+//!   them under a byte budget with LRU eviction.
+//! * [`scheduler`] — per-model micro-batching: requests queue until
+//!   `max_batch` lanes accumulate or a `max_wait` deadline expires, then
+//!   run as **one** batched forward pass per cycle; per-lane outputs
+//!   scatter back to their clients.
+//! * [`server`] / [`client`] — `std::net` TCP endpoints; the server is
+//!   plain threads + read timeouts, no async runtime.
+//! * [`stats`] — relaxed atomic counters and a log-bucketed latency
+//!   histogram per model, served over the same protocol.
+//! * [`signal`] — SIGINT → graceful shutdown, without a libc dependency.
+//!
+//! Batched forward passes execute on the persistent worker pool in
+//! `c2nn-tensor` ([`c2nn_tensor::Pool`]), so serving steady-state does no
+//! thread spawning: not per request, not per batch, not per layer.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    FrameReader, ModelStatsReport, ProtocolError, Request, Response, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use registry::{Registry, RegistryConfig};
+pub use scheduler::{BatchConfig, ServedModel, SimOutput};
+pub use server::{spawn_server, ServerConfig, ServerHandle};

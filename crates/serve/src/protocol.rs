@@ -1,0 +1,388 @@
+//! Wire protocol: newline-delimited JSON frames over a byte stream.
+//!
+//! Every frame is one JSON document on one line (the encoder never emits a
+//! raw newline — strings escape it as `\n`), terminated by `\n`. Frames are
+//! untrusted input: decoding never panics, every defect is a typed
+//! [`ProtocolError`], and frame length is bounded by [`MAX_FRAME`] so a
+//! hostile peer cannot balloon server memory.
+//!
+//! The protocol is deliberately request/response over one connection (no
+//! multiplexing): clients that want concurrency open more connections,
+//! which is also how the micro-batching scheduler receives coalescable
+//! load.
+
+use c2nn_json::{Json, ToJson};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol revision spoken by this build.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard upper bound on one frame's length in bytes (models ship inline in
+/// `load` frames, so this is generous).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Load a compiled model document into the registry under `name`.
+    Load {
+        /// registry key for subsequent `sim` requests
+        name: String,
+        /// the full `c2nn-model` JSON document, as text
+        model_json: String,
+    },
+    /// Run one testbench against model `model`. `stim` is `.stim` text
+    /// (one MSB-first input line per cycle, `xN` repeats, `#` comments).
+    Sim {
+        /// registry key of a previously loaded model
+        model: String,
+        /// the testbench in `.stim` format
+        stim: String,
+    },
+    /// Fetch per-model serving counters.
+    Stats,
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// Per-model serving counters reported by [`Response::Stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelStatsReport {
+    /// registry key
+    pub name: String,
+    /// model size in bytes (registry accounting)
+    pub bytes: u64,
+    /// total `sim` requests accepted for this model
+    pub requests: u64,
+    /// batched simulator runs executed
+    pub batches: u64,
+    /// total lanes across all batches (== requests that reached a batch)
+    pub lanes: u64,
+    /// `lanes / batches` — the coalescing win; 1.0 means no coalescing
+    pub mean_occupancy: f64,
+    /// requests currently queued or in flight
+    pub queue_depth: u64,
+    /// p50 request latency (enqueue → reply), microseconds (bucket upper
+    /// bound)
+    pub p50_us: u64,
+    /// p99 request latency, microseconds (bucket upper bound)
+    pub p99_us: u64,
+}
+
+c2nn_json::json_struct!(ModelStatsReport {
+    name,
+    bytes,
+    requests,
+    batches,
+    lanes,
+    mean_occupancy,
+    queue_depth,
+    p50_us,
+    p99_us,
+});
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`]; carries the protocol revision.
+    Pong {
+        /// [`PROTOCOL_VERSION`] of the server
+        version: u32,
+    },
+    /// Model admitted to the registry.
+    Loaded {
+        /// registry key
+        name: String,
+        /// model size counted against the registry byte budget
+        bytes: u64,
+    },
+    /// Testbench results: one MSB-first output bit string per cycle.
+    SimResult {
+        /// per-cycle primary outputs, MSB-first (same reading order as the
+        /// `.stim` input format)
+        outputs: Vec<String>,
+        /// cycles simulated (== `outputs.len()`)
+        cycles: u64,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats {
+        /// one report per registered model
+        models: Vec<ModelStatsReport>,
+    },
+    /// Server acknowledges [`Request::Shutdown`] and is draining.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// human-readable diagnostic
+        message: String,
+    },
+}
+
+/// Why a frame could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn str_field(v: &Json, name: &str) -> Result<String, ProtocolError> {
+    c2nn_json::field::<String>(v, name).map_err(|e| ProtocolError::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Serialize to a single-line JSON frame body (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            Request::Ping => Json::Obj(vec![("op".into(), "ping".to_json())]),
+            Request::Load { name, model_json } => Json::Obj(vec![
+                ("op".into(), "load".to_json()),
+                ("name".into(), name.to_json()),
+                ("model_json".into(), model_json.to_json()),
+            ]),
+            Request::Sim { model, stim } => Json::Obj(vec![
+                ("op".into(), "sim".to_json()),
+                ("model".into(), model.to_json()),
+                ("stim".into(), stim.to_json()),
+            ]),
+            Request::Stats => Json::Obj(vec![("op".into(), "stats".to_json())]),
+            Request::Shutdown => Json::Obj(vec![("op".into(), "shutdown".to_json())]),
+        };
+        v.to_string_compact()
+    }
+
+    /// Decode a frame body. Never panics.
+    pub fn decode(text: &str) -> Result<Request, ProtocolError> {
+        let v = c2nn_json::parse(text).map_err(|e| ProtocolError::new(e.to_string()))?;
+        let op = str_field(&v, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "load" => Ok(Request::Load {
+                name: str_field(&v, "name")?,
+                model_json: str_field(&v, "model_json")?,
+            }),
+            "sim" => Ok(Request::Sim {
+                model: str_field(&v, "model")?,
+                stim: str_field(&v, "stim")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serialize to a single-line JSON frame body (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            Response::Pong { version } => Json::Obj(vec![
+                ("ok".into(), true.to_json()),
+                ("op".into(), "pong".to_json()),
+                ("version".into(), version.to_json()),
+            ]),
+            Response::Loaded { name, bytes } => Json::Obj(vec![
+                ("ok".into(), true.to_json()),
+                ("op".into(), "loaded".to_json()),
+                ("name".into(), name.to_json()),
+                ("bytes".into(), bytes.to_json()),
+            ]),
+            Response::SimResult { outputs, cycles } => Json::Obj(vec![
+                ("ok".into(), true.to_json()),
+                ("op".into(), "sim".to_json()),
+                ("outputs".into(), outputs.to_json()),
+                ("cycles".into(), cycles.to_json()),
+            ]),
+            Response::Stats { models } => Json::Obj(vec![
+                ("ok".into(), true.to_json()),
+                ("op".into(), "stats".to_json()),
+                ("models".into(), models.to_json()),
+            ]),
+            Response::ShuttingDown => Json::Obj(vec![
+                ("ok".into(), true.to_json()),
+                ("op".into(), "shutdown".to_json()),
+            ]),
+            Response::Error { message } => Json::Obj(vec![
+                ("ok".into(), false.to_json()),
+                ("error".into(), message.to_json()),
+            ]),
+        };
+        v.to_string_compact()
+    }
+
+    /// Decode a frame body. Never panics.
+    pub fn decode(text: &str) -> Result<Response, ProtocolError> {
+        let v = c2nn_json::parse(text).map_err(|e| ProtocolError::new(e.to_string()))?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ProtocolError::new("missing `ok` field"))?;
+        if !ok {
+            return Ok(Response::Error { message: str_field(&v, "error")? });
+        }
+        let op = str_field(&v, "op")?;
+        let field_err = |e: c2nn_json::DecodeError| ProtocolError::new(e.to_string());
+        match op.as_str() {
+            "pong" => Ok(Response::Pong {
+                version: c2nn_json::field(&v, "version").map_err(field_err)?,
+            }),
+            "loaded" => Ok(Response::Loaded {
+                name: str_field(&v, "name")?,
+                bytes: c2nn_json::field(&v, "bytes").map_err(field_err)?,
+            }),
+            "sim" => Ok(Response::SimResult {
+                outputs: c2nn_json::field(&v, "outputs").map_err(field_err)?,
+                cycles: c2nn_json::field(&v, "cycles").map_err(field_err)?,
+            }),
+            "stats" => Ok(Response::Stats {
+                models: c2nn_json::field(&v, "models").map_err(field_err)?,
+            }),
+            "shutdown" => Ok(Response::ShuttingDown),
+            other => Err(ProtocolError::new(format!("unknown response op `{other}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame (body + `\n`) and flush.
+pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
+    debug_assert!(!body.contains('\n'), "frame body must be a single line");
+    w.write_all(body.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Incremental frame reader over any byte stream.
+///
+/// Unlike `BufRead::read_line`, a read timeout (`WouldBlock` /`TimedOut`)
+/// surfaces as an error *without losing buffered partial data* — the server
+/// uses short read timeouts to poll its shutdown flag, then resumes reading
+/// the same frame.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    // bytes before this offset are known newline-free, so each read only
+    // scans fresh bytes (a 64 MiB frame arriving in 8 KiB reads must not
+    // cost a quadratic re-scan)
+    scanned: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: Vec::new(), scanned: 0 }
+    }
+
+    /// The underlying stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read the next frame body (without the trailing newline).
+    ///
+    /// * `Ok(Some(bytes))` — one complete frame;
+    /// * `Ok(None)` — clean end of stream (no partial frame pending);
+    /// * `Err(e)` with `WouldBlock`/`TimedOut` — no complete frame *yet*;
+    ///   call again, buffered bytes are kept;
+    /// * other `Err` — stream error, over-long frame ([`MAX_FRAME`]), or a
+    ///   stream that ended mid-frame.
+    pub fn read_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let pos = self.scanned + off;
+                let mut frame: Vec<u8> = self.buf.drain(..=pos).collect();
+                frame.pop(); // the newline
+                self.scanned = 0;
+                return Ok(Some(frame));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_FRAME {
+                self.buf.clear();
+                self.scanned = 0;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame exceeds {MAX_FRAME} bytes"),
+                ));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended mid-frame",
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_split_across_reads() {
+        /// Yields one byte per read call.
+        struct Trickle(Cursor<Vec<u8>>);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut r = FrameReader::new(Trickle(Cursor::new(b"abc\ndef\n".to_vec())));
+        assert_eq!(r.read_frame().unwrap(), Some(b"abc".to_vec()));
+        assert_eq!(r.read_frame().unwrap(), Some(b"def".to_vec()));
+        assert_eq!(r.read_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut r = FrameReader::new(Cursor::new(b"partial".to_vec()));
+        assert!(r.read_frame().is_err());
+    }
+
+    #[test]
+    fn encoded_frames_are_single_lines() {
+        let req = Request::Sim {
+            model: "with\nnewline".into(),
+            stim: "10\n01 x3\n# comment\n".into(),
+        };
+        let body = req.encode();
+        assert!(!body.contains('\n'), "{body}");
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+}

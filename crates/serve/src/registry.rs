@@ -1,0 +1,217 @@
+//! Model registry: load, validate, cache, and evict compiled networks.
+//!
+//! Every model enters through [`Registry::load`], which parses the
+//! compiled-model JSON and runs the full structural validation
+//! (`CompiledNn::validate`) before the model is ever allowed near the
+//! scheduler — a serving process never simulates an inconsistent network.
+//! Admitted models are cached under a configurable byte budget with LRU
+//! eviction; evicting a model drops its `Arc<ServedModel>`, which closes
+//! the batcher queue so the model's batcher thread exits once in-flight
+//! requests drain (clients holding the old `Arc` finish normally).
+
+use crate::scheduler::{BatchConfig, ServedModel};
+use crate::stats::ModelCounters;
+use c2nn_core::CompiledNn;
+use std::sync::{Arc, Mutex};
+
+/// Registry-wide configuration.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Total model-weight budget in bytes. When exceeded, least-recently
+    /// used models are evicted (the most recent model always stays, even
+    /// if it alone exceeds the budget).
+    pub byte_budget: usize,
+    /// Batching parameters applied to every admitted model.
+    pub batch: BatchConfig,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            byte_budget: 512 << 20,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+struct EntryCell {
+    model: Arc<ServedModel>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<EntryCell>,
+    tick: u64,
+}
+
+/// Thread-safe model cache with LRU byte-budget eviction.
+pub struct Registry {
+    cfg: RegistryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new(cfg: RegistryConfig) -> Registry {
+        Registry {
+            cfg,
+            inner: Mutex::new(Inner { entries: Vec::new(), tick: 0 }),
+        }
+    }
+
+    /// Parse, validate, and admit a model from compiled-model JSON.
+    /// Replaces any existing model of the same name.
+    pub fn load(&self, name: &str, model_json: &str) -> Result<Arc<ServedModel>, String> {
+        let nn = CompiledNn::<f32>::from_json_str(model_json)
+            .map_err(|e| format!("model '{name}' rejected: {e}"))?;
+        self.install(name, nn)
+    }
+
+    /// Validate and admit an already-compiled model. `compile` output
+    /// always passes validation, but models arriving over the wire or
+    /// from stale files may not.
+    pub fn install(&self, name: &str, nn: CompiledNn<f32>) -> Result<Arc<ServedModel>, String> {
+        nn.validate()
+            .map_err(|e| format!("model '{name}' failed validation: {e}"))?;
+        let model = ServedModel::spawn(name, nn, self.cfg.batch.clone());
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.retain(|e| e.model.name != name);
+        inner.entries.push(EntryCell { model: Arc::clone(&model), last_used: tick });
+        self.evict_locked(&mut inner);
+        Ok(model)
+    }
+
+    /// Look up a model by name, marking it most-recently used.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.iter_mut().find(|e| e.model.name == name)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.model))
+    }
+
+    /// Names of currently cached models, most recently used first.
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<(&u64, &str)> = inner
+            .entries
+            .iter()
+            .map(|e| (&e.last_used, e.model.name.as_str()))
+            .collect();
+        entries.sort_by(|a, b| b.0.cmp(a.0));
+        entries.into_iter().map(|(_, n)| n.to_string()).collect()
+    }
+
+    /// Snapshot the stats of every cached model.
+    pub fn stats(&self) -> Vec<crate::protocol::ModelStatsReport> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .map(|e| e.model.stats.report(&e.model.name, e.model.bytes))
+            .collect()
+    }
+
+    /// Total bytes of all cached models.
+    pub fn total_bytes(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.entries.iter().map(|e| e.model.bytes).sum()
+    }
+
+    fn evict_locked(&self, inner: &mut Inner) {
+        loop {
+            let total: usize = inner.entries.iter().map(|e| e.model.bytes).sum();
+            if total <= self.cfg.byte_budget || inner.entries.len() <= 1 {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty entries");
+            inner.entries.remove(victim);
+        }
+    }
+
+    /// Shared counters of a model, if cached (used by tests and the stats
+    /// endpoint without bumping LRU recency).
+    pub fn peek_stats(&self, name: &str) -> Option<Arc<ModelCounters>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .find(|e| e.model.name == name)
+            .map(|e| Arc::clone(&e.model.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_circuits::generators::counter;
+    use c2nn_core::{compile, CompileOptions};
+
+    fn counter_nn(width: usize) -> CompiledNn<f32> {
+        compile(&counter(width), CompileOptions::with_l(4)).unwrap()
+    }
+
+    fn tiny_registry(byte_budget: usize) -> Registry {
+        Registry::new(RegistryConfig { byte_budget, batch: BatchConfig::default() })
+    }
+
+    #[test]
+    fn load_validates_and_caches() {
+        let reg = tiny_registry(usize::MAX);
+        let json = counter_nn(4).to_json_string();
+        let m = reg.load("ctr", &json).unwrap();
+        assert_eq!(m.nn.num_primary_inputs, 1);
+        assert!(reg.get("ctr").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn malformed_model_is_rejected() {
+        let reg = tiny_registry(usize::MAX);
+        let err = reg.load("bad", "{\"not\": \"a model\"}").unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        assert!(reg.get("bad").is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        // budget fits roughly two counters; loading a third evicts the
+        // least recently used
+        let one = counter_nn(4).memory_bytes();
+        let reg = tiny_registry(one * 2 + one / 2);
+        reg.install("a", counter_nn(4)).unwrap();
+        reg.install("b", counter_nn(4)).unwrap();
+        reg.get("a"); // bump a → b is now LRU
+        reg.install("c", counter_nn(4)).unwrap();
+        assert!(reg.get("b").is_none(), "b was LRU and must be evicted");
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("c").is_some());
+        assert!(reg.total_bytes() <= one * 2 + one / 2);
+    }
+
+    #[test]
+    fn newest_model_survives_even_over_budget() {
+        let reg = tiny_registry(1); // absurdly small
+        reg.install("only", counter_nn(4)).unwrap();
+        assert!(reg.get("only").is_some(), "most recent model is never evicted");
+    }
+
+    #[test]
+    fn reload_replaces_in_place() {
+        let reg = tiny_registry(usize::MAX);
+        reg.install("m", counter_nn(4)).unwrap();
+        reg.install("m", counter_nn(6)).unwrap();
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+        let m = reg.get("m").unwrap();
+        assert_eq!(m.nn.num_primary_outputs, 6);
+    }
+}

@@ -1,0 +1,296 @@
+//! Micro-batch coalescing: many clients' testbenches, one forward pass.
+//!
+//! Each served model owns one batcher thread. Incoming `sim` requests are
+//! queued; the batcher sleeps until the first job arrives, then keeps
+//! admitting jobs until either `max_batch` lanes have accumulated or the
+//! `max_wait` deadline (measured from the first queued job) expires —
+//! classic dynamic batching, with the batch then executed as one
+//! [`SessionRunner`] run per cycle over all lanes. Per-lane outputs scatter
+//! back through each job's reply channel; a lane whose client vanished
+//! mid-batch just has its reply dropped on the floor — the other lanes are
+//! independent columns of the forward pass and are unaffected.
+//!
+//! The deadline semantics are deliberately *first-job anchored*: the first
+//! request in a batch waits at most `max_wait` beyond its arrival, so a
+//! lone client's latency floor is `max_wait` (tune it near zero for
+//! latency, milliseconds for throughput), while under load the queue
+//! usually fills `max_batch` lanes long before the deadline.
+
+use crate::stats::ModelCounters;
+use c2nn_core::{CompiledNn, Session, SessionRunner, Stimulus};
+use c2nn_tensor::Device;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one model's micro-batcher.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Maximum lanes coalesced into one simulator run.
+    pub max_batch: usize,
+    /// How long the first queued request may wait for companions.
+    pub max_wait: Duration,
+    /// Execution device for the batched forward passes.
+    pub device: Device,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            device: Device::Parallel,
+        }
+    }
+}
+
+/// One testbench's results: per-cycle primary-output bit vectors
+/// (LSB-first, one entry per stimulus cycle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimOutput {
+    /// `outputs[c][j]` = primary output `j` at cycle `c`.
+    pub outputs: Vec<Vec<bool>>,
+}
+
+struct SimJob {
+    stim: Stimulus,
+    reply: Sender<Result<SimOutput, String>>,
+    enqueued: Instant,
+}
+
+/// A model admitted to the registry: the validated network, its byte
+/// accounting, its counters, and the sending side of its batcher queue.
+/// Dropping the last `Arc<ServedModel>` closes the queue and the batcher
+/// thread exits.
+pub struct ServedModel {
+    /// Registry key.
+    pub name: String,
+    /// The compiled, validated network.
+    pub nn: Arc<CompiledNn<f32>>,
+    /// Size counted against the registry byte budget.
+    pub bytes: usize,
+    /// Serving counters (shared with the batcher thread).
+    pub stats: Arc<ModelCounters>,
+    queue: Sender<SimJob>,
+}
+
+impl std::fmt::Debug for ServedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedModel")
+            .field("name", &self.name)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServedModel {
+    /// Validate nothing (the registry already did), wrap `nn`, and spawn
+    /// the model's batcher thread.
+    pub fn spawn(name: &str, nn: CompiledNn<f32>, cfg: BatchConfig) -> Arc<ServedModel> {
+        let bytes = nn.memory_bytes();
+        let nn = Arc::new(nn);
+        let stats = Arc::new(ModelCounters::default());
+        let (tx, rx) = mpsc::channel::<SimJob>();
+        {
+            let nn = Arc::clone(&nn);
+            let stats = Arc::clone(&stats);
+            let thread_name = format!("c2nn-batch-{name}");
+            std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || batch_loop(rx, &nn, &stats, &cfg))
+                .expect("spawn batcher thread");
+        }
+        Arc::new(ServedModel {
+            name: name.to_string(),
+            nn,
+            bytes,
+            stats,
+            queue: tx,
+        })
+    }
+
+    /// Enqueue one testbench (already width-checked against
+    /// `nn.num_primary_inputs`) and return the channel its result will
+    /// arrive on. The caller blocks on `recv()` for as long as it likes —
+    /// or drops the receiver to abandon the request.
+    pub fn submit(&self, stim: Stimulus) -> Receiver<Result<SimOutput, String>> {
+        let (rtx, rrx) = mpsc::channel();
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let job = SimJob { stim, reply: rtx, enqueued: Instant::now() };
+        if self.queue.send(job).is_err() {
+            // batcher thread died (can only happen at teardown); the caller
+            // sees a disconnected receiver
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        rrx
+    }
+}
+
+fn batch_loop(
+    rx: Receiver<SimJob>,
+    nn: &CompiledNn<f32>,
+    stats: &ModelCounters,
+    cfg: &BatchConfig,
+) {
+    let max_batch = cfg.max_batch.max(1);
+    let mut runner = SessionRunner::new(nn, cfg.device);
+    while let Ok(first) = rx.recv() {
+        let deadline = first.enqueued + cfg.max_wait;
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_coalesced(&mut runner, nn, stats, jobs);
+    }
+}
+
+/// Execute one coalesced batch and scatter results. Every job gets a reply
+/// (success or error); replies to vanished clients fail silently.
+fn run_coalesced(
+    runner: &mut SessionRunner<'_, f32>,
+    nn: &CompiledNn<f32>,
+    stats: &ModelCounters,
+    jobs: Vec<SimJob>,
+) {
+    let lanes = jobs.len();
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.lanes.fetch_add(lanes as u64, Ordering::Relaxed);
+
+    let pi = nn.num_primary_inputs;
+    let max_cycles = jobs.iter().map(|j| j.stim.cycles.len()).max().unwrap_or(0);
+    let mut sessions: Vec<Session<f32>> = jobs.iter().map(|_| Session::new(nn)).collect();
+    let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); lanes];
+    let mut failure: Option<String> = None;
+    for c in 0..max_cycles {
+        // short testbenches idle with zero inputs until the batch finishes;
+        // their recorded outputs stop at their own length
+        let inputs: Vec<Vec<bool>> = jobs
+            .iter()
+            .map(|j| j.stim.cycles.get(c).cloned().unwrap_or_else(|| vec![false; pi]))
+            .collect();
+        match runner.step(&mut sessions, &inputs) {
+            Ok(outs) => {
+                for (lane, job) in jobs.iter().enumerate() {
+                    if c < job.stim.cycles.len() {
+                        results[lane].push(outs[lane].clone());
+                    }
+                }
+            }
+            Err(e) => {
+                failure = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    for (job, result) in jobs.iter().zip(results) {
+        let reply = match &failure {
+            Some(msg) => Err(format!("batched simulation failed: {msg}")),
+            None => Ok(SimOutput { outputs: result }),
+        };
+        let us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        stats.latency.observe_us(us);
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let _ = job.reply.send(reply); // client may be gone — that's fine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_circuits::generators::counter;
+    use c2nn_core::{compile, parse_stim, CompileOptions};
+
+    fn counter_nn() -> CompiledNn<f32> {
+        compile(&counter(4), CompileOptions::with_l(4)).unwrap()
+    }
+
+    #[test]
+    fn coalesces_waiting_jobs_into_one_batch() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(200),
+                device: Device::Serial,
+            },
+        );
+        // submit 4 jobs quickly; the 200ms deadline coalesces them
+        let stims = ["1 x3\n", "1 x5\n", "0 x2\n", "1 x1\n"];
+        let rxs: Vec<_> = stims
+            .iter()
+            .map(|s| model.submit(parse_stim(s, 1).unwrap()))
+            .collect();
+        let outs: Vec<SimOutput> =
+            rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+        // lane 0: counts 0,1,2 over 3 cycles
+        let vals: Vec<u32> = outs[0]
+            .outputs
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2]);
+        assert_eq!(outs[1].outputs.len(), 5);
+        assert_eq!(outs[2].outputs.len(), 2);
+        assert_eq!(outs[3].outputs.len(), 1);
+        let report = model.stats.report("ctr", model.bytes);
+        assert_eq!(report.requests, 4);
+        assert!(report.mean_occupancy > 1.0, "expected coalescing, got {report:?}");
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_poison_the_batch() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(100),
+                device: Device::Serial,
+            },
+        );
+        let keep = model.submit(parse_stim("1 x4\n", 1).unwrap());
+        let drop_me = model.submit(parse_stim("1 x6\n", 1).unwrap());
+        drop(drop_me); // client disconnects mid-batch
+        let out = keep.recv().unwrap().unwrap();
+        assert_eq!(out.outputs.len(), 4);
+        let vals: Vec<u32> = out
+            .outputs
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2, 3], "surviving lane unaffected by the dropout");
+    }
+
+    #[test]
+    fn lone_job_runs_after_deadline() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+                device: Device::Serial,
+            },
+        );
+        let rx = model.submit(parse_stim("1 x2\n", 1).unwrap());
+        let out = rx.recv().unwrap().unwrap();
+        assert_eq!(out.outputs.len(), 2);
+        let report = model.stats.report("ctr", model.bytes);
+        assert_eq!((report.batches, report.lanes), (1, 1));
+    }
+}

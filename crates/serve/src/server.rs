@@ -1,0 +1,320 @@
+//! The TCP serving loop: accept → per-connection threads → registry +
+//! scheduler dispatch.
+//!
+//! The accept loop runs nonblocking with a short sleep so it can poll the
+//! shutdown flag (set by a `shutdown` request or by SIGINT via
+//! [`crate::signal`]). Connection handlers use read timeouts for the same
+//! reason: a client idling on an open connection must not pin the server
+//! alive past shutdown. Frames are strictly request/response per
+//! connection; a `sim` request blocks its connection thread while its lane
+//! rides a coalesced batch, which is what lets concurrent *connections*
+//! batch together.
+
+use crate::protocol::{
+    write_frame, FrameReader, Request, Response, PROTOCOL_VERSION,
+};
+use crate::registry::{Registry, RegistryConfig};
+use crate::signal;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Registry budget and batching parameters.
+    pub registry: RegistryConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// A running server: the bound address, its registry, and the accept
+/// thread. Call [`ServerHandle::join`] to block until shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model registry, for preloading models in-process.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Ask the server to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the accept loop and all connection handlers exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind and start serving in a background thread.
+pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new(cfg.registry));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("c2nn-accept".to_string())
+            .spawn(move || accept_loop(listener, registry, shutdown))?
+    };
+    Ok(ServerHandle {
+        addr,
+        registry,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) && !signal::interrupted() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let registry = Arc::clone(&registry);
+                let shutdown = Arc::clone(&shutdown);
+                let h = std::thread::Builder::new()
+                    .name("c2nn-conn".to_string())
+                    .spawn(move || handle_connection(stream, &registry, &shutdown))
+                    .expect("spawn connection handler");
+                handlers.push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // transient accept failure (e.g. aborted connection) — the
+                // listener itself stays usable
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    shutdown.store(true, Ordering::SeqCst); // handlers exit on next poll
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) || signal::interrupted() {
+            return;
+        }
+        let frame = match reader.read_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // client closed cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick; partial frame (if any) is preserved
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // over-long frame: report and drop the connection (framing
+                // is no longer trustworthy)
+                let resp = Response::Error { message: e.to_string() };
+                let _ = write_frame(&mut writer, &resp.encode());
+                return;
+            }
+            Err(_) => return,
+        };
+        let text = match String::from_utf8(frame) {
+            Ok(t) => t,
+            Err(_) => {
+                let resp = Response::Error { message: "frame is not UTF-8".into() };
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let request = match Request::decode(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error { message: e.to_string() };
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = dispatch(request, registry);
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn dispatch(request: Request, registry: &Registry) -> Response {
+    match request {
+        Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+        Request::Load { name, model_json } => match registry.load(&name, &model_json) {
+            Ok(model) => Response::Loaded { name, bytes: model.bytes as u64 },
+            Err(message) => Response::Error { message },
+        },
+        Request::Sim { model, stim } => run_sim(registry, &model, &stim),
+        Request::Stats => Response::Stats { models: registry.stats() },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn run_sim(registry: &Registry, model: &str, stim_text: &str) -> Response {
+    let Some(served) = registry.get(model) else {
+        return Response::Error {
+            message: format!("unknown model '{model}' (load it first)"),
+        };
+    };
+    let stim = match c2nn_core::parse_stim(stim_text, served.nn.num_primary_inputs) {
+        Ok(s) => s,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let rx = served.submit(stim);
+    match rx.recv() {
+        Ok(Ok(out)) => {
+            let outputs: Vec<String> = out
+                .outputs
+                .iter()
+                .map(|cycle| {
+                    // LSB-first bit vector → MSB-first string, mirroring
+                    // the `.stim` input reading order
+                    cycle.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+                })
+                .collect();
+            let cycles = outputs.len() as u64;
+            Response::SimResult { outputs, cycles }
+        }
+        Ok(Err(message)) => Response::Error { message },
+        Err(_) => Response::Error {
+            message: "scheduler dropped the request (server shutting down?)".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::scheduler::BatchConfig;
+    use c2nn_circuits::generators::counter;
+    use c2nn_core::{compile, CompileOptions};
+    use c2nn_tensor::Device;
+
+    fn test_server(max_batch: usize, max_wait_ms: u64) -> ServerHandle {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            registry: RegistryConfig {
+                byte_budget: usize::MAX,
+                batch: BatchConfig {
+                    max_batch,
+                    max_wait: Duration::from_millis(max_wait_ms),
+                    device: Device::Serial,
+                },
+            },
+        };
+        spawn_server(cfg).unwrap()
+    }
+
+    #[test]
+    fn ping_load_sim_stats_shutdown() {
+        let server = test_server(8, 1);
+        let addr = server.local_addr();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        assert_eq!(c.ping().unwrap(), PROTOCOL_VERSION);
+
+        let nn = compile(&counter(4), CompileOptions::with_l(4)).unwrap();
+        let bytes = c.load("ctr", &nn.to_json_string()).unwrap();
+        assert!(bytes > 0);
+
+        let outputs = c.sim("ctr", "1 x4\n").unwrap();
+        assert_eq!(outputs, vec!["0000", "0001", "0010", "0011"]);
+
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "ctr");
+        assert_eq!(stats[0].requests, 1);
+
+        c.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn errors_keep_the_connection_usable() {
+        let server = test_server(8, 1);
+        let addr = server.local_addr();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+
+        // unknown model
+        let err = c.sim("ghost", "1\n").unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+
+        // bad stimulus width
+        let nn = compile(&counter(4), CompileOptions::with_l(4)).unwrap();
+        c.load("ctr", &nn.to_json_string()).unwrap();
+        let err = c.sim("ctr", "101\n").unwrap_err();
+        assert!(err.contains("input bits"), "{err}");
+
+        // malformed model JSON
+        let err = c.load("bad", "{\"nope\":1}").unwrap_err();
+        assert!(err.to_string().contains("rejected"), "{err}");
+
+        // connection still works
+        assert_eq!(c.sim("ctr", "1\n").unwrap(), vec!["0000"]);
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn in_process_preload_is_visible_to_clients() {
+        let server = test_server(8, 1);
+        let nn = compile(&counter(4), CompileOptions::with_l(4)).unwrap();
+        server.registry().install("pre", nn).unwrap();
+        let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+        assert_eq!(c.sim("pre", "1 x2\n").unwrap(), vec!["0000", "0001"]);
+        server.shutdown();
+        server.join();
+    }
+}

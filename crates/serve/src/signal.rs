@@ -1,0 +1,64 @@
+//! Minimal SIGINT hook without a libc dependency.
+//!
+//! The server polls [`interrupted`] from its accept loop; the handler just
+//! flips an `AtomicBool`, which is the only async-signal-safe thing worth
+//! doing. On non-unix targets installation is a no-op and the flag only
+//! ever changes through [`trigger`] (used by tests and the in-process
+//! `shutdown` request path).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Has SIGINT (or a programmatic [`trigger`]) been observed?
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Set the interrupt flag, as if SIGINT had arrived.
+pub fn trigger() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag (tests re-use the process-wide static).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGINT handler. Safe to call more than once.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `signal(2)` with a handler that only stores to an atomic is
+    // async-signal-safe; no Rust state is touched from the handler.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+/// No signals to hook on non-unix targets; rely on [`trigger`].
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset() {
+        reset();
+        assert!(!interrupted());
+        trigger();
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+}

@@ -1,0 +1,123 @@
+//! Lock-free per-model serving counters and a log-bucketed latency
+//! histogram.
+//!
+//! Counters are plain relaxed atomics: the stats surface is observability,
+//! not accounting — a reader racing a writer may see a batch's `lanes`
+//! before its `batches` increment, which is harmless. Latencies go into
+//! power-of-two microsecond buckets; quantiles report the bucket's upper
+//! bound, which is exact enough to tell "tens of microseconds" from
+//! "milliseconds because the coalescing deadline dominated".
+
+use crate::protocol::ModelStatsReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40;
+
+/// Histogram over `2^i` microsecond buckets.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn observe_us(&self, us: u64) {
+        let b = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` (0..=1).
+    /// Returns 0 when no observations were recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound_us(i);
+            }
+        }
+        upper_bound_us(BUCKETS - 1)
+    }
+}
+
+fn upper_bound_us(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << bucket).saturating_sub(1).max(1)
+    }
+}
+
+/// Counters for one served model. Shared (`Arc`) between the request
+/// handlers, the batcher thread, and the stats reporter.
+#[derive(Default)]
+pub struct ModelCounters {
+    /// `sim` requests accepted (stimulus parsed, handed to the scheduler).
+    pub requests: AtomicU64,
+    /// Batched simulator runs executed.
+    pub batches: AtomicU64,
+    /// Total lanes across all executed batches.
+    pub lanes: AtomicU64,
+    /// Requests queued or being simulated right now.
+    pub queue_depth: AtomicU64,
+    /// Enqueue→reply latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ModelCounters {
+    /// Snapshot into the wire-format report.
+    pub fn report(&self, name: &str, bytes: usize) -> ModelStatsReport {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let lanes = self.lanes.load(Ordering::Relaxed);
+        ModelStatsReport {
+            name: name.to_string(),
+            bytes: bytes as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            batches,
+            lanes,
+            mean_occupancy: if batches == 0 { 0.0 } else { lanes as f64 / batches as f64 },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for _ in 0..99 {
+            h.observe_us(10); // bucket upper bound 15
+        }
+        h.observe_us(1_000_000); // one straggler
+        assert_eq!(h.quantile_us(0.5), 15);
+        assert!(h.quantile_us(0.999) >= 1_000_000);
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let c = ModelCounters::default();
+        c.requests.store(8, Ordering::Relaxed);
+        c.batches.store(2, Ordering::Relaxed);
+        c.lanes.store(8, Ordering::Relaxed);
+        let r = c.report("m", 100);
+        assert_eq!(r.mean_occupancy, 4.0);
+        assert_eq!(r.bytes, 100);
+    }
+}

@@ -1,0 +1,149 @@
+//! Coalescing correctness end-to-end: N concurrent clients with distinct
+//! stimuli must each receive exactly the outputs the scalar reference
+//! simulator produces for *their* testbench — coalescing must be
+//! invisible except in the stats.
+
+use c2nn_circuits::generators::counter;
+use c2nn_core::{compile, parse_stim, CompileOptions};
+use c2nn_refsim::CycleSim;
+use c2nn_serve::scheduler::BatchConfig;
+use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
+use c2nn_serve::{Client, RegistryConfig};
+use c2nn_tensor::Device;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const WIDTH: usize = 4;
+
+/// Expected MSB-first output strings for one `.stim` testbench, from the
+/// scalar gate-level reference simulator.
+fn refsim_outputs(stim_text: &str) -> Vec<String> {
+    let nl = counter(WIDTH);
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = parse_stim(stim_text, 1).unwrap();
+    stim.cycles
+        .iter()
+        .map(|cycle| {
+            let out = sim.step(cycle);
+            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        })
+        .collect()
+}
+
+fn coalescing_server(max_batch: usize, max_wait: Duration) -> ServerHandle {
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig { max_batch, max_wait, device: Device::Serial },
+        },
+    })
+    .unwrap();
+    let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
+    server.registry().install("ctr", nn).unwrap();
+    server
+}
+
+#[test]
+fn concurrent_clients_get_exactly_their_lane() {
+    // 8 distinct stimuli: different enable patterns and lengths, so any
+    // lane cross-talk or off-by-one scatter produces a mismatch
+    let stims: Vec<String> = (0..8)
+        .map(|i| {
+            let run = i + 2;
+            format!("1 x{run}\n0 x2\n1 x{}\n", 1 + (i % 3))
+        })
+        .collect();
+    let expected: Vec<Vec<String>> = stims.iter().map(|s| refsim_outputs(s)).collect();
+
+    // generous max_wait so all 8 clients land in few batches even on a
+    // slow machine; max_batch 8 releases the batch as soon as all arrive
+    let server = coalescing_server(8, Duration::from_millis(400));
+    let addr = server.local_addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(stims.len()));
+    let handles: Vec<_> = stims
+        .iter()
+        .cloned()
+        .map(|stim| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                barrier.wait(); // all clients fire together
+                c.sim("ctr", &stim).unwrap()
+            })
+        })
+        .collect();
+    let got: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(g, e, "client {i} outputs diverge from scalar refsim");
+    }
+
+    // the batcher must actually have coalesced: more lanes than batches
+    let mut c = Client::connect(&addr).unwrap();
+    let stats = c.stats().unwrap();
+    let ctr = stats.iter().find(|m| m.name == "ctr").unwrap();
+    assert_eq!(ctr.requests, 8);
+    assert_eq!(ctr.lanes, 8);
+    assert!(
+        ctr.mean_occupancy > 1.0,
+        "expected coalescing with 8 simultaneous clients, got {ctr:?}"
+    );
+    assert_eq!(ctr.queue_depth, 0, "all requests drained");
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn disconnect_mid_batch_leaves_other_lanes_intact() {
+    let server = coalescing_server(4, Duration::from_millis(300));
+    let addr = server.local_addr().to_string();
+
+    // the victim sends a sim request and immediately drops the connection;
+    // the survivor's result must still bit-match the refsim
+    let victim_stim = "1 x6\n";
+    let survivor_stim = "1 x3\n0 x2\n";
+    let expected = refsim_outputs(survivor_stim);
+
+    let survivor = {
+        let addr = addr.clone();
+        let stim = survivor_stim.to_string();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.sim("ctr", &stim).unwrap()
+        })
+    };
+    {
+        use c2nn_serve::protocol::{write_frame, Request};
+        use std::net::TcpStream;
+        let mut s = TcpStream::connect(&addr).unwrap();
+        let req = Request::Sim { model: "ctr".into(), stim: victim_stim.into() };
+        write_frame(&mut s, &req.encode()).unwrap();
+        // dropped here without reading the reply: client vanished mid-batch
+    }
+    assert_eq!(survivor.join().unwrap(), expected);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sequential_requests_still_work_with_tiny_deadline() {
+    // no coalescing opportunity: one client, near-zero deadline — results
+    // must still be exact and occupancy reports 1.0
+    let server = coalescing_server(16, Duration::from_millis(1));
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    for stim in ["1 x5\n", "0 x3\n1 x2\n", "1 x15\n"] {
+        assert_eq!(c.sim("ctr", stim).unwrap(), refsim_outputs(stim));
+    }
+    let stats = c.stats().unwrap();
+    let ctr = stats.iter().find(|m| m.name == "ctr").unwrap();
+    assert_eq!(ctr.requests, 3);
+    assert!((ctr.mean_occupancy - 1.0).abs() < 1e-9, "{ctr:?}");
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,215 @@
+//! Wire-protocol totality: round-trips for every frame kind, plus
+//! panic-freedom over hostile input (in the spirit of the BLIF reader
+//! fuzz suite).
+//!
+//! The vendored proptest has no `String` strategy, so strings are built
+//! from byte soup (lossy UTF-8) and from a protocol-flavoured vocabulary.
+
+use c2nn_serve::protocol::{FrameReader, ModelStatsReport, Request, Response};
+use proptest::prelude::*;
+
+fn soup_string(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Tokens steering random soup toward the frame grammar.
+const VOCAB: &[&str] = &[
+    "{", "}", "[", "]", ":", ",", "\"", "op", "ping", "load", "sim", "stats",
+    "shutdown", "ok", "true", "false", "null", "name", "model", "stim",
+    "model_json", "outputs", "cycles", "version", "error", "0", "1", "-1",
+    "1e308", "\\n", "\\u0000", "é", " ", "\t",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
+
+    /// Any pair of byte-soup strings survives a Sim round-trip.
+    #[test]
+    fn sim_request_roundtrips(
+        model in proptest::collection::vec(any::<u8>(), 0..60),
+        stim in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let req = Request::Sim { model: soup_string(&model), stim: soup_string(&stim) };
+        let body = req.encode();
+        prop_assert!(!body.contains('\n'), "frame must be one line: {body:?}");
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    /// Load frames carry whole model documents — including newlines and
+    /// quotes — and must round-trip exactly.
+    #[test]
+    fn load_request_roundtrips(
+        name in proptest::collection::vec(any::<u8>(), 0..40),
+        doc in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let req = Request::Load {
+            name: soup_string(&name),
+            model_json: soup_string(&doc),
+        };
+        let body = req.encode();
+        prop_assert!(!body.contains('\n'));
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    /// Responses round-trip, including the stats report with its float.
+    #[test]
+    fn responses_roundtrip(
+        n in 0u64..1000,
+        lanes in 1u64..100,
+        batches in 1u64..100,
+        msg in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        // occupancy chosen as an exact binary fraction so text formatting
+        // round-trips bit-for-bit
+        let report = ModelStatsReport {
+            name: soup_string(&msg),
+            bytes: n * 13,
+            requests: n,
+            batches,
+            lanes,
+            mean_occupancy: (lanes / 4) as f64 + 0.25,
+            queue_depth: n % 7,
+            p50_us: 1 << (n % 40),
+            p99_us: 1 << (n % 63),
+        };
+        for resp in [
+            Response::Pong { version: n as u32 },
+            Response::Loaded { name: soup_string(&msg), bytes: n },
+            Response::SimResult {
+                outputs: vec![soup_string(&msg), "0101".to_string()],
+                cycles: 2,
+            },
+            Response::Stats { models: vec![report] },
+            Response::ShuttingDown,
+            Response::Error { message: soup_string(&msg) },
+        ] {
+            let body = resp.encode();
+            prop_assert!(!body.contains('\n'));
+            prop_assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    /// Raw byte soup never panics the decoders (errors are fine).
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let text = soup_string(&bytes);
+        let _ = Request::decode(&text);
+        let _ = Response::decode(&text);
+    }
+
+    /// Vocabulary soup reaches deeper decoder states (well-formed JSON
+    /// with wrong shapes) and must also never panic.
+    #[test]
+    fn token_soup_never_panics(idx in proptest::collection::vec(0usize..VOCAB.len(), 0..120)) {
+        let mut text = String::new();
+        for i in idx {
+            text.push_str(VOCAB[i]);
+        }
+        let _ = Request::decode(&text);
+        let _ = Response::decode(&text);
+    }
+
+    /// The frame reader reassembles frames regardless of how the bytes are
+    /// chunked by the transport.
+    #[test]
+    fn framing_is_chunking_invariant(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..6),
+        chunk in 1usize..17,
+    ) {
+        // newlines inside a payload would split it — strip them, as the
+        // encoder guarantees single-line bodies
+        let frames: Vec<Vec<u8>> = payloads
+            .iter()
+            .map(|p| p.iter().copied().filter(|&b| b != b'\n').collect())
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(f);
+            wire.push(b'\n');
+        }
+        let mut reader = FrameReader::new(Chunked { data: wire, pos: 0, chunk });
+        for f in &frames {
+            prop_assert_eq!(reader.read_frame().unwrap(), Some(f.clone()));
+        }
+        prop_assert_eq!(reader.read_frame().unwrap(), None);
+    }
+}
+
+/// A reader that yields at most `chunk` bytes per call.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl std::io::Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_typed_errors() {
+    // each entry: (frame body, substring expected in the diagnostic)
+    let corpus: &[(&str, &str)] = &[
+        ("", ""),
+        ("not json at all", ""),
+        ("{}", "op"),
+        ("{\"op\":42}", ""),
+        ("{\"op\":\"warp\"}", "unknown op"),
+        ("{\"op\":\"load\"}", "name"),
+        ("{\"op\":\"load\",\"name\":\"m\"}", "model_json"),
+        ("{\"op\":\"sim\",\"model\":\"m\"}", "stim"),
+        ("{\"op\":\"sim\",\"model\":[],\"stim\":\"1\"}", ""),
+        ("[1,2,3]", ""),
+        ("{\"op\":\"ping\",", ""),
+        ("\"ping\"", ""),
+    ];
+    for (body, needle) in corpus {
+        match Request::decode(body) {
+            Err(e) => assert!(
+                e.message.contains(needle),
+                "error {:?} for {body:?} does not mention {needle:?}",
+                e.message
+            ),
+            Ok(r) => panic!("malformed frame accepted as {r:?}: {body:?}"),
+        }
+    }
+
+    // response decoder: same discipline
+    let resp_corpus: &[&str] = &[
+        "{}",
+        "{\"ok\":\"yes\"}",
+        "{\"ok\":true}",
+        "{\"ok\":true,\"op\":\"mystery\"}",
+        "{\"ok\":false}",
+        "{\"ok\":true,\"op\":\"sim\",\"outputs\":\"not a list\",\"cycles\":1}",
+        "{\"ok\":true,\"op\":\"stats\",\"models\":[{\"name\":\"m\"}]}",
+    ];
+    for body in resp_corpus {
+        assert!(
+            Response::decode(body).is_err(),
+            "malformed response accepted: {body:?}"
+        );
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_not_buffered_forever() {
+    use c2nn_serve::protocol::MAX_FRAME;
+    /// Infinite stream of 'a' with no newline in sight.
+    struct Firehose;
+    impl std::io::Read for Firehose {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            buf.fill(b'a');
+            Ok(buf.len())
+        }
+    }
+    let mut reader = FrameReader::new(Firehose);
+    let err = reader.read_frame().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains(&MAX_FRAME.to_string()));
+}

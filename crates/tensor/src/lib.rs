@@ -6,8 +6,9 @@
 //! provides the storage ([`Csr`], [`Dense`]) and the forward kernels
 //! ([`forward_sparse`], [`forward_dense`]) they execute on.
 //!
-//! The paper's GPU is modelled by [`Device::Parallel`] (scoped worker threads
-//! spreading each layer's rows across cores, see [`par`]) and its CPU
+//! The paper's GPU is modelled by [`Device::Parallel`] (a persistent worker
+//! pool spreading each layer's rows across cores, see [`pool`] and [`par`];
+//! sized by `C2NN_THREADS` or `available_parallelism`) and its CPU
 //! reference point by [`Device::Serial`]; both produce bit-identical results,
 //! so correctness tests run on either.
 //!
@@ -19,9 +20,11 @@ pub mod csr;
 pub mod dense;
 pub mod ops;
 pub mod par;
+pub mod pool;
 pub mod scalar;
 
 pub use csr::{Csr, CsrError};
 pub use dense::Dense;
 pub use ops::{forward_dense, forward_sparse, forward_sparse_into, Activation, Device};
+pub use pool::Pool;
 pub use scalar::Scalar;

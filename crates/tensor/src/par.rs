@@ -1,35 +1,58 @@
-//! Minimal data-parallel runtime for [`Device::Parallel`](crate::Device).
+//! Data-parallel chunk iteration for [`Device::Parallel`](crate::Device).
 //!
-//! The offline build cannot fetch Rayon, so the parallel device is built on
-//! `std::thread::scope` instead: the output matrix is pre-split into
-//! contiguous tasks of `grain` rows, and scoped workers claim tasks through an
-//! atomic cursor (dynamic assignment, so a few expensive rows cannot strand
-//! one thread with all the work). Each task's sub-slice is handed to exactly
-//! one worker, so the whole scheme is safe Rust — no aliasing, no `unsafe`.
+//! The output matrix is pre-split into contiguous tasks of `grain` rows and
+//! executed on the persistent worker pool ([`crate::pool`]): workers claim
+//! tasks through an atomic cursor (dynamic assignment, so a few expensive
+//! rows cannot strand one thread with all the work). Each task's sub-slice
+//! is handed to exactly one claimant through a `Mutex<Option<..>>` cell, so
+//! this module itself contains no `unsafe` — the lifetime-erasure needed to
+//! hand borrowed slices to persistent threads lives in [`crate::pool`],
+//! guarded by its completion latch.
 //!
-//! Threads are spawned per call rather than kept in a pool; for the batched
-//! kernels this is amortized over `rows × batch` AXPY work per call.
+//! The pool is process-wide and shared with the serving layer; its size
+//! honors the `C2NN_THREADS` env override (see [`crate::pool`] for the
+//! precedence rules). If the pool is busy with another kernel's job, the
+//! caller simply runs its own chunks serially instead of queueing.
 
+use crate::pool::Pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Apply `f(chunk_index, chunk)` to every `chunk_len`-sized chunk of `data`,
-/// spreading chunks across available cores. `grain` is the minimum number of
-/// chunks per task (amortizes task-claim overhead for cheap rows).
+/// spreading chunks across the global worker pool. `grain` is the minimum
+/// number of chunks per task (amortizes task-claim overhead for cheap rows).
 ///
-/// Chunks are `data.chunks_exact_mut(chunk_len)` — a trailing remainder
-/// shorter than `chunk_len` is not visited, matching the exact-tiling layout
-/// of feature-major matrices (`rows * batch` elements).
+/// `data.len()` must be an exact multiple of `chunk_len` (the feature-major
+/// matrices this iterates over are always exactly `rows * batch` elements);
+/// a trailing remainder is a logic error upstream and trips a debug
+/// assertion rather than being silently skipped.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, grain: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_in(Pool::global(), data, chunk_len, grain, f)
+}
+
+/// [`par_chunks_mut`] on an explicit pool (tests and embedders that want
+/// their own thread budget).
+pub fn par_chunks_mut_in<T, F>(pool: &Pool, data: &mut [T], chunk_len: usize, grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(
+        chunk_len == 0 || data.len().is_multiple_of(chunk_len),
+        "par_chunks_mut: data length {} is not a multiple of chunk length {} — \
+         a trailing remainder would be silently skipped",
+        data.len(),
+        chunk_len
+    );
     let n_chunks = data.len().checked_div(chunk_len).unwrap_or(0);
     if n_chunks == 0 {
         return;
     }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = pool.threads();
     let grain = grain.max(1);
     let n_tasks = n_chunks.div_ceil(grain);
     if threads <= 1 || n_tasks <= 1 {
@@ -53,23 +76,22 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let workers = threads.min(tasks.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let t = cursor.fetch_add(1, Ordering::Relaxed);
-                if t >= tasks.len() {
-                    break;
-                }
-                let taken = tasks[t].lock().map(|mut cell| cell.take()).unwrap_or(None);
-                if let Some((start, slice)) = taken {
-                    for (k, chunk) in slice.chunks_exact_mut(chunk_len).enumerate() {
-                        f(start + k, chunk);
-                    }
-                }
-            });
+    let work = || loop {
+        let t = cursor.fetch_add(1, Ordering::Relaxed);
+        if t >= tasks.len() {
+            break;
         }
-    });
+        let taken = tasks[t].lock().map(|mut cell| cell.take()).unwrap_or(None);
+        if let Some((start, slice)) = taken {
+            for (k, chunk) in slice.chunks_exact_mut(chunk_len).enumerate() {
+                f(start + k, chunk);
+            }
+        }
+    };
+    if !pool.try_run(&work) {
+        // Pool busy with another kernel: claim every task on this thread.
+        work();
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +112,20 @@ mod tests {
     }
 
     #[test]
+    fn multi_thread_pool_visits_every_chunk_exactly_once() {
+        let pool = Pool::with_threads(4);
+        let mut data = vec![0u32; 193 * 4];
+        par_chunks_mut_in(&pool, &mut data, 4, 2, |j, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + j as u32;
+            }
+        });
+        for (j, chunk) in data.chunks_exact(4).enumerate() {
+            assert!(chunk.iter().all(|&v| v == 1 + j as u32), "chunk {j}");
+        }
+    }
+
+    #[test]
     fn empty_and_degenerate_inputs() {
         let mut empty: Vec<u8> = vec![];
         par_chunks_mut(&mut empty, 4, 1, |_, _| panic!("no chunks expected"));
@@ -97,5 +133,13 @@ mod tests {
         par_chunks_mut(&mut data, 0, 1, |_, _| panic!("chunk_len 0"));
         par_chunks_mut(&mut data, 4, 1, |_, c| c.fill(7));
         assert_eq!(data, vec![7; 4]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a multiple")]
+    fn trailing_remainder_is_a_debug_panic() {
+        let mut data = vec![0u8; 10];
+        par_chunks_mut(&mut data, 4, 1, |_, _| {});
     }
 }

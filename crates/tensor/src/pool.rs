@@ -1,0 +1,361 @@
+//! Persistent worker pool backing [`Device::Parallel`](crate::Device).
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` workers on every
+//! kernel call. That is fine for one long offline simulation, but a serving
+//! workload issues thousands of small batched forward passes per second, and
+//! per-call thread creation (stack allocation, TLS setup, scheduler churn)
+//! then dominates. This module keeps one process-wide pool of parked worker
+//! threads ([`Pool::global`]) that every parallel kernel — and the `c2nn
+//! serve` batching scheduler above it — shares.
+//!
+//! ## Thread-count precedence
+//!
+//! The pool size is decided once, at first use:
+//!
+//! 1. `C2NN_THREADS` — if set to an integer ≥ 1, it wins unconditionally.
+//!    This makes benchmark runs reproducible on shared machines where
+//!    `available_parallelism` sees whatever the container happens to get.
+//!    A value of `1` disables worker threads entirely (serial execution).
+//! 2. [`std::thread::available_parallelism`] otherwise;
+//! 3. `1` if even that is unavailable.
+//!
+//! Invalid `C2NN_THREADS` values (empty, `0`, non-numeric) are ignored and
+//! fall through to rule 2.
+//!
+//! ## Execution model
+//!
+//! [`Pool::run`] broadcasts one job — a `&(dyn Fn() + Sync)` that internally
+//! claims work items off an atomic cursor — to every parked worker and also
+//! runs it on the calling thread. The call returns only after every worker
+//! has finished the job, which is the load-bearing safety property: the job
+//! may borrow stack data from the caller (the kernels hand it `&mut` slices
+//! of the output matrix), so the borrow must outlive every use. The worker
+//! side erases that lifetime with a raw pointer (the one `unsafe` in this
+//! crate); the completion latch in `run` is what makes it sound.
+//!
+//! Only one job is in flight at a time. [`Pool::try_run`] refuses (returns
+//! `false`) instead of queueing when the pool is busy, so concurrent kernel
+//! invocations — e.g. two models' batchers stepping simultaneously — degrade
+//! to serial execution on their own threads rather than convoying behind a
+//! lock.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the job closure. Valid strictly between job
+/// publication and the completion latch releasing the submitter.
+struct JobPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (it is created from a `&(dyn Fn() + Sync)`)
+// and `run` keeps the referent alive until every worker is done with it.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Incremented per job; workers use it to detect fresh work.
+    epoch: u64,
+    /// The current job, if one is in flight.
+    job: Option<JobPtr>,
+    /// Workers still executing the current job.
+    active: usize,
+    /// A worker's job closure panicked.
+    panicked: bool,
+    /// Pool is being dropped; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here waiting for a new epoch.
+    work: Condvar,
+    /// The submitter parks here waiting for `active` to reach zero.
+    done: Condvar,
+}
+
+/// A persistent pool of parked worker threads. See the module docs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes job submission (one job in flight at a time).
+    submit: Mutex<()>,
+    /// Spawned worker threads (total parallelism is `workers + 1`: the
+    /// submitting thread always participates).
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// A pool with `threads` total parallelism (the calling thread counts,
+    /// so `threads - 1` workers are spawned; `threads <= 1` spawns none).
+    pub fn with_threads(threads: usize) -> Pool {
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("c2nn-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, submit: Mutex::new(()), workers, handles }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// [`default_threads`] threads.
+    pub fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// Total parallelism this pool offers (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Run `job` on every worker and on the calling thread, returning once
+    /// all of them have finished. `job` must be written cooperatively: each
+    /// invocation claims work items (e.g. off an atomic cursor) until none
+    /// remain. Panics inside `job` propagate to the caller after every
+    /// thread has stopped touching borrowed data.
+    pub fn run(&self, job: &(dyn Fn() + Sync)) {
+        let guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        self.run_locked(job);
+        drop(guard);
+    }
+
+    /// [`Pool::run`], but if another job is already in flight, do nothing
+    /// and return `false` — callers then fall back to executing the job on
+    /// their own thread, which is exactly what the kernels want under
+    /// concurrent load.
+    pub fn try_run(&self, job: &(dyn Fn() + Sync)) -> bool {
+        let guard = match self.submit.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return false,
+        };
+        self.run_locked(job);
+        drop(guard);
+        true
+    }
+
+    fn run_locked(&self, job: &(dyn Fn() + Sync)) {
+        if self.workers == 0 {
+            // No workers: the pool degenerates to plain serial execution.
+            job();
+            return;
+        }
+        // SAFETY: this erases `job`'s borrow lifetime so the pointer can sit
+        // in shared state. `run_locked` does not return or unwind until the
+        // completion latch below has seen every worker finish, so no worker
+        // dereferences the pointer after the borrow ends.
+        let erased: &'static (dyn Fn() + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(JobPtr(erased));
+            st.active = self.workers;
+            st.panicked = false;
+            drop(st);
+            self.shared.work.notify_all();
+        }
+        // The caller is a worker too — it does its share instead of idling.
+        let caller = catch_unwind(AssertUnwindSafe(job));
+        // Completion latch: borrowed data in `job` may not be released (by
+        // returning or unwinding) until no worker can still be running it.
+        let mut st = self.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a c2nn-pool worker panicked while executing a parallel job");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if let Some(jp) = st.job.as_ref() {
+                        seen = st.epoch;
+                        break jp.0;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: `run_locked` does not return (or unwind) until this
+        // worker decrements `active` below, so the closure and everything
+        // it borrows are still alive here.
+        let f = unsafe { &*job };
+        let ok = catch_unwind(AssertUnwindSafe(f)).is_ok();
+        let mut st = shared.state.lock().unwrap();
+        if !ok {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The thread count [`Pool::global`] is built with — `C2NN_THREADS` if it
+/// parses to an integer ≥ 1, else [`std::thread::available_parallelism`],
+/// else 1. See the module docs for why the env var takes precedence.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("C2NN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_threads_participate() {
+        let pool = Pool::with_threads(4);
+        assert_eq!(pool.threads(), 4);
+        let cursor = AtomicUsize::new(0);
+        let hits = [const { AtomicUsize::new(0) }; 256];
+        pool.run(&|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= hits.len() {
+                break;
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let pool = Pool::with_threads(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            let cursor = AtomicUsize::new(0);
+            pool.run(&|| {
+                while cursor.fetch_add(1, Ordering::Relaxed) < 10 {
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::with_threads(1);
+        let ran = AtomicUsize::new(0);
+        pool.run(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn try_run_refuses_while_busy() {
+        let pool = Arc::new(Pool::with_threads(2));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let busy_seen = Arc::new(AtomicUsize::new(0));
+        let p2 = Arc::clone(&pool);
+        let g2 = Arc::clone(&gate);
+        let first = std::thread::spawn(move || {
+            let started = AtomicUsize::new(0);
+            p2.run(&|| {
+                // only one claimant blocks on the gate; the rest return
+                if started.fetch_add(1, Ordering::Relaxed) == 0 {
+                    let (lock, cv) = &*g2;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+            });
+        });
+        // wait until the first job is definitely in flight
+        while pool.submit.try_lock().is_ok() {
+            std::thread::yield_now();
+        }
+        assert!(!pool.try_run(&|| {}));
+        busy_seen.fetch_add(1, Ordering::Relaxed);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        first.join().unwrap();
+        // and once idle again, try_run succeeds
+        assert!(pool.try_run(&|| {}));
+    }
+
+    #[test]
+    fn panics_propagate_without_deadlock() {
+        let pool = Pool::with_threads(3);
+        let cursor = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|| {
+                if cursor.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // the pool survives and remains usable
+        let ran = AtomicUsize::new(0);
+        pool.run(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ran.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -4,6 +4,8 @@
 //! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]
 //! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]
 //! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]
+//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]
+//! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>]
 //! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
 //! c2nn dot     <file.v|.blif> --top <module>
 //! ```
@@ -19,6 +21,9 @@ fn usage() -> ! {
          c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]\n  \
          c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]\n  \
+         c2nn client  <addr> [--ping | --stats | --shutdown | --load <model.json> [--name <n>]]\n  \
+         c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>]\n  \
          c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
          c2nn dot     <file.v|.blif> --top <module>"
     );
@@ -194,6 +199,179 @@ fn main() {
                 let lane0 = &out.to_lanes()[0];
                 let word: String = lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
                 println!("lane 0 outputs after final cycle: {word}");
+            }
+        }
+        "serve" => {
+            // c2nn serve <model.json>... — each model registered under its
+            // file stem
+            use c2nn::serve::{
+                spawn_server, BatchConfig, RegistryConfig, ServerConfig,
+            };
+            let model_files: Vec<&String> =
+                args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
+            if model_files.is_empty() {
+                eprintln!("no model files given");
+                exit(2)
+            }
+            let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+            let max_batch: usize = int_flag(&args, "--max-batch", 64, 1);
+            let max_wait_ms: u64 = int_flag(&args, "--max-wait-ms", 2, 0);
+            let mem_mb: usize = int_flag(&args, "--mem-mb", 512, 1);
+            let cfg = ServerConfig {
+                addr,
+                registry: RegistryConfig {
+                    byte_budget: mem_mb << 20,
+                    batch: BatchConfig {
+                        max_batch,
+                        max_wait: std::time::Duration::from_millis(max_wait_ms),
+                        device: Device::Parallel,
+                    },
+                },
+            };
+            let server = spawn_server(cfg).unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                exit(1)
+            });
+            for file in &model_files {
+                let name = std::path::Path::new(file.as_str())
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(file)
+                    .to_string();
+                let nn = load_model(file);
+                let model = server.registry().install(&name, nn).unwrap_or_else(|e| {
+                    eprintln!("{file}: {e}");
+                    exit(1)
+                });
+                println!("loaded {name} ({:.2} MB) from {file}", model.bytes as f64 / 1e6);
+            }
+            c2nn::serve::signal::install_sigint_handler();
+            println!(
+                "serving on {} (max_batch {max_batch}, max_wait {max_wait_ms}ms) — Ctrl-C or a `shutdown` request stops it",
+                server.local_addr()
+            );
+            server.join();
+            println!("server stopped");
+        }
+        "client" => {
+            use c2nn::serve::Client;
+            let addr = args.get(1).unwrap_or_else(|| usage()).clone();
+            let connect = |what: &str| -> Client {
+                Client::connect(&addr).unwrap_or_else(|e| {
+                    eprintln!("cannot connect to {addr} for {what}: {e}");
+                    exit(1)
+                })
+            };
+            if args.iter().any(|a| a == "--ping") {
+                let version = connect("ping").ping().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
+                println!("pong (protocol v{version})");
+            } else if args.iter().any(|a| a == "--stats") {
+                let stats = connect("stats").stats().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
+                for m in stats {
+                    println!(
+                        "{}: {} requests, {} batches, occupancy {:.2}, queue {}, p50 {}us, p99 {}us, {:.2} MB",
+                        m.name, m.requests, m.batches, m.mean_occupancy,
+                        m.queue_depth, m.p50_us, m.p99_us, m.bytes as f64 / 1e6
+                    );
+                }
+            } else if args.iter().any(|a| a == "--shutdown") {
+                connect("shutdown").shutdown().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
+                println!("server is shutting down");
+            } else if let Some(file) = flag(&args, "--load") {
+                let name = flag(&args, "--name").unwrap_or_else(|| {
+                    std::path::Path::new(&file)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or(&file)
+                        .to_string()
+                });
+                let json = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+                    eprintln!("cannot read {file}: {e}");
+                    exit(1)
+                });
+                let bytes = connect("load").load(&name, &json).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
+                println!("loaded {name} ({:.2} MB)", bytes as f64 / 1e6);
+            } else {
+                // simulate: one-shot, or a load generator with --clients
+                let model = flag(&args, "--model").unwrap_or_else(|| usage());
+                let stim_file = flag(&args, "--stim").unwrap_or_else(|| usage());
+                let stim = std::fs::read_to_string(&stim_file).unwrap_or_else(|e| {
+                    eprintln!("cannot read {stim_file}: {e}");
+                    exit(1)
+                });
+                let clients: usize = int_flag(&args, "--clients", 1, 1);
+                let repeat: usize = int_flag(&args, "--repeat", 1, 1);
+                if clients == 1 && repeat == 1 {
+                    let outputs = connect("sim").sim(&model, &stim).unwrap_or_else(|e| {
+                        eprintln!("server error: {e}");
+                        exit(1)
+                    });
+                    println!("outputs: {}", outputs.join(" "));
+                } else {
+                    // load generator: `clients` connections in parallel,
+                    // each sending the testbench `repeat` times
+                    let before = connect("stats").stats().ok();
+                    let t0 = std::time::Instant::now();
+                    let handles: Vec<_> = (0..clients)
+                        .map(|_| {
+                            let addr = addr.clone();
+                            let model = model.clone();
+                            let stim = stim.clone();
+                            std::thread::spawn(move || {
+                                let mut c = Client::connect(&addr)?;
+                                for _ in 0..repeat {
+                                    c.sim(&model, &stim)
+                                        .map_err(c2nn::serve::ClientError::Server)?;
+                                }
+                                Ok::<(), c2nn::serve::ClientError>(())
+                            })
+                        })
+                        .collect();
+                    let mut failures = 0usize;
+                    for h in handles {
+                        match h.join() {
+                            Ok(Ok(())) => {}
+                            _ => failures += 1,
+                        }
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    let total = clients * repeat;
+                    println!(
+                        "{total} requests from {clients} clients in {dt:.3}s — {:.1} req/s ({failures} failed)",
+                        (total - failures) as f64 / dt
+                    );
+                    if let (Some(before), Ok(after)) = (before, connect("stats").stats()) {
+                        let find = |list: &[c2nn::serve::ModelStatsReport]| {
+                            list.iter()
+                                .find(|m| m.name == model)
+                                .map(|m| (m.lanes, m.batches))
+                                .unwrap_or((0, 0))
+                        };
+                        let (l0, b0) = find(&before);
+                        let (l1, b1) = find(&after);
+                        if b1 > b0 {
+                            println!(
+                                "mean batch occupancy over this run: {:.2} lanes/batch",
+                                (l1 - l0) as f64 / (b1 - b0) as f64
+                            );
+                        }
+                    }
+                    if failures > 0 {
+                        exit(1)
+                    }
+                }
             }
         }
         "trace" => {

@@ -17,6 +17,7 @@
 //! | [`tensor`] | sparse kernels (the PyTorch/cuSPARSE stand-in) |
 //! | [`refsim`] | reference simulators (the Verilator stand-in) |
 //! | [`circuits`] | AES/SHA/SPI/UART/DMA/RV32I benchmark suite |
+//! | [`serve`] | batching simulation service (registry + coalescing) |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use c2nn_core as core;
 pub use c2nn_lutmap as lutmap;
 pub use c2nn_netlist as netlist;
 pub use c2nn_refsim as refsim;
+pub use c2nn_serve as serve;
 pub use c2nn_tensor as tensor;
 pub use c2nn_verilog as verilog;
 
