@@ -1,0 +1,62 @@
+//! Compile-stats gate (CI): compile every suite circuit with and without
+//! the cross-LUT optimization passes, write
+//! `results/BENCH_compile_passes.json`, and **fail** (exit 1) if any
+//! optimization pass (`constant-fold`, `monomial-cse`, `dead-neuron-elim`)
+//! increased total nonzeros on any circuit. `layer-merge` is recorded but
+//! not gated — it deliberately trades nonzeros for depth (Fig. 5).
+//!
+//! ```text
+//! compile_stats [--l N]
+//! ```
+
+use c2nn_bench::experiments::{compile_passes, format_compile_passes};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let l = args
+        .iter()
+        .position(|a| a == "--l")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+
+    let rows = compile_passes(l);
+    print!("{}", format_compile_passes(&rows));
+
+    std::fs::create_dir_all("results").ok();
+    let path = "results/BENCH_compile_passes.json";
+    std::fs::write(path, c2nn_json::to_string_pretty(&rows)).expect("write results");
+    eprintln!("wrote {path}");
+
+    let mut failed = false;
+    for r in &rows {
+        for (pass, removed) in [
+            ("constant-fold", r.fold_nnz_removed),
+            ("monomial-cse", r.cse_nnz_removed),
+            ("dead-neuron-elim", r.dce_nnz_removed),
+        ] {
+            if removed < 0 {
+                eprintln!(
+                    "FAIL: {pass} increased nnz by {} on {}",
+                    -removed, r.circuit
+                );
+                failed = true;
+            }
+        }
+    }
+    let reduced = rows
+        .iter()
+        .filter(|r| r.cse_nnz_removed + r.dce_nnz_removed > 0)
+        .count();
+    eprintln!(
+        "monomial-cse + dead-neuron-elim reduced nnz on {reduced}/{} circuits",
+        rows.len()
+    );
+    if reduced * 2 < rows.len() {
+        eprintln!("FAIL: expected a reduction on at least half the suite");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

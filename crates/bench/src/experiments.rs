@@ -5,7 +5,10 @@ use crate::harness::{sci, time_adaptive, time_once, Throughput};
 use crate::model::DeviceModel;
 use c2nn_boolfn::{lut_to_poly, lut_to_poly_dnf, Lut};
 use c2nn_circuits::table1_suite;
-use c2nn_core::{compile, compile_as, CompileOptions, CompiledNn, Simulator};
+use c2nn_core::{
+    compile, compile_as, compile_with_report, CompileOptions, CompiledNn, IrMetrics, PassId,
+    PassSet, Simulator,
+};
 use c2nn_refsim::CycleSim;
 use c2nn_tensor::{Dense, Device};
 use c2nn_json::json_obj;
@@ -299,10 +302,13 @@ pub fn ablate_merge(ls: &[usize], budget: Duration) -> Vec<MergeAblationRow> {
     let gpu = DeviceModel::titan_x();
     let mut rows = Vec::new();
     for &l in ls {
-        let mut opts = CompileOptions::with_l(l);
+        let opts = CompileOptions::with_l(l);
         let merged = compile(&nl, opts).unwrap();
-        opts.merge_layers = false;
-        let unmerged = compile(&nl, opts).unwrap();
+        let unmerged = compile(
+            &nl,
+            opts.with_passes(PassSet::all().without(PassId::LayerMerge)),
+        )
+        .unwrap();
         let t = |nn: &CompiledNn<f32>| {
             let mut sim = Simulator::new(nn, 64, Device::Serial);
             let x = Dense::<f32>::zeros(nn.num_primary_inputs, 64);
@@ -491,6 +497,100 @@ pub fn ablate_wide(widths: &[usize]) -> Vec<WideGateRow> {
             row
         })
         .collect()
+}
+
+/// One compile-stats row: a suite circuit compiled with only the legacy
+/// layer merge (`baseline`) vs the full pass pipeline (`optimized`), plus
+/// the per-pass nonzero reductions (positive = nnz removed).
+#[derive(Clone, Debug)]
+pub struct CompilePassRow {
+    pub circuit: String,
+    pub l: usize,
+    pub gates: usize,
+    pub baseline: IrMetrics,
+    pub optimized: IrMetrics,
+    pub fold_nnz_removed: i64,
+    pub cse_nnz_removed: i64,
+    pub dce_nnz_removed: i64,
+    /// May be negative: the Fig. 5 merge trades nonzeros for depth.
+    pub merge_nnz_removed: i64,
+    pub compile_s: f64,
+}
+json_obj!(CompilePassRow { circuit, l, gates, baseline, optimized, fold_nnz_removed, cse_nnz_removed, dce_nnz_removed, merge_nnz_removed, compile_s });
+
+/// Compile every suite circuit with and without the cross-LUT optimization
+/// passes, recording per-pass size deltas (the `BENCH_compile_passes.json`
+/// artifact and its CI gate).
+pub fn compile_passes(l: usize) -> Vec<CompilePassRow> {
+    let merge_only = PassSet::none().with(PassId::LayerMerge);
+    let mut rows = Vec::new();
+    for bench in table1_suite() {
+        let nl = (bench.build)();
+        let (base_nn, _) = compile_with_report::<f32>(
+            &nl,
+            CompileOptions::with_l(l).with_passes(merge_only),
+        )
+        .expect("baseline compile");
+        let (opt_nn, report) =
+            compile_with_report::<f32>(&nl, CompileOptions::with_l(l)).expect("compile");
+        let delta = |pass: &str| report.stat(pass).map(|p| p.nnz_delta()).unwrap_or(0);
+        let metrics = |nn: &CompiledNn<f32>| IrMetrics {
+            layers: nn.num_layers(),
+            neurons: nn.layers.iter().map(|ly| ly.out_width()).sum(),
+            nnz: nn.connections(),
+        };
+        let row = CompilePassRow {
+            circuit: bench.name.to_string(),
+            l,
+            gates: nl.gate_count(),
+            baseline: metrics(&base_nn),
+            optimized: metrics(&opt_nn),
+            fold_nnz_removed: delta("constant-fold"),
+            cse_nnz_removed: delta("monomial-cse"),
+            dce_nnz_removed: delta("dead-neuron-elim"),
+            merge_nnz_removed: delta("layer-merge"),
+            compile_s: report.total_s,
+        };
+        eprintln!(
+            "[compile-passes] {}: nnz {} → {} (fold {} cse {} dce {} merge {})",
+            bench.name,
+            row.baseline.nnz,
+            row.optimized.nnz,
+            row.fold_nnz_removed,
+            row.cse_nnz_removed,
+            row.dce_nnz_removed,
+            row.merge_nnz_removed,
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+pub fn format_compile_passes(rows: &[CompilePassRow]) -> String {
+    let mut s = format!(
+        "{:<17} {:>2} {:>9} | {:>7} {:>10} | {:>7} {:>10} | {:>8} {:>8} {:>8} {:>9}\n",
+        "Circuit", "L", "Gates", "Layers", "nnz(base)", "Layers", "nnz(opt)", "Δfold", "Δcse",
+        "Δdce", "Δmerge"
+    );
+    s.push_str(&"-".repeat(118));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<17} {:>2} {:>9} | {:>7} {:>10} | {:>7} {:>10} | {:>8} {:>8} {:>8} {:>9}\n",
+            r.circuit,
+            r.l,
+            r.gates,
+            r.baseline.layers,
+            r.baseline.nnz,
+            r.optimized.layers,
+            r.optimized.nnz,
+            -r.fold_nnz_removed,
+            -r.cse_nnz_removed,
+            -r.dce_nnz_removed,
+            -r.merge_nnz_removed,
+        ));
+    }
+    s
 }
 
 #[cfg(test)]

@@ -15,6 +15,19 @@ pub struct Term {
     pub coeff: i32,
 }
 
+impl Term {
+    /// The variables of the monomial, in ascending index order.
+    pub fn vars(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.mask;
+        (0..32usize).filter(move |&j| mask >> j & 1 == 1)
+    }
+
+    /// Number of variables in the monomial (0 for the constant term).
+    pub fn degree(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
 /// A sparse multilinear polynomial over `vars ≤ 26` Boolean variables.
 ///
 /// Invariants: terms sorted by mask, unique masks, no zero coefficients.
@@ -116,6 +129,16 @@ impl Polynomial {
     /// Largest |coefficient| (0 for the zero polynomial).
     pub fn max_abs_coeff(&self) -> i32 {
         self.terms.iter().map(|t| t.coeff.abs()).max().unwrap_or(0)
+    }
+
+    /// Split into the constant term and the proper (degree ≥ 1) cubes —
+    /// the shape the NN lowering consumes: one threshold neuron per cube,
+    /// the constant folded into the output row's bias.
+    pub fn split_constant(&self) -> (i32, &[Term]) {
+        match self.terms.first() {
+            Some(t) if t.mask == 0 => (t.coeff, &self.terms[1..]),
+            _ => (0, &self.terms[..]),
+        }
     }
 
     /// Coefficient of the monomial `mask` (0 if absent).
@@ -350,6 +373,35 @@ mod tests {
             ],
         );
         assert_eq!(p.to_algebra(), "1 + 2·x1 - x0·x2");
+    }
+
+    #[test]
+    fn term_vars_and_degree() {
+        let t = Term { mask: 0b1011, coeff: -2 };
+        assert_eq!(t.vars().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(t.degree(), 3);
+        assert_eq!(Term { mask: 0, coeff: 1 }.degree(), 0);
+        assert_eq!(Term { mask: 0, coeff: 1 }.vars().count(), 0);
+    }
+
+    #[test]
+    fn split_constant_peels_the_mask_zero_term() {
+        let p = Polynomial::from_terms(
+            2,
+            vec![
+                Term { mask: 0, coeff: 1 },
+                Term { mask: 0b01, coeff: -1 },
+                Term { mask: 0b11, coeff: 2 },
+            ],
+        );
+        let (c, cubes) = p.split_constant();
+        assert_eq!(c, 1);
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|t| t.mask != 0));
+
+        let q = Polynomial::monomial(2, 0b10);
+        assert_eq!(q.split_constant(), (0, q.terms()));
+        assert_eq!(Polynomial::zero(2).split_constant().0, 0);
     }
 
     #[test]

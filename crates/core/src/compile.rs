@@ -1,40 +1,45 @@
-//! The circuit → neural-network compiler (the paper's contributions 1–3).
+//! The circuit → neural-network compiler (the paper's contributions 1–3),
+//! organized as a pass pipeline over the mid-level IR.
 //!
 //! Pipeline: sequential netlist → clock unification + flip-flop cut
-//! (`c2nn-netlist::seq`) → LUT mapping (`c2nn-lutmap`) → one multilinear
-//! polynomial per LUT (**Algorithm 1**, `c2nn-boolfn`) → two NN layers per
-//! computation-graph level (Fig. 2) → layer merging that halves the depth
-//! (Fig. 5) → [`CompiledNn`] of sparse integer layers.
+//! (`c2nn-netlist::seq`) → LUT mapping (`c2nn-lutmap`) → **lower** to the
+//! un-merged [`NnGraph`](crate::ir::NnGraph) (Algorithm 1 polynomials, Fig. 2
+//! two-layer blocks) → optimization passes (`constant-fold`, `monomial-cse`,
+//! `dead-neuron-elim`, the Fig. 5 `layer-merge`) → **legalize** into a
+//! [`CompiledNn`] of sparse integer layers. Every stage records wall time
+//! and size metrics into a [`CompileReport`].
 
-use crate::layer::{Activation2, NnLayer};
-use c2nn_boolfn::lut_to_poly;
-use c2nn_lutmap::{map_netlist, LutGraph, LutNode, MapConfig, MapError, NodeFunc};
+use crate::ir::passes::{legalize, PassManager, PassSet};
+use crate::ir::report::{CompileReport, PassStat};
+use crate::ir::{lower::lower, NnGraph};
+use crate::layer::NnLayer;
+use c2nn_lutmap::{map_netlist, LutGraph, MapConfig, MapError};
 use c2nn_netlist::{prepare, Netlist, SeqError};
-use c2nn_tensor::{Csr, Scalar};
-use std::collections::HashMap;
+use c2nn_tensor::Scalar;
 
 /// Compiler options.
 #[derive(Clone, Copy, Debug)]
 pub struct CompileOptions {
     /// Maximum LUT inputs — the paper's `L` hyperparameter.
     pub lut_size: usize,
-    /// Apply the Fig. 5 depth-halving merge (on by default; off only for
-    /// the ablation).
-    pub merge_layers: bool,
     /// Cut candidates kept per net in the mapper.
     pub cuts_per_net: usize,
     /// Paper §V known-function shortcut: AND/OR/NAND/NOR gates wider than
     /// `L` become single neurons instead of LUT trees.
     pub wide_gates: bool,
+    /// Which optimization passes run between lowering and legalization
+    /// (always in canonical order). The merge ablation is
+    /// `PassSet::all().without(PassId::LayerMerge)`.
+    pub passes: PassSet,
 }
 
 impl CompileOptions {
     pub fn with_l(l: usize) -> Self {
         CompileOptions {
             lut_size: l,
-            merge_layers: true,
             cuts_per_net: 8,
             wide_gates: false,
+            passes: PassSet::all(),
         }
     }
 
@@ -42,6 +47,32 @@ impl CompileOptions {
     pub fn with_wide_gates(mut self) -> Self {
         self.wide_gates = true;
         self
+    }
+
+    /// Select the optimization passes to run.
+    pub fn with_passes(mut self, passes: PassSet) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Check option ranges before doing any work: the mapper requires
+    /// `2 ≤ lut_size ≤ 16` and at least one cut candidate per net.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if !(2..=16).contains(&self.lut_size) {
+            return Err(CompileError::InvalidOptions {
+                field: "lut_size",
+                value: self.lut_size,
+                expected: "2..=16",
+            });
+        }
+        if self.cuts_per_net < 1 {
+            return Err(CompileError::InvalidOptions {
+                field: "cuts_per_net",
+                value: self.cuts_per_net,
+                expected: "≥ 1",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -54,8 +85,16 @@ impl Default for CompileOptions {
 /// Compiler errors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CompileError {
-    Seq(String),
-    Map(String),
+    /// A [`CompileOptions`] field is out of range.
+    InvalidOptions {
+        field: &'static str,
+        value: usize,
+        expected: &'static str,
+    },
+    /// Clock unification / flip-flop cut failed (source preserved).
+    Seq(SeqError),
+    /// LUT mapping failed (source preserved).
+    Map(MapError),
     /// A merged coefficient exceeded what the target scalar represents
     /// exactly (f32 is exact only to ±2^24).
     CoefficientOverflow { value: i64, limit: i64 },
@@ -64,7 +103,11 @@ pub enum CompileError {
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::Seq(m) | CompileError::Map(m) => write!(f, "{m}"),
+            CompileError::InvalidOptions { field, value, expected } => {
+                write!(f, "invalid CompileOptions: {field} = {value} (expected {expected})")
+            }
+            CompileError::Seq(e) => write!(f, "sequential preparation failed: {e}"),
+            CompileError::Map(e) => write!(f, "LUT mapping failed: {e}"),
             CompileError::CoefficientOverflow { value, limit } => write!(
                 f,
                 "merged weight {value} exceeds the exact range ±{limit} of the target dtype"
@@ -73,17 +116,25 @@ impl std::fmt::Display for CompileError {
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Seq(e) => Some(e),
+            CompileError::Map(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SeqError> for CompileError {
     fn from(e: SeqError) -> Self {
-        CompileError::Seq(e.to_string())
+        CompileError::Seq(e)
     }
 }
 
 impl From<MapError> for CompileError {
     fn from(e: MapError) -> Self {
-        CompileError::Map(e.to_string())
+        CompileError::Map(e)
     }
 }
 
@@ -163,50 +214,36 @@ pub fn compile_as<T: Scalar>(
     nl: &Netlist,
     opts: CompileOptions,
 ) -> Result<CompiledNn<T>, CompileError> {
+    compile_with_report(nl, opts).map(|(nn, _)| nn)
+}
+
+/// Compile, also returning the per-pass [`CompileReport`] (the `--stats`
+/// path and the bench harness's compile-stats experiment).
+pub fn compile_with_report<T: Scalar>(
+    nl: &Netlist,
+    opts: CompileOptions,
+) -> Result<(CompiledNn<T>, CompileReport), CompileError> {
+    opts.validate()?;
+    let t0 = std::time::Instant::now();
     let cut = prepare(nl)?;
-    let graph = map_netlist(&cut.comb, MapConfig {
-        max_inputs: opts.lut_size,
-        cuts_per_net: opts.cuts_per_net,
-        wide_gates: opts.wide_gates,
-    })?;
-    compile_graph(
+    let graph = map_netlist(
+        &cut.comb,
+        MapConfig {
+            max_inputs: opts.lut_size,
+            cuts_per_net: opts.cuts_per_net,
+            wide_gates: opts.wide_gates,
+        },
+    )?;
+    let (nn, mut report) = compile_graph_with_report(
         &graph,
         nl.gate_count(),
         cut.num_primary_inputs,
         cut.num_primary_outputs,
         cut.state_init.clone(),
         opts,
-    )
-}
-
-/// Integer layer under construction (exact i64 until the final cast).
-struct RawLayer {
-    rows: usize,
-    cols: usize,
-    trips: Vec<(u32, u32, i64)>,
-    bias: Vec<i64>,
-}
-
-impl RawLayer {
-    fn new(rows: usize, cols: usize) -> Self {
-        RawLayer {
-            rows,
-            cols,
-            trips: Vec::new(),
-            bias: vec![0; rows],
-        }
-    }
-
-    fn to_csr(&self) -> Csr<i64> {
-        Csr::from_triplets(
-            self.rows,
-            self.cols,
-            self.trips
-                .iter()
-                .map(|&(r, c, v)| (r, c, v))
-                .collect(),
-        )
-    }
+    )?;
+    report.total_s = t0.elapsed().as_secs_f64();
+    Ok((nn, report))
 }
 
 /// Compile a LUT graph directly (the netlist-independent core).
@@ -218,369 +255,162 @@ pub fn compile_graph<T: Scalar>(
     state_init: Vec<bool>,
     opts: CompileOptions,
 ) -> Result<CompiledNn<T>, CompileError> {
-    let levels = graph.levels();
-    let depth = graph.depth() as usize;
-    // last level at which each signal is read; outputs stay alive forever
-    let alive_until = compute_liveness(graph, &levels, depth);
-
-    // --- build the unmerged block sequence: per level t (1..=depth),
-    //     Hidden_t = Θ(W1_t · S_{t-1} + b1_t); S_t = W2_t · Hidden_t + c_t ---
-    let mut blocks: Vec<(RawLayer, RawLayer)> = Vec::new();
-    // columns of the current signal layer: signal id -> column
-    let mut sig_col: HashMap<u32, u32> = HashMap::new();
-    for (i, _) in (0..graph.num_inputs).enumerate() {
-        sig_col.insert(i as u32, i as u32);
-    }
-    let mut cur_width = graph.num_inputs;
-
-    // neuron blocks per node, computed once: Algorithm 1 for tables,
-    // closed-form single neurons for wide known-function nodes (§V)
-    let blocks_pre: Vec<NodeBlock> = graph.nodes.iter().map(node_block).collect();
-
-    for t in 1..=depth {
-        // signals of the next signal layer
-        let next_sigs: Vec<u32> = if t == depth {
-            graph.outputs.clone()
-        } else {
-            (0..graph.num_signals() as u32)
-                .filter(|&s| {
-                    let lv = levels[s as usize] as usize;
-                    lv == t || (lv < t && alive_until[s as usize] > t)
-                })
-                .collect()
-        };
-        // hidden neurons: terms of level-t nodes + pass-throughs
-        // pass-through set: signals in next layer with level < t (dedup)
-        let mut pass: Vec<u32> = next_sigs
-            .iter()
-            .copied()
-            .filter(|&s| (levels[s as usize] as usize) < t)
-            .collect();
-        pass.sort_unstable();
-        pass.dedup();
-
-        let mut hidden_count = 0usize;
-        // (node idx at level t) -> (first hidden idx of its terms)
-        let mut node_terms: HashMap<u32, (usize, usize)> = HashMap::new(); // sig -> (start, len)
-        let mut w1 = RawLayer::new(0, cur_width); // rows fixed later
-        for (ni, node) in graph.nodes.iter().enumerate() {
-            let sig = (graph.num_inputs + ni) as u32;
-            if levels[sig as usize] as usize != t {
-                continue;
-            }
-            // skip nodes that are not alive (defensive; mapper never emits them)
-            if alive_until[sig as usize] < t && !graph.outputs.contains(&sig) && t != depth {
-                continue;
-            }
-            let blk = &blocks_pre[ni];
-            let start = hidden_count;
-            for (weights, bias) in &blk.hidden {
-                let row = hidden_count as u32;
-                for &(j, w) in weights {
-                    let src = node.inputs[j];
-                    let col = sig_col[&src];
-                    w1.trips.push((row, col, w));
-                }
-                w1.bias.push(*bias);
-                hidden_count += 1;
-            }
-            node_terms.insert(sig, (start, blk.hidden.len()));
-        }
-        let mut pass_idx: HashMap<u32, u32> = HashMap::new();
-        for &s in &pass {
-            let row = hidden_count as u32;
-            w1.trips.push((row, sig_col[&s], 1));
-            w1.bias.push(0); // Θ(x) = x for binary x
-            pass_idx.insert(s, row);
-            hidden_count += 1;
-        }
-        w1.rows = hidden_count;
-
-        // linear output stage of the block
-        let mut w2 = RawLayer::new(next_sigs.len(), hidden_count);
-        for (row_i, &s) in next_sigs.iter().enumerate() {
-            let row = row_i as u32;
-            if (levels[s as usize] as usize) < t {
-                w2.trips.push((row, pass_idx[&s], 1));
-            } else {
-                let ni = s as usize - graph.num_inputs;
-                let blk = &blocks_pre[ni];
-                let (start, _) = node_terms[&s];
-                for &(h, coeff) in &blk.out {
-                    w2.trips.push((row, (start + h) as u32, coeff));
-                }
-                w2.bias[row_i] += blk.out_bias;
-            }
-        }
-        // fix bias length: RawLayer::new preallocated rows biases, w1 pushed
-        // per-row — normalize w1.bias which started with zero rows
-        blocks.push((w1, w2));
-        // new signal columns
-        sig_col.clear();
-        for (i, &s) in next_sigs.iter().enumerate() {
-            sig_col.insert(s, i as u32);
-        }
-        cur_width = next_sigs.len();
-    }
-
-    // depth == 0: outputs are inputs/constants only — single selection layer
-    if depth == 0 {
-        let mut w = RawLayer::new(graph.outputs.len(), graph.num_inputs);
-        for (row_i, &s) in graph.outputs.iter().enumerate() {
-            if (s as usize) < graph.num_inputs {
-                w.trips.push((row_i as u32, s, 1));
-            } else {
-                // constant node (0-input LUT) at level 0 cannot exist —
-                // 0-input LUTs are level 1; handled by the loop above
-                unreachable!("level-0 node output");
-            }
-        }
-        blocks.push((w, RawLayer::new(0, 0)));
-        let layers = vec![raw_to_layer::<T>(&blocks[0].0, Activation2::Linear)?];
-        return Ok(CompiledNn {
-            name: graph.name.clone(),
-            layers,
-            num_primary_inputs,
-            num_primary_outputs,
-            state_init,
-            gate_count,
-            lut_size: opts.lut_size,
-        });
-    }
-
-    // --- assemble layers, merging the exact-linear stage into the next
-    //     block's affine stage (Fig. 5) ---
-    let mut layers: Vec<NnLayer<T>> = Vec::new();
-    if opts.merge_layers {
-        // first layer: W1_1 as-is
-        let mut pending_linear: Option<(Csr<i64>, Vec<i64>)> = None;
-        for (bi, (w1, w2)) in blocks.iter().enumerate() {
-            let w1_csr = w1.to_csr();
-            let (weights, bias) = match pending_linear.take() {
-                None => (w1_csr, w1.bias.clone()),
-                Some((lin_w, lin_b)) => {
-                    // W' = W1 · lin_w ; b' = W1 · lin_b + b1
-                    let merged = w1_csr.matmul(&lin_w);
-                    let shift = w1_csr.matvec(&lin_b);
-                    let bias: Vec<i64> = w1
-                        .bias
-                        .iter()
-                        .zip(&shift)
-                        .map(|(&b, &s)| b + s)
-                        .collect();
-                    (merged, bias)
-                }
-            };
-            layers.push(raw_csr_to_layer::<T>(
-                &weights,
-                &bias,
-                Activation2::Threshold,
-            )?);
-            let w2_csr = w2.to_csr();
-            if bi + 1 == blocks.len() {
-                // last linear stage stays explicit (nothing follows it)
-                layers.push(raw_csr_to_layer::<T>(
-                    &w2_csr,
-                    &w2.bias,
-                    Activation2::Linear,
-                )?);
-            } else {
-                pending_linear = Some((w2_csr, w2.bias.clone()));
-            }
-        }
-    } else {
-        for (w1, w2) in &blocks {
-            layers.push(raw_to_layer::<T>(w1, Activation2::Threshold)?);
-            layers.push(raw_to_layer::<T>(w2, Activation2::Linear)?);
-        }
-    }
-
-    Ok(CompiledNn {
-        name: graph.name.clone(),
-        layers,
+    compile_graph_with_report(
+        graph,
+        gate_count,
         num_primary_inputs,
         num_primary_outputs,
         state_init,
-        gate_count,
+        opts,
+    )
+    .map(|(nn, _)| nn)
+}
+
+/// [`compile_graph`] with the per-pass [`CompileReport`]: lower → pass
+/// pipeline → legalize, instrumenting every stage.
+pub fn compile_graph_with_report<T: Scalar>(
+    graph: &LutGraph,
+    gate_count: usize,
+    num_primary_inputs: usize,
+    num_primary_outputs: usize,
+    state_init: Vec<bool>,
+    opts: CompileOptions,
+) -> Result<(CompiledNn<T>, CompileReport), CompileError> {
+    opts.validate()?;
+    let mut report = CompileReport {
+        circuit: graph.name.clone(),
         lut_size: opts.lut_size,
-    })
-}
+        ..CompileReport::default()
+    };
 
-/// The neurons implementing one node (paper Fig. 2, generalized to signed
-/// monomials so wide known-function nodes fit the same machinery):
-/// `hidden[k]` is a threshold neuron `Θ(Σ w·x + bias)` over node-local
-/// input indices, and the node's value is the exact linear combination
-/// `Σ out[k].1 · hidden[out[k].0] + out_bias`.
-struct NodeBlock {
-    hidden: Vec<(Vec<(usize, i64)>, i64)>,
-    out: Vec<(usize, i64)>,
-    out_bias: i64,
-}
+    let t0 = std::time::Instant::now();
+    let mut g: NnGraph = lower(
+        graph,
+        gate_count,
+        num_primary_inputs,
+        num_primary_outputs,
+        state_init,
+        opts.lut_size,
+    );
+    let lowered = g.metrics();
+    report.passes.push(PassStat {
+        pass: "lower".to_string(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        before: lowered,
+        after: lowered,
+    });
 
-fn node_block(node: &LutNode) -> NodeBlock {
-    match &node.func {
-        NodeFunc::Table(lut) => {
-            let poly = lut_to_poly(lut);
-            let mut hidden = Vec::new();
-            let mut out = Vec::new();
-            let mut out_bias = 0i64;
-            for term in poly.terms() {
-                if term.mask == 0 {
-                    out_bias += term.coeff as i64;
-                    continue;
-                }
-                let mut weights = Vec::with_capacity(term.mask.count_ones() as usize);
-                let mut m = term.mask;
-                while m != 0 {
-                    let j = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    weights.push((j, 1i64));
-                }
-                let size = weights.len() as i64;
-                out.push((hidden.len(), term.coeff as i64));
-                hidden.push((weights, 1 - size)); // Θ(Σ x_s − |S| + 1)
-            }
-            NodeBlock {
-                hidden,
-                out,
-                out_bias,
-            }
-        }
-        NodeFunc::WideAnd { invert } => {
-            // h = Θ(Σ x − n + 1) = AND;  AND = h, NAND = 1 − h
-            let n = node.inputs.len() as i64;
-            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, 1)).collect();
-            NodeBlock {
-                hidden: vec![(weights, 1 - n)],
-                out: vec![(0, if *invert { -1 } else { 1 })],
-                out_bias: *invert as i64,
-            }
-        }
-        NodeFunc::WideOr { invert } => {
-            // h = Θ(−Σ x + 1) = 1 iff all inputs 0;  OR = 1 − h, NOR = h
-            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, -1)).collect();
-            NodeBlock {
-                hidden: vec![(weights, 1)],
-                out: vec![(0, if *invert { 1 } else { -1 })],
-                out_bias: if *invert { 0 } else { 1 },
-            }
-        }
-    }
-}
+    PassManager::from_set(opts.passes).run(&mut g, &mut report);
 
-fn compute_liveness(graph: &LutGraph, levels: &[u32], depth: usize) -> Vec<usize> {
-    let mut alive = vec![0usize; graph.num_signals()];
-    for (ni, node) in graph.nodes.iter().enumerate() {
-        let node_level = levels[graph.num_inputs + ni] as usize;
-        for &s in &node.inputs {
-            alive[s as usize] = alive[s as usize].max(node_level);
-        }
-    }
-    for &o in &graph.outputs {
-        alive[o as usize] = depth + 1; // outputs live to the end
-    }
-    alive
-}
-
-fn raw_to_layer<T: Scalar>(raw: &RawLayer, act: Activation2) -> Result<NnLayer<T>, CompileError> {
-    raw_csr_to_layer(&raw.to_csr(), &raw.bias, act)
-}
-
-fn raw_csr_to_layer<T: Scalar>(
-    w: &Csr<i64>,
-    bias: &[i64],
-    act: Activation2,
-) -> Result<NnLayer<T>, CompileError> {
-    // Every coefficient must sit inside the scalar's exact-integer range
-    // (f32 → ±2^24) AND inside i32, because values convert via `from_i32`.
-    let limit = T::EXACT_LIMIT.min(i32::MAX as i64);
-    let (_, _, vals) = w.raw();
-    for &v in vals {
-        if v.abs() > limit {
-            return Err(CompileError::CoefficientOverflow { value: v, limit });
-        }
-    }
-    for &b in bias {
-        if b.abs() > limit {
-            return Err(CompileError::CoefficientOverflow { value: b, limit });
-        }
-    }
-    Ok(NnLayer {
-        weights: w.cast::<T>(|v| {
-            debug_assert!(v.abs() <= i32::MAX as i64);
-            v as i32
-        }),
-        bias: bias.iter().map(|&b| T::from_i32(b as i32)).collect(),
-        activation: act,
-    })
+    let t1 = std::time::Instant::now();
+    let nn = legalize::<T>(&g)?;
+    let after = g.metrics();
+    report.passes.push(PassStat {
+        pass: "legalize".to_string(),
+        wall_s: t1.elapsed().as_secs_f64(),
+        before: after,
+        after,
+    });
+    report.total_s = report.passes.iter().map(|p| p.wall_s).sum();
+    Ok((nn, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c2nn_boolfn::Lut;
-    use c2nn_lutmap::LutNode;
+    use crate::ir::passes::PassId;
+    use c2nn_netlist::WordOps;
 
-    fn eval_block(blk: &NodeBlock, inputs: &[bool]) -> i64 {
-        let hidden: Vec<i64> = blk
-            .hidden
-            .iter()
-            .map(|(weights, bias)| {
-                let pre: i64 = weights
-                    .iter()
-                    .map(|&(j, w)| w * inputs[j] as i64)
-                    .sum::<i64>()
-                    + bias;
-                (pre > 0) as i64
-            })
-            .collect();
-        blk.out.iter().map(|&(h, c)| c * hidden[h]).sum::<i64>() + blk.out_bias
+    #[test]
+    fn options_validate_ranges() {
+        assert!(CompileOptions::with_l(4).validate().is_ok());
+        let mut bad = CompileOptions::with_l(4);
+        bad.lut_size = 1;
+        assert!(matches!(
+            bad.validate(),
+            Err(CompileError::InvalidOptions { field: "lut_size", .. })
+        ));
+        bad.lut_size = 17;
+        assert!(bad.validate().is_err());
+        let mut bad2 = CompileOptions::with_l(4);
+        bad2.cuts_per_net = 0;
+        assert!(matches!(
+            bad2.validate(),
+            Err(CompileError::InvalidOptions { field: "cuts_per_net", .. })
+        ));
+        // compile rejects bad options up front
+        let nl = c2nn_netlist::NetlistBuilder::new("t")
+            .finish()
+            .unwrap();
+        let mut opts = CompileOptions::with_l(4);
+        opts.cuts_per_net = 0;
+        assert!(compile(&nl, opts).is_err());
     }
 
     #[test]
-    fn node_block_reproduces_tables() {
-        for lut in [Lut::and(3), Lut::or(3), Lut::xor(4), Lut::majority(5), Lut::mux()] {
-            let n = lut.inputs() as usize;
-            let node = LutNode::table((0..n as u32).collect(), lut.clone());
-            let blk = node_block(&node);
-            for x in 0..1u64 << n {
-                let bits: Vec<bool> = (0..n).map(|j| x >> j & 1 == 1).collect();
-                assert_eq!(eval_block(&blk, &bits), lut.get(x) as i64, "{lut:?} x={x:b}");
+    fn seq_and_map_errors_preserve_their_source() {
+        use std::error::Error;
+        // two clock domains → SeqError::MultipleClocks, matchable by callers
+        let mut b = c2nn_netlist::NetlistBuilder::new("two_clk");
+        let c1 = b.clock("clk_a");
+        let c2 = b.clock("clk_b");
+        let d = b.input("d");
+        let q1 = b.dff(d, c1, false);
+        let q2 = b.dff(q1, c2, false);
+        b.output(q2, "q");
+        let nl = b.finish().unwrap();
+        let err = compile(&nl, CompileOptions::with_l(4)).unwrap_err();
+        match &err {
+            CompileError::Seq(SeqError::MultipleClocks(clocks)) => {
+                assert_eq!(clocks.len(), 2);
             }
+            other => panic!("expected Seq(MultipleClocks), got {other:?}"),
         }
+        assert!(err.source().is_some(), "source chain must be preserved");
+        assert!(err.to_string().contains("sequential preparation failed"));
     }
 
     #[test]
-    fn node_block_wide_functions_are_single_neurons() {
-        use c2nn_lutmap::NodeFunc;
-        type Case = (NodeFunc, fn(u32) -> bool);
-        let cases: Vec<Case> = vec![
-            (NodeFunc::WideAnd { invert: false }, |x| x == 0x3ff),
-            (NodeFunc::WideAnd { invert: true }, |x| x != 0x3ff),
-            (NodeFunc::WideOr { invert: false }, |x| x != 0),
-            (NodeFunc::WideOr { invert: true }, |x| x == 0),
-        ];
-        for (func, f) in cases {
-            let node = LutNode {
-                inputs: (0..10).collect(),
-                func: func.clone(),
-            };
-            let blk = node_block(&node);
-            assert_eq!(blk.hidden.len(), 1, "{func:?} must be one neuron");
-            for x in [0u32, 1, 0x3ff, 0x3fe, 0x155] {
-                let bits: Vec<bool> = (0..10).map(|j| x >> j & 1 == 1).collect();
-                assert_eq!(eval_block(&blk, &bits), f(x) as i64, "{func:?} x={x:03x}");
-            }
-        }
+    fn report_records_every_stage() {
+        let mut b = c2nn_netlist::NetlistBuilder::new("add4");
+        let a = b.input_word("a", 4);
+        let c = b.input_word("b", 4);
+        let s = b.add_word(&a, &c);
+        b.output_word(&s, "s");
+        let nl = b.finish().unwrap();
+        let (nn, report) =
+            compile_with_report::<f32>(&nl, CompileOptions::with_l(4)).unwrap();
+        let stages: Vec<&str> = report.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(
+            stages,
+            vec![
+                "lower",
+                "constant-fold",
+                "monomial-cse",
+                "dead-neuron-elim",
+                "layer-merge",
+                "legalize"
+            ]
+        );
+        // the legalized artifact matches the final IR metrics
+        let fin = report.final_metrics().unwrap();
+        assert_eq!(fin.layers, nn.num_layers());
+        assert_eq!(fin.nnz, nn.connections());
+        assert!(report.total_s >= 0.0);
     }
 
     #[test]
-    fn coefficient_overflow_is_reported() {
-        let w: Csr<i64> = Csr::from_triplets(1, 1, vec![(0, 0, 1i64 << 30)]);
-        let res = raw_csr_to_layer::<f32>(&w, &[0], Activation2::Linear);
-        assert!(matches!(res, Err(CompileError::CoefficientOverflow { .. })));
-        // but i64-safe values pass for i32 targets
-        let w2: Csr<i64> = Csr::from_triplets(1, 1, vec![(0, 0, 1i64 << 30)]);
-        assert!(raw_csr_to_layer::<i32>(&w2, &[0], Activation2::Linear).is_ok());
+    fn pass_subset_skips_unselected_passes() {
+        let mut b = c2nn_netlist::NetlistBuilder::new("add2");
+        let a = b.input_word("a", 2);
+        let c = b.input_word("b", 2);
+        let s = b.add_word(&a, &c);
+        b.output_word(&s, "s");
+        let nl = b.finish().unwrap();
+        let opts = CompileOptions::with_l(3)
+            .with_passes(PassSet::none().with(PassId::LayerMerge));
+        let (_, report) = compile_with_report::<f32>(&nl, opts).unwrap();
+        let stages: Vec<&str> = report.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(stages, vec!["lower", "layer-merge", "legalize"]);
     }
 }

@@ -1,0 +1,334 @@
+//! Lowering: [`LutGraph`] → un-merged [`NnGraph`].
+//!
+//! Per computation-graph level `t` (paper Fig. 2) the lowering emits one
+//! *threshold* layer — a monomial neuron `Θ(Σ_{s∈S} x_s − |S| + 1)` per cube
+//! of each level-`t` LUT's polynomial (Algorithm 1), a closed-form single
+//! neuron per wide known-function node (§V), and a pass-through neuron per
+//! still-live earlier signal — followed by one exact-*linear* layer
+//! recombining those neurons into signal values. No cross-LUT sharing or
+//! merging happens here; that is the pass pipeline's job.
+
+use super::{IrLayer, IrRow, NnGraph, RowProv};
+use crate::layer::Activation2;
+use c2nn_boolfn::lut_to_poly;
+use c2nn_lutmap::{LutGraph, LutNode, NodeFunc};
+use std::collections::HashMap;
+
+/// One hidden threshold neuron: `(weights over node-local input indices,
+/// bias, cube mask)` — the mask is `None` for the single neuron of a wide
+/// known-function node.
+pub(crate) type HiddenNeuron = (Vec<(usize, i64)>, i64, Option<u32>);
+
+/// The neurons implementing one node, over node-local input indices:
+/// `hidden[k]` is a threshold neuron and the node's value is the exact
+/// linear combination `Σ out[k].1 · hidden[out[k].0] + out_bias`.
+pub(crate) struct NodeBlock {
+    pub hidden: Vec<HiddenNeuron>,
+    pub out: Vec<(usize, i64)>,
+    pub out_bias: i64,
+}
+
+pub(crate) fn node_block(node: &LutNode) -> NodeBlock {
+    match &node.func {
+        NodeFunc::Table(lut) => {
+            let poly = lut_to_poly(lut);
+            let (constant, cubes) = poly.split_constant();
+            let mut hidden = Vec::with_capacity(cubes.len());
+            let mut out = Vec::with_capacity(cubes.len());
+            for term in cubes {
+                let weights: Vec<(usize, i64)> = term.vars().map(|j| (j, 1i64)).collect();
+                let size = weights.len() as i64;
+                out.push((hidden.len(), term.coeff as i64));
+                hidden.push((weights, 1 - size, Some(term.mask))); // Θ(Σ x_s − |S| + 1)
+            }
+            NodeBlock { hidden, out, out_bias: constant as i64 }
+        }
+        NodeFunc::WideAnd { invert } => {
+            // h = Θ(Σ x − n + 1) = AND;  AND = h, NAND = 1 − h
+            let n = node.inputs.len() as i64;
+            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, 1)).collect();
+            NodeBlock {
+                hidden: vec![(weights, 1 - n, None)],
+                out: vec![(0, if *invert { -1 } else { 1 })],
+                out_bias: *invert as i64,
+            }
+        }
+        NodeFunc::WideOr { invert } => {
+            // h = Θ(−Σ x + 1) = 1 iff all inputs 0;  OR = 1 − h, NOR = h
+            let weights: Vec<(usize, i64)> = (0..node.inputs.len()).map(|j| (j, -1)).collect();
+            NodeBlock {
+                hidden: vec![(weights, 1, None)],
+                out: vec![(0, if *invert { 1 } else { -1 })],
+                out_bias: if *invert { 0 } else { 1 },
+            }
+        }
+    }
+}
+
+/// Last level at which each signal is read; outputs stay alive forever.
+fn compute_liveness(graph: &LutGraph, levels: &[u32], depth: usize) -> Vec<usize> {
+    let mut alive = vec![0usize; graph.num_signals()];
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        let node_level = levels[graph.num_inputs + ni] as usize;
+        for &s in &node.inputs {
+            alive[s as usize] = alive[s as usize].max(node_level);
+        }
+    }
+    for &o in &graph.outputs {
+        alive[o as usize] = depth + 1;
+    }
+    alive
+}
+
+/// Lower a LUT graph into the un-merged mid-level IR.
+pub fn lower(
+    graph: &LutGraph,
+    gate_count: usize,
+    num_primary_inputs: usize,
+    num_primary_outputs: usize,
+    state_init: Vec<bool>,
+    lut_size: usize,
+) -> NnGraph {
+    let levels = graph.levels();
+    let depth = graph.depth() as usize;
+    let alive_until = compute_liveness(graph, &levels, depth);
+
+    let mut g = NnGraph {
+        name: graph.name.clone(),
+        num_primary_inputs,
+        num_primary_outputs,
+        state_init,
+        gate_count,
+        lut_size,
+        in_width: graph.num_inputs,
+        layers: Vec::with_capacity(2 * depth.max(1)),
+    };
+
+    // depth == 0: outputs are inputs only — a single selection layer
+    if depth == 0 {
+        let rows = graph
+            .outputs
+            .iter()
+            .map(|&s| {
+                debug_assert!((s as usize) < graph.num_inputs, "level-0 node output");
+                IrRow {
+                    weights: vec![(s, 1)],
+                    bias: 0,
+                    prov: RowProv::Signal { signal: s },
+                }
+            })
+            .collect();
+        g.layers.push(IrLayer {
+            act: Activation2::Linear,
+            in_width: graph.num_inputs,
+            rows,
+        });
+        debug_assert_eq!(g.check(), Ok(()));
+        return g;
+    }
+
+    // neuron blocks per node, computed once (Algorithm 1 / §V closed forms)
+    let blocks_pre: Vec<NodeBlock> = graph.nodes.iter().map(node_block).collect();
+
+    // columns of the current signal layer: signal id -> column
+    let mut sig_col: HashMap<u32, u32> = HashMap::new();
+    for i in 0..graph.num_inputs {
+        sig_col.insert(i as u32, i as u32);
+    }
+    let mut cur_width = graph.num_inputs;
+
+    for t in 1..=depth {
+        // signals of the next signal layer
+        let next_sigs: Vec<u32> = if t == depth {
+            graph.outputs.clone()
+        } else {
+            // dead signals (no later reader, not an output) are dropped here,
+            // so the hidden layer below can skip their neurons too
+            (0..graph.num_signals() as u32)
+                .filter(|&s| {
+                    (levels[s as usize] as usize) <= t && alive_until[s as usize] > t
+                })
+                .collect()
+        };
+        // pass-through set: signals in next layer with level < t (dedup)
+        let mut pass: Vec<u32> = next_sigs
+            .iter()
+            .copied()
+            .filter(|&s| (levels[s as usize] as usize) < t)
+            .collect();
+        pass.sort_unstable();
+        pass.dedup();
+
+        // hidden (threshold) layer: terms of level-t nodes + pass-throughs
+        let mut hidden = IrLayer {
+            act: Activation2::Threshold,
+            in_width: cur_width,
+            rows: Vec::new(),
+        };
+        // node signal id -> (first hidden row of its terms, count)
+        let mut node_terms: HashMap<u32, (usize, usize)> = HashMap::new();
+        for (ni, node) in graph.nodes.iter().enumerate() {
+            let sig = (graph.num_inputs + ni) as u32;
+            if levels[sig as usize] as usize != t {
+                continue;
+            }
+            // skip dead nodes (no later reader, not an output): hand-built
+            // graphs can contain them; the mapper never emits them
+            if alive_until[sig as usize] <= t && !graph.outputs.contains(&sig) {
+                continue;
+            }
+            let blk = &blocks_pre[ni];
+            let start = hidden.rows.len();
+            for (weights, bias, mask) in &blk.hidden {
+                let mut row = IrRow {
+                    weights: weights
+                        .iter()
+                        .map(|&(j, w)| (sig_col[&node.inputs[j]], w))
+                        .collect(),
+                    bias: *bias,
+                    prov: match mask {
+                        Some(m) => RowProv::Monomial { node: sig, mask: *m },
+                        None => RowProv::Wide { node: sig },
+                    },
+                };
+                row.canonicalize();
+                hidden.rows.push(row);
+            }
+            node_terms.insert(sig, (start, blk.hidden.len()));
+        }
+        let mut pass_row: HashMap<u32, u32> = HashMap::new();
+        for &s in &pass {
+            pass_row.insert(s, hidden.rows.len() as u32);
+            hidden.rows.push(IrRow {
+                weights: vec![(sig_col[&s], 1)],
+                bias: 0, // Θ(x) = x for binary x
+                prov: RowProv::Pass { signal: s },
+            });
+        }
+        let hidden_count = hidden.rows.len();
+
+        // exact-linear signal layer
+        let mut linear = IrLayer {
+            act: Activation2::Linear,
+            in_width: hidden_count,
+            rows: Vec::with_capacity(next_sigs.len()),
+        };
+        for &s in &next_sigs {
+            let mut row = IrRow {
+                weights: Vec::new(),
+                bias: 0,
+                prov: RowProv::Signal { signal: s },
+            };
+            if (levels[s as usize] as usize) < t {
+                row.weights.push((pass_row[&s], 1));
+            } else {
+                let ni = s as usize - graph.num_inputs;
+                let blk = &blocks_pre[ni];
+                let (start, _) = node_terms[&s];
+                for &(h, coeff) in &blk.out {
+                    row.weights.push(((start + h) as u32, coeff));
+                }
+                row.bias = blk.out_bias;
+            }
+            row.canonicalize();
+            linear.rows.push(row);
+        }
+
+        g.layers.push(hidden);
+        g.layers.push(linear);
+        sig_col.clear();
+        for (i, &s) in next_sigs.iter().enumerate() {
+            sig_col.insert(s, i as u32);
+        }
+        cur_width = next_sigs.len();
+    }
+
+    debug_assert_eq!(g.check(), Ok(()));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2nn_boolfn::Lut;
+
+    fn eval_block(blk: &NodeBlock, inputs: &[bool]) -> i64 {
+        let hidden: Vec<i64> = blk
+            .hidden
+            .iter()
+            .map(|(weights, bias, _)| {
+                let pre: i64 = weights
+                    .iter()
+                    .map(|&(j, w)| w * inputs[j] as i64)
+                    .sum::<i64>()
+                    + bias;
+                (pre > 0) as i64
+            })
+            .collect();
+        blk.out.iter().map(|&(h, c)| c * hidden[h]).sum::<i64>() + blk.out_bias
+    }
+
+    #[test]
+    fn node_block_reproduces_tables() {
+        for lut in [Lut::and(3), Lut::or(3), Lut::xor(4), Lut::majority(5), Lut::mux()] {
+            let n = lut.inputs() as usize;
+            let node = LutNode::table((0..n as u32).collect(), lut.clone());
+            let blk = node_block(&node);
+            for x in 0..1u64 << n {
+                let bits: Vec<bool> = (0..n).map(|j| x >> j & 1 == 1).collect();
+                assert_eq!(eval_block(&blk, &bits), lut.get(x) as i64, "{lut:?} x={x:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_block_wide_functions_are_single_neurons() {
+        type Case = (NodeFunc, fn(u32) -> bool);
+        let cases: Vec<Case> = vec![
+            (NodeFunc::WideAnd { invert: false }, |x| x == 0x3ff),
+            (NodeFunc::WideAnd { invert: true }, |x| x != 0x3ff),
+            (NodeFunc::WideOr { invert: false }, |x| x != 0),
+            (NodeFunc::WideOr { invert: true }, |x| x == 0),
+        ];
+        for (func, f) in cases {
+            let node = LutNode {
+                inputs: (0..10).collect(),
+                func: func.clone(),
+                origin: c2nn_lutmap::NO_ORIGIN,
+            };
+            let blk = node_block(&node);
+            assert_eq!(blk.hidden.len(), 1, "{func:?} must be one neuron");
+            for x in [0u32, 1, 0x3ff, 0x3fe, 0x155] {
+                let bits: Vec<bool> = (0..10).map(|j| x >> j & 1 == 1).collect();
+                assert_eq!(eval_block(&blk, &bits), f(x) as i64, "{func:?} x={x:03x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_graph_carries_monomial_provenance() {
+        // one XOR LUT: x0 ^ x1 = x0 + x1 − 2·x0·x1 → three monomial neurons
+        let graph = LutGraph {
+            name: "x".into(),
+            num_inputs: 2,
+            nodes: vec![LutNode::table(vec![0, 1], Lut::xor(2))],
+            outputs: vec![2],
+        };
+        let g = lower(&graph, 1, 2, 1, vec![], 2);
+        assert_eq!(g.layers.len(), 2);
+        let hidden = &g.layers[0];
+        assert_eq!(hidden.rows.len(), 3);
+        for row in &hidden.rows {
+            assert!(
+                matches!(row.prov, RowProv::Monomial { node: 2, .. }),
+                "{:?}",
+                row.prov
+            );
+        }
+        // IR evaluation reproduces XOR exactly
+        for x in 0..4u32 {
+            let bits = [x & 1 == 1, x >> 1 & 1 == 1];
+            assert_eq!(g.eval(&bits), vec![(x.count_ones() % 2) as i64]);
+        }
+    }
+}

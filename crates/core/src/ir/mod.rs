@@ -1,0 +1,254 @@
+//! The mid-level NN-graph IR sitting between the LUT graph and the final
+//! [`CompiledNn`](crate::CompiledNn) artifact.
+//!
+//! Lowering (`ir::lower`) turns a [`c2nn_lutmap::LutGraph`] into an
+//! **un-merged** [`NnGraph`]: a chain of integer affine layers in which every
+//! row is either a *monomial neuron* `Θ(Σ_{s∈S} x_s − |S| + 1)` (one per cube
+//! of a LUT's multilinear polynomial), a *pass-through* neuron, a *wide
+//! known-function* neuron (§V), or an exact-linear *signal* row recombining
+//! monomials into a LUT's output value. Each row carries [`RowProv`]enance —
+//! which LUT node and which cube it came from — so optimization passes can
+//! reason about (and report on) cross-LUT structure.
+//!
+//! The pass pipeline (`ir::passes`) then rewrites the graph in place:
+//! cross-LUT monomial CSE, dead-neuron elimination, constant folding, and
+//! the Fig. 5 layer merge, before `legalize` emits the typed artifact.
+//!
+//! ## IR invariants
+//!
+//! 1. Layer `i + 1`'s `in_width` equals layer `i`'s row count; layer 0's
+//!    `in_width` equals [`NnGraph::in_width`].
+//! 2. Row weights are sorted by column, deduplicated, and nonzero
+//!    ([`IrRow::canonicalize`]).
+//! 3. Fed binary inputs, every `Threshold` row produces 0/1 by construction
+//!    and every `Linear` row of an intermediate layer produces the 0/1 value
+//!    of its source signal. The final layer's rows are the network outputs
+//!    in port order (primary outputs ‖ next state).
+//! 4. All arithmetic is exact `i64`; the range check against the target
+//!    scalar happens once, in `legalize`.
+
+pub mod lower;
+pub mod passes;
+pub mod report;
+
+use crate::layer::Activation2;
+
+/// Where an IR row came from (compression passes preserve the provenance of
+/// the surviving row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowProv {
+    /// The monomial `∏_{j ∈ mask} x_{inputs[j]}` of LUT node `node`
+    /// (`node` is the node's stable signal id in the source `LutGraph`;
+    /// `mask` indexes the node's local inputs).
+    Monomial { node: u32, mask: u32 },
+    /// The single threshold neuron of a §V wide known-function node.
+    Wide { node: u32 },
+    /// A pass-through neuron keeping signal `signal` alive across a level.
+    Pass { signal: u32 },
+    /// An exact-linear row carrying the value of signal `signal`.
+    Signal { signal: u32 },
+}
+
+/// One row of an IR layer: `act(Σ w·x[col] + bias)` in exact `i64`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrRow {
+    /// `(column, weight)` pairs, sorted by column, deduplicated, nonzero.
+    pub weights: Vec<(u32, i64)>,
+    pub bias: i64,
+    pub prov: RowProv,
+}
+
+impl IrRow {
+    /// Sort by column, merge duplicate columns, drop zero weights — the
+    /// canonical form every pass relies on (and CSE keys on).
+    pub fn canonicalize(&mut self) {
+        self.weights.sort_unstable_by_key(|&(c, _)| c);
+        let mut out: Vec<(u32, i64)> = Vec::with_capacity(self.weights.len());
+        for &(c, w) in &self.weights {
+            match out.last_mut() {
+                Some(last) if last.0 == c => last.1 += w,
+                _ => out.push((c, w)),
+            }
+        }
+        out.retain(|&(_, w)| w != 0);
+        self.weights = out;
+    }
+
+    /// Number of nonzero weights.
+    pub fn nnz(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// One layer of the IR: all rows share the activation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrLayer {
+    pub act: Activation2,
+    /// Width of the input vector this layer consumes.
+    pub in_width: usize,
+    pub rows: Vec<IrRow>,
+}
+
+impl IrLayer {
+    /// Number of rows (= next layer's `in_width`).
+    pub fn out_width(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total nonzero weights.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(IrRow::nnz).sum()
+    }
+}
+
+/// Apply an activation to an exact pre-activation value.
+pub(crate) fn apply_act(act: Activation2, pre: i64) -> i64 {
+    match act {
+        Activation2::Threshold => (pre > 0) as i64,
+        Activation2::Linear => pre,
+    }
+}
+
+/// The mid-level IR: an un-typed (exact `i64`) layered network plus the
+/// interface header that survives into [`CompiledNn`](crate::CompiledNn).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NnGraph {
+    pub name: String,
+    pub num_primary_inputs: usize,
+    pub num_primary_outputs: usize,
+    pub state_init: Vec<bool>,
+    pub gate_count: usize,
+    pub lut_size: usize,
+    /// Width of the layer-0 input vector (primary inputs ‖ state).
+    pub in_width: usize,
+    pub layers: Vec<IrLayer>,
+}
+
+impl NnGraph {
+    /// Size metrics used by per-pass instrumentation.
+    pub fn metrics(&self) -> report::IrMetrics {
+        report::IrMetrics {
+            layers: self.layers.len(),
+            neurons: self.layers.iter().map(IrLayer::out_width).sum(),
+            nnz: self.layers.iter().map(IrLayer::nnz).sum(),
+        }
+    }
+
+    /// Check IR invariants 1–2 (width chaining, canonical rows, in-range
+    /// columns). Passes call this under `debug_assertions`.
+    pub fn check(&self) -> Result<(), String> {
+        let mut width = self.in_width;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.in_width != width {
+                return Err(format!(
+                    "layer {i}: in_width {} != previous out_width {width}",
+                    layer.in_width
+                ));
+            }
+            for (r, row) in layer.rows.iter().enumerate() {
+                for pair in row.weights.windows(2) {
+                    if pair[0].0 >= pair[1].0 {
+                        return Err(format!("layer {i} row {r}: columns not strictly sorted"));
+                    }
+                }
+                for &(c, w) in &row.weights {
+                    if c as usize >= width {
+                        return Err(format!("layer {i} row {r}: column {c} ≥ width {width}"));
+                    }
+                    if w == 0 {
+                        return Err(format!("layer {i} row {r}: zero weight at column {c}"));
+                    }
+                }
+            }
+            width = layer.out_width();
+        }
+        Ok(())
+    }
+
+    /// Reference evaluation in exact `i64` arithmetic (test oracle for the
+    /// passes; the production path goes through `legalize` + the simulator).
+    pub fn eval(&self, inputs: &[bool]) -> Vec<i64> {
+        assert_eq!(inputs.len(), self.in_width, "input width");
+        let mut cur: Vec<i64> = inputs.iter().map(|&b| b as i64).collect();
+        for layer in &self.layers {
+            cur = layer
+                .rows
+                .iter()
+                .map(|row| {
+                    let pre: i64 = row
+                        .weights
+                        .iter()
+                        .map(|&(c, w)| w * cur[c as usize])
+                        .sum::<i64>()
+                        + row.bias;
+                    apply_act(layer.act, pre)
+                })
+                .collect();
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(weights: Vec<(u32, i64)>, bias: i64) -> IrRow {
+        IrRow { weights, bias, prov: RowProv::Signal { signal: 0 } }
+    }
+
+    #[test]
+    fn canonicalize_sorts_merges_and_drops_zeros() {
+        let mut r = row(vec![(3, 2), (1, 1), (3, -2), (0, 5), (2, 0)], 0);
+        r.canonicalize();
+        assert_eq!(r.weights, vec![(0, 5), (1, 1)]);
+    }
+
+    #[test]
+    fn eval_is_exact_threshold_then_linear() {
+        // Θ(x0 + x1 − 1) = AND, then y = 3·h − 1
+        let g = NnGraph {
+            name: "t".into(),
+            num_primary_inputs: 2,
+            num_primary_outputs: 1,
+            state_init: vec![],
+            gate_count: 1,
+            lut_size: 2,
+            in_width: 2,
+            layers: vec![
+                IrLayer {
+                    act: Activation2::Threshold,
+                    in_width: 2,
+                    rows: vec![row(vec![(0, 1), (1, 1)], -1)],
+                },
+                IrLayer {
+                    act: Activation2::Linear,
+                    in_width: 1,
+                    rows: vec![row(vec![(0, 3)], -1)],
+                },
+            ],
+        };
+        g.check().unwrap();
+        assert_eq!(g.eval(&[true, true]), vec![2]);
+        assert_eq!(g.eval(&[true, false]), vec![-1]);
+    }
+
+    #[test]
+    fn check_catches_width_mismatch() {
+        let g = NnGraph {
+            name: "t".into(),
+            num_primary_inputs: 1,
+            num_primary_outputs: 1,
+            state_init: vec![],
+            gate_count: 0,
+            lut_size: 2,
+            in_width: 1,
+            layers: vec![IrLayer {
+                act: Activation2::Linear,
+                in_width: 3,
+                rows: vec![],
+            }],
+        };
+        assert!(g.check().is_err());
+    }
+}

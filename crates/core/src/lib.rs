@@ -11,9 +11,12 @@
 //! 1. clock unification + flip-flop cut (`c2nn-netlist::seq`, §III-C);
 //! 2. LUT splitting with parameter `L` (`c2nn-lutmap`, §III-B1 / Fig. 3);
 //! 3. truth table → multilinear polynomial, Algorithm 1 (`c2nn-boolfn`);
-//! 4. polynomial → two-layer threshold block (Fig. 2, Eq. 3);
-//! 5. exact-linear/affine layer fusion halving the depth (Fig. 5);
-//! 6. sparse CSR layers executed by `c2nn-tensor` (§III-E/F).
+//! 4. polynomial → two-layer threshold block, lowered into the mid-level
+//!    [`NnGraph`](ir::NnGraph) IR (Fig. 2, Eq. 3);
+//! 5. optimization passes over the IR — cross-LUT monomial CSE, dead-neuron
+//!    elimination, constant folding, and the Fig. 5 depth-halving merge —
+//!    each instrumented into a [`CompileReport`];
+//! 6. `legalize` → sparse CSR layers executed by `c2nn-tensor` (§III-E/F).
 //!
 //! The result is *exact*: for every input sequence the network produces
 //! bit-identical outputs to the circuit (verified against `c2nn-refsim` in
@@ -43,6 +46,7 @@
 
 pub mod compile;
 pub mod faults;
+pub mod ir;
 pub mod layer;
 pub mod model;
 pub mod session;
@@ -50,7 +54,13 @@ pub mod sim;
 pub mod testbench;
 pub mod validate;
 
-pub use compile::{compile, compile_as, compile_graph, CompileError, CompileOptions, CompiledNn};
+pub use compile::{
+    compile, compile_as, compile_graph, compile_graph_with_report, compile_with_report,
+    CompileError, CompileOptions, CompiledNn,
+};
+pub use ir::passes::{PassId, PassSet};
+pub use ir::report::{CompileReport, IrMetrics, PassStat};
+pub use ir::NnGraph;
 pub use faults::FaultSite;
 pub use layer::{Activation2, NnLayer};
 pub use model::ModelError;

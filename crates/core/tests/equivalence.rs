@@ -2,7 +2,7 @@
 //! bit-identical to the reference gate-level simulator, for every circuit,
 //! LUT size, device, dtype, and merge setting.
 
-use c2nn_core::{compile, compile_as, CompileOptions, CompiledNn, Simulator};
+use c2nn_core::{compile, compile_as, CompileOptions, CompiledNn, PassId, PassSet, Simulator};
 use c2nn_netlist::{Netlist, NetlistBuilder, WordOps};
 use c2nn_refsim::CycleSim;
 use c2nn_tensor::{Dense, Device};
@@ -55,10 +55,13 @@ fn adder_equivalent_across_l() {
 #[test]
 fn merge_preserves_function_and_halves_depth() {
     let nl = adder(6);
-    let mut opts = CompileOptions::with_l(3);
+    let opts = CompileOptions::with_l(3);
     let merged = compile(&nl, opts).unwrap();
-    opts.merge_layers = false;
-    let unmerged = compile(&nl, opts).unwrap();
+    let unmerged = compile(
+        &nl,
+        opts.with_passes(PassSet::all().without(PassId::LayerMerge)),
+    )
+    .unwrap();
     // function identical
     for x in [0u64, 1, 100, 3333, 4095] {
         let bits: Vec<bool> = (0..12).map(|j| x >> j & 1 == 1).collect();

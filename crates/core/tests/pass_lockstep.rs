@@ -1,0 +1,139 @@
+//! Pass-by-pass lockstep verification: every suite circuit, compiled with
+//! every *prefix* of the canonical pass list, must stay bit-exact against
+//! the reference gate-level simulator. This is the contract that lets any
+//! pass be enabled independently (ISSUE 5's "each prefix" harness).
+
+use c2nn_core::{compile_graph, CompileOptions, PassId, PassSet, Simulator};
+use c2nn_lutmap::{map_netlist, LutGraph, MapConfig};
+use c2nn_netlist::{prepare, Netlist};
+use c2nn_refsim::CycleSim;
+use c2nn_tensor::{Dense, Device};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn bit(&mut self) -> bool {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 40 & 1 == 1
+    }
+}
+
+/// The suite circuits, with DMA at its small test variant to keep debug-mode
+/// runtime bounded (same code path as the 64-channel build).
+fn suite() -> Vec<(&'static str, Netlist)> {
+    c2nn_circuits::table1_suite()
+        .into_iter()
+        .map(|b| {
+            let nl = if b.name == "DMA" {
+                c2nn_circuits::dma(4)
+            } else {
+                (b.build)()
+            };
+            (b.name, nl)
+        })
+        .collect()
+}
+
+/// Map once, then compile the same LUT graph under `opts` — the mapper is
+/// the expensive stage and is identical across pass lists.
+struct Mapped {
+    graph: LutGraph,
+    gate_count: usize,
+    num_primary_inputs: usize,
+    num_primary_outputs: usize,
+    state_init: Vec<bool>,
+}
+
+fn map_once(nl: &Netlist, l: usize) -> Mapped {
+    let cut = prepare(nl).unwrap();
+    let graph = map_netlist(&cut.comb, MapConfig::with_l(l)).unwrap();
+    Mapped {
+        graph,
+        gate_count: nl.gate_count(),
+        num_primary_inputs: cut.num_primary_inputs,
+        num_primary_outputs: cut.num_primary_outputs,
+        state_init: cut.state_init,
+    }
+}
+
+fn compile_prefix(m: &Mapped, l: usize, prefix: usize) -> c2nn_core::CompiledNn<f32> {
+    let opts = CompileOptions::with_l(l).with_passes(PassSet::prefix(prefix));
+    compile_graph::<f32>(
+        &m.graph,
+        m.gate_count,
+        m.num_primary_inputs,
+        m.num_primary_outputs,
+        m.state_init.clone(),
+        opts,
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_pass_prefix_stays_bit_exact_on_the_suite() {
+    const L: usize = 4;
+    const CYCLES: usize = 8;
+    const BATCH: usize = 2;
+    let num_prefixes = PassId::ALL.len() + 1;
+    for (name, nl) in suite() {
+        let mapped = map_once(&nl, L);
+        let mut nnz_by_prefix = Vec::with_capacity(num_prefixes);
+        for prefix in 0..num_prefixes {
+            let nn = compile_prefix(&mapped, L, prefix);
+            nnz_by_prefix.push(nn.connections());
+            let mut nn_sim = Simulator::new(&nn, BATCH, Device::Serial);
+            let mut refs: Vec<CycleSim> =
+                (0..BATCH).map(|_| CycleSim::new(&nl).unwrap()).collect();
+            let mut rng = Lcg(0x9e37 ^ prefix as u64 ^ name.len() as u64);
+            let pi = nn.num_primary_inputs;
+            for cycle in 0..CYCLES {
+                let lanes: Vec<Vec<bool>> = (0..BATCH)
+                    .map(|_| (0..pi).map(|_| rng.bit()).collect())
+                    .collect();
+                let got = nn_sim.step(&Dense::<f32>::from_lanes(&lanes)).to_lanes();
+                for (lane, r) in refs.iter_mut().enumerate() {
+                    let want = r.step(&lanes[lane]);
+                    assert_eq!(
+                        got[lane], want,
+                        "{name}: prefix {prefix} diverged at cycle {cycle}, lane {lane}"
+                    );
+                }
+            }
+        }
+        // fold/cse/dce never grow the artifact (layer-merge may — it trades
+        // nonzeros for depth, so prefix 4 is exempt)
+        for p in 1..=3 {
+            assert!(
+                nnz_by_prefix[p] <= nnz_by_prefix[p - 1],
+                "{name}: pass {:?} grew nnz ({} > {})",
+                PassId::ALL[p - 1],
+                nnz_by_prefix[p],
+                nnz_by_prefix[p - 1]
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_ablation_is_a_pass_list_difference() {
+    // the old `merge_layers: false` ablation == dropping LayerMerge
+    let nl = c2nn_circuits::spi();
+    let mapped = map_once(&nl, 4);
+    let no_merge = compile_graph::<f32>(
+        &mapped.graph,
+        mapped.gate_count,
+        mapped.num_primary_inputs,
+        mapped.num_primary_outputs,
+        mapped.state_init.clone(),
+        CompileOptions::with_l(4).with_passes(PassSet::all().without(PassId::LayerMerge)),
+    )
+    .unwrap();
+    let merged = compile_prefix(&mapped, 4, PassId::ALL.len());
+    assert!(merged.num_layers() < no_merge.num_layers());
+    // both are [T, L]-alternating vs [T..T, L]; depth relation D+1 vs 2D
+    assert_eq!(no_merge.num_layers() % 2, 0);
+    assert_eq!(merged.num_layers(), no_merge.num_layers() / 2 + 1);
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the IR pass pipeline: on arbitrary random LUT
+//! graphs, `monomial-cse` (and the passes around it) must never change the
+//! network function.
+
+use c2nn_core::ir::lower::lower;
+use c2nn_core::ir::passes::{ConstantFold, DeadNeuronElim, LayerMerge, MonomialCse, Pass};
+use c2nn_boolfn::Lut;
+use c2nn_lutmap::{LutGraph, LutNode};
+use proptest::prelude::*;
+
+/// Build a random topologically-ordered LUT graph. Sharing fan-in between
+/// nodes is likely (inputs drawn from a small signal pool), which is exactly
+/// the situation monomial-cse exploits.
+fn random_lut_graph(num_inputs: usize, num_nodes: usize, seed: u64) -> LutGraph {
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for i in 0..num_nodes {
+        let avail = num_inputs + i;
+        let arity = 2 + (rng() % 2) as usize; // 2 or 3 inputs
+        let arity = arity.min(avail);
+        let mut inputs: Vec<u32> = (0..arity).map(|_| (rng() % avail as u64) as u32).collect();
+        // LutGraph allows repeated inputs only through distinct signals;
+        // dedup to keep arity == lut.inputs() honest
+        inputs.sort_unstable();
+        inputs.dedup();
+        let lut = Lut::random(inputs.len() as u8, &mut rng);
+        nodes.push(LutNode::table(inputs, lut));
+    }
+    let num_signals = num_inputs + num_nodes;
+    let outputs: Vec<u32> = (0..3)
+        .map(|_| (rng() % num_signals as u64) as u32)
+        .collect();
+    LutGraph {
+        name: "prop".into(),
+        num_inputs,
+        nodes,
+        outputs,
+    }
+}
+
+fn outputs_match(g: &LutGraph, ir: &c2nn_core::NnGraph, seed: u64) -> Result<(), String> {
+    let mut s = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+    for _ in 0..24 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let bits: Vec<bool> = (0..g.num_inputs).map(|j| s >> (j % 60) & 1 == 1).collect();
+        let want: Vec<i64> = g.eval(&bits).iter().map(|&b| b as i64).collect();
+        let got = ir.eval(&bits);
+        if got != want {
+            return Err(format!("mismatch on {bits:?}: {got:?} != {want:?}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// `monomial-cse` alone never changes outputs.
+    #[test]
+    fn monomial_cse_preserves_outputs(
+        seed in 1u64..u64::MAX,
+        num_inputs in 2usize..7,
+        num_nodes in 1usize..25,
+    ) {
+        let g = random_lut_graph(num_inputs, num_nodes, seed);
+        let mut ir = lower(&g, num_nodes, num_inputs, g.outputs.len(), vec![], 3);
+        prop_assert!(outputs_match(&g, &ir, seed).is_ok(), "lowering already wrong");
+        MonomialCse.run(&mut ir);
+        prop_assert_eq!(ir.check(), Ok(()));
+        let res = outputs_match(&g, &ir, seed);
+        prop_assert!(res.is_ok(), "cse changed the function: {:?}", res);
+    }
+
+    /// The full pipeline (fold → cse → dce → merge) never changes outputs.
+    #[test]
+    fn full_pipeline_preserves_outputs(
+        seed in 1u64..u64::MAX,
+        num_inputs in 2usize..6,
+        num_nodes in 1usize..18,
+    ) {
+        let g = random_lut_graph(num_inputs, num_nodes, seed);
+        let mut ir = lower(&g, num_nodes, num_inputs, g.outputs.len(), vec![], 3);
+        let nnz_before = ir.metrics().nnz;
+        ConstantFold.run(&mut ir);
+        MonomialCse.run(&mut ir);
+        DeadNeuronElim.run(&mut ir);
+        prop_assert!(
+            ir.metrics().nnz <= nnz_before,
+            "optimization passes grew nnz: {} > {}", ir.metrics().nnz, nnz_before
+        );
+        LayerMerge.run(&mut ir);
+        prop_assert_eq!(ir.check(), Ok(()));
+        let res = outputs_match(&g, &ir, seed);
+        prop_assert!(res.is_ok(), "pipeline changed the function: {:?}", res);
+    }
+}

@@ -19,6 +19,10 @@ pub enum NodeFunc {
     WideOr { invert: bool },
 }
 
+/// `origin` value for nodes with no single source net (hand-built graphs,
+/// synthesized helper nodes).
+pub const NO_ORIGIN: u32 = u32::MAX;
+
 /// One node: a Boolean function of earlier signals.
 ///
 /// Signals are numbered densely: ids `0..num_inputs` are the primary inputs
@@ -30,14 +34,20 @@ pub struct LutNode {
     /// Input signal ids.
     pub inputs: Vec<u32>,
     pub func: NodeFunc,
+    /// Provenance: the source-netlist `Net` id whose value this node
+    /// computes, or [`NO_ORIGIN`]. Stable across mapper configurations, so
+    /// downstream IRs can report per-net structure.
+    pub origin: u32,
 }
 
 impl LutNode {
-    /// An ordinary table node (`inputs.len()` must equal `lut.inputs()`).
+    /// An ordinary table node (`inputs.len()` must equal `lut.inputs()`),
+    /// with no recorded provenance.
     pub fn table(inputs: Vec<u32>, lut: Lut) -> Self {
         LutNode {
             inputs,
             func: NodeFunc::Table(lut),
+            origin: NO_ORIGIN,
         }
     }
 
@@ -270,6 +280,7 @@ mod tests {
             nodes: vec![LutNode {
                 inputs: (0..9).collect(),
                 func: NodeFunc::WideAnd { invert: false },
+                origin: NO_ORIGIN,
             }],
             outputs: vec![9],
         };
@@ -297,6 +308,7 @@ mod tests {
                 nodes: vec![LutNode {
                     inputs: (0..4).collect(),
                     func: func.clone(),
+                    origin: NO_ORIGIN,
                 }],
                 outputs: vec![4],
             };

@@ -32,5 +32,5 @@ pub mod graph;
 pub mod mapper;
 
 pub use cone::{cone_gates, cone_truth_table, leaf_pattern};
-pub use graph::{LutGraph, LutGraphError, LutNode, NodeFunc};
+pub use graph::{LutGraph, LutGraphError, LutNode, NodeFunc, NO_ORIGIN};
 pub use mapper::{map_netlist, MapConfig, MapError};

@@ -320,7 +320,7 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
             None => NodeFunc::Table(cone_truth_table(nl, &drivers, net, leaves)),
         };
         let id = (num_inputs + nodes.len()) as u32;
-        nodes.push(LutNode { inputs, func });
+        nodes.push(LutNode { inputs, func, origin: net.0 });
         signal_of.insert(net, id);
     }
 

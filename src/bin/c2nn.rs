@@ -1,8 +1,8 @@
 //! `c2nn` — command-line front door to the compiler.
 //!
 //! ```text
-//! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]
-//! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]
+//! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]
+//! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]
 //! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]
 //! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]
 //! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>]
@@ -17,8 +17,9 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--out model.json]\n  \
-         c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide]\n  \
+        "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]\n  \
+         c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]\n  \
+         (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
          c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
          c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]\n  \
@@ -97,14 +98,20 @@ fn main() {
         "compile" | "stats" => {
             let file = args.get(1).unwrap_or_else(|| usage());
             let top = flag(&args, "--top");
-            let l: usize = int_flag(&args, "--l", 7, 1);
+            let l: usize = int_flag(&args, "--l", 7, 2);
             let nl = load_netlist(file, top.as_deref());
             let mut opts = CompileOptions::with_l(l);
             if args.iter().any(|a| a == "--wide") {
                 opts = opts.with_wide_gates();
             }
+            if let Some(spec) = flag(&args, "--passes") {
+                opts = opts.with_passes(PassSet::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: --passes: {e}");
+                    exit(2)
+                }));
+            }
             let t0 = std::time::Instant::now();
-            let nn = compile(&nl, opts).unwrap_or_else(|e| {
+            let (nn, report) = compile_with_report::<f32>(&nl, opts).unwrap_or_else(|e| {
                 eprintln!("compile error: {e}");
                 exit(1)
             });
@@ -117,6 +124,10 @@ fn main() {
             println!("connections: {}", nn.connections());
             println!("memory    : {:.2} MB", nn.memory_bytes() as f64 / 1e6);
             println!("sparsity  : {:.5}", nn.mean_sparsity());
+            if args.iter().any(|a| a == "--stats") {
+                println!("\nper-pass compile report:");
+                print!("{}", report.to_table());
+            }
             if cmd == "compile" {
                 if let Err(e) = nn.validate() {
                     eprintln!("compiled model failed validation (compiler bug?): {e}");

@@ -46,7 +46,10 @@ pub use c2nn_verilog as verilog;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use c2nn_core::{compile, compile_as, CompileOptions, CompiledNn, Simulator};
+    pub use c2nn_core::{
+        compile, compile_as, compile_with_report, CompileOptions, CompileReport, CompiledNn,
+        PassId, PassSet, Simulator,
+    };
     pub use c2nn_netlist::{Netlist, NetlistBuilder, WordOps};
     pub use c2nn_refsim::CycleSim;
     pub use c2nn_tensor::{Dense, Device};

@@ -22,9 +22,8 @@ proptest! {
         merge in any::<bool>(),
     ) {
         let nl = random_dag(8, num_gates, 4, seed);
-        let mut opts = CompileOptions::with_l(l);
-        opts.merge_layers = merge;
-        let nn = compile(&nl, opts).unwrap();
+        let passes = if merge { PassSet::all() } else { PassSet::all().without(PassId::LayerMerge) };
+        let nn = compile(&nl, CompileOptions::with_l(l).with_passes(passes)).unwrap();
         let mut sim = CycleSim::new(&nl).unwrap();
         let mut s = seed;
         for _ in 0..24 {
