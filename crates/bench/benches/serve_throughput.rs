@@ -14,9 +14,14 @@ use c2nn_core::{compile, CompileOptions};
 use c2nn_json::{Json, ToJson};
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig};
-use c2nn_serve::{Client, RegistryConfig};
+use c2nn_serve::{Client, ClientError, RegistryConfig};
 use c2nn_tensor::Device;
 use std::time::{Duration, Instant};
+
+fn counter_model() -> c2nn_core::CompiledNn<f32> {
+    compile(&c2nn_circuits::generators::counter(8), CompileOptions::with_l(4))
+        .expect("compile")
+}
 
 #[derive(Clone)]
 struct Point {
@@ -66,10 +71,101 @@ fn lanes_batches(addr: &str) -> (u64, u64) {
     let mut c = Client::connect(addr).expect("connect");
     let stats = c.stats().expect("stats");
     stats
+        .models
         .iter()
         .find(|m| m.name == "ctr")
         .map(|m| (m.lanes, m.batches))
         .unwrap_or((0, 0))
+}
+
+/// Saturation behaviour: a tiny-budget server driven by `clients`
+/// connections at full tilt. Every reply must be a sim result or a typed
+/// `Overloaded`; anything else (garbled frame, reset, untyped error)
+/// counts as `other_errors` and means the overload contract is broken.
+struct OverloadRun {
+    max_inflight: usize,
+    clients: usize,
+    offered: u64,
+    ok: u64,
+    overloaded: u64,
+    other_errors: u64,
+    goodput_req_per_s: f64,
+    min_retry_hint_ms: u64,
+    max_retry_hint_ms: u64,
+}
+
+fn measure_overload(repeat: usize) -> OverloadRun {
+    let max_inflight = 4;
+    let clients = 16; // 4× the admission budget
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+                device: Device::Parallel,
+            },
+            max_inflight,
+            ..RegistryConfig::default()
+        },
+    })
+    .expect("start overload server");
+    server.registry().install("ctr", counter_model()).expect("install");
+    let addr = server.local_addr().to_string();
+
+    let stim = "1 x32\n0 x16\n1 x16\n".to_string();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let stim = stim.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                let (mut ok, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+                let (mut hint_min, mut hint_max) = (u64::MAX, 0u64);
+                for _ in 0..repeat {
+                    match c.sim("ctr", &stim) {
+                        Ok(_) => ok += 1,
+                        Err(ClientError::Overloaded { retry_after_ms }) => {
+                            overloaded += 1;
+                            hint_min = hint_min.min(retry_after_ms);
+                            hint_max = hint_max.max(retry_after_ms);
+                        }
+                        Err(_) => other += 1,
+                    }
+                }
+                (ok, overloaded, other, hint_min, hint_max)
+            })
+        })
+        .collect();
+    let (mut ok, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+    let (mut hint_min, mut hint_max) = (u64::MAX, 0u64);
+    for h in handles {
+        let (o, ov, ot, hmin, hmax) = h.join().expect("overload client");
+        ok += o;
+        overloaded += ov;
+        other += ot;
+        hint_min = hint_min.min(hmin);
+        hint_max = hint_max.max(hmax);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    c.shutdown().expect("shutdown");
+    server.join();
+
+    OverloadRun {
+        max_inflight,
+        clients,
+        offered: (clients * repeat) as u64,
+        ok,
+        overloaded,
+        other_errors: other,
+        goodput_req_per_s: ok as f64 / elapsed_s,
+        min_retry_hint_ms: if hint_min == u64::MAX { 0 } else { hint_min },
+        max_retry_hint_ms: hint_max,
+    }
 }
 
 fn main() {
@@ -85,12 +181,11 @@ fn main() {
                 max_wait: Duration::from_millis(1),
                 device: Device::Parallel,
             },
+            ..RegistryConfig::default()
         },
     })
     .expect("start server");
-    let nn = compile(&c2nn_circuits::generators::counter(8), CompileOptions::with_l(4))
-        .expect("compile");
-    server.registry().install("ctr", nn).expect("install");
+    server.registry().install("ctr", counter_model()).expect("install");
     let addr = server.local_addr().to_string();
 
     // warm up connections, pool threads, and the batcher
@@ -114,6 +209,20 @@ fn main() {
         points.push(p);
     }
 
+    // shut the sweep server down before the overload run so the two don't
+    // share the worker pool's attention
+    let mut c = Client::connect(&addr).expect("connect");
+    c.shutdown().expect("shutdown");
+    server.join();
+
+    let peak_req_per_s = points.iter().map(|p| p.req_per_s).fold(0.0, f64::max);
+    let ov = measure_overload(repeat);
+    println!(
+        "overload: {} clients vs max_inflight {} — {} offered, {} ok, {} overloaded, {} other; goodput {:.1} req/s (peak {:.1})",
+        ov.clients, ov.max_inflight, ov.offered, ov.ok, ov.overloaded, ov.other_errors,
+        ov.goodput_req_per_s, peak_req_per_s
+    );
+
     let json = Json::Obj(vec![
         ("bench".into(), "serve_throughput".to_json()),
         ("stim_cycles".into(), 64u64.to_json()),
@@ -135,6 +244,21 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "overload".into(),
+            Json::Obj(vec![
+                ("max_inflight".into(), (ov.max_inflight as u64).to_json()),
+                ("clients".into(), (ov.clients as u64).to_json()),
+                ("offered".into(), ov.offered.to_json()),
+                ("ok".into(), ov.ok.to_json()),
+                ("overloaded".into(), ov.overloaded.to_json()),
+                ("other_errors".into(), ov.other_errors.to_json()),
+                ("goodput_req_per_s".into(), ov.goodput_req_per_s.to_json()),
+                ("peak_req_per_s".into(), peak_req_per_s.to_json()),
+                ("min_retry_hint_ms".into(), ov.min_retry_hint_ms.to_json()),
+                ("max_retry_hint_ms".into(), ov.max_retry_hint_ms.to_json()),
+            ]),
+        ),
     ]);
     std::fs::create_dir_all("results").ok();
     let path = "results/BENCH_serve.json";
@@ -142,8 +266,4 @@ fn main() {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
-
-    let mut c = Client::connect(&addr).expect("connect");
-    c.shutdown().expect("shutdown");
-    server.join();
 }

@@ -1,0 +1,281 @@
+//! Admission control: bounded in-flight budgets and typed overload replies.
+//!
+//! The thread-per-connection server used to queue without limit — past
+//! saturation, latency grew unboundedly and the only "overload signal" a
+//! client ever saw was a timeout. This module makes overload a *contract*:
+//!
+//! * a **global in-flight budget** (`max_inflight`) bounds how many `sim`
+//!   requests may be between admission and reply at once, enforced by RAII
+//!   [`SimPermit`]s — a permit leak is a compile error, not a slow drift;
+//! * a **per-model soft budget** (`max_inflight_per_model`) keeps one hot
+//!   model from starving the rest (soft because it reads the model's queue
+//!   depth without a lock; it can overshoot by at most the number of
+//!   connections racing the check);
+//! * rejected requests get a typed `Overloaded { retry_after_ms }` reply —
+//!   never a dropped connection, never unbounded queueing;
+//! * the **degradation order is fixed**: `load`s are refused at
+//!   [`Pressure::Elevated`] (half the budget), `sim`s only at
+//!   [`Pressure::Saturated`] (full budget), and everything is refused with
+//!   `ShuttingDown` once [`Admission::begin_drain`] is called. Loads are
+//!   shed first because they are the expensive, deferrable operation:
+//!   admitting a model costs a full parse + validation and permanently
+//!   grows the working set, while a sim is the business.
+//!
+//! The scheduler also reads [`Admission::pressure`] to widen its coalescing
+//! window under load — bigger batches trade per-request latency for
+//! goodput exactly when that trade is worth making.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How loaded the server currently is, derived from the global in-flight
+/// count against `max_inflight`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// Below half the budget: everything is admitted.
+    Nominal,
+    /// At or above half the budget: new `load`s are refused, the
+    /// coalescer widens its batching window.
+    Elevated,
+    /// Budget exhausted: new `sim`s are refused too.
+    Saturated,
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Budget exhausted; retry after the hinted delay.
+    Overloaded {
+        /// Client-facing retry hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+/// Shared admission state; one per server, owned by the registry.
+pub struct Admission {
+    max_inflight: usize,
+    max_inflight_per_model: usize,
+    /// Base of the `retry_after_ms` hint — one coalescing window, because
+    /// that is how long it takes the scheduler to drain a batch's worth of
+    /// queued lanes.
+    retry_hint_ms: u64,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    /// `sim` requests refused with `Overloaded`.
+    pub rejected_sims: AtomicU64,
+    /// `load` requests refused with `Overloaded`.
+    pub rejected_loads: AtomicU64,
+    /// Requests refused with `ShuttingDown` during drain.
+    pub rejected_draining: AtomicU64,
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("max_inflight", &self.max_inflight)
+            .field("inflight", &self.inflight.load(Ordering::Relaxed))
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for one admitted `sim`: holds a unit of the global in-flight
+/// budget from admission until the reply is written (drop).
+#[derive(Debug)]
+pub struct SimPermit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for SimPermit {
+    fn drop(&mut self) {
+        self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Admission {
+    /// Budgeted admission state. `max_inflight` of 0 is clamped to 1 (a
+    /// server that can admit nothing is just `begin_drain`).
+    pub fn new(max_inflight: usize, max_inflight_per_model: usize, retry_hint_ms: u64) -> Arc<Admission> {
+        Arc::new(Admission {
+            max_inflight: max_inflight.max(1),
+            max_inflight_per_model: max_inflight_per_model.max(1),
+            retry_hint_ms: retry_hint_ms.clamp(1, 1_000),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            rejected_sims: AtomicU64::new(0),
+            rejected_loads: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+        })
+    }
+
+    /// An effectively unbounded instance (tests, in-process embedding).
+    pub fn unbounded() -> Arc<Admission> {
+        Admission::new(usize::MAX, usize::MAX, 1)
+    }
+
+    /// The configured global budget.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// `sim` requests currently between admission and reply.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Current pressure level; also consulted by the scheduler to widen
+    /// its coalescing window.
+    pub fn pressure(&self) -> Pressure {
+        let inflight = self.inflight();
+        if inflight >= self.max_inflight {
+            Pressure::Saturated
+        } else if inflight.saturating_mul(2) >= self.max_inflight {
+            Pressure::Elevated
+        } else {
+            Pressure::Nominal
+        }
+    }
+
+    /// Stop admitting anything; in-flight work keeps its permits and
+    /// completes. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the server refusing all new work?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// How long a rejected client should wait before retrying: one
+    /// coalescing window per queued-budget's worth of backlog, clamped to
+    /// `[1ms, 1s]` so the hint is always actionable.
+    pub fn retry_after_ms(&self) -> u64 {
+        let backlog_windows =
+            1 + (self.inflight().saturating_sub(self.max_inflight) / self.max_inflight) as u64;
+        self.retry_hint_ms.saturating_mul(backlog_windows).clamp(1, 1_000)
+    }
+
+    /// Try to admit one `sim` under the global budget.
+    pub fn try_admit_sim(self: &Arc<Self>) -> Result<SimPermit, AdmitError> {
+        if self.draining() {
+            self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::ShuttingDown);
+        }
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n < self.max_inflight {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if admitted {
+            Ok(SimPermit { admission: Arc::clone(self) })
+        } else {
+            self.rejected_sims.fetch_add(1, Ordering::Relaxed);
+            Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() })
+        }
+    }
+
+    /// Check the per-model soft budget against the model's live queue
+    /// depth (sampled by the caller from its counters).
+    pub fn check_model_budget(&self, model_queue_depth: u64) -> Result<(), AdmitError> {
+        if model_queue_depth >= self.max_inflight_per_model as u64 {
+            self.rejected_sims.fetch_add(1, Ordering::Relaxed);
+            Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Try to admit one `load`. Loads shed first: refused at
+    /// [`Pressure::Elevated`], not just [`Pressure::Saturated`].
+    pub fn try_admit_load(&self) -> Result<(), AdmitError> {
+        if self.draining() {
+            self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::ShuttingDown);
+        }
+        if self.pressure() >= Pressure::Elevated {
+            self.rejected_loads.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_enforced_and_released() {
+        let adm = Admission::new(2, usize::MAX, 5);
+        let p1 = adm.try_admit_sim().unwrap();
+        let p2 = adm.try_admit_sim().unwrap();
+        let err = adm.try_admit_sim().unwrap_err();
+        assert!(matches!(err, AdmitError::Overloaded { retry_after_ms } if (1..=1000).contains(&retry_after_ms)));
+        assert_eq!(adm.rejected_sims.load(Ordering::Relaxed), 1);
+        drop(p1);
+        let _p3 = adm.try_admit_sim().expect("released permit readmits");
+        drop(p2);
+    }
+
+    #[test]
+    fn pressure_ladder() {
+        let adm = Admission::new(4, usize::MAX, 1);
+        assert_eq!(adm.pressure(), Pressure::Nominal);
+        let _a = adm.try_admit_sim().unwrap();
+        assert_eq!(adm.pressure(), Pressure::Nominal);
+        let _b = adm.try_admit_sim().unwrap();
+        assert_eq!(adm.pressure(), Pressure::Elevated, "half budget");
+        let _c = adm.try_admit_sim().unwrap();
+        let _d = adm.try_admit_sim().unwrap();
+        assert_eq!(adm.pressure(), Pressure::Saturated);
+    }
+
+    #[test]
+    fn loads_shed_before_sims() {
+        let adm = Admission::new(2, usize::MAX, 1);
+        assert!(adm.try_admit_load().is_ok());
+        let _p = adm.try_admit_sim().unwrap(); // 1/2 in flight → Elevated
+        assert!(
+            matches!(adm.try_admit_load(), Err(AdmitError::Overloaded { .. })),
+            "loads refused while sims still admitted"
+        );
+        let _p2 = adm.try_admit_sim().expect("sims still admitted at Elevated");
+        assert!(matches!(adm.try_admit_sim(), Err(AdmitError::Overloaded { .. })));
+        assert_eq!(adm.rejected_loads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn draining_refuses_everything_typed() {
+        let adm = Admission::new(8, usize::MAX, 1);
+        adm.begin_drain();
+        assert!(matches!(adm.try_admit_sim(), Err(AdmitError::ShuttingDown)));
+        assert!(matches!(adm.try_admit_load(), Err(AdmitError::ShuttingDown)));
+        assert_eq!(adm.rejected_draining.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn per_model_soft_budget() {
+        let adm = Admission::new(100, 4, 1);
+        assert!(adm.check_model_budget(3).is_ok());
+        assert!(matches!(
+            adm.check_model_budget(4),
+            Err(AdmitError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_and_sane() {
+        let adm = Admission::new(1, usize::MAX, 500_000);
+        assert!(adm.retry_after_ms() <= 1_000);
+        let adm = Admission::new(1, usize::MAX, 0);
+        assert!(adm.retry_after_ms() >= 1);
+    }
+}

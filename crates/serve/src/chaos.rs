@@ -1,0 +1,392 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! PR 1's `faults` module proved fault injection at the *model* level
+//! (bit-flips in weights and state). This module lifts the same discipline
+//! to the *service* level: every failure mode the server claims to survive
+//! — hostile clients, corrupt frames, worker panics, scheduler stalls — can
+//! be injected on demand, driven by a seeded RNG so a failing scenario
+//! reproduces byte-for-byte.
+//!
+//! Two halves:
+//!
+//! * **Server-side injection** ([`Chaos`]): constructed from a
+//!   [`ChaosConfig`] spec (`c2nn serve --chaos "seed=7,worker_panic=1,..."`)
+//!   and consulted by the scheduler before each batch. Injections are
+//!   probability-gated *and* budget-capped, so a test can say "exactly one
+//!   worker panic, then clean" (`worker_panic=1,worker_panic_budget=1`).
+//! * **Hostile-client helpers** ([`slow_loris_request`],
+//!   [`send_corrupt_frame`], [`send_truncated_frame`]): drive the listed
+//!   attack patterns against a live server; used by the chaos integration
+//!   suite and the CI `chaos-smoke` job.
+//!
+//! Nothing here runs unless a `Chaos` handle is installed — a production
+//! server with no `--chaos` flag pays one `Option` check per batch.
+
+use crate::protocol::{FrameReader, Request, Response};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Small deterministic RNG (splitmix64). Not cryptographic — its job is
+/// reproducible chaos schedules and backoff jitter, keyed by a seed that a
+/// failing CI run can print.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator; the same seed yields the same sequence forever.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// `base` jittered uniformly into `[base/2, base]` — the classic
+    /// "equal jitter" backoff shape that decorrelates retry storms while
+    /// keeping a floor.
+    pub fn jitter(&mut self, base: Duration) -> Duration {
+        let half = base / 2;
+        half + Duration::from_nanos(self.next_below(half.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + injection state
+// ---------------------------------------------------------------------------
+
+/// Parsed `--chaos` spec. All rates are probabilities in `[0, 1]` rolled
+/// per batch; budgets cap the total number of injections (default
+/// unlimited) so scenarios terminate deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// RNG seed; the whole injection schedule is a pure function of it.
+    pub seed: u64,
+    /// Probability that a batch's forward pass loses a pool worker to an
+    /// injected panic.
+    pub worker_panic: f64,
+    /// Maximum worker panics to ever inject.
+    pub worker_panic_budget: u64,
+    /// Probability that the scheduler stalls for [`stall_ms`](Self::stall_ms)
+    /// before dispatching a batch.
+    pub stall: f64,
+    /// Stall length in milliseconds.
+    pub stall_ms: u64,
+    /// Maximum stalls to ever inject.
+    pub stall_budget: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            worker_panic: 0.0,
+            worker_panic_budget: u64::MAX,
+            stall: 0.0,
+            stall_ms: 20,
+            stall_budget: u64::MAX,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parse a comma-separated `key=value` spec, e.g.
+    /// `"seed=7,worker_panic=0.05,stall=0.1,stall_ms=50,stall_budget=3"`.
+    /// Unknown keys, bad numbers, and out-of-range rates are typed errors —
+    /// a chaos run with a typo'd spec must not silently test nothing.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec: `{part}` is not key=value"))?;
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("chaos spec: {key} expects an integer, got `{v}`"))
+            };
+            let rate = |v: &str| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| {
+                        format!("chaos spec: {key} expects a probability in [0,1], got `{v}`")
+                    })
+            };
+            match key.trim() {
+                "seed" => cfg.seed = int(value)?,
+                "worker_panic" => cfg.worker_panic = rate(value)?,
+                "worker_panic_budget" => cfg.worker_panic_budget = int(value)?,
+                "stall" => cfg.stall = rate(value)?,
+                "stall_ms" => cfg.stall_ms = int(value)?,
+                "stall_budget" => cfg.stall_budget = int(value)?,
+                other => return Err(format!("chaos spec: unknown key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Live injection state: the parsed config, the seeded RNG, remaining
+/// budgets, and counters of what was actually injected (exported through
+/// the server stats endpoint so a chaos run can assert its schedule fired).
+pub struct Chaos {
+    cfg: ChaosConfig,
+    rng: Mutex<Rng>,
+    panics_left: AtomicU64,
+    stalls_left: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_stalls: AtomicU64,
+}
+
+impl fmt::Debug for Chaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chaos")
+            .field("cfg", &self.cfg)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl Chaos {
+    /// Arm a chaos schedule.
+    pub fn new(cfg: ChaosConfig) -> Arc<Chaos> {
+        Arc::new(Chaos {
+            rng: Mutex::new(Rng::new(cfg.seed)),
+            panics_left: AtomicU64::new(cfg.worker_panic_budget),
+            stalls_left: AtomicU64::new(cfg.stall_budget),
+            injected_panics: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+            cfg,
+        })
+    }
+
+    /// The schedule this instance was armed with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Total injections performed so far (panics + stalls).
+    pub fn injected(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+            + self.injected_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Scheduler stalls injected so far.
+    pub fn injected_stalls(&self) -> u64 {
+        self.injected_stalls.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.lock().unwrap_or_else(|e| e.into_inner()).next_f64() < p
+    }
+
+    fn take_budget(left: &AtomicU64) -> bool {
+        left.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Should this batch lose a worker? Consumes budget only on a hit.
+    pub fn take_worker_panic(&self) -> bool {
+        if self.roll(self.cfg.worker_panic) && Self::take_budget(&self.panics_left) {
+            self.injected_panics.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Should the scheduler stall before this batch, and for how long?
+    pub fn take_stall(&self) -> Option<Duration> {
+        if self.roll(self.cfg.stall) && Self::take_budget(&self.stalls_left) {
+            self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+            return Some(Duration::from_millis(self.cfg.stall_ms));
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-client helpers
+// ---------------------------------------------------------------------------
+
+/// Read one response frame with a hard timeout, so a wedged server fails a
+/// chaos scenario instead of hanging it.
+fn read_response(stream: TcpStream, timeout: Duration) -> Result<Response, String> {
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let mut reader = FrameReader::new(stream);
+    let frame = reader
+        .read_frame()
+        .map_err(|e| format!("reading response: {e}"))?
+        .ok_or_else(|| "server closed before replying".to_string())?;
+    let text = String::from_utf8(frame).map_err(|_| "response is not UTF-8".to_string())?;
+    Response::decode(&text).map_err(|e| e.to_string())
+}
+
+/// Slow-loris: send a legitimate request one byte at a time with
+/// `byte_delay` pauses, then read the reply. A robust server serves it
+/// (slowly) without starving other connections or wedging; the caller
+/// asserts on the decoded [`Response`].
+pub fn slow_loris_request(
+    addr: &str,
+    req: &Request,
+    byte_delay: Duration,
+    reply_timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut body = req.encode().into_bytes();
+    body.push(b'\n');
+    for b in &body {
+        stream.write_all(&[*b]).map_err(|e| format!("slow write: {e}"))?;
+        stream.flush().ok();
+        std::thread::sleep(byte_delay);
+    }
+    read_response(stream, reply_timeout)
+}
+
+/// Send `len` seeded random bytes terminated by a newline — a syntactically
+/// complete but garbage frame — and return the server's reply. A robust
+/// server answers with a typed `Error` (bad UTF-8 or bad JSON) and keeps
+/// the process alive.
+pub fn send_corrupt_frame(
+    addr: &str,
+    rng: &mut Rng,
+    len: usize,
+    reply_timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut bytes: Vec<u8> = (0..len)
+        .map(|_| {
+            // any byte except the frame terminator
+            let b = (rng.next_u64() & 0xFF) as u8;
+            if b == b'\n' {
+                b'\r'
+            } else {
+                b
+            }
+        })
+        .collect();
+    bytes.push(b'\n');
+    stream.write_all(&bytes).map_err(|e| format!("write: {e}"))?;
+    read_response(stream, reply_timeout)
+}
+
+/// Send the first `keep` bytes of a valid request frame, then abandon the
+/// connection (truncated frame). The server must treat the mid-frame EOF
+/// as that connection's problem only. Returns the bytes actually sent.
+pub fn send_truncated_frame(addr: &str, req: &Request, keep: usize) -> Result<usize, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let body = req.encode().into_bytes(); // no trailing newline: always truncated
+    let keep = keep.min(body.len());
+    stream.write_all(&body[..keep]).map_err(|e| format!("write: {e}"))?;
+    stream.flush().ok();
+    // explicit half-close so the server sees EOF mid-frame immediately
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut sink = [0u8; 64];
+    stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+    let _ = stream.read(&mut sink); // drain any typed error reply
+    Ok(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = Rng::new(7).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn jitter_stays_in_half_open_band() {
+        let mut rng = Rng::new(3);
+        let base = Duration::from_millis(100);
+        for _ in 0..200 {
+            let j = rng.jitter(base);
+            assert!(j >= base / 2 && j <= base, "{j:?}");
+        }
+    }
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        let cfg = ChaosConfig::parse("seed=7, worker_panic=1, worker_panic_budget=2").unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.worker_panic, 1.0);
+        assert_eq!(cfg.worker_panic_budget, 2);
+        assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+        assert!(ChaosConfig::parse("bogus=1").is_err());
+        assert!(ChaosConfig::parse("worker_panic=2").is_err(), "rate > 1 rejected");
+        assert!(ChaosConfig::parse("stall_ms").is_err(), "missing value rejected");
+    }
+
+    #[test]
+    fn budgets_cap_injections() {
+        let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=2").unwrap());
+        assert!(chaos.take_worker_panic());
+        assert!(chaos.take_worker_panic());
+        assert!(!chaos.take_worker_panic(), "budget exhausted");
+        assert_eq!(chaos.injected_panics(), 2);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let chaos = Chaos::new(ChaosConfig::default());
+        for _ in 0..100 {
+            assert!(!chaos.take_worker_panic());
+            assert!(chaos.take_stall().is_none());
+        }
+        assert_eq!(chaos.injected(), 0);
+    }
+
+    #[test]
+    fn stall_carries_configured_length() {
+        let chaos = Chaos::new(ChaosConfig::parse("stall=1,stall_ms=35,stall_budget=1").unwrap());
+        assert_eq!(chaos.take_stall(), Some(Duration::from_millis(35)));
+        assert_eq!(chaos.take_stall(), None);
+        assert_eq!(chaos.injected_stalls(), 1);
+    }
+}

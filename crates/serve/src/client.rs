@@ -1,11 +1,21 @@
 //! Blocking client for the serving protocol — used by the `c2nn client`
 //! CLI, the load generator, and the integration tests.
+//!
+//! Overload is part of the protocol, so it is part of the client: typed
+//! rejections ([`Response::Overloaded`], [`Response::DeadlineExceeded`],
+//! [`Response::ShuttingDown`]) surface as their own [`ClientError`]
+//! variants rather than opaque strings, and [`Backoff`] implements the
+//! capped, jittered, deterministic exponential backoff the load generator
+//! uses to retry transient failures without synchronized retry storms.
 
+use crate::chaos::Rng;
 use crate::protocol::{
-    write_frame, FrameReader, ModelStatsReport, Request, Response, ProtocolError,
+    write_frame, FrameReader, ModelStatsReport, ProtocolError, Request, Response,
+    ServerStatsReport,
 };
 use std::io::{self, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// One connection to a c2nn server. Strictly request/response: each helper
 /// sends one frame and blocks for one reply.
@@ -14,8 +24,8 @@ pub struct Client {
     reader: FrameReader<TcpStream>,
 }
 
-/// Client-side failures: transport errors, protocol violations, or an
-/// `Error` response from the server.
+/// Client-side failures: transport errors, protocol violations, typed
+/// overload/shutdown rejections, or an `Error` response from the server.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure.
@@ -24,6 +34,15 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The server replied with an error message.
     Server(String),
+    /// The server refused the request under load; retry after the hint.
+    Overloaded {
+        /// Server-suggested retry delay in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the server could run it.
+    DeadlineExceeded,
+    /// The server is draining and refused the request.
+    ShuttingDown,
     /// The server replied with a well-formed but unexpected response kind.
     Unexpected(&'static str),
 }
@@ -34,6 +53,11 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms}ms)")
+            }
+            ClientError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ClientError::ShuttingDown => write!(f, "server shutting down"),
             ClientError::Unexpected(what) => {
                 write!(f, "unexpected response (wanted {what})")
             }
@@ -42,6 +66,42 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Is this failure worth retrying on a fresh connection after a
+    /// backoff? Covers connection-level races (refused/reset mid-restart,
+    /// server closed while we were queued) and typed `Overloaded`
+    /// rejections. `ShuttingDown`, deadline misses, and real server errors
+    /// are not transient: retrying them immediately is either futile or
+    /// wrong.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Overloaded { .. } => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::Interrupted
+            ),
+            _ => false,
+        }
+    }
+
+    /// The server's retry hint, if this error carried one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Overloaded { retry_after_ms } => {
+                Some(Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
@@ -55,6 +115,58 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// One `stats` reply: per-model counters plus the server-wide
+/// overload/health block.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Per-model serving counters.
+    pub models: Vec<ModelStatsReport>,
+    /// Server-wide admission/pressure/chaos counters.
+    pub server: ServerStatsReport,
+}
+
+/// Capped exponential backoff with equal jitter, driven by the same
+/// deterministic RNG as the chaos harness: a load-generator run with a
+/// fixed seed retries on an identical schedule every time.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    rng: Rng,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Backoff starting at `base`, doubling per attempt, never exceeding
+    /// `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff { rng: Rng::new(seed), base: base.max(Duration::from_millis(1)), cap, attempt: 0 }
+    }
+
+    /// Forget accumulated attempts (call after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Attempts since the last [`reset`](Self::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: `base * 2^attempt` jittered into `[d/2, d]`,
+    /// floored by the server's `retry_after` hint if one was given, capped
+    /// at `cap`.
+    pub fn next_delay(&mut self, hint: Option<Duration>) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let jittered = self.rng.jitter(exp);
+        jittered.max(hint.unwrap_or(Duration::ZERO)).min(self.cap)
+    }
+}
+
 impl Client {
     /// Connect to `addr` (`host:port`).
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
@@ -64,7 +176,32 @@ impl Client {
         Ok(Client { writer, reader: FrameReader::new(stream) })
     }
 
-    /// Send one request and block for its response.
+    /// Connect, retrying transient failures (connection refused/reset) up
+    /// to `max_retries` times under `backoff`. Returns the client and how
+    /// many retries it took.
+    pub fn connect_with_retry(
+        addr: &str,
+        backoff: &mut Backoff,
+        max_retries: u32,
+    ) -> Result<(Client, u32), ClientError> {
+        let mut retries = 0;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok((c, retries)),
+                Err(e) if e.is_transient() && retries < max_retries => {
+                    std::thread::sleep(backoff.next_delay(e.retry_after()));
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send one request and block for its response. Typed rejections
+    /// (`Overloaded`, `DeadlineExceeded`) become typed errors;
+    /// `ShuttingDown` passes through as a response because for a
+    /// `shutdown` request it is the success ack — helpers that did not ask
+    /// for it map it to [`ClientError::ShuttingDown`].
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.writer, &req.encode())?;
         let frame = loop {
@@ -88,17 +225,21 @@ impl Client {
         let text = String::from_utf8(frame).map_err(|_| {
             ClientError::Protocol(ProtocolError { message: "response is not UTF-8".into() })
         })?;
-        let resp = Response::decode(&text)?;
-        if let Response::Error { message } = resp {
-            return Err(ClientError::Server(message));
+        match Response::decode(&text)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Overloaded { retry_after_ms } => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
+            Response::DeadlineExceeded => Err(ClientError::DeadlineExceeded),
+            resp => Ok(resp),
         }
-        Ok(resp)
     }
 
     /// Liveness probe; returns the server's protocol version.
     pub fn ping(&mut self) -> Result<u32, ClientError> {
         match self.request(&Request::Ping)? {
             Response::Pong { version } => Ok(version),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
             _ => Err(ClientError::Unexpected("pong")),
         }
     }
@@ -109,30 +250,49 @@ impl Client {
         let req = Request::Load {
             name: name.to_string(),
             model_json: model_json.to_string(),
+            deadline_ms: None,
         };
         match self.request(&req)? {
             Response::Loaded { bytes, .. } => Ok(bytes),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
             _ => Err(ClientError::Unexpected("loaded")),
         }
     }
 
     /// Run one `.stim` testbench; returns per-cycle MSB-first output
-    /// strings. Convenience wrapper that discards the cycle count (it
-    /// equals `outputs.len()`).
-    pub fn sim(&mut self, model: &str, stim: &str) -> Result<Vec<String>, String> {
-        let req = Request::Sim { model: model.to_string(), stim: stim.to_string() };
-        match self.request(&req) {
-            Ok(Response::SimResult { outputs, .. }) => Ok(outputs),
-            Ok(_) => Err("unexpected response (wanted sim result)".to_string()),
-            Err(ClientError::Server(msg)) => Err(msg),
-            Err(e) => Err(e.to_string()),
+    /// strings. Convenience wrapper over [`sim_with_deadline`](Self::sim_with_deadline)
+    /// with no deadline.
+    pub fn sim(&mut self, model: &str, stim: &str) -> Result<Vec<String>, ClientError> {
+        self.sim_with_deadline(model, stim, None)
+    }
+
+    /// Run one `.stim` testbench with an optional end-to-end deadline in
+    /// milliseconds; a request the server cannot start in time comes back
+    /// as [`ClientError::DeadlineExceeded`] instead of a late answer.
+    pub fn sim_with_deadline(
+        &mut self,
+        model: &str,
+        stim: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<String>, ClientError> {
+        let req = Request::Sim {
+            model: model.to_string(),
+            stim: stim.to_string(),
+            deadline_ms,
+        };
+        match self.request(&req)? {
+            Response::SimResult { outputs, .. } => Ok(outputs),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            _ => Err(ClientError::Unexpected("sim result")),
         }
     }
 
-    /// Fetch per-model serving counters.
-    pub fn stats(&mut self) -> Result<Vec<ModelStatsReport>, ClientError> {
+    /// Fetch per-model serving counters plus the server-wide overload
+    /// block.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.request(&Request::Stats)? {
-            Response::Stats { models } => Ok(models),
+            Response::Stats { models, server } => Ok(StatsSnapshot { models, server }),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
             _ => Err(ClientError::Unexpected("stats")),
         }
     }
@@ -149,5 +309,51 @@ impl Client {
     /// safety valve for symmetry).
     pub fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_respects_hints() {
+        let mut b = Backoff::new(7, Duration::from_millis(10), Duration::from_millis(200));
+        let d1 = b.next_delay(None);
+        assert!(d1 >= Duration::from_millis(5) && d1 <= Duration::from_millis(10), "{d1:?}");
+        for _ in 0..10 {
+            assert!(b.next_delay(None) <= Duration::from_millis(200), "capped");
+        }
+        // a server hint floors the delay
+        b.reset();
+        let hinted = b.next_delay(Some(Duration::from_millis(50)));
+        assert!(hinted >= Duration::from_millis(50), "{hinted:?}");
+        assert!(hinted <= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mut a = Backoff::new(3, Duration::from_millis(10), Duration::from_secs(1));
+        let mut b = Backoff::new(3, Duration::from_millis(10), Duration::from_secs(1));
+        for _ in 0..20 {
+            assert_eq!(a.next_delay(None), b.next_delay(None));
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ClientError::Overloaded { retry_after_ms: 5 }.is_transient());
+        assert!(ClientError::Io(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "refused"
+        ))
+        .is_transient());
+        assert!(!ClientError::ShuttingDown.is_transient());
+        assert!(!ClientError::DeadlineExceeded.is_transient());
+        assert!(!ClientError::Server("boom".into()).is_transient());
+        assert_eq!(
+            ClientError::Overloaded { retry_after_ms: 7 }.retry_after(),
+            Some(Duration::from_millis(7))
+        );
     }
 }

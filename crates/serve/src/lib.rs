@@ -23,6 +23,12 @@
 //! * [`stats`] — relaxed atomic counters and a log-bucketed latency
 //!   histogram per model, served over the same protocol.
 //! * [`signal`] — SIGINT → graceful shutdown, without a libc dependency.
+//! * [`admission`] — bounded in-flight budgets, a pressure ladder, and
+//!   typed `Overloaded`/`ShuttingDown` rejections: overload is a contract,
+//!   not a timeout.
+//! * [`chaos`] — deterministic, seeded fault injection (worker panics,
+//!   scheduler stalls, hostile clients) for the chaos test suite and the
+//!   CI `chaos-smoke` job.
 //!
 //! Batched forward passes execute on the persistent worker pool in
 //! `c2nn-tensor` ([`c2nn_tensor::Pool`]), so serving steady-state does no
@@ -31,6 +37,8 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
+pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod registry;
@@ -39,11 +47,13 @@ pub mod server;
 pub mod signal;
 pub mod stats;
 
-pub use client::{Client, ClientError};
+pub use admission::{Admission, AdmitError, Pressure, SimPermit};
+pub use chaos::{Chaos, ChaosConfig, Rng};
+pub use client::{Backoff, Client, ClientError, StatsSnapshot};
 pub use protocol::{
-    FrameReader, ModelStatsReport, ProtocolError, Request, Response, MAX_FRAME,
-    PROTOCOL_VERSION,
+    FrameReader, ModelStatsReport, ProtocolError, Request, Response,
+    ServerStatsReport, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use registry::{Registry, RegistryConfig};
-pub use scheduler::{BatchConfig, ServedModel, SimOutput};
+pub use scheduler::{BatchConfig, ServedModel, SimFailure, SimOutput};
 pub use server::{spawn_server, ServerConfig, ServerHandle};

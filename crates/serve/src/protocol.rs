@@ -15,8 +15,10 @@ use c2nn_json::{Json, ToJson};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol revision spoken by this build.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol revision spoken by this build. v2 added optional request
+/// deadlines and the typed overload replies (`overloaded`,
+/// `deadline_exceeded`) plus the server-level stats block.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard upper bound on one frame's length in bytes (models ship inline in
 /// `load` frames, so this is generous).
@@ -33,6 +35,9 @@ pub enum Request {
         name: String,
         /// the full `c2nn-model` JSON document, as text
         model_json: String,
+        /// optional deadline, milliseconds from server receipt; past it the
+        /// server replies `DeadlineExceeded` instead of doing the work
+        deadline_ms: Option<u64>,
     },
     /// Run one testbench against model `model`. `stim` is `.stim` text
     /// (one MSB-first input line per cycle, `xN` repeats, `#` comments).
@@ -41,6 +46,10 @@ pub enum Request {
         model: String,
         /// the testbench in `.stim` format
         stim: String,
+        /// optional deadline, milliseconds from server receipt; lanes whose
+        /// deadline passes before batch dispatch are shed with a typed
+        /// `DeadlineExceeded` reply
+        deadline_ms: Option<u64>,
     },
     /// Fetch per-model serving counters.
     Stats,
@@ -70,6 +79,8 @@ pub struct ModelStatsReport {
     pub p50_us: u64,
     /// p99 request latency, microseconds (bucket upper bound)
     pub p99_us: u64,
+    /// lanes shed with `DeadlineExceeded` before batch dispatch
+    pub deadline_exceeded: u64,
 }
 
 c2nn_json::json_struct!(ModelStatsReport {
@@ -82,6 +93,43 @@ c2nn_json::json_struct!(ModelStatsReport {
     queue_depth,
     p50_us,
     p99_us,
+    deadline_exceeded,
+});
+
+/// Server-wide overload/health counters reported by [`Response::Stats`]
+/// beside the per-model reports.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ServerStatsReport {
+    /// `sim` requests currently between admission and reply.
+    pub inflight: u64,
+    /// configured global in-flight budget
+    pub max_inflight: u64,
+    /// current pressure level: `"nominal"`, `"elevated"`, or `"saturated"`
+    pub pressure: String,
+    /// is the server draining (refusing all new work)?
+    pub draining: bool,
+    /// `sim` requests refused with `Overloaded`
+    pub rejected_sims: u64,
+    /// `load` requests refused with `Overloaded`
+    pub rejected_loads: u64,
+    /// requests refused with `ShuttingDown` during drain
+    pub rejected_draining: u64,
+    /// worker-pool epochs that lost a participant to a panic
+    pub pool_poisoned_epochs: u64,
+    /// chaos injections performed (0 unless `--chaos` armed a schedule)
+    pub chaos_injected: u64,
+}
+
+c2nn_json::json_struct!(ServerStatsReport {
+    inflight,
+    max_inflight,
+    pressure,
+    draining,
+    rejected_sims,
+    rejected_loads,
+    rejected_draining,
+    pool_poisoned_epochs,
+    chaos_injected,
 });
 
 /// A server-to-client message.
@@ -111,9 +159,24 @@ pub enum Response {
     Stats {
         /// one report per registered model
         models: Vec<ModelStatsReport>,
+        /// server-wide overload/health counters
+        server: ServerStatsReport,
     },
-    /// Server acknowledges [`Request::Shutdown`] and is draining.
+    /// Server acknowledges [`Request::Shutdown`], or refuses a new request
+    /// because it is draining. Either way: no new work, in-flight work
+    /// completes, the connection closes cleanly.
     ShuttingDown,
+    /// Admission control refused the request: the in-flight budget is
+    /// exhausted (or, for `load`s, pressure is elevated). Retry after the
+    /// hinted delay; the connection stays usable.
+    Overloaded {
+        /// suggested client backoff in milliseconds (always `1..=1000`)
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` passed before the server could do the
+    /// work; the lane was shed without simulating. The connection stays
+    /// usable.
+    DeadlineExceeded,
     /// The request failed; the connection stays usable.
     Error {
         /// human-readable diagnostic
@@ -155,16 +218,28 @@ impl Request {
     pub fn encode(&self) -> String {
         let v = match self {
             Request::Ping => Json::Obj(vec![("op".into(), "ping".to_json())]),
-            Request::Load { name, model_json } => Json::Obj(vec![
-                ("op".into(), "load".to_json()),
-                ("name".into(), name.to_json()),
-                ("model_json".into(), model_json.to_json()),
-            ]),
-            Request::Sim { model, stim } => Json::Obj(vec![
-                ("op".into(), "sim".to_json()),
-                ("model".into(), model.to_json()),
-                ("stim".into(), stim.to_json()),
-            ]),
+            Request::Load { name, model_json, deadline_ms } => {
+                let mut fields = vec![
+                    ("op".into(), "load".to_json()),
+                    ("name".into(), name.to_json()),
+                    ("model_json".into(), model_json.to_json()),
+                ];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms".into(), d.to_json()));
+                }
+                Json::Obj(fields)
+            }
+            Request::Sim { model, stim, deadline_ms } => {
+                let mut fields = vec![
+                    ("op".into(), "sim".to_json()),
+                    ("model".into(), model.to_json()),
+                    ("stim".into(), stim.to_json()),
+                ];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms".into(), d.to_json()));
+                }
+                Json::Obj(fields)
+            }
             Request::Stats => Json::Obj(vec![("op".into(), "stats".to_json())]),
             Request::Shutdown => Json::Obj(vec![("op".into(), "shutdown".to_json())]),
         };
@@ -180,10 +255,14 @@ impl Request {
             "load" => Ok(Request::Load {
                 name: str_field(&v, "name")?,
                 model_json: str_field(&v, "model_json")?,
+                deadline_ms: c2nn_json::opt_field(&v, "deadline_ms")
+                    .map_err(|e| ProtocolError::new(e.to_string()))?,
             }),
             "sim" => Ok(Request::Sim {
                 model: str_field(&v, "model")?,
                 stim: str_field(&v, "stim")?,
+                deadline_ms: c2nn_json::opt_field(&v, "deadline_ms")
+                    .map_err(|e| ProtocolError::new(e.to_string()))?,
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -213,14 +292,24 @@ impl Response {
                 ("outputs".into(), outputs.to_json()),
                 ("cycles".into(), cycles.to_json()),
             ]),
-            Response::Stats { models } => Json::Obj(vec![
+            Response::Stats { models, server } => Json::Obj(vec![
                 ("ok".into(), true.to_json()),
                 ("op".into(), "stats".to_json()),
                 ("models".into(), models.to_json()),
+                ("server".into(), server.to_json()),
             ]),
             Response::ShuttingDown => Json::Obj(vec![
                 ("ok".into(), true.to_json()),
                 ("op".into(), "shutdown".to_json()),
+            ]),
+            Response::Overloaded { retry_after_ms } => Json::Obj(vec![
+                ("ok".into(), false.to_json()),
+                ("kind".into(), "overloaded".to_json()),
+                ("retry_after_ms".into(), retry_after_ms.to_json()),
+            ]),
+            Response::DeadlineExceeded => Json::Obj(vec![
+                ("ok".into(), false.to_json()),
+                ("kind".into(), "deadline_exceeded".to_json()),
             ]),
             Response::Error { message } => Json::Obj(vec![
                 ("ok".into(), false.to_json()),
@@ -237,11 +326,21 @@ impl Response {
             .get("ok")
             .and_then(Json::as_bool)
             .ok_or_else(|| ProtocolError::new("missing `ok` field"))?;
+        let field_err = |e: c2nn_json::DecodeError| ProtocolError::new(e.to_string());
         if !ok {
-            return Ok(Response::Error { message: str_field(&v, "error")? });
+            // typed rejections carry a `kind`; untyped failures an `error`
+            return match c2nn_json::opt_field::<String>(&v, "kind").map_err(field_err)?.as_deref() {
+                Some("overloaded") => Ok(Response::Overloaded {
+                    retry_after_ms: c2nn_json::field(&v, "retry_after_ms").map_err(field_err)?,
+                }),
+                Some("deadline_exceeded") => Ok(Response::DeadlineExceeded),
+                Some(other) => {
+                    Err(ProtocolError::new(format!("unknown failure kind `{other}`")))
+                }
+                None => Ok(Response::Error { message: str_field(&v, "error")? }),
+            };
         }
         let op = str_field(&v, "op")?;
-        let field_err = |e: c2nn_json::DecodeError| ProtocolError::new(e.to_string());
         match op.as_str() {
             "pong" => Ok(Response::Pong {
                 version: c2nn_json::field(&v, "version").map_err(field_err)?,
@@ -256,6 +355,10 @@ impl Response {
             }),
             "stats" => Ok(Response::Stats {
                 models: c2nn_json::field(&v, "models").map_err(field_err)?,
+                // absent from pre-v2 servers → defaults, so old captures decode
+                server: c2nn_json::opt_field(&v, "server")
+                    .map_err(field_err)?
+                    .unwrap_or_default(),
             }),
             "shutdown" => Ok(Response::ShuttingDown),
             other => Err(ProtocolError::new(format!("unknown response op `{other}`"))),
@@ -299,6 +402,13 @@ impl<R: Read> FrameReader<R> {
     /// The underlying stream.
     pub fn get_ref(&self) -> &R {
         &self.inner
+    }
+
+    /// Bytes of an incomplete frame currently buffered. The server's drain
+    /// path uses this to tell "client mid-send, wait for their frame" from
+    /// "line is idle, close now".
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
     }
 
     /// Read the next frame body (without the trailing newline).
@@ -380,9 +490,47 @@ mod tests {
         let req = Request::Sim {
             model: "with\nnewline".into(),
             stim: "10\n01 x3\n# comment\n".into(),
+            deadline_ms: Some(250),
         };
         let body = req.encode();
         assert!(!body.contains('\n'), "{body}");
         assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn deadline_field_is_optional_on_the_wire() {
+        // a pre-v2 client frame without deadline_ms still decodes
+        let body = r#"{"op":"sim","model":"m","stim":"1\n"}"#;
+        assert_eq!(
+            Request::decode(body).unwrap(),
+            Request::Sim { model: "m".into(), stim: "1\n".into(), deadline_ms: None }
+        );
+    }
+
+    #[test]
+    fn typed_rejections_roundtrip() {
+        for resp in [
+            Response::Overloaded { retry_after_ms: 7 },
+            Response::DeadlineExceeded,
+            Response::ShuttingDown,
+        ] {
+            let body = resp.encode();
+            assert!(!body.contains('\n'));
+            assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+        // unknown failure kinds are a protocol error, not a silent Error{}
+        assert!(Response::decode(r#"{"ok":false,"kind":"meteor_strike"}"#).is_err());
+    }
+
+    #[test]
+    fn pre_v2_stats_without_server_block_decodes() {
+        let body = r#"{"ok":true,"op":"stats","models":[]}"#;
+        match Response::decode(body).unwrap() {
+            Response::Stats { models, server } => {
+                assert!(models.is_empty());
+                assert_eq!(server, ServerStatsReport::default());
+            }
+            other => panic!("wanted stats, got {other:?}"),
+        }
     }
 }

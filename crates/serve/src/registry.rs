@@ -9,9 +9,13 @@
 //! the batcher queue so the model's batcher thread exits once in-flight
 //! requests drain (clients holding the old `Arc` finish normally).
 
+use crate::admission::Admission;
+use crate::chaos::Chaos;
+use crate::protocol::ServerStatsReport;
 use crate::scheduler::{BatchConfig, ServedModel};
 use crate::stats::ModelCounters;
 use c2nn_core::CompiledNn;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 /// Registry-wide configuration.
@@ -23,6 +27,15 @@ pub struct RegistryConfig {
     pub byte_budget: usize,
     /// Batching parameters applied to every admitted model.
     pub batch: BatchConfig,
+    /// Global bound on `sim` requests between admission and reply; past
+    /// it, clients get typed `Overloaded` replies instead of queueing.
+    pub max_inflight: usize,
+    /// Soft per-model bound on queued+running requests, so one hot model
+    /// cannot starve the rest.
+    pub max_inflight_per_model: usize,
+    /// Armed chaos schedule injected into every model's batcher
+    /// (`None` in production).
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for RegistryConfig {
@@ -30,6 +43,9 @@ impl Default for RegistryConfig {
         RegistryConfig {
             byte_budget: 512 << 20,
             batch: BatchConfig::default(),
+            max_inflight: 1024,
+            max_inflight_per_model: 512,
+            chaos: None,
         }
     }
 }
@@ -44,18 +60,54 @@ struct Inner {
     tick: u64,
 }
 
-/// Thread-safe model cache with LRU byte-budget eviction.
+/// Thread-safe model cache with LRU byte-budget eviction, plus the
+/// server's admission-control state (the registry is the natural owner:
+/// it is the one component every request path already touches).
 pub struct Registry {
     cfg: RegistryConfig,
+    admission: Arc<Admission>,
     inner: Mutex<Inner>,
 }
 
 impl Registry {
     /// Create an empty registry.
     pub fn new(cfg: RegistryConfig) -> Registry {
+        // retry hint = one coalescing window: the time the scheduler needs
+        // to drain one batch's worth of queued lanes
+        let retry_hint_ms = cfg.batch.max_wait.as_millis().clamp(1, 1_000) as u64;
+        let admission =
+            Admission::new(cfg.max_inflight, cfg.max_inflight_per_model, retry_hint_ms);
         Registry {
+            admission,
             cfg,
             inner: Mutex::new(Inner { entries: Vec::new(), tick: 0 }),
+        }
+    }
+
+    /// The admission-control state shared with connection handlers and
+    /// every model's batcher.
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
+    /// The armed chaos schedule, if any.
+    pub fn chaos(&self) -> Option<&Arc<Chaos>> {
+        self.cfg.chaos.as_ref()
+    }
+
+    /// Server-wide overload/health counters for the stats endpoint.
+    pub fn server_report(&self) -> ServerStatsReport {
+        let adm = &self.admission;
+        ServerStatsReport {
+            inflight: adm.inflight() as u64,
+            max_inflight: adm.max_inflight().min(u64::MAX as usize) as u64,
+            pressure: format!("{:?}", adm.pressure()).to_lowercase(),
+            draining: adm.draining(),
+            rejected_sims: adm.rejected_sims.load(Ordering::Relaxed),
+            rejected_loads: adm.rejected_loads.load(Ordering::Relaxed),
+            rejected_draining: adm.rejected_draining.load(Ordering::Relaxed),
+            pool_poisoned_epochs: c2nn_tensor::Pool::global().poisoned_epochs(),
+            chaos_injected: self.cfg.chaos.as_ref().map_or(0, |c| c.injected()),
         }
     }
 
@@ -73,7 +125,13 @@ impl Registry {
     pub fn install(&self, name: &str, nn: CompiledNn<f32>) -> Result<Arc<ServedModel>, String> {
         nn.validate()
             .map_err(|e| format!("model '{name}' failed validation: {e}"))?;
-        let model = ServedModel::spawn(name, nn, self.cfg.batch.clone());
+        let model = ServedModel::spawn(
+            name,
+            nn,
+            self.cfg.batch.clone(),
+            Arc::clone(&self.admission),
+            self.cfg.chaos.clone(),
+        );
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -161,7 +219,7 @@ mod tests {
     }
 
     fn tiny_registry(byte_budget: usize) -> Registry {
-        Registry::new(RegistryConfig { byte_budget, batch: BatchConfig::default() })
+        Registry::new(RegistryConfig { byte_budget, ..RegistryConfig::default() })
     }
 
     #[test]

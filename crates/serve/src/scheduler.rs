@@ -15,14 +15,38 @@
 //! lone client's latency floor is `max_wait` (tune it near zero for
 //! latency, milliseconds for throughput), while under load the queue
 //! usually fills `max_batch` lanes long before the deadline.
+//!
+//! ## Overload behavior
+//!
+//! * Under [`Pressure::Elevated`] the coalescing window widens
+//!   ([`PRESSURE_WAIT_FACTOR`]×): per-request latency is already shot, so
+//!   the scheduler buys goodput with bigger batches instead.
+//! * A job carrying a client deadline that expires before batch dispatch
+//!   is shed with a typed [`SimFailure::DeadlineExceeded`] — its lane never
+//!   occupies the forward pass.
+//! * A panic during the batched forward pass (e.g. a pool worker dying) is
+//!   caught: every lane in the batch gets a typed failure, the runner is
+//!   rebuilt, and the batcher thread survives to serve the next batch —
+//!   the pool respawns its worker on the next job ([`c2nn_tensor::Pool`]
+//!   self-healing).
+//! * An armed [`Chaos`] schedule injects scheduler stalls and worker
+//!   panics here, exercising exactly these paths under a fixed seed.
 
+use crate::admission::{Admission, Pressure};
+use crate::chaos::Chaos;
 use crate::stats::ModelCounters;
 use c2nn_core::{CompiledNn, Session, SessionRunner, Stimulus};
 use c2nn_tensor::Device;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How much the coalescing window widens at [`Pressure::Elevated`] and
+/// above: latency is already dominated by queueing, so trade it for batch
+/// occupancy (= goodput).
+pub const PRESSURE_WAIT_FACTOR: u32 = 4;
 
 /// Tuning for one model's micro-batcher.
 #[derive(Clone, Debug)]
@@ -53,10 +77,35 @@ pub struct SimOutput {
     pub outputs: Vec<Vec<bool>>,
 }
 
+/// Why a submitted job did not produce outputs. Every variant maps to a
+/// typed wire reply — overload and failure are contracts, not strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimFailure {
+    /// The job's client deadline passed before batch dispatch; the lane
+    /// was shed without simulating.
+    DeadlineExceeded,
+    /// The server is draining; the job was not executed.
+    ShuttingDown,
+    /// The batched simulation failed (simulator error or a worker panic).
+    Failed(String),
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimFailure::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            SimFailure::ShuttingDown => write!(f, "server shutting down"),
+            SimFailure::Failed(msg) => write!(f, "batched simulation failed: {msg}"),
+        }
+    }
+}
+
 struct SimJob {
     stim: Stimulus,
-    reply: Sender<Result<SimOutput, String>>,
+    reply: Sender<Result<SimOutput, SimFailure>>,
     enqueued: Instant,
+    /// Absolute client deadline; `None` means "whenever".
+    deadline: Option<Instant>,
 }
 
 /// A model admitted to the registry: the validated network, its byte
@@ -86,8 +135,16 @@ impl std::fmt::Debug for ServedModel {
 
 impl ServedModel {
     /// Validate nothing (the registry already did), wrap `nn`, and spawn
-    /// the model's batcher thread.
-    pub fn spawn(name: &str, nn: CompiledNn<f32>, cfg: BatchConfig) -> Arc<ServedModel> {
+    /// the model's batcher thread. `admission` feeds the pressure signal
+    /// that widens the coalescing window; `chaos`, if armed, injects
+    /// stalls and worker panics into this batcher.
+    pub fn spawn(
+        name: &str,
+        nn: CompiledNn<f32>,
+        cfg: BatchConfig,
+        admission: Arc<Admission>,
+        chaos: Option<Arc<Chaos>>,
+    ) -> Arc<ServedModel> {
         let bytes = nn.memory_bytes();
         let nn = Arc::new(nn);
         let stats = Arc::new(ModelCounters::default());
@@ -98,7 +155,7 @@ impl ServedModel {
             let thread_name = format!("c2nn-batch-{name}");
             std::thread::Builder::new()
                 .name(thread_name)
-                .spawn(move || batch_loop(rx, &nn, &stats, &cfg))
+                .spawn(move || batch_loop(rx, &nn, &stats, &cfg, &admission, chaos.as_deref()))
                 .expect("spawn batcher thread");
         }
         Arc::new(ServedModel {
@@ -110,15 +167,26 @@ impl ServedModel {
         })
     }
 
+    /// [`ServedModel::spawn`] with no pressure coupling and no chaos —
+    /// embedding and test convenience.
+    pub fn spawn_standalone(name: &str, nn: CompiledNn<f32>, cfg: BatchConfig) -> Arc<ServedModel> {
+        ServedModel::spawn(name, nn, cfg, Admission::unbounded(), None)
+    }
+
     /// Enqueue one testbench (already width-checked against
     /// `nn.num_primary_inputs`) and return the channel its result will
     /// arrive on. The caller blocks on `recv()` for as long as it likes —
-    /// or drops the receiver to abandon the request.
-    pub fn submit(&self, stim: Stimulus) -> Receiver<Result<SimOutput, String>> {
+    /// or drops the receiver to abandon the request. A `deadline` in the
+    /// past is legal: the scheduler sheds the lane with a typed reply.
+    pub fn submit(
+        &self,
+        stim: Stimulus,
+        deadline: Option<Instant>,
+    ) -> Receiver<Result<SimOutput, SimFailure>> {
         let (rtx, rrx) = mpsc::channel();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-        let job = SimJob { stim, reply: rtx, enqueued: Instant::now() };
+        let job = SimJob { stim, reply: rtx, enqueued: Instant::now(), deadline };
         if self.queue.send(job).is_err() {
             // batcher thread died (can only happen at teardown); the caller
             // sees a disconnected receiver
@@ -133,11 +201,21 @@ fn batch_loop(
     nn: &CompiledNn<f32>,
     stats: &ModelCounters,
     cfg: &BatchConfig,
+    admission: &Admission,
+    chaos: Option<&Chaos>,
 ) {
     let max_batch = cfg.max_batch.max(1);
     let mut runner = SessionRunner::new(nn, cfg.device);
     while let Ok(first) = rx.recv() {
-        let deadline = first.enqueued + cfg.max_wait;
+        // graceful degradation: past half the in-flight budget, widen the
+        // coalescing window — requests are already queueing, so spend the
+        // wait on occupancy instead of dispatching slivers
+        let wait = if admission.pressure() >= Pressure::Elevated {
+            cfg.max_wait * PRESSURE_WAIT_FACTOR
+        } else {
+            cfg.max_wait
+        };
+        let deadline = first.enqueued + wait;
         let mut jobs = vec![first];
         while jobs.len() < max_batch {
             let now = Instant::now();
@@ -150,18 +228,50 @@ fn batch_loop(
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        run_coalesced(&mut runner, nn, stats, jobs);
+        if let Some(stall) = chaos.and_then(Chaos::take_stall) {
+            std::thread::sleep(stall); // injected scheduler stall
+        }
+        // shed lanes whose client deadline passed while they queued — a
+        // reply nobody can use anymore must not occupy a forward-pass lane
+        let now = Instant::now();
+        let (live, expired): (Vec<SimJob>, Vec<SimJob>) = jobs
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| d > now));
+        for job in expired {
+            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            finish_job(stats, &job, Err(SimFailure::DeadlineExceeded));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let poisoned = run_coalesced(&mut runner, nn, stats, live, chaos);
+        if poisoned {
+            // a panic mid-pass may have left the runner's scratch state
+            // inconsistent; rebuild it (cheap relative to a batch)
+            runner = SessionRunner::new(nn, cfg.device);
+        }
     }
 }
 
+/// Send one job's reply and settle its counters. Replies to vanished
+/// clients fail silently.
+fn finish_job(stats: &ModelCounters, job: &SimJob, reply: Result<SimOutput, SimFailure>) {
+    let us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    stats.latency.observe_us(us);
+    stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    let _ = job.reply.send(reply);
+}
+
 /// Execute one coalesced batch and scatter results. Every job gets a reply
-/// (success or error); replies to vanished clients fail silently.
+/// (success or typed failure). Returns `true` if a panic poisoned the
+/// runner and it must be rebuilt.
 fn run_coalesced(
     runner: &mut SessionRunner<'_, f32>,
     nn: &CompiledNn<f32>,
     stats: &ModelCounters,
     jobs: Vec<SimJob>,
-) {
+    chaos: Option<&Chaos>,
+) -> bool {
     let lanes = jobs.len();
     stats.batches.fetch_add(1, Ordering::Relaxed);
     stats.lanes.fetch_add(lanes as u64, Ordering::Relaxed);
@@ -170,7 +280,9 @@ fn run_coalesced(
     let max_cycles = jobs.iter().map(|j| j.stim.cycles.len()).max().unwrap_or(0);
     let mut sessions: Vec<Session<f32>> = jobs.iter().map(|_| Session::new(nn)).collect();
     let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); lanes];
-    let mut failure: Option<String> = None;
+    let mut failure: Option<SimFailure> = None;
+    let mut poisoned = false;
+    let inject_panic = chaos.is_some_and(Chaos::take_worker_panic);
     for c in 0..max_cycles {
         // short testbenches idle with zero inputs until the batch finishes;
         // their recorded outputs stop at their own length
@@ -178,35 +290,55 @@ fn run_coalesced(
             .iter()
             .map(|j| j.stim.cycles.get(c).cloned().unwrap_or_else(|| vec![false; pi]))
             .collect();
-        match runner.step(&mut sessions, &inputs) {
-            Ok(outs) => {
+        // the forward pass may panic (a pool worker dying, injected or
+        // real); contain it to this batch — the batcher must outlive any
+        // single batch's failure
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if c == 0 && inject_panic {
+                c2nn_tensor::Pool::global().inject_worker_panic();
+            }
+            runner.step(&mut sessions, &inputs)
+        }));
+        match step {
+            Ok(Ok(outs)) => {
                 for (lane, job) in jobs.iter().enumerate() {
                     if c < job.stim.cycles.len() {
                         results[lane].push(outs[lane].clone());
                     }
                 }
             }
-            Err(e) => {
-                failure = Some(e.to_string());
+            Ok(Err(e)) => {
+                failure = Some(SimFailure::Failed(e.to_string()));
+                break;
+            }
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                failure = Some(SimFailure::Failed(format!(
+                    "forward pass panicked at cycle {c}: {what} (pool self-heals; retry)"
+                )));
+                poisoned = true;
                 break;
             }
         }
     }
     for (job, result) in jobs.iter().zip(results) {
         let reply = match &failure {
-            Some(msg) => Err(format!("batched simulation failed: {msg}")),
+            Some(f) => Err(f.clone()),
             None => Ok(SimOutput { outputs: result }),
         };
-        let us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        stats.latency.observe_us(us);
-        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let _ = job.reply.send(reply); // client may be gone — that's fine
+        finish_job(stats, job, reply);
     }
+    poisoned
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosConfig;
     use c2nn_circuits::generators::counter;
     use c2nn_core::{compile, parse_stim, CompileOptions};
 
@@ -217,7 +349,7 @@ mod tests {
     #[test]
     fn coalesces_waiting_jobs_into_one_batch() {
         let nn = counter_nn();
-        let model = ServedModel::spawn(
+        let model = ServedModel::spawn_standalone(
             "ctr",
             nn,
             BatchConfig {
@@ -230,7 +362,7 @@ mod tests {
         let stims = ["1 x3\n", "1 x5\n", "0 x2\n", "1 x1\n"];
         let rxs: Vec<_> = stims
             .iter()
-            .map(|s| model.submit(parse_stim(s, 1).unwrap()))
+            .map(|s| model.submit(parse_stim(s, 1).unwrap(), None))
             .collect();
         let outs: Vec<SimOutput> =
             rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
@@ -253,7 +385,7 @@ mod tests {
     #[test]
     fn dropped_receiver_does_not_poison_the_batch() {
         let nn = counter_nn();
-        let model = ServedModel::spawn(
+        let model = ServedModel::spawn_standalone(
             "ctr",
             nn,
             BatchConfig {
@@ -262,8 +394,8 @@ mod tests {
                 device: Device::Serial,
             },
         );
-        let keep = model.submit(parse_stim("1 x4\n", 1).unwrap());
-        let drop_me = model.submit(parse_stim("1 x6\n", 1).unwrap());
+        let keep = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
+        let drop_me = model.submit(parse_stim("1 x6\n", 1).unwrap(), None);
         drop(drop_me); // client disconnects mid-batch
         let out = keep.recv().unwrap().unwrap();
         assert_eq!(out.outputs.len(), 4);
@@ -278,7 +410,7 @@ mod tests {
     #[test]
     fn lone_job_runs_after_deadline() {
         let nn = counter_nn();
-        let model = ServedModel::spawn(
+        let model = ServedModel::spawn_standalone(
             "ctr",
             nn,
             BatchConfig {
@@ -287,10 +419,75 @@ mod tests {
                 device: Device::Serial,
             },
         );
-        let rx = model.submit(parse_stim("1 x2\n", 1).unwrap());
+        let rx = model.submit(parse_stim("1 x2\n", 1).unwrap(), None);
         let out = rx.recv().unwrap().unwrap();
         assert_eq!(out.outputs.len(), 2);
         let report = model.stats.report("ctr", model.bytes);
         assert_eq!((report.batches, report.lanes), (1, 1));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_typed_and_costs_no_lane() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn_standalone(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                device: Device::Serial,
+            },
+        );
+        // already expired on arrival: must shed, not simulate
+        let dead = model.submit(
+            parse_stim("1 x4\n", 1).unwrap(),
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        // generous deadline: must run normally in the same batch window
+        let live = model.submit(
+            parse_stim("1 x3\n", 1).unwrap(),
+            Some(Instant::now() + Duration::from_secs(30)),
+        );
+        assert_eq!(dead.recv().unwrap(), Err(SimFailure::DeadlineExceeded));
+        assert_eq!(live.recv().unwrap().unwrap().outputs.len(), 3);
+        let report = model.stats.report("ctr", model.bytes);
+        assert_eq!(report.deadline_exceeded, 1);
+        assert_eq!(report.lanes, 1, "shed lane never reached the forward pass");
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn injected_worker_panic_fails_batch_typed_and_batcher_survives() {
+        let nn = counter_nn();
+        let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=1").unwrap());
+        let model = ServedModel::spawn(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(10),
+                // Parallel so the injection hits the real pool path
+                device: Device::Parallel,
+            },
+            Admission::unbounded(),
+            Some(Arc::clone(&chaos)),
+        );
+        let rx = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
+        match rx.recv().unwrap() {
+            Err(SimFailure::Failed(msg)) => {
+                assert!(msg.contains("panicked"), "typed panic failure, got: {msg}")
+            }
+            other => panic!("expected typed failure, got {other:?}"),
+        }
+        assert_eq!(chaos.injected_panics(), 1);
+        // budget exhausted → the very next batch succeeds bit-exactly
+        let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
+        let out = rx.recv().unwrap().unwrap();
+        let vals: Vec<u32> = out
+            .outputs
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2], "batcher and pool recovered");
     }
 }

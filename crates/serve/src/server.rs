@@ -9,25 +9,43 @@
 //! connection; a `sim` request blocks its connection thread while its lane
 //! rides a coalesced batch, which is what lets concurrent *connections*
 //! batch together.
+//!
+//! ## Overload and shutdown contract
+//!
+//! Every `sim` acquires an admission permit before it touches the
+//! scheduler; past the global budget the client gets a typed
+//! `Overloaded { retry_after_ms }` reply instead of unbounded queueing.
+//! Shutdown is a *drain*, not a cliff: the accept loop closes the listener
+//! first (no new connections), admission refuses new work with
+//! `ShuttingDown`, and each connection handler spends a bounded window
+//! answering any frame already in flight with a typed `ShuttingDown`
+//! before sending FIN — a client mid-request at SIGINT sees a typed reply
+//! or a clean EOF, never an abrupt reset.
 
+use crate::admission::AdmitError;
 use crate::protocol::{
     write_frame, FrameReader, Request, Response, PROTOCOL_VERSION,
 };
 use crate::registry::{Registry, RegistryConfig};
+use crate::scheduler::SimFailure;
 use crate::signal;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a connection handler keeps reading after shutdown begins, so
+/// a request already on the wire gets its typed `ShuttingDown` reply.
+const DRAIN_WINDOW: Duration = Duration::from_millis(250);
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Listen address, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
     pub addr: String,
-    /// Registry budget and batching parameters.
+    /// Registry budget, batching, and admission parameters.
     pub registry: RegistryConfig,
 }
 
@@ -62,6 +80,7 @@ impl ServerHandle {
 
     /// Ask the server to stop accepting and drain.
     pub fn shutdown(&self) {
+        self.registry.admission().begin_drain();
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
@@ -120,7 +139,12 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<Ato
         }
         handlers.retain(|h| !h.is_finished());
     }
-    shutdown.store(true, Ordering::SeqCst); // handlers exit on next poll
+    // Drain order matters: stop accepting before refusing, refuse before
+    // joining — otherwise a connection racing the flag could be accepted
+    // and then reset without ever getting a typed reply.
+    drop(listener);
+    registry.admission().begin_drain();
+    shutdown.store(true, Ordering::SeqCst); // handlers enter their drain window
     for h in handlers {
         let _ = h.join();
     }
@@ -136,6 +160,8 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
     let mut reader = FrameReader::new(stream);
     loop {
         if shutdown.load(Ordering::SeqCst) || signal::interrupted() {
+            registry.admission().begin_drain();
+            drain_connection(&mut reader, &mut writer);
             return;
         }
         let frame = match reader.read_frame() {
@@ -182,36 +208,111 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
             return;
         }
         if is_shutdown {
+            registry.admission().begin_drain();
             shutdown.store(true, Ordering::SeqCst);
             return;
         }
     }
 }
 
+/// Give a connection caught by shutdown a graceful exit: keep reading for
+/// up to [`DRAIN_WINDOW`], answer every complete frame that arrives with a
+/// typed `ShuttingDown`, then half-close the write side so the client sees
+/// a clean EOF instead of a connection reset.
+fn drain_connection(reader: &mut FrameReader<TcpStream>, writer: &mut TcpStream) {
+    let deadline = Instant::now() + DRAIN_WINDOW;
+    while Instant::now() < deadline {
+        match reader.read_frame() {
+            Ok(Some(_frame)) => {
+                // The frame may be garbage — it does not matter; whatever
+                // the request was, the answer during drain is the same.
+                if write_frame(writer, &Response::ShuttingDown.encode()).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break, // client closed: EOF both ways
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if reader.buffered() == 0 {
+                    break; // line idle, nothing mid-send — close now
+                }
+                // partial frame buffered: the client is mid-send, give
+                // them the rest of the window to finish it
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = writer.shutdown(std::net::Shutdown::Write); // FIN, not RST
+}
+
 fn dispatch(request: Request, registry: &Registry) -> Response {
     match request {
         Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
-        Request::Load { name, model_json } => match registry.load(&name, &model_json) {
-            Ok(model) => Response::Loaded { name, bytes: model.bytes as u64 },
-            Err(message) => Response::Error { message },
+        Request::Load { name, model_json, deadline_ms } => {
+            match registry.admission().try_admit_load() {
+                Ok(()) => {}
+                Err(e) => return admit_error_response(e),
+            }
+            // a load that arrives already past its deadline is shed before
+            // the expensive parse + validation
+            if deadline_ms == Some(0) {
+                return Response::DeadlineExceeded;
+            }
+            match registry.load(&name, &model_json) {
+                Ok(model) => Response::Loaded { name, bytes: model.bytes as u64 },
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::Sim { model, stim, deadline_ms } => {
+            run_sim(registry, &model, &stim, deadline_ms)
+        }
+        Request::Stats => Response::Stats {
+            models: registry.stats(),
+            server: registry.server_report(),
         },
-        Request::Sim { model, stim } => run_sim(registry, &model, &stim),
-        Request::Stats => Response::Stats { models: registry.stats() },
         Request::Shutdown => Response::ShuttingDown,
     }
 }
 
-fn run_sim(registry: &Registry, model: &str, stim_text: &str) -> Response {
+fn admit_error_response(e: AdmitError) -> Response {
+    match e {
+        AdmitError::Overloaded { retry_after_ms } => Response::Overloaded { retry_after_ms },
+        AdmitError::ShuttingDown => Response::ShuttingDown,
+    }
+}
+
+fn run_sim(
+    registry: &Registry,
+    model: &str,
+    stim_text: &str,
+    deadline_ms: Option<u64>,
+) -> Response {
+    let received = Instant::now();
+    // The permit spans admission → reply: it is what bounds end-to-end
+    // in-flight work, not just queue depth.
+    let _permit = match registry.admission().try_admit_sim() {
+        Ok(p) => p,
+        Err(e) => return admit_error_response(e),
+    };
     let Some(served) = registry.get(model) else {
         return Response::Error {
             message: format!("unknown model '{model}' (load it first)"),
         };
     };
+    if let Err(e) = registry
+        .admission()
+        .check_model_budget(served.stats.queue_depth.load(Ordering::Relaxed))
+    {
+        return admit_error_response(e);
+    }
     let stim = match c2nn_core::parse_stim(stim_text, served.nn.num_primary_inputs) {
         Ok(s) => s,
         Err(e) => return Response::Error { message: e.to_string() },
     };
-    let rx = served.submit(stim);
+    let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
+    let rx = served.submit(stim, deadline);
     match rx.recv() {
         Ok(Ok(out)) => {
             let outputs: Vec<String> = out
@@ -226,10 +327,13 @@ fn run_sim(registry: &Registry, model: &str, stim_text: &str) -> Response {
             let cycles = outputs.len() as u64;
             Response::SimResult { outputs, cycles }
         }
-        Ok(Err(message)) => Response::Error { message },
-        Err(_) => Response::Error {
-            message: "scheduler dropped the request (server shutting down?)".into(),
-        },
+        Ok(Err(SimFailure::DeadlineExceeded)) => Response::DeadlineExceeded,
+        Ok(Err(SimFailure::ShuttingDown)) => Response::ShuttingDown,
+        Ok(Err(failure @ SimFailure::Failed(_))) => {
+            Response::Error { message: failure.to_string() }
+        }
+        // The batcher dropped the reply channel — only happens at teardown.
+        Err(_) => Response::ShuttingDown,
     }
 }
 
@@ -252,6 +356,7 @@ mod tests {
                     max_wait: Duration::from_millis(max_wait_ms),
                     device: Device::Serial,
                 },
+                ..RegistryConfig::default()
             },
         };
         spawn_server(cfg).unwrap()
@@ -272,9 +377,11 @@ mod tests {
         assert_eq!(outputs, vec!["0000", "0001", "0010", "0011"]);
 
         let stats = c.stats().unwrap();
-        assert_eq!(stats.len(), 1);
-        assert_eq!(stats[0].name, "ctr");
-        assert_eq!(stats[0].requests, 1);
+        assert_eq!(stats.models.len(), 1);
+        assert_eq!(stats.models[0].name, "ctr");
+        assert_eq!(stats.models[0].requests, 1);
+        assert_eq!(stats.server.pressure, "nominal");
+        assert!(!stats.server.draining);
 
         c.shutdown().unwrap();
         server.join();
@@ -288,13 +395,13 @@ mod tests {
 
         // unknown model
         let err = c.sim("ghost", "1\n").unwrap_err();
-        assert!(err.contains("unknown model"), "{err}");
+        assert!(err.to_string().contains("unknown model"), "{err}");
 
         // bad stimulus width
         let nn = compile(&counter(4), CompileOptions::with_l(4)).unwrap();
         c.load("ctr", &nn.to_json_string()).unwrap();
         let err = c.sim("ctr", "101\n").unwrap_err();
-        assert!(err.contains("input bits"), "{err}");
+        assert!(err.to_string().contains("input bits"), "{err}");
 
         // malformed model JSON
         let err = c.load("bad", "{\"nope\":1}").unwrap_err();

@@ -71,6 +71,8 @@ pub struct ModelCounters {
     pub lanes: AtomicU64,
     /// Requests queued or being simulated right now.
     pub queue_depth: AtomicU64,
+    /// Lanes shed with `DeadlineExceeded` before batch dispatch.
+    pub deadline_exceeded: AtomicU64,
     /// Enqueue→reply latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -90,6 +92,7 @@ impl ModelCounters {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,202 @@
+//! Chaos scenarios against a live server: injected worker panics, scheduler
+//! stalls, and hostile clients (slow-loris, corrupt frames, truncated
+//! frames). The contract under every scenario is the same — typed replies
+//! only, no wedged threads, and bit-exact results once the fault passes.
+//!
+//! All schedules are seeded, so a failure here reproduces byte-for-byte
+//! with the same seed.
+
+use c2nn_circuits::generators::counter;
+use c2nn_core::{compile, parse_stim, CompileOptions};
+use c2nn_refsim::CycleSim;
+use c2nn_serve::chaos::{
+    send_corrupt_frame, send_truncated_frame, slow_loris_request, Chaos, ChaosConfig, Rng,
+};
+use c2nn_serve::protocol::{Request, Response};
+use c2nn_serve::scheduler::BatchConfig;
+use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
+use c2nn_serve::{Client, ClientError, RegistryConfig};
+use c2nn_tensor::Device;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WIDTH: usize = 4;
+
+fn refsim_outputs(stim_text: &str) -> Vec<String> {
+    let nl = counter(WIDTH);
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = parse_stim(stim_text, 1).unwrap();
+    stim.cycles
+        .iter()
+        .map(|cycle| {
+            let out = sim.step(cycle);
+            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        })
+        .collect()
+}
+
+fn chaos_server(spec: &str, device: Device) -> (ServerHandle, Arc<Chaos>) {
+    let chaos = Chaos::new(ChaosConfig::parse(spec).unwrap());
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                device,
+            },
+            chaos: Some(Arc::clone(&chaos)),
+            ..RegistryConfig::default()
+        },
+    })
+    .unwrap();
+    let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
+    server.registry().install("ctr", nn).unwrap();
+    (server, chaos)
+}
+
+/// Satellite: inject a worker panic mid-batch through the chaos layer;
+/// assert the affected request fails *typed*, the pool respawns the worker,
+/// and the next batch is bit-exact.
+#[test]
+fn injected_worker_panic_fails_typed_then_heals_bit_exact() {
+    // exactly one injected panic, then clean — Device::Parallel so the
+    // batch actually runs on the pool being wounded
+    let (server, chaos) = chaos_server("seed=7,worker_panic=1,worker_panic_budget=1", Device::Parallel);
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let stim = "1 x6\n0 x2\n";
+    let expected = refsim_outputs(stim);
+
+    // first sim rides the poisoned batch
+    match c.sim("ctr", stim) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("panicked"), "failure must say what happened: {msg}");
+        }
+        Ok(_) => panic!("first batch must fail: the chaos schedule injects a panic into it"),
+        Err(e) => panic!("expected a typed server error, got {e}"),
+    }
+    assert_eq!(chaos.injected_panics(), 1, "schedule fired exactly once");
+
+    // the pool healed and the batcher survived: same connection, bit-exact
+    for _ in 0..3 {
+        assert_eq!(c.sim("ctr", stim).unwrap(), expected, "post-heal batch must be bit-exact");
+    }
+
+    let stats = c.stats().unwrap();
+    assert!(stats.server.pool_poisoned_epochs >= 1, "{:?}", stats.server);
+    assert_eq!(stats.server.chaos_injected, 1);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Injected scheduler stalls delay batches but never corrupt them, and the
+/// budget caps how many fire.
+#[test]
+fn injected_stalls_delay_but_never_corrupt() {
+    let (server, chaos) = chaos_server("seed=3,stall=1,stall_ms=40,stall_budget=2", Device::Serial);
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let stim = "1 x5\n";
+    let expected = refsim_outputs(stim);
+    for _ in 0..4 {
+        assert_eq!(c.sim("ctr", stim).unwrap(), expected);
+    }
+    assert_eq!(chaos.injected_stalls(), 2, "stall budget caps injections");
+    server.shutdown();
+    server.join();
+}
+
+/// A slow-loris client (one byte at a time) is served correctly and does
+/// not starve a concurrent well-behaved client.
+#[test]
+fn slow_loris_is_served_without_starving_others() {
+    let (server, _chaos) = chaos_server("seed=1", Device::Serial);
+    let addr = server.local_addr().to_string();
+    let stim = "1 x4\n";
+    let expected = refsim_outputs(stim);
+
+    let loris = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            slow_loris_request(
+                &addr,
+                &Request::Ping,
+                Duration::from_millis(5),
+                Duration::from_secs(5),
+            )
+        })
+    };
+    // the fast client gets answers while the loris dribbles bytes
+    let mut c = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(c.sim("ctr", stim).unwrap(), expected);
+    }
+    match loris.join().unwrap() {
+        Ok(Response::Pong { .. }) => {}
+        other => panic!("slow-loris ping must still be answered, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// Corrupt frames get a typed `Error` reply; the server neither crashes
+/// nor poisons other connections.
+#[test]
+fn corrupt_frames_get_typed_errors_and_server_survives() {
+    let (server, _chaos) = chaos_server("seed=11", Device::Serial);
+    let addr = server.local_addr().to_string();
+    let mut rng = Rng::new(11);
+    for len in [1usize, 16, 200] {
+        match send_corrupt_frame(&addr, &mut rng, len, Duration::from_secs(5)) {
+            Ok(Response::Error { .. }) => {}
+            Ok(other) => panic!("garbage frame must be answered Error, got {other:?}"),
+            // a reply is not guaranteed if the garbage tripped the
+            // framing-integrity disconnect, but the error must be typed
+            // at the transport level (EOF), not a hang
+            Err(e) => assert!(
+                e.contains("closed") || e.contains("reading response"),
+                "unexpected transport failure: {e}"
+            ),
+        }
+    }
+    // the server is still healthy
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.sim("ctr", "1 x3\n").unwrap(), refsim_outputs("1 x3\n"));
+    server.shutdown();
+    server.join();
+}
+
+/// Truncated frames (client dies mid-send) are that connection's problem
+/// only.
+#[test]
+fn truncated_frames_only_hurt_their_own_connection() {
+    let (server, _chaos) = chaos_server("seed=13", Device::Serial);
+    let addr = server.local_addr().to_string();
+    let req = Request::Sim { model: "ctr".into(), stim: "1 x4\n".into(), deadline_ms: None };
+    for keep in [1usize, 10, 30] {
+        send_truncated_frame(&addr, &req, keep).unwrap();
+    }
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.sim("ctr", "1 x4\n").unwrap(), refsim_outputs("1 x4\n"));
+    server.shutdown();
+    server.join();
+}
+
+/// The same seed produces the same injection schedule — the determinism
+/// that makes a failing chaos run reproducible.
+#[test]
+fn chaos_schedule_is_deterministic_per_seed() {
+    let spec = "seed=42,worker_panic=0.5,worker_panic_budget=1000,stall=0.25,stall_budget=1000";
+    let a = Chaos::new(ChaosConfig::parse(spec).unwrap());
+    let b = Chaos::new(ChaosConfig::parse(spec).unwrap());
+    let schedule = |c: &Chaos| -> Vec<(bool, bool)> {
+        (0..200)
+            .map(|_| (c.take_worker_panic(), c.take_stall().is_some()))
+            .collect()
+    };
+    assert_eq!(schedule(&a), schedule(&b));
+    assert_eq!(a.injected(), b.injected());
+}

@@ -36,6 +36,7 @@ fn coalescing_server(max_batch: usize, max_wait: Duration) -> ServerHandle {
         registry: RegistryConfig {
             byte_budget: usize::MAX,
             batch: BatchConfig { max_batch, max_wait, device: Device::Serial },
+            ..RegistryConfig::default()
         },
     })
     .unwrap();
@@ -84,7 +85,7 @@ fn concurrent_clients_get_exactly_their_lane() {
     // the batcher must actually have coalesced: more lanes than batches
     let mut c = Client::connect(&addr).unwrap();
     let stats = c.stats().unwrap();
-    let ctr = stats.iter().find(|m| m.name == "ctr").unwrap();
+    let ctr = stats.models.iter().find(|m| m.name == "ctr").unwrap();
     assert_eq!(ctr.requests, 8);
     assert_eq!(ctr.lanes, 8);
     assert!(
@@ -120,7 +121,7 @@ fn disconnect_mid_batch_leaves_other_lanes_intact() {
         use c2nn_serve::protocol::{write_frame, Request};
         use std::net::TcpStream;
         let mut s = TcpStream::connect(&addr).unwrap();
-        let req = Request::Sim { model: "ctr".into(), stim: victim_stim.into() };
+        let req = Request::Sim { model: "ctr".into(), stim: victim_stim.into(), deadline_ms: None };
         write_frame(&mut s, &req.encode()).unwrap();
         // dropped here without reading the reply: client vanished mid-batch
     }
@@ -141,7 +142,7 @@ fn sequential_requests_still_work_with_tiny_deadline() {
         assert_eq!(c.sim("ctr", stim).unwrap(), refsim_outputs(stim));
     }
     let stats = c.stats().unwrap();
-    let ctr = stats.iter().find(|m| m.name == "ctr").unwrap();
+    let ctr = stats.models.iter().find(|m| m.name == "ctr").unwrap();
     assert_eq!(ctr.requests, 3);
     assert!((ctr.mean_occupancy - 1.0).abs() < 1e-9, "{ctr:?}");
     server.shutdown();

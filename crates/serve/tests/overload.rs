@@ -1,0 +1,261 @@
+//! Overload contract, end-to-end over TCP: past the admission budget every
+//! reply is *typed* (`Overloaded` with an actionable retry hint — never a
+//! dropped connection, never a garbled frame), admitted work stays
+//! bit-exact, and the server returns to baseline once the storm passes.
+
+use c2nn_circuits::generators::counter;
+use c2nn_core::{compile, parse_stim, CompileOptions};
+use c2nn_refsim::CycleSim;
+use c2nn_serve::scheduler::BatchConfig;
+use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
+use c2nn_serve::{Client, ClientError, RegistryConfig};
+use c2nn_tensor::Device;
+use std::time::Duration;
+
+const WIDTH: usize = 4;
+
+fn refsim_outputs(stim_text: &str) -> Vec<String> {
+    let nl = counter(WIDTH);
+    let mut sim = CycleSim::new(&nl).unwrap();
+    let stim = parse_stim(stim_text, 1).unwrap();
+    stim.cycles
+        .iter()
+        .map(|cycle| {
+            let out = sim.step(cycle);
+            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+        })
+        .collect()
+}
+
+fn budgeted_server(max_inflight: usize, max_wait: Duration) -> ServerHandle {
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig { max_batch: 64, max_wait, device: Device::Serial },
+            max_inflight,
+            ..RegistryConfig::default()
+        },
+    })
+    .unwrap();
+    let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
+    server.registry().install("ctr", nn).unwrap();
+    server
+}
+
+/// Satellite: drive the server well past `max_inflight`, assert typed
+/// `Overloaded` with a sane `retry_after_ms`, zero garbled replies for the
+/// in-flight requests, and recovery to baseline afterwards.
+#[test]
+fn saturation_yields_typed_overloaded_and_recovers() {
+    // budget 2, 8 clients × 4 requests = 4× saturation; a 30ms coalescing
+    // window keeps permits held long enough that rejections must happen
+    let server = budgeted_server(2, Duration::from_millis(30));
+    let addr = server.local_addr().to_string();
+    let stim = "1 x6\n";
+    let expected = refsim_outputs(stim);
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let (mut ok, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+                for _ in 0..4 {
+                    match c.sim("ctr", stim) {
+                        Ok(outputs) => {
+                            // admitted work is never garbled by the storm
+                            assert_eq!(outputs, expected);
+                            ok += 1;
+                        }
+                        Err(ClientError::Overloaded { retry_after_ms }) => {
+                            assert!(
+                                (1..=1000).contains(&retry_after_ms),
+                                "retry hint must be actionable, got {retry_after_ms}"
+                            );
+                            overloaded += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("non-typed failure under overload: {e}");
+                            other += 1;
+                        }
+                    }
+                }
+                (ok, overloaded, other)
+            })
+        })
+        .collect();
+    let (mut ok, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (o, ov, ot) = h.join().unwrap();
+        ok += o;
+        overloaded += ov;
+        other += ot;
+    }
+    assert!(ok > 0, "some requests must be admitted");
+    assert!(overloaded > 0, "4x saturation must trigger typed rejections");
+    assert_eq!(other, 0, "only sim results and typed Overloaded are allowed");
+
+    // recovery: the storm is over, the budget drains, baseline behaviour
+    // returns without a restart
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.sim("ctr", stim).unwrap(), expected, "post-storm request is clean");
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.server.pressure, "nominal");
+    assert_eq!(stats.server.inflight, 0);
+    assert_eq!(stats.server.rejected_sims, overloaded);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Degradation order: at Elevated pressure (half the budget) `load`s are
+/// refused while `sim`s still go through.
+#[test]
+fn loads_shed_before_sims_under_pressure() {
+    // budget 2: one in-flight sim ⇒ Elevated. The 300ms window holds the
+    // sim in the batcher long enough to observe the refusal.
+    let server = budgeted_server(2, Duration::from_millis(300));
+    let addr = server.local_addr().to_string();
+
+    let holder = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.sim("ctr", "1 x2\n").unwrap()
+        })
+    };
+    // let the holder's permit land
+    std::thread::sleep(Duration::from_millis(80));
+
+    let mut c = Client::connect(&addr).unwrap();
+    let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
+    let err = c.load("late", &nn.to_json_string()).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Overloaded { .. }),
+        "load at Elevated pressure must be refused typed, got {err}"
+    );
+
+    assert_eq!(holder.join().unwrap(), refsim_outputs("1 x2\n"));
+    // pressure gone: loads admitted again
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(c.load("late", &nn.to_json_string()).is_ok());
+
+    server.shutdown();
+    server.join();
+}
+
+/// A request whose deadline cannot be met is shed *before* batch dispatch
+/// with a typed `DeadlineExceeded`, and the shed is visible in the stats.
+#[test]
+fn expired_deadlines_are_shed_typed() {
+    // 200ms coalescing window, 1ms deadline: the lane expires while queued
+    let server = budgeted_server(64, Duration::from_millis(200));
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let err = c.sim_with_deadline("ctr", "1 x4\n", Some(1)).unwrap_err();
+    assert!(
+        matches!(err, ClientError::DeadlineExceeded),
+        "expected typed DeadlineExceeded, got {err}"
+    );
+
+    // no-deadline requests on the same connection still work
+    assert_eq!(c.sim("ctr", "1 x4\n").unwrap(), refsim_outputs("1 x4\n"));
+    let stats = c.stats().unwrap();
+    let ctr = stats.models.iter().find(|m| m.name == "ctr").unwrap();
+    assert!(ctr.deadline_exceeded >= 1, "{ctr:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// Satellite (shutdown race): a connection mid-frame when shutdown begins
+/// receives a typed `ShuttingDown` reply and then a clean EOF — not an
+/// abrupt connection reset.
+#[test]
+fn shutdown_mid_frame_gets_typed_reply_then_clean_eof() {
+    use c2nn_serve::protocol::Response;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let server = budgeted_server(64, Duration::from_millis(1));
+    let addr = server.local_addr().to_string();
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    // first half of a ping frame, no terminator: the handler is now
+    // mid-`read_frame` for this connection
+    s.write_all(b"{\"op\":\"pi").unwrap();
+    s.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+
+    server.shutdown();
+    // finish the frame inside the drain window
+    std::thread::sleep(Duration::from_millis(60));
+    s.write_all(b"ng\"}\n").unwrap();
+    s.flush().unwrap();
+
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match s.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => buf.extend_from_slice(&byte),
+            Err(e) => panic!("mid-frame connection must not be reset at shutdown: {e}"),
+        }
+    }
+    let text = String::from_utf8(buf).unwrap();
+    let line = text.lines().next().expect("one reply frame before EOF");
+    assert_eq!(
+        Response::decode(line).unwrap(),
+        Response::ShuttingDown,
+        "mid-frame request must be answered with a typed ShuttingDown"
+    );
+
+    server.join();
+}
+
+/// An idle connection at shutdown sees a clean EOF, not a reset.
+#[test]
+fn idle_connection_gets_clean_eof_at_shutdown() {
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    let server = budgeted_server(64, Duration::from_millis(1));
+    let addr = server.local_addr().to_string();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(60)); // handler is in its read loop
+    server.shutdown();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 16];
+    match s.read(&mut buf) {
+        Ok(0) => {} // clean EOF
+        Ok(n) => panic!("idle connection got {n} unexpected bytes"),
+        Err(e) => panic!("idle connection must get EOF, not {e}"),
+    }
+    server.join();
+}
+
+/// During drain every new request on a live connection is answered
+/// `ShuttingDown` (typed), and new connections are no longer accepted.
+#[test]
+fn requests_during_drain_get_typed_shutting_down() {
+    let server = budgeted_server(64, Duration::from_millis(1));
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    assert!(c.sim("ctr", "1 x2\n").is_ok());
+
+    server.registry().admission().begin_drain();
+    let err = c.sim("ctr", "1 x2\n").unwrap_err();
+    assert!(
+        matches!(err, ClientError::ShuttingDown),
+        "draining server must answer typed ShuttingDown, got {err}"
+    );
+
+    server.shutdown();
+    server.join();
+}

@@ -29,7 +29,8 @@ proptest! {
         model in proptest::collection::vec(any::<u8>(), 0..60),
         stim in proptest::collection::vec(any::<u8>(), 0..120),
     ) {
-        let req = Request::Sim { model: soup_string(&model), stim: soup_string(&stim) };
+        let deadline_ms = if model.len() % 2 == 0 { None } else { Some(stim.len() as u64) };
+        let req = Request::Sim { model: soup_string(&model), stim: soup_string(&stim), deadline_ms };
         let body = req.encode();
         prop_assert!(!body.contains('\n'), "frame must be one line: {body:?}");
         prop_assert_eq!(Request::decode(&body).unwrap(), req);
@@ -45,6 +46,7 @@ proptest! {
         let req = Request::Load {
             name: soup_string(&name),
             model_json: soup_string(&doc),
+            deadline_ms: if doc.len() % 2 == 0 { None } else { Some(name.len() as u64) },
         };
         let body = req.encode();
         prop_assert!(!body.contains('\n'));
@@ -71,6 +73,18 @@ proptest! {
             queue_depth: n % 7,
             p50_us: 1 << (n % 40),
             p99_us: 1 << (n % 63),
+            deadline_exceeded: n % 5,
+        };
+        let server = c2nn_serve::protocol::ServerStatsReport {
+            inflight: n,
+            max_inflight: n + lanes,
+            pressure: "nominal".to_string(),
+            draining: n % 2 == 0,
+            rejected_sims: n * 3,
+            rejected_loads: n % 11,
+            rejected_draining: n % 13,
+            pool_poisoned_epochs: n % 17,
+            chaos_injected: n % 19,
         };
         for resp in [
             Response::Pong { version: n as u32 },
@@ -79,8 +93,10 @@ proptest! {
                 outputs: vec![soup_string(&msg), "0101".to_string()],
                 cycles: 2,
             },
-            Response::Stats { models: vec![report] },
+            Response::Stats { models: vec![report], server },
             Response::ShuttingDown,
+            Response::Overloaded { retry_after_ms: n },
+            Response::DeadlineExceeded,
             Response::Error { message: soup_string(&msg) },
         ] {
             let body = resp.encode();
@@ -188,6 +204,9 @@ fn malformed_corpus_yields_typed_errors() {
         "{\"ok\":false}",
         "{\"ok\":true,\"op\":\"sim\",\"outputs\":\"not a list\",\"cycles\":1}",
         "{\"ok\":true,\"op\":\"stats\",\"models\":[{\"name\":\"m\"}]}",
+        "{\"ok\":false,\"kind\":\"overloaded\"}", // missing retry_after_ms
+        "{\"ok\":false,\"kind\":\"meteor_strike\"}", // unknown kind is typed, not Error{}
+        "{\"ok\":false,\"kind\":42}",
     ];
     for body in resp_corpus {
         assert!(

@@ -38,8 +38,21 @@
 //! invocations — e.g. two models' batchers stepping simultaneously — degrade
 //! to serial execution on their own threads rather than convoying behind a
 //! lock.
+//!
+//! ## Self-healing
+//!
+//! A worker whose job invocation panics marks the epoch poisoned, releases
+//! the completion latch for its share (so the submitter is never wedged
+//! waiting on a corpse), and exits its thread. The next job submission calls
+//! `heal()`, which reaps dead workers and respawns replacements before
+//! publishing work; the latch is always armed with the number of threads
+//! that are actually alive ([`State::alive`]), never a stale target. The
+//! cumulative [`Pool::poisoned_epochs`] counter surfaces how many jobs ever
+//! lost a participant — a serving process can export it instead of silently
+//! degrading.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
 use std::thread::JoinHandle;
 
@@ -58,7 +71,11 @@ struct State {
     job: Option<JobPtr>,
     /// Workers still executing the current job.
     active: usize,
-    /// A worker's job closure panicked.
+    /// Worker threads currently alive (parked or executing). A panicking
+    /// worker decrements this in the same critical section that releases
+    /// the latch, so `heal()` and the latch can never disagree.
+    alive: usize,
+    /// A worker's job closure panicked during the current epoch.
     panicked: bool,
     /// Pool is being dropped; workers exit.
     shutdown: bool,
@@ -72,15 +89,21 @@ struct Shared {
     done: Condvar,
 }
 
-/// A persistent pool of parked worker threads. See the module docs.
+/// A persistent, self-healing pool of parked worker threads. See the
+/// module docs.
 pub struct Pool {
     shared: Arc<Shared>,
     /// Serializes job submission (one job in flight at a time).
     submit: Mutex<()>,
-    /// Spawned worker threads (total parallelism is `workers + 1`: the
+    /// Target worker count (total parallelism is `workers + 1`: the
     /// submitting thread always participates).
     workers: usize,
-    handles: Vec<JoinHandle<()>>,
+    /// Live worker handles; pruned and replenished by `heal()`.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic name counter so respawned workers get fresh names.
+    spawned: AtomicU64,
+    /// Epochs in which at least one participant panicked.
+    poisoned: AtomicU64,
 }
 
 impl Pool {
@@ -93,22 +116,23 @@ impl Pool {
                 epoch: 0,
                 job: None,
                 active: 0,
+                alive: 0,
                 panicked: false,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("c2nn-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        Pool { shared, submit: Mutex::new(()), workers, handles }
+        let pool = Pool {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+            handles: Mutex::new(Vec::new()),
+            spawned: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        };
+        pool.heal();
+        pool
     }
 
     /// The process-wide pool, created on first use with
@@ -123,11 +147,56 @@ impl Pool {
         self.workers + 1
     }
 
+    /// How many jobs ever lost a participant to a panic (the caller counts
+    /// as a participant in a workerless pool). Monotonic; exported by the
+    /// serving stats endpoint so a production process can alarm on silent
+    /// worker churn.
+    pub fn poisoned_epochs(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads currently alive (excludes the calling thread). Equal
+    /// to the spawn target except in the window between a worker panic and
+    /// the next submission's `heal()`.
+    pub fn alive_workers(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).alive
+    }
+
+    /// Reap dead workers and respawn replacements up to the target count.
+    /// Called before every job publication; cheap when nothing died (one
+    /// mutex lock, no syscalls).
+    fn heal(&self) {
+        let missing = {
+            let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.shutdown {
+                return;
+            }
+            self.workers.saturating_sub(st.alive)
+        };
+        if missing == 0 {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        handles.retain(|h| !h.is_finished());
+        for _ in 0..missing {
+            let shared = Arc::clone(&self.shared);
+            let id = self.spawned.fetch_add(1, Ordering::Relaxed);
+            let h = std::thread::Builder::new()
+                .name(format!("c2nn-pool-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            handles.push(h);
+        }
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.alive += missing;
+    }
+
     /// Run `job` on every worker and on the calling thread, returning once
     /// all of them have finished. `job` must be written cooperatively: each
     /// invocation claims work items (e.g. off an atomic cursor) until none
     /// remain. Panics inside `job` propagate to the caller after every
-    /// thread has stopped touching borrowed data.
+    /// thread has stopped touching borrowed data; a worker that panicked is
+    /// respawned before the next job runs.
     pub fn run(&self, job: &(dyn Fn() + Sync)) {
         let guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
         self.run_locked(job);
@@ -149,10 +218,42 @@ impl Pool {
         true
     }
 
+    /// Deliberately panic exactly one pool worker (chaos injection). The
+    /// call itself panics — on the worker-panic propagation path when the
+    /// pool has workers, inline otherwise — so callers exercise the same
+    /// failure surface a genuine kernel panic produces, and the pool's
+    /// self-healing respawns the lost worker on the next job.
+    pub fn inject_worker_panic(&self) {
+        let claimed = AtomicBool::new(false);
+        let has_workers = self.workers > 0;
+        self.run(&|| {
+            // with workers, one of them is the victim; in a workerless
+            // pool the inline caller is — either way the panic travels
+            // through `run`, so it poisons the epoch like a real one
+            let am_victim = !has_workers
+                || std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.starts_with("c2nn-pool-"));
+            if am_victim && !claimed.swap(true, Ordering::Relaxed) {
+                panic!("chaos: injected worker panic");
+            }
+        });
+        // `run` panics on every path above; reaching here means the victim
+        // never executed the job, which would be a pool bug — fail loudly
+        // rather than silently injecting nothing.
+        panic!("chaos: injected worker panic (victim never claimed)");
+    }
+
     fn run_locked(&self, job: &(dyn Fn() + Sync)) {
+        self.heal();
         if self.workers == 0 {
             // No workers: the pool degenerates to plain serial execution.
-            job();
+            // A panic still poisons the epoch, so the counter means the
+            // same thing ("a job lost a participant") at every pool size.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                resume_unwind(payload);
+            }
             return;
         }
         // SAFETY: this erases `job`'s borrow lifetime so the pointer can sit
@@ -166,7 +267,10 @@ impl Pool {
             let mut st = self.shared.state.lock().unwrap();
             st.epoch += 1;
             st.job = Some(JobPtr(erased));
-            st.active = self.workers;
+            // Arm the latch with the threads that will actually run the
+            // job: `alive`, not the target — a corpse must never be waited
+            // on (heal() above normally makes these equal).
+            st.active = st.alive;
             st.panicked = false;
             drop(st);
             self.shared.work.notify_all();
@@ -182,6 +286,9 @@ impl Pool {
         st.job = None;
         let worker_panicked = st.panicked;
         drop(st);
+        if worker_panicked || caller.is_err() {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+        }
         if let Err(payload) = caller {
             resume_unwind(payload);
         }
@@ -198,7 +305,8 @@ impl Drop for Pool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for h in self.handles.drain(..) {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for h in handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -211,6 +319,7 @@ fn worker_loop(shared: &Shared) {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
+                    st.alive -= 1;
                     return;
                 }
                 if st.epoch != seen {
@@ -229,11 +338,20 @@ fn worker_loop(shared: &Shared) {
         let ok = catch_unwind(AssertUnwindSafe(f)).is_ok();
         let mut st = shared.state.lock().unwrap();
         if !ok {
+            // Poison the epoch and die; `alive` drops in the same critical
+            // section as the latch release so heal() sees a consistent
+            // count. The submitter respawns a replacement before the next
+            // job is published.
             st.panicked = true;
+            st.alive -= 1;
         }
         st.active -= 1;
         if st.active == 0 {
             shared.done.notify_all();
+        }
+        drop(st);
+        if !ok {
+            return;
         }
     }
 }
@@ -301,6 +419,19 @@ mod tests {
     }
 
     #[test]
+    fn workerless_pool_panics_still_poison_the_epoch() {
+        let pool = Pool::with_threads(1);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| pool.inject_worker_panic()));
+        assert!(r.is_err());
+        assert_eq!(pool.poisoned_epochs(), 1, "serial fallback counts the same way");
+        let ran = AtomicUsize::new(0);
+        pool.run(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "pool stays usable");
+    }
+
+    #[test]
     fn try_run_refuses_while_busy() {
         let pool = Arc::new(Pool::with_threads(2));
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
@@ -346,12 +477,50 @@ mod tests {
             });
         }));
         assert!(r.is_err());
-        // the pool survives and remains usable
+        assert_eq!(pool.poisoned_epochs(), 1, "the poisoned epoch is counted");
+        // the pool survives, heals, and remains usable at full strength
         let ran = AtomicUsize::new(0);
         pool.run(&|| {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert!(ran.load(Ordering::Relaxed) >= 1);
+        assert_eq!(pool.alive_workers(), 2, "dead workers were respawned");
+    }
+
+    #[test]
+    fn injected_worker_panic_is_healed() {
+        let pool = Pool::with_threads(4);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| pool.inject_worker_panic()));
+        assert!(r.is_err(), "injection must surface as a panic");
+        assert_eq!(pool.poisoned_epochs(), 1);
+        // next job heals first: every one of 4 threads participates again
+        let participants = AtomicUsize::new(0);
+        let gate = AtomicUsize::new(0);
+        pool.run(&|| {
+            participants.fetch_add(1, Ordering::Relaxed);
+            // spin until everyone arrived, so participation is provable
+            gate.fetch_add(1, Ordering::Relaxed);
+            while gate.load(Ordering::Relaxed) < 4 {
+                std::hint::spin_loop();
+            }
+        });
+        assert_eq!(participants.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.alive_workers(), 3);
+    }
+
+    #[test]
+    fn repeated_worker_deaths_never_wedge() {
+        let pool = Pool::with_threads(3);
+        for i in 0..10 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| pool.inject_worker_panic()));
+            assert!(r.is_err(), "round {i}");
+            let ran = AtomicUsize::new(0);
+            pool.run(&|| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(ran.load(Ordering::Relaxed) >= 1, "round {i}");
+        }
+        assert_eq!(pool.poisoned_epochs(), 10);
     }
 
     #[test]

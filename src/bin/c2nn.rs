@@ -4,8 +4,8 @@
 //! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]
 //! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]
 //! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]
-//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]
-//! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>]
+//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--chaos <spec>]
+//! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]
 //! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
 //! c2nn dot     <file.v|.blif> --top <module>
 //! ```
@@ -22,9 +22,10 @@ fn usage() -> ! {
          (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
          c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
-         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>]\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--chaos <spec>]\n  \
+         (--chaos: seed=<n>,worker_panic=<p>,worker_panic_budget=<n>,stall=<p>,stall_ms=<n>,stall_budget=<n>)\n  \
          c2nn client  <addr> [--ping | --stats | --shutdown | --load <model.json> [--name <n>]]\n  \
-         c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>]\n  \
+         c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
          c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
          c2nn dot     <file.v|.blif> --top <module>"
     );
@@ -228,6 +229,15 @@ fn main() {
             let max_batch: usize = int_flag(&args, "--max-batch", 64, 1);
             let max_wait_ms: u64 = int_flag(&args, "--max-wait-ms", 2, 0);
             let mem_mb: usize = int_flag(&args, "--mem-mb", 512, 1);
+            let max_inflight: usize = int_flag(&args, "--max-inflight", 1024, 1);
+            let chaos = flag(&args, "--chaos").map(|spec| {
+                let cfg = c2nn::serve::ChaosConfig::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(2)
+                });
+                eprintln!("CHAOS ARMED: {cfg:?} — this server will inject faults on purpose");
+                c2nn::serve::Chaos::new(cfg)
+            });
             let cfg = ServerConfig {
                 addr,
                 registry: RegistryConfig {
@@ -237,6 +247,9 @@ fn main() {
                         max_wait: std::time::Duration::from_millis(max_wait_ms),
                         device: Device::Parallel,
                     },
+                    max_inflight,
+                    chaos,
+                    ..RegistryConfig::default()
                 },
             };
             let server = spawn_server(cfg).unwrap_or_else(|e| {
@@ -258,7 +271,7 @@ fn main() {
             }
             c2nn::serve::signal::install_sigint_handler();
             println!(
-                "serving on {} (max_batch {max_batch}, max_wait {max_wait_ms}ms) — Ctrl-C or a `shutdown` request stops it",
+                "serving on {} (max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
                 server.local_addr()
             );
             server.join();
@@ -284,13 +297,21 @@ fn main() {
                     eprintln!("{e}");
                     exit(1)
                 });
-                for m in stats {
+                for m in &stats.models {
                     println!(
-                        "{}: {} requests, {} batches, occupancy {:.2}, queue {}, p50 {}us, p99 {}us, {:.2} MB",
+                        "{}: {} requests, {} batches, occupancy {:.2}, queue {}, p50 {}us, p99 {}us, {} deadline-exceeded, {:.2} MB",
                         m.name, m.requests, m.batches, m.mean_occupancy,
-                        m.queue_depth, m.p50_us, m.p99_us, m.bytes as f64 / 1e6
+                        m.queue_depth, m.p50_us, m.p99_us, m.deadline_exceeded,
+                        m.bytes as f64 / 1e6
                     );
                 }
+                let s = &stats.server;
+                println!(
+                    "server: {}/{} in flight, pressure {}, draining {}, rejected {} sims / {} loads / {} draining, {} poisoned pool epochs, {} chaos injections",
+                    s.inflight, s.max_inflight, s.pressure, s.draining,
+                    s.rejected_sims, s.rejected_loads, s.rejected_draining,
+                    s.pool_poisoned_epochs, s.chaos_injected
+                );
             } else if args.iter().any(|a| a == "--shutdown") {
                 connect("shutdown").shutdown().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -324,44 +345,107 @@ fn main() {
                 });
                 let clients: usize = int_flag(&args, "--clients", 1, 1);
                 let repeat: usize = int_flag(&args, "--repeat", 1, 1);
+                let deadline_ms: Option<u64> = flag(&args, "--deadline-ms")
+                    .map(|_| int_flag(&args, "--deadline-ms", 0u64, 1u64));
+                let max_retries: u32 = int_flag(&args, "--retries", 8, 0);
+                let seed: u64 = int_flag(&args, "--seed", 0, 0);
                 if clients == 1 && repeat == 1 {
-                    let outputs = connect("sim").sim(&model, &stim).unwrap_or_else(|e| {
-                        eprintln!("server error: {e}");
-                        exit(1)
-                    });
+                    let outputs = connect("sim")
+                        .sim_with_deadline(&model, &stim, deadline_ms)
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            exit(1)
+                        });
                     println!("outputs: {}", outputs.join(" "));
                 } else {
                     // load generator: `clients` connections in parallel,
-                    // each sending the testbench `repeat` times
+                    // each sending the testbench `repeat` times; transient
+                    // failures (overload, connection races) retry under
+                    // capped jittered exponential backoff, deterministic
+                    // per --seed
+                    use c2nn::serve::{Backoff, ClientError};
+                    use std::time::Duration;
                     let before = connect("stats").stats().ok();
                     let t0 = std::time::Instant::now();
                     let handles: Vec<_> = (0..clients)
-                        .map(|_| {
+                        .map(|i| {
                             let addr = addr.clone();
                             let model = model.clone();
                             let stim = stim.clone();
                             std::thread::spawn(move || {
-                                let mut c = Client::connect(&addr)?;
+                                // decorrelate threads without losing
+                                // determinism: each gets its own stream
+                                let mut backoff = Backoff::new(
+                                    seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                                    Duration::from_millis(5),
+                                    Duration::from_millis(500),
+                                );
+                                let (mut ok, mut failed, mut retries) = (0usize, 0usize, 0usize);
+                                let mut conn: Option<Client> = None;
                                 for _ in 0..repeat {
-                                    c.sim(&model, &stim)
-                                        .map_err(c2nn::serve::ClientError::Server)?;
+                                    let mut left = max_retries;
+                                    loop {
+                                        if conn.is_none() {
+                                            match Client::connect(&addr) {
+                                                Ok(c) => conn = Some(c),
+                                                Err(e) if e.is_transient() && left > 0 => {
+                                                    left -= 1;
+                                                    retries += 1;
+                                                    std::thread::sleep(
+                                                        backoff.next_delay(e.retry_after()),
+                                                    );
+                                                    continue;
+                                                }
+                                                Err(_) => {
+                                                    failed += 1;
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                        let c = conn.as_mut().expect("connected above");
+                                        match c.sim_with_deadline(&model, &stim, deadline_ms) {
+                                            Ok(_) => {
+                                                ok += 1;
+                                                backoff.reset();
+                                                break;
+                                            }
+                                            Err(e) if e.is_transient() && left > 0 => {
+                                                left -= 1;
+                                                retries += 1;
+                                                if matches!(e, ClientError::Io(_)) {
+                                                    conn = None; // connection is gone
+                                                }
+                                                std::thread::sleep(
+                                                    backoff.next_delay(e.retry_after()),
+                                                );
+                                            }
+                                            Err(_) => {
+                                                failed += 1;
+                                                break;
+                                            }
+                                        }
+                                    }
                                 }
-                                Ok::<(), c2nn::serve::ClientError>(())
+                                (ok, failed, retries)
                             })
                         })
                         .collect();
-                    let mut failures = 0usize;
+                    let (mut ok, mut failures, mut retries) = (0usize, 0usize, 0usize);
                     for h in handles {
                         match h.join() {
-                            Ok(Ok(())) => {}
-                            _ => failures += 1,
+                            Ok((o, f, r)) => {
+                                ok += o;
+                                failures += f;
+                                retries += r;
+                            }
+                            Err(_) => failures += repeat,
                         }
                     }
                     let dt = t0.elapsed().as_secs_f64();
                     let total = clients * repeat;
                     println!(
-                        "{total} requests from {clients} clients in {dt:.3}s — {:.1} req/s ({failures} failed)",
-                        (total - failures) as f64 / dt
+                        "{total} requests from {clients} clients in {dt:.3}s — {:.1} req/s ({ok} ok, {failures} failed, {retries} retries)",
+                        ok as f64 / dt
                     );
                     if let (Some(before), Ok(after)) = (before, connect("stats").stats()) {
                         let find = |list: &[c2nn::serve::ModelStatsReport]| {
@@ -370,13 +454,19 @@ fn main() {
                                 .map(|m| (m.lanes, m.batches))
                                 .unwrap_or((0, 0))
                         };
-                        let (l0, b0) = find(&before);
-                        let (l1, b1) = find(&after);
+                        let (l0, b0) = find(&before.models);
+                        let (l1, b1) = find(&after.models);
                         if b1 > b0 {
                             println!(
                                 "mean batch occupancy over this run: {:.2} lanes/batch",
                                 (l1 - l0) as f64 / (b1 - b0) as f64
                             );
+                        }
+                        let (s0, s1) = (&before.server, &after.server);
+                        let shed = (s1.rejected_sims - s0.rejected_sims)
+                            + (s1.rejected_draining - s0.rejected_draining);
+                        if shed > 0 {
+                            println!("server shed {shed} requests with typed rejections during this run");
                         }
                     }
                     if failures > 0 {
