@@ -105,6 +105,7 @@ fn measure_overload(repeat: usize) -> OverloadRun {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
                 device: Device::Parallel,
+                ..BatchConfig::default()
             },
             max_inflight,
             ..RegistryConfig::default()
@@ -180,6 +181,7 @@ fn main() {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
                 device: Device::Parallel,
+                ..BatchConfig::default()
             },
             ..RegistryConfig::default()
         },

@@ -593,6 +593,106 @@ pub fn format_compile_passes(rows: &[CompilePassRow]) -> String {
     s
 }
 
+/// One circuit's pooled-CSR vs bit-plane throughput comparison (the
+/// `BENCH_bitplane.json` artifact and its ≥10× CI gate).
+#[derive(Clone, Debug)]
+pub struct BitplaneRow {
+    pub circuit: String,
+    pub l: usize,
+    pub gates: usize,
+    pub batch: usize,
+    /// pooled-CSR simulator on `Device::Parallel`, gates·cycles/s
+    pub csr_gcs: f64,
+    /// bit-plane backend on `Device::Parallel`, gates·cycles/s
+    pub bitplane_gcs: f64,
+    pub speedup: f64,
+    /// bit-plane plan shape: layer count and op mix
+    pub plan_layers: usize,
+    pub gate_ops: usize,
+    /// popcount-fallback rows — 0 whenever the unmerged pipeline legalizes
+    pub weighted_ops: usize,
+}
+json_obj!(BitplaneRow { circuit, l, gates, batch, csr_gcs, bitplane_gcs, speedup, plan_layers, gate_ops, weighted_ops });
+
+/// Race the bit-plane backend against the pooled-CSR path on every suite
+/// circuit: same compile pipeline L, same batch width, both on the global
+/// thread pool, zero stimulus (throughput is data-independent — every lane
+/// runs every op).
+pub fn bitplane_throughput(l: usize, batch: usize, budget: Duration) -> Vec<BitplaneRow> {
+    use c2nn_core::{compile_bitplane, BitTensor, BitplaneSimulator};
+    let mut rows = Vec::new();
+    for bench in table1_suite() {
+        let nl = (bench.build)();
+        let nn = compile(&nl, CompileOptions::with_l(l)).expect("compile");
+        let mut csr_sim = Simulator::new(&nn, batch, Device::Parallel);
+        let x = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
+        let csr_secs = time_adaptive(budget, 2, || {
+            csr_sim.step(&x);
+        });
+        let csr = Throughput { gates: nn.gate_count, cycles: batch as f64, seconds: csr_secs };
+
+        let (_, plan) = compile_bitplane(&nl, CompileOptions::with_l(l)).expect("legalize");
+        let census = plan.op_census();
+        let mut bp_sim = BitplaneSimulator::new(&plan, batch, Device::Parallel);
+        let packed = BitTensor::zeros(plan.num_primary_inputs, batch);
+        let mut out = BitTensor::zeros(0, 0);
+        let bp_secs = time_adaptive(budget, 2, || {
+            bp_sim.step_packed_into(&packed, &mut out).expect("step");
+        });
+        let bp = Throughput { gates: nn.gate_count, cycles: batch as f64, seconds: bp_secs };
+
+        let row = BitplaneRow {
+            circuit: bench.name.to_string(),
+            l,
+            gates: nl.gate_count(),
+            batch,
+            csr_gcs: csr.gcs(),
+            bitplane_gcs: bp.gcs(),
+            speedup: bp.gcs() / csr.gcs(),
+            plan_layers: plan.num_layers(),
+            gate_ops: census.total() - census.weighted,
+            weighted_ops: census.weighted,
+        };
+        eprintln!(
+            "[bitplane] {}: csr {} bitplane {} g*c/s — {:.1}x ({} gate ops, {} weighted)",
+            bench.name,
+            sci(row.csr_gcs),
+            sci(row.bitplane_gcs),
+            row.speedup,
+            row.gate_ops,
+            row.weighted_ops,
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+pub fn format_bitplane(rows: &[BitplaneRow]) -> String {
+    let mut s = format!(
+        "{:<17} {:>2} {:>9} {:>6} | {:>10} {:>10} {:>8} | {:>6} {:>8} {:>8}\n",
+        "Circuit", "L", "Gates", "Batch", "csr g*c/s", "bp g*c/s", "speedup", "layers",
+        "gate-ops", "weighted"
+    );
+    s.push_str(&"-".repeat(100));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<17} {:>2} {:>9} {:>6} | {:>10} {:>10} {:>7.1}x | {:>6} {:>8} {:>8}\n",
+            r.circuit,
+            r.l,
+            r.gates,
+            r.batch,
+            sci(r.csr_gcs),
+            sci(r.bitplane_gcs),
+            r.speedup,
+            r.plan_layers,
+            r.gate_ops,
+            r.weighted_ops,
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

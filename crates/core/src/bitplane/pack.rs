@@ -1,0 +1,128 @@
+//! Bit-plane stimulus packing.
+//!
+//! The pooled-CSR path spends one scalar lane (an `f32`) per stimulus bit.
+//! A [`BitTensor`] instead packs 64 stimuli into every machine word: it is
+//! the same feature-major layout as `Dense` — feature `f` of lane `l` — but
+//! lane `l` lives in bit `l % 64` of word `f * W + l / 64`, where
+//! `W = ceil(batch / 64)` words hold one feature's plane.
+//!
+//! Bits past `batch` in a feature's last word ("the ragged tail") are
+//! *unspecified*. Every kernel in [`super::exec`] is lane-wise (AND, OR,
+//! XOR, and per-bit ripple-carry popcount counters), so tail garbage can
+//! never leak into a valid lane; the unpack paths here simply never read
+//! past `batch`.
+
+/// A feature-major binary matrix with 64 stimulus lanes per word.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitTensor {
+    features: usize,
+    batch: usize,
+    /// Words per feature plane: `ceil(batch / 64)`.
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl BitTensor {
+    /// An all-zero tensor of `features × batch` bits.
+    pub fn zeros(features: usize, batch: usize) -> Self {
+        let words = batch.div_ceil(64);
+        BitTensor { features, batch, words, data: vec![0; features * words] }
+    }
+
+    /// Number of features (rows).
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of stimulus lanes (columns).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Words per feature plane (`ceil(batch / 64)`).
+    pub fn words_per_feature(&self) -> usize {
+        self.words
+    }
+
+    /// The backing words, feature-major.
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable backing words, feature-major.
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// The `W` words of feature `f`'s plane.
+    pub fn feature_words(&self, f: usize) -> &[u64] {
+        &self.data[f * self.words..(f + 1) * self.words]
+    }
+
+    /// Mutable plane of feature `f`.
+    pub fn feature_words_mut(&mut self, f: usize) -> &mut [u64] {
+        &mut self.data[f * self.words..(f + 1) * self.words]
+    }
+
+    /// Reshape in place, reusing the allocation. Contents become
+    /// unspecified (callers overwrite every plane they read).
+    pub fn resize_to(&mut self, features: usize, batch: usize) {
+        self.features = features;
+        self.batch = batch;
+        self.words = batch.div_ceil(64);
+        self.data.resize(features * self.words, 0);
+    }
+
+    /// Bit of feature `f`, lane `l`.
+    pub fn get_bit(&self, f: usize, l: usize) -> bool {
+        debug_assert!(f < self.features && l < self.batch);
+        self.data[f * self.words + l / 64] >> (l % 64) & 1 == 1
+    }
+
+    /// Set or clear the bit of feature `f`, lane `l`.
+    pub fn set_bit(&mut self, f: usize, l: usize, bit: bool) {
+        debug_assert!(f < self.features && l < self.batch);
+        let w = &mut self.data[f * self.words + l / 64];
+        let mask = 1u64 << (l % 64);
+        if bit {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Mask selecting the valid lanes of the last word of each plane
+    /// (`!0` when the batch fills its words exactly).
+    pub fn tail_mask(&self) -> u64 {
+        match self.batch % 64 {
+            0 => !0,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    /// Pack per-lane bit vectors (`lanes[l][f]`, the same shape
+    /// `Dense::from_lanes` takes): `lanes.len()` is the batch, every lane
+    /// carries one bit per feature.
+    pub fn from_lanes(lanes: &[Vec<bool>]) -> Self {
+        let batch = lanes.len();
+        let features = lanes.first().map_or(0, Vec::len);
+        let mut t = BitTensor::zeros(features, batch);
+        for (l, lane) in lanes.iter().enumerate() {
+            debug_assert_eq!(lane.len(), features);
+            for (f, &bit) in lane.iter().enumerate() {
+                if bit {
+                    t.data[f * t.words + l / 64] |= 1 << (l % 64);
+                }
+            }
+        }
+        t
+    }
+
+    /// Inverse of [`BitTensor::from_lanes`]: per-lane bit vectors. Never
+    /// reads the ragged tail.
+    pub fn to_lanes(&self) -> Vec<Vec<bool>> {
+        (0..self.batch)
+            .map(|l| (0..self.features).map(|f| self.get_bit(f, l)).collect())
+            .collect()
+    }
+}

@@ -1,0 +1,350 @@
+//! Legalize-to-bitplane: classify each exact-integer neuron row into the
+//! cheapest word-parallel operation that computes it.
+//!
+//! The compiler's IR invariants (see `ir`) guarantee that, fed binary
+//! inputs, every `Threshold` row produces 0/1 and every intermediate
+//! `Linear` row reproduces the 0/1 value of its source signal. That makes
+//! two rewrites sound:
+//!
+//! * A unit-weight threshold row is a plain gate: with all weights `+1`,
+//!   bias `1-n` is an AND and bias `0` an OR over the fan-in planes (and
+//!   the `-1` duals are NOR/NAND).
+//! * A linear row whose value is always 0/1 equals its own parity, so it
+//!   is the XOR of the fan-in planes with odd weights, inverted when the
+//!   bias is odd. Even coefficients drop out entirely.
+//!
+//! Everything else falls back to [`RowOp::Weighted`], an exact bit-sliced
+//! popcount comparator (see `exec`), so *any* legal `CompiledNn` — merged
+//! layers, wide gates, hand-built models — runs bit-exactly.
+
+use crate::compile::CompiledNn;
+use crate::layer::Activation2;
+use c2nn_tensor::Scalar;
+use std::fmt;
+
+/// One output plane of a bit-plane layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowOp {
+    /// The row is constant regardless of input.
+    Const(bool),
+    /// The row copies one input plane.
+    Copy(u32),
+    /// The row negates one input plane.
+    Not(u32),
+    /// AND of the fan-in planes (unit weights, bias `1-n`).
+    And(Vec<u32>),
+    /// NAND of the fan-in planes (weights `-1`, bias `n`).
+    Nand(Vec<u32>),
+    /// OR of the fan-in planes (unit weights, bias `0`).
+    Or(Vec<u32>),
+    /// NOR of the fan-in planes (weights `-1`, bias `1`).
+    Nor(Vec<u32>),
+    /// XOR of the odd-weight fan-in planes of a linear row, optionally
+    /// inverted by an odd bias.
+    Xor {
+        /// Fan-in columns with odd coefficients.
+        srcs: Vec<u32>,
+        /// Whether the bias is odd.
+        invert: bool,
+    },
+    /// General threshold `Σ wᵢxᵢ + b > 0`, evaluated exactly as
+    /// `A > B` with `A = Σ_{w>0} w·x + max(b,0)` and
+    /// `B = Σ_{w<0} |w|·x + max(-b,0)` via bit-sliced popcount counters.
+    Weighted {
+        /// Positive-weight terms `(column, magnitude)`.
+        plus: Vec<(u32, u64)>,
+        /// Negative-weight terms `(column, magnitude)`.
+        minus: Vec<(u32, u64)>,
+        /// `max(bias, 0)`.
+        pos_bias: u64,
+        /// `max(-bias, 0)`.
+        neg_bias: u64,
+    },
+}
+
+/// One layer of the bit-plane program.
+#[derive(Clone, Debug)]
+pub struct BitLayer {
+    /// Planes the layer reads.
+    pub in_width: usize,
+    /// One op per output plane.
+    pub ops: Vec<RowOp>,
+}
+
+/// A compiled network legalized to bit-plane form. Built from a
+/// [`CompiledNn`] by [`BitplaneNn::from_compiled`]; shares its port order
+/// and state layout, so the two backends are drop-in interchangeable.
+#[derive(Clone, Debug)]
+pub struct BitplaneNn {
+    /// Model name (copied from the source network).
+    pub name: String,
+    /// The layer programs, input to output.
+    pub layers: Vec<BitLayer>,
+    /// Primary input count.
+    pub num_primary_inputs: usize,
+    /// Primary output count.
+    pub num_primary_outputs: usize,
+    /// Power-on flip-flop values.
+    pub state_init: Vec<bool>,
+    /// Gate count of the source circuit (throughput accounting).
+    pub gate_count: usize,
+    /// The `L` used for compilation.
+    pub lut_size: usize,
+}
+
+/// Why a network could not be legalized to bit-plane form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BitplaneError {
+    /// A weight or bias is not an integer (the compiler never produces
+    /// these; they can only come from a hand-edited model file).
+    NonIntegralValue {
+        /// Layer the value was found in.
+        layer: usize,
+        /// Row within the layer.
+        row: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BitplaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitplaneError::NonIntegralValue { layer, row, value } => write!(
+                f,
+                "layer {layer} row {row}: value {value} is not an integer; \
+                 the bit-plane backend requires exact integral weights"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BitplaneError {}
+
+/// Per-kind op counts of a bit-plane program (reported by the bench and
+/// asserted on in tests: the unmerged pipeline should legalize almost
+/// entirely to gate ops, not `Weighted` fallbacks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCensus {
+    pub consts: usize,
+    pub copies: usize,
+    pub nots: usize,
+    pub ands: usize,
+    pub nands: usize,
+    pub ors: usize,
+    pub nors: usize,
+    pub xors: usize,
+    pub weighted: usize,
+}
+
+impl OpCensus {
+    /// Total op count.
+    pub fn total(&self) -> usize {
+        self.consts
+            + self.copies
+            + self.nots
+            + self.ands
+            + self.nands
+            + self.ors
+            + self.nors
+            + self.xors
+            + self.weighted
+    }
+}
+
+impl BitplaneNn {
+    /// Legalize a compiled network to bit-plane form. Exact for every
+    /// network that passes `CompiledNn::validate` (integral weights within
+    /// the scalar's exact range); fails with a typed error otherwise.
+    pub fn from_compiled<T: Scalar>(nn: &CompiledNn<T>) -> Result<Self, BitplaneError> {
+        let mut layers = Vec::with_capacity(nn.layers.len());
+        for (li, layer) in nn.layers.iter().enumerate() {
+            let mut ops = Vec::with_capacity(layer.weights.rows());
+            let mut row: Vec<(u32, i64)> = Vec::new();
+            for r in 0..layer.weights.rows() {
+                row.clear();
+                for (c, v) in layer.weights.row(r) {
+                    let w = exact_i64(v, li, r)?;
+                    if w != 0 {
+                        row.push((c, w));
+                    }
+                }
+                let bias = exact_i64(layer.bias[r], li, r)?;
+                ops.push(classify(&row, bias, layer.activation));
+            }
+            layers.push(BitLayer { in_width: layer.weights.cols(), ops });
+        }
+        Ok(BitplaneNn {
+            name: nn.name.clone(),
+            layers,
+            num_primary_inputs: nn.num_primary_inputs,
+            num_primary_outputs: nn.num_primary_outputs,
+            state_init: nn.state_init.clone(),
+            gate_count: nn.gate_count,
+            lut_size: nn.lut_size,
+        })
+    }
+
+    /// Planes the first layer reads (primary inputs followed by state).
+    pub fn in_width(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_width)
+    }
+
+    /// Planes the last layer writes (primary outputs followed by state).
+    pub fn out_width(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.ops.len())
+    }
+
+    /// Flip-flop count.
+    pub fn state_bits(&self) -> usize {
+        self.state_init.len()
+    }
+
+    /// Layer count.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Count ops by kind across all layers.
+    pub fn op_census(&self) -> OpCensus {
+        let mut c = OpCensus::default();
+        for layer in &self.layers {
+            for op in &layer.ops {
+                match op {
+                    RowOp::Const(_) => c.consts += 1,
+                    RowOp::Copy(_) => c.copies += 1,
+                    RowOp::Not(_) => c.nots += 1,
+                    RowOp::And(_) => c.ands += 1,
+                    RowOp::Nand(_) => c.nands += 1,
+                    RowOp::Or(_) => c.ors += 1,
+                    RowOp::Nor(_) => c.nors += 1,
+                    RowOp::Xor { .. } => c.xors += 1,
+                    RowOp::Weighted { .. } => c.weighted += 1,
+                }
+            }
+        }
+        c
+    }
+}
+
+fn exact_i64<T: Scalar>(v: T, layer: usize, row: usize) -> Result<i64, BitplaneError> {
+    let f = v.to_f64();
+    // compiled weights satisfy |v| ≤ EXACT_LIMIT ≤ 2^53, so the f64 image
+    // is exact; anything fractional or astronomically large is a corrupt
+    // or hand-edited model
+    if f.fract() != 0.0 || f.abs() >= 9_007_199_254_740_992.0 {
+        return Err(BitplaneError::NonIntegralValue { layer, row, value: f });
+    }
+    Ok(f as i64)
+}
+
+/// Pick the cheapest exact op for one canonical row.
+fn classify(weights: &[(u32, i64)], bias: i64, act: Activation2) -> RowOp {
+    match act {
+        Activation2::Linear => {
+            // 0/1-valued linear rows equal their own parity
+            let srcs: Vec<u32> =
+                weights.iter().filter(|&&(_, w)| w & 1 != 0).map(|&(c, _)| c).collect();
+            let invert = bias & 1 != 0;
+            match (srcs.len(), invert) {
+                (0, b) => RowOp::Const(b),
+                (1, false) => RowOp::Copy(srcs[0]),
+                (1, true) => RowOp::Not(srcs[0]),
+                _ => RowOp::Xor { srcs, invert },
+            }
+        }
+        Activation2::Threshold => {
+            let min_pre: i64 = weights.iter().map(|&(_, w)| w.min(0)).sum::<i64>() + bias;
+            let max_pre: i64 = weights.iter().map(|&(_, w)| w.max(0)).sum::<i64>() + bias;
+            if min_pre > 0 {
+                return RowOp::Const(true);
+            }
+            if max_pre <= 0 {
+                return RowOp::Const(false);
+            }
+            // non-constant, so weights is non-empty from here on
+            let n = weights.len() as i64;
+            let srcs = || weights.iter().map(|&(c, _)| c).collect::<Vec<u32>>();
+            if weights.iter().all(|&(_, w)| w == 1) {
+                if n == 1 {
+                    // bias must be 0 (the constant checks caught the rest)
+                    return RowOp::Copy(weights[0].0);
+                }
+                if bias == 1 - n {
+                    return RowOp::And(srcs());
+                }
+                if bias == 0 {
+                    return RowOp::Or(srcs());
+                }
+            }
+            if weights.iter().all(|&(_, w)| w == -1) {
+                if n == 1 {
+                    // bias must be 1
+                    return RowOp::Not(weights[0].0);
+                }
+                if bias == 1 {
+                    return RowOp::Nor(srcs());
+                }
+                if bias == n {
+                    return RowOp::Nand(srcs());
+                }
+            }
+            let plus: Vec<(u32, u64)> =
+                weights.iter().filter(|&&(_, w)| w > 0).map(|&(c, w)| (c, w as u64)).collect();
+            let minus: Vec<(u32, u64)> = weights
+                .iter()
+                .filter(|&&(_, w)| w < 0)
+                .map(|&(c, w)| (c, w.unsigned_abs()))
+                .collect();
+            RowOp::Weighted {
+                plus,
+                minus,
+                pos_bias: bias.max(0) as u64,
+                neg_bias: (-bias).max(0) as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_rows_classify_to_gates() {
+        use Activation2::Threshold as T;
+        // and2: x0 + x1 - 1 > 0
+        assert_eq!(classify(&[(0, 1), (1, 1)], -1, T), RowOp::And(vec![0, 1]));
+        // or3
+        assert_eq!(classify(&[(0, 1), (1, 1), (2, 1)], 0, T), RowOp::Or(vec![0, 1, 2]));
+        // nor2: -x0 - x1 + 1 > 0
+        assert_eq!(classify(&[(0, -1), (1, -1)], 1, T), RowOp::Nor(vec![0, 1]));
+        // nand2: -x0 - x1 + 2 > 0
+        assert_eq!(classify(&[(0, -1), (1, -1)], 2, T), RowOp::Nand(vec![0, 1]));
+        // buffer and inverter
+        assert_eq!(classify(&[(3, 1)], 0, T), RowOp::Copy(3));
+        assert_eq!(classify(&[(3, -1)], 1, T), RowOp::Not(3));
+        // constants by range
+        assert_eq!(classify(&[(0, 1)], 1, T), RowOp::Const(true));
+        assert_eq!(classify(&[(0, 1)], -1, T), RowOp::Const(false));
+        assert_eq!(classify(&[], 5, T), RowOp::Const(true));
+        // a majority gate has no gate form
+        assert!(matches!(
+            classify(&[(0, 1), (1, 1), (2, 1)], -1, T),
+            RowOp::Weighted { .. }
+        ));
+    }
+
+    #[test]
+    fn linear_rows_classify_to_parity() {
+        use Activation2::Linear as L;
+        assert_eq!(
+            classify(&[(0, 1), (1, -1), (2, 2)], 0, L),
+            RowOp::Xor { srcs: vec![0, 1], invert: false }
+        );
+        assert_eq!(classify(&[(4, 1)], 0, L), RowOp::Copy(4));
+        assert_eq!(classify(&[(4, -1)], 1, L), RowOp::Not(4));
+        assert_eq!(classify(&[(4, 2)], 1, L), RowOp::Const(true));
+        assert_eq!(classify(&[], 0, L), RowOp::Const(false));
+    }
+}

@@ -9,13 +9,44 @@
 //! [`CompiledNn`] of sparse integer layers. Every stage records wall time
 //! and size metrics into a [`CompileReport`].
 
-use crate::ir::passes::{legalize, PassManager, PassSet};
+use crate::ir::passes::{legalize, PassId, PassManager, PassSet};
 use crate::ir::report::{CompileReport, PassStat};
 use crate::ir::{lower::lower, NnGraph};
 use crate::layer::NnLayer;
 use c2nn_lutmap::{map_netlist, LutGraph, MapConfig, MapError};
 use c2nn_netlist::{prepare, Netlist, SeqError};
 use c2nn_tensor::Scalar;
+
+/// Which execution backend a compiled model is destined for. Both are
+/// exact; they trade differently: the pooled-CSR path is one scalar lane
+/// per stimulus, the bit-plane path packs 64 stimuli per machine word.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dense `f32` lanes over CSR layers (the default).
+    #[default]
+    PooledCsr,
+    /// Packed bitplanes over word ops (see [`crate::bitplane`]).
+    Bitplane,
+}
+
+impl BackendKind {
+    /// Parse a CLI/config spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "csr" | "pooled-csr" => Some(BackendKind::PooledCsr),
+            "bitplane" | "bit-plane" => Some(BackendKind::Bitplane),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::PooledCsr => "pooled-csr",
+            BackendKind::Bitplane => "bitplane",
+        }
+    }
+}
 
 /// Compiler options.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +62,10 @@ pub struct CompileOptions {
     /// (always in canonical order). The merge ablation is
     /// `PassSet::all().without(PassId::LayerMerge)`.
     pub passes: PassSet,
+    /// Which execution backend the model is compiled for. Only
+    /// [`BackendKind::Bitplane`] changes anything here — see
+    /// [`CompileOptions::with_backend`].
+    pub backend: BackendKind,
 }
 
 impl CompileOptions {
@@ -40,6 +75,7 @@ impl CompileOptions {
             cuts_per_net: 8,
             wide_gates: false,
             passes: PassSet::all(),
+            backend: BackendKind::PooledCsr,
         }
     }
 
@@ -52,6 +88,21 @@ impl CompileOptions {
     /// Select the optimization passes to run.
     pub fn with_passes(mut self, passes: PassSet) -> Self {
         self.passes = passes;
+        self
+    }
+
+    /// Target an execution backend. Selecting [`BackendKind::Bitplane`]
+    /// drops the layer-merge pass: merging trades depth for dense
+    /// integer rows, which is a win for CSR arithmetic but forces the
+    /// bit-plane executor into its popcount fallback — the unmerged
+    /// threshold/linear alternation legalizes to single word ops per
+    /// neuron instead. (A merged network still runs correctly on the
+    /// bit-plane backend; it is just slower.)
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        if backend == BackendKind::Bitplane {
+            self.passes = self.passes.without(PassId::LayerMerge);
+        }
         self
     }
 
@@ -98,6 +149,8 @@ pub enum CompileError {
     /// A merged coefficient exceeded what the target scalar represents
     /// exactly (f32 is exact only to ±2^24).
     CoefficientOverflow { value: i64, limit: i64 },
+    /// Legalizing to the bit-plane backend failed (source preserved).
+    Bitplane(crate::bitplane::BitplaneError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -112,6 +165,7 @@ impl std::fmt::Display for CompileError {
                 f,
                 "merged weight {value} exceeds the exact range ±{limit} of the target dtype"
             ),
+            CompileError::Bitplane(e) => write!(f, "bit-plane legalization failed: {e}"),
         }
     }
 }
@@ -121,6 +175,7 @@ impl std::error::Error for CompileError {
         match self {
             CompileError::Seq(e) => Some(e),
             CompileError::Map(e) => Some(e),
+            CompileError::Bitplane(e) => Some(e),
             _ => None,
         }
     }
@@ -206,6 +261,20 @@ impl<T: Scalar> CompiledNn<T> {
 /// the paper ships (PyTorch sparse kernels are float-only, §III-E).
 pub fn compile(nl: &Netlist, opts: CompileOptions) -> Result<CompiledNn<f32>, CompileError> {
     compile_as::<f32>(nl, opts)
+}
+
+/// Compile a netlist straight to the bit-plane backend: forces
+/// `opts.backend = Bitplane` (dropping layer-merge, see
+/// [`CompileOptions::with_backend`]) and legalizes the result to a
+/// [`BitplaneNn`](crate::bitplane::BitplaneNn). The scalar network is
+/// returned alongside for differential checks and serving metadata.
+pub fn compile_bitplane(
+    nl: &Netlist,
+    opts: CompileOptions,
+) -> Result<(CompiledNn<f32>, crate::bitplane::BitplaneNn), CompileError> {
+    let nn = compile(nl, opts.with_backend(BackendKind::Bitplane))?;
+    let plan = crate::bitplane::BitplaneNn::from_compiled(&nn).map_err(CompileError::Bitplane)?;
+    Ok((nn, plan))
 }
 
 /// Compile with an explicit scalar type (`i32`/`i64` give the paper's

@@ -239,7 +239,10 @@ impl Pass for ConstantFold {
 /// `monomial-cse`: within each layer (except the last, whose rows are the
 /// network interface), rows with identical weights and bias compute the same
 /// value — LUTs sharing fan-in emit the same monomial neuron many times.
-/// Consumers are rewired onto the first occurrence; duplicates become dead.
+/// Consumers are rewired onto the first occurrence and the duplicate rows
+/// are removed in the same pass (columns compacted, `in_width` updated), so
+/// the sharing the pass finds shows up in its own size stats instead of
+/// hiding inside dead-neuron-elim's.
 pub struct MonomialCse;
 
 impl Pass for MonomialCse {
@@ -250,30 +253,42 @@ impl Pass for MonomialCse {
     fn run(&self, g: &mut NnGraph) {
         for i in 0..g.layers.len().saturating_sub(1) {
             let mut first: HashMap<(Vec<(u32, i64)>, i64), u32> = HashMap::new();
+            // remap[r] = compacted index of the row that now computes old
+            // row r's value
             let mut remap: Vec<u32> = Vec::with_capacity(g.layers[i].rows.len());
-            let mut any_dup = false;
-            for (r, row) in g.layers[i].rows.iter().enumerate() {
+            let mut keep: Vec<bool> = Vec::with_capacity(g.layers[i].rows.len());
+            let mut kept = 0u32;
+            for row in g.layers[i].rows.iter() {
                 let key = (row.weights.clone(), row.bias);
                 match first.get(&key) {
-                    Some(&kept) => {
-                        remap.push(kept);
-                        any_dup = true;
+                    Some(&surviving) => {
+                        remap.push(surviving);
+                        keep.push(false);
                     }
                     None => {
-                        first.insert(key, r as u32);
-                        remap.push(r as u32);
+                        first.insert(key, kept);
+                        remap.push(kept);
+                        keep.push(true);
+                        kept += 1;
                     }
                 }
             }
-            if !any_dup {
+            if kept as usize == g.layers[i].rows.len() {
                 continue;
             }
+            let rows = std::mem::take(&mut g.layers[i].rows);
+            g.layers[i].rows = rows
+                .into_iter()
+                .zip(&keep)
+                .filter_map(|(row, &k)| k.then_some(row))
+                .collect();
             for row in &mut g.layers[i + 1].rows {
                 for entry in &mut row.weights {
                     entry.0 = remap[entry.0 as usize];
                 }
                 row.canonicalize(); // merge coefficients of now-shared columns
             }
+            g.layers[i + 1].in_width = kept as usize;
         }
     }
 }
@@ -486,12 +501,15 @@ mod tests {
         let mut g = dup_graph();
         let want = outputs_over_domain(&g);
         MonomialCse.run(&mut g);
+        g.check().unwrap();
         assert_eq!(outputs_over_domain(&g), want, "cse must not change outputs");
-        // row 1's consumer now points at row 0
-        assert_eq!(g.layers[1].rows[1].weights, vec![(0, -1), (2, 1)]);
+        // the duplicate is gone in-pass: row 1's consumer points at row 0,
+        // and the x0 row compacted down to column 1
+        assert_eq!(g.layers[0].rows.len(), 2, "duplicate neuron collected by cse");
+        assert_eq!(g.layers[1].rows[1].weights, vec![(0, -1), (1, 1)]);
         DeadNeuronElim.run(&mut g);
         g.check().unwrap();
-        assert_eq!(g.layers[0].rows.len(), 2, "duplicate neuron collected");
+        assert_eq!(g.layers[0].rows.len(), 2, "nothing left for dce to collect");
         assert_eq!(outputs_over_domain(&g), want, "dce must not change outputs");
     }
 
@@ -503,6 +521,7 @@ mod tests {
         g.num_primary_outputs = 1;
         MonomialCse.run(&mut g);
         assert!(g.layers[1].rows[0].weights.is_empty(), "±1 on a shared neuron cancels");
+        assert_eq!(g.layers[0].rows.len(), 2, "cse drops the duplicate, keeps live rows");
         DeadNeuronElim.run(&mut g);
         assert_eq!(g.layers[0].rows.len(), 0, "all neurons dead");
         for x in 0..4u32 {

@@ -44,6 +44,7 @@
 //! assert_eq!(sum, 12);
 //! ```
 
+pub mod bitplane;
 pub mod compile;
 pub mod faults;
 pub mod ir;
@@ -54,9 +55,10 @@ pub mod sim;
 pub mod testbench;
 pub mod validate;
 
+pub use bitplane::{BitTensor, BitplaneError, BitplaneNn, BitplaneRunner, BitplaneSimulator};
 pub use compile::{
-    compile, compile_as, compile_graph, compile_graph_with_report, compile_with_report,
-    CompileError, CompileOptions, CompiledNn,
+    compile, compile_as, compile_bitplane, compile_graph, compile_graph_with_report,
+    compile_with_report, BackendKind, CompileError, CompileOptions, CompiledNn,
 };
 pub use ir::passes::{PassId, PassSet};
 pub use ir::report::{CompileReport, IrMetrics, PassStat};

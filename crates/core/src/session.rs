@@ -53,6 +53,20 @@ impl<T: Scalar> Session<T> {
     pub fn reset(&mut self, nn: &CompiledNn<T>) {
         *self = Session::new(nn);
     }
+
+    /// Raw state values, for backends that pack lanes themselves (the
+    /// bit-plane runner reads these as bits and writes them back as 0/1).
+    pub(crate) fn state_raw(&self) -> &[T] {
+        &self.state
+    }
+
+    pub(crate) fn state_raw_mut(&mut self) -> &mut [T] {
+        &mut self.state
+    }
+
+    pub(crate) fn bump_cycles(&mut self) {
+        self.cycles += 1;
+    }
 }
 
 /// Steps arbitrary collections of [`Session`]s through one compiled

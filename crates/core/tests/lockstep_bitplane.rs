@@ -1,0 +1,246 @@
+//! Differential lockstep harness for the bit-plane backend: on every suite
+//! circuit, the packed executor must stay bit-exact against BOTH the
+//! pooled-CSR `Simulator` (all lanes) and the gate-level reference
+//! simulator (spot-checked lanes), over multi-cycle sessions, for ragged
+//! batch widths that don't fill a machine word, and under both pass sets —
+//! the unmerged pipeline it prefers (gate/XOR ops) and the fully merged
+//! one that forces its bit-sliced popcount fallback.
+
+use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner, BitplaneSimulator};
+use c2nn_core::{
+    compile, BackendKind, CompileOptions, PassSet, Session, SessionRunner, Simulator,
+};
+use c2nn_netlist::Netlist;
+use c2nn_refsim::CycleSim;
+use c2nn_tensor::{Dense, Device};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn bit(&mut self) -> bool {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 40 & 1 == 1
+    }
+
+    fn lanes(&mut self, batch: usize, width: usize) -> Vec<Vec<bool>> {
+        (0..batch).map(|_| (0..width).map(|_| self.bit()).collect()).collect()
+    }
+}
+
+/// The suite circuits, with DMA at its small test variant to keep
+/// debug-mode runtime bounded (same code path as the 64-channel build).
+fn suite() -> Vec<(&'static str, Netlist)> {
+    c2nn_circuits::table1_suite()
+        .into_iter()
+        .map(|b| {
+            let nl = if b.name == "DMA" {
+                c2nn_circuits::dma(4)
+            } else {
+                (b.build)()
+            };
+            (b.name, nl)
+        })
+        .collect()
+}
+
+/// The two compile configurations the bit-plane backend must handle:
+/// its native unmerged pipeline, and a fully merged network (exercising
+/// the `Weighted` popcount fallback).
+fn configs() -> [(&'static str, CompileOptions); 2] {
+    [
+        ("unmerged", CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)),
+        (
+            "merged",
+            CompileOptions::with_l(4)
+                .with_backend(BackendKind::Bitplane)
+                .with_passes(PassSet::all()),
+        ),
+    ]
+}
+
+/// How many lanes of each batch also get an independent gate-level refsim
+/// (refsim is scalar and slow; CSR covers every lane, refsim anchors the
+/// pair to the source circuit).
+const REF_LANES: usize = 4;
+
+#[test]
+fn bitplane_matches_simulator_and_refsim_on_the_suite() {
+    const CYCLES: usize = 6;
+    // 67 = one full word + a ragged 3-bit tail
+    const BATCH: usize = 67;
+    for (name, nl) in suite() {
+        for (tag, opts) in configs() {
+            let nn = compile(&nl, opts).unwrap();
+            let plan = BitplaneNn::from_compiled(&nn).unwrap();
+            let mut bit_sim = BitplaneSimulator::new(&plan, BATCH, Device::Serial);
+            let mut csr_sim = Simulator::new(&nn, BATCH, Device::Serial);
+            let mut refs: Vec<CycleSim> =
+                (0..REF_LANES.min(BATCH)).map(|_| CycleSim::new(&nl).unwrap()).collect();
+            let mut rng = Lcg(0xb17 ^ name.len() as u64 ^ (tag.len() as u64) << 8);
+            let pi = nn.num_primary_inputs;
+            for cycle in 0..CYCLES {
+                let lanes = rng.lanes(BATCH, pi);
+                let got = bit_sim.step(&lanes).unwrap();
+                let want = csr_sim.step(&Dense::<f32>::from_lanes(&lanes)).to_lanes();
+                assert_eq!(
+                    got, want,
+                    "{name} [{tag}]: bitplane vs CSR diverged at cycle {cycle}"
+                );
+                for (lane, r) in refs.iter_mut().enumerate() {
+                    let gold = r.step(&lanes[lane]);
+                    assert_eq!(
+                        got[lane], gold,
+                        "{name} [{tag}]: bitplane vs refsim diverged at cycle {cycle}, lane {lane}"
+                    );
+                }
+            }
+            // the recurrent state agrees too, lane for lane
+            assert_eq!(
+                bit_sim.state_lanes(),
+                csr_sim.state_lanes(),
+                "{name} [{tag}]: state diverged after {CYCLES} cycles"
+            );
+            assert_eq!(bit_sim.cycles(), CYCLES as u64);
+        }
+    }
+}
+
+#[test]
+fn unmerged_pipeline_legalizes_without_popcount_fallback() {
+    // the whole point of dropping layer-merge for this backend: every
+    // threshold row is a gate, every linear row a parity — no `Weighted`
+    for (name, nl) in suite() {
+        let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane))
+            .unwrap();
+        let plan = BitplaneNn::from_compiled(&nn).unwrap();
+        let census = plan.op_census();
+        assert_eq!(census.weighted, 0, "{name}: unmerged plan fell back to Weighted");
+        assert!(census.total() > 0, "{name}: empty plan");
+    }
+}
+
+#[test]
+fn exact_word_and_single_lane_batches_stay_exact() {
+    // batch widths at the packing boundaries: 1 (one lone bit in a word)
+    // and 64 (exactly full word, empty tail mask path)
+    let nl = c2nn_circuits::uart();
+    for batch in [1usize, 64] {
+        for (tag, opts) in configs() {
+            let nn = compile(&nl, opts).unwrap();
+            let plan = BitplaneNn::from_compiled(&nn).unwrap();
+            let mut bit_sim = BitplaneSimulator::new(&plan, batch, Device::Serial);
+            let mut csr_sim = Simulator::new(&nn, batch, Device::Serial);
+            let mut rng = Lcg(0x51ce ^ batch as u64);
+            for cycle in 0..8 {
+                let lanes = rng.lanes(batch, nn.num_primary_inputs);
+                let got = bit_sim.step(&lanes).unwrap();
+                let want = csr_sim.step(&Dense::<f32>::from_lanes(&lanes)).to_lanes();
+                assert_eq!(got, want, "uart [{tag}] batch {batch}: cycle {cycle}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_dispatch_matches_serial() {
+    // pool-sharded execution must be bit-identical to the serial loop,
+    // across a batch spanning three words (130 = 2 full + ragged 2)
+    let nl = c2nn_circuits::spi();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let plan = BitplaneNn::from_compiled(&nn).unwrap();
+    let mut serial = BitplaneSimulator::new(&plan, 130, Device::Serial);
+    let mut parallel = BitplaneSimulator::new(&plan, 130, Device::Parallel);
+    let mut rng = Lcg(0xa11e1);
+    for cycle in 0..6 {
+        let lanes = rng.lanes(130, nn.num_primary_inputs);
+        let a = serial.step(&lanes).unwrap();
+        let b = parallel.step(&lanes).unwrap();
+        assert_eq!(a, b, "parallel dispatch diverged at cycle {cycle}");
+    }
+    assert_eq!(serial.state_lanes(), parallel.state_lanes());
+}
+
+#[test]
+fn bitplane_runner_tracks_session_runner_through_batch_changes() {
+    // resumable sessions with mid-stream batch-width changes, crossing a
+    // word boundary in both directions: 60 lanes → 70 (spills into a
+    // second word) → 5 (back under one). The bit-plane runner must follow
+    // the CSR SessionRunner lane for lane through every recomposition.
+    let nl = c2nn_circuits::uart();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let plan = BitplaneNn::from_compiled(&nn).unwrap();
+    let pi = nn.num_primary_inputs;
+
+    let mut csr_runner = SessionRunner::new(&nn, Device::Serial);
+    let mut bit_runner: BitplaneRunner<f32> = BitplaneRunner::new(&plan, Device::Serial);
+    let mut csr_sessions: Vec<Session<f32>> = (0..60).map(|_| Session::new(&nn)).collect();
+    let mut bit_sessions: Vec<Session<f32>> = (0..60).map(|_| Session::new(&nn)).collect();
+
+    let mut rng = Lcg(0x5e55);
+    let drive = |csr_s: &mut Vec<Session<f32>>,
+                     bit_s: &mut Vec<Session<f32>>,
+                     csr_r: &mut SessionRunner<f32>,
+                     bit_r: &mut BitplaneRunner<f32>,
+                     rng: &mut Lcg,
+                     cycles: usize,
+                     phase: &str| {
+        for cycle in 0..cycles {
+            let lanes = rng.lanes(csr_s.len(), pi);
+            let want = csr_r.step(csr_s, &lanes).unwrap();
+            let got = bit_r.step(bit_s, &lanes).unwrap();
+            assert_eq!(got, want, "{phase}: cycle {cycle}");
+        }
+    };
+
+    drive(
+        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        "60 lanes",
+    );
+    for _ in 0..10 {
+        csr_sessions.push(Session::new(&nn));
+        bit_sessions.push(Session::new(&nn));
+    }
+    drive(
+        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        "70 lanes",
+    );
+    // keep a scattered handful: lanes 0, 17, 59, 63, 69
+    for keep in [(0usize, 0usize), (1, 17), (2, 59), (3, 63), (4, 69)] {
+        csr_sessions.swap(keep.0, keep.1);
+        bit_sessions.swap(keep.0, keep.1);
+    }
+    csr_sessions.truncate(5);
+    bit_sessions.truncate(5);
+    drive(
+        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        "5 lanes",
+    );
+
+    // trajectories are identical down to state and cycle counts (lanes 63
+    // and 69 joined after the first 4 cycles, so they carry 8, not 12)
+    for (l, (a, b)) in csr_sessions.iter().zip(&bit_sessions).enumerate() {
+        assert_eq!(a.state_bits(), b.state_bits(), "lane {l} state");
+        assert_eq!(a.cycles(), b.cycles(), "lane {l} cycles");
+        assert_eq!(a.cycles(), if l < 3 { 12 } else { 8 });
+    }
+}
+
+#[test]
+fn shape_errors_match_the_csr_runner() {
+    let nl = c2nn_circuits::uart();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let plan = BitplaneNn::from_compiled(&nn).unwrap();
+    let pi = nn.num_primary_inputs;
+
+    let mut bit_runner: BitplaneRunner<f32> = BitplaneRunner::new(&plan, Device::Serial);
+    let mut sess = [Session::new(&nn)];
+    assert!(bit_runner.step(&mut sess, &[]).is_err());
+    assert!(bit_runner.step(&mut sess, &[vec![true; pi + 1]]).is_err());
+
+    let mut sim = BitplaneSimulator::new(&plan, 2, Device::Serial);
+    assert!(sim.step(&[vec![false; pi]]).is_err());
+    assert!(sim.step(&[vec![false; pi + 1], vec![false; pi]]).is_err());
+}

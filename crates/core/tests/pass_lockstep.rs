@@ -3,7 +3,7 @@
 //! the reference gate-level simulator. This is the contract that lets any
 //! pass be enabled independently (ISSUE 5's "each prefix" harness).
 
-use c2nn_core::{compile_graph, CompileOptions, PassId, PassSet, Simulator};
+use c2nn_core::{compile_graph, compile_with_report, CompileOptions, PassId, PassSet, Simulator};
 use c2nn_lutmap::{map_netlist, LutGraph, MapConfig};
 use c2nn_netlist::{prepare, Netlist};
 use c2nn_refsim::CycleSim;
@@ -115,6 +115,28 @@ fn every_pass_prefix_stays_bit_exact_on_the_suite() {
             );
         }
     }
+}
+
+#[test]
+fn monomial_cse_itself_removes_nnz_on_the_suite() {
+    // regression: cse used to leave its duplicates in place for dce, so
+    // its own before/after stats read ~0 removed on most circuits even
+    // when cross-LUT sharing fired. The pass now collects what it shares;
+    // its recorded delta must show real removal somewhere in the suite
+    // (and never growth anywhere).
+    let passes = PassSet::none().with(PassId::ConstantFold).with(PassId::MonomialCse);
+    let mut removed_total = 0i64;
+    for (name, nl) in suite() {
+        let opts = CompileOptions::with_l(4).with_passes(passes);
+        let (_, report) = compile_with_report::<f32>(&nl, opts).unwrap();
+        let delta = report.stat("monomial-cse").expect("cse ran").nnz_delta();
+        assert!(delta >= 0, "{name}: cse grew nnz by {}", -delta);
+        removed_total += delta;
+    }
+    assert!(
+        removed_total > 0,
+        "cse removed no nonzeros on any suite circuit — dead sharing is back"
+    );
 }
 
 #[test]

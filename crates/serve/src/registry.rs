@@ -125,6 +125,13 @@ impl Registry {
     pub fn install(&self, name: &str, nn: CompiledNn<f32>) -> Result<Arc<ServedModel>, String> {
         nn.validate()
             .map_err(|e| format!("model '{name}' failed validation: {e}"))?;
+        // with the bitplane backend configured, a model that cannot
+        // legalize to bitplanes must be rejected here — at admission, with
+        // a typed reason — not discovered by the batcher thread later
+        if self.cfg.batch.backend == c2nn_core::BackendKind::Bitplane {
+            c2nn_core::bitplane::BitplaneNn::from_compiled(&nn)
+                .map_err(|e| format!("model '{name}' rejected by bitplane backend: {e}"))?;
+        }
         let model = ServedModel::spawn(
             name,
             nn,

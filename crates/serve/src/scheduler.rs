@@ -35,7 +35,8 @@
 use crate::admission::{Admission, Pressure};
 use crate::chaos::Chaos;
 use crate::stats::ModelCounters;
-use c2nn_core::{CompiledNn, Session, SessionRunner, Stimulus};
+use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner};
+use c2nn_core::{BackendKind, CompiledNn, Session, SessionRunner, SimError, Stimulus};
 use c2nn_tensor::Device;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -57,6 +58,11 @@ pub struct BatchConfig {
     pub max_wait: Duration,
     /// Execution device for the batched forward passes.
     pub device: Device,
+    /// Execution backend: pooled-CSR lanes or packed bitplanes. With
+    /// [`BackendKind::Bitplane`], each batcher legalizes its model once at
+    /// spawn and steps a [`BitplaneRunner`] instead of a [`SessionRunner`]
+    /// — same `Session` bookkeeping, same bit-exact outputs.
+    pub backend: BackendKind,
 }
 
 impl Default for BatchConfig {
@@ -65,6 +71,7 @@ impl Default for BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(2),
             device: Device::Parallel,
+            backend: BackendKind::PooledCsr,
         }
     }
 }
@@ -196,6 +203,34 @@ impl ServedModel {
     }
 }
 
+/// The per-batcher execution engine: one of the two interchangeable
+/// backends, both stepping the same `Session` bookkeeping with identical
+/// bit-exact semantics.
+enum AnyRunner<'a> {
+    Csr(SessionRunner<'a, f32>),
+    Bitplane(BitplaneRunner<'a, f32>),
+}
+
+impl<'a> AnyRunner<'a> {
+    fn new(nn: &'a CompiledNn<f32>, plan: Option<&'a BitplaneNn>, device: Device) -> Self {
+        match plan {
+            Some(p) => AnyRunner::Bitplane(BitplaneRunner::new(p, device)),
+            None => AnyRunner::Csr(SessionRunner::new(nn, device)),
+        }
+    }
+
+    fn step(
+        &mut self,
+        sessions: &mut [Session<f32>],
+        inputs: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, SimError> {
+        match self {
+            AnyRunner::Csr(r) => r.step(sessions, inputs),
+            AnyRunner::Bitplane(r) => r.step(sessions, inputs),
+        }
+    }
+}
+
 fn batch_loop(
     rx: Receiver<SimJob>,
     nn: &CompiledNn<f32>,
@@ -205,7 +240,23 @@ fn batch_loop(
     chaos: Option<&Chaos>,
 ) {
     let max_batch = cfg.max_batch.max(1);
-    let mut runner = SessionRunner::new(nn, cfg.device);
+    // legalize once per batcher thread. A model that cannot legalize falls
+    // back to the CSR runner — the registry already rejects such models at
+    // install time when the bitplane backend is configured, so this fires
+    // only for models installed before the backend was switched
+    let plan: Option<BitplaneNn> = match cfg.backend {
+        BackendKind::Bitplane => match BitplaneNn::from_compiled(nn) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!(
+                    "c2nn-serve: bitplane legalization failed ({e}); serving on pooled-CSR"
+                );
+                None
+            }
+        },
+        BackendKind::PooledCsr => None,
+    };
+    let mut runner = AnyRunner::new(nn, plan.as_ref(), cfg.device);
     while let Ok(first) = rx.recv() {
         // graceful degradation: past half the in-flight budget, widen the
         // coalescing window — requests are already queueing, so spend the
@@ -248,7 +299,7 @@ fn batch_loop(
         if poisoned {
             // a panic mid-pass may have left the runner's scratch state
             // inconsistent; rebuild it (cheap relative to a batch)
-            runner = SessionRunner::new(nn, cfg.device);
+            runner = AnyRunner::new(nn, plan.as_ref(), cfg.device);
         }
     }
 }
@@ -266,7 +317,7 @@ fn finish_job(stats: &ModelCounters, job: &SimJob, reply: Result<SimOutput, SimF
 /// (success or typed failure). Returns `true` if a panic poisoned the
 /// runner and it must be rebuilt.
 fn run_coalesced(
-    runner: &mut SessionRunner<'_, f32>,
+    runner: &mut AnyRunner<'_>,
     nn: &CompiledNn<f32>,
     stats: &ModelCounters,
     jobs: Vec<SimJob>,
@@ -356,6 +407,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(200),
                 device: Device::Serial,
+                ..BatchConfig::default()
             },
         );
         // submit 4 jobs quickly; the 200ms deadline coalesces them
@@ -392,6 +444,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_millis(100),
                 device: Device::Serial,
+                ..BatchConfig::default()
             },
         );
         let keep = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
@@ -417,6 +470,7 @@ mod tests {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
                 device: Device::Serial,
+                ..BatchConfig::default()
             },
         );
         let rx = model.submit(parse_stim("1 x2\n", 1).unwrap(), None);
@@ -436,6 +490,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(50),
                 device: Device::Serial,
+                ..BatchConfig::default()
             },
         );
         // already expired on arrival: must shed, not simulate
@@ -457,6 +512,73 @@ mod tests {
     }
 
     #[test]
+    fn bitplane_backend_serves_bit_exact_batches() {
+        // same compiled model, both backends, identical stimuli → replies
+        // must be bit-identical, lane for lane, cycle for cycle
+        let nn = counter_nn();
+        let stims = ["1 x5\n", "0 x3\n", "1 x7\n", "1 x2\n"];
+        let mut replies: Vec<Vec<SimOutput>> = Vec::new();
+        for backend in [BackendKind::PooledCsr, BackendKind::Bitplane] {
+            let model = ServedModel::spawn_standalone(
+                "ctr",
+                nn.clone(),
+                BatchConfig {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(200),
+                    device: Device::Serial,
+                    backend,
+                },
+            );
+            let rxs: Vec<_> = stims
+                .iter()
+                .map(|s| model.submit(parse_stim(s, 1).unwrap(), None))
+                .collect();
+            replies.push(rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect());
+        }
+        assert_eq!(replies[0], replies[1], "backends disagree over the wire");
+        // sanity: the counter actually counted
+        let vals: Vec<u32> = replies[1][0]
+            .outputs
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bitplane_batcher_survives_injected_panic() {
+        // the poisoned-runner rebuild path must restore a *bitplane*
+        // runner, not silently fall back to CSR semantics
+        let nn = counter_nn();
+        let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=1").unwrap());
+        let model = ServedModel::spawn(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(10),
+                device: Device::Parallel,
+                backend: BackendKind::Bitplane,
+            },
+            Admission::unbounded(),
+            Some(Arc::clone(&chaos)),
+        );
+        let rx = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
+        assert!(
+            matches!(rx.recv().unwrap(), Err(SimFailure::Failed(_))),
+            "first batch rides the injected panic"
+        );
+        let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
+        let out = rx.recv().unwrap().unwrap();
+        let vals: Vec<u32> = out
+            .outputs
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2], "bitplane batcher recovered bit-exactly");
+    }
+
+    #[test]
     fn injected_worker_panic_fails_batch_typed_and_batcher_survives() {
         let nn = counter_nn();
         let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=1").unwrap());
@@ -468,6 +590,7 @@ mod tests {
                 max_wait: Duration::from_millis(10),
                 // Parallel so the injection hits the real pool path
                 device: Device::Parallel,
+                ..BatchConfig::default()
             },
             Admission::unbounded(),
             Some(Arc::clone(&chaos)),

@@ -355,6 +355,7 @@ mod tests {
                     max_batch,
                     max_wait: Duration::from_millis(max_wait_ms),
                     device: Device::Serial,
+                    ..BatchConfig::default()
                 },
                 ..RegistryConfig::default()
             },

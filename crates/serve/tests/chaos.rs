@@ -45,6 +45,7 @@ fn chaos_server(spec: &str, device: Device) -> (ServerHandle, Arc<Chaos>) {
                 max_batch: 8,
                 max_wait: Duration::from_millis(1),
                 device,
+                ..BatchConfig::default()
             },
             chaos: Some(Arc::clone(&chaos)),
             ..RegistryConfig::default()

@@ -35,7 +35,7 @@ fn coalescing_server(max_batch: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch, max_wait, device: Device::Serial },
+            batch: BatchConfig { max_batch, max_wait, device: Device::Serial , ..BatchConfig::default() },
             ..RegistryConfig::default()
         },
     })

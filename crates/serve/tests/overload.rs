@@ -32,7 +32,7 @@ fn budgeted_server(max_inflight: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch: 64, max_wait, device: Device::Serial },
+            batch: BatchConfig { max_batch: 64, max_wait, device: Device::Serial , ..BatchConfig::default() },
             max_inflight,
             ..RegistryConfig::default()
         },

@@ -3,8 +3,8 @@
 //! ```text
 //! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]
 //! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]
-//! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]
-//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--chaos <spec>]
+//! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend csr|bitplane] [--guard]
+//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend csr|bitplane] [--chaos <spec>]
 //! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]
 //! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
 //! c2nn dot     <file.v|.blif> --top <module>
@@ -20,9 +20,9 @@ fn usage() -> ! {
         "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]\n  \
          c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]\n  \
          (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
-         c2nn sim     <model.json> --cycles <n> [--batch <n>] [--guard]\n  \
+         c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend csr|bitplane] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
-         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--chaos <spec>]\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend csr|bitplane] [--chaos <spec>]\n  \
          (--chaos: seed=<n>,worker_panic=<p>,worker_panic_budget=<n>,stall=<p>,stall_ms=<n>,stall_budget=<n>)\n  \
          c2nn client  <addr> [--ping | --stats | --shutdown | --load <model.json> [--name <n>]]\n  \
          c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
@@ -56,6 +56,17 @@ where
         exit(2)
     }
     v
+}
+
+/// Parse `--backend`, exiting with the usage convention on an unknown name.
+fn backend_flag(args: &[String]) -> c2nn::core::BackendKind {
+    let Some(s) = flag(args, "--backend") else {
+        return c2nn::core::BackendKind::default();
+    };
+    c2nn::core::BackendKind::parse(&s).unwrap_or_else(|| {
+        eprintln!("error: --backend expects csr or bitplane, got `{s}`");
+        exit(2)
+    })
 }
 
 /// Load and validate a model file, turning every defect — unreadable file,
@@ -184,7 +195,37 @@ fn main() {
             let cycles: u64 = int_flag(&args, "--cycles", 16, 1);
             let batch: usize = int_flag(&args, "--batch", 1, 1);
             let guard = args.iter().any(|a| a == "--guard");
+            let backend = backend_flag(&args);
             let nn = load_model(file);
+            if backend == c2nn::core::BackendKind::Bitplane {
+                // packed path: stimuli and outputs stay in bit-planes, 64
+                // lanes per machine word, no float conversion anywhere
+                let plan = c2nn::core::BitplaneNn::from_compiled(&nn).unwrap_or_else(|e| {
+                    eprintln!("{file}: cannot run on bitplane backend: {e}");
+                    exit(1)
+                });
+                let mut sim = c2nn::core::BitplaneSimulator::new(&plan, batch, Device::Parallel);
+                let zeros = c2nn::core::BitTensor::zeros(nn.num_primary_inputs, batch);
+                let mut out = c2nn::core::BitTensor::zeros(0, 0);
+                let t0 = std::time::Instant::now();
+                for _ in 0..cycles {
+                    sim.step_packed_into(&zeros, &mut out).unwrap_or_else(|e| {
+                        eprintln!("simulation failed at cycle {}: {e}", sim.cycles());
+                        exit(1)
+                    });
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "{cycles} cycles × {batch} lanes (bitplane) in {dt:.3}s — {:.3e} gates·cycles/s",
+                    nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
+                );
+                let lane0: Vec<bool> =
+                    (0..out.features()).map(|f| out.get_bit(f, 0)).collect();
+                let word: String =
+                    lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("lane 0 outputs after final cycle: {word}");
+                return;
+            }
             let mut sim = Simulator::new(&nn, batch, Device::Serial);
             if guard {
                 sim.enable_guard();
@@ -230,6 +271,7 @@ fn main() {
             let max_wait_ms: u64 = int_flag(&args, "--max-wait-ms", 2, 0);
             let mem_mb: usize = int_flag(&args, "--mem-mb", 512, 1);
             let max_inflight: usize = int_flag(&args, "--max-inflight", 1024, 1);
+            let backend = backend_flag(&args);
             let chaos = flag(&args, "--chaos").map(|spec| {
                 let cfg = c2nn::serve::ChaosConfig::parse(&spec).unwrap_or_else(|e| {
                     eprintln!("error: {e}");
@@ -246,6 +288,7 @@ fn main() {
                         max_batch,
                         max_wait: std::time::Duration::from_millis(max_wait_ms),
                         device: Device::Parallel,
+                        backend,
                     },
                     max_inflight,
                     chaos,
@@ -271,8 +314,9 @@ fn main() {
             }
             c2nn::serve::signal::install_sigint_handler();
             println!(
-                "serving on {} (max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
-                server.local_addr()
+                "serving on {} ({} backend, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
+                server.local_addr(),
+                backend.name()
             );
             server.join();
             println!("server stopped");
