@@ -15,7 +15,7 @@ use c2nn_json::{Json, ToJson};
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
-use c2nn_tensor::Device;
+use c2nn_hal::Choice;
 use std::time::{Duration, Instant};
 
 fn counter_model() -> c2nn_core::CompiledNn<f32> {
@@ -104,8 +104,7 @@ fn measure_overload(repeat: usize) -> OverloadRun {
             batch: BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
-                device: Device::Parallel,
-                ..BatchConfig::default()
+                backend: Choice::Named("pooled-csr".to_string()),
             },
             max_inflight,
             ..RegistryConfig::default()
@@ -180,8 +179,7 @@ fn main() {
             batch: BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
-                device: Device::Parallel,
-                ..BatchConfig::default()
+                backend: Choice::Named("pooled-csr".to_string()),
             },
             ..RegistryConfig::default()
         },

@@ -1,129 +1,10 @@
 //! Analytic device model for the GPU we do not have (DESIGN.md §2).
 //!
-//! The paper ran its networks on a GeForce GTX TITAN X through PyTorch.
-//! This reproduction runs on a single CPU core, so absolute GPU wall-clock
-//! cannot be measured; instead it is *modeled* with the standard two-term
-//! kernel model the paper itself appeals to in §IV-B:
-//!
-//! ```text
-//! t_cycle(batch) = layers × t_launch  +  MACs(batch) / rate_effective
-//! ```
-//!
-//! * `layers × t_launch` — every NN layer is one kernel launch; at batch 1
-//!   this term dominates, making GPU time proportional to the number of
-//!   layers — exactly the correlation the paper measures in Figure 6 (top).
-//! * `MACs / rate` — the compute term: one multiply-accumulate per nonzero
-//!   weight per testbench. For large batches this dominates and throughput
-//!   saturates at the device's effective sparse-kernel rate.
-//!
-//! The default parameters approximate the TITAN X running cuSPARSE on
-//! ≳99.9 %-sparse operands: 6.1 TFLOP/s peak fp32, of which sparse SpMM
-//! sustains ~10 % (Gale et al., SC'20, the paper's [36]), and ~5 µs per
-//! kernel launch. Every number is a plain struct field: EXPERIMENTS.md
-//! reports the parameters next to every modeled figure, and the
-//! `measured`-vs-`modeled` distinction is kept everywhere.
+//! The model itself now lives in `c2nn-hal` ([`c2nn_hal::DeviceModel`]),
+//! where it doubles as the analytic half of the live backend cost model:
+//! the same two-term `layers × t_launch + work / rate` shape prices both
+//! the paper's modeled TITAN X and the calibrated host backends. This
+//! module re-exports it so bench experiment code keeps its historical
+//! import path.
 
-use c2nn_core::CompiledNn;
-use c2nn_tensor::Scalar;
-use c2nn_json::json_obj;
-
-/// A simple launch-latency + throughput device model.
-#[derive(Clone, Copy, Debug)]
-pub struct DeviceModel {
-    /// Human-readable name for reports.
-    pub name: &'static str,
-    /// Effective sustained rate in multiply-accumulates per second.
-    pub mac_per_s: f64,
-    /// Fixed cost per layer (kernel launch + sync), seconds.
-    pub launch_s: f64,
-}
-json_obj!(DeviceModel { name, mac_per_s, launch_s });
-
-impl DeviceModel {
-    /// GTX TITAN X (Maxwell) analogue: 6.1 TFLOP/s ≈ 3.05e12 MAC/s peak,
-    /// ×10 % sparse efficiency, 5 µs launches.
-    pub fn titan_x() -> Self {
-        DeviceModel {
-            name: "modeled GTX TITAN X (10% sparse eff.)",
-            mac_per_s: 3.05e11,
-            launch_s: 5e-6,
-        }
-    }
-
-    /// A deliberately modest "small GPU" for sensitivity checks.
-    pub fn small_gpu() -> Self {
-        DeviceModel {
-            name: "modeled small GPU (1e10 MAC/s)",
-            mac_per_s: 1e10,
-            launch_s: 5e-6,
-        }
-    }
-
-    /// Modeled seconds for one batched forward pass (one simulated cycle
-    /// for the whole batch).
-    pub fn cycle_seconds<T: Scalar>(&self, nn: &CompiledNn<T>, batch: usize) -> f64 {
-        let macs = nn.connections() as f64 * batch as f64;
-        nn.num_layers() as f64 * self.launch_s + macs / self.mac_per_s
-    }
-
-    /// Modeled throughput in gates·cycles/s at the given batch size.
-    pub fn throughput<T: Scalar>(&self, nn: &CompiledNn<T>, batch: usize) -> f64 {
-        let t = self.cycle_seconds(nn, batch);
-        nn.gate_count as f64 * batch as f64 / t
-    }
-
-    /// Batch size at which the compute term overtakes launch latency
-    /// (the knee of the throughput curve).
-    pub fn saturation_batch<T: Scalar>(&self, nn: &CompiledNn<T>) -> f64 {
-        let launch = nn.num_layers() as f64 * self.launch_s;
-        launch * self.mac_per_s / nn.connections() as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use c2nn_core::{compile, CompileOptions};
-    use c2nn_netlist::{NetlistBuilder, WordOps};
-
-    fn nn() -> CompiledNn<f32> {
-        let mut b = NetlistBuilder::new("a");
-        let x = b.input_word("a", 8);
-        let y = b.input_word("b", 8);
-        let s = b.add_word(&x, &y);
-        b.output_word(&s, "s");
-        compile(&b.finish().unwrap(), CompileOptions::with_l(4)).unwrap()
-    }
-
-    #[test]
-    fn launch_latency_dominates_single_stimulus() {
-        let nn = nn();
-        let m = DeviceModel::titan_x();
-        let t1 = m.cycle_seconds(&nn, 1);
-        let launch = nn.num_layers() as f64 * m.launch_s;
-        assert!(
-            (t1 - launch) / t1 < 0.05,
-            "batch-1 time should be ≥95% launch latency: {t1} vs {launch}"
-        );
-    }
-
-    #[test]
-    fn throughput_grows_then_saturates() {
-        let nn = nn();
-        let m = DeviceModel::titan_x();
-        let t_small = m.throughput(&nn, 1);
-        let t_big = m.throughput(&nn, 1 << 20);
-        assert!(t_big > 10.0 * t_small);
-        // beyond saturation, throughput stops improving much
-        let t_bigger = m.throughput(&nn, 1 << 24);
-        assert!(t_bigger < t_big * 2.0);
-    }
-
-    #[test]
-    fn saturation_batch_is_finite_positive() {
-        let nn = nn();
-        let m = DeviceModel::titan_x();
-        let b = m.saturation_batch(&nn);
-        assert!(b > 0.0 && b.is_finite());
-    }
-}
+pub use c2nn_hal::DeviceModel;

@@ -5,17 +5,23 @@
 //! stimulus a dense `f32` column. This module legalizes the same compiled
 //! network one step further: every binary signal becomes a *plane* of 64
 //! stimuli per machine word, and every neuron becomes the cheapest word
-//! op that computes it — AND/OR/NAND/NOR for unit-weight threshold rows,
-//! XOR for 0/1-valued linear rows (a row that is always 0/1 equals its
-//! own parity), and an exact bit-sliced popcount comparator for anything
-//! else. One `u64` AND advances 64 testbenches one gate.
+//! op that computes it — AND/OR/NAND/NOR for threshold rows whose decision
+//! boundary separates a gate subset (unit weights are the common case, but
+//! the classifier is weight-aware and recovers gates from non-±1 rows
+//! too), XOR for 0/1-valued linear rows (a row that is always 0/1 equals
+//! its own parity), and an exact bit-sliced popcount comparator for
+//! anything else, chosen by modeled word-op cost. One `u64` AND advances
+//! 64 testbenches one gate.
 //!
 //! Pipeline: [`BitplaneNn::from_compiled`] (legalize) → [`BitplaneNn::forward_with`]
 //! (execute, sharded on the shared worker pool) → [`BitplaneSimulator`] /
 //! [`BitplaneRunner`] (cycle drivers matching the CSR backend's
-//! `Simulator` / `SessionRunner`). Select it at compile time with
-//! [`CompileOptions::with_backend`](crate::CompileOptions::with_backend)
-//! or at the CLI with `--backend bitplane`.
+//! `Simulator` / `SessionRunner`). Compile for it with
+//! [`compile_bitplane`](crate::compile_bitplane) (drops the layer-merge
+//! pass so the unmerged pipeline legalizes popcount-free), or pick it at
+//! the CLI with `--backend bitplane` / `--backend auto` — the `c2nn-hal`
+//! backend registry serves it through the same `Backend` trait as the
+//! scalar and pooled-CSR engines.
 //!
 //! Exactness contract: bit-exact with the CSR backend for every network
 //! the compiler produces (enforced by the differential lockstep suite in
@@ -31,5 +37,5 @@ mod sim;
 
 pub use exec::BitplaneScratch;
 pub use pack::BitTensor;
-pub use plan::{BitLayer, BitplaneError, BitplaneNn, OpCensus, RowOp};
+pub use plan::{BitLayer, BitplaneError, BitplaneNn, OpCensus, RowClassCensus, RowOp};
 pub use sim::{BitplaneRunner, BitplaneSimulator};

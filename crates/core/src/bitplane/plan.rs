@@ -6,16 +6,27 @@
 //! `Linear` row reproduces the 0/1 value of its source signal. That makes
 //! two rewrites sound:
 //!
-//! * A unit-weight threshold row is a plain gate: with all weights `+1`,
-//!   bias `1-n` is an AND and bias `0` an OR over the fan-in planes (and
-//!   the `-1` duals are NOR/NAND).
+//! * A threshold row whose weights share one sign is a plain gate whenever
+//!   its decision boundary separates exactly the right input subsets —
+//!   *regardless of the weight magnitudes*. With all weights positive, the
+//!   row is an OR iff `bias ≤ 0` and every lone input fires
+//!   (`wᵢ + bias > 0`), and an AND iff the full set fires
+//!   (`Σw + bias > 0`) while no largest proper subset does
+//!   (`Σw − wᵢ + bias ≤ 0`). The all-negative duals give NOR/NAND on the
+//!   magnitudes. Unit weights are the common special case (bias `1-n` →
+//!   AND, `0` → OR, and the `-1` duals), but non-±1 rows from merged
+//!   layers or hand-built models qualify too.
 //! * A linear row whose value is always 0/1 equals its own parity, so it
 //!   is the XOR of the fan-in planes with odd weights, inverted when the
 //!   bias is odd. Even coefficients drop out entirely.
 //!
 //! Everything else falls back to [`RowOp::Weighted`], an exact bit-sliced
 //! popcount comparator (see `exec`), so *any* legal `CompiledNn` — merged
-//! layers, wide gates, hand-built models — runs bit-exactly.
+//! layers, wide gates, hand-built models — runs bit-exactly. When both a
+//! gate form and the counter form are available for a row, the classifier
+//! picks by modeled word-op cost ([`RowOp::modeled_word_ops`]), and the
+//! per-row-class outcome is tallied in a [`RowClassCensus`] surfaced
+//! through the backend's capabilities manifest.
 
 use crate::compile::CompiledNn;
 use crate::layer::Activation2;
@@ -62,6 +73,46 @@ pub enum RowOp {
     },
 }
 
+impl RowOp {
+    /// Modeled cost of evaluating this op for one output *word* (64
+    /// lanes), in machine word operations. This is the cost model the
+    /// classifier uses to choose between a gate form and the bit-sliced
+    /// counter form for weighted rows, and what the backend HAL sums into
+    /// its capabilities manifest: gate/XOR ops cost one op per fan-in
+    /// plane, the counter fallback costs one ripple-carry plane-add per
+    /// set weight bit (each rippling up to the counter width) plus the
+    /// final lexicographic compare.
+    pub fn modeled_word_ops(&self) -> u64 {
+        match self {
+            RowOp::Const(_) | RowOp::Copy(_) | RowOp::Not(_) => 1,
+            RowOp::And(srcs) | RowOp::Nand(srcs) | RowOp::Or(srcs) | RowOp::Nor(srcs) => {
+                srcs.len() as u64 + 1
+            }
+            RowOp::Xor { srcs, .. } => srcs.len() as u64 + 1,
+            RowOp::Weighted { plus, minus, pos_bias, neg_bias } => {
+                let a_max: u64 = *pos_bias + plus.iter().map(|&(_, w)| w).sum::<u64>();
+                let b_max: u64 = *neg_bias + minus.iter().map(|&(_, w)| w).sum::<u64>();
+                // counter width in digit planes (≥1 once non-trivial)
+                let width = (64 - a_max.max(b_max).max(1).leading_zeros()) as u64;
+                let adds: u64 = plus
+                    .iter()
+                    .chain(minus.iter())
+                    .map(|&(_, w)| w.count_ones() as u64)
+                    .sum::<u64>()
+                    + pos_bias.count_ones() as u64
+                    + neg_bias.count_ones() as u64;
+                adds * width + 3 * width
+            }
+        }
+    }
+
+    /// Whether this op runs on the bit-sliced counter path (the expensive
+    /// class) rather than plain word ops.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, RowOp::Weighted { .. })
+    }
+}
+
 /// One layer of the bit-plane program.
 #[derive(Clone, Debug)]
 pub struct BitLayer {
@@ -90,6 +141,10 @@ pub struct BitplaneNn {
     pub gate_count: usize,
     /// The `L` used for compilation.
     pub lut_size: usize,
+    /// How each source row classified during legalization (tallied once
+    /// in [`BitplaneNn::from_compiled`]; the weight information needed to
+    /// tell a unit gate from a weighted gate is not retained in the ops).
+    pub row_classes: RowClassCensus,
 }
 
 /// Why a network could not be legalized to bit-plane form.
@@ -152,12 +207,80 @@ impl OpCensus {
     }
 }
 
+/// How each source row classified during legalization, by *provenance*
+/// rather than resulting op kind: a gate op produced by the weight-aware
+/// classifier from a non-±1 row counts separately from one produced from
+/// unit weights, so the capabilities manifest can report how much of a
+/// model the cheap paths actually cover.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowClassCensus {
+    /// Constant, copy, and inverter rows.
+    pub trivial: u64,
+    /// Gate ops from unit-weight rows (the common case on the unmerged
+    /// pipeline).
+    pub unit_gate: u64,
+    /// Gate ops recovered from non-±1 rows by the weight-aware
+    /// classifier — rows that would previously have fallen back to the
+    /// counter path.
+    pub weighted_gate: u64,
+    /// XOR/parity rows (0/1-valued linear rows).
+    pub parity: u64,
+    /// Bit-sliced-counter fallback rows ([`RowOp::Weighted`]).
+    pub counter: u64,
+}
+
+impl RowClassCensus {
+    /// Total classified rows.
+    pub fn total(&self) -> u64 {
+        self.trivial + self.unit_gate + self.weighted_gate + self.parity + self.counter
+    }
+
+    /// Fraction of rows on the cheap word-op paths (everything but the
+    /// counter fallback); 1.0 for an empty program.
+    pub fn coverage(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (total - self.counter) as f64 / total as f64
+        }
+    }
+
+    /// `(class name, rows)` pairs in a fixed order, for manifests and
+    /// reports.
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("trivial", self.trivial),
+            ("unit-gate", self.unit_gate),
+            ("weighted-gate", self.weighted_gate),
+            ("parity", self.parity),
+            ("counter", self.counter),
+        ]
+    }
+
+    fn tally(&mut self, op: &RowOp, weights: &[(u32, i64)]) {
+        match op {
+            RowOp::Const(_) | RowOp::Copy(_) | RowOp::Not(_) => self.trivial += 1,
+            RowOp::And(_) | RowOp::Nand(_) | RowOp::Or(_) | RowOp::Nor(_) => {
+                if weights.iter().all(|&(_, w)| w.abs() == 1) {
+                    self.unit_gate += 1;
+                } else {
+                    self.weighted_gate += 1;
+                }
+            }
+            RowOp::Xor { .. } => self.parity += 1,
+            RowOp::Weighted { .. } => self.counter += 1,
+        }
+    }
+}
+
 impl BitplaneNn {
     /// Legalize a compiled network to bit-plane form. Exact for every
     /// network that passes `CompiledNn::validate` (integral weights within
     /// the scalar's exact range); fails with a typed error otherwise.
     pub fn from_compiled<T: Scalar>(nn: &CompiledNn<T>) -> Result<Self, BitplaneError> {
         let mut layers = Vec::with_capacity(nn.layers.len());
+        let mut row_classes = RowClassCensus::default();
         for (li, layer) in nn.layers.iter().enumerate() {
             let mut ops = Vec::with_capacity(layer.weights.rows());
             let mut row: Vec<(u32, i64)> = Vec::new();
@@ -170,11 +293,14 @@ impl BitplaneNn {
                     }
                 }
                 let bias = exact_i64(layer.bias[r], li, r)?;
-                ops.push(classify(&row, bias, layer.activation));
+                let op = classify(&row, bias, layer.activation);
+                row_classes.tally(&op, &row);
+                ops.push(op);
             }
             layers.push(BitLayer { in_width: layer.weights.cols(), ops });
         }
         Ok(BitplaneNn {
+            row_classes,
             name: nn.name.clone(),
             layers,
             num_primary_inputs: nn.num_primary_inputs,
@@ -203,6 +329,26 @@ impl BitplaneNn {
     /// Layer count.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Summed modeled word-op cost per output word, split into
+    /// `(cheap, weighted)` units: cheap covers the plain word-op paths
+    /// (constants, copies, gates, parities), weighted the bit-sliced
+    /// counter fallback. The backend HAL feeds these into the calibrated
+    /// cost model to predict cycles/s per batch size.
+    pub fn modeled_units(&self) -> (f64, f64) {
+        let mut cheap = 0u64;
+        let mut weighted = 0u64;
+        for layer in &self.layers {
+            for op in &layer.ops {
+                if op.is_weighted() {
+                    weighted += op.modeled_word_ops();
+                } else {
+                    cheap += op.modeled_word_ops();
+                }
+            }
+        }
+        (cheap as f64, weighted as f64)
     }
 
     /// Count ops by kind across all layers.
@@ -263,47 +409,82 @@ fn classify(weights: &[(u32, i64)], bias: i64, act: Activation2) -> RowOp {
                 return RowOp::Const(false);
             }
             // non-constant, so weights is non-empty from here on
-            let n = weights.len() as i64;
-            let srcs = || weights.iter().map(|&(c, _)| c).collect::<Vec<u32>>();
-            if weights.iter().all(|&(_, w)| w == 1) {
-                if n == 1 {
-                    // bias must be 0 (the constant checks caught the rest)
-                    return RowOp::Copy(weights[0].0);
-                }
-                if bias == 1 - n {
-                    return RowOp::And(srcs());
-                }
-                if bias == 0 {
-                    return RowOp::Or(srcs());
-                }
-            }
-            if weights.iter().all(|&(_, w)| w == -1) {
-                if n == 1 {
-                    // bias must be 1
-                    return RowOp::Not(weights[0].0);
-                }
-                if bias == 1 {
-                    return RowOp::Nor(srcs());
-                }
-                if bias == n {
-                    return RowOp::Nand(srcs());
-                }
-            }
-            let plus: Vec<(u32, u64)> =
-                weights.iter().filter(|&&(_, w)| w > 0).map(|&(c, w)| (c, w as u64)).collect();
-            let minus: Vec<(u32, u64)> = weights
-                .iter()
-                .filter(|&&(_, w)| w < 0)
-                .map(|&(c, w)| (c, w.unsigned_abs()))
-                .collect();
-            RowOp::Weighted {
-                plus,
-                minus,
-                pos_bias: bias.max(0) as u64,
-                neg_bias: (-bias).max(0) as u64,
+            let counter = weighted_op(weights, bias);
+            match gate_op(weights, bias) {
+                // both forms compute the row exactly; take the modeled-
+                // cost winner (the gate always wins today, but the
+                // explicit comparison keeps the choice honest if the
+                // counter path ever gets cheaper ops)
+                Some(gate) if gate.modeled_word_ops() <= counter.modeled_word_ops() => gate,
+                _ => counter,
             }
         }
     }
+}
+
+/// The exact bit-sliced-counter form of a threshold row (always valid).
+fn weighted_op(weights: &[(u32, i64)], bias: i64) -> RowOp {
+    let plus: Vec<(u32, u64)> =
+        weights.iter().filter(|&&(_, w)| w > 0).map(|&(c, w)| (c, w as u64)).collect();
+    let minus: Vec<(u32, u64)> = weights
+        .iter()
+        .filter(|&&(_, w)| w < 0)
+        .map(|&(c, w)| (c, w.unsigned_abs()))
+        .collect();
+    RowOp::Weighted {
+        plus,
+        minus,
+        pos_bias: bias.max(0) as u64,
+        neg_bias: (-bias).max(0) as u64,
+    }
+}
+
+/// Weight-aware gate detection for a non-constant threshold row whose
+/// weights share one sign. The decision is by *separating hyperplane*,
+/// not by weight pattern, so magnitudes are free:
+///
+/// * all `w > 0`: OR iff no-inputs stays off (`bias ≤ 0`) and every lone
+///   input fires (`wᵢ + bias > 0`) — larger subsets only add positive
+///   weight; AND iff the full set fires (`Σw + bias > 0`) and no
+///   largest proper subset does (`Σw − wᵢ + bias ≤ 0` for every `i`).
+/// * all `w < 0`, magnitudes `mᵢ`: the duals — NOR iff `bias > 0` and
+///   `bias − mᵢ ≤ 0` for every `i`; NAND iff `bias − Σm ≤ 0` and
+///   `bias − (Σm − mᵢ) > 0` for every `i`.
+///
+/// Single-source gates normalize to copy/inverter. Mixed-sign rows have
+/// no plain-gate form over these ops and return `None`.
+fn gate_op(weights: &[(u32, i64)], bias: i64) -> Option<RowOp> {
+    let srcs = || weights.iter().map(|&(c, _)| c).collect::<Vec<u32>>();
+    if weights.iter().all(|&(_, w)| w > 0) {
+        let sum: i64 = weights.iter().map(|&(_, w)| w).sum();
+        if bias <= 0 && weights.iter().all(|&(_, w)| w + bias > 0) {
+            return Some(match weights {
+                [(c, _)] => RowOp::Copy(*c),
+                _ => RowOp::Or(srcs()),
+            });
+        }
+        if sum + bias > 0 && weights.iter().all(|&(_, w)| sum - w + bias <= 0) {
+            return Some(match weights {
+                [(c, _)] => RowOp::Copy(*c),
+                _ => RowOp::And(srcs()),
+            });
+        }
+    } else if weights.iter().all(|&(_, w)| w < 0) {
+        let sum: i64 = weights.iter().map(|&(_, w)| -w).sum();
+        if bias > 0 && weights.iter().all(|&(_, w)| bias + w <= 0) {
+            return Some(match weights {
+                [(c, _)] => RowOp::Not(*c),
+                _ => RowOp::Nor(srcs()),
+            });
+        }
+        if bias - sum <= 0 && weights.iter().all(|&(_, w)| bias - sum - w > 0) {
+            return Some(match weights {
+                [(c, _)] => RowOp::Not(*c),
+                _ => RowOp::Nand(srcs()),
+            });
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -333,6 +514,124 @@ mod tests {
             classify(&[(0, 1), (1, 1), (2, 1)], -1, T),
             RowOp::Weighted { .. }
         ));
+    }
+
+    #[test]
+    fn weight_aware_rows_classify_to_gates() {
+        use Activation2::Threshold as T;
+        // or-like with uneven magnitudes: any lone input clears the bias
+        assert_eq!(classify(&[(0, 3), (1, 5)], -2, T), RowOp::Or(vec![0, 1]));
+        // and-like: only the full set clears the bias (3+5-6 > 0, but
+        // dropping either input goes non-positive)
+        assert_eq!(classify(&[(0, 3), (1, 5)], -6, T), RowOp::And(vec![0, 1]));
+        // single non-unit source normalizes to copy / inverter
+        assert_eq!(classify(&[(7, 3)], -2, T), RowOp::Copy(7));
+        assert_eq!(classify(&[(7, -3)], 2, T), RowOp::Not(7));
+        // negative duals with uneven magnitudes
+        assert_eq!(classify(&[(0, -2), (1, -4)], 2, T), RowOp::Nor(vec![0, 1]));
+        assert_eq!(classify(&[(0, -2), (1, -4)], 5, T), RowOp::Nand(vec![0, 1]));
+        // a weighted row whose boundary separates no gate subset stays on
+        // the counter path: 3·x0 + 5·x1 − 4 > 0 fires on {x1} and {x0,x1}
+        // but not {x0} — neither OR nor AND
+        assert!(matches!(classify(&[(0, 3), (1, 5)], -4, T), RowOp::Weighted { .. }));
+        // mixed signs never have a plain gate form
+        assert!(matches!(classify(&[(0, 2), (1, -3)], 1, T), RowOp::Weighted { .. }));
+    }
+
+    #[test]
+    fn weight_aware_gates_match_the_counter_semantics() {
+        use Activation2::Threshold as T;
+        // exhaustive cross-check: for every ≤3-input row over a weight
+        // grid, the classified op must agree with direct threshold
+        // evaluation on every input assignment
+        let grid: &[i64] = &[-5, -3, -1, 1, 2, 4];
+        for &w0 in grid {
+            for &w1 in grid {
+                for &w2 in grid {
+                    for bias in -8i64..=8 {
+                        let weights = [(0u32, w0), (1u32, w1), (2u32, w2)];
+                        let op = classify(&weights, bias, T);
+                        for assign in 0u32..8 {
+                            let bit = |i: u32| assign >> i & 1 == 1;
+                            let want = weights
+                                .iter()
+                                .map(|&(c, w)| if bit(c) { w } else { 0 })
+                                .sum::<i64>()
+                                + bias
+                                > 0;
+                            let got = eval_row(&op, &bit);
+                            assert_eq!(
+                                got, want,
+                                "w=({w0},{w1},{w2}) b={bias} assign={assign:03b} op={op:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scalar reference evaluation of one RowOp (test-only).
+    fn eval_row(op: &RowOp, bit: &dyn Fn(u32) -> bool) -> bool {
+        match op {
+            RowOp::Const(b) => *b,
+            RowOp::Copy(c) => bit(*c),
+            RowOp::Not(c) => !bit(*c),
+            RowOp::And(s) => s.iter().all(|&c| bit(c)),
+            RowOp::Nand(s) => !s.iter().all(|&c| bit(c)),
+            RowOp::Or(s) => s.iter().any(|&c| bit(c)),
+            RowOp::Nor(s) => !s.iter().any(|&c| bit(c)),
+            RowOp::Xor { srcs, invert } => {
+                (srcs.iter().filter(|&&c| bit(c)).count() % 2 == 1) != *invert
+            }
+            RowOp::Weighted { plus, minus, pos_bias, neg_bias } => {
+                let a: u64 =
+                    *pos_bias + plus.iter().map(|&(c, w)| if bit(c) { w } else { 0 }).sum::<u64>();
+                let b: u64 = *neg_bias
+                    + minus.iter().map(|&(c, w)| if bit(c) { w } else { 0 }).sum::<u64>();
+                a > b
+            }
+        }
+    }
+
+    #[test]
+    fn census_separates_unit_from_weighted_gates() {
+        use c2nn_tensor::Csr;
+        // one layer: a unit AND, a weighted OR, and a counter row
+        let rows: &[(Vec<(u32, f32)>, f32)] = &[
+            (vec![(0, 1.0), (1, 1.0)], -1.0), // unit AND
+            (vec![(0, 3.0), (1, 5.0)], -2.0), // weighted OR
+            (vec![(0, 3.0), (1, 5.0)], -4.0), // counter fallback
+        ];
+        let mut triples = Vec::new();
+        for (r, (ws, _)) in rows.iter().enumerate() {
+            for &(c, w) in ws {
+                triples.push((r as u32, c, w));
+            }
+        }
+        let threshold_layer = crate::layer::NnLayer {
+            weights: Csr::from_triplets(rows.len(), 2, triples),
+            bias: rows.iter().map(|(_, b)| *b).collect(),
+            activation: Activation2::Threshold,
+        };
+        let nn = CompiledNn {
+            name: "census".into(),
+            layers: vec![threshold_layer],
+            num_primary_inputs: 2,
+            num_primary_outputs: 3,
+            state_init: vec![],
+            gate_count: 3,
+            lut_size: 2,
+        };
+        let plan = BitplaneNn::from_compiled(&nn).unwrap();
+        let census = plan.row_classes;
+        assert_eq!(census.unit_gate, 1);
+        assert_eq!(census.weighted_gate, 1);
+        assert_eq!(census.counter, 1);
+        assert_eq!(census.total(), 3);
+        assert!((census.coverage() - 2.0 / 3.0).abs() < 1e-12);
+        let (cheap, weighted) = plan.modeled_units();
+        assert!(cheap > 0.0 && weighted > 0.0);
     }
 
     #[test]

@@ -17,37 +17,6 @@ use c2nn_lutmap::{map_netlist, LutGraph, MapConfig, MapError};
 use c2nn_netlist::{prepare, Netlist, SeqError};
 use c2nn_tensor::Scalar;
 
-/// Which execution backend a compiled model is destined for. Both are
-/// exact; they trade differently: the pooled-CSR path is one scalar lane
-/// per stimulus, the bit-plane path packs 64 stimuli per machine word.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum BackendKind {
-    /// Dense `f32` lanes over CSR layers (the default).
-    #[default]
-    PooledCsr,
-    /// Packed bitplanes over word ops (see [`crate::bitplane`]).
-    Bitplane,
-}
-
-impl BackendKind {
-    /// Parse a CLI/config spelling.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "csr" | "pooled-csr" => Some(BackendKind::PooledCsr),
-            "bitplane" | "bit-plane" => Some(BackendKind::Bitplane),
-            _ => None,
-        }
-    }
-
-    /// Canonical spelling.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BackendKind::PooledCsr => "pooled-csr",
-            BackendKind::Bitplane => "bitplane",
-        }
-    }
-}
-
 /// Compiler options.
 #[derive(Clone, Copy, Debug)]
 pub struct CompileOptions {
@@ -60,12 +29,9 @@ pub struct CompileOptions {
     pub wide_gates: bool,
     /// Which optimization passes run between lowering and legalization
     /// (always in canonical order). The merge ablation is
-    /// `PassSet::all().without(PassId::LayerMerge)`.
+    /// `PassSet::all().without(PassId::LayerMerge)` — also the pass set
+    /// the bit-plane backend prefers (see [`compile_bitplane`]).
     pub passes: PassSet,
-    /// Which execution backend the model is compiled for. Only
-    /// [`BackendKind::Bitplane`] changes anything here — see
-    /// [`CompileOptions::with_backend`].
-    pub backend: BackendKind,
 }
 
 impl CompileOptions {
@@ -75,7 +41,6 @@ impl CompileOptions {
             cuts_per_net: 8,
             wide_gates: false,
             passes: PassSet::all(),
-            backend: BackendKind::PooledCsr,
         }
     }
 
@@ -88,21 +53,6 @@ impl CompileOptions {
     /// Select the optimization passes to run.
     pub fn with_passes(mut self, passes: PassSet) -> Self {
         self.passes = passes;
-        self
-    }
-
-    /// Target an execution backend. Selecting [`BackendKind::Bitplane`]
-    /// drops the layer-merge pass: merging trades depth for dense
-    /// integer rows, which is a win for CSR arithmetic but forces the
-    /// bit-plane executor into its popcount fallback — the unmerged
-    /// threshold/linear alternation legalizes to single word ops per
-    /// neuron instead. (A merged network still runs correctly on the
-    /// bit-plane backend; it is just slower.)
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
-        if backend == BackendKind::Bitplane {
-            self.passes = self.passes.without(PassId::LayerMerge);
-        }
         self
     }
 
@@ -263,16 +213,20 @@ pub fn compile(nl: &Netlist, opts: CompileOptions) -> Result<CompiledNn<f32>, Co
     compile_as::<f32>(nl, opts)
 }
 
-/// Compile a netlist straight to the bit-plane backend: forces
-/// `opts.backend = Bitplane` (dropping layer-merge, see
-/// [`CompileOptions::with_backend`]) and legalizes the result to a
+/// Compile a netlist straight to the bit-plane backend: drops the
+/// layer-merge pass (merging trades depth for dense integer rows — a win
+/// for CSR arithmetic, but it forces the bit-plane executor into its
+/// popcount fallback, whereas the unmerged threshold/linear alternation
+/// legalizes to single word ops per neuron) and legalizes the result to a
 /// [`BitplaneNn`](crate::bitplane::BitplaneNn). The scalar network is
 /// returned alongside for differential checks and serving metadata.
+/// (A merged network still runs correctly on the bit-plane backend; it is
+/// just slower.)
 pub fn compile_bitplane(
     nl: &Netlist,
     opts: CompileOptions,
 ) -> Result<(CompiledNn<f32>, crate::bitplane::BitplaneNn), CompileError> {
-    let nn = compile(nl, opts.with_backend(BackendKind::Bitplane))?;
+    let nn = compile(nl, opts.with_passes(opts.passes.without(PassId::LayerMerge)))?;
     let plan = crate::bitplane::BitplaneNn::from_compiled(&nn).map_err(CompileError::Bitplane)?;
     Ok((nn, plan))
 }

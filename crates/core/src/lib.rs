@@ -55,10 +55,12 @@ pub mod sim;
 pub mod testbench;
 pub mod validate;
 
-pub use bitplane::{BitTensor, BitplaneError, BitplaneNn, BitplaneRunner, BitplaneSimulator};
+pub use bitplane::{
+    BitTensor, BitplaneError, BitplaneNn, BitplaneRunner, BitplaneSimulator, RowClassCensus,
+};
 pub use compile::{
     compile, compile_as, compile_bitplane, compile_graph, compile_graph_with_report,
-    compile_with_report, BackendKind, CompileError, CompileOptions, CompiledNn,
+    compile_with_report, CompileError, CompileOptions, CompiledNn,
 };
 pub use ir::passes::{PassId, PassSet};
 pub use ir::report::{CompileReport, IrMetrics, PassStat};

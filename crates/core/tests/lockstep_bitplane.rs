@@ -7,9 +7,7 @@
 //! one that forces its bit-sliced popcount fallback.
 
 use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner, BitplaneSimulator};
-use c2nn_core::{
-    compile, BackendKind, CompileOptions, PassSet, Session, SessionRunner, Simulator,
-};
+use c2nn_core::{compile, CompileOptions, PassId, PassSet, Session, SessionRunner, Simulator};
 use c2nn_netlist::Netlist;
 use c2nn_refsim::CycleSim;
 use c2nn_tensor::{Dense, Device};
@@ -46,18 +44,19 @@ fn suite() -> Vec<(&'static str, Netlist)> {
         .collect()
 }
 
+/// The pass set the bit-plane backend prefers: everything but layer-merge
+/// (what `compile_bitplane` and the HAL's bitplane backend select).
+fn unmerged() -> PassSet {
+    PassSet::all().without(PassId::LayerMerge)
+}
+
 /// The two compile configurations the bit-plane backend must handle:
 /// its native unmerged pipeline, and a fully merged network (exercising
 /// the `Weighted` popcount fallback).
 fn configs() -> [(&'static str, CompileOptions); 2] {
     [
-        ("unmerged", CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)),
-        (
-            "merged",
-            CompileOptions::with_l(4)
-                .with_backend(BackendKind::Bitplane)
-                .with_passes(PassSet::all()),
-        ),
+        ("unmerged", CompileOptions::with_l(4).with_passes(unmerged())),
+        ("merged", CompileOptions::with_l(4).with_passes(PassSet::all())),
     ]
 }
 
@@ -113,7 +112,7 @@ fn unmerged_pipeline_legalizes_without_popcount_fallback() {
     // the whole point of dropping layer-merge for this backend: every
     // threshold row is a gate, every linear row a parity — no `Weighted`
     for (name, nl) in suite() {
-        let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane))
+        let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged()))
             .unwrap();
         let plan = BitplaneNn::from_compiled(&nn).unwrap();
         let census = plan.op_census();
@@ -149,7 +148,7 @@ fn parallel_dispatch_matches_serial() {
     // pool-sharded execution must be bit-identical to the serial loop,
     // across a batch spanning three words (130 = 2 full + ragged 2)
     let nl = c2nn_circuits::spi();
-    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged())).unwrap();
     let plan = BitplaneNn::from_compiled(&nn).unwrap();
     let mut serial = BitplaneSimulator::new(&plan, 130, Device::Serial);
     let mut parallel = BitplaneSimulator::new(&plan, 130, Device::Parallel);
@@ -170,7 +169,7 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
     // second word) → 5 (back under one). The bit-plane runner must follow
     // the CSR SessionRunner lane for lane through every recomposition.
     let nl = c2nn_circuits::uart();
-    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged())).unwrap();
     let plan = BitplaneNn::from_compiled(&nn).unwrap();
     let pi = nn.num_primary_inputs;
 
@@ -231,7 +230,7 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
 #[test]
 fn shape_errors_match_the_csr_runner() {
     let nl = c2nn_circuits::uart();
-    let nn = compile(&nl, CompileOptions::with_l(4).with_backend(BackendKind::Bitplane)).unwrap();
+    let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged())).unwrap();
     let plan = BitplaneNn::from_compiled(&nn).unwrap();
     let pi = nn.num_primary_inputs;
 

@@ -1,0 +1,186 @@
+//! The three built-in execution backends, ported from the former
+//! `BackendKind`/`AnyRunner` ad-hoc dispatch:
+//!
+//! * `scalar` — dense `f32` lanes over CSR layers, serial dispatch. The
+//!   lowest launch overhead; wins on tiny models and tiny batches.
+//! * `pooled-csr` — the same CSR kernels sharded on the shared worker
+//!   pool ([`c2nn_tensor::Pool`]). The paper's stimulus parallelism.
+//! * `bitplane` — 64 stimuli per machine word over word ops (see
+//!   [`c2nn_core::bitplane`]). Requires exact integral weights; refuses
+//!   admission otherwise.
+//!
+//! All three step the same [`Session`](c2nn_core::Session) bookkeeping
+//! with bit-exact semantics — the shared conformance suite
+//! ([`crate::conformance`]) holds them to it.
+
+use crate::backend::{Backend, Manifest, Plan, Reject, RowClassCount, Runner};
+use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner};
+use c2nn_core::{CompileOptions, CompiledNn, PassId, Session, SessionRunner, SimError};
+use c2nn_tensor::Device;
+use std::sync::Arc;
+
+impl Runner for SessionRunner<'_, f32> {
+    fn step(
+        &mut self,
+        sessions: &mut [Session<f32>],
+        inputs: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, SimError> {
+        SessionRunner::step(self, sessions, inputs)
+    }
+}
+
+impl Runner for BitplaneRunner<'_, f32> {
+    fn step(
+        &mut self,
+        sessions: &mut [Session<f32>],
+        inputs: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, SimError> {
+        BitplaneRunner::step(self, sessions, inputs)
+    }
+}
+
+/// A CSR-lane backend: `scalar` (serial) or `pooled-csr` (worker pool).
+pub struct CsrBackend {
+    name: &'static str,
+    device: Device,
+}
+
+impl CsrBackend {
+    /// The serial single-thread engine.
+    pub fn scalar() -> Self {
+        CsrBackend { name: "scalar", device: Device::Serial }
+    }
+
+    /// The pool-sharded engine (the default before the HAL existed).
+    pub fn pooled() -> Self {
+        CsrBackend { name: "pooled-csr", device: Device::Parallel }
+    }
+}
+
+struct CsrPlan {
+    backend: &'static str,
+    device: Device,
+    nn: Arc<CompiledNn<f32>>,
+    manifest: Manifest,
+}
+
+impl Plan for CsrPlan {
+    fn backend(&self) -> &str {
+        self.backend
+    }
+
+    fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    fn nn(&self) -> &Arc<CompiledNn<f32>> {
+        &self.nn
+    }
+
+    fn runner(&self) -> Box<dyn Runner + '_> {
+        Box::new(SessionRunner::new(&self.nn, self.device))
+    }
+}
+
+impl Backend for CsrBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn admit(&self, nn: &Arc<CompiledNn<f32>>) -> Result<Arc<dyn Plan>, Reject> {
+        if nn.layers.is_empty() {
+            return Err(Reject {
+                backend: self.name.to_string(),
+                reason: "network has no layers".to_string(),
+            });
+        }
+        let manifest = Manifest {
+            backend: self.name.to_string(),
+            lanes_per_word: 1,
+            layers: nn.num_layers() as u64,
+            // one MAC per nonzero weight per lane per cycle
+            cheap_units: nn.connections() as f64,
+            weighted_units: 0.0,
+            row_classes: Vec::new(),
+        };
+        Ok(Arc::new(CsrPlan {
+            backend: self.name,
+            device: self.device,
+            nn: Arc::clone(nn),
+            manifest,
+        }))
+    }
+}
+
+/// The packed-bitplane backend: 64 stimuli per word; admission legalizes
+/// the network to a [`BitplaneNn`] (typed refusal for non-integral
+/// weights) and prices the result row class by row class.
+pub struct BitplaneBackend;
+
+struct BitplanePlan {
+    nn: Arc<CompiledNn<f32>>,
+    program: BitplaneNn,
+    manifest: Manifest,
+}
+
+impl Plan for BitplanePlan {
+    fn backend(&self) -> &str {
+        "bitplane"
+    }
+
+    fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    fn nn(&self) -> &Arc<CompiledNn<f32>> {
+        &self.nn
+    }
+
+    fn runner(&self) -> Box<dyn Runner + '_> {
+        Box::new(BitplaneRunner::<f32>::new(&self.program, Device::Parallel))
+    }
+}
+
+impl Backend for BitplaneBackend {
+    fn name(&self) -> &'static str {
+        "bitplane"
+    }
+
+    /// Drop layer-merge: merging trades depth for dense integer rows — a
+    /// win for CSR arithmetic, but it forces the bit-plane executor into
+    /// its counter fallback, whereas the unmerged threshold/linear
+    /// alternation legalizes to single word ops per neuron.
+    fn compile_options(&self, base: CompileOptions) -> CompileOptions {
+        let passes = base.passes.without(PassId::LayerMerge);
+        base.with_passes(passes)
+    }
+
+    fn admit(&self, nn: &Arc<CompiledNn<f32>>) -> Result<Arc<dyn Plan>, Reject> {
+        if nn.layers.is_empty() {
+            return Err(Reject {
+                backend: "bitplane".to_string(),
+                reason: "network has no layers".to_string(),
+            });
+        }
+        let program = BitplaneNn::from_compiled(nn.as_ref()).map_err(|e| Reject {
+            backend: "bitplane".to_string(),
+            reason: e.to_string(),
+        })?;
+        let (cheap_units, weighted_units) = program.modeled_units();
+        let row_classes = program
+            .row_classes
+            .entries()
+            .iter()
+            .map(|&(class, rows)| RowClassCount { class: class.to_string(), rows })
+            .collect();
+        let manifest = Manifest {
+            backend: "bitplane".to_string(),
+            lanes_per_word: 64,
+            layers: program.num_layers() as u64,
+            cheap_units,
+            weighted_units,
+            row_classes,
+        };
+        Ok(Arc::new(BitplanePlan { nn: Arc::clone(nn), program, manifest }))
+    }
+}

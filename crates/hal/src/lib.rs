@@ -1,0 +1,35 @@
+//! # c2nn-hal — the backend hardware-abstraction layer
+//!
+//! Pluggable execution backends behind one trait contract, with a
+//! calibrated cost model driving `--backend auto` (DESIGN.md §14).
+//!
+//! The pieces:
+//!
+//! * [`Backend`] / [`Plan`] / [`Runner`] — the contract ([`backend`]):
+//!   a backend *admits* a compiled network (fallibly, with a typed
+//!   [`Reject`]) into a [`Plan`] carrying a capabilities [`Manifest`];
+//!   plans manufacture resumable runners with the exact
+//!   `SessionRunner::step` semantics.
+//! * [`backends`] — the three built-in engines: `scalar`, `pooled-csr`,
+//!   and `bitplane`.
+//! * [`BackendRegistry`] ([`registry`]) — ordered name → backend map with
+//!   calibration-driven selection ([`BackendRegistry::select`]).
+//! * [`DeviceCalibration`] / [`BackendCalibration`] ([`cost`]) — the
+//!   measured per-backend cost model persisted in `results/DEVICE.json`,
+//!   plus the analytic [`DeviceModel`] of the paper's GPU.
+//! * [`calibrate`] — the microbenchmark fit behind `c2nn calibrate`.
+//! * [`conformance`] — the shared bit-exactness suite every backend
+//!   (in-tree or out) must pass.
+
+pub mod backend;
+pub mod backends;
+pub mod calibrate;
+pub mod conformance;
+pub mod cost;
+pub mod registry;
+
+pub use backend::{Backend, Manifest, Plan, Reject, RowClassCount, Runner};
+pub use backends::{BitplaneBackend, CsrBackend};
+pub use calibrate::{calibrate, CalibrateOptions};
+pub use cost::{BackendCalibration, DeviceCalibration, DeviceModel};
+pub use registry::{BackendRegistry, Candidate, Choice, SelectError, Selection};

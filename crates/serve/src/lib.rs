@@ -51,8 +51,8 @@ pub use admission::{Admission, AdmitError, Pressure, SimPermit};
 pub use chaos::{Chaos, ChaosConfig, Rng};
 pub use client::{Backoff, Client, ClientError, StatsSnapshot};
 pub use protocol::{
-    FrameReader, ModelStatsReport, ProtocolError, Request, Response,
-    ServerStatsReport, MAX_FRAME, PROTOCOL_VERSION,
+    BackendSelectionReport, FrameReader, ModelStatsReport, ProtocolError, Request,
+    Response, ServerStatsReport, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use registry::{Registry, RegistryConfig};
 pub use scheduler::{BatchConfig, ServedModel, SimFailure, SimOutput};

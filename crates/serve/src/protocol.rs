@@ -17,8 +17,11 @@ use std::io::{self, Read, Write};
 
 /// Protocol revision spoken by this build. v2 added optional request
 /// deadlines and the typed overload replies (`overloaded`,
-/// `deadline_exceeded`) plus the server-level stats block.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `deadline_exceeded`) plus the server-level stats block. v3 added
+/// execution-backend labels: `backend`/`auto_selected` on every model
+/// stats report and the per-backend `backends` rollup in the server
+/// block.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard upper bound on one frame's length in bytes (models ship inline in
 /// `load` frames, so this is generous).
@@ -62,6 +65,12 @@ pub enum Request {
 pub struct ModelStatsReport {
     /// registry key
     pub name: String,
+    /// execution backend serving this model's batches (registry name,
+    /// e.g. `pooled-csr`, `bitplane`)
+    pub backend: String,
+    /// whether the calibrated cost model picked the backend
+    /// (`--backend auto`) rather than the operator naming it
+    pub auto_selected: bool,
     /// model size in bytes (registry accounting)
     pub bytes: u64,
     /// total `sim` requests accepted for this model
@@ -85,6 +94,8 @@ pub struct ModelStatsReport {
 
 c2nn_json::json_struct!(ModelStatsReport {
     name,
+    backend,
+    auto_selected,
     bytes,
     requests,
     batches,
@@ -94,6 +105,28 @@ c2nn_json::json_struct!(ModelStatsReport {
     p50_us,
     p99_us,
     deadline_exceeded,
+});
+
+/// Per-backend selection rollup inside [`ServerStatsReport`]: how many
+/// models each execution backend is serving, how many of those the cost
+/// model chose, and the request volume they carried.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct BackendSelectionReport {
+    /// backend registry name
+    pub backend: String,
+    /// models currently served on this backend
+    pub models: u64,
+    /// of those, models the cost model selected (`--backend auto`)
+    pub auto_selected: u64,
+    /// total `sim` requests accepted across those models
+    pub requests: u64,
+}
+
+c2nn_json::json_struct!(BackendSelectionReport {
+    backend,
+    models,
+    auto_selected,
+    requests,
 });
 
 /// Server-wide overload/health counters reported by [`Response::Stats`]
@@ -118,6 +151,8 @@ pub struct ServerStatsReport {
     pub pool_poisoned_epochs: u64,
     /// chaos injections performed (0 unless `--chaos` armed a schedule)
     pub chaos_injected: u64,
+    /// per-backend selection rollup over the currently served models
+    pub backends: Vec<BackendSelectionReport>,
 }
 
 c2nn_json::json_struct!(ServerStatsReport {
@@ -130,6 +165,7 @@ c2nn_json::json_struct!(ServerStatsReport {
     rejected_draining,
     pool_poisoned_epochs,
     chaos_injected,
+    backends,
 });
 
 /// A server-to-client message.

@@ -8,13 +8,21 @@
 //! eviction; evicting a model drops its `Arc<ServedModel>`, which closes
 //! the batcher queue so the model's batcher thread exits once in-flight
 //! requests drain (clients holding the old `Arc` finish normally).
+//!
+//! Installation is also where the execution backend is chosen: the
+//! configured [`Choice`](c2nn_hal::Choice) is resolved against the
+//! global [`c2nn_hal::BackendRegistry`] using this registry's
+//! [`DeviceCalibration`], so a model no backend can run (or a named
+//! backend refuses) is rejected here with a typed reason — never
+//! discovered inside a batcher thread.
 
 use crate::admission::Admission;
 use crate::chaos::Chaos;
-use crate::protocol::ServerStatsReport;
+use crate::protocol::{BackendSelectionReport, ServerStatsReport};
 use crate::scheduler::{BatchConfig, ServedModel};
 use crate::stats::ModelCounters;
 use c2nn_core::CompiledNn;
+use c2nn_hal::DeviceCalibration;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
@@ -36,6 +44,10 @@ pub struct RegistryConfig {
     /// Armed chaos schedule injected into every model's batcher
     /// (`None` in production).
     pub chaos: Option<Arc<Chaos>>,
+    /// Per-backend cost model consulted when resolving
+    /// [`BatchConfig::backend`] at install time (typically loaded from
+    /// `results/DEVICE.json`; defaults to the built-in host numbers).
+    pub calibration: Arc<DeviceCalibration>,
 }
 
 impl Default for RegistryConfig {
@@ -46,6 +58,9 @@ impl Default for RegistryConfig {
             max_inflight: 1024,
             max_inflight_per_model: 512,
             chaos: None,
+            calibration: Arc::new(DeviceCalibration::default_host(
+                c2nn_tensor::Pool::global().threads(),
+            )),
         }
     }
 }
@@ -95,10 +110,34 @@ impl Registry {
         self.cfg.chaos.as_ref()
     }
 
-    /// Server-wide overload/health counters for the stats endpoint.
+    /// Server-wide overload/health counters for the stats endpoint,
+    /// including the per-backend selection rollup over cached models.
     pub fn server_report(&self) -> ServerStatsReport {
+        let backends = {
+            let inner = self.inner.lock().unwrap();
+            let mut rollup: Vec<BackendSelectionReport> = Vec::new();
+            for e in &inner.entries {
+                let m = &e.model;
+                let entry = match rollup.iter_mut().find(|r| r.backend == m.backend) {
+                    Some(r) => r,
+                    None => {
+                        rollup.push(BackendSelectionReport {
+                            backend: m.backend.clone(),
+                            ..BackendSelectionReport::default()
+                        });
+                        rollup.last_mut().unwrap()
+                    }
+                };
+                entry.models += 1;
+                entry.auto_selected += m.auto_selected as u64;
+                entry.requests += m.stats.requests.load(Ordering::Relaxed);
+            }
+            rollup.sort_by(|a, b| a.backend.cmp(&b.backend));
+            rollup
+        };
         let adm = &self.admission;
         ServerStatsReport {
+            backends,
             inflight: adm.inflight() as u64,
             max_inflight: adm.max_inflight().min(u64::MAX as usize) as u64,
             pressure: format!("{:?}", adm.pressure()).to_lowercase(),
@@ -121,24 +160,21 @@ impl Registry {
 
     /// Validate and admit an already-compiled model. `compile` output
     /// always passes validation, but models arriving over the wire or
-    /// from stale files may not.
+    /// from stale files may not. Backend selection happens here: a model
+    /// the configured backend (or, under `auto`, every calibrated
+    /// backend) refuses is rejected with the typed admission reason.
     pub fn install(&self, name: &str, nn: CompiledNn<f32>) -> Result<Arc<ServedModel>, String> {
         nn.validate()
             .map_err(|e| format!("model '{name}' failed validation: {e}"))?;
-        // with the bitplane backend configured, a model that cannot
-        // legalize to bitplanes must be rejected here — at admission, with
-        // a typed reason — not discovered by the batcher thread later
-        if self.cfg.batch.backend == c2nn_core::BackendKind::Bitplane {
-            c2nn_core::bitplane::BitplaneNn::from_compiled(&nn)
-                .map_err(|e| format!("model '{name}' rejected by bitplane backend: {e}"))?;
-        }
-        let model = ServedModel::spawn(
+        let model = ServedModel::spawn_selected(
             name,
             nn,
             self.cfg.batch.clone(),
+            &self.cfg.calibration,
             Arc::clone(&self.admission),
             self.cfg.chaos.clone(),
-        );
+        )
+        .map_err(|e| format!("model '{name}' rejected: {e}"))?;
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -173,11 +209,7 @@ impl Registry {
     /// Snapshot the stats of every cached model.
     pub fn stats(&self) -> Vec<crate::protocol::ModelStatsReport> {
         let inner = self.inner.lock().unwrap();
-        inner
-            .entries
-            .iter()
-            .map(|e| e.model.stats.report(&e.model.name, e.model.bytes))
-            .collect()
+        inner.entries.iter().map(|e| e.model.report()).collect()
     }
 
     /// Total bytes of all cached models.
@@ -268,6 +300,35 @@ mod tests {
         let reg = tiny_registry(1); // absurdly small
         reg.install("only", counter_nn(4)).unwrap();
         assert!(reg.get("only").is_some(), "most recent model is never evicted");
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_install_error() {
+        let reg = Registry::new(RegistryConfig {
+            batch: BatchConfig {
+                backend: c2nn_hal::Choice::Named("tpu".to_string()),
+                ..BatchConfig::default()
+            },
+            ..RegistryConfig::default()
+        });
+        let err = reg.install("m", counter_nn(4)).unwrap_err();
+        assert!(err.contains("unknown backend `tpu`"), "{err}");
+        assert!(err.contains("scalar") && err.contains("bitplane"), "{err}");
+        assert!(reg.get("m").is_none());
+    }
+
+    #[test]
+    fn server_report_rolls_up_backend_selections() {
+        let reg = tiny_registry(usize::MAX);
+        reg.install("a", counter_nn(4)).unwrap();
+        reg.install("b", counter_nn(6)).unwrap();
+        let report = reg.server_report();
+        let total_models: u64 = report.backends.iter().map(|b| b.models).sum();
+        assert_eq!(total_models, 2);
+        // default config is auto: every selection is cost-model driven
+        for b in &report.backends {
+            assert_eq!(b.auto_selected, b.models, "{b:?}");
+        }
     }
 
     #[test]

@@ -5,10 +5,18 @@
 //! admitting jobs until either `max_batch` lanes have accumulated or the
 //! `max_wait` deadline (measured from the first queued job) expires —
 //! classic dynamic batching, with the batch then executed as one
-//! [`SessionRunner`] run per cycle over all lanes. Per-lane outputs scatter
+//! HAL-runner pass per cycle over all lanes. Per-lane outputs scatter
 //! back through each job's reply channel; a lane whose client vanished
 //! mid-batch just has its reply dropped on the floor — the other lanes are
 //! independent columns of the forward pass and are unaffected.
+//!
+//! Which execution engine steps the batch is decided *before* the batcher
+//! thread exists: the registry resolves the configured
+//! [`Choice`](c2nn_hal::Choice) against the [`c2nn_hal::BackendRegistry`]
+//! at install time, producing an admitted [`Plan`](c2nn_hal::Plan) (with
+//! typed rejection for models a backend cannot legalize). The batcher just
+//! manufactures runners from its plan — it never knows which backend it
+//! is running.
 //!
 //! The deadline semantics are deliberately *first-job anchored*: the first
 //! request in a batch waits at most `max_wait` beyond its arrival, so a
@@ -26,18 +34,18 @@
 //!   occupies the forward pass.
 //! * A panic during the batched forward pass (e.g. a pool worker dying) is
 //!   caught: every lane in the batch gets a typed failure, the runner is
-//!   rebuilt, and the batcher thread survives to serve the next batch —
-//!   the pool respawns its worker on the next job ([`c2nn_tensor::Pool`]
-//!   self-healing).
+//!   rebuilt from the plan, and the batcher thread survives to serve the
+//!   next batch — the pool respawns its worker on the next job
+//!   ([`c2nn_tensor::Pool`] self-healing).
 //! * An armed [`Chaos`] schedule injects scheduler stalls and worker
 //!   panics here, exercising exactly these paths under a fixed seed.
 
 use crate::admission::{Admission, Pressure};
 use crate::chaos::Chaos;
+use crate::protocol::ModelStatsReport;
 use crate::stats::ModelCounters;
-use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner};
-use c2nn_core::{BackendKind, CompiledNn, Session, SessionRunner, SimError, Stimulus};
-use c2nn_tensor::Device;
+use c2nn_core::{CompiledNn, Session, Stimulus};
+use c2nn_hal::{BackendRegistry, Choice, DeviceCalibration, Plan, Runner, Selection};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -56,13 +64,11 @@ pub struct BatchConfig {
     pub max_batch: usize,
     /// How long the first queued request may wait for companions.
     pub max_wait: Duration,
-    /// Execution device for the batched forward passes.
-    pub device: Device,
-    /// Execution backend: pooled-CSR lanes or packed bitplanes. With
-    /// [`BackendKind::Bitplane`], each batcher legalizes its model once at
-    /// spawn and steps a [`BitplaneRunner`] instead of a [`SessionRunner`]
-    /// — same `Session` bookkeeping, same bit-exact outputs.
-    pub backend: BackendKind,
+    /// Execution backend, resolved against the [`BackendRegistry`] at
+    /// install time. [`Choice::Auto`] lets the calibrated cost model pick
+    /// per model; [`Choice::Named`] pins one backend and turns its
+    /// admission refusal into a typed install error.
+    pub backend: Choice,
 }
 
 impl Default for BatchConfig {
@@ -70,8 +76,7 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(2),
-            device: Device::Parallel,
-            backend: BackendKind::PooledCsr,
+            backend: Choice::Auto,
         }
     }
 }
@@ -115,15 +120,23 @@ struct SimJob {
     deadline: Option<Instant>,
 }
 
-/// A model admitted to the registry: the validated network, its byte
-/// accounting, its counters, and the sending side of its batcher queue.
-/// Dropping the last `Arc<ServedModel>` closes the queue and the batcher
-/// thread exits.
+/// A model admitted to the registry: the validated network, the backend
+/// selection that admitted it, its byte accounting, its counters, and the
+/// sending side of its batcher queue. Dropping the last
+/// `Arc<ServedModel>` closes the queue and the batcher thread exits.
 pub struct ServedModel {
     /// Registry key.
     pub name: String,
     /// The compiled, validated network.
     pub nn: Arc<CompiledNn<f32>>,
+    /// Name of the backend executing this model's batches.
+    pub backend: String,
+    /// Whether the cost model picked the backend (`--backend auto`) or
+    /// the operator named it.
+    pub auto_selected: bool,
+    /// The cost model's predicted lane-cycles/s at `max_batch`, when the
+    /// selection had a calibration entry for the backend.
+    pub predicted_lane_cps: Option<f64>,
     /// Size counted against the registry byte budget.
     pub bytes: usize,
     /// Serving counters (shared with the batcher thread).
@@ -135,49 +148,81 @@ impl std::fmt::Debug for ServedModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServedModel")
             .field("name", &self.name)
+            .field("backend", &self.backend)
             .field("bytes", &self.bytes)
             .finish_non_exhaustive()
     }
 }
 
 impl ServedModel {
-    /// Validate nothing (the registry already did), wrap `nn`, and spawn
-    /// the model's batcher thread. `admission` feeds the pressure signal
-    /// that widens the coalescing window; `chaos`, if armed, injects
-    /// stalls and worker panics into this batcher.
+    /// Wrap an already-resolved backend [`Selection`] and spawn the
+    /// model's batcher thread. `admission` feeds the pressure signal that
+    /// widens the coalescing window; `chaos`, if armed, injects stalls
+    /// and worker panics into this batcher.
     pub fn spawn(
         name: &str,
-        nn: CompiledNn<f32>,
+        selection: Selection,
         cfg: BatchConfig,
         admission: Arc<Admission>,
         chaos: Option<Arc<Chaos>>,
     ) -> Arc<ServedModel> {
+        let Selection { backend, auto, plan, predicted_lane_cps, .. } = selection;
+        let nn = Arc::clone(plan.nn());
         let bytes = nn.memory_bytes();
-        let nn = Arc::new(nn);
         let stats = Arc::new(ModelCounters::default());
         let (tx, rx) = mpsc::channel::<SimJob>();
         {
-            let nn = Arc::clone(&nn);
+            let plan = Arc::clone(&plan);
             let stats = Arc::clone(&stats);
             let thread_name = format!("c2nn-batch-{name}");
             std::thread::Builder::new()
                 .name(thread_name)
-                .spawn(move || batch_loop(rx, &nn, &stats, &cfg, &admission, chaos.as_deref()))
+                .spawn(move || batch_loop(rx, plan, &stats, &cfg, &admission, chaos.as_deref()))
                 .expect("spawn batcher thread");
         }
         Arc::new(ServedModel {
             name: name.to_string(),
             nn,
+            backend,
+            auto_selected: auto,
+            predicted_lane_cps,
             bytes,
             stats,
             queue: tx,
         })
     }
 
-    /// [`ServedModel::spawn`] with no pressure coupling and no chaos —
-    /// embedding and test convenience.
+    /// Resolve `cfg.backend` against the global [`BackendRegistry`] with
+    /// the given calibration and spawn. This is the install-time gate: a
+    /// model no backend can run is refused here with a typed reason, not
+    /// discovered by a batcher thread later.
+    pub fn spawn_selected(
+        name: &str,
+        nn: CompiledNn<f32>,
+        cfg: BatchConfig,
+        calibration: &DeviceCalibration,
+        admission: Arc<Admission>,
+        chaos: Option<Arc<Chaos>>,
+    ) -> Result<Arc<ServedModel>, c2nn_hal::SelectError> {
+        let nn = Arc::new(nn);
+        let selection =
+            BackendRegistry::global().select(&nn, &cfg.backend, calibration, cfg.max_batch)?;
+        Ok(ServedModel::spawn(name, selection, cfg, admission, chaos))
+    }
+
+    /// [`ServedModel::spawn_selected`] with built-in default calibration,
+    /// no pressure coupling, and no chaos — embedding and test
+    /// convenience. Panics if no backend admits the model (use
+    /// [`ServedModel::spawn_selected`] for typed errors).
     pub fn spawn_standalone(name: &str, nn: CompiledNn<f32>, cfg: BatchConfig) -> Arc<ServedModel> {
-        ServedModel::spawn(name, nn, cfg, Admission::unbounded(), None)
+        let cal = DeviceCalibration::default_host(c2nn_tensor::Pool::global().threads());
+        ServedModel::spawn_selected(name, nn, cfg, &cal, Admission::unbounded(), None)
+            .expect("backend selection")
+    }
+
+    /// Snapshot this model's counters into the wire-format report.
+    pub fn report(&self) -> ModelStatsReport {
+        self.stats.report(&self.name, self.bytes, &self.backend, self.auto_selected)
     }
 
     /// Enqueue one testbench (already width-checked against
@@ -203,60 +248,16 @@ impl ServedModel {
     }
 }
 
-/// The per-batcher execution engine: one of the two interchangeable
-/// backends, both stepping the same `Session` bookkeeping with identical
-/// bit-exact semantics.
-enum AnyRunner<'a> {
-    Csr(SessionRunner<'a, f32>),
-    Bitplane(BitplaneRunner<'a, f32>),
-}
-
-impl<'a> AnyRunner<'a> {
-    fn new(nn: &'a CompiledNn<f32>, plan: Option<&'a BitplaneNn>, device: Device) -> Self {
-        match plan {
-            Some(p) => AnyRunner::Bitplane(BitplaneRunner::new(p, device)),
-            None => AnyRunner::Csr(SessionRunner::new(nn, device)),
-        }
-    }
-
-    fn step(
-        &mut self,
-        sessions: &mut [Session<f32>],
-        inputs: &[Vec<bool>],
-    ) -> Result<Vec<Vec<bool>>, SimError> {
-        match self {
-            AnyRunner::Csr(r) => r.step(sessions, inputs),
-            AnyRunner::Bitplane(r) => r.step(sessions, inputs),
-        }
-    }
-}
-
 fn batch_loop(
     rx: Receiver<SimJob>,
-    nn: &CompiledNn<f32>,
+    plan: Arc<dyn Plan>,
     stats: &ModelCounters,
     cfg: &BatchConfig,
     admission: &Admission,
     chaos: Option<&Chaos>,
 ) {
     let max_batch = cfg.max_batch.max(1);
-    // legalize once per batcher thread. A model that cannot legalize falls
-    // back to the CSR runner — the registry already rejects such models at
-    // install time when the bitplane backend is configured, so this fires
-    // only for models installed before the backend was switched
-    let plan: Option<BitplaneNn> = match cfg.backend {
-        BackendKind::Bitplane => match BitplaneNn::from_compiled(nn) {
-            Ok(p) => Some(p),
-            Err(e) => {
-                eprintln!(
-                    "c2nn-serve: bitplane legalization failed ({e}); serving on pooled-CSR"
-                );
-                None
-            }
-        },
-        BackendKind::PooledCsr => None,
-    };
-    let mut runner = AnyRunner::new(nn, plan.as_ref(), cfg.device);
+    let mut runner = plan.runner();
     while let Ok(first) = rx.recv() {
         // graceful degradation: past half the in-flight budget, widen the
         // coalescing window — requests are already queueing, so spend the
@@ -295,11 +296,12 @@ fn batch_loop(
         if live.is_empty() {
             continue;
         }
-        let poisoned = run_coalesced(&mut runner, nn, stats, live, chaos);
+        let poisoned = run_coalesced(runner.as_mut(), plan.nn(), stats, live, chaos);
         if poisoned {
             // a panic mid-pass may have left the runner's scratch state
-            // inconsistent; rebuild it (cheap relative to a batch)
-            runner = AnyRunner::new(nn, plan.as_ref(), cfg.device);
+            // inconsistent; rebuild it from the plan (cheap relative to a
+            // batch)
+            runner = plan.runner();
         }
     }
 }
@@ -317,7 +319,7 @@ fn finish_job(stats: &ModelCounters, job: &SimJob, reply: Result<SimOutput, SimF
 /// (success or typed failure). Returns `true` if a panic poisoned the
 /// runner and it must be rebuilt.
 fn run_coalesced(
-    runner: &mut AnyRunner<'_>,
+    runner: &mut (dyn Runner + '_),
     nn: &CompiledNn<f32>,
     stats: &ModelCounters,
     jobs: Vec<SimJob>,
@@ -397,6 +399,10 @@ mod tests {
         compile(&counter(4), CompileOptions::with_l(4)).unwrap()
     }
 
+    fn named(backend: &str) -> Choice {
+        Choice::Named(backend.to_string())
+    }
+
     #[test]
     fn coalesces_waiting_jobs_into_one_batch() {
         let nn = counter_nn();
@@ -406,8 +412,7 @@ mod tests {
             BatchConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(200),
-                device: Device::Serial,
-                ..BatchConfig::default()
+                backend: named("scalar"),
             },
         );
         // submit 4 jobs quickly; the 200ms deadline coalesces them
@@ -428,10 +433,36 @@ mod tests {
         assert_eq!(outs[1].outputs.len(), 5);
         assert_eq!(outs[2].outputs.len(), 2);
         assert_eq!(outs[3].outputs.len(), 1);
-        let report = model.stats.report("ctr", model.bytes);
+        let report = model.report();
         assert_eq!(report.requests, 4);
         assert!(report.mean_occupancy > 1.0, "expected coalescing, got {report:?}");
         assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.backend, "scalar");
+        assert!(!report.auto_selected);
+    }
+
+    #[test]
+    fn auto_selection_picks_a_backend_and_labels_stats() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn_standalone(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                backend: Choice::Auto,
+            },
+        );
+        assert!(
+            !model.backend.is_empty() && model.auto_selected,
+            "auto selection must record its winner"
+        );
+        assert!(model.predicted_lane_cps.is_some());
+        let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
+        assert_eq!(rx.recv().unwrap().unwrap().outputs.len(), 3);
+        let report = model.report();
+        assert_eq!(report.backend, model.backend);
+        assert!(report.auto_selected);
     }
 
     #[test]
@@ -443,8 +474,7 @@ mod tests {
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(100),
-                device: Device::Serial,
-                ..BatchConfig::default()
+                backend: named("scalar"),
             },
         );
         let keep = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
@@ -469,14 +499,13 @@ mod tests {
             BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
-                device: Device::Serial,
-                ..BatchConfig::default()
+                backend: named("scalar"),
             },
         );
         let rx = model.submit(parse_stim("1 x2\n", 1).unwrap(), None);
         let out = rx.recv().unwrap().unwrap();
         assert_eq!(out.outputs.len(), 2);
-        let report = model.stats.report("ctr", model.bytes);
+        let report = model.report();
         assert_eq!((report.batches, report.lanes), (1, 1));
     }
 
@@ -489,8 +518,7 @@ mod tests {
             BatchConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(50),
-                device: Device::Serial,
-                ..BatchConfig::default()
+                backend: named("scalar"),
             },
         );
         // already expired on arrival: must shed, not simulate
@@ -505,39 +533,46 @@ mod tests {
         );
         assert_eq!(dead.recv().unwrap(), Err(SimFailure::DeadlineExceeded));
         assert_eq!(live.recv().unwrap().unwrap().outputs.len(), 3);
-        let report = model.stats.report("ctr", model.bytes);
+        let report = model.report();
         assert_eq!(report.deadline_exceeded, 1);
         assert_eq!(report.lanes, 1, "shed lane never reached the forward pass");
         assert_eq!(report.queue_depth, 0);
     }
 
     #[test]
-    fn bitplane_backend_serves_bit_exact_batches() {
-        // same compiled model, both backends, identical stimuli → replies
-        // must be bit-identical, lane for lane, cycle for cycle
+    fn all_backends_serve_bit_exact_batches() {
+        // same compiled model, every registered backend, identical stimuli
+        // → replies must be bit-identical, lane for lane, cycle for cycle
         let nn = counter_nn();
         let stims = ["1 x5\n", "0 x3\n", "1 x7\n", "1 x2\n"];
         let mut replies: Vec<Vec<SimOutput>> = Vec::new();
-        for backend in [BackendKind::PooledCsr, BackendKind::Bitplane] {
+        let backends = BackendRegistry::global().names();
+        for backend in &backends {
             let model = ServedModel::spawn_standalone(
                 "ctr",
                 nn.clone(),
                 BatchConfig {
                     max_batch: 8,
                     max_wait: Duration::from_millis(200),
-                    device: Device::Serial,
-                    backend,
+                    backend: named(backend),
                 },
             );
+            assert_eq!(model.backend, *backend);
             let rxs: Vec<_> = stims
                 .iter()
                 .map(|s| model.submit(parse_stim(s, 1).unwrap(), None))
                 .collect();
             replies.push(rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect());
         }
-        assert_eq!(replies[0], replies[1], "backends disagree over the wire");
+        for (i, r) in replies.iter().enumerate().skip(1) {
+            assert_eq!(
+                replies[0], *r,
+                "backends {} and {} disagree over the wire",
+                backends[0], backends[i]
+            );
+        }
         // sanity: the counter actually counted
-        let vals: Vec<u32> = replies[1][0]
+        let vals: Vec<u32> = replies[0][0]
             .outputs
             .iter()
             .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
@@ -547,22 +582,25 @@ mod tests {
 
     #[test]
     fn bitplane_batcher_survives_injected_panic() {
-        // the poisoned-runner rebuild path must restore a *bitplane*
-        // runner, not silently fall back to CSR semantics
+        // the poisoned-runner rebuild path must restore a runner from the
+        // *same plan* — a bitplane batcher must not silently fall back to
+        // CSR semantics
         let nn = counter_nn();
         let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=1").unwrap());
-        let model = ServedModel::spawn(
+        let cal = DeviceCalibration::default_host(c2nn_tensor::Pool::global().threads());
+        let model = ServedModel::spawn_selected(
             "ctr",
             nn,
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(10),
-                device: Device::Parallel,
-                backend: BackendKind::Bitplane,
+                backend: named("bitplane"),
             },
+            &cal,
             Admission::unbounded(),
             Some(Arc::clone(&chaos)),
-        );
+        )
+        .unwrap();
         let rx = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
         assert!(
             matches!(rx.recv().unwrap(), Err(SimFailure::Failed(_))),
@@ -582,19 +620,21 @@ mod tests {
     fn injected_worker_panic_fails_batch_typed_and_batcher_survives() {
         let nn = counter_nn();
         let chaos = Chaos::new(ChaosConfig::parse("worker_panic=1,worker_panic_budget=1").unwrap());
-        let model = ServedModel::spawn(
+        let cal = DeviceCalibration::default_host(c2nn_tensor::Pool::global().threads());
+        let model = ServedModel::spawn_selected(
             "ctr",
             nn,
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(10),
-                // Parallel so the injection hits the real pool path
-                device: Device::Parallel,
-                ..BatchConfig::default()
+                // pooled-csr so the injection hits the real pool path
+                backend: named("pooled-csr"),
             },
+            &cal,
             Admission::unbounded(),
             Some(Arc::clone(&chaos)),
-        );
+        )
+        .unwrap();
         let rx = model.submit(parse_stim("1 x4\n", 1).unwrap(), None);
         match rx.recv().unwrap() {
             Err(SimFailure::Failed(msg)) => {

@@ -344,7 +344,6 @@ mod tests {
     use crate::scheduler::BatchConfig;
     use c2nn_circuits::generators::counter;
     use c2nn_core::{compile, CompileOptions};
-    use c2nn_tensor::Device;
 
     fn test_server(max_batch: usize, max_wait_ms: u64) -> ServerHandle {
         let cfg = ServerConfig {
@@ -354,7 +353,6 @@ mod tests {
                 batch: BatchConfig {
                     max_batch,
                     max_wait: Duration::from_millis(max_wait_ms),
-                    device: Device::Serial,
                     ..BatchConfig::default()
                 },
                 ..RegistryConfig::default()
@@ -381,8 +379,14 @@ mod tests {
         assert_eq!(stats.models.len(), 1);
         assert_eq!(stats.models[0].name, "ctr");
         assert_eq!(stats.models[0].requests, 1);
+        assert!(!stats.models[0].backend.is_empty(), "stats carry the backend label");
+        assert!(stats.models[0].auto_selected, "default config selects by cost model");
         assert_eq!(stats.server.pressure, "nominal");
         assert!(!stats.server.draining);
+        assert_eq!(stats.server.backends.len(), 1);
+        assert_eq!(stats.server.backends[0].backend, stats.models[0].backend);
+        assert_eq!(stats.server.backends[0].models, 1);
+        assert_eq!(stats.server.backends[0].requests, 1);
 
         c.shutdown().unwrap();
         server.join();

@@ -78,12 +78,22 @@ pub struct ModelCounters {
 }
 
 impl ModelCounters {
-    /// Snapshot into the wire-format report.
-    pub fn report(&self, name: &str, bytes: usize) -> ModelStatsReport {
+    /// Snapshot into the wire-format report. `backend` is the execution
+    /// backend label the model was admitted on; `auto_selected` records
+    /// whether the cost model picked it.
+    pub fn report(
+        &self,
+        name: &str,
+        bytes: usize,
+        backend: &str,
+        auto_selected: bool,
+    ) -> ModelStatsReport {
         let batches = self.batches.load(Ordering::Relaxed);
         let lanes = self.lanes.load(Ordering::Relaxed);
         ModelStatsReport {
             name: name.to_string(),
+            backend: backend.to_string(),
+            auto_selected,
             bytes: bytes as u64,
             requests: self.requests.load(Ordering::Relaxed),
             batches,
@@ -119,8 +129,10 @@ mod tests {
         c.requests.store(8, Ordering::Relaxed);
         c.batches.store(2, Ordering::Relaxed);
         c.lanes.store(8, Ordering::Relaxed);
-        let r = c.report("m", 100);
+        let r = c.report("m", 100, "bitplane", true);
         assert_eq!(r.mean_occupancy, 4.0);
         assert_eq!(r.bytes, 100);
+        assert_eq!(r.backend, "bitplane");
+        assert!(r.auto_selected);
     }
 }

@@ -16,7 +16,6 @@ use c2nn_serve::protocol::{Request, Response};
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
-use c2nn_tensor::Device;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,7 +34,7 @@ fn refsim_outputs(stim_text: &str) -> Vec<String> {
         .collect()
 }
 
-fn chaos_server(spec: &str, device: Device) -> (ServerHandle, Arc<Chaos>) {
+fn chaos_server(spec: &str, backend: &str) -> (ServerHandle, Arc<Chaos>) {
     let chaos = Chaos::new(ChaosConfig::parse(spec).unwrap());
     let server = spawn_server(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -44,8 +43,7 @@ fn chaos_server(spec: &str, device: Device) -> (ServerHandle, Arc<Chaos>) {
             batch: BatchConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(1),
-                device,
-                ..BatchConfig::default()
+                backend: c2nn_hal::Choice::Named(backend.to_string()),
             },
             chaos: Some(Arc::clone(&chaos)),
             ..RegistryConfig::default()
@@ -62,9 +60,9 @@ fn chaos_server(spec: &str, device: Device) -> (ServerHandle, Arc<Chaos>) {
 /// and the next batch is bit-exact.
 #[test]
 fn injected_worker_panic_fails_typed_then_heals_bit_exact() {
-    // exactly one injected panic, then clean — Device::Parallel so the
-    // batch actually runs on the pool being wounded
-    let (server, chaos) = chaos_server("seed=7,worker_panic=1,worker_panic_budget=1", Device::Parallel);
+    // exactly one injected panic, then clean — pooled-csr so the batch
+    // actually runs on the pool being wounded
+    let (server, chaos) = chaos_server("seed=7,worker_panic=1,worker_panic_budget=1", "pooled-csr");
     let addr = server.local_addr().to_string();
     let mut c = Client::connect(&addr).unwrap();
     let stim = "1 x6\n0 x2\n";
@@ -97,7 +95,7 @@ fn injected_worker_panic_fails_typed_then_heals_bit_exact() {
 /// budget caps how many fire.
 #[test]
 fn injected_stalls_delay_but_never_corrupt() {
-    let (server, chaos) = chaos_server("seed=3,stall=1,stall_ms=40,stall_budget=2", Device::Serial);
+    let (server, chaos) = chaos_server("seed=3,stall=1,stall_ms=40,stall_budget=2", "scalar");
     let addr = server.local_addr().to_string();
     let mut c = Client::connect(&addr).unwrap();
     let stim = "1 x5\n";
@@ -114,7 +112,7 @@ fn injected_stalls_delay_but_never_corrupt() {
 /// not starve a concurrent well-behaved client.
 #[test]
 fn slow_loris_is_served_without_starving_others() {
-    let (server, _chaos) = chaos_server("seed=1", Device::Serial);
+    let (server, _chaos) = chaos_server("seed=1", "scalar");
     let addr = server.local_addr().to_string();
     let stim = "1 x4\n";
     let expected = refsim_outputs(stim);
@@ -147,7 +145,7 @@ fn slow_loris_is_served_without_starving_others() {
 /// nor poisons other connections.
 #[test]
 fn corrupt_frames_get_typed_errors_and_server_survives() {
-    let (server, _chaos) = chaos_server("seed=11", Device::Serial);
+    let (server, _chaos) = chaos_server("seed=11", "scalar");
     let addr = server.local_addr().to_string();
     let mut rng = Rng::new(11);
     for len in [1usize, 16, 200] {
@@ -174,7 +172,7 @@ fn corrupt_frames_get_typed_errors_and_server_survives() {
 /// only.
 #[test]
 fn truncated_frames_only_hurt_their_own_connection() {
-    let (server, _chaos) = chaos_server("seed=13", Device::Serial);
+    let (server, _chaos) = chaos_server("seed=13", "scalar");
     let addr = server.local_addr().to_string();
     let req = Request::Sim { model: "ctr".into(), stim: "1 x4\n".into(), deadline_ms: None };
     for keep in [1usize, 10, 30] {

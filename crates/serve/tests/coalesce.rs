@@ -9,7 +9,7 @@ use c2nn_refsim::CycleSim;
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, RegistryConfig};
-use c2nn_tensor::Device;
+use c2nn_hal::Choice;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -35,7 +35,7 @@ fn coalescing_server(max_batch: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch, max_wait, device: Device::Serial , ..BatchConfig::default() },
+            batch: BatchConfig { max_batch, max_wait, backend: Choice::Named("scalar".to_string()) },
             ..RegistryConfig::default()
         },
     })

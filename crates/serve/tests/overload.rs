@@ -9,7 +9,7 @@ use c2nn_refsim::CycleSim;
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
-use c2nn_tensor::Device;
+use c2nn_hal::Choice;
 use std::time::Duration;
 
 const WIDTH: usize = 4;
@@ -32,7 +32,7 @@ fn budgeted_server(max_inflight: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch: 64, max_wait, device: Device::Serial , ..BatchConfig::default() },
+            batch: BatchConfig { max_batch: 64, max_wait, backend: Choice::Named("scalar".to_string()) },
             max_inflight,
             ..RegistryConfig::default()
         },

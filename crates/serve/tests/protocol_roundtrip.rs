@@ -65,6 +65,8 @@ proptest! {
         // round-trips bit-for-bit
         let report = ModelStatsReport {
             name: soup_string(&msg),
+            backend: soup_string(&msg),
+            auto_selected: n % 2 == 0,
             bytes: n * 13,
             requests: n,
             batches,
@@ -85,6 +87,12 @@ proptest! {
             rejected_draining: n % 13,
             pool_poisoned_epochs: n % 17,
             chaos_injected: n % 19,
+            backends: vec![c2nn_serve::protocol::BackendSelectionReport {
+                backend: soup_string(&msg),
+                models: n % 3,
+                auto_selected: n % 3,
+                requests: n,
+            }],
         };
         for resp in [
             Response::Pong { version: n as u32 },

@@ -3,8 +3,9 @@
 //! ```text
 //! c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]
 //! c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]
-//! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend csr|bitplane] [--guard]
-//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend csr|bitplane] [--chaos <spec>]
+//! c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend <name>|auto] [--guard]
+//! c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]
+//! c2nn calibrate [--quick] [--out results/DEVICE.json] [--check <path>]
 //! c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]
 //! c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]
 //! c2nn dot     <file.v|.blif> --top <module>
@@ -20,9 +21,10 @@ fn usage() -> ! {
         "usage:\n  c2nn compile <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats] [--out model.json]\n  \
          c2nn stats   <file.v|.blif> --top <module> [--l <n>] [--wide] [--passes <list>] [--stats]\n  \
          (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
-         c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend csr|bitplane] [--guard]\n  \
+         c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend <name>|auto] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
-         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend csr|bitplane] [--chaos <spec>]\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]\n  \
+         c2nn calibrate [--quick] [--out results/DEVICE.json] [--check <path>]\n  \
          (--chaos: seed=<n>,worker_panic=<p>,worker_panic_budget=<n>,stall=<p>,stall_ms=<n>,stall_budget=<n>)\n  \
          c2nn client  <addr> [--ping | --stats | --shutdown | --load <model.json> [--name <n>]]\n  \
          c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
@@ -58,15 +60,45 @@ where
     v
 }
 
-/// Parse `--backend`, exiting with the usage convention on an unknown name.
-fn backend_flag(args: &[String]) -> c2nn::core::BackendKind {
+/// Parse `--backend`. Unknown names exit with the usage convention and list
+/// the backends actually registered in the [`c2nn::hal::BackendRegistry`] —
+/// the CLI never hard-codes backend names.
+fn backend_flag(args: &[String]) -> c2nn::hal::Choice {
     let Some(s) = flag(args, "--backend") else {
-        return c2nn::core::BackendKind::default();
+        return c2nn::hal::Choice::Auto;
     };
-    c2nn::core::BackendKind::parse(&s).unwrap_or_else(|| {
-        eprintln!("error: --backend expects csr or bitplane, got `{s}`");
-        exit(2)
-    })
+    let choice = c2nn::hal::Choice::parse(&s);
+    if let c2nn::hal::Choice::Named(name) = &choice {
+        let registry = c2nn::hal::BackendRegistry::global();
+        if registry.get(name).is_none() {
+            eprintln!(
+                "error: unknown backend `{name}`; available: {}, auto",
+                registry.names().join(", ")
+            );
+            exit(2)
+        }
+    }
+    choice
+}
+
+/// Default calibration file, written by `c2nn calibrate` and read back by
+/// `sim`/`serve` for `--backend auto` cost-model decisions.
+const DEVICE_JSON: &str = "results/DEVICE.json";
+
+/// Load `results/DEVICE.json` if present; otherwise fall back to the
+/// conservative built-in host calibration. A present-but-corrupt file is an
+/// error (silently ignoring it would make `--backend auto` nondeterministic
+/// across checkouts).
+fn load_calibration() -> c2nn::hal::DeviceCalibration {
+    match std::fs::read_to_string(DEVICE_JSON) {
+        Ok(text) => c2nn::hal::DeviceCalibration::from_json_text(&text).unwrap_or_else(|e| {
+            eprintln!("{DEVICE_JSON}: {e} (re-run `c2nn calibrate`)");
+            exit(1)
+        }),
+        Err(_) => c2nn::hal::DeviceCalibration::default_host(
+            c2nn::tensor::Pool::global().threads(),
+        ),
+    }
 }
 
 /// Load and validate a model file, turning every defect — unreadable file,
@@ -195,64 +227,123 @@ fn main() {
             let cycles: u64 = int_flag(&args, "--cycles", 16, 1);
             let batch: usize = int_flag(&args, "--batch", 1, 1);
             let guard = args.iter().any(|a| a == "--guard");
-            let backend = backend_flag(&args);
+            let choice = backend_flag(&args);
             let nn = load_model(file);
-            if backend == c2nn::core::BackendKind::Bitplane {
-                // packed path: stimuli and outputs stay in bit-planes, 64
-                // lanes per machine word, no float conversion anywhere
-                let plan = c2nn::core::BitplaneNn::from_compiled(&nn).unwrap_or_else(|e| {
-                    eprintln!("{file}: cannot run on bitplane backend: {e}");
-                    exit(1)
-                });
-                let mut sim = c2nn::core::BitplaneSimulator::new(&plan, batch, Device::Parallel);
-                let zeros = c2nn::core::BitTensor::zeros(nn.num_primary_inputs, batch);
-                let mut out = c2nn::core::BitTensor::zeros(0, 0);
-                let t0 = std::time::Instant::now();
-                for _ in 0..cycles {
-                    sim.step_packed_into(&zeros, &mut out).unwrap_or_else(|e| {
-                        eprintln!("simulation failed at cycle {}: {e}", sim.cycles());
-                        exit(1)
-                    });
-                }
-                let dt = t0.elapsed().as_secs_f64();
-                println!(
-                    "{cycles} cycles × {batch} lanes (bitplane) in {dt:.3}s — {:.3e} gates·cycles/s",
-                    nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
-                );
-                let lane0: Vec<bool> =
-                    (0..out.features()).map(|f| out.get_bit(f, 0)).collect();
-                let word: String =
-                    lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
-                println!("lane 0 outputs after final cycle: {word}");
-                return;
-            }
-            let mut sim = Simulator::new(&nn, batch, Device::Serial);
             if guard {
+                // the numeric-integrity guard instruments the float
+                // simulator directly, bypassing backend selection
+                let mut sim = Simulator::new(&nn, batch, Device::Serial);
                 sim.enable_guard();
-            }
-            let zeros = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
-            let t0 = std::time::Instant::now();
-            let mut last = None;
-            for _ in 0..cycles {
-                if guard {
+                let zeros = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
+                let t0 = std::time::Instant::now();
+                let mut last = None;
+                for _ in 0..cycles {
                     last = Some(sim.try_step(&zeros).unwrap_or_else(|e| {
                         eprintln!("guard tripped at cycle {}: {e}", sim.cycles());
                         exit(1)
                     }));
-                } else {
-                    last = Some(sim.step(&zeros));
                 }
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "{cycles} cycles × {batch} lanes (guarded scalar) in {dt:.3}s — {:.3e} gates·cycles/s",
+                    nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
+                );
+                if let Some(out) = last {
+                    let lane0 = &out.to_lanes()[0];
+                    let word: String =
+                        lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                    println!("lane 0 outputs after final cycle: {word}");
+                }
+                return;
             }
+            let calibration = load_calibration();
+            let nn = std::sync::Arc::new(nn);
+            let selection = c2nn::hal::BackendRegistry::global()
+                .select(&nn, &choice, &calibration, batch)
+                .unwrap_or_else(|e| {
+                    eprintln!("{file}: {e}");
+                    exit(1)
+                });
+            println!(
+                "backend   : {}{}",
+                selection.backend,
+                if selection.auto { " (selected by cost model)" } else { "" }
+            );
+            if let Some(cps) = selection.predicted_lane_cps {
+                println!("predicted : {cps:.3e} lane-cycles/s");
+            }
+            let stim = c2nn::core::Stimulus {
+                cycles: vec![vec![false; nn.num_primary_inputs]; cycles as usize],
+            };
+            let stims = vec![stim; batch];
+            let t0 = std::time::Instant::now();
+            let results = selection.plan.execute_batch(&stims).unwrap_or_else(|e| {
+                eprintln!("simulation failed: {e}");
+                exit(1)
+            });
             let dt = t0.elapsed().as_secs_f64();
             println!(
                 "{cycles} cycles × {batch} lanes in {dt:.3}s — {:.3e} gates·cycles/s",
                 nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
             );
-            if let Some(out) = last {
-                let lane0 = &out.to_lanes()[0];
-                let word: String = lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+            if let Some(last) = results.first().and_then(|r| r.cycles.last()) {
+                let word: String =
+                    last.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
                 println!("lane 0 outputs after final cycle: {word}");
             }
+        }
+        "calibrate" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            if let Some(path) = flag(&args, "--check") {
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1)
+                });
+                let cal = c2nn::hal::DeviceCalibration::from_json_text(&text)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{path}: {e}");
+                        exit(1)
+                    });
+                println!(
+                    "{path}: valid calibration for `{}` ({} backends, {} threads{})",
+                    cal.device,
+                    cal.backends.len(),
+                    cal.threads,
+                    if cal.quick { ", quick" } else { "" }
+                );
+                return;
+            }
+            let out = flag(&args, "--out").unwrap_or_else(|| DEVICE_JSON.into());
+            let opts = c2nn::hal::CalibrateOptions { quick, ..Default::default() };
+            eprintln!(
+                "calibrating {} backends ({}) ...",
+                c2nn::hal::BackendRegistry::global().names().len(),
+                if quick { "quick" } else { "full" }
+            );
+            let cal = c2nn::hal::calibrate(c2nn::hal::BackendRegistry::global(), &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("calibration failed: {e}");
+                    exit(1)
+                });
+            for b in &cal.backends {
+                println!(
+                    "{:12} {:.3e} unit/s, launch {:.2e} s, weighted ×{:.2}, coverage {:.3}",
+                    b.backend, b.unit_per_s, b.launch_s, b.weighted_unit_factor, b.coverage
+                );
+            }
+            if let Some(dir) = std::path::Path::new(&out).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                        exit(1)
+                    });
+                }
+            }
+            std::fs::write(&out, cal.to_json_text()).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            println!("calibration written to {out}");
         }
         "serve" => {
             // c2nn serve <model.json>... — each model registered under its
@@ -287,9 +378,9 @@ fn main() {
                     batch: BatchConfig {
                         max_batch,
                         max_wait: std::time::Duration::from_millis(max_wait_ms),
-                        device: Device::Parallel,
-                        backend,
+                        backend: backend.clone(),
                     },
+                    calibration: std::sync::Arc::new(load_calibration()),
                     max_inflight,
                     chaos,
                     ..RegistryConfig::default()
@@ -310,13 +401,17 @@ fn main() {
                     eprintln!("{file}: {e}");
                     exit(1)
                 });
-                println!("loaded {name} ({:.2} MB) from {file}", model.bytes as f64 / 1e6);
+                println!(
+                    "loaded {name} ({:.2} MB) from {file} — backend {}{}",
+                    model.bytes as f64 / 1e6,
+                    model.backend,
+                    if model.auto_selected { " (selected by cost model)" } else { "" }
+                );
             }
             c2nn::serve::signal::install_sigint_handler();
             println!(
-                "serving on {} ({} backend, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
-                server.local_addr(),
-                backend.name()
+                "serving on {} (backend {backend}, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
+                server.local_addr()
             );
             server.join();
             println!("server stopped");
@@ -343,10 +438,17 @@ fn main() {
                 });
                 for m in &stats.models {
                     println!(
-                        "{}: {} requests, {} batches, occupancy {:.2}, queue {}, p50 {}us, p99 {}us, {} deadline-exceeded, {:.2} MB",
-                        m.name, m.requests, m.batches, m.mean_occupancy,
+                        "{} [{}{}]: {} requests, {} batches, occupancy {:.2}, queue {}, p50 {}us, p99 {}us, {} deadline-exceeded, {:.2} MB",
+                        m.name, m.backend, if m.auto_selected { ", auto" } else { "" },
+                        m.requests, m.batches, m.mean_occupancy,
                         m.queue_depth, m.p50_us, m.p99_us, m.deadline_exceeded,
                         m.bytes as f64 / 1e6
+                    );
+                }
+                for b in &stats.server.backends {
+                    println!(
+                        "backend {}: {} models ({} auto-selected), {} requests",
+                        b.backend, b.models, b.auto_selected, b.requests
                     );
                 }
                 let s = &stats.server;

@@ -17,6 +17,7 @@
 //! | [`tensor`] | sparse kernels (the PyTorch/cuSPARSE stand-in) |
 //! | [`refsim`] | reference simulators (the Verilator stand-in) |
 //! | [`circuits`] | AES/SHA/SPI/UART/DMA/RV32I benchmark suite |
+//! | [`hal`] | pluggable execution backends + calibrated cost model |
 //! | [`serve`] | batching simulation service (registry + coalescing) |
 //!
 //! ## Quickstart
@@ -37,6 +38,7 @@
 pub use c2nn_boolfn as boolfn;
 pub use c2nn_circuits as circuits;
 pub use c2nn_core as core;
+pub use c2nn_hal as hal;
 pub use c2nn_lutmap as lutmap;
 pub use c2nn_netlist as netlist;
 pub use c2nn_refsim as refsim;
