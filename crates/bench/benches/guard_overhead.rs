@@ -25,9 +25,11 @@ fn guard_overhead(c: &mut Criterion) {
 
         let mut guarded = Simulator::new(&nn, batch, Device::Serial);
         guarded.enable_guard();
-        g.bench_with_input(BenchmarkId::new("guarded_try_step", batch), &batch, |b, _| {
-            b.iter(|| std::hint::black_box(guarded.try_step(&x).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("guarded_try_step", batch),
+            &batch,
+            |b, _| b.iter(|| std::hint::black_box(guarded.try_step(&x).unwrap())),
+        );
     }
     g.finish();
 }

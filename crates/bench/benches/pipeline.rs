@@ -32,12 +32,18 @@ fn simulate_uart(c: &mut Criterion) {
     }
     let mut cy = CycleSim::new(&nl).unwrap();
     let stim = vec![false; cy.num_inputs()];
-    g.bench_function("refsim_step", |b| b.iter(|| std::hint::black_box(cy.step(&stim))));
+    g.bench_function("refsim_step", |b| {
+        b.iter(|| std::hint::black_box(cy.step(&stim)))
+    });
     let mut ev = EventSim::new(&nl).unwrap();
-    g.bench_function("eventsim_step", |b| b.iter(|| std::hint::black_box(ev.step(&stim))));
+    g.bench_function("eventsim_step", |b| {
+        b.iter(|| std::hint::black_box(ev.step(&stim)))
+    });
     let mut ws = WordSim::new(&nl).unwrap();
     let wstim = vec![0u64; ws.num_inputs()];
-    g.bench_function("wordsim_step64", |b| b.iter(|| std::hint::black_box(ws.step(&wstim))));
+    g.bench_function("wordsim_step64", |b| {
+        b.iter(|| std::hint::black_box(ws.step(&wstim)))
+    });
     g.finish();
 }
 

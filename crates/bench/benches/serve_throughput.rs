@@ -11,16 +11,19 @@
 //! fit.
 
 use c2nn_core::{compile, CompileOptions};
+use c2nn_hal::Choice;
 use c2nn_json::{Json, ToJson};
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
-use c2nn_hal::Choice;
 use std::time::{Duration, Instant};
 
 fn counter_model() -> c2nn_core::CompiledNn<f32> {
-    compile(&c2nn_circuits::generators::counter(8), CompileOptions::with_l(4))
-        .expect("compile")
+    compile(
+        &c2nn_circuits::generators::counter(8),
+        CompileOptions::with_l(4),
+    )
+    .expect("compile")
 }
 
 #[derive(Clone)]
@@ -109,9 +112,13 @@ fn measure_overload(repeat: usize) -> OverloadRun {
             max_inflight,
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("start overload server");
-    server.registry().install("ctr", counter_model()).expect("install");
+    server
+        .registry()
+        .install("ctr", counter_model())
+        .expect("install");
     let addr = server.local_addr().to_string();
 
     let stim = "1 x32\n0 x16\n1 x16\n".to_string();
@@ -183,16 +190,23 @@ fn main() {
             },
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("start server");
-    server.registry().install("ctr", counter_model()).expect("install");
+    server
+        .registry()
+        .install("ctr", counter_model())
+        .expect("install");
     let addr = server.local_addr().to_string();
 
     // warm up connections, pool threads, and the batcher
     measure(&addr, 2, 4);
 
     println!("serve_throughput: 64-cycle counter testbench, max_wait 1ms");
-    println!("{:>8} {:>10} {:>12} {:>12}", "clients", "requests", "req/s", "occupancy");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "clients", "requests", "req/s", "occupancy"
+    );
     let mut points = Vec::new();
     let single_client_baseline = measure(&addr, 1, repeat);
     for clients in [1usize, 2, 4, 8, 16] {

@@ -1,0 +1,109 @@
+//! Regression gate (CI): compare a fresh `BENCH_serve_scale.json` against
+//! the committed baseline and **fail** (exit 1) outside the tolerance band.
+//!
+//! Absolute req/s moves with the runner, so the gate is relative: the
+//! candidate must keep at least `(1 - tolerance)` of the baseline's best
+//! throughput *and* of its scaling factor, must shed overload typed, and
+//! must pass metrics validation. Improvements always pass (and print, so a
+//! better baseline can be committed).
+//!
+//! ```text
+//! bench_gate <candidate.json> [--baseline results/BASELINE_serve_scale.json]
+//!            [--tolerance 0.5]
+//! ```
+
+use c2nn_bench::serve_scale::ScaleReport;
+
+fn read_report(path: &str) -> ScaleReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let json = c2nn_json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2)
+    });
+    c2nn_json::FromJson::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not a ScaleReport: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let candidate_path = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_serve_scale.json".to_string());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BASELINE_serve_scale.json".to_string());
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+
+    let candidate = read_report(&candidate_path);
+    let baseline = read_report(&baseline_path);
+    let floor = 1.0 - tolerance;
+
+    println!(
+        "bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "  best req/s : {:>10.1} vs {:>10.1}  ({:+.1}%)",
+        candidate.best_req_per_s,
+        baseline.best_req_per_s,
+        (candidate.best_req_per_s / baseline.best_req_per_s.max(1e-9) - 1.0) * 100.0
+    );
+    println!(
+        "  scaling    : {:>10.1}x vs {:>9.1}x  ({:+.1}%)",
+        candidate.scaling,
+        baseline.scaling,
+        (candidate.scaling / baseline.scaling.max(1e-9) - 1.0) * 100.0
+    );
+
+    let mut failures = Vec::new();
+    if candidate.best_req_per_s < baseline.best_req_per_s * floor {
+        failures.push(format!(
+            "best throughput regressed below {:.0}% of baseline ({:.1} < {:.1})",
+            floor * 100.0,
+            candidate.best_req_per_s,
+            baseline.best_req_per_s * floor
+        ));
+    }
+    if candidate.scaling < baseline.scaling * floor {
+        failures.push(format!(
+            "scaling regressed below {:.0}% of baseline ({:.1}x < {:.1}x)",
+            floor * 100.0,
+            candidate.scaling,
+            baseline.scaling * floor
+        ));
+    }
+    if candidate.overload.failed > 0 {
+        failures.push(format!(
+            "{} untyped failures past saturation (baseline had {})",
+            candidate.overload.failed, baseline.overload.failed
+        ));
+    }
+    if !candidate.metrics_valid {
+        failures.push("candidate /metrics scrape did not validate".to_string());
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

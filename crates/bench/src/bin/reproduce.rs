@@ -90,9 +90,7 @@ fn main() {
     if run_all || what == "ablate-merge" {
         println!("== Ablation A1: Fig. 5 layer merging ==");
         let rows = ablate_merge(&[3, 5, 7], cfg.budget);
-        println!(
-            "  L  layers(merged/un)  cpu merged/unmerged (s)  gpu-model merged/unmerged (s)"
-        );
+        println!("  L  layers(merged/un)  cpu merged/unmerged (s)  gpu-model merged/unmerged (s)");
         for r in &rows {
             println!(
                 " {:>2}  {:>6}/{:<6}  {:>10}/{:<10}  {:>10}/{:<10}",

@@ -1,6 +1,13 @@
 fn main() {
     for b in c2nn_circuits::table1_suite() {
         let nl = (b.build)();
-        println!("{:<18} gates={:<8} ffs={:<6} inputs={} outputs={}", b.name, nl.gate_count(), nl.flipflops.len(), nl.inputs.len(), nl.outputs.len());
+        println!(
+            "{:<18} gates={:<8} ffs={:<6} inputs={} outputs={}",
+            b.name,
+            nl.gate_count(),
+            nl.flipflops.len(),
+            nl.inputs.len(),
+            nl.outputs.len()
+        );
     }
 }

@@ -9,9 +9,9 @@ use c2nn_core::{
     compile, compile_as, compile_with_report, CompileOptions, CompiledNn, IrMetrics, PassId,
     PassSet, Simulator,
 };
+use c2nn_json::json_obj;
 use c2nn_refsim::CycleSim;
 use c2nn_tensor::{Dense, Device};
-use c2nn_json::json_obj;
 use std::time::Duration;
 
 /// One Table I row (per circuit × L).
@@ -33,7 +33,21 @@ pub struct Table1Row {
     pub nn_modeled_gcs: f64,
     pub nn_modeled_speedup: f64,
 }
-json_obj!(Table1Row { circuit, gates, refsim_gcs, l, generation_s, memory_mb, connections_m, layers, mean_sparsity, nn_measured_gcs, nn_measured_speedup, nn_modeled_gcs, nn_modeled_speedup });
+json_obj!(Table1Row {
+    circuit,
+    gates,
+    refsim_gcs,
+    l,
+    generation_s,
+    memory_mb,
+    connections_m,
+    layers,
+    mean_sparsity,
+    nn_measured_gcs,
+    nn_measured_speedup,
+    nn_modeled_gcs,
+    nn_modeled_speedup
+});
 
 /// Measure the reference (Verilator-substitute) throughput of a netlist.
 pub fn refsim_throughput(nl: &c2nn_netlist::Netlist, budget: Duration) -> Throughput {
@@ -54,11 +68,7 @@ pub fn refsim_throughput(nl: &c2nn_netlist::Netlist, budget: Duration) -> Throug
 }
 
 /// Measure the NN's *single-core* batched throughput.
-pub fn nn_measured_throughput(
-    nn: &CompiledNn<f32>,
-    batch: usize,
-    budget: Duration,
-) -> Throughput {
+pub fn nn_measured_throughput(nn: &CompiledNn<f32>, batch: usize, budget: Duration) -> Throughput {
     let mut sim = Simulator::new(nn, batch, Device::Serial);
     let x = Dense::<f32>::zeros(nn.num_primary_inputs, batch);
     let secs = time_adaptive(budget, 2, || {
@@ -125,8 +135,19 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "{:<17} {:>7} {:>9} | {:>2} {:>8} {:>8} {:>8} {:>6} {:>8} | {:>9} {:>7} | {:>9} {:>8}\n",
-        "Circuit", "Gates", "RefSim", "L", "Gen(s)", "Mem(MB)", "Conns(M)", "Layers", "Sparsity",
-        "Meas g*c/s", "Spd-up", "Model g*c/s", "Spd-up"
+        "Circuit",
+        "Gates",
+        "RefSim",
+        "L",
+        "Gen(s)",
+        "Mem(MB)",
+        "Conns(M)",
+        "Layers",
+        "Sparsity",
+        "Meas g*c/s",
+        "Spd-up",
+        "Model g*c/s",
+        "Spd-up"
     ));
     s.push_str(&"-".repeat(132));
     s.push('\n');
@@ -134,7 +155,11 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     for r in rows {
         let (name, gates, refsim) = if r.circuit != last {
             last = &r.circuit;
-            (r.circuit.as_str(), format!("{}", r.gates), sci(r.refsim_gcs))
+            (
+                r.circuit.as_str(),
+                format!("{}", r.gates),
+                sci(r.refsim_gcs),
+            )
         } else {
             ("", String::new(), String::new())
         };
@@ -223,7 +248,13 @@ pub struct Fig6Point {
     /// modeled parallel single-stimulus forward time (the paper's GPU curve)
     pub gpu_modeled_s: f64,
 }
-json_obj!(Fig6Point { l, layers, connections, cpu_s, gpu_modeled_s });
+json_obj!(Fig6Point {
+    l,
+    layers,
+    connections,
+    cpu_s,
+    gpu_modeled_s
+});
 
 /// Reproduce Figure 6 on the UART circuit.
 pub fn fig6(ls: &[usize], budget: Duration) -> Vec<Fig6Point> {
@@ -257,8 +288,7 @@ pub fn fig6(ls: &[usize], budget: Duration) -> Vec<Fig6Point> {
 }
 
 pub fn format_fig6(pts: &[Fig6Point]) -> String {
-    let mut s =
-        String::from("  L  Layers  Connections   CPU time (meas.)   GPU time (modeled)\n");
+    let mut s = String::from("  L  Layers  Connections   CPU time (meas.)   GPU time (modeled)\n");
     for p in pts {
         s.push_str(&format!(
             " {:>2}  {:>6}  {:>11}   {:>16}   {:>18}\n",
@@ -272,7 +302,12 @@ pub fn format_fig6(pts: &[Fig6Point]) -> String {
     s.push_str("\nGPU-modeled time tracks layers (log scale):\n");
     let rows: Vec<(String, f64)> = pts
         .iter()
-        .map(|p| (format!("L={:<2} ({} layers)", p.l, p.layers), p.gpu_modeled_s))
+        .map(|p| {
+            (
+                format!("L={:<2} ({} layers)", p.l, p.layers),
+                p.gpu_modeled_s,
+            )
+        })
         .collect();
     s.push_str(&crate::harness::log_bars(&rows, 48));
     s.push_str("\nCPU-measured time tracks connections (log scale):\n");
@@ -295,7 +330,15 @@ pub struct MergeAblationRow {
     pub gpu_modeled_merged_s: f64,
     pub gpu_modeled_unmerged_s: f64,
 }
-json_obj!(MergeAblationRow { l, layers_merged, layers_unmerged, cpu_merged_s, cpu_unmerged_s, gpu_modeled_merged_s, gpu_modeled_unmerged_s });
+json_obj!(MergeAblationRow {
+    l,
+    layers_merged,
+    layers_unmerged,
+    cpu_merged_s,
+    cpu_unmerged_s,
+    gpu_modeled_merged_s,
+    gpu_modeled_unmerged_s
+});
 
 pub fn ablate_merge(ls: &[usize], budget: Duration) -> Vec<MergeAblationRow> {
     let nl = c2nn_circuits::uart();
@@ -336,7 +379,11 @@ pub struct BatchSweepPoint {
     pub measured_gcs: f64,
     pub modeled_gcs: f64,
 }
-json_obj!(BatchSweepPoint { batch, measured_gcs, modeled_gcs });
+json_obj!(BatchSweepPoint {
+    batch,
+    measured_gcs,
+    modeled_gcs
+});
 
 pub fn batch_sweep(l: usize, batches: &[usize], budget: Duration) -> Vec<BatchSweepPoint> {
     let nl = c2nn_circuits::aes128();
@@ -400,7 +447,12 @@ pub struct SparseAblationRow {
     pub sparse_s: f64,
     pub dense_s: f64,
 }
-json_obj!(SparseAblationRow { l, sparsity, sparse_s, dense_s });
+json_obj!(SparseAblationRow {
+    l,
+    sparsity,
+    sparse_s,
+    dense_s
+});
 
 pub fn ablate_sparse(ls: &[usize], batch: usize, budget: Duration) -> Vec<SparseAblationRow> {
     use c2nn_tensor::{forward_dense, forward_sparse, Activation};
@@ -409,11 +461,7 @@ pub fn ablate_sparse(ls: &[usize], batch: usize, budget: Duration) -> Vec<Sparse
         .map(|&l| {
             let nn = compile(&nl, CompileOptions::with_l(l)).unwrap();
             // pick the widest layer
-            let layer = nn
-                .layers
-                .iter()
-                .max_by_key(|ly| ly.weights.nnz())
-                .unwrap();
+            let layer = nn.layers.iter().max_by_key(|ly| ly.weights.nnz()).unwrap();
             let x = Dense::<f32>::zeros(layer.in_width(), batch);
             let sparse_s = time_adaptive(budget, 3, || {
                 std::hint::black_box(forward_sparse(
@@ -464,7 +512,15 @@ pub struct WideGateRow {
     pub gpu_modeled_tree_s: f64,
     pub gpu_modeled_wide_s: f64,
 }
-json_obj!(WideGateRow { width, layers_tree, layers_wide, conns_tree, conns_wide, gpu_modeled_tree_s, gpu_modeled_wide_s });
+json_obj!(WideGateRow {
+    width,
+    layers_tree,
+    layers_wide,
+    conns_tree,
+    conns_wide,
+    gpu_modeled_tree_s,
+    gpu_modeled_wide_s
+});
 
 pub fn ablate_wide(widths: &[usize]) -> Vec<WideGateRow> {
     use c2nn_netlist::NetlistBuilder;
@@ -516,7 +572,18 @@ pub struct CompilePassRow {
     pub merge_nnz_removed: i64,
     pub compile_s: f64,
 }
-json_obj!(CompilePassRow { circuit, l, gates, baseline, optimized, fold_nnz_removed, cse_nnz_removed, dce_nnz_removed, merge_nnz_removed, compile_s });
+json_obj!(CompilePassRow {
+    circuit,
+    l,
+    gates,
+    baseline,
+    optimized,
+    fold_nnz_removed,
+    cse_nnz_removed,
+    dce_nnz_removed,
+    merge_nnz_removed,
+    compile_s
+});
 
 /// Compile every suite circuit with and without the cross-LUT optimization
 /// passes, recording per-pass size deltas (the `BENCH_compile_passes.json`
@@ -526,11 +593,9 @@ pub fn compile_passes(l: usize) -> Vec<CompilePassRow> {
     let mut rows = Vec::new();
     for bench in table1_suite() {
         let nl = (bench.build)();
-        let (base_nn, _) = compile_with_report::<f32>(
-            &nl,
-            CompileOptions::with_l(l).with_passes(merge_only),
-        )
-        .expect("baseline compile");
+        let (base_nn, _) =
+            compile_with_report::<f32>(&nl, CompileOptions::with_l(l).with_passes(merge_only))
+                .expect("baseline compile");
         let (opt_nn, report) =
             compile_with_report::<f32>(&nl, CompileOptions::with_l(l)).expect("compile");
         let delta = |pass: &str| report.stat(pass).map(|p| p.nnz_delta()).unwrap_or(0);
@@ -569,8 +634,17 @@ pub fn compile_passes(l: usize) -> Vec<CompilePassRow> {
 pub fn format_compile_passes(rows: &[CompilePassRow]) -> String {
     let mut s = format!(
         "{:<17} {:>2} {:>9} | {:>7} {:>10} | {:>7} {:>10} | {:>8} {:>8} {:>8} {:>9}\n",
-        "Circuit", "L", "Gates", "Layers", "nnz(base)", "Layers", "nnz(opt)", "Δfold", "Δcse",
-        "Δdce", "Δmerge"
+        "Circuit",
+        "L",
+        "Gates",
+        "Layers",
+        "nnz(base)",
+        "Layers",
+        "nnz(opt)",
+        "Δfold",
+        "Δcse",
+        "Δdce",
+        "Δmerge"
     );
     s.push_str(&"-".repeat(118));
     s.push('\n');
@@ -612,7 +686,18 @@ pub struct BitplaneRow {
     /// popcount-fallback rows — 0 whenever the unmerged pipeline legalizes
     pub weighted_ops: usize,
 }
-json_obj!(BitplaneRow { circuit, l, gates, batch, csr_gcs, bitplane_gcs, speedup, plan_layers, gate_ops, weighted_ops });
+json_obj!(BitplaneRow {
+    circuit,
+    l,
+    gates,
+    batch,
+    csr_gcs,
+    bitplane_gcs,
+    speedup,
+    plan_layers,
+    gate_ops,
+    weighted_ops
+});
 
 /// Race the bit-plane backend against the pooled-CSR path on every suite
 /// circuit: same compile pipeline L, same batch width, both on the global
@@ -629,7 +714,11 @@ pub fn bitplane_throughput(l: usize, batch: usize, budget: Duration) -> Vec<Bitp
         let csr_secs = time_adaptive(budget, 2, || {
             csr_sim.step(&x);
         });
-        let csr = Throughput { gates: nn.gate_count, cycles: batch as f64, seconds: csr_secs };
+        let csr = Throughput {
+            gates: nn.gate_count,
+            cycles: batch as f64,
+            seconds: csr_secs,
+        };
 
         let (_, plan) = compile_bitplane(&nl, CompileOptions::with_l(l)).expect("legalize");
         let census = plan.op_census();
@@ -639,7 +728,11 @@ pub fn bitplane_throughput(l: usize, batch: usize, budget: Duration) -> Vec<Bitp
         let bp_secs = time_adaptive(budget, 2, || {
             bp_sim.step_packed_into(&packed, &mut out).expect("step");
         });
-        let bp = Throughput { gates: nn.gate_count, cycles: batch as f64, seconds: bp_secs };
+        let bp = Throughput {
+            gates: nn.gate_count,
+            cycles: batch as f64,
+            seconds: bp_secs,
+        };
 
         let row = BitplaneRow {
             circuit: bench.name.to_string(),
@@ -670,8 +763,16 @@ pub fn bitplane_throughput(l: usize, batch: usize, budget: Duration) -> Vec<Bitp
 pub fn format_bitplane(rows: &[BitplaneRow]) -> String {
     let mut s = format!(
         "{:<17} {:>2} {:>9} {:>6} | {:>10} {:>10} {:>8} | {:>6} {:>8} {:>8}\n",
-        "Circuit", "L", "Gates", "Batch", "csr g*c/s", "bp g*c/s", "speedup", "layers",
-        "gate-ops", "weighted"
+        "Circuit",
+        "L",
+        "Gates",
+        "Batch",
+        "csr g*c/s",
+        "bp g*c/s",
+        "speedup",
+        "layers",
+        "gate-ops",
+        "weighted"
     );
     s.push_str(&"-".repeat(100));
     s.push('\n');

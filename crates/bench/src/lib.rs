@@ -9,10 +9,14 @@
 //! * [`model`] — the analytic GPU device model standing in for the paper's
 //!   GTX TITAN X (this machine has one CPU core; DESIGN.md §2 documents the
 //!   substitution);
-//! * [`harness`] — adaptive timing and the gates·cycles/s metric.
+//! * [`harness`] — adaptive timing and the gates·cycles/s metric;
+//! * [`serve_scale`] — the serving scaling curve (closed-loop client sweep,
+//!   past-saturation probe, `/metrics` scrape) behind the `serve_scale`
+//!   binary and its CI gate (`bench_gate`).
 //!
 //! Entry point: `cargo run -p c2nn-bench --release --bin reproduce -- all`.
 
 pub mod experiments;
 pub mod harness;
 pub mod model;
+pub mod serve_scale;

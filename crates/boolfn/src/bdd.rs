@@ -43,8 +43,16 @@ impl BddManager {
     pub fn new() -> Self {
         BddManager {
             nodes: vec![
-                Node { var: TERM, lo: 0, hi: 0 },
-                Node { var: TERM, lo: 1, hi: 1 },
+                Node {
+                    var: TERM,
+                    lo: 0,
+                    hi: 0,
+                },
+                Node {
+                    var: TERM,
+                    lo: 1,
+                    hi: 1,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -328,11 +336,7 @@ mod tests {
             for _ in 0..4 {
                 let lut = Lut::random(n, &mut rng);
                 let b = m.from_lut(&lut);
-                assert_eq!(
-                    m.sat_count(b, n),
-                    lut.count_ones() as u64,
-                    "{lut:?}"
-                );
+                assert_eq!(m.sat_count(b, n), lut.count_ones() as u64, "{lut:?}");
             }
         }
     }

@@ -282,9 +282,18 @@ mod tests {
         let p = Polynomial::from_terms(
             3,
             vec![
-                Term { mask: 0b10, coeff: 2 },
-                Term { mask: 0b01, coeff: 1 },
-                Term { mask: 0b10, coeff: -2 },
+                Term {
+                    mask: 0b10,
+                    coeff: 2,
+                },
+                Term {
+                    mask: 0b01,
+                    coeff: 1,
+                },
+                Term {
+                    mask: 0b10,
+                    coeff: -2,
+                },
             ],
         );
         assert_eq!(p.num_terms(), 1);
@@ -340,7 +349,10 @@ mod tests {
             3,
             vec![
                 Term { mask: 0, coeff: 1 },
-                Term { mask: 0b111, coeff: -4 },
+                Term {
+                    mask: 0b111,
+                    coeff: -4,
+                },
             ],
         );
         let d = p.to_dense();
@@ -368,8 +380,14 @@ mod tests {
             3,
             vec![
                 Term { mask: 0, coeff: 1 },
-                Term { mask: 0b101, coeff: -1 },
-                Term { mask: 0b010, coeff: 2 },
+                Term {
+                    mask: 0b101,
+                    coeff: -1,
+                },
+                Term {
+                    mask: 0b010,
+                    coeff: 2,
+                },
             ],
         );
         assert_eq!(p.to_algebra(), "1 + 2·x1 - x0·x2");
@@ -377,7 +395,10 @@ mod tests {
 
     #[test]
     fn term_vars_and_degree() {
-        let t = Term { mask: 0b1011, coeff: -2 };
+        let t = Term {
+            mask: 0b1011,
+            coeff: -2,
+        };
         assert_eq!(t.vars().collect::<Vec<_>>(), vec![0, 1, 3]);
         assert_eq!(t.degree(), 3);
         assert_eq!(Term { mask: 0, coeff: 1 }.degree(), 0);
@@ -390,8 +411,14 @@ mod tests {
             2,
             vec![
                 Term { mask: 0, coeff: 1 },
-                Term { mask: 0b01, coeff: -1 },
-                Term { mask: 0b11, coeff: 2 },
+                Term {
+                    mask: 0b01,
+                    coeff: -1,
+                },
+                Term {
+                    mask: 0b11,
+                    coeff: 2,
+                },
             ],
         );
         let (c, cubes) = p.split_constant();

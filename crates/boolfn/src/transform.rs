@@ -84,7 +84,11 @@ pub fn lut_to_poly_dnf(lut: &Lut) -> Polynomial {
         // enumerate all subsets T of `zeros` (including empty)
         let mut t = zeros;
         loop {
-            let sign = if t.count_ones().is_multiple_of(2) { 1 } else { -1 };
+            let sign = if t.count_ones().is_multiple_of(2) {
+                1
+            } else {
+                -1
+            };
             dense[(m | t) as usize] += sign;
             if t == 0 {
                 break;

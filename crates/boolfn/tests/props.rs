@@ -6,7 +6,10 @@ use c2nn_boolfn::{analysis, lut_to_poly, lut_to_poly_dnf, poly_to_lut, Lut, Poly
 use proptest::prelude::*;
 
 fn lut_strategy(max_vars: u8) -> impl Strategy<Value = Lut> {
-    (1u8..=max_vars, proptest::collection::vec(any::<u64>(), 1..=(1usize << max_vars) / 64 + 1))
+    (
+        1u8..=max_vars,
+        proptest::collection::vec(any::<u64>(), 1..=(1usize << max_vars) / 64 + 1),
+    )
         .prop_map(|(n, words)| {
             let need = (1usize << n).div_ceil(64);
             let mut w = words;

@@ -49,10 +49,7 @@ pub fn dma(channels: usize) -> Netlist {
     let irq_q = b.fresh(Some("irq"));
 
     // channel activity = count != 0
-    let active: Vec<Net> = cnt_q
-        .iter()
-        .map(|c| b.reduce_or(c))
-        .collect::<Vec<_>>();
+    let active: Vec<Net> = cnt_q.iter().map(|c| b.reduce_or(c)).collect::<Vec<_>>();
     let any_active = b.or_many(&active);
 
     // round-robin pick: next armed channel at or after cur+1 (priority
@@ -84,7 +81,10 @@ pub fn dma(channels: usize) -> Netlist {
         .collect();
     let cur_src = b.onehot_mux_word(&sel_bits, &src_q);
     let cur_dst = b.onehot_mux_word(&sel_bits, &dst_q);
-    let cur_active = b.onehot_mux_word(&sel_bits, &active.iter().map(|&a| vec![a]).collect::<Vec<_>>());
+    let cur_active = b.onehot_mux_word(
+        &sel_bits,
+        &active.iter().map(|&a| vec![a]).collect::<Vec<_>>(),
+    );
 
     // memory port behavior
     let not_phase = b.not(phase_q);
@@ -200,9 +200,7 @@ mod tests {
             };
             // respond to last cycle's read with memory content
             let rdata = if !self.out.is_empty() && self.out[0] {
-                let addr: u32 = (0..32)
-                    .map(|i| (self.out[1 + i] as u32) << i)
-                    .sum();
+                let addr: u32 = (0..32).map(|i| (self.out[1 + i] as u32) << i).sum();
                 *self.mem.get(&addr).unwrap_or(&0)
             } else {
                 0

@@ -302,11 +302,7 @@ mod tests {
             }
         }
         let out = sim.step(&[false, false]);
-        let crc: u32 = out
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u32) << i)
-            .sum();
+        let crc: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
         // register holds pre-inversion value one cycle after the last bit;
         // account for the extra idle step by recomputing: the output above
         // reflects the state after all 72 bits, i.e. !crc32.

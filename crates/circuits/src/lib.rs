@@ -18,8 +18,8 @@ pub mod uart;
 
 pub use aes::aes128;
 pub use dma::dma;
-pub use suite::{table1_suite, Benchmark};
 pub use riscv::riscv_interface;
 pub use sha::sha256;
 pub use spi::spi;
+pub use suite::{table1_suite, Benchmark};
 pub use uart::uart;

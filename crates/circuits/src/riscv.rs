@@ -40,7 +40,9 @@ pub fn riscv_interface() -> Netlist {
     let mem_rdata: Word = b.input_word("mem_rdata", 32);
 
     // register file: x0..x31 (x0 reads as zero)
-    let regs: Vec<Word> = (0..32).map(|i| b.fresh_word(&format!("x{i}"), 32)).collect();
+    let regs: Vec<Word> = (0..32)
+        .map(|i| b.fresh_word(&format!("x{i}"), 32))
+        .collect();
     let pc_q = b.fresh_word("pc", 32);
 
     // ---- decode ----

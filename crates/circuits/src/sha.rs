@@ -14,22 +14,19 @@ use c2nn_netlist::{Net, Netlist, NetlistBuilder, WordOps};
 
 /// FIPS-180-4 round constants.
 pub const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// FIPS-180-4 initial hash value.
 pub const H0: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 type Word = Vec<Net>; // 32 nets, LSB first
@@ -98,7 +95,9 @@ pub fn sha256() -> Netlist {
 
     // hash registers h0..h7, message ring w0..w15, working vars, control
     let h_q: Vec<Word> = (0..8).map(|i| b.fresh_word(&format!("h{i}"), 32)).collect();
-    let w_q: Vec<Word> = (0..16).map(|i| b.fresh_word(&format!("w{i}"), 32)).collect();
+    let w_q: Vec<Word> = (0..16)
+        .map(|i| b.fresh_word(&format!("w{i}"), 32))
+        .collect();
     let v_q: Vec<Word> = (0..8).map(|i| b.fresh_word(&format!("v{i}"), 32)).collect();
     let round_q = b.fresh_word("round", 6);
     let busy_q = b.fresh(Some("busy"));
@@ -135,7 +134,11 @@ pub fn sha256() -> Netlist {
     let shift_en = b.or2(load, busy_q);
     let tail_in = b.mux_word(busy_q, &win, &w_new);
     for i in 0..16 {
-        let next_val = if i == 15 { tail_in.clone() } else { w_q[i + 1].clone() };
+        let next_val = if i == 15 {
+            tail_in.clone()
+        } else {
+            w_q[i + 1].clone()
+        };
         let held = b.mux_word(shift_en, &w_q[i], &next_val);
         b.connect_ff_word(&held, &w_q[i], clk, None, None, 0, 0);
     }
@@ -297,8 +300,8 @@ mod tests {
         assert_eq!(
             d,
             [
-                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
-                0xb410ff61, 0xf20015ad
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c, 0xb410ff61,
+                0xf20015ad
             ]
         );
         // SHA-256("")
@@ -334,9 +337,7 @@ mod tests {
         assert!(out[257], "SHA core never done");
         let mut digest = [0u32; 8];
         for (i, d) in digest.iter_mut().enumerate() {
-            *d = (0..32)
-                .map(|k| (out[32 * i + k] as u32) << k)
-                .sum();
+            *d = (0..32).map(|k| (out[32 * i + k] as u32) << k).sum();
         }
         digest
     }
@@ -344,7 +345,11 @@ mod tests {
     #[test]
     fn hardware_hashes_abc() {
         let nl = sha256();
-        assert!(nl.gate_count() > 5_000, "SHA too small: {}", nl.gate_count());
+        assert!(
+            nl.gate_count() > 5_000,
+            "SHA too small: {}",
+            nl.gate_count()
+        );
         let mut sim = CycleSim::new(&nl).unwrap();
         // "abc" padded single block
         let mut block = [0u32; 16];
@@ -354,8 +359,8 @@ mod tests {
         assert_eq!(
             digest,
             [
-                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
-                0xb410ff61, 0xf20015ad
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c, 0xb410ff61,
+                0xf20015ad
             ]
         );
     }

@@ -57,7 +57,8 @@ mod tests {
     fn all_benchmarks_build_and_validate() {
         for bench in table1_suite() {
             let nl = (bench.build)();
-            nl.validate().unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+            nl.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
             assert!(
                 nl.gate_count() > 100,
                 "{} suspiciously small: {}",

@@ -69,7 +69,9 @@ pub(crate) fn forward_layer(layer: &BitLayer, x: &BitTensor, device: Device, y: 
             }
         }
         Device::Parallel => {
-            par_chunks_mut(y.data_mut(), w, grain, |r, out| eval_op(&layer.ops[r], x, out));
+            par_chunks_mut(y.data_mut(), w, grain, |r, out| {
+                eval_op(&layer.ops[r], x, out)
+            });
         }
     }
 }
@@ -96,7 +98,12 @@ fn eval_op(op: &RowOp, x: &BitTensor, out: &mut [u64]) {
                 }
             }
         }
-        RowOp::Weighted { plus, minus, pos_bias, neg_bias } => {
+        RowOp::Weighted {
+            plus,
+            minus,
+            pos_bias,
+            neg_bias,
+        } => {
             eval_weighted(plus, minus, *pos_bias, *neg_bias, x, out);
         }
     }
@@ -203,7 +210,7 @@ mod tests {
         add_plane(&mut acc, 0b1011, 0); // lanes 0,1,3 += 1
         add_plane(&mut acc, 0b0011, 0); // lanes 0,1   += 1
         add_plane(&mut acc, 0b0001, 0); // lane 0      += 1
-        // lane counts: 3, 2, 0, 1
+                                        // lane counts: 3, 2, 0, 1
         let digit = |p: usize, l: usize| acc.get(p).copied().unwrap_or(0) >> l & 1;
         let count = |l: usize| digit(0, l) + 2 * digit(1, l) + 4 * digit(2, l);
         assert_eq!([count(0), count(1), count(2), count(3)], [3, 2, 0, 1]);
@@ -213,9 +220,12 @@ mod tests {
     fn scaled_add_and_compare_match_scalar_arithmetic() {
         // lanes: x = bit pattern, weights chosen to exercise carries
         let lanes: u64 = 0b1101;
-        for &(w_a, w_b, bias_a, bias_b) in
-            &[(5u64, 3u64, 2u64, 0u64), (1, 1, 0, 0), (7, 9, 0, 4), (100, 1, 0, 63)]
-        {
+        for &(w_a, w_b, bias_a, bias_b) in &[
+            (5u64, 3u64, 2u64, 0u64),
+            (1, 1, 0, 0),
+            (7, 9, 0, 4),
+            (100, 1, 0, 63),
+        ] {
             let mut a = Vec::new();
             let mut b = Vec::new();
             add_scaled(&mut a, !0, bias_a);

@@ -26,7 +26,12 @@ impl BitTensor {
     /// An all-zero tensor of `features × batch` bits.
     pub fn zeros(features: usize, batch: usize) -> Self {
         let words = batch.div_ceil(64);
-        BitTensor { features, batch, words, data: vec![0; features * words] }
+        BitTensor {
+            features,
+            batch,
+            words,
+            data: vec![0; features * words],
+        }
     }
 
     /// Number of features (rows).

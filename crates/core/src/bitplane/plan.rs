@@ -89,7 +89,12 @@ impl RowOp {
                 srcs.len() as u64 + 1
             }
             RowOp::Xor { srcs, .. } => srcs.len() as u64 + 1,
-            RowOp::Weighted { plus, minus, pos_bias, neg_bias } => {
+            RowOp::Weighted {
+                plus,
+                minus,
+                pos_bias,
+                neg_bias,
+            } => {
                 let a_max: u64 = *pos_bias + plus.iter().map(|&(_, w)| w).sum::<u64>();
                 let b_max: u64 = *neg_bias + minus.iter().map(|&(_, w)| w).sum::<u64>();
                 // counter width in digit planes (≥1 once non-trivial)
@@ -297,7 +302,10 @@ impl BitplaneNn {
                 row_classes.tally(&op, &row);
                 ops.push(op);
             }
-            layers.push(BitLayer { in_width: layer.weights.cols(), ops });
+            layers.push(BitLayer {
+                in_width: layer.weights.cols(),
+                ops,
+            });
         }
         Ok(BitplaneNn {
             row_classes,
@@ -379,7 +387,11 @@ fn exact_i64<T: Scalar>(v: T, layer: usize, row: usize) -> Result<i64, BitplaneE
     // is exact; anything fractional or astronomically large is a corrupt
     // or hand-edited model
     if f.fract() != 0.0 || f.abs() >= 9_007_199_254_740_992.0 {
-        return Err(BitplaneError::NonIntegralValue { layer, row, value: f });
+        return Err(BitplaneError::NonIntegralValue {
+            layer,
+            row,
+            value: f,
+        });
     }
     Ok(f as i64)
 }
@@ -389,8 +401,11 @@ fn classify(weights: &[(u32, i64)], bias: i64, act: Activation2) -> RowOp {
     match act {
         Activation2::Linear => {
             // 0/1-valued linear rows equal their own parity
-            let srcs: Vec<u32> =
-                weights.iter().filter(|&&(_, w)| w & 1 != 0).map(|&(c, _)| c).collect();
+            let srcs: Vec<u32> = weights
+                .iter()
+                .filter(|&&(_, w)| w & 1 != 0)
+                .map(|&(c, _)| c)
+                .collect();
             let invert = bias & 1 != 0;
             match (srcs.len(), invert) {
                 (0, b) => RowOp::Const(b),
@@ -424,8 +439,11 @@ fn classify(weights: &[(u32, i64)], bias: i64, act: Activation2) -> RowOp {
 
 /// The exact bit-sliced-counter form of a threshold row (always valid).
 fn weighted_op(weights: &[(u32, i64)], bias: i64) -> RowOp {
-    let plus: Vec<(u32, u64)> =
-        weights.iter().filter(|&&(_, w)| w > 0).map(|&(c, w)| (c, w as u64)).collect();
+    let plus: Vec<(u32, u64)> = weights
+        .iter()
+        .filter(|&&(_, w)| w > 0)
+        .map(|&(c, w)| (c, w as u64))
+        .collect();
     let minus: Vec<(u32, u64)> = weights
         .iter()
         .filter(|&&(_, w)| w < 0)
@@ -497,7 +515,10 @@ mod tests {
         // and2: x0 + x1 - 1 > 0
         assert_eq!(classify(&[(0, 1), (1, 1)], -1, T), RowOp::And(vec![0, 1]));
         // or3
-        assert_eq!(classify(&[(0, 1), (1, 1), (2, 1)], 0, T), RowOp::Or(vec![0, 1, 2]));
+        assert_eq!(
+            classify(&[(0, 1), (1, 1), (2, 1)], 0, T),
+            RowOp::Or(vec![0, 1, 2])
+        );
         // nor2: -x0 - x1 + 1 > 0
         assert_eq!(classify(&[(0, -1), (1, -1)], 1, T), RowOp::Nor(vec![0, 1]));
         // nand2: -x0 - x1 + 2 > 0
@@ -533,9 +554,15 @@ mod tests {
         // a weighted row whose boundary separates no gate subset stays on
         // the counter path: 3·x0 + 5·x1 − 4 > 0 fires on {x1} and {x0,x1}
         // but not {x0} — neither OR nor AND
-        assert!(matches!(classify(&[(0, 3), (1, 5)], -4, T), RowOp::Weighted { .. }));
+        assert!(matches!(
+            classify(&[(0, 3), (1, 5)], -4, T),
+            RowOp::Weighted { .. }
+        ));
         // mixed signs never have a plain gate form
-        assert!(matches!(classify(&[(0, 2), (1, -3)], 1, T), RowOp::Weighted { .. }));
+        assert!(matches!(
+            classify(&[(0, 2), (1, -3)], 1, T),
+            RowOp::Weighted { .. }
+        ));
     }
 
     #[test]
@@ -584,11 +611,22 @@ mod tests {
             RowOp::Xor { srcs, invert } => {
                 (srcs.iter().filter(|&&c| bit(c)).count() % 2 == 1) != *invert
             }
-            RowOp::Weighted { plus, minus, pos_bias, neg_bias } => {
-                let a: u64 =
-                    *pos_bias + plus.iter().map(|&(c, w)| if bit(c) { w } else { 0 }).sum::<u64>();
+            RowOp::Weighted {
+                plus,
+                minus,
+                pos_bias,
+                neg_bias,
+            } => {
+                let a: u64 = *pos_bias
+                    + plus
+                        .iter()
+                        .map(|&(c, w)| if bit(c) { w } else { 0 })
+                        .sum::<u64>();
                 let b: u64 = *neg_bias
-                    + minus.iter().map(|&(c, w)| if bit(c) { w } else { 0 }).sum::<u64>();
+                    + minus
+                        .iter()
+                        .map(|&(c, w)| if bit(c) { w } else { 0 })
+                        .sum::<u64>();
                 a > b
             }
         }
@@ -639,7 +677,10 @@ mod tests {
         use Activation2::Linear as L;
         assert_eq!(
             classify(&[(0, 1), (1, -1), (2, 2)], 0, L),
-            RowOp::Xor { srcs: vec![0, 1], invert: false }
+            RowOp::Xor {
+                srcs: vec![0, 1],
+                invert: false
+            }
         );
         assert_eq!(classify(&[(4, 1)], 0, L), RowOp::Copy(4));
         assert_eq!(classify(&[(4, -1)], 1, L), RowOp::Not(4));

@@ -71,11 +71,17 @@ impl<'a> BitplaneSimulator<'a> {
             return Err(SimError::NoLayers);
         }
         if inputs.len() != self.batch {
-            return Err(SimError::BatchMismatch { expected: self.batch, got: inputs.len() });
+            return Err(SimError::BatchMismatch {
+                expected: self.batch,
+                got: inputs.len(),
+            });
         }
         for lane in inputs {
             if lane.len() != pi {
-                return Err(SimError::InputWidth { expected: pi, got: lane.len() });
+                return Err(SimError::InputWidth {
+                    expected: pi,
+                    got: lane.len(),
+                });
             }
         }
         let x = BitTensor::from_lanes(inputs);
@@ -84,7 +90,9 @@ impl<'a> BitplaneSimulator<'a> {
         self.pack_inputs(&x, &mut packed);
         let outputs;
         {
-            let y = self.nn.forward_with(&packed, self.device, &mut self.scratch);
+            let y = self
+                .nn
+                .forward_with(&packed, self.device, &mut self.scratch);
             let po = self.nn.num_primary_outputs;
             outputs = (0..self.batch)
                 .map(|l| (0..po).map(|f| y.get_bit(f, l)).collect())
@@ -111,16 +119,24 @@ impl<'a> BitplaneSimulator<'a> {
             return Err(SimError::NoLayers);
         }
         if inputs.batch() != self.batch {
-            return Err(SimError::BatchMismatch { expected: self.batch, got: inputs.batch() });
+            return Err(SimError::BatchMismatch {
+                expected: self.batch,
+                got: inputs.batch(),
+            });
         }
         if inputs.features() != pi {
-            return Err(SimError::InputWidth { expected: pi, got: inputs.features() });
+            return Err(SimError::InputWidth {
+                expected: pi,
+                got: inputs.features(),
+            });
         }
         let mut packed = BitTensor::zeros(0, 0);
         std::mem::swap(&mut packed, &mut self.xbuf);
         self.pack_inputs(inputs, &mut packed);
         {
-            let y = self.nn.forward_with(&packed, self.device, &mut self.scratch);
+            let y = self
+                .nn
+                .forward_with(&packed, self.device, &mut self.scratch);
             let po = self.nn.num_primary_outputs;
             let w = y.words_per_feature();
             out.resize_to(po, self.batch);
@@ -149,7 +165,9 @@ impl<'a> BitplaneSimulator<'a> {
         let s = nn.state_bits();
         let w = y.words_per_feature();
         debug_assert_eq!(y.features(), po + s);
-        state.data_mut().copy_from_slice(&y.data()[po * w..(po + s) * w]);
+        state
+            .data_mut()
+            .copy_from_slice(&y.data()[po * w..(po + s) * w]);
     }
 }
 
@@ -199,16 +217,25 @@ impl<'a, T: Scalar> BitplaneRunner<'a, T> {
             return Err(SimError::NoLayers);
         }
         if inputs.len() != b {
-            return Err(SimError::BatchMismatch { expected: b, got: inputs.len() });
+            return Err(SimError::BatchMismatch {
+                expected: b,
+                got: inputs.len(),
+            });
         }
         for lane in inputs {
             if lane.len() != pi {
-                return Err(SimError::InputWidth { expected: pi, got: lane.len() });
+                return Err(SimError::InputWidth {
+                    expected: pi,
+                    got: lane.len(),
+                });
             }
         }
         for sess in sessions.iter() {
             if sess.state_raw().len() != s {
-                return Err(SimError::StateWidth { expected: s, got: sess.state_raw().len() });
+                return Err(SimError::StateWidth {
+                    expected: s,
+                    got: sess.state_raw().len(),
+                });
             }
         }
         if b == 0 {
@@ -230,14 +257,20 @@ impl<'a, T: Scalar> BitplaneRunner<'a, T> {
                 }
             }
         }
-        let y = self.nn.forward_with(&self.xbuf, self.device, &mut self.scratch);
+        let y = self
+            .nn
+            .forward_with(&self.xbuf, self.device, &mut self.scratch);
         debug_assert_eq!(y.features(), po + s);
         let outputs = (0..b)
             .map(|l| (0..po).map(|f| y.get_bit(f, l)).collect())
             .collect();
         for (l, sess) in sessions.iter_mut().enumerate() {
             for (f, v) in sess.state_raw_mut().iter_mut().enumerate() {
-                *v = if y.get_bit(po + f, l) { T::ONE } else { T::ZERO };
+                *v = if y.get_bit(po + f, l) {
+                    T::ONE
+                } else {
+                    T::ZERO
+                };
             }
             sess.bump_cycles();
         }

@@ -106,8 +106,15 @@ pub enum CompileError {
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::InvalidOptions { field, value, expected } => {
-                write!(f, "invalid CompileOptions: {field} = {value} (expected {expected})")
+            CompileError::InvalidOptions {
+                field,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid CompileOptions: {field} = {value} (expected {expected})"
+                )
             }
             CompileError::Seq(e) => write!(f, "sequential preparation failed: {e}"),
             CompileError::Map(e) => write!(f, "LUT mapping failed: {e}"),
@@ -198,7 +205,11 @@ impl<T: Scalar> CompiledNn<T> {
         if self.layers.is_empty() {
             return 1.0;
         }
-        self.layers.iter().map(|l| l.weights.sparsity()).sum::<f64>() / self.layers.len() as f64
+        self.layers
+            .iter()
+            .map(|l| l.weights.sparsity())
+            .sum::<f64>()
+            / self.layers.len() as f64
     }
 
     /// Number of layers (the paper's "Layers" column).
@@ -226,7 +237,10 @@ pub fn compile_bitplane(
     nl: &Netlist,
     opts: CompileOptions,
 ) -> Result<(CompiledNn<f32>, crate::bitplane::BitplaneNn), CompileError> {
-    let nn = compile(nl, opts.with_passes(opts.passes.without(PassId::LayerMerge)))?;
+    let nn = compile(
+        nl,
+        opts.with_passes(opts.passes.without(PassId::LayerMerge)),
+    )?;
     let plan = crate::bitplane::BitplaneNn::from_compiled(&nn).map_err(CompileError::Bitplane)?;
     Ok((nn, plan))
 }
@@ -351,7 +365,10 @@ mod tests {
         bad.lut_size = 1;
         assert!(matches!(
             bad.validate(),
-            Err(CompileError::InvalidOptions { field: "lut_size", .. })
+            Err(CompileError::InvalidOptions {
+                field: "lut_size",
+                ..
+            })
         ));
         bad.lut_size = 17;
         assert!(bad.validate().is_err());
@@ -359,12 +376,13 @@ mod tests {
         bad2.cuts_per_net = 0;
         assert!(matches!(
             bad2.validate(),
-            Err(CompileError::InvalidOptions { field: "cuts_per_net", .. })
+            Err(CompileError::InvalidOptions {
+                field: "cuts_per_net",
+                ..
+            })
         ));
         // compile rejects bad options up front
-        let nl = c2nn_netlist::NetlistBuilder::new("t")
-            .finish()
-            .unwrap();
+        let nl = c2nn_netlist::NetlistBuilder::new("t").finish().unwrap();
         let mut opts = CompileOptions::with_l(4);
         opts.cuts_per_net = 0;
         assert!(compile(&nl, opts).is_err());
@@ -401,8 +419,7 @@ mod tests {
         let s = b.add_word(&a, &c);
         b.output_word(&s, "s");
         let nl = b.finish().unwrap();
-        let (nn, report) =
-            compile_with_report::<f32>(&nl, CompileOptions::with_l(4)).unwrap();
+        let (nn, report) = compile_with_report::<f32>(&nl, CompileOptions::with_l(4)).unwrap();
         let stages: Vec<&str> = report.passes.iter().map(|p| p.pass.as_str()).collect();
         assert_eq!(
             stages,
@@ -430,8 +447,7 @@ mod tests {
         let s = b.add_word(&a, &c);
         b.output_word(&s, "s");
         let nl = b.finish().unwrap();
-        let opts = CompileOptions::with_l(3)
-            .with_passes(PassSet::none().with(PassId::LayerMerge));
+        let opts = CompileOptions::with_l(3).with_passes(PassSet::none().with(PassId::LayerMerge));
         let (_, report) = compile_with_report::<f32>(&nl, opts).unwrap();
         let stages: Vec<&str> = report.passes.iter().map(|p| p.pass.as_str()).collect();
         assert_eq!(stages, vec!["lower", "layer-merge", "legalize"]);

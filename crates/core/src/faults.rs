@@ -71,9 +71,13 @@ pub fn inject<T: Scalar>(nn: &mut CompiledNn<T>, site: FaultSite) -> bool {
             if bit >= bits {
                 return false;
             }
-            let Some(l) = nn.layers.get_mut(layer) else { return false };
+            let Some(l) = nn.layers.get_mut(layer) else {
+                return false;
+            };
             let values = l.weights.values_mut();
-            let Some(v) = values.get_mut(nnz) else { return false };
+            let Some(v) = values.get_mut(nnz) else {
+                return false;
+            };
             *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
             true
         }
@@ -81,8 +85,12 @@ pub fn inject<T: Scalar>(nn: &mut CompiledNn<T>, site: FaultSite) -> bool {
             if bit >= bits {
                 return false;
             }
-            let Some(l) = nn.layers.get_mut(layer) else { return false };
-            let Some(v) = l.bias.get_mut(idx) else { return false };
+            let Some(l) = nn.layers.get_mut(layer) else {
+                return false;
+            };
+            let Some(v) = l.bias.get_mut(idx) else {
+                return false;
+            };
             *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
             true
         }
@@ -100,7 +108,9 @@ impl<T: Scalar> Simulator<'_, T> {
         let batch = self.batch();
         let idx = feature * batch + lane;
         let data = self.state_data_mut();
-        let Some(v) = data.get_mut(idx) else { return false };
+        let Some(v) = data.get_mut(idx) else {
+            return false;
+        };
         *v = T::from_bits64(v.to_bits64() ^ (1u64 << bit));
         true
     }
@@ -139,20 +149,62 @@ mod tests {
     fn inject_flips_exactly_one_bit_and_checksum_changes() {
         let mut nn = tiny();
         let before = nn.weight_checksum();
-        assert!(inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 31 }));
+        assert!(inject(
+            &mut nn,
+            FaultSite::Weight {
+                layer: 0,
+                nnz: 0,
+                bit: 31
+            }
+        ));
         assert_eq!(nn.layers[0].weights.raw().2[0], -1.0); // sign flip of 1.0
         assert_ne!(nn.weight_checksum(), before);
         // flipping again restores the original value and checksum
-        assert!(inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 31 }));
+        assert!(inject(
+            &mut nn,
+            FaultSite::Weight {
+                layer: 0,
+                nnz: 0,
+                bit: 31
+            }
+        ));
         assert_eq!(nn.weight_checksum(), before);
     }
 
     #[test]
     fn out_of_range_sites_are_rejected() {
         let mut nn = tiny();
-        assert!(!inject(&mut nn, FaultSite::Weight { layer: 9, nnz: 0, bit: 0 }));
-        assert!(!inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 99, bit: 0 }));
-        assert!(!inject(&mut nn, FaultSite::Weight { layer: 0, nnz: 0, bit: 64 }));
-        assert!(!inject(&mut nn, FaultSite::Bias { layer: 0, idx: 5, bit: 0 }));
+        assert!(!inject(
+            &mut nn,
+            FaultSite::Weight {
+                layer: 9,
+                nnz: 0,
+                bit: 0
+            }
+        ));
+        assert!(!inject(
+            &mut nn,
+            FaultSite::Weight {
+                layer: 0,
+                nnz: 99,
+                bit: 0
+            }
+        ));
+        assert!(!inject(
+            &mut nn,
+            FaultSite::Weight {
+                layer: 0,
+                nnz: 0,
+                bit: 64
+            }
+        ));
+        assert!(!inject(
+            &mut nn,
+            FaultSite::Bias {
+                layer: 0,
+                idx: 5,
+                bit: 0
+            }
+        ));
     }
 }

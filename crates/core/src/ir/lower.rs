@@ -41,7 +41,11 @@ pub(crate) fn node_block(node: &LutNode) -> NodeBlock {
                 out.push((hidden.len(), term.coeff as i64));
                 hidden.push((weights, 1 - size, Some(term.mask))); // Θ(Σ x_s − |S| + 1)
             }
-            NodeBlock { hidden, out, out_bias: constant as i64 }
+            NodeBlock {
+                hidden,
+                out,
+                out_bias: constant as i64,
+            }
         }
         NodeFunc::WideAnd { invert } => {
             // h = Θ(Σ x − n + 1) = AND;  AND = h, NAND = 1 − h
@@ -145,9 +149,7 @@ pub fn lower(
             // dead signals (no later reader, not an output) are dropped here,
             // so the hidden layer below can skip their neurons too
             (0..graph.num_signals() as u32)
-                .filter(|&s| {
-                    (levels[s as usize] as usize) <= t && alive_until[s as usize] > t
-                })
+                .filter(|&s| (levels[s as usize] as usize) <= t && alive_until[s as usize] > t)
                 .collect()
         };
         // pass-through set: signals in next layer with level < t (dedup)
@@ -187,7 +189,10 @@ pub fn lower(
                         .collect(),
                     bias: *bias,
                     prov: match mask {
-                        Some(m) => RowProv::Monomial { node: sig, mask: *m },
+                        Some(m) => RowProv::Monomial {
+                            node: sig,
+                            mask: *m,
+                        },
                         None => RowProv::Wide { node: sig },
                     },
                 };
@@ -270,13 +275,23 @@ mod tests {
 
     #[test]
     fn node_block_reproduces_tables() {
-        for lut in [Lut::and(3), Lut::or(3), Lut::xor(4), Lut::majority(5), Lut::mux()] {
+        for lut in [
+            Lut::and(3),
+            Lut::or(3),
+            Lut::xor(4),
+            Lut::majority(5),
+            Lut::mux(),
+        ] {
             let n = lut.inputs() as usize;
             let node = LutNode::table((0..n as u32).collect(), lut.clone());
             let blk = node_block(&node);
             for x in 0..1u64 << n {
                 let bits: Vec<bool> = (0..n).map(|j| x >> j & 1 == 1).collect();
-                assert_eq!(eval_block(&blk, &bits), lut.get(x) as i64, "{lut:?} x={x:b}");
+                assert_eq!(
+                    eval_block(&blk, &bits),
+                    lut.get(x) as i64,
+                    "{lut:?} x={x:b}"
+                );
             }
         }
     }

@@ -194,7 +194,11 @@ mod tests {
     use super::*;
 
     fn row(weights: Vec<(u32, i64)>, bias: i64) -> IrRow {
-        IrRow { weights, bias, prov: RowProv::Signal { signal: 0 } }
+        IrRow {
+            weights,
+            bias,
+            prov: RowProv::Signal { signal: 0 },
+        }
     }
 
     #[test]

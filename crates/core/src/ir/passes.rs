@@ -98,7 +98,11 @@ impl PassSet {
 
     /// Selected passes in canonical order.
     pub fn to_vec(self) -> Vec<PassId> {
-        PassId::ALL.iter().copied().filter(|&p| self.contains(p)).collect()
+        PassId::ALL
+            .iter()
+            .copied()
+            .filter(|&p| self.contains(p))
+            .collect()
     }
 
     /// The first `n` passes of the canonical order (the lockstep harness
@@ -166,7 +170,9 @@ pub struct PassManager {
 impl PassManager {
     /// Build a manager running the selected passes in canonical order.
     pub fn from_set(set: PassSet) -> Self {
-        PassManager { passes: set.to_vec() }
+        PassManager {
+            passes: set.to_vec(),
+        }
     }
 
     /// Run all passes, appending one stat per pass to `report`.
@@ -182,7 +188,12 @@ impl PassManager {
             let t0 = std::time::Instant::now();
             pass.run(g);
             let wall_s = t0.elapsed().as_secs_f64();
-            debug_assert_eq!(g.check(), Ok(()), "pass {} broke IR invariants", pass.name());
+            debug_assert_eq!(
+                g.check(),
+                Ok(()),
+                "pass {} broke IR invariants",
+                pass.name()
+            );
             report.passes.push(PassStat {
                 pass: pass.name().to_string(),
                 wall_s,
@@ -450,7 +461,11 @@ mod tests {
     use crate::ir::{IrLayer, IrRow, RowProv};
 
     fn row(weights: Vec<(u32, i64)>, bias: i64) -> IrRow {
-        let mut r = IrRow { weights, bias, prov: RowProv::Signal { signal: 0 } };
+        let mut r = IrRow {
+            weights,
+            bias,
+            prov: RowProv::Signal { signal: 0 },
+        };
         r.canonicalize();
         r
     }
@@ -478,10 +493,7 @@ mod tests {
                 IrLayer {
                     act: Activation2::Linear,
                     in_width: 3,
-                    rows: vec![
-                        row(vec![(0, 1)], 0),
-                        row(vec![(1, -1), (2, 1)], 0),
-                    ],
+                    rows: vec![row(vec![(0, 1)], 0), row(vec![(1, -1), (2, 1)], 0)],
                 },
             ],
         }
@@ -505,7 +517,11 @@ mod tests {
         assert_eq!(outputs_over_domain(&g), want, "cse must not change outputs");
         // the duplicate is gone in-pass: row 1's consumer points at row 0,
         // and the x0 row compacted down to column 1
-        assert_eq!(g.layers[0].rows.len(), 2, "duplicate neuron collected by cse");
+        assert_eq!(
+            g.layers[0].rows.len(),
+            2,
+            "duplicate neuron collected by cse"
+        );
         assert_eq!(g.layers[1].rows[1].weights, vec![(0, -1), (1, 1)]);
         DeadNeuronElim.run(&mut g);
         g.check().unwrap();
@@ -520,8 +536,15 @@ mod tests {
         g.layers[1].rows = vec![row(vec![(0, 1), (1, -1)], 0)];
         g.num_primary_outputs = 1;
         MonomialCse.run(&mut g);
-        assert!(g.layers[1].rows[0].weights.is_empty(), "±1 on a shared neuron cancels");
-        assert_eq!(g.layers[0].rows.len(), 2, "cse drops the duplicate, keeps live rows");
+        assert!(
+            g.layers[1].rows[0].weights.is_empty(),
+            "±1 on a shared neuron cancels"
+        );
+        assert_eq!(
+            g.layers[0].rows.len(),
+            2,
+            "cse drops the duplicate, keeps live rows"
+        );
         DeadNeuronElim.run(&mut g);
         assert_eq!(g.layers[0].rows.len(), 0, "all neurons dead");
         for x in 0..4u32 {
@@ -615,17 +638,24 @@ mod tests {
         assert_eq!(no_merge.to_vec().len(), 3);
         assert_eq!(PassSet::prefix(0), PassSet::none());
         assert_eq!(PassSet::prefix(4), PassSet::all());
-        assert_eq!(PassSet::prefix(2).to_vec(), vec![PassId::ConstantFold, PassId::MonomialCse]);
+        assert_eq!(
+            PassSet::prefix(2).to_vec(),
+            vec![PassId::ConstantFold, PassId::MonomialCse]
+        );
 
         assert_eq!(PassSet::parse("all").unwrap(), PassSet::all());
         assert_eq!(PassSet::parse("none").unwrap(), PassSet::none());
         assert_eq!(
             PassSet::parse("cse,merge").unwrap(),
-            PassSet::none().with(PassId::MonomialCse).with(PassId::LayerMerge)
+            PassSet::none()
+                .with(PassId::MonomialCse)
+                .with(PassId::LayerMerge)
         );
         assert_eq!(
             PassSet::parse("constant-fold,dead-neuron-elim").unwrap(),
-            PassSet::none().with(PassId::ConstantFold).with(PassId::DeadNeuronElim)
+            PassSet::none()
+                .with(PassId::ConstantFold)
+                .with(PassId::DeadNeuronElim)
         );
         assert!(PassSet::parse("blurp").is_err());
     }

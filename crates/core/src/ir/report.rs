@@ -14,7 +14,11 @@ pub struct IrMetrics {
     /// Total nonzero weights across layers.
     pub nnz: usize,
 }
-json_obj!(IrMetrics { layers, neurons, nnz });
+json_obj!(IrMetrics {
+    layers,
+    neurons,
+    nnz
+});
 
 /// One pipeline stage's record.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,7 +31,12 @@ pub struct PassStat {
     pub before: IrMetrics,
     pub after: IrMetrics,
 }
-json_obj!(PassStat { pass, wall_s, before, after });
+json_obj!(PassStat {
+    pass,
+    wall_s,
+    before,
+    after
+});
 
 impl PassStat {
     /// Nonzeros removed by this stage (negative when the stage grew the
@@ -47,7 +56,12 @@ pub struct CompileReport {
     /// End-to-end wall time (netlist preparation + mapping + pipeline).
     pub total_s: f64,
 }
-json_obj!(CompileReport { circuit, lut_size, passes, total_s });
+json_obj!(CompileReport {
+    circuit,
+    lut_size,
+    passes,
+    total_s
+});
 
 impl CompileReport {
     /// Metrics of the final artifact (after the last stage).
@@ -75,7 +89,11 @@ impl CompileReport {
                 p.after.layers,
                 p.after.neurons,
                 p.after.nnz,
-                if delta == 0 { "·".to_string() } else { format!("{:+}", -delta) },
+                if delta == 0 {
+                    "·".to_string()
+                } else {
+                    format!("{:+}", -delta)
+                },
             ));
         }
         s.push_str(&format!("total {:>20.3}s\n", self.total_s));
@@ -91,8 +109,16 @@ mod tests {
         PassStat {
             pass: pass.into(),
             wall_s: 0.001,
-            before: IrMetrics { layers: 4, neurons: 10, nnz: before },
-            after: IrMetrics { layers: 4, neurons: 10, nnz: after },
+            before: IrMetrics {
+                layers: 4,
+                neurons: 10,
+                nnz: before,
+            },
+            after: IrMetrics {
+                layers: 4,
+                neurons: 10,
+                nnz: after,
+            },
         }
     }
 

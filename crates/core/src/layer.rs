@@ -47,7 +47,14 @@ impl<T: Scalar> NnLayer<T> {
 
     /// Apply the layer into a reusable output buffer.
     pub fn forward_into(&self, x: &Dense<T>, device: Device, y: &mut Dense<T>) {
-        forward_sparse_into(&self.weights, &self.bias, x, self.activation.into(), device, y)
+        forward_sparse_into(
+            &self.weights,
+            &self.bias,
+            x,
+            self.activation.into(),
+            device,
+            y,
+        )
     }
 
     /// Stored bytes (weights + bias), the paper's memory metric.

@@ -62,10 +62,10 @@ pub use compile::{
     compile, compile_as, compile_bitplane, compile_graph, compile_graph_with_report,
     compile_with_report, CompileError, CompileOptions, CompiledNn,
 };
+pub use faults::FaultSite;
 pub use ir::passes::{PassId, PassSet};
 pub use ir::report::{CompileReport, IrMetrics, PassStat};
 pub use ir::NnGraph;
-pub use faults::FaultSite;
 pub use layer::{Activation2, NnLayer};
 pub use model::ModelError;
 pub use session::{Session, SessionRunner};

@@ -73,10 +73,16 @@ impl fmt::Display for ModelError {
                 write!(f, "not a c2nn model (format tag `{found}`)")
             }
             ModelError::BadVersion { found } => {
-                write!(f, "unsupported model version {found} (this build reads {MODEL_VERSION})")
+                write!(
+                    f,
+                    "unsupported model version {found} (this build reads {MODEL_VERSION})"
+                )
             }
             ModelError::DtypeMismatch { expected, found } => {
-                write!(f, "model was saved with dtype `{found}`, expected `{expected}`")
+                write!(
+                    f,
+                    "model was saved with dtype `{found}`, expected `{expected}`"
+                )
             }
             ModelError::NonRepresentable { layer, what, value } => write!(
                 f,
@@ -157,8 +163,14 @@ impl<T: Scalar> CompiledNn<T> {
             ("dtype".into(), Json::Str(T::NAME.into())),
             ("name".into(), Json::Str(self.name.clone())),
             ("lut_size".into(), self.lut_size.to_json()),
-            ("num_primary_inputs".into(), self.num_primary_inputs.to_json()),
-            ("num_primary_outputs".into(), self.num_primary_outputs.to_json()),
+            (
+                "num_primary_inputs".into(),
+                self.num_primary_inputs.to_json(),
+            ),
+            (
+                "num_primary_outputs".into(),
+                self.num_primary_outputs.to_json(),
+            ),
             ("state_init".into(), self.state_init.to_json()),
             ("gate_count".into(), self.gate_count.to_json()),
             ("layers".into(), Json::Arr(layers)),
@@ -180,7 +192,10 @@ impl<T: Scalar> CompiledNn<T> {
         }
         let dtype: String = c2nn_json::field(&doc, "dtype").map_err(decode_err)?;
         if dtype != T::NAME {
-            return Err(ModelError::DtypeMismatch { expected: T::NAME, found: dtype });
+            return Err(ModelError::DtypeMismatch {
+                expected: T::NAME,
+                found: dtype,
+            });
         }
 
         let layers_json = doc
@@ -195,8 +210,7 @@ impl<T: Scalar> CompiledNn<T> {
         let nn = CompiledNn {
             name: c2nn_json::field(&doc, "name").map_err(decode_err)?,
             layers,
-            num_primary_inputs: c2nn_json::field(&doc, "num_primary_inputs")
-                .map_err(decode_err)?,
+            num_primary_inputs: c2nn_json::field(&doc, "num_primary_inputs").map_err(decode_err)?,
             num_primary_outputs: c2nn_json::field(&doc, "num_primary_outputs")
                 .map_err(decode_err)?,
             state_init: c2nn_json::field(&doc, "state_init").map_err(decode_err)?,
@@ -223,10 +237,10 @@ fn decode_layer<T: Scalar>(i: usize, lj: &Json) -> Result<NnLayer<T>, ModelError
             ))
         }
     };
-    let rows: usize = c2nn_json::field(lj, "rows")
-        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
-    let cols: usize = c2nn_json::field(lj, "cols")
-        .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let rows: usize =
+        c2nn_json::field(lj, "rows").map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
+    let cols: usize =
+        c2nn_json::field(lj, "cols").map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
     let row_ptr: Vec<u32> = c2nn_json::field(lj, "row_ptr")
         .map_err(|e| decode_err(e.in_index(i).in_field("layers")))?;
     let col_idx: Vec<u32> = c2nn_json::field(lj, "col_idx")
@@ -235,7 +249,11 @@ fn decode_layer<T: Scalar>(i: usize, lj: &Json) -> Result<NnLayer<T>, ModelError
     let bias = decode_scalars::<T>(i, lj, "bias")?;
     let weights = Csr::try_from_raw_parts(rows, cols, row_ptr, col_idx, values)
         .map_err(|error| ModelError::Csr { layer: i, error })?;
-    Ok(NnLayer { weights, bias, activation })
+    Ok(NnLayer {
+        weights,
+        bias,
+        activation,
+    })
 }
 
 /// Decode an array of numbers into `T`, insisting on exact representability.
@@ -243,16 +261,13 @@ fn decode_layer<T: Scalar>(i: usize, lj: &Json) -> Result<NnLayer<T>, ModelError
 /// scalars — the validator then rejects them by name — and are errors for
 /// integer scalars.
 fn decode_scalars<T: Scalar>(layer: usize, lj: &Json, name: &str) -> Result<Vec<T>, ModelError> {
-    let arr = lj
-        .get(name)
-        .and_then(Json::as_arr)
-        .ok_or_else(|| {
-            decode_err(
-                DecodeError::new(format!("missing or non-array field `{name}`"))
-                    .in_index(layer)
-                    .in_field("layers"),
-            )
-        })?;
+    let arr = lj.get(name).and_then(Json::as_arr).ok_or_else(|| {
+        decode_err(
+            DecodeError::new(format!("missing or non-array field `{name}`"))
+                .in_index(layer)
+                .in_field("layers"),
+        )
+    })?;
     let mut out = Vec::with_capacity(arr.len());
     for (k, item) in arr.iter().enumerate() {
         let f = match item {
@@ -331,19 +346,29 @@ mod tests {
     #[test]
     fn garbage_is_a_syntax_error_not_a_panic() {
         let err = CompiledNn::<f32>::from_json_str("{{{not json").unwrap_err();
-        assert!(matches!(err, ModelError::Json(FromStrError::Syntax(_))), "{err:?}");
+        assert!(
+            matches!(err, ModelError::Json(FromStrError::Syntax(_))),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn wrong_format_tag_rejected() {
-        let err = CompiledNn::<f32>::from_json_str(r#"{"format":"pickle","version":1}"#)
-            .unwrap_err();
-        assert_eq!(err, ModelError::BadFormat { found: "pickle".into() });
+        let err =
+            CompiledNn::<f32>::from_json_str(r#"{"format":"pickle","version":1}"#).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::BadFormat {
+                found: "pickle".into()
+            }
+        );
     }
 
     #[test]
     fn future_version_rejected() {
-        let text = tiny().to_json_string().replace("\"version\":1", "\"version\":9");
+        let text = tiny()
+            .to_json_string()
+            .replace("\"version\":1", "\"version\":9");
         let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
         assert_eq!(err, ModelError::BadVersion { found: 9 });
     }
@@ -352,20 +377,32 @@ mod tests {
     fn dtype_mismatch_rejected() {
         let text = tiny().to_json_string();
         let err = CompiledNn::<i32>::from_json_str(&text).unwrap_err();
-        assert_eq!(err, ModelError::DtypeMismatch { expected: "i32", found: "f32".into() });
+        assert_eq!(
+            err,
+            ModelError::DtypeMismatch {
+                expected: "i32",
+                found: "f32".into()
+            }
+        );
     }
 
     #[test]
     fn truncated_csr_rejected() {
         // drop one col_idx entry: nnz bookkeeping no longer adds up
-        let text = tiny().to_json_string().replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[0,1,1]", 1);
+        let text =
+            tiny()
+                .to_json_string()
+                .replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[0,1,1]", 1);
         let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
         assert!(matches!(err, ModelError::Csr { layer: 0, .. }), "{err:?}");
     }
 
     #[test]
     fn permuted_col_idx_rejected() {
-        let text = tiny().to_json_string().replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[1,0,2,1]", 1);
+        let text =
+            tiny()
+                .to_json_string()
+                .replacen("\"col_idx\":[0,1,1,2]", "\"col_idx\":[1,0,2,1]", 1);
         let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
         assert!(matches!(err, ModelError::Csr { layer: 0, .. }), "{err:?}");
     }
@@ -380,7 +417,10 @@ mod tests {
         assert!(text.contains("null"));
         let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
         assert!(
-            matches!(err, ModelError::Validate(ValidateError::NonFinite { layer: 0, .. })),
+            matches!(
+                err,
+                ModelError::Validate(ValidateError::NonFinite { layer: 0, .. })
+            ),
             "{err:?}"
         );
     }
@@ -391,7 +431,13 @@ mod tests {
             .to_json_string()
             .replace("\"num_primary_inputs\":2", "\"num_primary_inputs\":7");
         let err = CompiledNn::<f32>::from_json_str(&text).unwrap_err();
-        assert!(matches!(err, ModelError::Validate(ValidateError::WidthMismatch { .. })), "{err:?}");
+        assert!(
+            matches!(
+                err,
+                ModelError::Validate(ValidateError::WidthMismatch { .. })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -402,7 +448,10 @@ mod tests {
             "layers":[{"activation":"threshold","rows":1,"cols":1,
                        "row_ptr":[0,1],"col_idx":[0],"values":[0.5],"bias":[0]}]}"#;
         let err = CompiledNn::<i32>::from_json_str(json).unwrap_err();
-        assert!(matches!(err, ModelError::NonRepresentable { layer: 0, .. }), "{err:?}");
+        assert!(
+            matches!(err, ModelError::NonRepresentable { layer: 0, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl<T: Scalar> Session<T> {
     /// A fresh session at the power-on state of `nn`.
     pub fn new(nn: &CompiledNn<T>) -> Self {
         Session {
-            state: nn.state_init.iter().map(|&b| if b { T::ONE } else { T::ZERO }).collect(),
+            state: nn
+                .state_init
+                .iter()
+                .map(|&b| if b { T::ONE } else { T::ZERO })
+                .collect(),
             cycles: 0,
         }
     }
@@ -117,16 +121,25 @@ impl<'a, T: Scalar> SessionRunner<'a, T> {
             return Err(SimError::NoLayers);
         }
         if inputs.len() != b {
-            return Err(SimError::BatchMismatch { expected: b, got: inputs.len() });
+            return Err(SimError::BatchMismatch {
+                expected: b,
+                got: inputs.len(),
+            });
         }
         for lane in inputs {
             if lane.len() != pi {
-                return Err(SimError::InputWidth { expected: pi, got: lane.len() });
+                return Err(SimError::InputWidth {
+                    expected: pi,
+                    got: lane.len(),
+                });
             }
         }
         for sess in sessions.iter() {
             if sess.state.len() != s {
-                return Err(SimError::StateWidth { expected: s, got: sess.state.len() });
+                return Err(SimError::StateWidth {
+                    expected: s,
+                    got: sess.state.len(),
+                });
             }
         }
         if b == 0 {
@@ -151,7 +164,9 @@ impl<'a, T: Scalar> SessionRunner<'a, T> {
                 data[(pi + f) * b + l] = v;
             }
         }
-        let y = self.nn.forward_with(&self.xbuf, self.device, &mut self.scratch);
+        let y = self
+            .nn
+            .forward_with(&self.xbuf, self.device, &mut self.scratch);
         debug_assert_eq!(y.rows(), po + s);
         let ydata = y.data();
         let outputs = (0..b)
@@ -192,7 +207,10 @@ impl<'a, T: Scalar> Simulator<'a, T> {
         let s = self.state_width();
         for sess in sessions {
             if sess.state.len() != s {
-                return Err(SimError::StateWidth { expected: s, got: sess.state.len() });
+                return Err(SimError::StateWidth {
+                    expected: s,
+                    got: sess.state.len(),
+                });
             }
         }
         self.load_lane_states(sessions.iter().map(|sess| sess.state.as_slice()));
@@ -250,7 +268,9 @@ mod tests {
         let mut runner = SessionRunner::new(&nn, Device::Serial);
         let mut a = Session::new(&nn);
         for _ in 0..5 {
-            runner.step(std::slice::from_mut(&mut a), &[vec![true]]).unwrap();
+            runner
+                .step(std::slice::from_mut(&mut a), &[vec![true]])
+                .unwrap();
         }
         // ...then a newcomer joins and both advance in one batch
         let mut b = Session::new(&nn);
@@ -281,7 +301,9 @@ mod tests {
         // continue one exported lane standalone; reimport into a fresh sim
         let mut runner = SessionRunner::new(&nn, Device::Serial);
         let mut lane = sessions[0].clone();
-        runner.step(std::slice::from_mut(&mut lane), &[vec![true]]).unwrap();
+        runner
+            .step(std::slice::from_mut(&mut lane), &[vec![true]])
+            .unwrap();
         assert_eq!(as_u32(&lane.state_bits()), 7);
 
         let mut sim2 = Simulator::new(&nn, 2, Device::Serial);
@@ -300,16 +322,28 @@ mod tests {
         let mut sess = [Session::new(&nn)];
         assert_eq!(
             runner.step(&mut sess, &[]),
-            Err(SimError::BatchMismatch { expected: 1, got: 0 })
+            Err(SimError::BatchMismatch {
+                expected: 1,
+                got: 0
+            })
         );
         assert_eq!(
             runner.step(&mut sess, &[vec![true, false]]),
-            Err(SimError::InputWidth { expected: 1, got: 2 })
+            Err(SimError::InputWidth {
+                expected: 1,
+                got: 2
+            })
         );
-        let mut bad = [Session { state: vec![0.0; 2], cycles: 0 }];
+        let mut bad = [Session {
+            state: vec![0.0; 2],
+            cycles: 0,
+        }];
         assert!(matches!(
             runner.step(&mut bad, &[vec![true]]),
-            Err(SimError::StateWidth { expected: 4, got: 2 })
+            Err(SimError::StateWidth {
+                expected: 4,
+                got: 2
+            })
         ));
         let mut sim = Simulator::new(&nn, 2, Device::Serial);
         assert!(sim.import_sessions(&[Session::new(&nn)]).is_err());

@@ -81,17 +81,28 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoLayers => write!(f, "network has no layers"),
             SimError::InputWidth { expected, got } => {
-                write!(f, "input width mismatch: network expects {expected}, got {got}")
+                write!(
+                    f,
+                    "input width mismatch: network expects {expected}, got {got}"
+                )
             }
             SimError::BatchMismatch { expected, got } => {
-                write!(f, "batch mismatch: simulator runs {expected} lanes, input has {got}")
+                write!(
+                    f,
+                    "batch mismatch: simulator runs {expected} lanes, input has {got}"
+                )
             }
             SimError::StateWidth { expected, got } => write!(
                 f,
                 "session state width mismatch: network has {expected} state bits, session \
                  carries {got} (created for a different model?)"
             ),
-            SimError::NonBinary { stage, feature, lane, value } => write!(
+            SimError::NonBinary {
+                stage,
+                feature,
+                lane,
+                value,
+            } => write!(
                 f,
                 "exactness violation: {stage}[feature {feature}, lane {lane}] = {value} \
                  is not 0 or 1"
@@ -190,7 +201,10 @@ impl<T: Scalar> CompiledNn<T> {
             return Err(SimError::NoLayers);
         }
         if x.rows() != self.in_width() {
-            return Err(SimError::InputWidth { expected: self.in_width(), got: x.rows() });
+            return Err(SimError::InputWidth {
+                expected: self.in_width(),
+                got: x.rows(),
+            });
         }
         Ok(self.forward_with(x, device, scratch))
     }
@@ -210,7 +224,10 @@ impl<T: Scalar> CompiledNn<T> {
             return Err(SimError::NoLayers);
         }
         if inputs.len() != self.in_width() {
-            return Err(SimError::InputWidth { expected: self.in_width(), got: inputs.len() });
+            return Err(SimError::InputWidth {
+                expected: self.in_width(),
+                got: inputs.len(),
+            });
         }
         Ok(self.eval(inputs))
     }
@@ -301,7 +318,11 @@ impl<'a, T: Scalar> Simulator<'a, T> {
     /// the feature-major state tensor). Exists for the session layer.
     pub(crate) fn state_lanes_raw(&self) -> Vec<Vec<T>> {
         (0..self.batch)
-            .map(|l| (0..self.state.rows()).map(|f| self.state.get(f, l)).collect())
+            .map(|l| {
+                (0..self.state.rows())
+                    .map(|f| self.state.get(f, l))
+                    .collect()
+            })
             .collect()
     }
 
@@ -345,12 +366,13 @@ impl<'a, T: Scalar> Simulator<'a, T> {
         self.xbuf.resize_to(pi + s, self.batch);
         self.xbuf.data_mut()[..pi * self.batch].copy_from_slice(inputs.data());
         self.xbuf.data_mut()[pi * self.batch..].copy_from_slice(self.state.data());
-        let y = self.nn.forward_with(&self.xbuf, self.device, &mut self.scratch);
+        let y = self
+            .nn
+            .forward_with(&self.xbuf, self.device, &mut self.scratch);
         debug_assert_eq!(y.rows(), po + s);
         // split [outputs ; next state]
         let mut out = Dense::zeros(po, self.batch);
-        out.data_mut()
-            .copy_from_slice(&y.data()[..po * self.batch]);
+        out.data_mut().copy_from_slice(&y.data()[..po * self.batch]);
         self.state
             .data_mut()
             .copy_from_slice(&y.data()[po * self.batch..]);
@@ -375,15 +397,24 @@ impl<'a, T: Scalar> Simulator<'a, T> {
             return Err(SimError::NoLayers);
         }
         if inputs.cols() != self.batch {
-            return Err(SimError::BatchMismatch { expected: self.batch, got: inputs.cols() });
+            return Err(SimError::BatchMismatch {
+                expected: self.batch,
+                got: inputs.cols(),
+            });
         }
         if inputs.rows() != pi {
-            return Err(SimError::InputWidth { expected: pi, got: inputs.rows() });
+            return Err(SimError::InputWidth {
+                expected: pi,
+                got: inputs.rows(),
+            });
         }
         if let Some(reference) = self.guard {
             let now = self.nn.weight_checksum();
             if now != reference {
-                return Err(SimError::WeightsCorrupted { expected: reference, got: now });
+                return Err(SimError::WeightsCorrupted {
+                    expected: reference,
+                    got: now,
+                });
             }
             check_binary(inputs, "input")?;
             // the *current* state is consumed by this cycle, so an upset that

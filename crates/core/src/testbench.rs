@@ -52,7 +52,9 @@ pub fn parse_stim(text: &str, num_inputs: usize) -> Result<Stimulus, StimError> 
             continue;
         }
         let mut parts = line.split_whitespace();
-        let Some(bits_str) = parts.next() else { continue };
+        let Some(bits_str) = parts.next() else {
+            continue;
+        };
         let repeat = match parts.next() {
             None => 1usize,
             Some(r) => {
@@ -83,10 +85,7 @@ pub fn parse_stim(text: &str, num_inputs: usize) -> Result<Stimulus, StimError> 
         }
         if bits_str.len() != num_inputs {
             return Err(StimError {
-                message: format!(
-                    "expected {num_inputs} input bits, got {}",
-                    bits_str.len()
-                ),
+                message: format!("expected {num_inputs} input bits, got {}", bits_str.len()),
                 line: lineno + 1,
             });
         }
@@ -121,7 +120,11 @@ pub fn format_stim(stim: &Stimulus) -> String {
         while i + run < stim.cycles.len() && stim.cycles[i + run] == *cur {
             run += 1;
         }
-        let bits: String = cur.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+        let bits: String = cur
+            .iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         if run > 1 {
             s.push_str(&format!("{bits} x{run}\n"));
         } else {
@@ -179,11 +182,7 @@ mod tests {
 
     #[test]
     fn parse_repeats_and_comments() {
-        let s = parse_stim(
-            "# header comment\n10\n01 x3\n\n00 # inline\n",
-            2,
-        )
-        .unwrap();
+        let s = parse_stim("# header comment\n10\n01 x3\n\n00 # inline\n", 2).unwrap();
         assert_eq!(s.cycles.len(), 5);
         // "10" MSB-first → input0 = 0, input1 = 1
         assert_eq!(s.cycles[0], vec![false, true]);
@@ -224,7 +223,11 @@ mod tests {
         let tb1 = parse_stim("1 x7\n", 1).unwrap();
         let tb2 = parse_stim("1 x2\n0 x2\n1 x2\n", 1).unwrap();
         let tb3 = parse_stim("0 x3\n", 1).unwrap();
-        let batch = run_batch(&nn, &[tb1.clone(), tb2.clone(), tb3.clone()], Device::Serial);
+        let batch = run_batch(
+            &nn,
+            &[tb1.clone(), tb2.clone(), tb3.clone()],
+            Device::Serial,
+        );
         // each result has its own length
         assert_eq!(batch[0].cycles.len(), 7);
         assert_eq!(batch[1].cycles.len(), 6);

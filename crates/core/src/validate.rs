@@ -94,12 +94,19 @@ impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateError::NoLayers => write!(f, "model has no layers"),
-            ValidateError::WidthMismatch { layer, expected, got } => write!(
+            ValidateError::WidthMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(
                 f,
                 "layer {layer}: input width {got} does not chain (upstream provides {expected})"
             ),
             ValidateError::BiasLength { layer, rows, bias } => {
-                write!(f, "layer {layer}: bias has {bias} entries for {rows} output rows")
+                write!(
+                    f,
+                    "layer {layer}: bias has {bias} entries for {rows} output rows"
+                )
             }
             ValidateError::Csr { layer, error } => {
                 write!(f, "layer {layer}: malformed weight matrix: {error}")
@@ -110,7 +117,11 @@ impl fmt::Display for ValidateError {
             ValidateError::NonInteger { layer, what, value } => {
                 write!(f, "layer {layer}: non-integer {what} = {value}")
             }
-            ValidateError::ExactnessMargin { layer, worst_case, limit } => write!(
+            ValidateError::ExactnessMargin {
+                layer,
+                worst_case,
+                limit,
+            } => write!(
                 f,
                 "layer {layer}: worst-case accumulation {worst_case} exceeds the exact \
                  integer range ±{limit} of the scalar type"
@@ -143,7 +154,10 @@ pub struct ValidationReport {
 impl ValidationReport {
     /// The tightest headroom across all layers.
     pub fn min_headroom(&self) -> f64 {
-        self.margins.iter().map(|m| m.headroom).fold(f64::INFINITY, f64::min)
+        self.margins
+            .iter()
+            .map(|m| m.headroom)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -220,11 +234,19 @@ impl<T: Scalar> CompiledNn<T> {
                 });
             }
             if worst > limit as f64 {
-                return Err(ValidateError::ExactnessMargin { layer: i, worst_case: worst, limit });
+                return Err(ValidateError::ExactnessMargin {
+                    layer: i,
+                    worst_case: worst,
+                    limit,
+                });
             }
             margins.push(LayerMargin {
                 worst_case: worst,
-                headroom: if worst == 0.0 { f64::INFINITY } else { limit as f64 / worst },
+                headroom: if worst == 0.0 {
+                    f64::INFINITY
+                } else {
+                    limit as f64 / worst
+                },
             });
             in_bound = out_bound;
         }
@@ -238,11 +260,18 @@ fn check_value<T: Scalar>(
     what: impl Fn() -> String,
 ) -> Result<(), ValidateError> {
     if !v.is_finite() {
-        return Err(ValidateError::NonFinite { layer, what: what() });
+        return Err(ValidateError::NonFinite {
+            layer,
+            what: what(),
+        });
     }
     let f = v.to_f64();
     if f.trunc() != f {
-        return Err(ValidateError::NonInteger { layer, what: what(), value: f });
+        return Err(ValidateError::NonInteger {
+            layer,
+            what: what(),
+            value: f,
+        });
     }
     Ok(())
 }
@@ -304,13 +333,21 @@ mod tests {
         nn.num_primary_inputs = 3;
         assert!(matches!(
             nn.validate().unwrap_err(),
-            ValidateError::WidthMismatch { layer: 0, expected: 3, got: 2 }
+            ValidateError::WidthMismatch {
+                layer: 0,
+                expected: 3,
+                got: 2
+            }
         ));
         let mut nn = tiny();
         nn.num_primary_outputs = 1;
         assert!(matches!(
             nn.validate().unwrap_err(),
-            ValidateError::WidthMismatch { layer: 2, expected: 1, got: 2 }
+            ValidateError::WidthMismatch {
+                layer: 2,
+                expected: 1,
+                got: 2
+            }
         ));
     }
 
@@ -320,7 +357,11 @@ mod tests {
         nn.layers[1].bias.pop();
         assert!(matches!(
             nn.validate().unwrap_err(),
-            ValidateError::BiasLength { layer: 1, rows: 2, bias: 1 }
+            ValidateError::BiasLength {
+                layer: 1,
+                rows: 2,
+                bias: 1
+            }
         ));
     }
 
@@ -328,10 +369,16 @@ mod tests {
     fn non_finite_weight_rejected() {
         let mut nn = tiny();
         nn.layers[0].weights.values_mut()[0] = f32::NAN;
-        assert!(matches!(nn.validate().unwrap_err(), ValidateError::NonFinite { layer: 0, .. }));
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::NonFinite { layer: 0, .. }
+        ));
         let mut nn = tiny();
         nn.layers[1].bias[0] = f32::INFINITY;
-        assert!(matches!(nn.validate().unwrap_err(), ValidateError::NonFinite { layer: 1, .. }));
+        assert!(matches!(
+            nn.validate().unwrap_err(),
+            ValidateError::NonFinite { layer: 1, .. }
+        ));
     }
 
     #[test]
@@ -352,7 +399,10 @@ mod tests {
         // 2^24 * 1 + 0 > limit? equal is fine; push over with the bias
         nn.layers[1].bias[0] = (1u32 << 24) as f32;
         let err = nn.validate().unwrap_err();
-        assert!(matches!(err, ValidateError::ExactnessMargin { layer: 1, .. }), "{err:?}");
+        assert!(
+            matches!(err, ValidateError::ExactnessMargin { layer: 1, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@ use proptest::prelude::*;
 /// meaningful: lane `l`, feature `f` reads `bits[(l * features + f) % len]`.
 fn lanes_from_pool(bits: &[bool], batch: usize, features: usize) -> Vec<Vec<bool>> {
     (0..batch)
-        .map(|l| (0..features).map(|f| bits[(l * features + f) % bits.len()]).collect())
+        .map(|l| {
+            (0..features)
+                .map(|f| bits[(l * features + f) % bits.len()])
+                .collect()
+        })
         .collect()
 }
 

@@ -85,7 +85,9 @@ fn sequential_counter_matches_reference_batched() {
     for cycle in 0..50 {
         let mut rows = Vec::with_capacity(batch);
         for _ in 0..batch {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let en = seed >> 20 & 1 == 1;
             let ld = seed >> 21 & 0b111 == 0; // occasional load
             let mut row = vec![en, ld];
@@ -127,7 +129,9 @@ fn devices_agree() {
     for _ in 0..30 {
         let rows: Vec<Vec<bool>> = (0..batch)
             .map(|l| {
-                seed = seed.wrapping_mul(2862933555777941757).wrapping_add(l as u64);
+                seed = seed
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(l as u64);
                 (0..7).map(|j| seed >> (13 + j) & 1 == 1).collect()
             })
             .collect();
@@ -174,8 +178,12 @@ fn stats_are_sane() {
 fn layer_count_shrinks_with_l() {
     // Fig. 6 top: layers ~ O((log2 L)^-1)
     let nl = adder(8);
-    let l3 = compile(&nl, CompileOptions::with_l(3)).unwrap().num_layers();
-    let l11 = compile(&nl, CompileOptions::with_l(11)).unwrap().num_layers();
+    let l3 = compile(&nl, CompileOptions::with_l(3))
+        .unwrap()
+        .num_layers();
+    let l11 = compile(&nl, CompileOptions::with_l(11))
+        .unwrap()
+        .num_layers();
     assert!(l11 < l3, "layers at L=11 ({l11}) < layers at L=3 ({l3})");
 }
 
@@ -183,8 +191,12 @@ fn layer_count_shrinks_with_l() {
 fn connections_grow_with_l() {
     // Fig. 6 bottom: connections ~ O(2^L) (for circuits big enough to split)
     let nl = adder(8);
-    let c3 = compile(&nl, CompileOptions::with_l(3)).unwrap().connections();
-    let c11 = compile(&nl, CompileOptions::with_l(11)).unwrap().connections();
+    let c3 = compile(&nl, CompileOptions::with_l(3))
+        .unwrap()
+        .connections();
+    let c11 = compile(&nl, CompileOptions::with_l(11))
+        .unwrap()
+        .connections();
     assert!(
         c11 > c3,
         "connections at L=11 ({c11}) should exceed L=3 ({c3})"
@@ -273,7 +285,11 @@ fn random_sequential_circuits_equivalent() {
                 let stim: Vec<bool> = (0..4).map(|_| rng() & 1 == 1).collect();
                 let x = Dense::<f32>::from_lanes(std::slice::from_ref(&stim));
                 let y = nn_sim.step(&x);
-                assert_eq!(y.to_lanes()[0], r.step(&stim), "trial {trial} L={l} cyc {cyc}");
+                assert_eq!(
+                    y.to_lanes()[0],
+                    r.step(&stim),
+                    "trial {trial} L={l} cyc {cyc}"
+                );
             }
         }
     }

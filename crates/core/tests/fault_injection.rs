@@ -63,7 +63,11 @@ fn guard_detects_all_output_changing_weight_flips() {
     let baseline = run_unguarded(&nn, &stim);
 
     let sites = faults::enumerate_sites(&nn);
-    assert!(sites.len() > 100, "campaign too small: {} sites", sites.len());
+    assert!(
+        sites.len() > 100,
+        "campaign too small: {} sites",
+        sites.len()
+    );
     // Exhaustive over all single-bit parameter faults.
     let mut output_changing = 0usize;
     let mut detected_changing = 0usize;
@@ -148,7 +152,10 @@ fn guard_detects_state_upsets_that_change_outputs() {
     assert!(changing > 0, "no state upset changed an output");
     let rate = caught_changing as f64 / changing as f64;
     println!("state-upset campaign: {changing} output-changing, rate {rate:.4}");
-    assert!(rate >= 0.99, "state upset detection rate {rate:.4} below 99% floor");
+    assert!(
+        rate >= 0.99,
+        "state upset detection rate {rate:.4} below 99% floor"
+    );
 }
 
 #[test]
@@ -158,7 +165,14 @@ fn guard_reports_typed_errors() {
 
     // corrupted weights → WeightsCorrupted before any state is committed
     let mut bad = nn.clone();
-    faults::inject(&mut bad, faults::FaultSite::Weight { layer: 0, nnz: 0, bit: 0 });
+    faults::inject(
+        &mut bad,
+        faults::FaultSite::Weight {
+            layer: 0,
+            nnz: 0,
+            bit: 0,
+        },
+    );
     let mut sim = Simulator::new(&bad, 1, Device::Serial);
     sim.enable_guard_with(reference);
     let x = Dense::from_lanes(&[vec![false; 4]]);
@@ -177,7 +191,12 @@ fn guard_reports_typed_errors() {
     let mut x = Dense::from_lanes(&[vec![false; 4]]);
     x.set(2, 0, 0.5);
     match sim.try_step(&x) {
-        Err(SimError::NonBinary { stage: "input", feature: 2, lane: 0, .. }) => {}
+        Err(SimError::NonBinary {
+            stage: "input",
+            feature: 2,
+            lane: 0,
+            ..
+        }) => {}
         other => panic!("expected NonBinary input, got {other:?}"),
     }
 
@@ -186,12 +205,18 @@ fn guard_reports_typed_errors() {
     let narrow = Dense::from_lanes(&[vec![false; 3], vec![false; 3]]);
     assert_eq!(
         sim.try_step(&narrow),
-        Err(SimError::InputWidth { expected: 4, got: 3 })
+        Err(SimError::InputWidth {
+            expected: 4,
+            got: 3
+        })
     );
     let wrong_batch = Dense::from_lanes(&[vec![false; 4]]);
     assert_eq!(
         sim.try_step(&wrong_batch),
-        Err(SimError::BatchMismatch { expected: 2, got: 1 })
+        Err(SimError::BatchMismatch {
+            expected: 2,
+            got: 1
+        })
     );
 }
 
@@ -202,6 +227,9 @@ fn unguarded_and_guarded_agree_on_clean_runs() {
     let baseline = run_unguarded(&nn, &stim);
     let mut sim = Simulator::new(&nn, 8, Device::Serial);
     sim.enable_guard();
-    let guarded: Vec<_> = stim.iter().map(|s| sim.try_step(s).unwrap().to_lanes()).collect();
+    let guarded: Vec<_> = stim
+        .iter()
+        .map(|s| sim.try_step(s).unwrap().to_lanes())
+        .collect();
     assert_eq!(guarded, baseline);
 }

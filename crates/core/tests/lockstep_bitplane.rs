@@ -24,7 +24,9 @@ impl Lcg {
     }
 
     fn lanes(&mut self, batch: usize, width: usize) -> Vec<Vec<bool>> {
-        (0..batch).map(|_| (0..width).map(|_| self.bit()).collect()).collect()
+        (0..batch)
+            .map(|_| (0..width).map(|_| self.bit()).collect())
+            .collect()
     }
 }
 
@@ -55,8 +57,14 @@ fn unmerged() -> PassSet {
 /// the `Weighted` popcount fallback).
 fn configs() -> [(&'static str, CompileOptions); 2] {
     [
-        ("unmerged", CompileOptions::with_l(4).with_passes(unmerged())),
-        ("merged", CompileOptions::with_l(4).with_passes(PassSet::all())),
+        (
+            "unmerged",
+            CompileOptions::with_l(4).with_passes(unmerged()),
+        ),
+        (
+            "merged",
+            CompileOptions::with_l(4).with_passes(PassSet::all()),
+        ),
     ]
 }
 
@@ -76,8 +84,9 @@ fn bitplane_matches_simulator_and_refsim_on_the_suite() {
             let plan = BitplaneNn::from_compiled(&nn).unwrap();
             let mut bit_sim = BitplaneSimulator::new(&plan, BATCH, Device::Serial);
             let mut csr_sim = Simulator::new(&nn, BATCH, Device::Serial);
-            let mut refs: Vec<CycleSim> =
-                (0..REF_LANES.min(BATCH)).map(|_| CycleSim::new(&nl).unwrap()).collect();
+            let mut refs: Vec<CycleSim> = (0..REF_LANES.min(BATCH))
+                .map(|_| CycleSim::new(&nl).unwrap())
+                .collect();
             let mut rng = Lcg(0xb17 ^ name.len() as u64 ^ (tag.len() as u64) << 8);
             let pi = nn.num_primary_inputs;
             for cycle in 0..CYCLES {
@@ -112,11 +121,13 @@ fn unmerged_pipeline_legalizes_without_popcount_fallback() {
     // the whole point of dropping layer-merge for this backend: every
     // threshold row is a gate, every linear row a parity — no `Weighted`
     for (name, nl) in suite() {
-        let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged()))
-            .unwrap();
+        let nn = compile(&nl, CompileOptions::with_l(4).with_passes(unmerged())).unwrap();
         let plan = BitplaneNn::from_compiled(&nn).unwrap();
         let census = plan.op_census();
-        assert_eq!(census.weighted, 0, "{name}: unmerged plan fell back to Weighted");
+        assert_eq!(
+            census.weighted, 0,
+            "{name}: unmerged plan fell back to Weighted"
+        );
         assert!(census.total() > 0, "{name}: empty plan");
     }
 }
@@ -180,12 +191,12 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
 
     let mut rng = Lcg(0x5e55);
     let drive = |csr_s: &mut Vec<Session<f32>>,
-                     bit_s: &mut Vec<Session<f32>>,
-                     csr_r: &mut SessionRunner<f32>,
-                     bit_r: &mut BitplaneRunner<f32>,
-                     rng: &mut Lcg,
-                     cycles: usize,
-                     phase: &str| {
+                 bit_s: &mut Vec<Session<f32>>,
+                 csr_r: &mut SessionRunner<f32>,
+                 bit_r: &mut BitplaneRunner<f32>,
+                 rng: &mut Lcg,
+                 cycles: usize,
+                 phase: &str| {
         for cycle in 0..cycles {
             let lanes = rng.lanes(csr_s.len(), pi);
             let want = csr_r.step(csr_s, &lanes).unwrap();
@@ -195,7 +206,12 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
     };
 
     drive(
-        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        &mut csr_sessions,
+        &mut bit_sessions,
+        &mut csr_runner,
+        &mut bit_runner,
+        &mut rng,
+        4,
         "60 lanes",
     );
     for _ in 0..10 {
@@ -203,7 +219,12 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
         bit_sessions.push(Session::new(&nn));
     }
     drive(
-        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        &mut csr_sessions,
+        &mut bit_sessions,
+        &mut csr_runner,
+        &mut bit_runner,
+        &mut rng,
+        4,
         "70 lanes",
     );
     // keep a scattered handful: lanes 0, 17, 59, 63, 69
@@ -214,7 +235,12 @@ fn bitplane_runner_tracks_session_runner_through_batch_changes() {
     csr_sessions.truncate(5);
     bit_sessions.truncate(5);
     drive(
-        &mut csr_sessions, &mut bit_sessions, &mut csr_runner, &mut bit_runner, &mut rng, 4,
+        &mut csr_sessions,
+        &mut bit_sessions,
+        &mut csr_runner,
+        &mut bit_runner,
+        &mut rng,
+        4,
         "5 lanes",
     );
 

@@ -85,8 +85,7 @@ fn every_pass_prefix_stays_bit_exact_on_the_suite() {
             let nn = compile_prefix(&mapped, L, prefix);
             nnz_by_prefix.push(nn.connections());
             let mut nn_sim = Simulator::new(&nn, BATCH, Device::Serial);
-            let mut refs: Vec<CycleSim> =
-                (0..BATCH).map(|_| CycleSim::new(&nl).unwrap()).collect();
+            let mut refs: Vec<CycleSim> = (0..BATCH).map(|_| CycleSim::new(&nl).unwrap()).collect();
             let mut rng = Lcg(0x9e37 ^ prefix as u64 ^ name.len() as u64);
             let pi = nn.num_primary_inputs;
             for cycle in 0..CYCLES {
@@ -124,7 +123,9 @@ fn monomial_cse_itself_removes_nnz_on_the_suite() {
     // when cross-LUT sharing fired. The pass now collects what it shares;
     // its recorded delta must show real removal somewhere in the suite
     // (and never growth anywhere).
-    let passes = PassSet::none().with(PassId::ConstantFold).with(PassId::MonomialCse);
+    let passes = PassSet::none()
+        .with(PassId::ConstantFold)
+        .with(PassId::MonomialCse);
     let mut removed_total = 0i64;
     for (name, nl) in suite() {
         let opts = CompileOptions::with_l(4).with_passes(passes);

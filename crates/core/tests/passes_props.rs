@@ -2,9 +2,9 @@
 //! graphs, `monomial-cse` (and the passes around it) must never change the
 //! network function.
 
+use c2nn_boolfn::Lut;
 use c2nn_core::ir::lower::lower;
 use c2nn_core::ir::passes::{ConstantFold, DeadNeuronElim, LayerMerge, MonomialCse, Pass};
-use c2nn_boolfn::Lut;
 use c2nn_lutmap::{LutGraph, LutNode};
 use proptest::prelude::*;
 

@@ -108,7 +108,9 @@ fn wide_pass_reduces_depth_on_reduction_trees() {
     let mut sim = CycleSim::new(&nl).unwrap();
     let mut seed = 5u64;
     for _ in 0..20 {
-        seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        seed = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let bits: Vec<bool> = (0..64).map(|j| seed >> (j % 48) & 1 == 1).collect();
         assert_eq!(wide.eval(&bits), sim.eval_comb(&bits));
     }

@@ -31,7 +31,11 @@ pub struct Reject {
 
 impl fmt::Display for Reject {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "backend `{}` rejected the model: {}", self.backend, self.reason)
+        write!(
+            f,
+            "backend `{}` rejected the model: {}",
+            self.backend, self.reason
+        )
     }
 }
 
@@ -136,8 +140,10 @@ pub trait Plan: Send + Sync {
         let mut runner = self.runner();
         let mut sessions: Vec<Session<f32>> = stims.iter().map(|_| Session::new(nn)).collect();
         let max_cycles = stims.iter().map(|s| s.cycles.len()).max().unwrap_or(0);
-        let mut results: Vec<BenchResult> =
-            stims.iter().map(|_| BenchResult { cycles: Vec::new() }).collect();
+        let mut results: Vec<BenchResult> = stims
+            .iter()
+            .map(|_| BenchResult { cycles: Vec::new() })
+            .collect();
         for c in 0..max_cycles {
             let inputs: Vec<Vec<bool>> = stims
                 .iter()

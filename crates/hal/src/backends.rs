@@ -48,12 +48,18 @@ pub struct CsrBackend {
 impl CsrBackend {
     /// The serial single-thread engine.
     pub fn scalar() -> Self {
-        CsrBackend { name: "scalar", device: Device::Serial }
+        CsrBackend {
+            name: "scalar",
+            device: Device::Serial,
+        }
     }
 
     /// The pool-sharded engine (the default before the HAL existed).
     pub fn pooled() -> Self {
-        CsrBackend { name: "pooled-csr", device: Device::Parallel }
+        CsrBackend {
+            name: "pooled-csr",
+            device: Device::Parallel,
+        }
     }
 }
 
@@ -171,7 +177,10 @@ impl Backend for BitplaneBackend {
             .row_classes
             .entries()
             .iter()
-            .map(|&(class, rows)| RowClassCount { class: class.to_string(), rows })
+            .map(|&(class, rows)| RowClassCount {
+                class: class.to_string(),
+                rows,
+            })
             .collect();
         let manifest = Manifest {
             backend: "bitplane".to_string(),
@@ -181,6 +190,10 @@ impl Backend for BitplaneBackend {
             weighted_units,
             row_classes,
         };
-        Ok(Arc::new(BitplanePlan { nn: Arc::clone(nn), program, manifest }))
+        Ok(Arc::new(BitplanePlan {
+            nn: Arc::clone(nn),
+            program,
+            manifest,
+        }))
     }
 }

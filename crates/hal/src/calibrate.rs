@@ -36,7 +36,10 @@ pub struct CalibrateOptions {
 
 impl Default for CalibrateOptions {
     fn default() -> Self {
-        CalibrateOptions { quick: false, device: "calibrated host".to_string() }
+        CalibrateOptions {
+            quick: false,
+            device: "calibrated host".to_string(),
+        }
     }
 }
 
@@ -52,7 +55,9 @@ impl Lcg {
     }
 
     fn lanes(&mut self, batch: usize, width: usize) -> Vec<Vec<bool>> {
-        (0..batch).map(|_| (0..width).map(|_| self.bit()).collect()).collect()
+        (0..batch)
+            .map(|_| (0..width).map(|_| self.bit()).collect())
+            .collect()
     }
 }
 
@@ -61,7 +66,10 @@ impl Lcg {
 fn workloads() -> Vec<(&'static str, Netlist)> {
     vec![
         ("counter12", c2nn_circuits::generators::counter(12)),
-        ("lfsr16", c2nn_circuits::generators::lfsr(16, &[15, 13, 12, 10])),
+        (
+            "lfsr16",
+            c2nn_circuits::generators::lfsr(16, &[15, 13, 12, 10]),
+        ),
         ("mult4", c2nn_circuits::generators::multiplier(4)),
     ]
 }
@@ -76,14 +84,17 @@ fn time_cycle(plan: &dyn Plan, batch: usize, quick: bool) -> f64 {
     let mut sessions: Vec<Session<f32>> = (0..batch).map(|_| Session::new(nn)).collect();
     let mut runner = plan.runner();
     // warm caches and allocation paths before the clock starts
-    runner.step(&mut sessions, &inputs).expect("calibration workload must step");
-    let (chunk, min_elapsed, max_rounds) =
-        if quick { (4, 0.002, 3) } else { (16, 0.010, 8) };
+    runner
+        .step(&mut sessions, &inputs)
+        .expect("calibration workload must step");
+    let (chunk, min_elapsed, max_rounds) = if quick { (4, 0.002, 3) } else { (16, 0.010, 8) };
     let mut cycles = 0u64;
     let start = Instant::now();
     loop {
         for _ in 0..chunk {
-            runner.step(&mut sessions, &inputs).expect("calibration workload must step");
+            runner
+                .step(&mut sessions, &inputs)
+                .expect("calibration workload must step");
         }
         cycles += chunk as u64;
         let elapsed = start.elapsed().as_secs_f64();
@@ -147,8 +158,12 @@ pub fn calibrate(
                 let m = plan.manifest();
                 let rows: u64 = m.row_classes.iter().map(|c| c.rows).sum();
                 if rows > 0 {
-                    let counter =
-                        m.row_classes.iter().filter(|c| c.class == "counter").map(|c| c.rows).sum::<u64>();
+                    let counter = m
+                        .row_classes
+                        .iter()
+                        .filter(|c| c.class == "counter")
+                        .map(|c| c.rows)
+                        .sum::<u64>();
                     coverage_num += (rows - counter) as f64;
                     coverage_den += rows as f64;
                 }
@@ -188,8 +203,7 @@ pub fn calibrate(
                     let words = (batch as u64).div_ceil(m.lanes_per_word.max(1)) as f64;
                     let residual =
                         (t - m.layers as f64 * launch_s) * unit_per_s / words - m.cheap_units;
-                    weighted_unit_factor =
-                        (residual / m.weighted_units).clamp(0.25, 16.0);
+                    weighted_unit_factor = (residual / m.weighted_units).clamp(0.25, 16.0);
                 }
                 let rows: u64 = m.row_classes.iter().map(|c| c.rows).sum();
                 if rows > 0 {
@@ -205,8 +219,11 @@ pub fn calibrate(
             }
         }
 
-        let coverage =
-            if coverage_den > 0.0 { coverage_num / coverage_den } else { 1.0 };
+        let coverage = if coverage_den > 0.0 {
+            coverage_num / coverage_den
+        } else {
+            1.0
+        };
         entries.push(BackendCalibration {
             backend: name.to_string(),
             unit_per_s,
@@ -258,7 +275,10 @@ mod tests {
     #[test]
     fn quick_calibration_produces_a_valid_file() {
         let reg = BackendRegistry::with_defaults();
-        let opts = CalibrateOptions { quick: true, device: "test host".to_string() };
+        let opts = CalibrateOptions {
+            quick: true,
+            device: "test host".to_string(),
+        };
         let cal = calibrate(&reg, &opts).unwrap();
         cal.validate().unwrap();
         assert!(cal.quick);

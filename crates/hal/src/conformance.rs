@@ -34,7 +34,9 @@ impl Lcg {
     }
 
     fn lanes(&mut self, batch: usize, width: usize) -> Vec<Vec<bool>> {
-        (0..batch).map(|_| (0..width).map(|_| self.bit()).collect()).collect()
+        (0..batch)
+            .map(|_| (0..width).map(|_| self.bit()).collect())
+            .collect()
     }
 }
 
@@ -44,7 +46,11 @@ pub fn suite_workloads() -> Vec<(&'static str, Netlist)> {
     c2nn_circuits::table1_suite()
         .into_iter()
         .map(|b| {
-            let nl = if b.name == "DMA" { c2nn_circuits::dma(4) } else { (b.build)() };
+            let nl = if b.name == "DMA" {
+                c2nn_circuits::dma(4)
+            } else {
+                (b.build)()
+            };
             (b.name, nl)
         })
         .collect()
@@ -71,22 +77,33 @@ pub fn check_backend(backend: &dyn Backend) {
         let plan = backend
             .admit(&nn)
             .unwrap_or_else(|r| panic!("{name}/{cname}: backend refused its own compile: {r}"));
-        assert_eq!(plan.backend(), name, "{cname}: plan reports the wrong backend");
+        assert_eq!(
+            plan.backend(),
+            name,
+            "{cname}: plan reports the wrong backend"
+        );
         let m = plan.manifest();
-        assert!(m.layers > 0 && m.cheap_units + m.weighted_units > 0.0, "{cname}: empty manifest");
+        assert!(
+            m.layers > 0 && m.cheap_units + m.weighted_units > 0.0,
+            "{cname}: empty manifest"
+        );
 
         let mut runner = plan.runner();
         let mut sessions: Vec<Session<f32>> = (0..BATCH).map(|_| Session::new(&nn)).collect();
         let mut csr_sim = Simulator::new(&nn, BATCH, Device::Serial);
-        let mut refs: Vec<CycleSim> =
-            (0..REF_LANES.min(BATCH)).map(|_| CycleSim::new(&nl).unwrap()).collect();
+        let mut refs: Vec<CycleSim> = (0..REF_LANES.min(BATCH))
+            .map(|_| CycleSim::new(&nl).unwrap())
+            .collect();
         let mut rng = Lcg(0xc0f ^ cname.len() as u64 ^ (name.len() as u64) << 8);
         let pi = nn.num_primary_inputs;
         for cycle in 0..CYCLES {
             let lanes = rng.lanes(BATCH, pi);
             let got = runner.step(&mut sessions, &lanes).unwrap();
             let want = csr_sim.step(&Dense::<f32>::from_lanes(&lanes)).to_lanes();
-            assert_eq!(got, want, "{name}/{cname}: diverged from Simulator at cycle {cycle}");
+            assert_eq!(
+                got, want,
+                "{name}/{cname}: diverged from Simulator at cycle {cycle}"
+            );
             for (lane, r) in refs.iter_mut().enumerate() {
                 let gold = r.step(&lanes[lane]);
                 assert_eq!(
@@ -97,7 +114,11 @@ pub fn check_backend(backend: &dyn Backend) {
         }
         // recurrent state agrees lane for lane, and session bookkeeping ran
         for (lane, s) in sessions.iter().enumerate() {
-            assert_eq!(s.cycles(), CYCLES as u64, "{name}/{cname}: lane {lane} cycle count");
+            assert_eq!(
+                s.cycles(),
+                CYCLES as u64,
+                "{name}/{cname}: lane {lane} cycle count"
+            );
         }
         let state: Vec<Vec<bool>> = sessions.iter().map(|s| s.state_bits()).collect();
         assert_eq!(
@@ -122,13 +143,18 @@ pub fn check_ragged_batches(backend: &dyn Backend) {
     // ragged lengths including an empty testbench
     let stims: Vec<Stimulus> = [7usize, 0, 12, 3, 12, 1]
         .iter()
-        .map(|&len| Stimulus { cycles: rng.lanes(len, pi) })
+        .map(|&len| Stimulus {
+            cycles: rng.lanes(len, pi),
+        })
         .collect();
     let got = plan.execute_batch(&stims).unwrap();
     let want = run_batch(&nn, &stims, Device::Serial);
     assert_eq!(got.len(), want.len());
     for (lane, (g, w)) in got.iter().zip(&want).enumerate() {
-        assert_eq!(g.cycles, w.cycles, "{name}: ragged batch lane {lane} diverged");
+        assert_eq!(
+            g.cycles, w.cycles,
+            "{name}: ragged batch lane {lane} diverged"
+        );
     }
     // empty batch is a no-op, not an error
     assert!(plan.execute_batch(&[]).unwrap().is_empty());
@@ -149,19 +175,30 @@ pub fn check_error_parity(backend: &dyn Backend) {
     // batch/input mismatch
     assert_eq!(
         runner.step(&mut sessions, &[vec![false; pi]]).unwrap_err(),
-        SimError::BatchMismatch { expected: 2, got: 1 },
+        SimError::BatchMismatch {
+            expected: 2,
+            got: 1
+        },
         "{name}: batch mismatch error shape"
     );
     // wrong input width
     assert_eq!(
-        runner.step(&mut sessions, &[vec![false; pi + 1], vec![false; pi]]).unwrap_err(),
-        SimError::InputWidth { expected: pi, got: pi + 1 },
+        runner
+            .step(&mut sessions, &[vec![false; pi + 1], vec![false; pi]])
+            .unwrap_err(),
+        SimError::InputWidth {
+            expected: pi,
+            got: pi + 1
+        },
         "{name}: input width error shape"
     );
     // foreign session (state vector from a different model)
     let other = Arc::new(
-        compile(&c2nn_circuits::generators::counter(3), backend.compile_options(CompileOptions::with_l(4)))
-            .unwrap(),
+        compile(
+            &c2nn_circuits::generators::counter(3),
+            backend.compile_options(CompileOptions::with_l(4)),
+        )
+        .unwrap(),
     );
     let mut foreign = vec![Session::new(&other)];
     let err = runner.step(&mut foreign, &[vec![false; pi]]).unwrap_err();

@@ -40,7 +40,11 @@ pub struct DeviceModel {
     /// Fixed cost per layer (kernel launch + sync), seconds.
     pub launch_s: f64,
 }
-json_struct!(DeviceModel { name, mac_per_s, launch_s });
+json_struct!(DeviceModel {
+    name,
+    mac_per_s,
+    launch_s
+});
 
 impl DeviceModel {
     /// GTX TITAN X (Maxwell) analogue: 6.1 TFLOP/s ≈ 3.05e12 MAC/s peak,
@@ -138,7 +142,12 @@ pub struct DeviceCalibration {
     /// One entry per calibrated backend.
     pub backends: Vec<BackendCalibration>,
 }
-json_struct!(DeviceCalibration { device, threads, quick, backends });
+json_struct!(DeviceCalibration {
+    device,
+    threads,
+    quick,
+    backends
+});
 
 impl DeviceCalibration {
     /// Conservative built-in defaults used when no `results/DEVICE.json`
@@ -194,10 +203,16 @@ impl DeviceCalibration {
                 return Err("calibration entry with empty backend name".to_string());
             }
             if !(b.unit_per_s.is_finite() && b.unit_per_s > 0.0) {
-                return Err(format!("backend `{}`: unit_per_s must be finite and > 0", b.backend));
+                return Err(format!(
+                    "backend `{}`: unit_per_s must be finite and > 0",
+                    b.backend
+                ));
             }
             if !(b.launch_s.is_finite() && b.launch_s >= 0.0) {
-                return Err(format!("backend `{}`: launch_s must be finite and >= 0", b.backend));
+                return Err(format!(
+                    "backend `{}`: launch_s must be finite and >= 0",
+                    b.backend
+                ));
             }
             if !(b.weighted_unit_factor.is_finite() && b.weighted_unit_factor > 0.0) {
                 return Err(format!(
@@ -206,7 +221,10 @@ impl DeviceCalibration {
                 ));
             }
             if !(0.0..=1.0).contains(&b.coverage) {
-                return Err(format!("backend `{}`: coverage must be in [0, 1]", b.backend));
+                return Err(format!(
+                    "backend `{}`: coverage must be in [0, 1]",
+                    b.backend
+                ));
             }
         }
         Ok(())

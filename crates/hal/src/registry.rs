@@ -130,7 +130,9 @@ pub struct BackendRegistry {
 impl BackendRegistry {
     /// An empty registry (for tests and embedders).
     pub fn new() -> Self {
-        BackendRegistry { backends: Vec::new() }
+        BackendRegistry {
+            backends: Vec::new(),
+        }
     }
 
     /// The registry with the three built-in engines, in the order the
@@ -173,7 +175,10 @@ impl BackendRegistry {
 
     /// Backends in effective order (shadowed duplicates dropped).
     fn effective(&self) -> Vec<&Arc<dyn Backend>> {
-        self.names().into_iter().map(|n| self.get(n).unwrap()).collect()
+        self.names()
+            .into_iter()
+            .map(|n| self.get(n).unwrap())
+            .collect()
     }
 
     /// Resolve a [`Choice`] against this registry: admit the model and —
@@ -302,7 +307,10 @@ mod tests {
     fn choice_parses_auto_case_insensitively() {
         assert_eq!(Choice::parse("AUTO"), Choice::Auto);
         assert_eq!(Choice::parse("auto"), Choice::Auto);
-        assert_eq!(Choice::parse("bitplane"), Choice::Named("bitplane".to_string()));
+        assert_eq!(
+            Choice::parse("bitplane"),
+            Choice::Named("bitplane".to_string())
+        );
         assert_eq!(Choice::Auto.to_string(), "auto");
     }
 
@@ -330,8 +338,12 @@ mod tests {
         cal.backends.retain(|b| b.backend == "scalar");
         let sel = reg.select(&model(), &Choice::Auto, &cal, 4096).unwrap();
         assert_eq!(sel.backend, "scalar");
-        let skipped: Vec<_> =
-            sel.candidates.iter().filter(|c| c.skipped.is_some()).map(|c| &c.backend).collect();
+        let skipped: Vec<_> = sel
+            .candidates
+            .iter()
+            .filter(|c| c.skipped.is_some())
+            .map(|c| &c.backend)
+            .collect();
         assert_eq!(skipped, ["pooled-csr", "bitplane"]);
     }
 }

@@ -14,15 +14,19 @@
 
 use c2nn_core::{compile, CompileOptions, CompiledNn};
 use c2nn_hal::{
-    Backend, BackendCalibration, BackendRegistry, Choice, DeviceCalibration, DeviceModel,
-    Plan, Reject,
+    Backend, BackendCalibration, BackendRegistry, Choice, DeviceCalibration, DeviceModel, Plan,
+    Reject,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
 
 fn model() -> Arc<CompiledNn<f32>> {
     Arc::new(
-        compile(&c2nn_circuits::generators::counter(6), CompileOptions::with_l(4)).unwrap(),
+        compile(
+            &c2nn_circuits::generators::counter(6),
+            CompileOptions::with_l(4),
+        )
+        .unwrap(),
     )
 }
 
@@ -215,11 +219,19 @@ fn named_rejecting_backend_is_an_error() {
 fn suite_model_auto_selects_bitplane_at_serving_batch() {
     let nn = Arc::new(compile(&c2nn_circuits::uart(), CompileOptions::with_l(4)).unwrap());
     let cal = DeviceCalibration::default_host(1);
-    let sel = BackendRegistry::global().select(&nn, &Choice::Auto, &cal, 64).unwrap();
+    let sel = BackendRegistry::global()
+        .select(&nn, &Choice::Auto, &cal, 64)
+        .unwrap();
     assert_eq!(sel.backend, "bitplane", "candidates: {:?}", sel.candidates);
     // crippling the bitplane rate flips the winner to a CSR engine
     let mut slow = cal.clone();
-    slow.backends.iter_mut().find(|b| b.backend == "bitplane").unwrap().unit_per_s = 1.0;
-    let sel = BackendRegistry::global().select(&nn, &Choice::Auto, &slow, 64).unwrap();
+    slow.backends
+        .iter_mut()
+        .find(|b| b.backend == "bitplane")
+        .unwrap()
+        .unit_per_s = 1.0;
+    let sel = BackendRegistry::global()
+        .select(&nn, &Choice::Auto, &slow, 64)
+        .unwrap();
     assert_ne!(sel.backend, "bitplane");
 }

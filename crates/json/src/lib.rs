@@ -112,7 +112,11 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "json error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -130,7 +134,10 @@ pub struct DecodeError {
 impl DecodeError {
     /// New error at the current (root) position.
     pub fn new(message: impl Into<String>) -> Self {
-        DecodeError { path: String::new(), message: message.into() }
+        DecodeError {
+            path: String::new(),
+            message: message.into(),
+        }
     }
 
     /// Prefix the path with an object field name.
@@ -175,7 +182,12 @@ impl std::error::Error for DecodeError {}
 /// Parse a complete JSON document. Never panics; trailing non-whitespace is an
 /// error.
 pub fn parse(src: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -194,7 +206,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { message: message.into(), line: self.line, col: self.col }
+        JsonError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -354,9 +370,7 @@ impl<'a> Parser<'a> {
                         };
                         out.push(ch);
                     }
-                    Some(b) => {
-                        return Err(self.err(format!("invalid escape `\\{}`", printable(b))))
-                    }
+                    Some(b) => return Err(self.err(format!("invalid escape `\\{}`", printable(b)))),
                 },
                 Some(b) if b < 0x20 => {
                     return Err(self.err("unescaped control character in string"))
@@ -384,7 +398,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -687,7 +703,10 @@ impl FromJson for f64 {
             // Non-finite values serialize as null; round them back to NaN so
             // downstream validation can reject them by name.
             Json::Null => Ok(f64::NAN),
-            other => Err(DecodeError::new(format!("expected number, found {}", kind_name(other)))),
+            other => Err(DecodeError::new(format!(
+                "expected number, found {}",
+                kind_name(other)
+            ))),
         }
     }
 }
@@ -752,7 +771,10 @@ impl<T: FromJson> FromJson for Vec<T> {
                 .enumerate()
                 .map(|(i, item)| T::from_json(item).map_err(|e| e.in_index(i)))
                 .collect(),
-            other => Err(DecodeError::new(format!("expected array, found {}", kind_name(other)))),
+            other => Err(DecodeError::new(format!(
+                "expected array, found {}",
+                kind_name(other)
+            ))),
         }
     }
 }
@@ -832,7 +854,10 @@ mod tests {
     #[test]
     fn roundtrip_basic() {
         let v = Json::Obj(vec![
-            ("a".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Null])),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Null]),
+            ),
             ("b".into(), Json::Str("hi \"there\"\n".into())),
             ("c".into(), Json::Bool(true)),
         ]);
@@ -865,7 +890,9 @@ mod tests {
             let len = (state % 64) as usize;
             let s: String = (0..len)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     char::from_u32((state >> 33) as u32 % 0x250).unwrap_or('x')
                 })
                 .collect();
@@ -897,7 +924,10 @@ mod tests {
 
     #[test]
     fn struct_mapping() {
-        let d = Demo { x: 7, y: vec![1.5, -2.0] };
+        let d = Demo {
+            x: 7,
+            y: vec![1.5, -2.0],
+        };
         let text = to_string(&d);
         let back: Demo = from_str(&text).unwrap();
         assert_eq!(back.x, 7);

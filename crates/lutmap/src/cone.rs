@@ -65,9 +65,9 @@ fn eval_net(
     }
     let gi = match drivers[net.index()] {
         Driver::Gate(gi) => gi,
-        other => panic!(
-            "cone reached {net:?} driven by {other:?} without crossing a leaf — illegal cut"
-        ),
+        other => {
+            panic!("cone reached {net:?} driven by {other:?} without crossing a leaf — illegal cut")
+        }
     };
     let gate = &nl.gates[gi];
     let ins: Vec<Vec<u64>> = gate

@@ -90,7 +90,11 @@ pub enum LutGraphError {
     /// Output references an unknown signal.
     BadOutput { index: usize, signal: u32 },
     /// A table node exceeds the LUT input bound.
-    TooWide { node: usize, inputs: usize, bound: usize },
+    TooWide {
+        node: usize,
+        inputs: usize,
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for LutGraphError {
@@ -161,13 +165,7 @@ impl LutGraph {
     pub fn levels(&self) -> Vec<u32> {
         let mut lv = vec![0u32; self.num_signals()];
         for (i, n) in self.nodes.iter().enumerate() {
-            let l = n
-                .inputs
-                .iter()
-                .map(|&s| lv[s as usize])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let l = n.inputs.iter().map(|&s| lv[s as usize]).max().unwrap_or(0) + 1;
             lv[self.num_inputs + i] = l;
         }
         lv
@@ -205,12 +203,7 @@ impl LutGraph {
 
     /// Histogram of node input counts, indexed by arity.
     pub fn arity_histogram(&self) -> Vec<usize> {
-        let max = self
-            .nodes
-            .iter()
-            .map(|n| n.inputs.len())
-            .max()
-            .unwrap_or(0);
+        let max = self.nodes.iter().map(|n| n.inputs.len()).max().unwrap_or(0);
         let mut h = vec![0usize; max + 1];
         for n in &self.nodes {
             h[n.inputs.len()] += 1;

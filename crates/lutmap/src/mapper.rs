@@ -64,7 +64,10 @@ impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MapError::Sequential => {
-                write!(f, "netlist has flip-flops; apply seq::prepare before mapping")
+                write!(
+                    f,
+                    "netlist has flip-flops; apply seq::prepare before mapping"
+                )
             }
             MapError::Netlist(m) => write!(f, "{m}"),
         }
@@ -129,7 +132,8 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
     if !nl.is_combinational() {
         return Err(MapError::Sequential);
     }
-    nl.validate().map_err(|e| MapError::Netlist(e.to_string()))?;
+    nl.validate()
+        .map_err(|e| MapError::Netlist(e.to_string()))?;
     // Cut enumeration needs a k-bounded network; binarize so every gate has
     // at most 2 inputs (3 for Mux when L permits). Wide AND/OR family gates
     // survive unsplit when the known-function pass is on.
@@ -176,13 +180,7 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
         let g = &nl.gates[gi];
         // wide known-function gates are cut barriers: only their trivial cut
         if wide_of.contains_key(&g.output) {
-            let lbl = g
-                .inputs
-                .iter()
-                .map(|i| label[i.index()])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let lbl = g.inputs.iter().map(|i| label[i.index()]).max().unwrap_or(0) + 1;
             label[g.output.index()] = lbl;
             cuts[g.output.index()] = vec![Cut {
                 leaves: vec![g.output],
@@ -223,13 +221,7 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
         }
         // finalize: depth of a cut = 1 + max(leaf labels)
         for c in &mut acc {
-            c.depth = c
-                .leaves
-                .iter()
-                .map(|l| label[l.index()])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            c.depth = c.leaves.iter().map(|l| label[l.index()]).max().unwrap_or(0) + 1;
         }
         prune(&mut acc, cfg.cuts_per_net);
         let out = g.output;
@@ -320,7 +312,11 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
             None => NodeFunc::Table(cone_truth_table(nl, &drivers, net, leaves)),
         };
         let id = (num_inputs + nodes.len()) as u32;
-        nodes.push(LutNode { inputs, func, origin: net.0 });
+        nodes.push(LutNode {
+            inputs,
+            func,
+            origin: net.0,
+        });
         signal_of.insert(net, id);
     }
 
@@ -332,9 +328,7 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
             Driver::Gate(_) => outputs.push(signal_of[&o]),
             Driver::Input(_) => outputs.push(signal_of[&o]),
             Driver::FlipFlop(_) => unreachable!("combinational netlist"),
-            Driver::None => {
-                return Err(MapError::Netlist(format!("output net {o:?} undriven")))
-            }
+            Driver::None => return Err(MapError::Netlist(format!("output net {o:?} undriven"))),
         }
     }
 
@@ -350,7 +344,11 @@ pub fn map_netlist(nl: &Netlist, cfg: MapConfig) -> Result<LutGraph, MapError> {
 
 /// Keep the `keep` best cuts by (depth, size), deduplicated.
 fn prune(cuts: &mut Vec<Cut>, keep: usize) {
-    cuts.sort_by(|a, b| a.rank().cmp(&b.rank()).then_with(|| a.leaves.cmp(&b.leaves)));
+    cuts.sort_by(|a, b| {
+        a.rank()
+            .cmp(&b.rank())
+            .then_with(|| a.leaves.cmp(&b.leaves))
+    });
     cuts.dedup_by(|a, b| a.leaves == b.leaves);
     cuts.truncate(keep);
 }
@@ -416,7 +414,10 @@ mod tests {
         let d3 = map_netlist(&nl, MapConfig::with_l(3)).unwrap().depth();
         let d8 = map_netlist(&nl, MapConfig::with_l(8)).unwrap().depth();
         assert!(d8 <= d3, "depth L=8 ({d8}) should be ≤ depth L=3 ({d3})");
-        assert!(d8 < d3, "a 6-bit adder should benefit from L=8: {d8} vs {d3}");
+        assert!(
+            d8 < d3,
+            "a 6-bit adder should benefit from L=8: {d8} vs {d3}"
+        );
     }
 
     #[test]
@@ -437,7 +438,11 @@ mod tests {
         let nl = b.finish().unwrap();
         let g = map_netlist(&nl, MapConfig::with_l(3)).unwrap();
         g.validate(3).unwrap();
-        assert!(g.nodes.len() >= 4, "9-AND at L=3 needs ≥4 LUTs, got {}", g.nodes.len());
+        assert!(
+            g.nodes.len() >= 4,
+            "9-AND at L=3 needs ≥4 LUTs, got {}",
+            g.nodes.len()
+        );
         assert_equivalent(&nl, &g);
     }
 

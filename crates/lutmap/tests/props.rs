@@ -31,7 +31,11 @@ fn random_netlist(seed: u64, gates: usize, wide: bool) -> Netlist {
                 // a wide gate over 5-9 distinct pool members
                 let n = 5 + (rng() % 5) as usize;
                 let ins: Vec<Net> = (0..n).map(|_| pool[rng() as usize % pool.len()]).collect();
-                let kind = if rng() % 2 == 0 { GateKind::And } else { GateKind::Or };
+                let kind = if rng() % 2 == 0 {
+                    GateKind::And
+                } else {
+                    GateKind::Or
+                };
                 b.gate(kind, ins)
             }
             _ => b.xnor2(i, j),

@@ -37,7 +37,13 @@ pub fn to_blif(nl: &Netlist) -> String {
             Some(s) => {
                 let clean: String = s
                     .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
                     .collect();
                 format!("{clean}_n{}", n.0)
             }
@@ -45,11 +51,19 @@ pub fn to_blif(nl: &Netlist) -> String {
         }
     };
     let mut s = String::new();
-    let _ = writeln!(s, ".model {}", if nl.name.is_empty() { "top" } else { &nl.name });
+    let _ = writeln!(
+        s,
+        ".model {}",
+        if nl.name.is_empty() { "top" } else { &nl.name }
+    );
     let _ = writeln!(
         s,
         ".inputs {}",
-        nl.inputs.iter().map(|&n| name_of(n)).collect::<Vec<_>>().join(" ")
+        nl.inputs
+            .iter()
+            .map(|&n| name_of(n))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let _ = writeln!(
         s,
@@ -211,8 +225,12 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                 });
             }
             ".latch" => {
-                let d = toks.next().ok_or_else(|| err(*line, ".latch needs input"))?;
-                let q = toks.next().ok_or_else(|| err(*line, ".latch needs output"))?;
+                let d = toks
+                    .next()
+                    .ok_or_else(|| err(*line, ".latch needs input"))?;
+                let q = toks
+                    .next()
+                    .ok_or_else(|| err(*line, ".latch needs output"))?;
                 let rest: Vec<&str> = toks.collect();
                 let init = matches!(rest.last(), Some(&"1"));
                 latches.push((*line, d.to_string(), q.to_string(), init));
@@ -233,7 +251,10 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                     // constant: single token "1" or "0"
                     let v = head.chars().next().unwrap_or('0');
                     if !matches!(v, '0' | '1') {
-                        return Err(err(*line, &format!("constant cover must be 0 or 1, got '{v}'")));
+                        return Err(err(
+                            *line,
+                            &format!("constant cover must be 0 or 1, got '{v}'"),
+                        ));
                     }
                     blk.rows.push((String::new(), v));
                 } else {
@@ -246,7 +267,10 @@ pub fn from_blif(text: &str) -> Result<Netlist, BlifError> {
                         .and_then(|t| t.chars().next())
                         .ok_or_else(|| err(*line, "cover row missing output value"))?;
                     if !matches!(out, '0' | '1') {
-                        return Err(err(*line, &format!("cover output must be 0 or 1, got '{out}'")));
+                        return Err(err(
+                            *line,
+                            &format!("cover output must be 0 or 1, got '{out}'"),
+                        ));
                     }
                     if pat.len() != blk.inputs.len() {
                         return Err(err(*line, "cover width != input count"));

@@ -78,7 +78,11 @@ impl NetlistBuilder {
         // Canonicalize commutative gates so strashing catches permutations.
         let mut inputs = inputs;
         match kind {
-            GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Nand | GateKind::Nor
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Xor
+            | GateKind::Nand
+            | GateKind::Nor
             | GateKind::Xnor => inputs.sort_unstable(),
             _ => {}
         }

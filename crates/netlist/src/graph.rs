@@ -57,13 +57,7 @@ pub fn levelize(nl: &Netlist) -> Result<Vec<u32>, NetlistError> {
     let mut level = vec![0u32; nl.num_nets as usize];
     for gi in order {
         let g = &nl.gates[gi];
-        let lvl = g
-            .inputs
-            .iter()
-            .map(|n| level[n.index()])
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let lvl = g.inputs.iter().map(|n| level[n.index()]).max().unwrap_or(0) + 1;
         level[g.output.index()] = lvl;
     }
     Ok(level)

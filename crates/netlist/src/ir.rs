@@ -155,7 +155,11 @@ pub enum NetlistError {
     /// The combinational part contains a cycle through the given net.
     CombinationalCycle(Net),
     /// A gate has the wrong number of inputs for its kind.
-    BadArity { gate: usize, kind: GateKind, got: usize },
+    BadArity {
+        gate: usize,
+        kind: GateKind,
+        got: usize,
+    },
     /// A net index is out of range.
     NetOutOfRange(Net),
     /// A flip-flop references an unknown clock index.
@@ -383,7 +387,10 @@ mod tests {
                 assert_eq!(word, if scalar { !0 } else { 0 }, "{kind:?} {bits:?}");
             }
         }
-        assert_eq!(Mux.eval_word(&[0b01, 0b10, 0b01]), 0b01 & 0b01 | !0b01 & 0b10);
+        assert_eq!(
+            Mux.eval_word(&[0b01, 0b10, 0b01]),
+            0b01 & 0b01 | !0b01 & 0b10
+        );
     }
 
     #[test]

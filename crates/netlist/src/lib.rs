@@ -47,8 +47,8 @@ pub use aig::{to_aig, Aig, Lit};
 pub use blif::{from_blif, to_blif, BlifError};
 pub use build::NetlistBuilder;
 pub use graph::{
-    binarize, binarize_with, collapse_buffers, depth, fanout_counts, levelize, stats, sweep_dead, to_dot, topo_order,
-    NetlistStats,
+    binarize, binarize_with, collapse_buffers, depth, fanout_counts, levelize, stats, sweep_dead,
+    to_dot, topo_order, NetlistStats,
 };
 pub use ir::{Driver, FlipFlop, Gate, GateKind, Net, Netlist, NetlistError};
 pub use seq::{cut_flipflops, prepare, unify_clocks, CutCircuit, SeqError};

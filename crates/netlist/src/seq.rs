@@ -229,7 +229,9 @@ mod tests {
         // constructing the increment from q.
         // NetlistBuilder::dff takes d first, so build with two passes using
         // explicit fresh nets.
-        let qs: Vec<Net> = (0..width).map(|i| b.fresh(Some(&format!("q{i}")))).collect();
+        let qs: Vec<Net> = (0..width)
+            .map(|i| b.fresh(Some(&format!("q{i}"))))
+            .collect();
         let inc = b.inc_word(&qs);
         for (i, (&q, &d)) in qs.iter().zip(&inc).enumerate() {
             // manual flip-flop since q was pre-allocated
@@ -282,8 +284,10 @@ mod tests {
         let nl = counter(4, true);
         let cut = prepare(&nl).unwrap();
         // enable pattern: 1,1,0,0,1
-        let stimuli: Vec<Vec<bool>> =
-            [true, true, false, false, true].iter().map(|&e| vec![e]).collect();
+        let stimuli: Vec<Vec<bool>> = [true, true, false, false, true]
+            .iter()
+            .map(|&e| vec![e])
+            .collect();
         let outs = run_cut(&cut, &stimuli);
         let vals: Vec<usize> = outs
             .iter()

@@ -141,13 +141,7 @@ impl WordOps for NetlistBuilder {
         let bits: Vec<Net> = a
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
-                if value >> i & 1 == 1 {
-                    x
-                } else {
-                    self.not(x)
-                }
-            })
+            .map(|(i, &x)| if value >> i & 1 == 1 { x } else { self.not(x) })
             .collect();
         self.and_many(&bits)
     }

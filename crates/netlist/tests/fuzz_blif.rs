@@ -18,9 +18,9 @@ fn assert_total(src: &str) {
 
 /// Tokens steering random soup into the BLIF grammar.
 const VOCAB: &[&str] = &[
-    ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".subckt",
-    "top", "a", "b", "y", "clk", "q", "re", "0", "1", "-", "2", "01", "10",
-    "--", "0-1", "\\", "#", "comment", "\n", "\t", " ", "é", "\u{0}",
+    ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".subckt", "top", "a", "b", "y",
+    "clk", "q", "re", "0", "1", "-", "2", "01", "10", "--", "0-1", "\\", "#", "comment", "\n",
+    "\t", " ", "é", "\u{0}",
 ];
 
 proptest! {
@@ -64,11 +64,20 @@ fn malformed_corpus_yields_typed_errors() {
     // each entry: (source, substring expected in the error message)
     let corpus: &[(&str, &str)] = &[
         // cover row width disagrees with the .names arity
-        (".model m\n.inputs a b\n.outputs y\n.names a b y\n0 1\n.end\n", ""),
+        (
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n0 1\n.end\n",
+            "",
+        ),
         // invalid cover character
-        (".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n", "invalid cover character"),
+        (
+            ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+            "invalid cover character",
+        ),
         // invalid output character in a cover row
-        (".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n", ""),
+        (
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n",
+            "",
+        ),
         // constant cover with a bad value
         (".model m\n.outputs y\n.names y\n7\n.end\n", ""),
         // .latch with too few tokens
@@ -97,7 +106,8 @@ fn malformed_corpus_yields_typed_errors() {
 fn unknown_directives_are_tolerated() {
     // SIS emits decorations like .default_input_arrival; the reader skips
     // unrecognized dot-directives rather than failing the whole file
-    let src = ".model m\n.inputs a\n.outputs y\n.default_input_arrival 0 0\n.names a y\n1 1\n.end\n";
+    let src =
+        ".model m\n.inputs a\n.outputs y\n.default_input_arrival 0 0\n.names a y\n1 1\n.end\n";
     assert!(from_blif(src).is_ok());
 }
 

@@ -176,10 +176,7 @@ mod tests {
     }
 
     fn word_val(bits: &[bool]) -> u64 {
-        bits.iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum()
+        bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
     }
 
     #[test]

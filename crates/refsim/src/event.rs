@@ -261,7 +261,9 @@ mod tests {
         let mut ev = EventSim::new(&nl).unwrap();
         let mut cy = CycleSim::new(&nl).unwrap();
         for t in 0..100u64 {
-            let stim: Vec<bool> = (0..10).map(|j| t.wrapping_mul(j + 3) >> 2 & 1 == 1).collect();
+            let stim: Vec<bool> = (0..10)
+                .map(|j| t.wrapping_mul(j + 3) >> 2 & 1 == 1)
+                .collect();
             assert_eq!(ev.step(&stim), cy.step(&stim), "cycle {t}");
         }
     }

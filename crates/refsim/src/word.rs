@@ -120,7 +120,9 @@ mod tests {
             let mut lane_inputs = vec![0u64; 4];
             let mut per_lane: Vec<Vec<bool>> = vec![vec![false; 4]; 64];
             for (lane, row) in per_lane.iter_mut().enumerate() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(lane as u64);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(lane as u64);
                 for j in 0..4 {
                     let bit = seed >> (17 + j) & 1 == 1;
                     row[j] = bit;

@@ -97,7 +97,11 @@ impl Drop for SimPermit {
 impl Admission {
     /// Budgeted admission state. `max_inflight` of 0 is clamped to 1 (a
     /// server that can admit nothing is just `begin_drain`).
-    pub fn new(max_inflight: usize, max_inflight_per_model: usize, retry_hint_ms: u64) -> Arc<Admission> {
+    pub fn new(
+        max_inflight: usize,
+        max_inflight_per_model: usize,
+        retry_hint_ms: u64,
+    ) -> Arc<Admission> {
         Arc::new(Admission {
             max_inflight: max_inflight.max(1),
             max_inflight_per_model: max_inflight_per_model.max(1),
@@ -155,7 +159,9 @@ impl Admission {
     pub fn retry_after_ms(&self) -> u64 {
         let backlog_windows =
             1 + (self.inflight().saturating_sub(self.max_inflight) / self.max_inflight) as u64;
-        self.retry_hint_ms.saturating_mul(backlog_windows).clamp(1, 1_000)
+        self.retry_hint_ms
+            .saturating_mul(backlog_windows)
+            .clamp(1, 1_000)
     }
 
     /// Try to admit one `sim` under the global budget.
@@ -175,10 +181,14 @@ impl Admission {
             })
             .is_ok();
         if admitted {
-            Ok(SimPermit { admission: Arc::clone(self) })
+            Ok(SimPermit {
+                admission: Arc::clone(self),
+            })
         } else {
             self.rejected_sims.fetch_add(1, Ordering::Relaxed);
-            Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() })
+            Err(AdmitError::Overloaded {
+                retry_after_ms: self.retry_after_ms(),
+            })
         }
     }
 
@@ -187,7 +197,9 @@ impl Admission {
     pub fn check_model_budget(&self, model_queue_depth: u64) -> Result<(), AdmitError> {
         if model_queue_depth >= self.max_inflight_per_model as u64 {
             self.rejected_sims.fetch_add(1, Ordering::Relaxed);
-            Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() })
+            Err(AdmitError::Overloaded {
+                retry_after_ms: self.retry_after_ms(),
+            })
         } else {
             Ok(())
         }
@@ -202,7 +214,9 @@ impl Admission {
         }
         if self.pressure() >= Pressure::Elevated {
             self.rejected_loads.fetch_add(1, Ordering::Relaxed);
-            return Err(AdmitError::Overloaded { retry_after_ms: self.retry_after_ms() });
+            return Err(AdmitError::Overloaded {
+                retry_after_ms: self.retry_after_ms(),
+            });
         }
         Ok(())
     }
@@ -218,7 +232,9 @@ mod tests {
         let p1 = adm.try_admit_sim().unwrap();
         let p2 = adm.try_admit_sim().unwrap();
         let err = adm.try_admit_sim().unwrap_err();
-        assert!(matches!(err, AdmitError::Overloaded { retry_after_ms } if (1..=1000).contains(&retry_after_ms)));
+        assert!(
+            matches!(err, AdmitError::Overloaded { retry_after_ms } if (1..=1000).contains(&retry_after_ms))
+        );
         assert_eq!(adm.rejected_sims.load(Ordering::Relaxed), 1);
         drop(p1);
         let _p3 = adm.try_admit_sim().expect("released permit readmits");
@@ -247,8 +263,13 @@ mod tests {
             matches!(adm.try_admit_load(), Err(AdmitError::Overloaded { .. })),
             "loads refused while sims still admitted"
         );
-        let _p2 = adm.try_admit_sim().expect("sims still admitted at Elevated");
-        assert!(matches!(adm.try_admit_sim(), Err(AdmitError::Overloaded { .. })));
+        let _p2 = adm
+            .try_admit_sim()
+            .expect("sims still admitted at Elevated");
+        assert!(matches!(
+            adm.try_admit_sim(),
+            Err(AdmitError::Overloaded { .. })
+        ));
         assert_eq!(adm.rejected_loads.load(Ordering::Relaxed), 1);
     }
 
@@ -257,7 +278,10 @@ mod tests {
         let adm = Admission::new(8, usize::MAX, 1);
         adm.begin_drain();
         assert!(matches!(adm.try_admit_sim(), Err(AdmitError::ShuttingDown)));
-        assert!(matches!(adm.try_admit_load(), Err(AdmitError::ShuttingDown)));
+        assert!(matches!(
+            adm.try_admit_load(),
+            Err(AdmitError::ShuttingDown)
+        ));
         assert_eq!(adm.rejected_draining.load(Ordering::Relaxed), 2);
     }
 

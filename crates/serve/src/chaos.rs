@@ -194,8 +194,7 @@ impl Chaos {
 
     /// Total injections performed so far (panics + stalls).
     pub fn injected(&self) -> u64 {
-        self.injected_panics.load(Ordering::Relaxed)
-            + self.injected_stalls.load(Ordering::Relaxed)
+        self.injected_panics.load(Ordering::Relaxed) + self.injected_stalls.load(Ordering::Relaxed)
     }
 
     /// Worker panics injected so far.
@@ -215,7 +214,11 @@ impl Chaos {
         if p >= 1.0 {
             return true;
         }
-        self.rng.lock().unwrap_or_else(|e| e.into_inner()).next_f64() < p
+        self.rng
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_f64()
+            < p
     }
 
     fn take_budget(left: &AtomicU64) -> bool {
@@ -275,7 +278,9 @@ pub fn slow_loris_request(
     let mut body = req.encode().into_bytes();
     body.push(b'\n');
     for b in &body {
-        stream.write_all(&[*b]).map_err(|e| format!("slow write: {e}"))?;
+        stream
+            .write_all(&[*b])
+            .map_err(|e| format!("slow write: {e}"))?;
         stream.flush().ok();
         std::thread::sleep(byte_delay);
     }
@@ -305,7 +310,9 @@ pub fn send_corrupt_frame(
         })
         .collect();
     bytes.push(b'\n');
-    stream.write_all(&bytes).map_err(|e| format!("write: {e}"))?;
+    stream
+        .write_all(&bytes)
+        .map_err(|e| format!("write: {e}"))?;
     read_response(stream, reply_timeout)
 }
 
@@ -316,12 +323,16 @@ pub fn send_truncated_frame(addr: &str, req: &Request, keep: usize) -> Result<us
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     let body = req.encode().into_bytes(); // no trailing newline: always truncated
     let keep = keep.min(body.len());
-    stream.write_all(&body[..keep]).map_err(|e| format!("write: {e}"))?;
+    stream
+        .write_all(&body[..keep])
+        .map_err(|e| format!("write: {e}"))?;
     stream.flush().ok();
     // explicit half-close so the server sees EOF mid-frame immediately
     stream.shutdown(std::net::Shutdown::Write).ok();
     let mut sink = [0u8; 64];
-    stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
     let _ = stream.read(&mut sink); // drain any typed error reply
     Ok(keep)
 }
@@ -359,8 +370,14 @@ mod tests {
         assert_eq!(cfg.worker_panic_budget, 2);
         assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
         assert!(ChaosConfig::parse("bogus=1").is_err());
-        assert!(ChaosConfig::parse("worker_panic=2").is_err(), "rate > 1 rejected");
-        assert!(ChaosConfig::parse("stall_ms").is_err(), "missing value rejected");
+        assert!(
+            ChaosConfig::parse("worker_panic=2").is_err(),
+            "rate > 1 rejected"
+        );
+        assert!(
+            ChaosConfig::parse("stall_ms").is_err(),
+            "missing value rejected"
+        );
     }
 
     #[test]

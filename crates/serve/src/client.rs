@@ -10,12 +10,39 @@
 
 use crate::chaos::Rng;
 use crate::protocol::{
-    write_frame, FrameReader, ModelStatsReport, ProtocolError, Request, Response,
-    ServerStatsReport,
+    write_frame, FrameReader, ModelStatsReport, ProtocolError, Request, Response, ServerStatsReport,
 };
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Fetch the Prometheus exposition from a server's `/metrics` endpoint
+/// (spoken over the same port as the framed protocol — the server sniffs
+/// `GET `). Returns the response body.
+pub fn fetch_metrics(addr: &str) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: c2nn\r\nConnection: close\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| {
+        ClientError::Protocol(ProtocolError {
+            message: "metrics response is not UTF-8".into(),
+        })
+    })?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        ClientError::Protocol(ProtocolError {
+            message: "malformed HTTP response".into(),
+        })
+    })?;
+    if !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("").to_string();
+        return Err(ClientError::Server(format!(
+            "metrics scrape failed: {status}"
+        )));
+    }
+    Ok(body.to_string())
+}
 
 /// One connection to a c2nn server. Strictly request/response: each helper
 /// sends one frame and blocks for one reply.
@@ -140,7 +167,12 @@ impl Backoff {
     /// Backoff starting at `base`, doubling per attempt, never exceeding
     /// `cap`.
     pub fn new(seed: u64, base: Duration, cap: Duration) -> Backoff {
-        Backoff { rng: Rng::new(seed), base: base.max(Duration::from_millis(1)), cap, attempt: 0 }
+        Backoff {
+            rng: Rng::new(seed),
+            base: base.max(Duration::from_millis(1)),
+            cap,
+            attempt: 0,
+        }
     }
 
     /// Forget accumulated attempts (call after a success).
@@ -173,7 +205,10 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: FrameReader::new(stream) })
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream),
+        })
     }
 
     /// Connect, retrying transient failures (connection refused/reset) up
@@ -223,7 +258,9 @@ impl Client {
             }
         };
         let text = String::from_utf8(frame).map_err(|_| {
-            ClientError::Protocol(ProtocolError { message: "response is not UTF-8".into() })
+            ClientError::Protocol(ProtocolError {
+                message: "response is not UTF-8".into(),
+            })
         })?;
         match Response::decode(&text)? {
             Response::Error { message } => Err(ClientError::Server(message)),
@@ -320,7 +357,10 @@ mod tests {
     fn backoff_grows_caps_and_respects_hints() {
         let mut b = Backoff::new(7, Duration::from_millis(10), Duration::from_millis(200));
         let d1 = b.next_delay(None);
-        assert!(d1 >= Duration::from_millis(5) && d1 <= Duration::from_millis(10), "{d1:?}");
+        assert!(
+            d1 >= Duration::from_millis(5) && d1 <= Duration::from_millis(10),
+            "{d1:?}"
+        );
         for _ in 0..10 {
             assert!(b.next_delay(None) <= Duration::from_millis(200), "capped");
         }
@@ -343,11 +383,10 @@ mod tests {
     #[test]
     fn transient_classification() {
         assert!(ClientError::Overloaded { retry_after_ms: 5 }.is_transient());
-        assert!(ClientError::Io(io::Error::new(
-            io::ErrorKind::ConnectionRefused,
-            "refused"
-        ))
-        .is_transient());
+        assert!(
+            ClientError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+                .is_transient()
+        );
         assert!(!ClientError::ShuttingDown.is_transient());
         assert!(!ClientError::DeadlineExceeded.is_transient());
         assert!(!ClientError::Server("boom".into()).is_transient());

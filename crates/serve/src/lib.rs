@@ -40,6 +40,10 @@
 pub mod admission;
 pub mod chaos;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
+pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
@@ -50,10 +54,12 @@ pub mod stats;
 pub use admission::{Admission, AdmitError, Pressure, SimPermit};
 pub use chaos::{Chaos, ChaosConfig, Rng};
 pub use client::{Backoff, Client, ClientError, StatsSnapshot};
+pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
+pub use metrics::IoGauges;
 pub use protocol::{
-    BackendSelectionReport, FrameReader, ModelStatsReport, ProtocolError, Request,
+    BackendSelectionReport, FrameBuffer, FrameReader, ModelStatsReport, ProtocolError, Request,
     Response, ServerStatsReport, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use registry::{Registry, RegistryConfig};
 pub use scheduler::{BatchConfig, ServedModel, SimFailure, SimOutput};
-pub use server::{spawn_server, ServerConfig, ServerHandle};
+pub use server::{spawn_server, IoModel, ServerConfig, ServerHandle};

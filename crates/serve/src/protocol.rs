@@ -229,7 +229,9 @@ pub struct ProtocolError {
 
 impl ProtocolError {
     fn new(message: impl Into<String>) -> Self {
-        ProtocolError { message: message.into() }
+        ProtocolError {
+            message: message.into(),
+        }
     }
 }
 
@@ -254,7 +256,11 @@ impl Request {
     pub fn encode(&self) -> String {
         let v = match self {
             Request::Ping => Json::Obj(vec![("op".into(), "ping".to_json())]),
-            Request::Load { name, model_json, deadline_ms } => {
+            Request::Load {
+                name,
+                model_json,
+                deadline_ms,
+            } => {
                 let mut fields = vec![
                     ("op".into(), "load".to_json()),
                     ("name".into(), name.to_json()),
@@ -265,7 +271,11 @@ impl Request {
                 }
                 Json::Obj(fields)
             }
-            Request::Sim { model, stim, deadline_ms } => {
+            Request::Sim {
+                model,
+                stim,
+                deadline_ms,
+            } => {
                 let mut fields = vec![
                     ("op".into(), "sim".to_json()),
                     ("model".into(), model.to_json()),
@@ -365,15 +375,20 @@ impl Response {
         let field_err = |e: c2nn_json::DecodeError| ProtocolError::new(e.to_string());
         if !ok {
             // typed rejections carry a `kind`; untyped failures an `error`
-            return match c2nn_json::opt_field::<String>(&v, "kind").map_err(field_err)?.as_deref() {
+            return match c2nn_json::opt_field::<String>(&v, "kind")
+                .map_err(field_err)?
+                .as_deref()
+            {
                 Some("overloaded") => Ok(Response::Overloaded {
                     retry_after_ms: c2nn_json::field(&v, "retry_after_ms").map_err(field_err)?,
                 }),
                 Some("deadline_exceeded") => Ok(Response::DeadlineExceeded),
-                Some(other) => {
-                    Err(ProtocolError::new(format!("unknown failure kind `{other}`")))
-                }
-                None => Ok(Response::Error { message: str_field(&v, "error")? }),
+                Some(other) => Err(ProtocolError::new(format!(
+                    "unknown failure kind `{other}`"
+                ))),
+                None => Ok(Response::Error {
+                    message: str_field(&v, "error")?,
+                }),
             };
         }
         let op = str_field(&v, "op")?;
@@ -414,6 +429,84 @@ pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Push-based incremental frame splitter: the event loop's per-connection
+/// read buffer. Bytes go in via [`push`](FrameBuffer::push) as the socket
+/// yields them; complete newline-terminated frames come out via
+/// [`next_frame`](FrameBuffer::next_frame). [`FrameReader`] wraps the same
+/// buffer behind a pull-style `Read` source, so the framing rules (length
+/// bound, newline scan) live in exactly one place.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    // bytes before this offset are known newline-free, so each push only
+    // costs a scan of fresh bytes (a 64 MiB frame arriving in 8 KiB reads
+    // must not cost a quadratic re-scan)
+    scanned: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (complete frames not yet popped plus any
+    /// partial frame). The server's drain path uses this to tell "client
+    /// mid-send, wait for their frame" from "line is idle, close now".
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is nothing buffered at all?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// First buffered bytes without consuming them (the event loop sniffs
+    /// `GET ` here to tell an HTTP metrics scrape from a JSON frame).
+    pub fn peek(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Pop the next complete frame body (without the trailing newline).
+    ///
+    /// * `Ok(Some(bytes))` — one complete frame;
+    /// * `Ok(None)` — no complete frame buffered yet;
+    /// * `Err(InvalidData)` — the partial frame already exceeds
+    ///   [`MAX_FRAME`]; the buffer is cleared because framing is no longer
+    ///   trustworthy.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let pos = self.scanned + off;
+            let mut frame: Vec<u8> = self.buf.drain(..=pos).collect();
+            frame.pop(); // the newline
+            self.scanned = 0;
+            return Ok(Some(frame));
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > MAX_FRAME {
+            self.buf.clear();
+            self.scanned = 0;
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame exceeds {MAX_FRAME} bytes"),
+            ));
+        }
+        Ok(None)
+    }
+
+    /// Drop everything buffered.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.scanned = 0;
+    }
+}
+
 /// Incremental frame reader over any byte stream.
 ///
 /// Unlike `BufRead::read_line`, a read timeout (`WouldBlock` /`TimedOut`)
@@ -422,17 +515,16 @@ pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
 /// the same frame.
 pub struct FrameReader<R> {
     inner: R,
-    buf: Vec<u8>,
-    // bytes before this offset are known newline-free, so each read only
-    // scans fresh bytes (a 64 MiB frame arriving in 8 KiB reads must not
-    // cost a quadratic re-scan)
-    scanned: usize,
+    frames: FrameBuffer,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wrap a byte stream.
     pub fn new(inner: R) -> Self {
-        FrameReader { inner, buf: Vec::new(), scanned: 0 }
+        FrameReader {
+            inner,
+            frames: FrameBuffer::new(),
+        }
     }
 
     /// The underlying stream.
@@ -444,7 +536,7 @@ impl<R: Read> FrameReader<R> {
     /// path uses this to tell "client mid-send, wait for their frame" from
     /// "line is idle, close now".
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.frames.buffered()
     }
 
     /// Read the next frame body (without the trailing newline).
@@ -457,36 +549,22 @@ impl<R: Read> FrameReader<R> {
     ///   stream that ended mid-frame.
     pub fn read_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
         loop {
-            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let pos = self.scanned + off;
-                let mut frame: Vec<u8> = self.buf.drain(..=pos).collect();
-                frame.pop(); // the newline
-                self.scanned = 0;
+            if let Some(frame) = self.frames.next_frame()? {
                 return Ok(Some(frame));
-            }
-            self.scanned = self.buf.len();
-            if self.buf.len() > MAX_FRAME {
-                self.buf.clear();
-                self.scanned = 0;
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("frame exceeds {MAX_FRAME} bytes"),
-                ));
             }
             let mut chunk = [0u8; 8192];
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
-                    if self.buf.is_empty() {
+                    if self.frames.is_empty() {
                         return Ok(None);
                     }
-                    self.buf.clear();
-                    self.scanned = 0;
+                    self.frames.clear();
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "stream ended mid-frame",
                     ));
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.frames.push(&chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
@@ -539,7 +617,11 @@ mod tests {
         let body = r#"{"op":"sim","model":"m","stim":"1\n"}"#;
         assert_eq!(
             Request::decode(body).unwrap(),
-            Request::Sim { model: "m".into(), stim: "1\n".into(), deadline_ms: None }
+            Request::Sim {
+                model: "m".into(),
+                stim: "1\n".into(),
+                deadline_ms: None
+            }
         );
     }
 

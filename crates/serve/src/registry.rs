@@ -18,6 +18,7 @@
 
 use crate::admission::Admission;
 use crate::chaos::Chaos;
+use crate::metrics::IoGauges;
 use crate::protocol::{BackendSelectionReport, ServerStatsReport};
 use crate::scheduler::{BatchConfig, ServedModel};
 use crate::stats::ModelCounters;
@@ -81,6 +82,7 @@ struct Inner {
 pub struct Registry {
     cfg: RegistryConfig,
     admission: Arc<Admission>,
+    io: Arc<IoGauges>,
     inner: Mutex<Inner>,
 }
 
@@ -90,12 +92,15 @@ impl Registry {
         // retry hint = one coalescing window: the time the scheduler needs
         // to drain one batch's worth of queued lanes
         let retry_hint_ms = cfg.batch.max_wait.as_millis().clamp(1, 1_000) as u64;
-        let admission =
-            Admission::new(cfg.max_inflight, cfg.max_inflight_per_model, retry_hint_ms);
+        let admission = Admission::new(cfg.max_inflight, cfg.max_inflight_per_model, retry_hint_ms);
         Registry {
             admission,
             cfg,
-            inner: Mutex::new(Inner { entries: Vec::new(), tick: 0 }),
+            io: Arc::new(IoGauges::default()),
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
         }
     }
 
@@ -103,6 +108,12 @@ impl Registry {
     /// every model's batcher.
     pub fn admission(&self) -> &Arc<Admission> {
         &self.admission
+    }
+
+    /// Connection/event-loop gauges, fed by whichever I/O model serves
+    /// this registry and rendered by the metrics exposition.
+    pub fn gauges(&self) -> &Arc<IoGauges> {
+        &self.io
     }
 
     /// The armed chaos schedule, if any.
@@ -179,7 +190,10 @@ impl Registry {
         inner.tick += 1;
         let tick = inner.tick;
         inner.entries.retain(|e| e.model.name != name);
-        inner.entries.push(EntryCell { model: Arc::clone(&model), last_used: tick });
+        inner.entries.push(EntryCell {
+            model: Arc::clone(&model),
+            last_used: tick,
+        });
         self.evict_locked(&mut inner);
         Ok(model)
     }
@@ -258,7 +272,10 @@ mod tests {
     }
 
     fn tiny_registry(byte_budget: usize) -> Registry {
-        Registry::new(RegistryConfig { byte_budget, ..RegistryConfig::default() })
+        Registry::new(RegistryConfig {
+            byte_budget,
+            ..RegistryConfig::default()
+        })
     }
 
     #[test]
@@ -299,7 +316,10 @@ mod tests {
     fn newest_model_survives_even_over_budget() {
         let reg = tiny_registry(1); // absurdly small
         reg.install("only", counter_nn(4)).unwrap();
-        assert!(reg.get("only").is_some(), "most recent model is never evicted");
+        assert!(
+            reg.get("only").is_some(),
+            "most recent model is never evicted"
+        );
     }
 
     #[test]

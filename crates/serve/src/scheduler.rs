@@ -112,9 +112,29 @@ impl std::fmt::Display for SimFailure {
     }
 }
 
+/// Where a finished job's result goes. The threaded server blocks on a
+/// channel; the epoll event loop cannot block, so it hands in a hook that
+/// enqueues the result on its completion queue and wakes the loop.
+enum ReplyTo {
+    Channel(Sender<Result<SimOutput, SimFailure>>),
+    Hook(Box<dyn FnOnce(Result<SimOutput, SimFailure>) + Send>),
+}
+
+impl ReplyTo {
+    /// Deliver the result. Replies to vanished clients fail silently.
+    fn send(self, result: Result<SimOutput, SimFailure>) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTo::Hook(hook) => hook(result),
+        }
+    }
+}
+
 struct SimJob {
     stim: Stimulus,
-    reply: Sender<Result<SimOutput, SimFailure>>,
+    reply: ReplyTo,
     enqueued: Instant,
     /// Absolute client deadline; `None` means "whenever".
     deadline: Option<Instant>,
@@ -166,7 +186,13 @@ impl ServedModel {
         admission: Arc<Admission>,
         chaos: Option<Arc<Chaos>>,
     ) -> Arc<ServedModel> {
-        let Selection { backend, auto, plan, predicted_lane_cps, .. } = selection;
+        let Selection {
+            backend,
+            auto,
+            plan,
+            predicted_lane_cps,
+            ..
+        } = selection;
         let nn = Arc::clone(plan.nn());
         let bytes = nn.memory_bytes();
         let stats = Arc::new(ModelCounters::default());
@@ -222,7 +248,8 @@ impl ServedModel {
 
     /// Snapshot this model's counters into the wire-format report.
     pub fn report(&self) -> ModelStatsReport {
-        self.stats.report(&self.name, self.bytes, &self.backend, self.auto_selected)
+        self.stats
+            .report(&self.name, self.bytes, &self.backend, self.auto_selected)
     }
 
     /// Enqueue one testbench (already width-checked against
@@ -238,13 +265,47 @@ impl ServedModel {
         let (rtx, rrx) = mpsc::channel();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-        let job = SimJob { stim, reply: rtx, enqueued: Instant::now(), deadline };
+        let job = SimJob {
+            stim,
+            reply: ReplyTo::Channel(rtx),
+            enqueued: Instant::now(),
+            deadline,
+        };
         if self.queue.send(job).is_err() {
             // batcher thread died (can only happen at teardown); the caller
             // sees a disconnected receiver
             self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         }
         rrx
+    }
+
+    /// Enqueue one testbench with a completion hook instead of a channel:
+    /// the hook runs on the batcher thread when the result is ready. The
+    /// epoll event loop uses this to get woken instead of blocking a
+    /// thread per request — the hook must therefore never block (the event
+    /// loop's hook pushes onto a queue and writes one wake byte).
+    ///
+    /// The hook is guaranteed to run exactly once: a batcher that has
+    /// already exited (teardown) fails the job inline with
+    /// [`SimFailure::ShuttingDown`].
+    pub fn submit_with(
+        &self,
+        stim: Stimulus,
+        deadline: Option<Instant>,
+        on_reply: Box<dyn FnOnce(Result<SimOutput, SimFailure>) + Send>,
+    ) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let job = SimJob {
+            stim,
+            reply: ReplyTo::Hook(on_reply),
+            enqueued: Instant::now(),
+            deadline,
+        };
+        if let Err(mpsc::SendError(job)) = self.queue.send(job) {
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            job.reply.send(Err(SimFailure::ShuttingDown));
+        }
     }
 }
 
@@ -291,7 +352,7 @@ fn batch_loop(
             .partition(|j| j.deadline.is_none_or(|d| d > now));
         for job in expired {
             stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-            finish_job(stats, &job, Err(SimFailure::DeadlineExceeded));
+            finish_job(stats, job, Err(SimFailure::DeadlineExceeded));
         }
         if live.is_empty() {
             continue;
@@ -308,11 +369,11 @@ fn batch_loop(
 
 /// Send one job's reply and settle its counters. Replies to vanished
 /// clients fail silently.
-fn finish_job(stats: &ModelCounters, job: &SimJob, reply: Result<SimOutput, SimFailure>) {
+fn finish_job(stats: &ModelCounters, job: SimJob, reply: Result<SimOutput, SimFailure>) {
     let us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
     stats.latency.observe_us(us);
     stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-    let _ = job.reply.send(reply);
+    job.reply.send(reply);
 }
 
 /// Execute one coalesced batch and scatter results. Every job gets a reply
@@ -341,7 +402,13 @@ fn run_coalesced(
         // their recorded outputs stop at their own length
         let inputs: Vec<Vec<bool>> = jobs
             .iter()
-            .map(|j| j.stim.cycles.get(c).cloned().unwrap_or_else(|| vec![false; pi]))
+            .map(|j| {
+                j.stim
+                    .cycles
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_else(|| vec![false; pi])
+            })
             .collect();
         // the forward pass may panic (a pool worker dying, injected or
         // real); contain it to this batch — the batcher must outlive any
@@ -378,7 +445,7 @@ fn run_coalesced(
             }
         }
     }
-    for (job, result) in jobs.iter().zip(results) {
+    for (job, result) in jobs.into_iter().zip(results) {
         let reply = match &failure {
             Some(f) => Err(f.clone()),
             None => Ok(SimOutput { outputs: result }),
@@ -421,8 +488,10 @@ mod tests {
             .iter()
             .map(|s| model.submit(parse_stim(s, 1).unwrap(), None))
             .collect();
-        let outs: Vec<SimOutput> =
-            rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+        let outs: Vec<SimOutput> = rxs
+            .into_iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
         // lane 0: counts 0,1,2 over 3 cycles
         let vals: Vec<u32> = outs[0]
             .outputs
@@ -435,7 +504,10 @@ mod tests {
         assert_eq!(outs[3].outputs.len(), 1);
         let report = model.report();
         assert_eq!(report.requests, 4);
-        assert!(report.mean_occupancy > 1.0, "expected coalescing, got {report:?}");
+        assert!(
+            report.mean_occupancy > 1.0,
+            "expected coalescing, got {report:?}"
+        );
         assert_eq!(report.queue_depth, 0);
         assert_eq!(report.backend, "scalar");
         assert!(!report.auto_selected);
@@ -487,7 +559,11 @@ mod tests {
             .iter()
             .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
             .collect();
-        assert_eq!(vals, vec![0, 1, 2, 3], "surviving lane unaffected by the dropout");
+        assert_eq!(
+            vals,
+            vec![0, 1, 2, 3],
+            "surviving lane unaffected by the dropout"
+        );
     }
 
     #[test]
@@ -562,7 +638,11 @@ mod tests {
                 .iter()
                 .map(|s| model.submit(parse_stim(s, 1).unwrap(), None))
                 .collect();
-            replies.push(rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect());
+            replies.push(
+                rxs.into_iter()
+                    .map(|rx| rx.recv().unwrap().unwrap())
+                    .collect(),
+            );
         }
         for (i, r) in replies.iter().enumerate().skip(1) {
             assert_eq!(
@@ -613,7 +693,11 @@ mod tests {
             .iter()
             .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
             .collect();
-        assert_eq!(vals, vec![0, 1, 2], "bitplane batcher recovered bit-exactly");
+        assert_eq!(
+            vals,
+            vec![0, 1, 2],
+            "bitplane batcher recovered bit-exactly"
+        );
     }
 
     #[test]

@@ -23,13 +23,11 @@
 //! or a clean EOF, never an abrupt reset.
 
 use crate::admission::AdmitError;
-use crate::protocol::{
-    write_frame, FrameReader, Request, Response, PROTOCOL_VERSION,
-};
+use crate::protocol::{write_frame, FrameReader, Request, Response, PROTOCOL_VERSION};
 use crate::registry::{Registry, RegistryConfig};
 use crate::scheduler::SimFailure;
 use crate::signal;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +38,50 @@ use std::time::{Duration, Instant};
 /// a request already on the wire gets its typed `ShuttingDown` reply.
 const DRAIN_WINDOW: Duration = Duration::from_millis(250);
 
+/// Which I/O architecture serves connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoModel {
+    /// [`IoModel::EventLoop`] where available (Linux), else
+    /// [`IoModel::Threaded`].
+    #[default]
+    Auto,
+    /// One thread per connection with blocking reads — simple, portable,
+    /// tops out around a few hundred concurrent clients.
+    Threaded,
+    /// Single-threaded nonblocking epoll readiness loop
+    /// ([`crate::event_loop`]); scales to thousands of connections.
+    /// Linux only.
+    EventLoop,
+}
+
+impl IoModel {
+    /// Resolve [`IoModel::Auto`] for this platform.
+    pub fn resolve(self) -> IoModel {
+        match self {
+            IoModel::Auto => {
+                if cfg!(target_os = "linux") {
+                    IoModel::EventLoop
+                } else {
+                    IoModel::Threaded
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "auto" => Ok(IoModel::Auto),
+            "threads" | "threaded" => Ok(IoModel::Threaded),
+            "epoll" | "event-loop" => Ok(IoModel::EventLoop),
+            other => Err(format!("unknown io model `{other}` (auto|threads|epoll)")),
+        }
+    }
+}
+
 /// Server construction parameters.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -47,6 +89,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Registry budget, batching, and admission parameters.
     pub registry: RegistryConfig,
+    /// Connection-serving architecture.
+    pub io: IoModel,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +98,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             registry: RegistryConfig::default(),
+            io: IoModel::Auto,
         }
     }
 }
@@ -94,6 +139,13 @@ impl ServerHandle {
 
 /// Bind and start serving in a background thread.
 pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let io_model = cfg.io.resolve();
+    if io_model == IoModel::EventLoop && !cfg!(target_os = "linux") {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll event loop requires Linux (use --io threads)",
+        ));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -104,7 +156,13 @@ pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
             .name("c2nn-accept".to_string())
-            .spawn(move || accept_loop(listener, registry, shutdown))?
+            .spawn(move || match io_model {
+                #[cfg(target_os = "linux")]
+                IoModel::EventLoop => {
+                    crate::event_loop::run_event_loop(listener, registry, shutdown)
+                }
+                _ => accept_loop(listener, registry, shutdown),
+            })?
     };
     Ok(ServerHandle {
         addr,
@@ -123,7 +181,13 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<Ato
                 let shutdown = Arc::clone(&shutdown);
                 let h = std::thread::Builder::new()
                     .name("c2nn-conn".to_string())
-                    .spawn(move || handle_connection(stream, &registry, &shutdown))
+                    .spawn(move || {
+                        let io = Arc::clone(registry.gauges());
+                        io.accepted_total.fetch_add(1, Ordering::Relaxed);
+                        io.open_connections.fetch_add(1, Ordering::Relaxed);
+                        handle_connection(stream, &registry, &shutdown);
+                        io.open_connections.fetch_sub(1, Ordering::Relaxed);
+                    })
                     .expect("spawn connection handler");
                 handlers.push(h);
             }
@@ -168,34 +232,63 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
             Ok(Some(frame)) => frame,
             Ok(None) => return, // client closed cleanly
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue; // poll tick; partial frame (if any) is preserved
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // over-long frame: report and drop the connection (framing
                 // is no longer trustworthy)
-                let resp = Response::Error { message: e.to_string() };
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
                 let _ = write_frame(&mut writer, &resp.encode());
                 return;
             }
             Err(_) => return,
         };
+        registry
+            .gauges()
+            .frames_read_total
+            .fetch_add(1, Ordering::Relaxed);
         let text = match String::from_utf8(frame) {
             Ok(t) => t,
             Err(_) => {
-                let resp = Response::Error { message: "frame is not UTF-8".into() };
+                let resp = Response::Error {
+                    message: "frame is not UTF-8".into(),
+                };
                 if write_frame(&mut writer, &resp.encode()).is_err() {
                     return;
                 }
                 continue;
             }
         };
+        // An HTTP scrape on the framed port: the request line arrives as
+        // one "frame" (it ends in \n). Answer and close — same contract as
+        // the event loop's sniffer.
+        if let Some(path) = text
+            .strip_prefix("GET ")
+            .map(|r| r.split(' ').next().unwrap_or(""))
+        {
+            let body = if path == "/metrics" || path.starts_with("/metrics?") {
+                registry
+                    .gauges()
+                    .http_scrapes_total
+                    .fetch_add(1, Ordering::Relaxed);
+                crate::metrics::http_ok(&crate::metrics::render_for(registry))
+            } else {
+                crate::metrics::http_not_found()
+            };
+            let _ = writer.write_all(&body);
+            let _ = writer.shutdown(std::net::Shutdown::Write);
+            return;
+        }
         let request = match Request::decode(&text) {
             Ok(r) => r,
             Err(e) => {
-                let resp = Response::Error { message: e.to_string() };
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
                 if write_frame(&mut writer, &resp.encode()).is_err() {
                     return;
                 }
@@ -207,6 +300,10 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;
         }
+        registry
+            .gauges()
+            .frames_written_total
+            .fetch_add(1, Ordering::Relaxed);
         if is_shutdown {
             registry.admission().begin_drain();
             shutdown.store(true, Ordering::SeqCst);
@@ -232,8 +329,7 @@ fn drain_connection(reader: &mut FrameReader<TcpStream>, writer: &mut TcpStream)
             }
             Ok(None) => break, // client closed: EOF both ways
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if reader.buffered() == 0 {
                     break; // line idle, nothing mid-send — close now
@@ -249,8 +345,14 @@ fn drain_connection(reader: &mut FrameReader<TcpStream>, writer: &mut TcpStream)
 
 fn dispatch(request: Request, registry: &Registry) -> Response {
     match request {
-        Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
-        Request::Load { name, model_json, deadline_ms } => {
+        Request::Ping => Response::Pong {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Load {
+            name,
+            model_json,
+            deadline_ms,
+        } => {
             match registry.admission().try_admit_load() {
                 Ok(()) => {}
                 Err(e) => return admit_error_response(e),
@@ -261,13 +363,18 @@ fn dispatch(request: Request, registry: &Registry) -> Response {
                 return Response::DeadlineExceeded;
             }
             match registry.load(&name, &model_json) {
-                Ok(model) => Response::Loaded { name, bytes: model.bytes as u64 },
+                Ok(model) => Response::Loaded {
+                    name,
+                    bytes: model.bytes as u64,
+                },
                 Err(message) => Response::Error { message },
             }
         }
-        Request::Sim { model, stim, deadline_ms } => {
-            run_sim(registry, &model, &stim, deadline_ms)
-        }
+        Request::Sim {
+            model,
+            stim,
+            deadline_ms,
+        } => run_sim(registry, &model, &stim, deadline_ms),
         Request::Stats => Response::Stats {
             models: registry.stats(),
             server: registry.server_report(),
@@ -309,31 +416,47 @@ fn run_sim(
     }
     let stim = match c2nn_core::parse_stim(stim_text, served.nn.num_primary_inputs) {
         Ok(s) => s,
-        Err(e) => return Response::Error { message: e.to_string() },
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
     };
     let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
     let rx = served.submit(stim, deadline);
     match rx.recv() {
-        Ok(Ok(out)) => {
+        Ok(result) => sim_reply(result),
+        // The batcher dropped the reply channel — only happens at teardown.
+        Err(_) => Response::ShuttingDown,
+    }
+}
+
+/// Map a scheduler result to its wire reply — shared by the threaded path
+/// (after `rx.recv()`) and the event loop's completion hook.
+pub(crate) fn sim_reply(result: Result<crate::scheduler::SimOutput, SimFailure>) -> Response {
+    match result {
+        Ok(out) => {
             let outputs: Vec<String> = out
                 .outputs
                 .iter()
                 .map(|cycle| {
                     // LSB-first bit vector → MSB-first string, mirroring
                     // the `.stim` input reading order
-                    cycle.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+                    cycle
+                        .iter()
+                        .rev()
+                        .map(|&b| if b { '1' } else { '0' })
+                        .collect()
                 })
                 .collect();
             let cycles = outputs.len() as u64;
             Response::SimResult { outputs, cycles }
         }
-        Ok(Err(SimFailure::DeadlineExceeded)) => Response::DeadlineExceeded,
-        Ok(Err(SimFailure::ShuttingDown)) => Response::ShuttingDown,
-        Ok(Err(failure @ SimFailure::Failed(_))) => {
-            Response::Error { message: failure.to_string() }
-        }
-        // The batcher dropped the reply channel — only happens at teardown.
-        Err(_) => Response::ShuttingDown,
+        Err(SimFailure::DeadlineExceeded) => Response::DeadlineExceeded,
+        Err(SimFailure::ShuttingDown) => Response::ShuttingDown,
+        Err(failure @ SimFailure::Failed(_)) => Response::Error {
+            message: failure.to_string(),
+        },
     }
 }
 
@@ -357,6 +480,7 @@ mod tests {
                 },
                 ..RegistryConfig::default()
             },
+            ..ServerConfig::default()
         };
         spawn_server(cfg).unwrap()
     }
@@ -379,8 +503,14 @@ mod tests {
         assert_eq!(stats.models.len(), 1);
         assert_eq!(stats.models[0].name, "ctr");
         assert_eq!(stats.models[0].requests, 1);
-        assert!(!stats.models[0].backend.is_empty(), "stats carry the backend label");
-        assert!(stats.models[0].auto_selected, "default config selects by cost model");
+        assert!(
+            !stats.models[0].backend.is_empty(),
+            "stats carry the backend label"
+        );
+        assert!(
+            stats.models[0].auto_selected,
+            "default config selects by cost model"
+        );
         assert_eq!(stats.server.pressure, "nominal");
         assert!(!stats.server.draining);
         assert_eq!(stats.server.backends.len(), 1);

@@ -11,16 +11,23 @@
 use crate::protocol::ModelStatsReport;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const BUCKETS: usize = 40;
+/// Number of power-of-two latency buckets (also the length of
+/// [`LatencyHistogram::bucket_counts`]).
+pub const BUCKETS: usize = 40;
 
 /// Histogram over `2^i` microsecond buckets.
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Total of all recorded latencies, for the Prometheus `_sum` sample.
+    sum_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
     }
 }
 
@@ -29,12 +36,33 @@ impl LatencyHistogram {
     pub fn observe_us(&self, us: u64) {
         let b = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Per-bucket observation counts (not cumulative), index `i` covering
+    /// latencies up to [`bucket_upper_bound_us`]`(i)`.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all recorded latencies in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
     }
 
     /// The upper bound (µs) of the bucket containing quantile `q` (0..=1).
     /// Returns 0 when no observations were recorded.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -49,6 +77,12 @@ impl LatencyHistogram {
         }
         upper_bound_us(BUCKETS - 1)
     }
+}
+
+/// Upper bound (µs) of histogram bucket `i` — shared with the Prometheus
+/// renderer, which derives its `le` labels from the same boundaries.
+pub fn bucket_upper_bound_us(bucket: usize) -> u64 {
+    upper_bound_us(bucket)
 }
 
 fn upper_bound_us(bucket: usize) -> u64 {
@@ -98,7 +132,11 @@ impl ModelCounters {
             requests: self.requests.load(Ordering::Relaxed),
             batches,
             lanes,
-            mean_occupancy: if batches == 0 { 0.0 } else { lanes as f64 / batches as f64 },
+            mean_occupancy: if batches == 0 {
+                0.0
+            } else {
+                lanes as f64 / batches as f64
+            },
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),

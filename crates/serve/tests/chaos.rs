@@ -29,7 +29,10 @@ fn refsim_outputs(stim_text: &str) -> Vec<String> {
         .iter()
         .map(|cycle| {
             let out = sim.step(cycle);
-            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+            out.iter()
+                .rev()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
         })
         .collect()
 }
@@ -48,6 +51,7 @@ fn chaos_server(spec: &str, backend: &str) -> (ServerHandle, Arc<Chaos>) {
             chaos: Some(Arc::clone(&chaos)),
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .unwrap();
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
@@ -71,7 +75,10 @@ fn injected_worker_panic_fails_typed_then_heals_bit_exact() {
     // first sim rides the poisoned batch
     match c.sim("ctr", stim) {
         Err(ClientError::Server(msg)) => {
-            assert!(msg.contains("panicked"), "failure must say what happened: {msg}");
+            assert!(
+                msg.contains("panicked"),
+                "failure must say what happened: {msg}"
+            );
         }
         Ok(_) => panic!("first batch must fail: the chaos schedule injects a panic into it"),
         Err(e) => panic!("expected a typed server error, got {e}"),
@@ -80,7 +87,11 @@ fn injected_worker_panic_fails_typed_then_heals_bit_exact() {
 
     // the pool healed and the batcher survived: same connection, bit-exact
     for _ in 0..3 {
-        assert_eq!(c.sim("ctr", stim).unwrap(), expected, "post-heal batch must be bit-exact");
+        assert_eq!(
+            c.sim("ctr", stim).unwrap(),
+            expected,
+            "post-heal batch must be bit-exact"
+        );
     }
 
     let stats = c.stats().unwrap();
@@ -174,7 +185,11 @@ fn corrupt_frames_get_typed_errors_and_server_survives() {
 fn truncated_frames_only_hurt_their_own_connection() {
     let (server, _chaos) = chaos_server("seed=13", "scalar");
     let addr = server.local_addr().to_string();
-    let req = Request::Sim { model: "ctr".into(), stim: "1 x4\n".into(), deadline_ms: None };
+    let req = Request::Sim {
+        model: "ctr".into(),
+        stim: "1 x4\n".into(),
+        deadline_ms: None,
+    };
     for keep in [1usize, 10, 30] {
         send_truncated_frame(&addr, &req, keep).unwrap();
     }

@@ -5,11 +5,11 @@
 
 use c2nn_circuits::generators::counter;
 use c2nn_core::{compile, parse_stim, CompileOptions};
+use c2nn_hal::Choice;
 use c2nn_refsim::CycleSim;
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, RegistryConfig};
-use c2nn_hal::Choice;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -25,7 +25,10 @@ fn refsim_outputs(stim_text: &str) -> Vec<String> {
         .iter()
         .map(|cycle| {
             let out = sim.step(cycle);
-            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+            out.iter()
+                .rev()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
         })
         .collect()
 }
@@ -35,9 +38,14 @@ fn coalescing_server(max_batch: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch, max_wait, backend: Choice::Named("scalar".to_string()) },
+            batch: BatchConfig {
+                max_batch,
+                max_wait,
+                backend: Choice::Named("scalar".to_string()),
+            },
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .unwrap();
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
@@ -121,7 +129,11 @@ fn disconnect_mid_batch_leaves_other_lanes_intact() {
         use c2nn_serve::protocol::{write_frame, Request};
         use std::net::TcpStream;
         let mut s = TcpStream::connect(&addr).unwrap();
-        let req = Request::Sim { model: "ctr".into(), stim: victim_stim.into(), deadline_ms: None };
+        let req = Request::Sim {
+            model: "ctr".into(),
+            stim: victim_stim.into(),
+            deadline_ms: None,
+        };
         write_frame(&mut s, &req.encode()).unwrap();
         // dropped here without reading the reply: client vanished mid-batch
     }

@@ -1,0 +1,278 @@
+//! Prometheus exposition, end-to-end: hostile label values survive a
+//! render→parse round-trip, live-server histograms are cumulative, counters
+//! never step backwards across scrapes, and the whole `/metrics` payload
+//! validates under the same checker the CI smoke job runs.
+
+use c2nn_circuits::generators::counter;
+use c2nn_core::{compile, CompileOptions};
+use c2nn_hal::Choice;
+use c2nn_serve::client::fetch_metrics;
+use c2nn_serve::metrics::{
+    escape_label, parse_exposition, render, validate_exposition, Family, MetricKind, Sample,
+};
+use c2nn_serve::scheduler::BatchConfig;
+use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
+use c2nn_serve::{Client, RegistryConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const WIDTH: usize = 4;
+
+fn metrics_server() -> ServerHandle {
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig {
+            byte_budget: usize::MAX,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                backend: Choice::Named("scalar".to_string()),
+            },
+            ..RegistryConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
+    server.registry().install("ctr", nn).unwrap();
+    server
+}
+
+/// Series key: sample name + sorted labels, the identity the "no duplicate
+/// series" rule and the monotonicity check both hang off.
+fn series_key(s: &Sample) -> String {
+    let mut labels = s.labels.clone();
+    labels.sort();
+    format!("{}{:?}", s.name, labels)
+}
+
+#[test]
+fn hostile_label_values_roundtrip() {
+    let hostile = [
+        "plain",
+        "with \"quotes\"",
+        "back\\slash",
+        "new\nline",
+        "all three: \\ \" \n done",
+        "trailing backslash \\",
+        "unicode é 💥",
+        "",
+    ];
+    let mut fam = Family {
+        name: "c2nn_test_total".to_string(),
+        help: "hostile label\nround-trip \\ test".to_string(),
+        kind: MetricKind::Counter,
+        samples: Vec::new(),
+    };
+    for (i, v) in hostile.iter().enumerate() {
+        fam.samples.push(Sample {
+            name: "c2nn_test_total".to_string(),
+            labels: vec![
+                ("model".to_string(), v.to_string()),
+                ("idx".to_string(), i.to_string()),
+            ],
+            value: i as f64 + 0.5,
+        });
+    }
+    let text = render(&[fam]);
+    validate_exposition(&text).expect("hostile labels still validate");
+    let parsed = parse_exposition(&text).expect("render output parses");
+    assert_eq!(parsed.samples.len(), hostile.len());
+    for (i, v) in hostile.iter().enumerate() {
+        let s = &parsed.samples[i];
+        assert_eq!(
+            s.labels[0],
+            ("model".to_string(), v.to_string()),
+            "label {i} survives"
+        );
+        assert_eq!(s.value, i as f64 + 0.5);
+    }
+}
+
+#[test]
+fn escaping_is_minimal_and_reversible() {
+    assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    assert_eq!(escape_label("untouched"), "untouched");
+}
+
+#[test]
+fn live_histograms_are_cumulative_and_exposition_validates() {
+    let server = metrics_server();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    for i in 1..=5u32 {
+        c.sim("ctr", &format!("1 x{}\n", i + 1)).unwrap();
+    }
+    let body = fetch_metrics(&addr).expect("scrape");
+    validate_exposition(&body).expect("live exposition validates");
+    let parsed = parse_exposition(&body).unwrap();
+
+    // the latency histogram for "ctr" must be cumulative in `le` order,
+    // with the +Inf bucket equal to _count and a consistent _sum
+    let buckets: Vec<&Sample> = parsed
+        .samples
+        .iter()
+        .filter(|s| {
+            s.name == "c2nn_request_latency_seconds_bucket"
+                && s.labels.iter().any(|(k, v)| k == "model" && v == "ctr")
+        })
+        .collect();
+    assert!(!buckets.is_empty(), "ctr histogram is exported");
+    let mut prev = 0.0;
+    for b in &buckets {
+        assert!(
+            b.value >= prev,
+            "bucket counts are cumulative: {} < {prev}",
+            b.value
+        );
+        prev = b.value;
+    }
+    let le_inf = buckets
+        .iter()
+        .find(|b| b.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+        .expect("+Inf bucket present");
+    let count = parsed
+        .samples
+        .iter()
+        .find(|s| {
+            s.name == "c2nn_request_latency_seconds_count"
+                && s.labels.iter().any(|(k, v)| k == "model" && v == "ctr")
+        })
+        .expect("_count present");
+    assert_eq!(le_inf.value, count.value, "+Inf bucket equals _count");
+    assert_eq!(count.value, 5.0, "five requests were observed");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn counters_are_monotone_across_scrapes() {
+    let server = metrics_server();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    c.sim("ctr", "1 x3\n").unwrap();
+
+    let first = parse_exposition(&fetch_metrics(&addr).unwrap()).unwrap();
+    for _ in 0..4 {
+        c.sim("ctr", "1 x2\n").unwrap();
+    }
+    let second = parse_exposition(&fetch_metrics(&addr).unwrap()).unwrap();
+
+    let counter_names: HashMap<&str, ()> = first
+        .types
+        .iter()
+        .filter(|(_, k)| k == "counter")
+        .map(|(n, _)| (n.as_str(), ()))
+        .collect();
+    let later: HashMap<String, f64> = second
+        .samples
+        .iter()
+        .map(|s| (series_key(s), s.value))
+        .collect();
+    let mut compared = 0;
+    for s in &first.samples {
+        let base = s
+            .name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        if !(counter_names.contains_key(s.name.as_str()) || counter_names.contains_key(base)) {
+            continue;
+        }
+        if let Some(&v2) = later.get(&series_key(s)) {
+            assert!(
+                v2 >= s.value,
+                "counter {} went backwards: {} -> {v2}",
+                series_key(s),
+                s.value
+            );
+            compared += 1;
+        }
+    }
+    assert!(
+        compared > 5,
+        "monotonicity check covered {compared} counter series"
+    );
+
+    // and the request counter specifically advanced by the extra traffic
+    let req = |e: &c2nn_serve::metrics::Exposition| {
+        e.samples
+            .iter()
+            .find(|s| {
+                s.name == "c2nn_requests_total"
+                    && s.labels.iter().any(|(k, v)| k == "model" && v == "ctr")
+            })
+            .map(|s| s.value)
+            .unwrap_or(0.0)
+    };
+    assert_eq!(req(&second) - req(&first), 4.0);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_http_path_is_404_and_frames_still_work() {
+    let server = metrics_server();
+    let addr = server.local_addr().to_string();
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 404"), "got: {raw}");
+    }
+    // HTTP handling must not poison the JSON path
+    let mut c = Client::connect(&addr).unwrap();
+    assert!(c.ping().is_ok());
+    server.shutdown();
+    server.join();
+}
+
+/// Vocabulary for metric-ish names (the exposition grammar wants
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; name fuzzing belongs to the parser's
+/// negative tests, value/label fuzzing lives here).
+fn name_strategy() -> impl Strategy<Value = String> {
+    (0usize..4).prop_map(|i| ["c2nn_a_total", "c2nn_b_seconds", "up", "x_y_z"][i].to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, .. ProptestConfig::default() })]
+
+    /// render → parse is lossless for arbitrary label soup and any finite
+    /// value: same series identity, bit-identical value.
+    #[test]
+    fn render_parse_roundtrip(
+        name in name_strategy(),
+        label_soup in proptest::collection::vec(any::<u8>(), 0..40),
+        bits in any::<u64>(),
+    ) {
+        // vendored proptest has no prop_assume; fold non-finite bit
+        // patterns onto a finite value instead of discarding the case
+        let raw = f64::from_bits(bits);
+        let value = if raw.is_finite() { raw } else { (bits % 100_000) as f64 / 7.0 };
+        let label_val = String::from_utf8_lossy(&label_soup).into_owned();
+        let fam = Family {
+            name: name.clone(),
+            help: format!("prop family for {label_val:?}"),
+            kind: MetricKind::Gauge,
+            samples: vec![Sample {
+                name: name.clone(),
+                labels: vec![("soup".to_string(), label_val.clone())],
+                value,
+            }],
+        };
+        let text = render(&[fam]);
+        let parsed = parse_exposition(&text).expect("rendered text parses");
+        prop_assert_eq!(parsed.samples.len(), 1);
+        let s = &parsed.samples[0];
+        prop_assert_eq!(&s.name, &name);
+        prop_assert_eq!(&s.labels[0].1, &label_val);
+        prop_assert_eq!(s.value.to_bits(), value.to_bits(), "value {} round-trips", value);
+        validate_exposition(&text).expect("rendered text validates");
+    }
+}

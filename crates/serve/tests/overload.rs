@@ -5,11 +5,11 @@
 
 use c2nn_circuits::generators::counter;
 use c2nn_core::{compile, parse_stim, CompileOptions};
+use c2nn_hal::Choice;
 use c2nn_refsim::CycleSim;
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
-use c2nn_hal::Choice;
 use std::time::Duration;
 
 const WIDTH: usize = 4;
@@ -22,7 +22,10 @@ fn refsim_outputs(stim_text: &str) -> Vec<String> {
         .iter()
         .map(|cycle| {
             let out = sim.step(cycle);
-            out.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+            out.iter()
+                .rev()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
         })
         .collect()
 }
@@ -32,10 +35,15 @@ fn budgeted_server(max_inflight: usize, max_wait: Duration) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         registry: RegistryConfig {
             byte_budget: usize::MAX,
-            batch: BatchConfig { max_batch: 64, max_wait, backend: Choice::Named("scalar".to_string()) },
+            batch: BatchConfig {
+                max_batch: 64,
+                max_wait,
+                backend: Choice::Named("scalar".to_string()),
+            },
             max_inflight,
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .unwrap();
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
@@ -94,14 +102,24 @@ fn saturation_yields_typed_overloaded_and_recovers() {
         other += ot;
     }
     assert!(ok > 0, "some requests must be admitted");
-    assert!(overloaded > 0, "4x saturation must trigger typed rejections");
-    assert_eq!(other, 0, "only sim results and typed Overloaded are allowed");
+    assert!(
+        overloaded > 0,
+        "4x saturation must trigger typed rejections"
+    );
+    assert_eq!(
+        other, 0,
+        "only sim results and typed Overloaded are allowed"
+    );
 
     // recovery: the storm is over, the budget drains, baseline behaviour
     // returns without a restart
     std::thread::sleep(Duration::from_millis(100));
     let mut c = Client::connect(&addr).unwrap();
-    assert_eq!(c.sim("ctr", stim).unwrap(), expected, "post-storm request is clean");
+    assert_eq!(
+        c.sim("ctr", stim).unwrap(),
+        expected,
+        "post-storm request is clean"
+    );
     let stats = c.stats().unwrap();
     assert_eq!(stats.server.pressure, "nominal");
     assert_eq!(stats.server.inflight, 0);

@@ -14,10 +14,40 @@ fn soup_string(bytes: &[u8]) -> String {
 
 /// Tokens steering random soup toward the frame grammar.
 const VOCAB: &[&str] = &[
-    "{", "}", "[", "]", ":", ",", "\"", "op", "ping", "load", "sim", "stats",
-    "shutdown", "ok", "true", "false", "null", "name", "model", "stim",
-    "model_json", "outputs", "cycles", "version", "error", "0", "1", "-1",
-    "1e308", "\\n", "\\u0000", "é", " ", "\t",
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "\"",
+    "op",
+    "ping",
+    "load",
+    "sim",
+    "stats",
+    "shutdown",
+    "ok",
+    "true",
+    "false",
+    "null",
+    "name",
+    "model",
+    "stim",
+    "model_json",
+    "outputs",
+    "cycles",
+    "version",
+    "error",
+    "0",
+    "1",
+    "-1",
+    "1e308",
+    "\\n",
+    "\\u0000",
+    "é",
+    " ",
+    "\t",
 ];
 
 proptest! {

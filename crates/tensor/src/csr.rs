@@ -162,7 +162,9 @@ impl<T: Scalar> Csr<T> {
 
     /// Bytes used by the CSR arrays (the paper's "Memory (MB)" column).
     pub fn memory_bytes(&self) -> usize {
-        self.row_ptr.len() * 4 + self.col_idx.len() * 4 + self.values.len() * std::mem::size_of::<T>()
+        self.row_ptr.len() * 4
+            + self.col_idx.len() * 4
+            + self.values.len() * std::mem::size_of::<T>()
     }
 
     /// The `(column, value)` entries of row `r`.
@@ -202,7 +204,13 @@ impl<T: Scalar> Csr<T> {
         values: Vec<T>,
     ) -> Result<Self, CsrError> {
         check_parts(rows, cols, &row_ptr, &col_idx, values.len())?;
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Re-verify the structural invariants of this matrix (see
@@ -210,7 +218,13 @@ impl<T: Scalar> Csr<T> {
     /// constructors always pass; the model validator calls this as a
     /// defense-in-depth check on programmatically assembled networks.
     pub fn check(&self) -> Result<(), CsrError> {
-        check_parts(self.rows, self.cols, &self.row_ptr, &self.col_idx, self.values.len())
+        check_parts(
+            self.rows,
+            self.cols,
+            &self.row_ptr,
+            &self.col_idx,
+            self.values.len(),
+        )
     }
 
     /// Dense row-major copy (test/debug sizes only).
@@ -298,7 +312,11 @@ impl<T: Scalar> Csr<T> {
             cols: self.cols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|&v| U::from_i32(to_i32(v))).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|&v| U::from_i32(to_i32(v)))
+                .collect(),
         }
     }
 }
@@ -311,7 +329,10 @@ fn check_parts(
     values_len: usize,
 ) -> Result<(), CsrError> {
     if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
-        return Err(CsrError::BadRowPtrLen { expected: rows + 1, got: row_ptr.len() });
+        return Err(CsrError::BadRowPtrLen {
+            expected: rows + 1,
+            got: row_ptr.len(),
+        });
     }
     for r in 0..rows {
         if row_ptr[r + 1] < row_ptr[r] {
@@ -332,7 +353,11 @@ fn check_parts(
         let mut prev: Option<u32> = None;
         for &c in &col_idx[lo..hi] {
             if (c as usize) >= cols {
-                return Err(CsrError::ColOutOfBounds { row: r, col: c, cols });
+                return Err(CsrError::ColOutOfBounds {
+                    row: r,
+                    col: c,
+                    cols,
+                });
             }
             if prev.is_some_and(|p| p >= c) {
                 return Err(CsrError::ColNotSorted { row: r });
@@ -461,7 +486,11 @@ mod tests {
         // out-of-bounds column
         assert!(matches!(
             Csr::<f32>::try_from_raw_parts(1, 3, vec![0, 1], vec![7], vec![1.0]),
-            Err(ColOutOfBounds { row: 0, col: 7, cols: 3 })
+            Err(ColOutOfBounds {
+                row: 0,
+                col: 7,
+                cols: 3
+            })
         ));
         // permuted (unsorted) columns
         assert!(matches!(

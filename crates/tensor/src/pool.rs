@@ -159,7 +159,11 @@ impl Pool {
     /// to the spawn target except in the window between a worker panic and
     /// the next submission's `heal()`.
     pub fn alive_workers(&self) -> usize {
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).alive
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .alive
     }
 
     /// Reap dead workers and respawn replacements up to the target count.
@@ -260,9 +264,8 @@ impl Pool {
         // in shared state. `run_locked` does not return or unwind until the
         // completion latch below has seen every worker finish, so no worker
         // dereferences the pointer after the borrow ends.
-        let erased: &'static (dyn Fn() + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job)
-        };
+        let erased: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job) };
         {
             let mut st = self.shared.state.lock().unwrap();
             st.epoch += 1;
@@ -367,7 +370,9 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -423,7 +428,11 @@ mod tests {
         let pool = Pool::with_threads(1);
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| pool.inject_worker_panic()));
         assert!(r.is_err());
-        assert_eq!(pool.poisoned_epochs(), 1, "serial fallback counts the same way");
+        assert_eq!(
+            pool.poisoned_epochs(),
+            1,
+            "serial fallback counts the same way"
+        );
         let ran = AtomicUsize::new(0);
         pool.run(&|| {
             ran.fetch_add(1, Ordering::Relaxed);

@@ -60,11 +60,19 @@ pub enum Item {
         depth: (Expr, Expr),
     },
     /// `assign lhs = rhs;`
-    Assign { lhs: LValue, rhs: Expr },
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+    },
     /// `always @(posedge clk) stmt` — sequential process.
-    AlwaysFf { clock: String, body: Stmt },
+    AlwaysFf {
+        clock: String,
+        body: Stmt,
+    },
     /// `always @(*) stmt` / `always @*` — combinational process.
-    AlwaysComb { body: Stmt },
+    AlwaysComb {
+        body: Stmt,
+    },
     /// `name #(params) inst (.port(expr), …);`
     Instance {
         module: String,
@@ -155,7 +163,10 @@ pub enum BinaryOp {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
     /// Literal with optional declared size.
-    Number { size: Option<u32>, value: u64 },
+    Number {
+        size: Option<u32>,
+        value: u64,
+    },
     Ident(String),
     /// `a[i]`.
     Bit(Box<Expr>, Box<Expr>),

@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn shifts_and_comparisons() {
-        let e = Expr::Binary(BinaryOp::Shl, Box::new(Expr::num(1)), Box::new(Expr::num(4)));
+        let e = Expr::Binary(
+            BinaryOp::Shl,
+            Box::new(Expr::num(1)),
+            Box::new(Expr::num(4)),
+        );
         assert_eq!(eval_const(&e, &p(&[])), Some(16));
         let c = Expr::Binary(BinaryOp::Lt, Box::new(Expr::num(3)), Box::new(Expr::num(5)));
         assert_eq!(eval_const(&c, &p(&[])), Some(1));
@@ -159,13 +163,23 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_none() {
-        let e = Expr::Binary(BinaryOp::Div, Box::new(Expr::num(4)), Box::new(Expr::num(0)));
+        let e = Expr::Binary(
+            BinaryOp::Div,
+            Box::new(Expr::num(4)),
+            Box::new(Expr::num(0)),
+        );
         assert_eq!(eval_const(&e, &p(&[])), None);
     }
 
     #[test]
     fn widths() {
-        assert_eq!(const_width(&Expr::Number { size: Some(4), value: 9 }), 4);
+        assert_eq!(
+            const_width(&Expr::Number {
+                size: Some(4),
+                value: 9
+            }),
+            4
+        );
         assert_eq!(const_width(&Expr::num(9)), 32);
     }
 }

@@ -124,10 +124,7 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, ElabError> {
 
 /// Remove primary inputs that serve purely as clocks; error on gated clocks
 /// (clock nets driven by logic) or clocks also used as data.
-fn strip_clock_inputs(
-    mut nl: Netlist,
-    clock_ids: &HashMap<Net, u32>,
-) -> Result<Netlist, String> {
+fn strip_clock_inputs(mut nl: Netlist, clock_ids: &HashMap<Net, u32>) -> Result<Netlist, String> {
     if clock_ids.is_empty() {
         return Ok(nl);
     }
@@ -194,8 +191,10 @@ impl<'a> Elab<'a> {
         for p in &m.params {
             let v = match overrides.get(&p.name) {
                 Some(&v) if !p.local => v,
-                _ => eval_const(&p.value, &params)
-                    .ok_or_else(|| self.err::<()>(format!("non-constant parameter '{}'", p.name)).unwrap_err())?,
+                _ => eval_const(&p.value, &params).ok_or_else(|| {
+                    self.err::<()>(format!("non-constant parameter '{}'", p.name))
+                        .unwrap_err()
+                })?,
             };
             params.insert(p.name.clone(), v);
         }
@@ -203,8 +202,10 @@ impl<'a> Elab<'a> {
             if let Item::Param(p) = item {
                 let v = match overrides.get(&p.name) {
                     Some(&v) if !p.local => v,
-                    _ => eval_const(&p.value, &params)
-                        .ok_or_else(|| self.err::<()>(format!("non-constant parameter '{}'", p.name)).unwrap_err())?,
+                    _ => eval_const(&p.value, &params).ok_or_else(|| {
+                        self.err::<()>(format!("non-constant parameter '{}'", p.name))
+                            .unwrap_err()
+                    })?,
                 };
                 params.insert(p.name.clone(), v);
             }
@@ -241,9 +242,7 @@ impl<'a> Elab<'a> {
                     Some(Binding::Output(_)) => {
                         return self.err(format!("input port '{}' bound as output", port.name))
                     }
-                    None => {
-                        return self.err(format!("input port '{}' unconnected", port.name))
-                    }
+                    None => return self.err(format!("input port '{}' unconnected", port.name)),
                 },
                 (Some(b), Direction::Output) => {
                     let nets = self.b.fresh_word(&format!("{hier}.{}", port.name), w);
@@ -253,8 +252,7 @@ impl<'a> Elab<'a> {
                         }
                         Some(Binding::Output(None)) | None => {}
                         Some(Binding::Input(_)) => {
-                            return self
-                                .err(format!("output port '{}' bound as input", port.name))
+                            return self.err(format!("output port '{}' bound as input", port.name))
                         }
                     }
                     nets
@@ -307,9 +305,8 @@ impl<'a> Elab<'a> {
                     if let Some(existing) = signals.get_mut(name) {
                         // non-ANSI style re-declaration of a port as reg
                         if existing.width() != w {
-                            return self.err(format!(
-                                "redeclaration of '{name}' with different width"
-                            ));
+                            return self
+                                .err(format!("redeclaration of '{name}' with different width"));
                         }
                         existing.is_reg |= is_reg;
                         if init_e.is_some() {
@@ -364,10 +361,20 @@ impl<'a> Elab<'a> {
                         },
                     );
                 }
-                memories.insert(name.clone(), MemInfo { width: w, depth: depth_n });
+                memories.insert(
+                    name.clone(),
+                    MemInfo {
+                        width: w,
+                        depth: depth_n,
+                    },
+                );
             }
         }
-        let mut sc = Scope { params, signals, memories };
+        let mut sc = Scope {
+            params,
+            signals,
+            memories,
+        };
 
         // wire initializers lower to continuous assignments
         for (name, e) in wire_assigns {
@@ -504,7 +511,9 @@ impl<'a> Elab<'a> {
         for (name, next) in env {
             let sig = &sc.signals[&name];
             if !sig.is_reg {
-                return self.err(format!("'{name}' assigned in always@(posedge) but not a reg"));
+                return self.err(format!(
+                    "'{name}' assigned in always@(posedge) but not a reg"
+                ));
             }
             for (j, (&d, &q)) in next.iter().zip(&sig.nets).enumerate() {
                 self.b
@@ -797,9 +806,7 @@ impl<'a> Elab<'a> {
                 Some(s) => Ok(s.width()),
                 None => self.err(format!("unknown signal '{name}'")),
             },
-            LValue::Bit(name, _) if sc.memories.contains_key(name) => {
-                Ok(sc.memories[name].width)
-            }
+            LValue::Bit(name, _) if sc.memories.contains_key(name) => Ok(sc.memories[name].width),
             LValue::Bit(..) => Ok(1),
             LValue::Part(_, msb_e, lsb_e) => {
                 let msb = eval_const(msb_e, &sc.params)
@@ -911,8 +918,9 @@ impl<'a> Elab<'a> {
                         return Ok(match eval_const(idx_e, &sc.params) {
                             Some(i) => {
                                 if i < 0 || i as usize >= mem.depth {
-                                    return self
-                                        .err(format!("memory index {i} out of range for '{name}'"));
+                                    return self.err(format!(
+                                        "memory index {i} out of range for '{name}'"
+                                    ));
                                 }
                                 words[i as usize].clone()
                             }
@@ -1006,8 +1014,10 @@ impl<'a> Elab<'a> {
                 Ok(nets)
             }
             Expr::Repeat(count, inner) => {
-                let n = eval_const(count, &sc.params)
-                    .ok_or_else(|| self.err::<()>("non-constant replication count").unwrap_err())?;
+                let n = eval_const(count, &sc.params).ok_or_else(|| {
+                    self.err::<()>("non-constant replication count")
+                        .unwrap_err()
+                })?;
                 if !(0..=4096).contains(&n) {
                     return self.err(format!("bad replication count {n}"));
                 }
@@ -1134,9 +1144,7 @@ impl<'a> Elab<'a> {
             Add => self.b.add_word(&av, &bv),
             Sub => self.b.sub_word(&av, &bv),
             Mul => self.mul_word(&av, &bv),
-            Div | Mod => {
-                return self.err("non-constant division/modulo is not synthesizable here")
-            }
+            Div | Mod => return self.err("non-constant division/modulo is not synthesizable here"),
             Eq => vec![self.b.eq_word(&av, &bv)],
             Ne => {
                 let e = self.b.eq_word(&av, &bv);

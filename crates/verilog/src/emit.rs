@@ -20,7 +20,13 @@ pub fn to_verilog(nl: &Netlist) -> String {
     let module = if nl.name.is_empty() { "top" } else { &nl.name };
     let module: String = module
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     let in_name = |k: usize| format!("i{k}");
     let out_name = |k: usize| format!("o{k}");
@@ -49,12 +55,7 @@ pub fn to_verilog(nl: &Netlist) -> String {
     }
     // flip-flop outputs are regs
     for ff in &nl.flipflops {
-        let _ = writeln!(
-            s,
-            "  reg {} = 1'b{};",
-            net_name(ff.q),
-            ff.init as u8
-        );
+        let _ = writeln!(s, "  reg {} = 1'b{};", net_name(ff.q), ff.init as u8);
     }
     // gates
     for g in &nl.gates {
@@ -83,7 +84,12 @@ pub fn to_verilog(nl: &Netlist) -> String {
                 rhs = format!("{} ? {} : {}", net_name(en), rhs, net_name(ff.q));
             }
             if let Some(rst) = ff.reset {
-                rhs = format!("{} ? 1'b{} : ({})", net_name(rst), ff.reset_value as u8, rhs);
+                rhs = format!(
+                    "{} ? 1'b{} : ({})",
+                    net_name(rst),
+                    ff.reset_value as u8,
+                    rhs
+                );
             }
             let _ = writeln!(s, "    {} <= {};", net_name(ff.q), rhs);
         }

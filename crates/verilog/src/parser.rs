@@ -31,7 +31,12 @@ pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
         line: e.line,
         col: e.col,
     })?;
-    Parser { toks, pos: 0, depth: 0 }.source_file()
+    Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    }
+    .source_file()
 }
 
 /// Maximum nesting depth of expressions/statements before the parser bails
@@ -140,54 +145,53 @@ impl Parser {
         }
         // ANSI port list
         let mut ports = Vec::new();
-        if self.eat(TokenKind::LParen)
-            && !self.eat(TokenKind::RParen) {
-                let mut dir = None;
-                let mut is_reg = false;
-                let mut range = None;
-                loop {
-                    // each entry may restate direction/range or inherit them
-                    if self.eat_kw(Keyword::Input) {
-                        dir = Some(Direction::Input);
-                        is_reg = false;
-                        range = None;
-                    } else if self.eat_kw(Keyword::Output) {
-                        dir = Some(Direction::Output);
-                        is_reg = false;
-                        range = None;
-                    } else if self.eat_kw(Keyword::Inout) {
-                        return self.err("inout ports are not supported");
-                    }
-                    if self.eat_kw(Keyword::Reg) {
-                        is_reg = true;
-                    }
-                    self.eat_kw(Keyword::Wire);
-                    if matches!(self.peek(), TokenKind::LBracket) {
-                        range = Some(self.range()?);
-                    }
-                    let pname = self.ident()?;
-                    let init = if self.eat(TokenKind::Assign) {
-                        Some(self.expr()?)
-                    } else {
-                        None
-                    };
-                    let direction = match dir {
-                        Some(d) => d,
-                        None => return self.err("port without direction"),
-                    };
-                    ports.push(PortDecl {
-                        direction,
-                        is_reg,
-                        range: range.clone(),
-                        name: pname,
-                        init,
-                    });
-                    if !self.eat(TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(TokenKind::LParen) && !self.eat(TokenKind::RParen) {
+            let mut dir = None;
+            let mut is_reg = false;
+            let mut range = None;
+            loop {
+                // each entry may restate direction/range or inherit them
+                if self.eat_kw(Keyword::Input) {
+                    dir = Some(Direction::Input);
+                    is_reg = false;
+                    range = None;
+                } else if self.eat_kw(Keyword::Output) {
+                    dir = Some(Direction::Output);
+                    is_reg = false;
+                    range = None;
+                } else if self.eat_kw(Keyword::Inout) {
+                    return self.err("inout ports are not supported");
                 }
-                self.expect(TokenKind::RParen)?;
+                if self.eat_kw(Keyword::Reg) {
+                    is_reg = true;
+                }
+                self.eat_kw(Keyword::Wire);
+                if matches!(self.peek(), TokenKind::LBracket) {
+                    range = Some(self.range()?);
+                }
+                let pname = self.ident()?;
+                let init = if self.eat(TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let direction = match dir {
+                    Some(d) => d,
+                    None => return self.err("port without direction"),
+                };
+                ports.push(PortDecl {
+                    direction,
+                    is_reg,
+                    range: range.clone(),
+                    name: pname,
+                    init,
+                });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
             }
+            self.expect(TokenKind::RParen)?;
+        }
         self.expect(TokenKind::Semi)?;
         let mut items = Vec::new();
         while !self.eat_kw(Keyword::Endmodule) {
@@ -216,13 +220,19 @@ impl Parser {
 
     fn item(&mut self) -> Result<Item, ParseError> {
         match self.peek().clone() {
-            TokenKind::Kw(Keyword::Wire) | TokenKind::Kw(Keyword::Reg)
+            TokenKind::Kw(Keyword::Wire)
+            | TokenKind::Kw(Keyword::Reg)
             | TokenKind::Kw(Keyword::Integer) => {
                 let is_reg = !matches!(self.peek(), TokenKind::Kw(Keyword::Wire));
                 self.bump();
                 let range = if matches!(self.peek(), TokenKind::LBracket) {
                     Some(self.range()?)
-                } else if is_reg && matches!(self.toks[self.pos - 1].kind, TokenKind::Kw(Keyword::Integer)) {
+                } else if is_reg
+                    && matches!(
+                        self.toks[self.pos - 1].kind,
+                        TokenKind::Kw(Keyword::Integer)
+                    )
+                {
                     // `integer` = 32-bit reg
                     Some((Expr::num(31), Expr::num(0)))
                 } else {
@@ -295,8 +305,7 @@ impl Parser {
                 }
                 if self.eat_kw(Keyword::Posedge) {
                     let clock = self.ident()?;
-                    if self.eat_kw(Keyword::Negedge) || !matches!(self.peek(), TokenKind::RParen)
-                    {
+                    if self.eat_kw(Keyword::Negedge) || !matches!(self.peek(), TokenKind::RParen) {
                         // `or posedge rst` style async resets unsupported
                         if let TokenKind::Ident(w) = self.peek() {
                             if w == "or" {
@@ -808,7 +817,9 @@ mod tests {
         )
         .unwrap();
         match &f.modules[0].items[0] {
-            Item::AlwaysComb { body: Stmt::Block(stmts) } => match &stmts[0] {
+            Item::AlwaysComb {
+                body: Stmt::Block(stmts),
+            } => match &stmts[0] {
                 Stmt::Case { arms, default, .. } => {
                     assert_eq!(arms.len(), 2);
                     assert_eq!(arms[1].0.len(), 2);
@@ -846,7 +857,9 @@ mod tests {
 
     #[test]
     fn parse_expression_precedence() {
-        let f = parse("module m(input a, input b, input c, output y); assign y = a | b & c; endmodule").unwrap();
+        let f =
+            parse("module m(input a, input b, input c, output y); assign y = a | b & c; endmodule")
+                .unwrap();
         match &f.modules[0].items[0] {
             Item::Assign { rhs, .. } => match rhs {
                 // & binds tighter than |
@@ -862,8 +875,8 @@ mod tests {
 
     #[test]
     fn le_in_expression_position() {
-        let f = parse("module m(input [3:0] a, output y); assign y = a <= 4'd9; endmodule")
-            .unwrap();
+        let f =
+            parse("module m(input [3:0] a, output y); assign y = a <= 4'd9; endmodule").unwrap();
         match &f.modules[0].items[0] {
             Item::Assign { rhs, .. } => {
                 assert!(matches!(rhs, Expr::Binary(BinaryOp::Le, _, _)));
@@ -881,7 +894,10 @@ mod tests {
         )
         .unwrap();
         match &f.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Concat(parts), .. } => assert_eq!(parts.len(), 8),
+            Item::Assign {
+                rhs: Expr::Concat(parts),
+                ..
+            } => assert_eq!(parts.len(), 8),
             other => panic!("got {other:?}"),
         }
     }
@@ -912,7 +928,9 @@ mod tests {
         )
         .unwrap();
         match &f.modules[0].items[0] {
-            Item::AlwaysComb { body: Stmt::If { else_branch, .. } } => {
+            Item::AlwaysComb {
+                body: Stmt::If { else_branch, .. },
+            } => {
                 assert!(matches!(**else_branch.as_ref().unwrap(), Stmt::If { .. }));
             }
             other => panic!("got {other:?}"),

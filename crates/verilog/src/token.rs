@@ -17,7 +17,10 @@ pub enum TokenKind {
     Ident(String),
     /// An integer literal, possibly sized/based: `42`, `8'hFF`, `4'b1010`.
     /// Stored as (optional size in bits, value).
-    Number { size: Option<u32>, value: u64 },
+    Number {
+        size: Option<u32>,
+        value: u64,
+    },
     Kw(Keyword),
     // punctuation / operators
     LParen,
@@ -140,7 +143,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -238,8 +245,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     {
                         i += 1;
                     }
-                    let digits: String =
-                        src[start..i].chars().filter(|&c| c != '_').collect();
+                    let digits: String = src[start..i].chars().filter(|&c| c != '_').collect();
                     let val: u64 = match digits.parse() {
                         Ok(v) => v,
                         Err(_) => err!("bad decimal literal '{digits}'"),
@@ -253,7 +259,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         size = Some(val as u32);
                     } else {
                         col += (i - start) as u32;
-                        push(TokenKind::Number { size: None, value: val });
+                        push(TokenKind::Number {
+                            size: None,
+                            value: val,
+                        });
                         continue;
                     }
                 }
@@ -392,13 +401,34 @@ mod tests {
         assert_eq!(
             kinds("42 8'hFF 4'b1010 'd7 16'd65535 3'o7 1_000"),
             vec![
-                TokenKind::Number { size: None, value: 42 },
-                TokenKind::Number { size: Some(8), value: 255 },
-                TokenKind::Number { size: Some(4), value: 10 },
-                TokenKind::Number { size: None, value: 7 },
-                TokenKind::Number { size: Some(16), value: 65535 },
-                TokenKind::Number { size: Some(3), value: 7 },
-                TokenKind::Number { size: None, value: 1000 },
+                TokenKind::Number {
+                    size: None,
+                    value: 42
+                },
+                TokenKind::Number {
+                    size: Some(8),
+                    value: 255
+                },
+                TokenKind::Number {
+                    size: Some(4),
+                    value: 10
+                },
+                TokenKind::Number {
+                    size: None,
+                    value: 7
+                },
+                TokenKind::Number {
+                    size: Some(16),
+                    value: 65535
+                },
+                TokenKind::Number {
+                    size: Some(3),
+                    value: 7
+                },
+                TokenKind::Number {
+                    size: None,
+                    value: 1000
+                },
                 TokenKind::Eof,
             ]
         );

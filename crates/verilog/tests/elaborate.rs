@@ -29,7 +29,9 @@ fn run_seq(nl: &Netlist, stimuli: &[u64]) -> Vec<u64> {
     let mut state = cut.state_init.clone();
     let mut outs = Vec::new();
     for &stim in stimuli {
-        let mut packed = stim & ((1u64 << cut.num_primary_inputs) - 1).max(u64::MAX >> (64 - cut.num_primary_inputs.max(1)));
+        let mut packed = stim
+            & ((1u64 << cut.num_primary_inputs) - 1)
+                .max(u64::MAX >> (64 - cut.num_primary_inputs.max(1)));
         // append state bits above the primary inputs
         for (i, &s) in state.iter().enumerate() {
             packed |= (s as u64) << (cut.num_primary_inputs + i);
@@ -196,7 +198,11 @@ fn combinational_always_with_case() {
                     2 => a & b,
                     _ => a ^ b,
                 };
-                assert_eq!(eval_comb(&nl, op | a << 2 | b << 6), want, "op={op} {a},{b}");
+                assert_eq!(
+                    eval_comb(&nl, op | a << 2 | b << 6),
+                    want,
+                    "op={op} {a},{b}"
+                );
             }
         }
     }
@@ -370,7 +376,11 @@ fn errors_are_reported() {
     )
     .is_err());
     // unknown module
-    assert!(compile("module m(input a, output y); foo f(.a(a), .y(y)); endmodule", "m").is_err());
+    assert!(compile(
+        "module m(input a, output y); foo f(.a(a), .y(y)); endmodule",
+        "m"
+    )
+    .is_err());
     // latch: comb always reading its own unassigned value
     assert!(compile(
         "module m(input c, input d, output reg q); always @(*) if (c) q = d; endmodule",

@@ -103,10 +103,7 @@ impl C {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(E::Input),
-        any::<u8>().prop_map(E::Const),
-    ];
+    let leaf = prop_oneof![(0u8..3).prop_map(E::Input), any::<u8>().prop_map(E::Const),];
     leaf.prop_recursive(5, 48, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| E::Not(Box::new(a))),
@@ -132,7 +129,11 @@ fn expr_strategy() -> impl Strategy<Value = E> {
                 inner.clone(),
                 inner.clone()
             )
-                .prop_map(|(c, a, b)| E::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+                .prop_map(|(c, a, b)| E::Ternary(
+                    Box::new(c),
+                    Box::new(a),
+                    Box::new(b)
+                )),
         ]
     })
 }

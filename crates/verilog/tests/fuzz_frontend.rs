@@ -27,13 +27,76 @@ fn assert_total(src: &str) {
 
 /// Tokens that steer random soup toward interesting parser states.
 const VOCAB: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always",
-    "posedge", "begin", "end", "if", "else", "case", "endcase", "default",
-    "parameter", "localparam", "top", "a", "b", "clk", "y", "(", ")", "[", "]",
-    "{", "}", ";", ",", ":", "?", "=", "<=", "+", "-", "*", "/", "%", "&", "|",
-    "^", "~", "!", "<<", ">>", "==", "!=", "<", ">", "'", "8'hFF", "4'b1010",
-    "0", "1", "7", "31", "@", "#", ".", "//", "/*", "*/", "`define", "$x", "\n",
-    "é", "€", "\u{0}",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "endcase",
+    "default",
+    "parameter",
+    "localparam",
+    "top",
+    "a",
+    "b",
+    "clk",
+    "y",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    ":",
+    "?",
+    "=",
+    "<=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<<",
+    ">>",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "'",
+    "8'hFF",
+    "4'b1010",
+    "0",
+    "1",
+    "7",
+    "31",
+    "@",
+    "#",
+    ".",
+    "//",
+    "/*",
+    "*/",
+    "`define",
+    "$x",
+    "\n",
+    "é",
+    "€",
+    "\u{0}",
 ];
 
 proptest! {
@@ -127,7 +190,11 @@ fn multibyte_utf8_at_operator_position() {
 
 #[test]
 fn hostile_literals_rejected_with_location() {
-    for src in ["module m; wire [4000000000'h0:0] w; endmodule", "9999999999999999999999", "4'q0"] {
+    for src in [
+        "module m; wire [4000000000'h0:0] w; endmodule",
+        "9999999999999999999999",
+        "4'q0",
+    ] {
         match c2nn_verilog::compile(src, "top") {
             Err(CompileError::Parse(e)) => assert!(e.line >= 1 && e.col >= 1),
             other => panic!("expected parse error for {src:?}, got {other:?}"),

@@ -44,7 +44,11 @@ fn register_file_two_read_ports() {
     for w in 0..8u64 {
         let out = sim.step(&stim(false, 0, 0, w, 7 - w));
         assert_eq!(word(&out[..8]), (w * 0x11) & 0xff, "port a word {w}");
-        assert_eq!(word(&out[8..16]), ((7 - w) * 0x11) & 0xff, "port b word {w}");
+        assert_eq!(
+            word(&out[8..16]),
+            ((7 - w) * 0x11) & 0xff,
+            "port b word {w}"
+        );
     }
 }
 

@@ -34,7 +34,11 @@ fn main() {
     );
 
     println!("\n== Fourier analysis (why circuit polynomials stay sparse) ==\n");
-    for (name, lut) in [("MAJ5", Lut::majority(5)), ("XOR5", Lut::xor(5)), ("AND5", Lut::and(5))] {
+    for (name, lut) in [
+        ("MAJ5", Lut::majority(5)),
+        ("XOR5", Lut::xor(5)),
+        ("AND5", Lut::and(5)),
+    ] {
         let coeffs = analysis::fourier_coeffs(&lut);
         let total = analysis::total_influence(&coeffs);
         let stab = analysis::noise_stability(&coeffs, 0.9);

@@ -45,7 +45,10 @@ fn main() {
     let flip_p = (1.0 - rho) / 2.0; // per-bit flip probability
     let trials = 40_000usize;
     println!("noise stability at ρ = {rho} (per-bit flip probability {flip_p:.3})\n");
-    println!("{:<6} {:>12} {:>12} {:>8}", "f", "analytic", "empirical(NN)", "|Δ|");
+    println!(
+        "{:<6} {:>12} {:>12} {:>8}",
+        "f", "analytic", "empirical(NN)", "|Δ|"
+    );
 
     let mut rng = Rng(0x5eed);
     for (name, lut) in [

@@ -49,9 +49,8 @@ fn main() {
         let x = c2nn::tensor::Dense::<f32>::from_lanes(&lanes);
         let out = sim.step(&x).to_lanes();
         let want = reference.step(&lanes[0]);
-        let val = |bits: &[bool]| -> u32 {
-            bits.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum()
-        };
+        let val =
+            |bits: &[bool]| -> u32 { bits.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum() };
         assert_eq!(out[0], want, "NN must match the gate-level simulator");
         println!(
             "{cycle:>5}   {:>5} {:>5} {:>5} {:>5}   ({})",

@@ -23,11 +23,12 @@ fn usage() -> ! {
          (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
          c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend <name>|auto] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
-         c2nn serve   <model.json>... [--addr host:port] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--io auto|threads|epoll] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]\n  \
          c2nn calibrate [--quick] [--out results/DEVICE.json] [--check <path>]\n  \
          (--chaos: seed=<n>,worker_panic=<p>,worker_panic_budget=<n>,stall=<p>,stall_ms=<n>,stall_budget=<n>)\n  \
-         c2nn client  <addr> [--ping | --stats | --shutdown | --load <model.json> [--name <n>]]\n  \
+         c2nn client  <addr> [--ping | --stats | --metrics [--check] | --shutdown | --load <model.json> [--name <n>]]\n  \
          c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
+         c2nn client  <addr> --model <name> --stim <tb.stim> --rate <req/s> [--connections <n>] [--duration-s <s>] [--deadline-ms <n>] [--json]\n  \
          c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
          c2nn dot     <file.v|.blif> --top <module>"
     );
@@ -48,7 +49,9 @@ fn int_flag<T>(args: &[String], name: &str, default: T, min: T) -> T
 where
     T: std::str::FromStr + PartialOrd + std::fmt::Display + Copy,
 {
-    let Some(s) = flag(args, name) else { return default };
+    let Some(s) = flag(args, name) else {
+        return default;
+    };
     let v = s.parse::<T>().unwrap_or_else(|_| {
         eprintln!("error: {name} expects an integer, got `{s}`");
         exit(2)
@@ -95,9 +98,9 @@ fn load_calibration() -> c2nn::hal::DeviceCalibration {
             eprintln!("{DEVICE_JSON}: {e} (re-run `c2nn calibrate`)");
             exit(1)
         }),
-        Err(_) => c2nn::hal::DeviceCalibration::default_host(
-            c2nn::tensor::Pool::global().threads(),
-        ),
+        Err(_) => {
+            c2nn::hal::DeviceCalibration::default_host(c2nn::tensor::Pool::global().threads())
+        }
     }
 }
 
@@ -161,7 +164,11 @@ fn main() {
             });
             let gen = t0.elapsed().as_secs_f64();
             println!("circuit   : {} ({file})", nl.name);
-            println!("gates     : {} (+{} flip-flops)", nl.gates.len(), nl.flipflops.len());
+            println!(
+                "gates     : {} (+{} flip-flops)",
+                nl.gates.len(),
+                nl.flipflops.len()
+            );
             println!("L         : {l}");
             println!("gen time  : {gen:.3} s");
             println!("layers    : {}", nn.num_layers());
@@ -189,7 +196,8 @@ fn main() {
             // c2nn bench <model.json> <tb1.stim> [<tb2.stim> ...]
             let file = args.get(1).unwrap_or_else(|| usage());
             let nn = load_model(file);
-            let tb_files: Vec<&String> = args[2..].iter().filter(|a| !a.starts_with("--")).collect();
+            let tb_files: Vec<&String> =
+                args[2..].iter().filter(|a| !a.starts_with("--")).collect();
             if tb_files.is_empty() {
                 eprintln!("no .stim testbenches given");
                 exit(2)
@@ -217,9 +225,16 @@ fn main() {
             );
             for (f, r) in tb_files.iter().zip(&results) {
                 let last = r.cycles.last().map(|c| {
-                    c.iter().rev().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+                    c.iter()
+                        .rev()
+                        .map(|&b| if b { '1' } else { '0' })
+                        .collect::<String>()
                 });
-                println!("  {f}: {} cycles, final outputs {}", r.cycles.len(), last.unwrap_or_default());
+                println!(
+                    "  {f}: {} cycles, final outputs {}",
+                    r.cycles.len(),
+                    last.unwrap_or_default()
+                );
             }
         }
         "sim" => {
@@ -250,8 +265,11 @@ fn main() {
                 );
                 if let Some(out) = last {
                     let lane0 = &out.to_lanes()[0];
-                    let word: String =
-                        lane0.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                    let word: String = lane0
+                        .iter()
+                        .rev()
+                        .map(|&b| if b { '1' } else { '0' })
+                        .collect();
                     println!("lane 0 outputs after final cycle: {word}");
                 }
                 return;
@@ -267,7 +285,11 @@ fn main() {
             println!(
                 "backend   : {}{}",
                 selection.backend,
-                if selection.auto { " (selected by cost model)" } else { "" }
+                if selection.auto {
+                    " (selected by cost model)"
+                } else {
+                    ""
+                }
             );
             if let Some(cps) = selection.predicted_lane_cps {
                 println!("predicted : {cps:.3e} lane-cycles/s");
@@ -287,8 +309,11 @@ fn main() {
                 nn.gate_count as f64 * cycles as f64 * batch as f64 / dt
             );
             if let Some(last) = results.first().and_then(|r| r.cycles.last()) {
-                let word: String =
-                    last.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+                let word: String = last
+                    .iter()
+                    .rev()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
                 println!("lane 0 outputs after final cycle: {word}");
             }
         }
@@ -299,11 +324,10 @@ fn main() {
                     eprintln!("cannot read {path}: {e}");
                     exit(1)
                 });
-                let cal = c2nn::hal::DeviceCalibration::from_json_text(&text)
-                    .unwrap_or_else(|e| {
-                        eprintln!("{path}: {e}");
-                        exit(1)
-                    });
+                let cal = c2nn::hal::DeviceCalibration::from_json_text(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    exit(1)
+                });
                 println!(
                     "{path}: valid calibration for `{}` ({} backends, {} threads{})",
                     cal.device,
@@ -314,7 +338,10 @@ fn main() {
                 return;
             }
             let out = flag(&args, "--out").unwrap_or_else(|| DEVICE_JSON.into());
-            let opts = c2nn::hal::CalibrateOptions { quick, ..Default::default() };
+            let opts = c2nn::hal::CalibrateOptions {
+                quick,
+                ..Default::default()
+            };
             eprintln!(
                 "calibrating {} backends ({}) ...",
                 c2nn::hal::BackendRegistry::global().names().len(),
@@ -348,11 +375,11 @@ fn main() {
         "serve" => {
             // c2nn serve <model.json>... — each model registered under its
             // file stem
-            use c2nn::serve::{
-                spawn_server, BatchConfig, RegistryConfig, ServerConfig,
-            };
-            let model_files: Vec<&String> =
-                args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
+            use c2nn::serve::{spawn_server, BatchConfig, RegistryConfig, ServerConfig};
+            let model_files: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
             if model_files.is_empty() {
                 eprintln!("no model files given");
                 exit(2)
@@ -362,6 +389,14 @@ fn main() {
             let max_wait_ms: u64 = int_flag(&args, "--max-wait-ms", 2, 0);
             let mem_mb: usize = int_flag(&args, "--mem-mb", 512, 1);
             let max_inflight: usize = int_flag(&args, "--max-inflight", 1024, 1);
+            let io: c2nn::serve::IoModel = flag(&args, "--io")
+                .map(|s| {
+                    s.parse().unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        exit(2)
+                    })
+                })
+                .unwrap_or_default();
             let backend = backend_flag(&args);
             let chaos = flag(&args, "--chaos").map(|spec| {
                 let cfg = c2nn::serve::ChaosConfig::parse(&spec).unwrap_or_else(|e| {
@@ -373,6 +408,7 @@ fn main() {
             });
             let cfg = ServerConfig {
                 addr,
+                io,
                 registry: RegistryConfig {
                     byte_budget: mem_mb << 20,
                     batch: BatchConfig {
@@ -405,13 +441,18 @@ fn main() {
                     "loaded {name} ({:.2} MB) from {file} — backend {}{}",
                     model.bytes as f64 / 1e6,
                     model.backend,
-                    if model.auto_selected { " (selected by cost model)" } else { "" }
+                    if model.auto_selected {
+                        " (selected by cost model)"
+                    } else {
+                        ""
+                    }
                 );
             }
             c2nn::serve::signal::install_sigint_handler();
             println!(
-                "serving on {} (backend {backend}, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
-                server.local_addr()
+                "serving on {} (io {:?}, backend {backend}, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
+                server.local_addr(),
+                io.resolve()
             );
             server.join();
             println!("server stopped");
@@ -458,6 +499,21 @@ fn main() {
                     s.rejected_sims, s.rejected_loads, s.rejected_draining,
                     s.pool_poisoned_epochs, s.chaos_injected
                 );
+            } else if args.iter().any(|a| a == "--metrics") {
+                // scrape the Prometheus endpoint over plain HTTP/1.1;
+                // --check additionally validates the exposition shape
+                let body = c2nn::serve::client::fetch_metrics(&addr).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                });
+                print!("{body}");
+                if args.iter().any(|a| a == "--check") {
+                    if let Err(e) = c2nn::serve::metrics::validate_exposition(&body) {
+                        eprintln!("metrics validation FAILED: {e}");
+                        exit(1)
+                    }
+                    eprintln!("metrics validation OK");
+                }
             } else if args.iter().any(|a| a == "--shutdown") {
                 connect("shutdown").shutdown().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -495,7 +551,50 @@ fn main() {
                     .map(|_| int_flag(&args, "--deadline-ms", 0u64, 1u64));
                 let max_retries: u32 = int_flag(&args, "--retries", 8, 0);
                 let seed: u64 = int_flag(&args, "--seed", 0, 0);
-                if clients == 1 && repeat == 1 {
+                if let Some(rate) = flag(&args, "--rate") {
+                    // open-loop load generation: arrivals on a fixed
+                    // schedule at --rate req/s, latency measured from the
+                    // scheduled time (no coordinated omission)
+                    let rate: f64 = rate.parse().unwrap_or_else(|_| {
+                        eprintln!("--rate must be a number (req/s)");
+                        exit(2)
+                    });
+                    let connections: usize = int_flag(&args, "--connections", 64, 1);
+                    let duration_s: u64 = int_flag(&args, "--duration-s", 10, 1);
+                    let report = c2nn::serve::loadgen::run(&c2nn::serve::LoadgenConfig {
+                        addr: addr.clone(),
+                        model,
+                        stim,
+                        connections,
+                        mode: c2nn::serve::ArrivalMode::Open {
+                            rate,
+                            duration: std::time::Duration::from_secs(duration_s),
+                        },
+                        deadline_ms,
+                        max_retries,
+                        seed,
+                    });
+                    if args.iter().any(|a| a == "--json") {
+                        println!(
+                            "{}",
+                            c2nn::json::ToJson::to_json(&report).to_string_pretty()
+                        );
+                    } else {
+                        println!(
+                            "open loop: {} sent over {} conns in {:.2}s — {:.1} req/s ok ({} ok, {} overloaded, {} deadline, {} shutdown, {} failed)",
+                            report.sent, connections, report.elapsed_s, report.req_per_s,
+                            report.ok, report.overloaded, report.deadline_exceeded,
+                            report.shutting_down, report.failed
+                        );
+                        println!(
+                            "latency from scheduled arrival: p50 {}us p90 {}us p99 {}us max {}us",
+                            report.p50_us, report.p90_us, report.p99_us, report.max_us
+                        );
+                    }
+                    if report.failed > 0 {
+                        exit(1)
+                    }
+                } else if clients == 1 && repeat == 1 {
                     let outputs = connect("sim")
                         .sim_with_deadline(&model, &stim, deadline_ms)
                         .unwrap_or_else(|e| {
@@ -612,7 +711,9 @@ fn main() {
                         let shed = (s1.rejected_sims - s0.rejected_sims)
                             + (s1.rejected_draining - s0.rejected_draining);
                         if shed > 0 {
-                            println!("server shed {shed} requests with typed rejections during this run");
+                            println!(
+                                "server shed {shed} requests with typed rejections during this run"
+                            );
                         }
                     }
                     if failures > 0 {
@@ -630,7 +731,11 @@ fn main() {
             // free-running trace with a simple walking-ones stimulus
             let n_in = nl.inputs.len();
             let stimuli: Vec<Vec<bool>> = (0..cycles)
-                .map(|c| (0..n_in).map(|j| n_in != 0 && c % (n_in + 1) == j).collect())
+                .map(|c| {
+                    (0..n_in)
+                        .map(|j| n_in != 0 && c % (n_in + 1) == j)
+                        .collect()
+                })
                 .collect();
             let rec = c2nn::refsim::trace_run(&nl, &stimuli).unwrap_or_else(|e| {
                 eprintln!("{e}");

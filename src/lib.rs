@@ -39,6 +39,7 @@ pub use c2nn_boolfn as boolfn;
 pub use c2nn_circuits as circuits;
 pub use c2nn_core as core;
 pub use c2nn_hal as hal;
+pub use c2nn_json as json;
 pub use c2nn_lutmap as lutmap;
 pub use c2nn_netlist as netlist;
 pub use c2nn_refsim as refsim;

@@ -13,7 +13,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn bit(&mut self) -> bool {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 40 & 1 == 1
     }
 }
@@ -41,7 +44,10 @@ fn verify_circuit(name: &str, nl: &c2nn::netlist::Netlist, l: usize, cycles: usi
         }
         // event-driven simulator agrees on lane 0
         let ev = event_ref.step(&lanes[0]);
-        assert_eq!(got[0], ev, "{name} L={l}: event sim diverged at cycle {cycle}");
+        assert_eq!(
+            got[0], ev,
+            "{name} L={l}: event sim diverged at cycle {cycle}"
+        );
     }
 }
 
@@ -98,12 +104,12 @@ fn aes_network_encrypts_correctly_end_to_end() {
     let nl = c2nn::circuits::aes128();
     let nn = compile(&nl, CompileOptions::with_l(4)).unwrap();
     let key: [u8; 16] = [
-        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
-        0x0e, 0x0f,
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        0x0f,
     ];
     let pt: [u8; 16] = [
-        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
-        0xee, 0xff,
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
     ];
     let pack = |bytes: &[u8]| -> Vec<bool> {
         bytes
@@ -119,7 +125,10 @@ fn aes_network_encrypts_correctly_end_to_end() {
     let idle = vec![false; 257];
     let mut out = Vec::new();
     for _ in 0..12 {
-        out = sim.step(&Dense::<f32>::from_lanes(std::slice::from_ref(&idle))).to_lanes().remove(0);
+        out = sim
+            .step(&Dense::<f32>::from_lanes(std::slice::from_ref(&idle)))
+            .to_lanes()
+            .remove(0);
         if out[129] {
             break;
         }

@@ -18,14 +18,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 }
 
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size, _c: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _c: self,
+        }
     }
 
     /// Run a single benchmark outside any group.
@@ -73,7 +79,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| f(b, input));
+        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -131,7 +139,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     // against timer quantisation.
     let mut iters: u64 = 1;
     loop {
-        let mut b = Bencher { iters, elapsed_ns: 0 };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
         f(&mut b);
         if b.elapsed_ns >= 2_000_000 || iters >= 1 << 20 {
             break;
@@ -140,7 +151,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     }
     let mut per_iter: Vec<u128> = (0..samples)
         .map(|_| {
-            let mut b = Bencher { iters, elapsed_ns: 0 };
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
             f(&mut b);
             b.elapsed_ns / iters as u128
         })

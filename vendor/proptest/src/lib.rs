@@ -42,7 +42,11 @@ impl Default for ProptestConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(64);
-        ProptestConfig { cases, max_shrink_iters: 0, max_global_rejects: 1024 }
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
     }
 }
 
@@ -55,7 +59,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seed the RNG directly.
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Derive a stable seed from a test name (FNV-1a).
@@ -345,14 +351,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_incl: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi_incl: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
         }
     }
 
@@ -364,7 +376,10 @@ pub mod collection {
 
     /// Generate vectors of values from `elem` with length in `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -472,12 +487,12 @@ macro_rules! prop_oneof {
 
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
+    /// Re-export so `proptest::collection::vec` paths work via the prelude.
+    pub use crate::collection;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy,
     };
-    /// Re-export so `proptest::collection::vec` paths work via the prelude.
-    pub use crate::collection;
 }
 
 #[cfg(test)]
