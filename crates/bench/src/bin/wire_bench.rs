@@ -1,0 +1,69 @@
+//! Wire-codec bench + gate (CI): drive the same wide-I/O, 256-cycle
+//! workload over the JSON and binary codecs against the epoll server,
+//! write `results/BENCH_wire.json`, and **fail** (exit 1) if the binary
+//! codec does not beat JSON by `--min-ratio` or if either run sheds
+//! anything untyped.
+//!
+//! ```text
+//! wire_bench [--connections N] [--duration-ms N] [--min-ratio X] [--out PATH]
+//! ```
+
+use c2nn_bench::wire::run_wire;
+use std::time::Duration;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let connections: usize = flag(&args, "--connections", 8);
+    let duration_ms: u64 = flag(&args, "--duration-ms", 2000);
+    let min_ratio: f64 = flag(&args, "--min-ratio", 2.0);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_wire.json".to_string());
+
+    eprintln!(
+        "wire_bench: {connections} connections, {duration_ms}ms per codec, gate binary >= {min_ratio:.1}x json"
+    );
+    let report = run_wire(connections, Duration::from_millis(duration_ms));
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&out, c2nn_json::to_string_pretty(&report)).expect("write results");
+    eprintln!("wrote {out}");
+
+    let mut failed = false;
+    eprintln!(
+        "binary/json throughput ratio: {:.2}x (gate: >= {min_ratio:.1}x)",
+        report.ratio
+    );
+    if report.ratio < min_ratio {
+        eprintln!("FAIL: binary codec does not clear the gate");
+        failed = true;
+    }
+    for row in [&report.json, &report.binary] {
+        if row.failed > 0 {
+            eprintln!(
+                "FAIL: {} run had {} untyped failures",
+                row.codec, row.failed
+            );
+            failed = true;
+        }
+        if row.ok == 0 {
+            eprintln!("FAIL: {} run completed no requests", row.codec);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("wire gate OK");
+}

@@ -12,7 +12,10 @@
 //! * [`harness`] — adaptive timing and the gates·cycles/s metric;
 //! * [`serve_scale`] — the serving scaling curve (closed-loop client sweep,
 //!   past-saturation probe, `/metrics` scrape) behind the `serve_scale`
-//!   binary and its CI gate (`bench_gate`).
+//!   binary and its CI gate (`bench_gate`);
+//! * [`wire`] — the JSON-vs-binary codec comparison behind the
+//!   `wire_bench` binary and its CI gate (binary ≥ 2× JSON at 256-cycle
+//!   batches).
 //!
 //! Entry point: `cargo run -p c2nn-bench --release --bin reproduce -- all`.
 
@@ -20,3 +23,4 @@ pub mod experiments;
 pub mod harness;
 pub mod model;
 pub mod serve_scale;
+pub mod wire;

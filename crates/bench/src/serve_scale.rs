@@ -17,7 +17,7 @@ use c2nn_serve::client::fetch_metrics;
 use c2nn_serve::metrics::validate_exposition;
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, IoModel, ServerConfig};
-use c2nn_serve::{ArrivalMode, LoadgenConfig, RegistryConfig};
+use c2nn_serve::{ArrivalMode, LoadgenConfig, RegistryConfig, WireFormat};
 use std::time::Duration;
 
 /// Width of the benchmark counter circuit.
@@ -133,6 +133,7 @@ pub fn run_scale(
             max_inflight: 4096,
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("start scale server");
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).expect("compile model");
@@ -150,6 +151,7 @@ pub fn run_scale(
             deadline_ms: None,
             max_retries: 4,
             seed: 42,
+            wire: WireFormat::Json,
         });
         eprintln!(
             "  {clients:>4} clients: {:>9.1} req/s  (p50 {}us, p99 {}us, {} ok / {} sent)",
@@ -185,6 +187,7 @@ pub fn run_scale(
             max_inflight: 8,
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("start budgeted server");
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).expect("compile model");
@@ -205,6 +208,7 @@ pub fn run_scale(
         deadline_ms: Some(100),
         max_retries: 0,
         seed: 43,
+        wire: WireFormat::Json,
     });
     eprintln!(
         "  overload @ {target_rate:.0} req/s vs budget 8: {} ok, {} overloaded, {} deadline, {} failed",

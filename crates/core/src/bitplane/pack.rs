@@ -105,6 +105,37 @@ impl BitTensor {
         }
     }
 
+    /// Adopt pre-packed backing words (e.g. decoded straight off the
+    /// binary wire) without copying. Returns `None` when `data.len()`
+    /// does not equal `features * ceil(batch / 64)`. Ragged tail bits are
+    /// taken as-is; callers that need the canonical zero-tail form run
+    /// [`BitTensor::mask_tails`] afterwards.
+    pub fn from_words(features: usize, batch: usize, data: Vec<u64>) -> Option<Self> {
+        let words = batch.div_ceil(64);
+        if features.checked_mul(words)? != data.len() {
+            return None;
+        }
+        Some(BitTensor {
+            features,
+            batch,
+            words,
+            data,
+        })
+    }
+
+    /// Zero the ragged tail bits of every feature plane, making the
+    /// contents canonical (equal tensors compare equal word-for-word; the
+    /// wire codecs require this form).
+    pub fn mask_tails(&mut self) {
+        let mask = self.tail_mask();
+        if mask == !0 || self.words == 0 {
+            return;
+        }
+        for f in 0..self.features {
+            self.data[f * self.words + self.words - 1] &= mask;
+        }
+    }
+
     /// Pack per-lane bit vectors (`lanes[l][f]`, the same shape
     /// `Dense::from_lanes` takes): `lanes.len()` is the batch, every lane
     /// carries one bit per feature.

@@ -276,4 +276,78 @@ impl<'a, T: Scalar> BitplaneRunner<'a, T> {
         }
         Ok(outputs)
     }
+
+    /// The zero-copy twin of [`step`](BitplaneRunner::step): `inputs` is
+    /// already packed (`num_primary_inputs × sessions.len()`), the input
+    /// planes are copied word-wise instead of bit-by-bit, and the outputs
+    /// come back packed (`num_primary_outputs × sessions.len()`, ragged
+    /// tails zeroed). Same shape checks and per-lane semantics.
+    pub fn step_planes(
+        &mut self,
+        sessions: &mut [Session<T>],
+        inputs: &BitTensor,
+    ) -> Result<BitTensor, SimError> {
+        let pi = self.nn.num_primary_inputs;
+        let po = self.nn.num_primary_outputs;
+        let s = self.nn.state_bits();
+        let b = sessions.len();
+        if self.nn.layers.is_empty() {
+            return Err(SimError::NoLayers);
+        }
+        if inputs.batch() != b {
+            return Err(SimError::BatchMismatch {
+                expected: b,
+                got: inputs.batch(),
+            });
+        }
+        if inputs.features() != pi {
+            return Err(SimError::InputWidth {
+                expected: pi,
+                got: inputs.features(),
+            });
+        }
+        for sess in sessions.iter() {
+            if sess.state_raw().len() != s {
+                return Err(SimError::StateWidth {
+                    expected: s,
+                    got: sess.state_raw().len(),
+                });
+            }
+        }
+        if b == 0 {
+            return Ok(BitTensor::zeros(po, 0));
+        }
+        self.xbuf.resize_to(pi + s, b);
+        let w = self.xbuf.words_per_feature();
+        debug_assert_eq!(inputs.words_per_feature(), w);
+        self.xbuf.data_mut()[..pi * w].copy_from_slice(inputs.data());
+        self.xbuf.data_mut()[pi * w..].fill(0);
+        for (l, sess) in sessions.iter().enumerate() {
+            for (f, &v) in sess.state_raw().iter().enumerate() {
+                if v == T::ONE {
+                    self.xbuf.set_bit(pi + f, l, true);
+                }
+            }
+        }
+        let y = self
+            .nn
+            .forward_with(&self.xbuf, self.device, &mut self.scratch);
+        debug_assert_eq!(y.features(), po + s);
+        let mut outputs = BitTensor::zeros(po, b);
+        outputs
+            .data_mut()
+            .copy_from_slice(&y.data()[..po * y.words_per_feature()]);
+        outputs.mask_tails();
+        for (l, sess) in sessions.iter_mut().enumerate() {
+            for (f, v) in sess.state_raw_mut().iter_mut().enumerate() {
+                *v = if y.get_bit(po + f, l) {
+                    T::ONE
+                } else {
+                    T::ZERO
+                };
+            }
+            sess.bump_cycles();
+        }
+        Ok(outputs)
+    }
 }

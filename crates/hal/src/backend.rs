@@ -16,7 +16,7 @@
 //! the next-best candidate instead of discovering the failure inside a
 //! batcher thread.
 
-use c2nn_core::{BenchResult, CompileOptions, CompiledNn, Session, SimError, Stimulus};
+use c2nn_core::{BenchResult, BitTensor, CompileOptions, CompiledNn, Session, SimError, Stimulus};
 use std::fmt;
 use std::sync::Arc;
 
@@ -107,6 +107,21 @@ pub trait Runner {
         sessions: &mut [Session<f32>],
         inputs: &[Vec<bool>],
     ) -> Result<Vec<Vec<bool>>, SimError>;
+
+    /// Packed twin of [`step`](Runner::step): inputs arrive as feature-major
+    /// bit planes (`num_primary_inputs × sessions.len()`) and outputs come
+    /// back packed (`num_primary_outputs × sessions.len()`, ragged tails
+    /// zeroed). The default unpacks to lanes and repacks, so every backend
+    /// keeps the identical contract; backends with a native packed path
+    /// (bit-plane) override it to skip the `Vec<bool>` round-trip.
+    fn step_planes(
+        &mut self,
+        sessions: &mut [Session<f32>],
+        inputs: &BitTensor,
+    ) -> Result<BitTensor, SimError> {
+        let outs = self.step(sessions, &inputs.to_lanes())?;
+        Ok(BitTensor::from_lanes(&outs))
+    }
 }
 
 /// An admitted model on one backend: the legalized artifact plus its

@@ -15,7 +15,7 @@
 
 use crate::backend::{Backend, Manifest, Plan, Reject, RowClassCount, Runner};
 use c2nn_core::bitplane::{BitplaneNn, BitplaneRunner};
-use c2nn_core::{CompileOptions, CompiledNn, PassId, Session, SessionRunner, SimError};
+use c2nn_core::{BitTensor, CompileOptions, CompiledNn, PassId, Session, SessionRunner, SimError};
 use c2nn_tensor::Device;
 use std::sync::Arc;
 
@@ -36,6 +36,15 @@ impl Runner for BitplaneRunner<'_, f32> {
         inputs: &[Vec<bool>],
     ) -> Result<Vec<Vec<bool>>, SimError> {
         BitplaneRunner::step(self, sessions, inputs)
+    }
+
+    fn step_planes(
+        &mut self,
+        sessions: &mut [Session<f32>],
+        inputs: &BitTensor,
+    ) -> Result<BitTensor, SimError> {
+        // native packed path: word-wise plane copy in, packed planes out
+        BitplaneRunner::step_planes(self, sessions, inputs)
     }
 }
 

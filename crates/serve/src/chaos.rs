@@ -260,8 +260,7 @@ fn read_response(stream: TcpStream, timeout: Duration) -> Result<Response, Strin
         .read_frame()
         .map_err(|e| format!("reading response: {e}"))?
         .ok_or_else(|| "server closed before replying".to_string())?;
-    let text = String::from_utf8(frame).map_err(|_| "response is not UTF-8".to_string())?;
-    Response::decode(&text).map_err(|e| e.to_string())
+    frame.decode_response().map_err(|e| e.to_string())
 }
 
 /// Slow-loris: send a legitimate request one byte at a time with

@@ -10,8 +10,10 @@
 
 use crate::chaos::Rng;
 use crate::protocol::{
-    write_frame, FrameReader, ModelStatsReport, ProtocolError, Request, Response, ServerStatsReport,
+    write_wire_frame, FrameReader, ModelStatsReport, ProtocolError, Request, Response,
+    ServerStatsReport, SimOutputs, StimPayload, WireFormat,
 };
+use c2nn_core::BitTensor;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -45,10 +47,13 @@ pub fn fetch_metrics(addr: &str) -> Result<String, ClientError> {
 }
 
 /// One connection to a c2nn server. Strictly request/response: each helper
-/// sends one frame and blocks for one reply.
+/// sends one frame and blocks for one reply. The wire codec is chosen at
+/// connect time ([`Client::connect_wire`]); replies are decoded by their
+/// own sniffed codec, so a server is free to answer in either.
 pub struct Client {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
+    wire: WireFormat,
 }
 
 /// Client-side failures: transport errors, protocol violations, typed
@@ -200,28 +205,42 @@ impl Backoff {
 }
 
 impl Client {
-    /// Connect to `addr` (`host:port`).
+    /// Connect to `addr` (`host:port`) speaking JSON (every server
+    /// version understands it).
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_wire(addr, WireFormat::Json)
+    }
+
+    /// Connect speaking `wire`. No handshake round-trip is needed: the
+    /// server sniffs the codec from the first byte of each frame.
+    pub fn connect_wire(addr: &str, wire: WireFormat) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
             reader: FrameReader::new(stream),
+            wire,
         })
     }
 
-    /// Connect, retrying transient failures (connection refused/reset) up
-    /// to `max_retries` times under `backoff`. Returns the client and how
-    /// many retries it took.
+    /// The codec this client encodes requests in.
+    pub fn wire(&self) -> WireFormat {
+        self.wire
+    }
+
+    /// Connect speaking `wire`, retrying transient failures (connection
+    /// refused/reset) up to `max_retries` times under `backoff`. Returns
+    /// the client and how many retries it took.
     pub fn connect_with_retry(
         addr: &str,
+        wire: WireFormat,
         backoff: &mut Backoff,
         max_retries: u32,
     ) -> Result<(Client, u32), ClientError> {
         let mut retries = 0;
         loop {
-            match Client::connect(addr) {
+            match Client::connect_wire(addr, wire) {
                 Ok(c) => return Ok((c, retries)),
                 Err(e) if e.is_transient() && retries < max_retries => {
                     std::thread::sleep(backoff.next_delay(e.retry_after()));
@@ -238,7 +257,7 @@ impl Client {
     /// `shutdown` request it is the success ack — helpers that did not ask
     /// for it map it to [`ClientError::ShuttingDown`].
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.writer, &req.encode())?;
+        write_wire_frame(&mut self.writer, &self.wire.codec().encode_request(req))?;
         let frame = loop {
             match self.reader.read_frame() {
                 Ok(Some(f)) => break f,
@@ -257,12 +276,7 @@ impl Client {
                 Err(e) => return Err(ClientError::Io(e)),
             }
         };
-        let text = String::from_utf8(frame).map_err(|_| {
-            ClientError::Protocol(ProtocolError {
-                message: "response is not UTF-8".into(),
-            })
-        })?;
-        match Response::decode(&text)? {
+        match frame.decode_response()? {
             Response::Error { message } => Err(ClientError::Server(message)),
             Response::Overloaded { retry_after_ms } => {
                 Err(ClientError::Overloaded { retry_after_ms })
@@ -286,7 +300,7 @@ impl Client {
     pub fn load(&mut self, name: &str, model_json: &str) -> Result<u64, ClientError> {
         let req = Request::Load {
             name: name.to_string(),
-            model_json: model_json.to_string(),
+            model: model_json.as_bytes().to_vec(),
             deadline_ms: None,
         };
         match self.request(&req)? {
@@ -306,6 +320,9 @@ impl Client {
     /// Run one `.stim` testbench with an optional end-to-end deadline in
     /// milliseconds; a request the server cannot start in time comes back
     /// as [`ClientError::DeadlineExceeded`] instead of a late answer.
+    /// The stimulus rides as text under either codec (the server parses
+    /// it, so `.stim` repeat syntax keeps its exact semantics); use
+    /// [`sim_packed`](Self::sim_packed) for the zero-parse hot path.
     pub fn sim_with_deadline(
         &mut self,
         model: &str,
@@ -314,11 +331,57 @@ impl Client {
     ) -> Result<Vec<String>, ClientError> {
         let req = Request::Sim {
             model: model.to_string(),
-            stim: stim.to_string(),
+            stim: StimPayload::Text(stim.to_string()),
             deadline_ms,
         };
         match self.request(&req)? {
-            Response::SimResult { outputs, .. } => Ok(outputs),
+            Response::SimResult { outputs, .. } => Ok(outputs.to_strings()),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            _ => Err(ClientError::Unexpected("sim result")),
+        }
+    }
+
+    /// Run one testbench that is already packed as feature-major bit
+    /// planes (features = primary inputs, batch = cycles); the reply comes
+    /// back packed the same way (features = primary outputs). Under the
+    /// binary codec, neither direction is parsed per lane anywhere —
+    /// socket bytes are the simulator's working representation.
+    pub fn sim_packed(&mut self, model: &str, stim: &BitTensor) -> Result<BitTensor, ClientError> {
+        self.sim_packed_with_deadline(model, stim, None)
+    }
+
+    /// [`sim_packed`](Self::sim_packed) with an optional end-to-end
+    /// deadline in milliseconds.
+    pub fn sim_packed_with_deadline(
+        &mut self,
+        model: &str,
+        stim: &BitTensor,
+        deadline_ms: Option<u64>,
+    ) -> Result<BitTensor, ClientError> {
+        let req = Request::Sim {
+            model: model.to_string(),
+            stim: StimPayload::Packed(stim.clone()),
+            deadline_ms,
+        };
+        match self.request(&req)? {
+            Response::SimResult { outputs, .. } => Ok(match outputs {
+                SimOutputs::Packed(planes) => planes,
+                // a server replying in text form (never the case for the
+                // packed dataflow today, but legal on the wire) still
+                // round-trips losslessly
+                SimOutputs::Text(lines) => {
+                    let features = lines.first().map_or(0, |l| l.len());
+                    let mut planes = BitTensor::zeros(features, lines.len());
+                    for (c, line) in lines.iter().enumerate() {
+                        for (f, ch) in line.chars().rev().enumerate() {
+                            if ch == '1' {
+                                planes.set_bit(f, c, true);
+                            }
+                        }
+                    }
+                    planes
+                }
+            }),
             Response::ShuttingDown => Err(ClientError::ShuttingDown),
             _ => Err(ClientError::Unexpected("sim result")),
         }

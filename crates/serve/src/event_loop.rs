@@ -29,19 +29,24 @@
 //!   itself, not the server.
 //! * **HTTP sniffing**: a connection whose first four bytes are `GET ` is
 //!   answered as an HTTP/1.1 scrape (`/metrics` → Prometheus exposition,
-//!   anything else → 404) and closed; anything else is framed JSON. A
-//!   complete frame can never start with `GET ` (frames are JSON objects),
-//!   so the sniff cannot misfire.
+//!   anything else → 404) and closed; anything else is protocol frames,
+//!   codec-sniffed per frame. A frame can never start with `GET ` (JSON
+//!   frames open with `{`, binary frames with the `0xC2` magic), so the
+//!   sniff cannot misfire.
 //! * **Drain, not cliff**: shutdown closes the listener, flips admission
-//!   to draining, answers frames arriving within [`DRAIN_WINDOW`] with a
-//!   typed `ShuttingDown`, waits for every pending sim's completion (the
-//!   batcher always replies), flushes, and half-closes — FIN, never RST.
+//!   to draining, answers frames arriving within the configured
+//!   [`FrameLimits::drain_window`] with a typed `ShuttingDown`, waits for
+//!   every pending sim's completion (the batcher always replies), flushes,
+//!   and half-closes — FIN, never RST.
 
 use crate::admission::AdmitError;
 use crate::metrics::{self, IoGauges};
-use crate::protocol::{FrameBuffer, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{
+    Frame, FrameBuffer, FrameLimits, Request, Response, StimPayload, WireFormat, PROTOCOL_VERSION,
+};
 use crate::registry::Registry;
-use crate::server::sim_reply;
+use crate::scheduler::StimData;
+use crate::server::{sim_reply, WirePolicy};
 use crate::signal;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -55,8 +60,6 @@ use std::time::{Duration, Instant};
 pub const WRITE_HIGH_WATERMARK: usize = 256 << 10;
 /// Resume reads once the queued reply bytes drop below this.
 pub const WRITE_LOW_WATERMARK: usize = 64 << 10;
-/// How long the drain phase keeps answering frames with `ShuttingDown`.
-const DRAIN_WINDOW: Duration = Duration::from_millis(250);
 /// Hard cap on post-drain flushing toward clients that stopped reading.
 const DRAIN_FLUSH_CAP: Duration = Duration::from_secs(5);
 /// epoll_wait timeout: the poll tick for the shutdown/SIGINT flags.
@@ -175,9 +178,9 @@ const TOKEN_WAKE: u64 = u64::MAX - 1;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// First bytes not seen yet: HTTP or framed JSON?
+    /// First bytes not seen yet: HTTP or framed protocol?
     Sniff,
-    /// Newline-delimited JSON frames (the serving protocol).
+    /// Codec-sniffed protocol frames (JSON lines or binary).
     Framed,
     /// An HTTP scrape: answer one request, then close.
     Http,
@@ -189,6 +192,9 @@ struct Conn {
     wbuf: Vec<u8>,
     wpos: usize,
     mode: Mode,
+    /// Codec of the most recent popped frame: replies (including drain
+    /// and framing-error replies) answer in it.
+    wire: WireFormat,
     /// A sim/load is in flight; reads pause and further frames wait.
     pending: bool,
     /// Flush `wbuf`, then close (protocol violation, HTTP done, shutdown).
@@ -202,13 +208,14 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, limits: FrameLimits) -> Conn {
         Conn {
             stream,
-            frames: FrameBuffer::new(),
+            frames: FrameBuffer::with_limits(limits),
             wbuf: Vec::new(),
             wpos: 0,
             mode: Mode::Sniff,
+            wire: WireFormat::Json,
             pending: false,
             closing: false,
             throttled: false,
@@ -337,6 +344,8 @@ struct Ctx {
     io: Arc<IoGauges>,
     completions: Arc<Completions>,
     shutdown: Arc<AtomicBool>,
+    limits: FrameLimits,
+    wire: WirePolicy,
 }
 
 // --- the loop --------------------------------------------------------------
@@ -344,8 +353,14 @@ struct Ctx {
 /// Run the event loop until shutdown (flag, SIGINT, or a `shutdown`
 /// frame), then drain. Mirrors the threaded `accept_loop`'s contract;
 /// called on the server's accept thread.
-pub fn run_event_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
-    if let Err(e) = run_inner(listener, registry, shutdown) {
+pub fn run_event_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    limits: FrameLimits,
+    wire: WirePolicy,
+) {
+    if let Err(e) = run_inner(listener, registry, shutdown, limits, wire) {
         eprintln!("c2nn-serve event loop failed: {e}");
     }
 }
@@ -354,6 +369,8 @@ fn run_inner(
     listener: TcpListener,
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
+    limits: FrameLimits,
+    wire: WirePolicy,
 ) -> io::Result<()> {
     let ep = Epoll::new()?;
     ep.ctl(EPOLL_CTL_ADD, listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
@@ -373,6 +390,8 @@ fn run_inner(
         io: Arc::clone(&io),
         completions: Arc::clone(&completions),
         shutdown: Arc::clone(&shutdown),
+        limits,
+        wire,
     };
     let mut slab = Slab::default();
     let mut events: Vec<(u32, u64)> = Vec::new();
@@ -382,7 +401,7 @@ fn run_inner(
         io.readiness_wakeups_total.fetch_add(1, Ordering::Relaxed);
         for &(mask, token) in &events {
             match token {
-                TOKEN_LISTENER => accept_ready(&listener, &ep, &mut slab, &io),
+                TOKEN_LISTENER => accept_ready(&listener, &ep, &mut slab, &io, limits),
                 TOKEN_WAKE => drain_wake_pipe(&wake_rx),
                 token => {
                     if let Some(slot) = slab.slot_of(token) {
@@ -405,7 +424,13 @@ fn run_inner(
     Ok(())
 }
 
-fn accept_ready(listener: &TcpListener, ep: &Epoll, slab: &mut Slab, io: &IoGauges) {
+fn accept_ready(
+    listener: &TcpListener,
+    ep: &Epoll,
+    slab: &mut Slab,
+    io: &IoGauges,
+    limits: FrameLimits,
+) {
     // bounded batch per wake so a connect storm cannot starve live conns
     for _ in 0..64 {
         match listener.accept() {
@@ -415,7 +440,7 @@ fn accept_ready(listener: &TcpListener, ep: &Epoll, slab: &mut Slab, io: &IoGaug
                 }
                 let _ = stream.set_nodelay(true);
                 let fd = stream.as_raw_fd();
-                let slot = slab.insert(Conn::new(stream));
+                let slot = slab.insert(Conn::new(stream, limits));
                 let token = slab.token(slot);
                 let conn = slab.get_mut(slot).expect("just inserted");
                 conn.interest = conn.desired_interest();
@@ -576,15 +601,18 @@ fn should_close(conn: &mut Conn) -> bool {
         }
         // complete frames still buffered keep the connection; a bare
         // partial frame at EOF is the threaded path's mid-frame close
-        return !conn.frames.peek().contains(&b'\n');
+        // (framing defects also count as actionable — the drain loop must
+        // still pop them to answer with a typed error before FIN)
+        return !conn.frames.has_complete_frame();
     }
     false
 }
 
+/// Encode `resp` in the connection's current codec and queue it.
 fn enqueue_response(conn: &mut Conn, resp: &Response, ctx: &Ctx) {
-    conn.wbuf.extend_from_slice(resp.encode().as_bytes());
-    conn.wbuf.push(b'\n');
-    ctx.io.frames_written_total.fetch_add(1, Ordering::Relaxed);
+    let encoded = conn.wire.codec().encode_response(resp);
+    ctx.io.record_frame_written(conn.wire, encoded.len() as u64);
+    conn.wbuf.extend_from_slice(&encoded);
     if !conn.throttled && conn.outstanding() > WRITE_HIGH_WATERMARK {
         conn.throttled = true;
         ctx.io
@@ -624,10 +652,22 @@ fn process_conn(conn: &mut Conn, token: u64, ctx: &Ctx) {
                     return; // strict request/response: next frame waits
                 }
                 match conn.frames.next_frame() {
-                    Ok(Some(frame)) => handle_frame(conn, token, frame, ctx),
+                    Ok(Some(frame)) => {
+                        conn.wire = frame.wire;
+                        if !ctx.wire.allows(frame.wire) {
+                            // typed refusal in the client's codec, then
+                            // close — never a hang
+                            ctx.io.record_frame_read(frame.wire, frame.len() as u64);
+                            enqueue_response(conn, &ctx.wire.rejection(), ctx);
+                            conn.closing = true;
+                            return;
+                        }
+                        handle_frame(conn, token, frame, ctx)
+                    }
                     Ok(None) => return,
                     Err(e) => {
-                        // over-long frame: framing is no longer trustworthy
+                        // over-long or corrupt framing: the byte stream is
+                        // no longer trustworthy
                         enqueue_response(
                             conn,
                             &Response::Error {
@@ -685,22 +725,9 @@ fn admit_error_response(e: AdmitError) -> Response {
 /// its lane to the scheduler with a completion hook; `load` runs on a
 /// short-lived thread (rare, admission-gated, but parse+validate is too
 /// heavy to stall the loop).
-fn handle_frame(conn: &mut Conn, token: u64, frame: Vec<u8>, ctx: &Ctx) {
-    ctx.io.frames_read_total.fetch_add(1, Ordering::Relaxed);
-    let text = match String::from_utf8(frame) {
-        Ok(t) => t,
-        Err(_) => {
-            enqueue_response(
-                conn,
-                &Response::Error {
-                    message: "frame is not UTF-8".into(),
-                },
-                ctx,
-            );
-            return;
-        }
-    };
-    let request = match Request::decode(&text) {
+fn handle_frame(conn: &mut Conn, token: u64, frame: Frame, ctx: &Ctx) {
+    ctx.io.record_frame_read(frame.wire, frame.len() as u64);
+    let request = match frame.decode_request() {
         Ok(r) => r,
         Err(e) => {
             enqueue_response(
@@ -737,14 +764,14 @@ fn handle_frame(conn: &mut Conn, token: u64, frame: Vec<u8>, ctx: &Ctx) {
         }
         Request::Load {
             name,
-            model_json,
+            model,
             deadline_ms,
-        } => start_load(conn, token, name, model_json, deadline_ms, ctx),
+        } => start_load(conn, token, name, model, deadline_ms, ctx),
         Request::Sim {
             model,
             stim,
             deadline_ms,
-        } => start_sim(conn, token, &model, &stim, deadline_ms, ctx),
+        } => start_sim(conn, token, &model, stim, deadline_ms, ctx),
     }
 }
 
@@ -752,7 +779,7 @@ fn start_load(
     conn: &mut Conn,
     token: u64,
     name: String,
-    model_json: String,
+    model: Vec<u8>,
     deadline_ms: Option<u64>,
     ctx: &Ctx,
 ) {
@@ -770,7 +797,7 @@ fn start_load(
     let spawned = std::thread::Builder::new()
         .name("c2nn-load".to_string())
         .spawn(move || {
-            let response = match registry.load(&name, &model_json) {
+            let response = match registry.load(&name, &model) {
                 Ok(model) => Response::Loaded {
                     name,
                     bytes: model.bytes as u64,
@@ -795,7 +822,7 @@ fn start_sim(
     conn: &mut Conn,
     token: u64,
     model: &str,
-    stim_text: &str,
+    stim: StimPayload,
     deadline_ms: Option<u64>,
     ctx: &Ctx,
 ) {
@@ -825,24 +852,45 @@ fn start_sim(
         enqueue_response(conn, &admit_error_response(e), ctx);
         return;
     }
-    let stim = match c2nn_core::parse_stim(stim_text, served.nn.num_primary_inputs) {
-        Ok(s) => s,
-        Err(e) => {
-            enqueue_response(
-                conn,
-                &Response::Error {
-                    message: e.to_string(),
-                },
-                ctx,
-            );
-            return;
+    let pi = served.nn.num_primary_inputs;
+    let data: StimData = match stim {
+        StimPayload::Text(text) => match c2nn_core::parse_stim(&text, pi) {
+            Ok(s) => s.into(),
+            Err(e) => {
+                enqueue_response(
+                    conn,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                    ctx,
+                );
+                return;
+            }
+        },
+        // packed planes ride to the scheduler untouched — the binary hot
+        // path never expands to Vec<bool> on the server side
+        StimPayload::Packed(planes) => {
+            if planes.features() != pi {
+                enqueue_response(
+                    conn,
+                    &Response::Error {
+                        message: format!(
+                            "stimulus planes carry {} input bits; model '{model}' expects {pi}",
+                            planes.features()
+                        ),
+                    },
+                    ctx,
+                );
+                return;
+            }
+            planes.into()
         }
     };
     let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
     conn.pending = true;
     let completions = Arc::clone(&ctx.completions);
     served.submit_with(
-        stim,
+        data,
         deadline,
         Box::new(move |result| {
             // runs on the batcher thread: format, enqueue, wake — no blocking
@@ -855,8 +903,9 @@ fn start_sim(
 // --- drain -----------------------------------------------------------------
 
 /// Mirror of the threaded path's `drain_connection`, loop-wide: answer
-/// frames with `ShuttingDown` for [`DRAIN_WINDOW`], wait out pending sims
-/// (their completions always arrive), flush, half-close everything.
+/// frames with `ShuttingDown` for [`FrameLimits::drain_window`], wait out
+/// pending sims (their completions always arrive), flush, half-close
+/// everything.
 fn drain_phase(
     ep: &Epoll,
     slab: &mut Slab,
@@ -873,7 +922,7 @@ fn drain_phase(
             remove_conn(ep, slab, slot, ctx);
         }
     }
-    let window_end = Instant::now() + DRAIN_WINDOW;
+    let window_end = Instant::now() + ctx.limits.drain_window;
     let hard_end = window_end + DRAIN_FLUSH_CAP;
     let mut events: Vec<(u32, u64)> = Vec::new();
     loop {
@@ -903,8 +952,9 @@ fn drain_phase(
                         Ok(eof) => {
                             conn.eof |= eof;
                             // whatever the request was, the drain answer is
-                            // the same typed reply
-                            while let Ok(Some(_)) = conn.frames.next_frame() {
+                            // the same typed reply, in the frame's codec
+                            while let Ok(Some(frame)) = conn.frames.next_frame() {
+                                conn.wire = frame.wire;
                                 enqueue_response(conn, &Response::ShuttingDown, ctx);
                             }
                             dead = flush(conn, ctx).is_err();
@@ -961,14 +1011,14 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let c1 = TcpStream::connect(addr).unwrap();
         let (s1, _) = listener.accept().unwrap();
-        let slot = slab.insert(Conn::new(s1));
+        let slot = slab.insert(Conn::new(s1, FrameLimits::default()));
         let tok = slab.token(slot);
         assert_eq!(slab.slot_of(tok), Some(slot));
         slab.remove(slot);
         assert_eq!(slab.slot_of(tok), None, "stale token must miss");
         let c2 = TcpStream::connect(addr).unwrap();
         let (s2, _) = listener.accept().unwrap();
-        let slot2 = slab.insert(Conn::new(s2));
+        let slot2 = slab.insert(Conn::new(s2, FrameLimits::default()));
         assert_eq!(slot2, slot, "slot is recycled");
         assert_ne!(slab.token(slot2), tok, "with a fresh generation");
         drop((c1, c2));

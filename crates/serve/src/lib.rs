@@ -10,7 +10,9 @@
 //!  (N conns)       (frames)   (LRU cache)   (micro-batching)     (threads)
 //! ```
 //!
-//! * [`protocol`] — newline-delimited JSON frames over TCP; every frame is
+//! * [`protocol`] — a codec layer over TCP: newline-delimited JSON frames
+//!   and a length-prefixed binary format carrying packed bit planes, with
+//!   per-frame codec negotiation by first-byte sniffing; every frame is
 //!   untrusted input and decodes without panicking.
 //! * [`registry`] — loads models through full structural validation, caches
 //!   them under a byte budget with LRU eviction.
@@ -57,9 +59,10 @@ pub use client::{Backoff, Client, ClientError, StatsSnapshot};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
 pub use metrics::IoGauges;
 pub use protocol::{
-    BackendSelectionReport, FrameBuffer, FrameReader, ModelStatsReport, ProtocolError, Request,
-    Response, ServerStatsReport, MAX_FRAME, PROTOCOL_VERSION,
+    BackendSelectionReport, BinaryCodec, Codec, Frame, FrameBuffer, FrameLimits, FrameReader,
+    JsonCodec, ModelStatsReport, ProtocolError, Request, Response, ServerStatsReport, SimOutputs,
+    StimPayload, WireFormat, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use registry::{Registry, RegistryConfig};
-pub use scheduler::{BatchConfig, ServedModel, SimFailure, SimOutput};
-pub use server::{spawn_server, IoModel, ServerConfig, ServerHandle};
+pub use scheduler::{BatchConfig, ServedModel, SimFailure, SimOutput, StimData};
+pub use server::{spawn_server, IoModel, ServerConfig, ServerHandle, WirePolicy};

@@ -17,6 +17,8 @@
 //! errors and untyped failures count as `failed`.
 
 use crate::client::{Backoff, Client, ClientError};
+use crate::protocol::{stim_text_to_planes, WireFormat};
+use c2nn_core::BitTensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,6 +68,10 @@ pub struct LoadgenConfig {
     pub max_retries: u32,
     /// Seed for deterministic backoff jitter.
     pub seed: u64,
+    /// Wire codec every worker connection speaks. Binary workers pack the
+    /// stimulus into bit planes once and reuse it for every request, so
+    /// the per-request cost is the codec itself, not `.stim` parsing.
+    pub wire: WireFormat,
 }
 
 /// Outcome counts and latency percentiles for one run.
@@ -128,7 +134,7 @@ struct Counters {
 
 impl Counters {
     /// Bucket one request outcome; returns whether it may be retried.
-    fn record(&self, outcome: &Result<Vec<String>, ClientError>) -> bool {
+    fn record<T>(&self, outcome: &Result<T, ClientError>) -> bool {
         self.sent.fetch_add(1, Ordering::Relaxed);
         match outcome {
             Ok(_) => {
@@ -219,21 +225,35 @@ fn worker_loop(
         Duration::from_millis(2),
         Duration::from_millis(250),
     );
-    let mut client = match Client::connect_with_retry(&cfg.addr, &mut backoff, cfg.max_retries) {
-        Ok((c, retries)) => {
-            counters
-                .retries
-                .fetch_add(retries as u64, Ordering::Relaxed);
-            Some(c)
-        }
-        Err(_) => None,
+    let mut client =
+        match Client::connect_with_retry(&cfg.addr, cfg.wire, &mut backoff, cfg.max_retries) {
+            Ok((c, retries)) => {
+                counters
+                    .retries
+                    .fetch_add(retries as u64, Ordering::Relaxed);
+                Some(c)
+            }
+            Err(_) => None,
+        };
+    // binary workers pack the stimulus once; every request reuses the
+    // planes (the point of the binary wire: no per-request parsing)
+    let packed: Option<BitTensor> = match cfg.wire {
+        WireFormat::Binary => stim_text_to_planes(&cfg.stim).ok(),
+        WireFormat::Json => None,
     };
     let mut latencies = Vec::new();
     let mut send_one = |client: &mut Option<Client>, anchor: Instant, retry: bool| {
         let mut attempts = 0u32;
         loop {
             let outcome = match client.as_mut() {
-                Some(c) => c.sim_with_deadline(&cfg.model, &cfg.stim, cfg.deadline_ms),
+                Some(c) => match &packed {
+                    Some(planes) => c
+                        .sim_packed_with_deadline(&cfg.model, planes, cfg.deadline_ms)
+                        .map(|_| ()),
+                    None => c
+                        .sim_with_deadline(&cfg.model, &cfg.stim, cfg.deadline_ms)
+                        .map(|_| ()),
+                },
                 None => Err(ClientError::Io(std::io::ErrorKind::NotConnected.into())),
             };
             if let Err(e) = &outcome {
@@ -256,7 +276,8 @@ fn worker_loop(
             let hint = outcome.as_ref().err().and_then(ClientError::retry_after);
             std::thread::sleep(backoff.next_delay(hint));
             if client.is_none() {
-                if let Ok((c, r)) = Client::connect_with_retry(&cfg.addr, &mut backoff, 2) {
+                if let Ok((c, r)) = Client::connect_with_retry(&cfg.addr, cfg.wire, &mut backoff, 2)
+                {
                     counters.retries.fetch_add(r as u64, Ordering::Relaxed);
                     *client = Some(c);
                 }
@@ -333,11 +354,12 @@ mod tests {
     #[test]
     fn typed_outcomes_bucket_correctly() {
         let c = Counters::default();
-        assert!(!c.record(&Ok(vec![])));
-        assert!(c.record(&Err(ClientError::Overloaded { retry_after_ms: 5 })));
-        assert!(!c.record(&Err(ClientError::DeadlineExceeded)));
-        assert!(!c.record(&Err(ClientError::ShuttingDown)));
-        assert!(!c.record(&Err(ClientError::Server("boom".into()))));
+        let err = |e: ClientError| -> Result<(), ClientError> { Err(e) };
+        assert!(!c.record(&Ok(())));
+        assert!(c.record(&err(ClientError::Overloaded { retry_after_ms: 5 })));
+        assert!(!c.record(&err(ClientError::DeadlineExceeded)));
+        assert!(!c.record(&err(ClientError::ShuttingDown)));
+        assert!(!c.record(&err(ClientError::Server("boom".into()))));
         assert_eq!(c.sent.load(Ordering::Relaxed), 5);
         assert_eq!(c.ok.load(Ordering::Relaxed), 1);
         assert_eq!(c.overloaded.load(Ordering::Relaxed), 1);

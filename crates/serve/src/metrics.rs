@@ -22,6 +22,7 @@
 //!   from [`crate::stats::bucket_upper_bound_us`], so the wire exposition
 //!   and the in-process quantiles can never disagree about bucketing.
 
+use crate::protocol::WireFormat;
 use crate::registry::Registry;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +53,51 @@ pub struct IoGauges {
     pub frames_read_total: AtomicU64,
     /// Protocol frames written back to sockets.
     pub frames_written_total: AtomicU64,
+    /// Frames handled (read + written) on the JSON codec.
+    pub wire_json_frames: AtomicU64,
+    /// Frames handled (read + written) on the binary codec.
+    pub wire_binary_frames: AtomicU64,
+    /// Wire bytes read on the JSON codec.
+    pub wire_json_bytes_in: AtomicU64,
+    /// Wire bytes written on the JSON codec.
+    pub wire_json_bytes_out: AtomicU64,
+    /// Wire bytes read on the binary codec.
+    pub wire_binary_bytes_in: AtomicU64,
+    /// Wire bytes written on the binary codec.
+    pub wire_binary_bytes_out: AtomicU64,
+}
+
+impl IoGauges {
+    /// Record one request frame of `bytes` wire bytes decoded on `wire`:
+    /// bumps the codec-agnostic read counter plus the per-codec series.
+    pub fn record_frame_read(&self, wire: WireFormat, bytes: u64) {
+        self.frames_read_total.fetch_add(1, Ordering::Relaxed);
+        let (frames, bytes_in) = match wire {
+            WireFormat::Json => (&self.wire_json_frames, &self.wire_json_bytes_in),
+            WireFormat::Binary => (&self.wire_binary_frames, &self.wire_binary_bytes_in),
+        };
+        frames.fetch_add(1, Ordering::Relaxed);
+        bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one response frame of `bytes` wire bytes encoded on `wire`.
+    pub fn record_frame_written(&self, wire: WireFormat, bytes: u64) {
+        self.frames_written_total.fetch_add(1, Ordering::Relaxed);
+        let (frames, bytes_out) = match wire {
+            WireFormat::Json => (&self.wire_json_frames, &self.wire_json_bytes_out),
+            WireFormat::Binary => (&self.wire_binary_frames, &self.wire_binary_bytes_out),
+        };
+        frames.fetch_add(1, Ordering::Relaxed);
+        bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Frames handled so far on `wire` (read + written).
+    pub fn wire_frames(&self, wire: WireFormat) -> u64 {
+        match wire {
+            WireFormat::Json => self.wire_json_frames.load(Ordering::Relaxed),
+            WireFormat::Binary => self.wire_binary_frames.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Kind of a metric family, controlling the `# TYPE` line.
@@ -467,6 +513,49 @@ pub fn gather(registry: &Registry) -> Vec<Family> {
         "protocol frames written to sockets",
         load(&io.frames_written_total),
     ));
+
+    // --- per-codec wire traffic ------------------------------------------
+    let mut wire_frames = Family::new(
+        "c2nn_serve_frames_total",
+        "protocol frames handled (read + written) per wire codec",
+        MetricKind::Counter,
+    );
+    let mut wire_bytes = Family::new(
+        "c2nn_serve_wire_bytes_total",
+        "wire bytes per codec and direction",
+        MetricKind::Counter,
+    );
+    for (codec, frames, bytes_in, bytes_out) in [
+        (
+            "json",
+            &io.wire_json_frames,
+            &io.wire_json_bytes_in,
+            &io.wire_json_bytes_out,
+        ),
+        (
+            "binary",
+            &io.wire_binary_frames,
+            &io.wire_binary_bytes_in,
+            &io.wire_binary_bytes_out,
+        ),
+    ] {
+        wire_frames.samples.push(Sample::new(
+            "c2nn_serve_frames_total",
+            &[("codec", codec)],
+            load(frames),
+        ));
+        wire_bytes.samples.push(Sample::new(
+            "c2nn_serve_wire_bytes_total",
+            &[("codec", codec), ("direction", "in")],
+            load(bytes_in),
+        ));
+        wire_bytes.samples.push(Sample::new(
+            "c2nn_serve_wire_bytes_total",
+            &[("codec", codec), ("direction", "out")],
+            load(bytes_out),
+        ));
+    }
+    fams.extend([wire_frames, wire_bytes]);
     fams
 }
 

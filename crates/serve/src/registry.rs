@@ -158,13 +158,18 @@ impl Registry {
             rejected_draining: adm.rejected_draining.load(Ordering::Relaxed),
             pool_poisoned_epochs: c2nn_tensor::Pool::global().poisoned_epochs(),
             chaos_injected: self.cfg.chaos.as_ref().map_or(0, |c| c.injected()),
+            wire_json_frames: self.io.wire_frames(crate::protocol::WireFormat::Json),
+            wire_binary_frames: self.io.wire_frames(crate::protocol::WireFormat::Binary),
         }
     }
 
-    /// Parse, validate, and admit a model from compiled-model JSON.
+    /// Parse, validate, and admit a model from an opaque compiled-model
+    /// document (UTF-8 JSON bytes — the wire carries them without caring).
     /// Replaces any existing model of the same name.
-    pub fn load(&self, name: &str, model_json: &str) -> Result<Arc<ServedModel>, String> {
-        let nn = CompiledNn::<f32>::from_json_str(model_json)
+    pub fn load(&self, name: &str, model: &[u8]) -> Result<Arc<ServedModel>, String> {
+        let text = std::str::from_utf8(model)
+            .map_err(|_| format!("model '{name}' rejected: document is not valid UTF-8"))?;
+        let nn = CompiledNn::<f32>::from_json_str(text)
             .map_err(|e| format!("model '{name}' rejected: {e}"))?;
         self.install(name, nn)
     }
@@ -282,7 +287,7 @@ mod tests {
     fn load_validates_and_caches() {
         let reg = tiny_registry(usize::MAX);
         let json = counter_nn(4).to_json_string();
-        let m = reg.load("ctr", &json).unwrap();
+        let m = reg.load("ctr", json.as_bytes()).unwrap();
         assert_eq!(m.nn.num_primary_inputs, 1);
         assert!(reg.get("ctr").is_some());
         assert!(reg.get("nope").is_none());
@@ -291,7 +296,7 @@ mod tests {
     #[test]
     fn malformed_model_is_rejected() {
         let reg = tiny_registry(usize::MAX);
-        let err = reg.load("bad", "{\"not\": \"a model\"}").unwrap_err();
+        let err = reg.load("bad", b"{\"not\": \"a model\"}").unwrap_err();
         assert!(err.contains("rejected"), "{err}");
         assert!(reg.get("bad").is_none());
     }

@@ -44,7 +44,7 @@ use crate::admission::{Admission, Pressure};
 use crate::chaos::Chaos;
 use crate::protocol::ModelStatsReport;
 use crate::stats::ModelCounters;
-use c2nn_core::{CompiledNn, Session, Stimulus};
+use c2nn_core::{BitTensor, CompiledNn, Session, Stimulus};
 use c2nn_hal::{BackendRegistry, Choice, DeviceCalibration, Plan, Runner, Selection};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -81,12 +81,68 @@ impl Default for BatchConfig {
     }
 }
 
-/// One testbench's results: per-cycle primary-output bit vectors
-/// (LSB-first, one entry per stimulus cycle).
+/// One testbench's stimulus as submitted: parsed per-cycle lane vectors
+/// (the JSON wire path) or pre-packed bit planes straight off the binary
+/// wire (`features` = primary inputs, `batch` = cycles). The reply comes
+/// back in the matching [`SimOutput`] shape.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SimOutput {
-    /// `outputs[c][j]` = primary output `j` at cycle `c`.
-    pub outputs: Vec<Vec<bool>>,
+pub enum StimData {
+    /// `cycles[c][f]` = primary input `f` at cycle `c`.
+    Lanes(Stimulus),
+    /// Feature-major bit planes, bit `c % 64` of word `f * W + c / 64`.
+    Packed(BitTensor),
+}
+
+impl StimData {
+    /// Number of stimulus cycles.
+    pub fn num_cycles(&self) -> usize {
+        match self {
+            StimData::Lanes(s) => s.cycles.len(),
+            StimData::Packed(bt) => bt.batch(),
+        }
+    }
+}
+
+impl From<Stimulus> for StimData {
+    fn from(s: Stimulus) -> Self {
+        StimData::Lanes(s)
+    }
+}
+
+impl From<BitTensor> for StimData {
+    fn from(bt: BitTensor) -> Self {
+        StimData::Packed(bt)
+    }
+}
+
+/// One testbench's results, in the shape its stimulus arrived in:
+/// per-cycle primary-output bit vectors for [`StimData::Lanes`] jobs,
+/// packed bit planes (`features` = primary outputs, `batch` = cycles,
+/// ragged tails zero) for [`StimData::Packed`] jobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimOutput {
+    /// `outputs[c][j]` = primary output `j` at cycle `c` (LSB-first).
+    Lanes(Vec<Vec<bool>>),
+    /// Feature-major output bit planes.
+    Packed(BitTensor),
+}
+
+impl SimOutput {
+    /// Number of simulated cycles.
+    pub fn num_cycles(&self) -> usize {
+        match self {
+            SimOutput::Lanes(v) => v.len(),
+            SimOutput::Packed(bt) => bt.batch(),
+        }
+    }
+
+    /// Per-cycle output bit vectors, converting packed planes if needed.
+    pub fn lanes(&self) -> Vec<Vec<bool>> {
+        match self {
+            SimOutput::Lanes(v) => v.clone(),
+            SimOutput::Packed(bt) => bt.to_lanes(),
+        }
+    }
 }
 
 /// Why a submitted job did not produce outputs. Every variant maps to a
@@ -133,7 +189,7 @@ impl ReplyTo {
 }
 
 struct SimJob {
-    stim: Stimulus,
+    stim: StimData,
     reply: ReplyTo,
     enqueued: Instant,
     /// Absolute client deadline; `None` means "whenever".
@@ -259,14 +315,14 @@ impl ServedModel {
     /// past is legal: the scheduler sheds the lane with a typed reply.
     pub fn submit(
         &self,
-        stim: Stimulus,
+        stim: impl Into<StimData>,
         deadline: Option<Instant>,
     ) -> Receiver<Result<SimOutput, SimFailure>> {
         let (rtx, rrx) = mpsc::channel();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
         let job = SimJob {
-            stim,
+            stim: stim.into(),
             reply: ReplyTo::Channel(rtx),
             enqueued: Instant::now(),
             deadline,
@@ -290,14 +346,14 @@ impl ServedModel {
     /// [`SimFailure::ShuttingDown`].
     pub fn submit_with(
         &self,
-        stim: Stimulus,
+        stim: impl Into<StimData>,
         deadline: Option<Instant>,
         on_reply: Box<dyn FnOnce(Result<SimOutput, SimFailure>) + Send>,
     ) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
         let job = SimJob {
-            stim,
+            stim: stim.into(),
             reply: ReplyTo::Hook(on_reply),
             enqueued: Instant::now(),
             deadline,
@@ -376,9 +432,23 @@ fn finish_job(stats: &ModelCounters, job: SimJob, reply: Result<SimOutput, SimFa
     job.reply.send(reply);
 }
 
+/// Per-lane result accumulator: the reply shape follows the stimulus
+/// shape, so packed jobs never materialize per-cycle `Vec<bool>`s.
+enum Acc {
+    Lanes(Vec<Vec<bool>>),
+    Packed(BitTensor),
+}
+
 /// Execute one coalesced batch and scatter results. Every job gets a reply
 /// (success or typed failure). Returns `true` if a panic poisoned the
 /// runner and it must be rebuilt.
+///
+/// The batch's dataflow is packed end to end: each cycle's inputs are
+/// assembled into one reused `primary_inputs × lanes` [`BitTensor`] (bit
+/// transfers from packed stimuli, bit sets from parsed lanes) and stepped
+/// through [`Runner::step_planes`] — the bit-plane backend consumes the
+/// planes word-wise with no `Vec<bool>` in between, while lane backends
+/// fall back to the default unpack inside their `step_planes`.
 fn run_coalesced(
     runner: &mut (dyn Runner + '_),
     nn: &CompiledNn<f32>,
@@ -391,25 +461,46 @@ fn run_coalesced(
     stats.lanes.fetch_add(lanes as u64, Ordering::Relaxed);
 
     let pi = nn.num_primary_inputs;
-    let max_cycles = jobs.iter().map(|j| j.stim.cycles.len()).max().unwrap_or(0);
+    let po = nn.num_primary_outputs;
+    let max_cycles = jobs.iter().map(|j| j.stim.num_cycles()).max().unwrap_or(0);
     let mut sessions: Vec<Session<f32>> = jobs.iter().map(|_| Session::new(nn)).collect();
-    let mut results: Vec<Vec<Vec<bool>>> = vec![Vec::new(); lanes];
+    let mut results: Vec<Acc> = jobs
+        .iter()
+        .map(|j| match &j.stim {
+            StimData::Lanes(_) => Acc::Lanes(Vec::new()),
+            StimData::Packed(bt) => Acc::Packed(BitTensor::zeros(po, bt.batch())),
+        })
+        .collect();
     let mut failure: Option<SimFailure> = None;
     let mut poisoned = false;
     let inject_panic = chaos.is_some_and(Chaos::take_worker_panic);
+    // one reused per-cycle input tensor; short testbenches idle with zero
+    // inputs until the batch finishes
+    let mut x = BitTensor::zeros(pi, lanes);
     for c in 0..max_cycles {
-        // short testbenches idle with zero inputs until the batch finishes;
-        // their recorded outputs stop at their own length
-        let inputs: Vec<Vec<bool>> = jobs
-            .iter()
-            .map(|j| {
-                j.stim
-                    .cycles
-                    .get(c)
-                    .cloned()
-                    .unwrap_or_else(|| vec![false; pi])
-            })
-            .collect();
+        x.data_mut().fill(0);
+        for (l, job) in jobs.iter().enumerate() {
+            match &job.stim {
+                StimData::Lanes(stim) => {
+                    if let Some(cyc) = stim.cycles.get(c) {
+                        for (f, &bit) in cyc.iter().enumerate().take(pi) {
+                            if bit {
+                                x.set_bit(f, l, true);
+                            }
+                        }
+                    }
+                }
+                StimData::Packed(bt) => {
+                    if c < bt.batch() {
+                        for f in 0..pi.min(bt.features()) {
+                            if bt.get_bit(f, c) {
+                                x.set_bit(f, l, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         // the forward pass may panic (a pool worker dying, injected or
         // real); contain it to this batch — the batcher must outlive any
         // single batch's failure
@@ -417,13 +508,24 @@ fn run_coalesced(
             if c == 0 && inject_panic {
                 c2nn_tensor::Pool::global().inject_worker_panic();
             }
-            runner.step(&mut sessions, &inputs)
+            runner.step_planes(&mut sessions, &x)
         }));
         match step {
-            Ok(Ok(outs)) => {
-                for (lane, job) in jobs.iter().enumerate() {
-                    if c < job.stim.cycles.len() {
-                        results[lane].push(outs[lane].clone());
+            Ok(Ok(y)) => {
+                for (l, job) in jobs.iter().enumerate() {
+                    if c < job.stim.num_cycles() {
+                        match &mut results[l] {
+                            Acc::Lanes(v) => {
+                                v.push((0..po).map(|f| y.get_bit(f, l)).collect());
+                            }
+                            Acc::Packed(out) => {
+                                for f in 0..po {
+                                    if y.get_bit(f, l) {
+                                        out.set_bit(f, c, true);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -448,7 +550,10 @@ fn run_coalesced(
     for (job, result) in jobs.into_iter().zip(results) {
         let reply = match &failure {
             Some(f) => Err(f.clone()),
-            None => Ok(SimOutput { outputs: result }),
+            None => Ok(match result {
+                Acc::Lanes(v) => SimOutput::Lanes(v),
+                Acc::Packed(bt) => SimOutput::Packed(bt),
+            }),
         };
         finish_job(stats, job, reply);
     }
@@ -468,6 +573,14 @@ mod tests {
 
     fn named(backend: &str) -> Choice {
         Choice::Named(backend.to_string())
+    }
+
+    /// Decode per-cycle counter values from a reply, whatever its shape.
+    fn counter_vals(out: &SimOutput) -> Vec<u32> {
+        out.lanes()
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
+            .collect()
     }
 
     #[test]
@@ -493,15 +606,10 @@ mod tests {
             .map(|rx| rx.recv().unwrap().unwrap())
             .collect();
         // lane 0: counts 0,1,2 over 3 cycles
-        let vals: Vec<u32> = outs[0]
-            .outputs
-            .iter()
-            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
-            .collect();
-        assert_eq!(vals, vec![0, 1, 2]);
-        assert_eq!(outs[1].outputs.len(), 5);
-        assert_eq!(outs[2].outputs.len(), 2);
-        assert_eq!(outs[3].outputs.len(), 1);
+        assert_eq!(counter_vals(&outs[0]), vec![0, 1, 2]);
+        assert_eq!(outs[1].num_cycles(), 5);
+        assert_eq!(outs[2].num_cycles(), 2);
+        assert_eq!(outs[3].num_cycles(), 1);
         let report = model.report();
         assert_eq!(report.requests, 4);
         assert!(
@@ -531,7 +639,7 @@ mod tests {
         );
         assert!(model.predicted_lane_cps.is_some());
         let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
-        assert_eq!(rx.recv().unwrap().unwrap().outputs.len(), 3);
+        assert_eq!(rx.recv().unwrap().unwrap().num_cycles(), 3);
         let report = model.report();
         assert_eq!(report.backend, model.backend);
         assert!(report.auto_selected);
@@ -553,14 +661,9 @@ mod tests {
         let drop_me = model.submit(parse_stim("1 x6\n", 1).unwrap(), None);
         drop(drop_me); // client disconnects mid-batch
         let out = keep.recv().unwrap().unwrap();
-        assert_eq!(out.outputs.len(), 4);
-        let vals: Vec<u32> = out
-            .outputs
-            .iter()
-            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
-            .collect();
+        assert_eq!(out.num_cycles(), 4);
         assert_eq!(
-            vals,
+            counter_vals(&out),
             vec![0, 1, 2, 3],
             "surviving lane unaffected by the dropout"
         );
@@ -580,7 +683,7 @@ mod tests {
         );
         let rx = model.submit(parse_stim("1 x2\n", 1).unwrap(), None);
         let out = rx.recv().unwrap().unwrap();
-        assert_eq!(out.outputs.len(), 2);
+        assert_eq!(out.num_cycles(), 2);
         let report = model.report();
         assert_eq!((report.batches, report.lanes), (1, 1));
     }
@@ -608,7 +711,7 @@ mod tests {
             Some(Instant::now() + Duration::from_secs(30)),
         );
         assert_eq!(dead.recv().unwrap(), Err(SimFailure::DeadlineExceeded));
-        assert_eq!(live.recv().unwrap().unwrap().outputs.len(), 3);
+        assert_eq!(live.recv().unwrap().unwrap().num_cycles(), 3);
         let report = model.report();
         assert_eq!(report.deadline_exceeded, 1);
         assert_eq!(report.lanes, 1, "shed lane never reached the forward pass");
@@ -652,12 +755,47 @@ mod tests {
             );
         }
         // sanity: the counter actually counted
-        let vals: Vec<u32> = replies[0][0]
-            .outputs
-            .iter()
-            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
-            .collect();
-        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+        assert_eq!(counter_vals(&replies[0][0]), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn packed_stimuli_get_packed_replies_bit_exact_with_lanes() {
+        let nn = counter_nn();
+        let model = ServedModel::spawn_standalone(
+            "ctr",
+            nn,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(200),
+                backend: named("bitplane"),
+            },
+        );
+        let stim = parse_stim("1 x5\n", 1).unwrap();
+        let packed = BitTensor::from_lanes(&stim.cycles);
+        let rx_lanes = model.submit(stim, None);
+        let rx_packed = model.submit(packed, None);
+        let out_lanes = rx_lanes.recv().unwrap().unwrap();
+        let out_packed = rx_packed.recv().unwrap().unwrap();
+        assert!(
+            matches!(out_lanes, SimOutput::Lanes(_)),
+            "lane stimuli reply in lanes"
+        );
+        match &out_packed {
+            SimOutput::Packed(bt) => {
+                assert_eq!((bt.features(), bt.batch()), (4, 5));
+                // canonical: ragged tail bits are zero
+                let mut canon = bt.clone();
+                canon.mask_tails();
+                assert_eq!(&canon, bt);
+            }
+            other => panic!("packed stimuli reply packed, got {other:?}"),
+        }
+        assert_eq!(
+            out_lanes.lanes(),
+            out_packed.lanes(),
+            "both shapes are bit-exact"
+        );
+        assert_eq!(counter_vals(&out_packed), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -688,13 +826,8 @@ mod tests {
         );
         let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
         let out = rx.recv().unwrap().unwrap();
-        let vals: Vec<u32> = out
-            .outputs
-            .iter()
-            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
-            .collect();
         assert_eq!(
-            vals,
+            counter_vals(&out),
             vec![0, 1, 2],
             "bitplane batcher recovered bit-exactly"
         );
@@ -730,11 +863,10 @@ mod tests {
         // budget exhausted → the very next batch succeeds bit-exactly
         let rx = model.submit(parse_stim("1 x3\n", 1).unwrap(), None);
         let out = rx.recv().unwrap().unwrap();
-        let vals: Vec<u32> = out
-            .outputs
-            .iter()
-            .map(|c| c.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum())
-            .collect();
-        assert_eq!(vals, vec![0, 1, 2], "batcher and pool recovered");
+        assert_eq!(
+            counter_vals(&out),
+            vec![0, 1, 2],
+            "batcher and pool recovered"
+        );
     }
 }

@@ -23,9 +23,12 @@
 //! or a clean EOF, never an abrupt reset.
 
 use crate::admission::AdmitError;
-use crate::protocol::{write_frame, FrameReader, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{
+    write_wire_frame, FrameLimits, FrameReader, Request, Response, SimOutputs, StimPayload,
+    WireFormat, PROTOCOL_VERSION,
+};
 use crate::registry::{Registry, RegistryConfig};
-use crate::scheduler::SimFailure;
+use crate::scheduler::{SimFailure, SimOutput, StimData};
 use crate::signal;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,9 +37,50 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a connection handler keeps reading after shutdown begins, so
-/// a request already on the wire gets its typed `ShuttingDown` reply.
-const DRAIN_WINDOW: Duration = Duration::from_millis(250);
+/// Which wire codecs a server accepts. Per-connection negotiation is by
+/// first-byte sniff ([`WireFormat::sniff`]); the policy is what lets an
+/// operator pin a deployment to the ubiquitous JSON wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WirePolicy {
+    /// Accept both codecs, replying to each frame in the codec it arrived
+    /// in (the default).
+    #[default]
+    Any,
+    /// Accept only newline-delimited JSON; binary frames get one typed
+    /// `Error` reply (in the binary codec, so the client can read it) and
+    /// the connection is closed.
+    JsonOnly,
+}
+
+impl WirePolicy {
+    /// Does this policy admit frames in `wire`?
+    pub fn allows(self, wire: WireFormat) -> bool {
+        match self {
+            WirePolicy::Any => true,
+            WirePolicy::JsonOnly => wire == WireFormat::Json,
+        }
+    }
+
+    /// The typed refusal sent when [`allows`](WirePolicy::allows) says no.
+    pub fn rejection(self) -> Response {
+        Response::Error {
+            message: "binary wire format is disabled on this server (JSON-only policy); \
+                      reconnect with the JSON codec"
+                .to_string(),
+        }
+    }
+}
+
+impl std::str::FromStr for WirePolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<WirePolicy, String> {
+        match s {
+            "any" => Ok(WirePolicy::Any),
+            "json" | "json-only" => Ok(WirePolicy::JsonOnly),
+            other => Err(format!("unknown wire policy `{other}` (any|json)")),
+        }
+    }
+}
 
 /// Which I/O architecture serves connections.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -91,6 +135,11 @@ pub struct ServerConfig {
     pub registry: RegistryConfig,
     /// Connection-serving architecture.
     pub io: IoModel,
+    /// Frame-size bound and shutdown drain window, shared by both I/O
+    /// models.
+    pub limits: FrameLimits,
+    /// Which wire codecs to accept.
+    pub wire: WirePolicy,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +148,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             registry: RegistryConfig::default(),
             io: IoModel::Auto,
+            limits: FrameLimits::default(),
+            wire: WirePolicy::default(),
         }
     }
 }
@@ -151,6 +202,7 @@ pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let registry = Arc::new(Registry::new(cfg.registry));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let (limits, wire) = (cfg.limits, cfg.wire);
     let accept_thread = {
         let registry = Arc::clone(&registry);
         let shutdown = Arc::clone(&shutdown);
@@ -159,9 +211,9 @@ pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
             .spawn(move || match io_model {
                 #[cfg(target_os = "linux")]
                 IoModel::EventLoop => {
-                    crate::event_loop::run_event_loop(listener, registry, shutdown)
+                    crate::event_loop::run_event_loop(listener, registry, shutdown, limits, wire)
                 }
-                _ => accept_loop(listener, registry, shutdown),
+                _ => accept_loop(listener, registry, shutdown, limits, wire),
             })?
     };
     Ok(ServerHandle {
@@ -172,7 +224,13 @@ pub fn spawn_server(cfg: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+    limits: FrameLimits,
+    wire: WirePolicy,
+) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) && !signal::interrupted() {
         match listener.accept() {
@@ -185,7 +243,7 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<Ato
                         let io = Arc::clone(registry.gauges());
                         io.accepted_total.fetch_add(1, Ordering::Relaxed);
                         io.open_connections.fetch_add(1, Ordering::Relaxed);
-                        handle_connection(stream, &registry, &shutdown);
+                        handle_connection(stream, &registry, &shutdown, limits, wire);
                         io.open_connections.fetch_sub(1, Ordering::Relaxed);
                     })
                     .expect("spawn connection handler");
@@ -214,18 +272,43 @@ fn accept_loop(listener: TcpListener, registry: Arc<Registry>, shutdown: Arc<Ato
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBool) {
+/// Encode `resp` with `wire`'s codec, write it, and record the per-codec
+/// metrics. Shared by the request path and every error reply.
+fn send_response(
+    writer: &mut TcpStream,
+    registry: &Registry,
+    wire: WireFormat,
+    resp: &Response,
+) -> io::Result<()> {
+    let encoded = wire.codec().encode_response(resp);
+    write_wire_frame(writer, &encoded)?;
+    registry
+        .gauges()
+        .record_frame_written(wire, encoded.len() as u64);
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    limits: FrameLimits,
+    policy: WirePolicy,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = FrameReader::new(stream);
+    let mut reader = FrameReader::with_limits(stream, limits);
+    // Codec of the most recent frame: framing-level failures (where no
+    // frame could be popped) answer in whatever the connection last spoke.
+    let mut last_wire = WireFormat::Json;
     loop {
         if shutdown.load(Ordering::SeqCst) || signal::interrupted() {
             registry.admission().begin_drain();
-            drain_connection(&mut reader, &mut writer);
+            drain_connection(&mut reader, &mut writer, registry, limits.drain_window);
             return;
         }
         let frame = match reader.read_frame() {
@@ -237,59 +320,57 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
                 continue; // poll tick; partial frame (if any) is preserved
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // over-long frame: report and drop the connection (framing
-                // is no longer trustworthy)
+                // over-long or corrupt framing: report and drop the
+                // connection (byte-stream sync is no longer trustworthy)
                 let resp = Response::Error {
                     message: e.to_string(),
                 };
-                let _ = write_frame(&mut writer, &resp.encode());
+                let _ = send_response(&mut writer, registry, last_wire, &resp);
                 return;
             }
             Err(_) => return,
         };
+        last_wire = frame.wire;
         registry
             .gauges()
-            .frames_read_total
-            .fetch_add(1, Ordering::Relaxed);
-        let text = match String::from_utf8(frame) {
-            Ok(t) => t,
-            Err(_) => {
-                let resp = Response::Error {
-                    message: "frame is not UTF-8".into(),
-                };
-                if write_frame(&mut writer, &resp.encode()).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
+            .record_frame_read(frame.wire, frame.len() as u64);
         // An HTTP scrape on the framed port: the request line arrives as
-        // one "frame" (it ends in \n). Answer and close — same contract as
-        // the event loop's sniffer.
-        if let Some(path) = text
-            .strip_prefix("GET ")
-            .map(|r| r.split(' ').next().unwrap_or(""))
-        {
-            let body = if path == "/metrics" || path.starts_with("/metrics?") {
-                registry
-                    .gauges()
-                    .http_scrapes_total
-                    .fetch_add(1, Ordering::Relaxed);
-                crate::metrics::http_ok(&crate::metrics::render_for(registry))
-            } else {
-                crate::metrics::http_not_found()
-            };
-            let _ = writer.write_all(&body);
-            let _ = writer.shutdown(std::net::Shutdown::Write);
+        // one JSON "frame" (it ends in \n). Answer and close — same
+        // contract as the event loop's sniffer.
+        if frame.wire == WireFormat::Json {
+            if let Some(path) = std::str::from_utf8(&frame.bytes)
+                .ok()
+                .and_then(|t| t.strip_prefix("GET "))
+                .map(|r| r.split(' ').next().unwrap_or(""))
+            {
+                let body = if path == "/metrics" || path.starts_with("/metrics?") {
+                    registry
+                        .gauges()
+                        .http_scrapes_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    crate::metrics::http_ok(&crate::metrics::render_for(registry))
+                } else {
+                    crate::metrics::http_not_found()
+                };
+                let _ = writer.write_all(&body);
+                let _ = writer.shutdown(std::net::Shutdown::Write);
+                return;
+            }
+        }
+        if !policy.allows(frame.wire) {
+            // typed refusal in the client's own codec, then close: a
+            // binary client against a JSON-only server must fail fast and
+            // legibly, never hang
+            let _ = send_response(&mut writer, registry, frame.wire, &policy.rejection());
             return;
         }
-        let request = match Request::decode(&text) {
+        let request = match frame.decode_request() {
             Ok(r) => r,
             Err(e) => {
                 let resp = Response::Error {
                     message: e.to_string(),
                 };
-                if write_frame(&mut writer, &resp.encode()).is_err() {
+                if send_response(&mut writer, registry, frame.wire, &resp).is_err() {
                     return;
                 }
                 continue;
@@ -297,13 +378,9 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
         };
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = dispatch(request, registry);
-        if write_frame(&mut writer, &response.encode()).is_err() {
+        if send_response(&mut writer, registry, frame.wire, &response).is_err() {
             return;
         }
-        registry
-            .gauges()
-            .frames_written_total
-            .fetch_add(1, Ordering::Relaxed);
         if is_shutdown {
             registry.admission().begin_drain();
             shutdown.store(true, Ordering::SeqCst);
@@ -313,17 +390,23 @@ fn handle_connection(stream: TcpStream, registry: &Registry, shutdown: &AtomicBo
 }
 
 /// Give a connection caught by shutdown a graceful exit: keep reading for
-/// up to [`DRAIN_WINDOW`], answer every complete frame that arrives with a
-/// typed `ShuttingDown`, then half-close the write side so the client sees
-/// a clean EOF instead of a connection reset.
-fn drain_connection(reader: &mut FrameReader<TcpStream>, writer: &mut TcpStream) {
-    let deadline = Instant::now() + DRAIN_WINDOW;
+/// up to [`FrameLimits::drain_window`], answer every complete frame that
+/// arrives with a typed `ShuttingDown` (in the frame's own codec), then
+/// half-close the write side so the client sees a clean EOF instead of a
+/// connection reset.
+fn drain_connection(
+    reader: &mut FrameReader<TcpStream>,
+    writer: &mut TcpStream,
+    registry: &Registry,
+    window: Duration,
+) {
+    let deadline = Instant::now() + window;
     while Instant::now() < deadline {
         match reader.read_frame() {
-            Ok(Some(_frame)) => {
+            Ok(Some(frame)) => {
                 // The frame may be garbage — it does not matter; whatever
                 // the request was, the answer during drain is the same.
-                if write_frame(writer, &Response::ShuttingDown.encode()).is_err() {
+                if send_response(writer, registry, frame.wire, &Response::ShuttingDown).is_err() {
                     break;
                 }
             }
@@ -350,7 +433,7 @@ fn dispatch(request: Request, registry: &Registry) -> Response {
         },
         Request::Load {
             name,
-            model_json,
+            model,
             deadline_ms,
         } => {
             match registry.admission().try_admit_load() {
@@ -362,7 +445,7 @@ fn dispatch(request: Request, registry: &Registry) -> Response {
             if deadline_ms == Some(0) {
                 return Response::DeadlineExceeded;
             }
-            match registry.load(&name, &model_json) {
+            match registry.load(&name, &model) {
                 Ok(model) => Response::Loaded {
                     name,
                     bytes: model.bytes as u64,
@@ -374,7 +457,7 @@ fn dispatch(request: Request, registry: &Registry) -> Response {
             model,
             stim,
             deadline_ms,
-        } => run_sim(registry, &model, &stim, deadline_ms),
+        } => run_sim(registry, &model, stim, deadline_ms),
         Request::Stats => Response::Stats {
             models: registry.stats(),
             server: registry.server_report(),
@@ -393,7 +476,7 @@ fn admit_error_response(e: AdmitError) -> Response {
 fn run_sim(
     registry: &Registry,
     model: &str,
-    stim_text: &str,
+    stim: StimPayload,
     deadline_ms: Option<u64>,
 ) -> Response {
     let received = Instant::now();
@@ -414,16 +497,33 @@ fn run_sim(
     {
         return admit_error_response(e);
     }
-    let stim = match c2nn_core::parse_stim(stim_text, served.nn.num_primary_inputs) {
-        Ok(s) => s,
-        Err(e) => {
-            return Response::Error {
-                message: e.to_string(),
+    let pi = served.nn.num_primary_inputs;
+    let data: StimData = match stim {
+        StimPayload::Text(text) => match c2nn_core::parse_stim(&text, pi) {
+            Ok(s) => s.into(),
+            Err(e) => {
+                return Response::Error {
+                    message: e.to_string(),
+                }
             }
+        },
+        // Packed planes flow to the scheduler as-is — no per-lane parse,
+        // no Vec<bool> expansion. Only the width needs checking here; the
+        // bit-plane shape is already validated by the codec.
+        StimPayload::Packed(planes) => {
+            if planes.features() != pi {
+                return Response::Error {
+                    message: format!(
+                        "stimulus planes carry {} input bits; model '{model}' expects {pi}",
+                        planes.features()
+                    ),
+                };
+            }
+            planes.into()
         }
     };
     let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
-    let rx = served.submit(stim, deadline);
+    let rx = served.submit(data, deadline);
     match rx.recv() {
         Ok(result) => sim_reply(result),
         // The batcher dropped the reply channel — only happens at teardown.
@@ -432,24 +532,30 @@ fn run_sim(
 }
 
 /// Map a scheduler result to its wire reply — shared by the threaded path
-/// (after `rx.recv()`) and the event loop's completion hook.
-pub(crate) fn sim_reply(result: Result<crate::scheduler::SimOutput, SimFailure>) -> Response {
+/// (after `rx.recv()`) and the event loop's completion hook. Packed
+/// results stay packed (the codec decides how to render them); lane
+/// results keep the legacy MSB-first strings.
+pub(crate) fn sim_reply(result: Result<SimOutput, SimFailure>) -> Response {
     match result {
         Ok(out) => {
-            let outputs: Vec<String> = out
-                .outputs
-                .iter()
-                .map(|cycle| {
-                    // LSB-first bit vector → MSB-first string, mirroring
-                    // the `.stim` input reading order
-                    cycle
+            let cycles = out.num_cycles() as u64;
+            let outputs = match out {
+                SimOutput::Lanes(lanes) => SimOutputs::Text(
+                    lanes
                         .iter()
-                        .rev()
-                        .map(|&b| if b { '1' } else { '0' })
-                        .collect()
-                })
-                .collect();
-            let cycles = outputs.len() as u64;
+                        .map(|cycle| {
+                            // LSB-first bit vector → MSB-first string,
+                            // mirroring the `.stim` input reading order
+                            cycle
+                                .iter()
+                                .rev()
+                                .map(|&b| if b { '1' } else { '0' })
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                SimOutput::Packed(planes) => SimOutputs::Packed(planes),
+            };
             Response::SimResult { outputs, cycles }
         }
         Err(SimFailure::DeadlineExceeded) => Response::DeadlineExceeded,
@@ -558,5 +664,88 @@ mod tests {
         assert_eq!(c.sim("pre", "1 x2\n").unwrap(), vec!["0000", "0001"]);
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn binary_wire_end_to_end() {
+        use c2nn_core::BitTensor;
+        let server = test_server(8, 1);
+        let addr = server.local_addr().to_string();
+        let mut c = Client::connect_wire(&addr, WireFormat::Binary).unwrap();
+        assert_eq!(c.wire(), WireFormat::Binary);
+        assert_eq!(c.ping().unwrap(), PROTOCOL_VERSION);
+
+        let nn = compile(&counter(4), CompileOptions::with_l(4)).unwrap();
+        assert!(c.load("ctr", &nn.to_json_string()).unwrap() > 0);
+
+        // text stimulus over the binary wire
+        assert_eq!(
+            c.sim("ctr", "1 x4\n").unwrap(),
+            vec!["0000", "0001", "0010", "0011"]
+        );
+
+        // packed stimulus: clock high for 4 cycles on the single input
+        let mut stim = BitTensor::zeros(1, 4);
+        for cyc in 0..4 {
+            stim.set_bit(0, cyc, true);
+        }
+        let out = c.sim_packed("ctr", &stim).unwrap();
+        assert_eq!(out.features(), 4, "4 counter output bits");
+        assert_eq!(out.batch(), 4, "one result per cycle");
+        // cycle 3 counts to 0b0011: output bits 0 and 1 set
+        assert!(out.get_bit(0, 3) && out.get_bit(1, 3));
+        assert!(!out.get_bit(2, 3) && !out.get_bit(3, 3));
+
+        // a same-server JSON client agrees bit-for-bit on the text path
+        let mut j = Client::connect(&addr).unwrap();
+        assert_eq!(
+            j.sim("ctr", "1 x4\n").unwrap(),
+            c.sim("ctr", "1 x4\n").unwrap()
+        );
+
+        // per-codec traffic shows up in the stats report
+        let stats = c.stats().unwrap();
+        assert!(stats.server.wire_binary_frames > 0, "{stats:?}");
+        assert!(stats.server.wire_json_frames > 0, "{stats:?}");
+
+        c.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn json_only_policy_rejects_binary_with_typed_error() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            wire: WirePolicy::JsonOnly,
+            ..ServerConfig::default()
+        };
+        let server = spawn_server(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+
+        // the rejection is delivered in the client's own codec, decodable
+        let mut b = Client::connect_wire(&addr, WireFormat::Binary).unwrap();
+        let err = b.ping().unwrap_err();
+        assert!(
+            err.to_string().contains("JSON-only"),
+            "typed rejection names the policy: {err}"
+        );
+
+        // JSON clients are untouched
+        let mut j = Client::connect(&addr).unwrap();
+        assert_eq!(j.ping().unwrap(), PROTOCOL_VERSION);
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn wire_policy_parses() {
+        assert_eq!("any".parse::<WirePolicy>().unwrap(), WirePolicy::Any);
+        assert_eq!("json".parse::<WirePolicy>().unwrap(), WirePolicy::JsonOnly);
+        assert_eq!(
+            "json-only".parse::<WirePolicy>().unwrap(),
+            WirePolicy::JsonOnly
+        );
+        assert!("carrier-pigeon".parse::<WirePolicy>().is_err());
     }
 }

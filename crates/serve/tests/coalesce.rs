@@ -126,12 +126,12 @@ fn disconnect_mid_batch_leaves_other_lanes_intact() {
         })
     };
     {
-        use c2nn_serve::protocol::{write_frame, Request};
+        use c2nn_serve::protocol::{write_frame, Request, StimPayload};
         use std::net::TcpStream;
         let mut s = TcpStream::connect(&addr).unwrap();
         let req = Request::Sim {
             model: "ctr".into(),
-            stim: victim_stim.into(),
+            stim: StimPayload::Text(victim_stim.into()),
             deadline_ms: None,
         };
         write_frame(&mut s, &req.encode()).unwrap();

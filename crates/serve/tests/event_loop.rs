@@ -10,7 +10,7 @@ use c2nn_hal::Choice;
 use c2nn_refsim::CycleSim;
 use c2nn_serve::client::fetch_metrics;
 use c2nn_serve::metrics::parse_exposition;
-use c2nn_serve::protocol::{Request, Response};
+use c2nn_serve::protocol::{Request, Response, SimOutputs, StimPayload};
 use c2nn_serve::scheduler::BatchConfig;
 use c2nn_serve::server::{spawn_server, IoModel, ServerConfig, ServerHandle};
 use c2nn_serve::{Client, ClientError, RegistryConfig};
@@ -34,6 +34,7 @@ fn server_with(io: IoModel, max_inflight: usize) -> ServerHandle {
             max_inflight,
             ..RegistryConfig::default()
         },
+        ..ServerConfig::default()
     })
     .unwrap();
     let nn = compile(&counter(WIDTH), CompileOptions::with_l(4)).unwrap();
@@ -122,7 +123,7 @@ fn pipelined_non_reading_client_gets_every_reply_in_order() {
     for _ in 0..n {
         let body = Request::Sim {
             model: "ctr".to_string(),
-            stim: "1 x200\n".to_string(),
+            stim: StimPayload::Text("1 x200\n".to_string()),
             deadline_ms: None,
         }
         .encode();
@@ -138,7 +139,11 @@ fn pipelined_non_reading_client_gets_every_reply_in_order() {
         match Response::decode(line.trim_end()).unwrap() {
             Response::SimResult { outputs, cycles } => {
                 assert_eq!(cycles, 200, "reply {i}");
-                assert_eq!(outputs, expected, "reply {i} must be bit-exact");
+                assert_eq!(
+                    outputs,
+                    SimOutputs::Text(expected.clone()),
+                    "reply {i} must be bit-exact"
+                );
             }
             other => panic!("reply {i}: expected SimResult, got {other:?}"),
         }
@@ -184,7 +189,7 @@ fn half_closed_client_still_receives_its_pending_reply() {
     let mut s = TcpStream::connect(&addr).unwrap();
     let body = Request::Sim {
         model: "ctr".to_string(),
-        stim: "1 x8\n".to_string(),
+        stim: StimPayload::Text("1 x8\n".to_string()),
         deadline_ms: None,
     }
     .encode();

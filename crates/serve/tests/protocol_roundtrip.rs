@@ -1,15 +1,67 @@
-//! Wire-protocol totality: round-trips for every frame kind, plus
-//! panic-freedom over hostile input (in the spirit of the BLIF reader
-//! fuzz suite).
+//! Wire-protocol totality: round-trips for every frame kind under **both**
+//! codecs, plus panic-freedom over hostile input (in the spirit of the
+//! BLIF reader fuzz suite) and a malformed-binary-frame corpus.
 //!
 //! The vendored proptest has no `String` strategy, so strings are built
 //! from byte soup (lossy UTF-8) and from a protocol-flavoured vocabulary.
 
-use c2nn_serve::protocol::{FrameReader, ModelStatsReport, Request, Response};
+use c2nn_core::BitTensor;
+use c2nn_serve::protocol::{
+    BinaryCodec, Codec, FrameBuffer, FrameReader, JsonCodec, ModelStatsReport, Request, Response,
+    SimOutputs, StimPayload, WireFormat,
+};
 use proptest::prelude::*;
 
 fn soup_string(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Both codec implementations, for "every variant × every codec" sweeps.
+fn codecs() -> [&'static dyn Codec; 2] {
+    [&JsonCodec, &BinaryCodec]
+}
+
+/// Round-trip one request through a codec *and* the shared framing layer:
+/// encode → push into a [`FrameBuffer`] → pop → sniff → decode.
+fn roundtrip_request(codec: &dyn Codec, req: &Request) -> Request {
+    let encoded = codec.encode_request(req);
+    let mut buf = FrameBuffer::new();
+    buf.push(&encoded);
+    let frame = buf
+        .next_frame()
+        .expect("framing accepts codec output")
+        .expect("one complete frame");
+    assert_eq!(frame.wire, codec.wire(), "sniff must agree with the codec");
+    assert!(buf.is_empty(), "no residue after one frame");
+    frame.decode_request().expect("decode what we encoded")
+}
+
+/// Same loop for responses.
+fn roundtrip_response(codec: &dyn Codec, resp: &Response) -> Response {
+    let encoded = codec.encode_response(resp);
+    let mut buf = FrameBuffer::new();
+    buf.push(&encoded);
+    let frame = buf
+        .next_frame()
+        .expect("framing accepts codec output")
+        .expect("one complete frame");
+    assert_eq!(frame.wire, codec.wire(), "sniff must agree with the codec");
+    frame.decode_response().expect("decode what we encoded")
+}
+
+/// A deterministic bit-plane tensor whose ragged tail is zero (the
+/// canonical wire form both codecs enforce).
+fn planes(features: usize, cycles: usize, seed: u64) -> BitTensor {
+    let mut bt = BitTensor::zeros(features, cycles);
+    let mut x = seed | 1;
+    for f in 0..features {
+        for c in 0..cycles {
+            // splitmix-ish scramble; any deterministic bit pattern works
+            x = x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) ^ (f as u64) << 32 ^ c as u64;
+            bt.set_bit(f, c, x & 4 != 0);
+        }
+    }
+    bt
 }
 
 /// Tokens steering random soup toward the frame grammar.
@@ -34,9 +86,13 @@ const VOCAB: &[&str] = &[
     "name",
     "model",
     "stim",
+    "stim_packed",
     "model_json",
     "outputs",
+    "outputs_packed",
+    "features",
     "cycles",
+    "words",
     "version",
     "error",
     "0",
@@ -53,37 +109,95 @@ const VOCAB: &[&str] = &[
 proptest! {
     #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
 
-    /// Any pair of byte-soup strings survives a Sim round-trip.
+    /// Any pair of byte-soup strings survives a text Sim round-trip under
+    /// both codecs.
     #[test]
     fn sim_request_roundtrips(
         model in proptest::collection::vec(any::<u8>(), 0..60),
         stim in proptest::collection::vec(any::<u8>(), 0..120),
     ) {
         let deadline_ms = if model.len() % 2 == 0 { None } else { Some(stim.len() as u64) };
-        let req = Request::Sim { model: soup_string(&model), stim: soup_string(&stim), deadline_ms };
-        let body = req.encode();
-        prop_assert!(!body.contains('\n'), "frame must be one line: {body:?}");
-        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+        let req = Request::Sim {
+            model: soup_string(&model),
+            stim: StimPayload::Text(soup_string(&stim)),
+            deadline_ms,
+        };
+        for codec in codecs() {
+            prop_assert_eq!(roundtrip_request(codec, &req), req.clone());
+        }
+    }
+
+    /// Packed Sim requests — the binary hot path — round-trip bit-for-bit
+    /// under both codecs.
+    #[test]
+    fn packed_sim_roundtrips(
+        features in 1usize..9,
+        cycles in 1usize..130,
+        seed in any::<u64>(),
+    ) {
+        let req = Request::Sim {
+            model: "m".to_string(),
+            stim: StimPayload::Packed(planes(features, cycles, seed)),
+            deadline_ms: Some(seed % 1000),
+        };
+        for codec in codecs() {
+            prop_assert_eq!(roundtrip_request(codec, &req), req.clone());
+        }
+        let resp = Response::SimResult {
+            outputs: SimOutputs::Packed(planes(features, cycles, seed ^ 0xABCD)),
+            cycles: cycles as u64,
+        };
+        for codec in codecs() {
+            prop_assert_eq!(roundtrip_response(codec, &resp), resp.clone());
+        }
     }
 
     /// Load frames carry whole model documents — including newlines and
-    /// quotes — and must round-trip exactly.
+    /// quotes — and must round-trip exactly. (Valid UTF-8 under JSON,
+    /// which escapes the document as a string; arbitrary bytes under the
+    /// binary codec, which ships them raw.)
     #[test]
     fn load_request_roundtrips(
         name in proptest::collection::vec(any::<u8>(), 0..40),
         doc in proptest::collection::vec(any::<u8>(), 0..200),
     ) {
-        let req = Request::Load {
+        let deadline_ms = if doc.len() % 2 == 0 { None } else { Some(name.len() as u64) };
+        let text_req = Request::Load {
             name: soup_string(&name),
-            model_json: soup_string(&doc),
-            deadline_ms: if doc.len() % 2 == 0 { None } else { Some(name.len() as u64) },
+            model: soup_string(&doc).into_bytes(),
+            deadline_ms,
+        };
+        for codec in codecs() {
+            prop_assert_eq!(roundtrip_request(codec, &text_req), text_req.clone());
+        }
+        let raw_req = Request::Load {
+            name: soup_string(&name),
+            model: doc.clone(),
+            deadline_ms,
+        };
+        prop_assert_eq!(roundtrip_request(&BinaryCodec, &raw_req), raw_req.clone());
+    }
+
+    /// A canonical single-line JSON model document is embedded in the
+    /// `load` frame as a raw subtree (framed once, not double-escaped) and
+    /// still round-trips byte-for-byte.
+    #[test]
+    fn canonical_model_is_framed_once(n in 0u64..100000) {
+        let doc = format!("{{\"layers\":[{n}],\"l\":{}}}", n % 7);
+        let req = Request::Load {
+            name: "m".to_string(),
+            model: doc.clone().into_bytes(),
+            deadline_ms: None,
         };
         let body = req.encode();
-        prop_assert!(!body.contains('\n'));
+        // the document must appear verbatim — not escaped inside a string
+        prop_assert!(body.contains(&doc), "not framed once: {body}");
+        prop_assert!(!body.contains("model_json"), "fell back to escaping: {body}");
         prop_assert_eq!(Request::decode(&body).unwrap(), req);
     }
 
-    /// Responses round-trip, including the stats report with its float.
+    /// Remaining request variants and every response variant round-trip
+    /// under both codecs, including the stats report with its float.
     #[test]
     fn responses_roundtrip(
         n in 0u64..1000,
@@ -91,6 +205,11 @@ proptest! {
         batches in 1u64..100,
         msg in proptest::collection::vec(any::<u8>(), 0..80),
     ) {
+        for req in [Request::Ping, Request::Stats, Request::Shutdown] {
+            for codec in codecs() {
+                prop_assert_eq!(roundtrip_request(codec, &req), req.clone());
+            }
+        }
         // occupancy chosen as an exact binary fraction so text formatting
         // round-trips bit-for-bit
         let report = ModelStatsReport {
@@ -117,6 +236,8 @@ proptest! {
             rejected_draining: n % 13,
             pool_poisoned_epochs: n % 17,
             chaos_injected: n % 19,
+            wire_json_frames: n * 7,
+            wire_binary_frames: n * 5,
             backends: vec![c2nn_serve::protocol::BackendSelectionReport {
                 backend: soup_string(&msg),
                 models: n % 3,
@@ -128,7 +249,7 @@ proptest! {
             Response::Pong { version: n as u32 },
             Response::Loaded { name: soup_string(&msg), bytes: n },
             Response::SimResult {
-                outputs: vec![soup_string(&msg), "0101".to_string()],
+                outputs: SimOutputs::Text(vec![soup_string(&msg), "0101".to_string()]),
                 cycles: 2,
             },
             Response::Stats { models: vec![report], server },
@@ -137,18 +258,37 @@ proptest! {
             Response::DeadlineExceeded,
             Response::Error { message: soup_string(&msg) },
         ] {
-            let body = resp.encode();
-            prop_assert!(!body.contains('\n'));
-            prop_assert_eq!(Response::decode(&body).unwrap(), resp);
+            for codec in codecs() {
+                prop_assert_eq!(roundtrip_response(codec, &resp), resp.clone());
+            }
         }
     }
 
-    /// Raw byte soup never panics the decoders (errors are fine).
+    /// Raw byte soup never panics the decoders (errors are fine) — JSON
+    /// text decoders and both codecs' frame decoders.
     #[test]
     fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let text = soup_string(&bytes);
         let _ = Request::decode(&text);
         let _ = Response::decode(&text);
+        for codec in codecs() {
+            let _ = codec.decode_request(&bytes);
+            let _ = codec.decode_response(&bytes);
+        }
+    }
+
+    /// Byte soup *behind a valid binary header* reaches the payload
+    /// decoders (bounds-checked cursor) and must never panic either.
+    #[test]
+    fn framed_soup_never_panics(
+        kind in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut frame = vec![0xC2, 1, kind, 0];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let _ = BinaryCodec.decode_request(&frame);
+        let _ = BinaryCodec.decode_response(&frame);
     }
 
     /// Vocabulary soup reaches deeper decoder states (well-formed JSON
@@ -164,26 +304,46 @@ proptest! {
     }
 
     /// The frame reader reassembles frames regardless of how the bytes are
-    /// chunked by the transport.
+    /// chunked by the transport — for interleaved JSON *and* binary frames
+    /// on the same connection.
     #[test]
     fn framing_is_chunking_invariant(
         payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..6),
         chunk in 1usize..17,
     ) {
-        // newlines inside a payload would split it — strip them, as the
-        // encoder guarantees single-line bodies
-        let frames: Vec<Vec<u8>> = payloads
-            .iter()
-            .map(|p| p.iter().copied().filter(|&b| b != b'\n').collect())
-            .collect();
+        // every odd payload ships as a binary ping-with-garbage-free
+        // payload... no: framing doesn't care about content, so odd
+        // payloads go out as binary frames (arbitrary kind/payload) and
+        // even ones as JSON lines (newline-free, non-magic first byte)
         let mut wire = Vec::new();
-        for f in &frames {
-            wire.extend_from_slice(f);
-            wire.push(b'\n');
+        let mut expect: Vec<(WireFormat, Vec<u8>)> = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            if i % 2 == 0 {
+                // JSON line: strip newlines (the encoder guarantees
+                // single-line bodies) and a leading binary magic byte
+                // (which would be sniffed as a binary header)
+                let body: Vec<u8> = p
+                    .iter()
+                    .copied()
+                    .filter(|&b| b != b'\n')
+                    .skip_while(|&b| b == 0xC2)
+                    .collect();
+                wire.extend_from_slice(&body);
+                wire.push(b'\n');
+                expect.push((WireFormat::Json, body));
+            } else {
+                let mut frame = vec![0xC2u8, 1, (i % 256) as u8, 0];
+                frame.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                frame.extend_from_slice(p);
+                wire.extend_from_slice(&frame);
+                expect.push((WireFormat::Binary, frame));
+            }
         }
         let mut reader = FrameReader::new(Chunked { data: wire, pos: 0, chunk });
-        for f in &frames {
-            prop_assert_eq!(reader.read_frame().unwrap(), Some(f.clone()));
+        for (wire_fmt, bytes) in &expect {
+            let frame = reader.read_frame().unwrap().expect("frame present");
+            prop_assert_eq!(frame.wire, *wire_fmt);
+            prop_assert_eq!(&frame.bytes, bytes);
         }
         prop_assert_eq!(reader.read_frame().unwrap(), None);
     }
@@ -214,13 +374,27 @@ fn malformed_corpus_yields_typed_errors() {
         ("{}", "op"),
         ("{\"op\":42}", ""),
         ("{\"op\":\"warp\"}", "unknown op"),
-        ("{\"op\":\"load\"}", "name"),
-        ("{\"op\":\"load\",\"name\":\"m\"}", "model_json"),
+        ("{\"op\":\"load\"}", "model_json"),
+        ("{\"op\":\"load\",\"model\":{},\"name\":42}", "name"),
         ("{\"op\":\"sim\",\"model\":\"m\"}", "stim"),
         ("{\"op\":\"sim\",\"model\":[],\"stim\":\"1\"}", ""),
         ("[1,2,3]", ""),
         ("{\"op\":\"ping\",", ""),
         ("\"ping\"", ""),
+        // packed stimulus with defects: bad shape, bad hex, wrong type
+        (
+            "{\"op\":\"sim\",\"model\":\"m\",\"stim_packed\":{\"features\":1}}",
+            "",
+        ),
+        (
+            "{\"op\":\"sim\",\"model\":\"m\",\"stim_packed\":{\"features\":1,\"cycles\":1,\"words\":[\"zz\"]}}",
+            "bit-plane",
+        ),
+        (
+            "{\"op\":\"sim\",\"model\":\"m\",\"stim_packed\":{\"features\":2,\"cycles\":1,\"words\":[\"1\"]}}",
+            "",
+        ),
+        ("{\"op\":\"sim\",\"model\":\"m\",\"stim_packed\":7}", ""),
     ];
     for (body, needle) in corpus {
         match Request::decode(body) {
@@ -252,6 +426,197 @@ fn malformed_corpus_yields_typed_errors() {
             "malformed response accepted: {body:?}"
         );
     }
+}
+
+/// Build a binary frame with explicit header fields — the corpus generator
+/// for hostile frames.
+fn raw_frame(magic: u8, version: u8, kind: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![magic, version, kind, flags];
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn malformed_binary_content_yields_typed_errors() {
+    // complete frames whose *payload* is defective: the connection stays
+    // usable, so these must come back as ProtocolError, never a panic and
+    // never an Ok
+    let cases: &[(Vec<u8>, &str)] = &[
+        // unknown request kind (a response kind sent client→server)
+        (
+            raw_frame(0xC2, 1, 0x81, 0, &[]),
+            "unknown binary request kind",
+        ),
+        (
+            raw_frame(0xC2, 1, 0x7F, 0, &[]),
+            "unknown binary request kind",
+        ),
+        // nonzero reserved flags
+        (raw_frame(0xC2, 1, 0x01, 3, &[]), "flags"),
+        // ping with trailing garbage
+        (raw_frame(0xC2, 1, 0x01, 0, b"xx"), "trailing garbage"),
+        // load whose name length field runs past the payload
+        (
+            raw_frame(0xC2, 1, 0x02, 0, &[255, 255, 255, 255, b'm']),
+            "truncated",
+        ),
+        // sim with an unknown stimulus form
+        (
+            raw_frame(0xC2, 1, 0x03, 0, &{
+                let mut p = vec![1, 0, 0, 0, b'm']; // model "m"
+                p.extend_from_slice(&[0; 9]); // no deadline
+                p.push(9); // bogus form tag
+                p
+            }),
+            "unknown stimulus form",
+        ),
+        // sim with a bad deadline presence flag
+        (
+            raw_frame(0xC2, 1, 0x03, 0, &{
+                let mut p = vec![1, 0, 0, 0, b'm'];
+                p.push(7); // presence must be 0 or 1
+                p.extend_from_slice(&[0; 8]);
+                p.push(0);
+                p
+            }),
+            "deadline",
+        ),
+        // packed sim whose plane bytes don't match the declared shape
+        (
+            raw_frame(0xC2, 1, 0x03, 0, &{
+                let mut p = vec![1, 0, 0, 0, b'm'];
+                p.extend_from_slice(&[0; 9]);
+                p.push(1); // FORM_PACKED
+                p.extend_from_slice(&2u32.to_le_bytes()); // features
+                p.extend_from_slice(&1u32.to_le_bytes()); // cycles
+                p.extend_from_slice(&0u64.to_le_bytes()); // 1 word, need 2
+                p
+            }),
+            "does not match",
+        ),
+        // packed sim whose ragged tail has nonzero bits (non-canonical)
+        (
+            raw_frame(0xC2, 1, 0x03, 0, &{
+                let mut p = vec![1, 0, 0, 0, b'm'];
+                p.extend_from_slice(&[0; 9]);
+                p.push(1);
+                p.extend_from_slice(&1u32.to_le_bytes()); // 1 feature
+                p.extend_from_slice(&1u32.to_le_bytes()); // 1 cycle
+                p.extend_from_slice(&u64::MAX.to_le_bytes()); // 63 tail bits set
+                p
+            }),
+            "",
+        ),
+        // shape product that overflows usize
+        (
+            raw_frame(0xC2, 1, 0x03, 0, &{
+                let mut p = vec![1, 0, 0, 0, b'm'];
+                p.extend_from_slice(&[0; 9]);
+                p.push(1);
+                p.extend_from_slice(&u32::MAX.to_le_bytes());
+                p.extend_from_slice(&u32::MAX.to_le_bytes());
+                p
+            }),
+            "",
+        ),
+        // load whose name is invalid UTF-8
+        (
+            raw_frame(0xC2, 1, 0x02, 0, &[2, 0, 0, 0, 0xFF, 0xFE]),
+            "UTF-8",
+        ),
+    ];
+    for (frame, needle) in cases {
+        match BinaryCodec.decode_request(frame) {
+            Err(e) => assert!(
+                e.message.contains(needle),
+                "error {:?} for {frame:?} does not mention {needle:?}",
+                e.message
+            ),
+            Ok(r) => panic!("malformed binary frame accepted as {r:?}: {frame:?}"),
+        }
+    }
+
+    // response-side: unknown kind, truncated fixed fields, garbage tails
+    let resp_cases: &[Vec<u8>] = &[
+        raw_frame(0xC2, 1, 0x01, 0, &[]),         // request kind as response
+        raw_frame(0xC2, 1, 0xFF, 0, &[]),         // unknown kind
+        raw_frame(0xC2, 1, 0x81, 0, &[1, 2]),     // pong with short version
+        raw_frame(0xC2, 1, 0x81, 0, &[0; 8]),     // pong with a trailing word
+        raw_frame(0xC2, 1, 0x84, 0, b"not json"), // stats reply, garbage payload
+        raw_frame(0xC2, 1, 0x86, 0, &[]),         // overloaded missing retry hint
+    ];
+    for frame in resp_cases {
+        assert!(
+            BinaryCodec.decode_response(frame).is_err(),
+            "malformed binary response accepted: {frame:?}"
+        );
+    }
+
+    // header defects are rejected even when handed straight to the codec
+    // (the framing layer normally catches these first)
+    assert!(
+        BinaryCodec.decode_request(&[0xC2, 1, 1]).is_err(),
+        "short header"
+    );
+    assert!(
+        BinaryCodec
+            .decode_request(&raw_frame(0x7B, 1, 1, 0, &[]))
+            .is_err(),
+        "wrong magic"
+    );
+    assert!(
+        BinaryCodec
+            .decode_request(&raw_frame(0xC2, 9, 1, 0, &[]))
+            .is_err(),
+        "future wire version"
+    );
+    // declared length disagrees with actual frame length
+    let mut lying = raw_frame(0xC2, 1, 1, 0, &[]);
+    lying[4] = 5;
+    assert!(BinaryCodec.decode_request(&lying).is_err(), "lying length");
+}
+
+#[test]
+fn binary_framing_defects_poison_the_buffer() {
+    // framing-layer corruption (as opposed to payload defects): the buffer
+    // can no longer find frame boundaries, so next_frame errors with
+    // InvalidData and clears itself
+    use c2nn_serve::protocol::FrameLimits;
+    use std::time::Duration;
+
+    // unsupported wire version
+    let mut buf = FrameBuffer::new();
+    buf.push(&raw_frame(0xC2, 2, 0x01, 0, &[]));
+    let err = buf.next_frame().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("version"), "{err}");
+    assert!(buf.is_empty(), "poisoned buffer must be cleared");
+
+    // header declares a length beyond the configured limit
+    let limits = FrameLimits {
+        max_frame: 1024,
+        drain_window: Duration::from_millis(250),
+    };
+    let mut buf = FrameBuffer::with_limits(limits);
+    let mut frame = vec![0xC2, 1, 0x01, 0];
+    frame.extend_from_slice(&(10_000u32).to_le_bytes());
+    buf.push(&frame);
+    let err = buf.next_frame().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("1024"), "{err}");
+
+    // a truncated header is not an error — just an incomplete frame
+    let mut buf = FrameBuffer::new();
+    buf.push(&[0xC2, 1, 0x01]);
+    assert!(matches!(buf.next_frame(), Ok(None)));
+    assert!(!buf.has_complete_frame());
+    // completing the header + empty payload yields the frame
+    buf.push(&[0, 0, 0, 0, 0]);
+    assert!(buf.has_complete_frame());
+    let frame = buf.next_frame().unwrap().unwrap();
+    assert_eq!(frame.wire, WireFormat::Binary);
+    assert_eq!(frame.decode_request().unwrap(), Request::Ping);
 }
 
 #[test]

@@ -23,12 +23,12 @@ fn usage() -> ! {
          (--passes: all | none | comma list of fold,cse,dce,merge)\n  \
          c2nn sim     <model.json> --cycles <n> [--batch <n>] [--backend <name>|auto] [--guard]\n  \
          c2nn bench   <model.json> <tb.stim>... (batched testbenches)\n  \
-         c2nn serve   <model.json>... [--addr host:port] [--io auto|threads|epoll] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]\n  \
+         c2nn serve   <model.json>... [--addr host:port] [--io auto|threads|epoll] [--wire any|json] [--max-batch <n>] [--max-wait-ms <n>] [--mem-mb <n>] [--max-inflight <n>] [--backend <name>|auto] [--chaos <spec>]\n  \
          c2nn calibrate [--quick] [--out results/DEVICE.json] [--check <path>]\n  \
          (--chaos: seed=<n>,worker_panic=<p>,worker_panic_budget=<n>,stall=<p>,stall_ms=<n>,stall_budget=<n>)\n  \
-         c2nn client  <addr> [--ping | --stats | --metrics [--check] | --shutdown | --load <model.json> [--name <n>]]\n  \
-         c2nn client  <addr> --model <name> --stim <tb.stim> [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
-         c2nn client  <addr> --model <name> --stim <tb.stim> --rate <req/s> [--connections <n>] [--duration-s <s>] [--deadline-ms <n>] [--json]\n  \
+         c2nn client  <addr> [--wire json|binary] [--ping | --stats | --metrics [--check] | --shutdown | --load <model.json> [--name <n>]]\n  \
+         c2nn client  <addr> --model <name> --stim <tb.stim> [--wire json|binary] [--clients <n>] [--repeat <n>] [--deadline-ms <n>] [--retries <n>] [--seed <n>]\n  \
+         c2nn client  <addr> --model <name> --stim <tb.stim> --rate <req/s> [--wire json|binary] [--connections <n>] [--duration-s <s>] [--deadline-ms <n>] [--json]\n  \
          c2nn trace   <file.v|.blif> --top <module> --cycles <n> [--out wave.vcd]\n  \
          c2nn dot     <file.v|.blif> --top <module>"
     );
@@ -397,6 +397,14 @@ fn main() {
                     })
                 })
                 .unwrap_or_default();
+            let wire: c2nn::serve::WirePolicy = flag(&args, "--wire")
+                .map(|s| {
+                    s.parse().unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        exit(2)
+                    })
+                })
+                .unwrap_or_default();
             let backend = backend_flag(&args);
             let chaos = flag(&args, "--chaos").map(|spec| {
                 let cfg = c2nn::serve::ChaosConfig::parse(&spec).unwrap_or_else(|e| {
@@ -421,6 +429,8 @@ fn main() {
                     chaos,
                     ..RegistryConfig::default()
                 },
+                wire,
+                ..ServerConfig::default()
             };
             let server = spawn_server(cfg).unwrap_or_else(|e| {
                 eprintln!("cannot start server: {e}");
@@ -450,7 +460,7 @@ fn main() {
             }
             c2nn::serve::signal::install_sigint_handler();
             println!(
-                "serving on {} (io {:?}, backend {backend}, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
+                "serving on {} (io {:?}, wire {wire:?}, backend {backend}, max_batch {max_batch}, max_wait {max_wait_ms}ms, max_inflight {max_inflight}) — Ctrl-C or a `shutdown` request stops it",
                 server.local_addr(),
                 io.resolve()
             );
@@ -458,10 +468,18 @@ fn main() {
             println!("server stopped");
         }
         "client" => {
-            use c2nn::serve::Client;
+            use c2nn::serve::{Client, WireFormat};
             let addr = args.get(1).unwrap_or_else(|| usage()).clone();
+            let wire: WireFormat = flag(&args, "--wire")
+                .map(|s| {
+                    s.parse().unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        exit(2)
+                    })
+                })
+                .unwrap_or_default();
             let connect = |what: &str| -> Client {
-                Client::connect(&addr).unwrap_or_else(|e| {
+                Client::connect_wire(&addr, wire).unwrap_or_else(|e| {
                     eprintln!("cannot connect to {addr} for {what}: {e}");
                     exit(1)
                 })
@@ -573,6 +591,7 @@ fn main() {
                         deadline_ms,
                         max_retries,
                         seed,
+                        wire,
                     });
                     if args.iter().any(|a| a == "--json") {
                         println!(
@@ -631,7 +650,7 @@ fn main() {
                                     let mut left = max_retries;
                                     loop {
                                         if conn.is_none() {
-                                            match Client::connect(&addr) {
+                                            match Client::connect_wire(&addr, wire) {
                                                 Ok(c) => conn = Some(c),
                                                 Err(e) if e.is_transient() && left > 0 => {
                                                     left -= 1;
